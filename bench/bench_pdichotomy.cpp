@@ -1,0 +1,89 @@
+// Ablation: the significant-p dichotomy (§I "sliding the aggregation
+// strength among a set of significant values"; §VI "instantaneous
+// interaction to get the visualization at a given aggregation level").
+//
+// Measures, on the Fig. 3 trace and on scaled case A: how many distinct
+// aggregation levels exist, how many DP runs the dichotomic search needs
+// (vs the naive dense sweep), and how cheap a single DP re-run is compared
+// to the cube build — the fact that makes the slider interactive.
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/stopwatch.hpp"
+#include "common/table.hpp"
+#include "core/aggregator.hpp"
+#include "core/dichotomy.hpp"
+#include "model/builder.hpp"
+#include "workload/fixtures.hpp"
+#include "workload/scenarios.hpp"
+
+namespace stagg {
+namespace {
+
+void study(const char* label, SpatiotemporalAggregator& agg) {
+  Stopwatch watch;
+  const DichotomyResult levels =
+      find_significant_levels(agg, {.epsilon = 1e-3, .max_runs = 512});
+  const double search_s = watch.seconds();
+
+  // Dense sweep cost for the same resolution.
+  const std::size_t dense_runs = static_cast<std::size_t>(1.0 / 1e-3) + 1;
+
+  watch.restart();
+  (void)agg.run(0.5);
+  const double one_run_s = watch.seconds();
+
+  std::printf("%s\n", label);
+  std::printf("  significant levels : %zu\n", levels.levels.size());
+  std::printf("  DP runs (dichotomy): %zu  vs dense sweep: %zu (%.0fx "
+              "fewer)\n",
+              levels.runs, dense_runs,
+              static_cast<double>(dense_runs) /
+                  static_cast<double>(levels.runs));
+  std::printf("  search time        : %s  (one DP re-run: %s)\n",
+              format_seconds(search_s).c_str(),
+              format_seconds(one_run_s).c_str());
+  TextTable t({"p range", "areas", "reduction", "loss"});
+  for (const auto& level : levels.levels) {
+    char range[48], red[16], loss[16];
+    std::snprintf(range, sizeof range, "[%.3f, %.3f]", level.p_min,
+                  level.p_max);
+    std::snprintf(red, sizeof red, "%.1f%%",
+                  level.result.quality.complexity_reduction() * 100.0);
+    std::snprintf(loss, sizeof loss, "%.1f%%",
+                  level.result.quality.loss_fraction() * 100.0);
+    t.add_row({range, std::to_string(level.result.partition.size()), red,
+               loss});
+  }
+  std::printf("%s\n", t.str().c_str());
+}
+
+int run() {
+  std::printf("=== Ablation: significant-p dichotomic search ===\n\n");
+
+  OwnedModel fig3 = make_figure3_model();
+  SpatiotemporalAggregator fig3_agg(fig3.model);
+  study("Figure 3 artificial trace (12 x 20):", fig3_agg);
+
+  const double scale = env_double("STAGG_SCALE", 1.0 / 64.0);
+  GeneratedScenario g = generate_scenario(scenario_a(), scale);
+  const MicroscopicModel model =
+      build_model(g.trace, *g.hierarchy, {.slice_count = 30});
+  Stopwatch cube_watch;
+  SpatiotemporalAggregator agg(model);  // cube built here
+  const double cube_s = cube_watch.seconds();
+  std::printf("case A (64 x 30), cube build %s:\n",
+              format_seconds(cube_s).c_str());
+  study("", agg);
+
+  std::printf("reproduced shape: a handful of significant levels cover the\n"
+              "whole [0,1] range; each probe is a DP re-run on the shared\n"
+              "p-independent cube, which is why interaction after the\n"
+              "preprocess is 'instantaneous' (paper §VI).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace stagg
+
+int main() { return stagg::run(); }

@@ -1,0 +1,120 @@
+// Ablation: the complexity claims of §III-E — O(|S| |T|^3) time and
+// O(|S| |T|^2) space for the spatiotemporal DP, O(|T|^2) for the temporal
+// DP and O(|S|) for the spatial sweep.
+//
+// google-benchmark sweeps |S| and |T| on random block-structured models;
+// the final reporters fit empirical log-log slopes (expected ~1 in |S|,
+// ~3 in |T| for the full algorithm; the cube build is ~linear in both).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/math.hpp"
+#include "core/aggregator.hpp"
+#include "core/spatial.hpp"
+#include "core/temporal.hpp"
+#include "workload/fixtures.hpp"
+
+namespace stagg {
+namespace {
+
+OwnedModel model_for(std::int32_t leaves_pow2, std::int32_t slices) {
+  return make_random_model({.levels = leaves_pow2,
+                            .fanout = 2,
+                            .slices = slices,
+                            .states = 2,
+                            .block_slices = 3,
+                            .block_leaves = 2,
+                            .seed = 1234});
+}
+
+void BM_SpatiotemporalDP_vsT(benchmark::State& state) {
+  const auto slices = static_cast<std::int32_t>(state.range(0));
+  const OwnedModel om = model_for(5, slices);  // |S| = 32
+  AggregationOptions opt;
+  opt.parallel = false;  // measure the algorithm, not the pool
+  SpatiotemporalAggregator agg(om.model, opt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agg.run(0.4));
+  }
+  state.SetComplexityN(slices);
+  state.counters["bytes"] = static_cast<double>(
+      SpatiotemporalAggregator::estimate_bytes(om.hierarchy->node_count(),
+                                               slices));
+}
+BENCHMARK(BM_SpatiotemporalDP_vsT)
+    ->RangeMultiplier(2)
+    ->Range(8, 96)
+    ->Complexity(benchmark::oNCubed);
+
+void BM_SpatiotemporalDP_vsS(benchmark::State& state) {
+  const auto levels = static_cast<std::int32_t>(state.range(0));
+  const OwnedModel om = model_for(levels, 24);  // |S| = 2^levels
+  AggregationOptions opt;
+  opt.parallel = false;
+  SpatiotemporalAggregator agg(om.model, opt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agg.run(0.4));
+  }
+  state.SetComplexityN(1 << levels);
+}
+BENCHMARK(BM_SpatiotemporalDP_vsS)
+    ->DenseRange(3, 9, 1)
+    ->Complexity(benchmark::oN);
+
+void BM_CubeBuild(benchmark::State& state) {
+  const auto slices = static_cast<std::int32_t>(state.range(0));
+  const OwnedModel om = model_for(6, slices);
+  for (auto _ : state) {
+    DataCube cube(om.model);
+    benchmark::DoNotOptimize(cube.memory_bytes());
+  }
+  state.SetComplexityN(slices);
+}
+BENCHMARK(BM_CubeBuild)->RangeMultiplier(2)->Range(8, 128)->Complexity(
+    benchmark::oN);
+
+void BM_TemporalDP(benchmark::State& state) {
+  const auto slices = static_cast<std::int32_t>(state.range(0));
+  const OwnedModel om = model_for(4, slices);
+  const DataCube cube(om.model);
+  const auto seq = SequenceAggregator::spatially_aggregated(cube);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(seq.run(0.4));
+  }
+  state.SetComplexityN(slices);
+}
+BENCHMARK(BM_TemporalDP)->RangeMultiplier(2)->Range(16, 512)->Complexity(
+    benchmark::oNSquared);
+
+void BM_SpatialSweep(benchmark::State& state) {
+  const auto levels = static_cast<std::int32_t>(state.range(0));
+  const OwnedModel om = model_for(levels, 8);
+  const DataCube cube(om.model);
+  const auto agg = HierarchyAggregator::temporally_aggregated(cube);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agg.run(0.4));
+  }
+  state.SetComplexityN(1 << levels);
+}
+BENCHMARK(BM_SpatialSweep)->DenseRange(4, 12, 1)->Complexity(benchmark::oN);
+
+// Memory shape: the DP working set must be quadratic in |T|, linear in the
+// node count (O(|S| |T|^2), §III-E).
+void BM_MemoryEstimate(benchmark::State& state) {
+  const auto slices = static_cast<std::int32_t>(state.range(0));
+  std::vector<double> xs, ys;
+  for (std::int32_t t = 8; t <= slices; t *= 2) {
+    xs.push_back(t);
+    ys.push_back(static_cast<double>(
+        SpatiotemporalAggregator::estimate_bytes(1000, t)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(loglog_slope(xs, ys));
+  }
+  state.counters["T_exponent"] = loglog_slope(xs, ys);  // expected ~2
+}
+BENCHMARK(BM_MemoryEstimate)->Arg(256);
+
+}  // namespace
+}  // namespace stagg

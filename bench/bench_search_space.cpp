@@ -1,0 +1,76 @@
+// Ablation: the intractability argument of §III-E — the exponential
+// partition search spaces |H(S)| and |I(T)| against the polynomial number
+// of DP cells Algorithm 1 actually evaluates, for the paper's scenarios
+// and for worst-case binary hierarchies.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/brute_force.hpp"
+#include "core/counting.hpp"
+#include "workload/scenarios.hpp"
+
+namespace stagg {
+namespace {
+
+std::string count_str(const PartitionCount& c) {
+  char buf[64];
+  if (c.saturated || c.exact > (1ull << 53)) {
+    std::snprintf(buf, sizeof buf, "2^%.1f", c.log2_value);
+  } else {
+    std::snprintf(buf, sizeof buf, "%llu",
+                  static_cast<unsigned long long>(c.exact));
+  }
+  return buf;
+}
+
+int run() {
+  std::printf("=== Ablation: search-space sizes vs DP work (§III-E) ===\n\n");
+
+  TextTable table({"hierarchy", "|S| leaves", "nodes", "|H(S)|",
+                   "|I(T)| (T=30)", "DP cells (T=30)"});
+  const auto add = [&](const char* name, const Hierarchy& h) {
+    table.add_row({name, std::to_string(h.leaf_count()),
+                   std::to_string(h.node_count()),
+                   count_str(count_hierarchy_partitions(h)),
+                   count_str(count_interval_partitions(30)),
+                   std::to_string(count_dp_cells(h, 30))});
+  };
+
+  for (const ScenarioSpec& spec : all_scenarios()) {
+    const Hierarchy h = spec.platform.build_hierarchy(spec.processes);
+    add(("case " + spec.id + " (" + spec.site + ")").c_str(), h);
+  }
+  for (const std::int32_t levels : {6, 10, 14}) {
+    const Hierarchy h = make_balanced_hierarchy(levels, 2);
+    char name[32];
+    std::snprintf(name, sizeof name, "binary depth %d", levels);
+    add(name, h);
+  }
+  std::printf("%s\n", table.str().c_str());
+
+  std::printf("worst-case growth base per hierarchy node "
+              "(paper: c ~ 1.229): %.4f\n\n",
+              binary_tree_growth_base(16));
+
+  // Ground the counts: exhaustive enumeration on small grids agrees with
+  // the closed forms, then explodes.
+  std::printf("exhaustive enumeration (the algorithm Algorithm 1 replaces):\n");
+  const Hierarchy tiny = make_balanced_hierarchy(2, 2);
+  for (const std::int32_t slices : {2, 3, 4}) {
+    const auto all = enumerate_partitions(tiny, slices);
+    std::printf("  4 leaves (binary) x T=%d: %zu distinct partitions, "
+                "DP cells: %llu\n",
+                slices, all.size(),
+                static_cast<unsigned long long>(count_dp_cells(tiny, slices)));
+  }
+  std::printf("\nreproduced shape: the DP's polynomial cell count replaces a\n"
+              "search space that is already astronomical at Table II sizes\n"
+              "(case C: ~2^97 spatial partitions times 2^29 temporal ones,\n"
+              "before counting the non-product spatiotemporal patterns).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace stagg
+
+int main() { return stagg::run(); }

@@ -1,0 +1,77 @@
+// Paper use case §V-B: analyze hardware heterogeneity and a hidden
+// concurrency anomaly in a NAS-LU run across three clusters (Table II
+// case C, Figure 4).
+//
+//   ./examples/lu_heterogeneous [--scale 0.004] [--p 0.15]
+//
+// The overview separates the clusters: Graphene (homogeneous IB), Graphite
+// (heterogeneous 10 GbE) and Griffon (rupture at 34.5 s caused by machines
+// hidden from the user sharing the switches).
+#include <cstdio>
+
+#include "analysis/disruption.hpp"
+#include "analysis/phases.hpp"
+#include "common/cli.hpp"
+#include "core/aggregator.hpp"
+#include "model/builder.hpp"
+#include "viz/spatiotemporal_view.hpp"
+#include "workload/scenarios.hpp"
+
+int main(int argc, char** argv) {
+  using namespace stagg;
+
+  Cli cli("lu_heterogeneous", "NAS-LU heterogeneity analysis (paper §V-B)");
+  cli.option("scale", "0.004", "event-rate scale vs the paper's 218M events")
+      .option("p", "0.15", "aggregation strength in [0,1]")
+      .option("svg", "lu_overview.svg", "output SVG path");
+  if (!cli.parse(argc, argv)) return 1;
+
+  GeneratedScenario g = generate_scenario(scenario_c(), cli.get_double("scale"));
+  std::printf("generated case C: %llu events, %zu processes, %zu clusters\n",
+              static_cast<unsigned long long>(g.trace.event_count()),
+              g.trace.resource_count(),
+              g.hierarchy->nodes_at_depth(1).size());
+
+  const MicroscopicModel model =
+      build_model(g.trace, *g.hierarchy, {.slice_count = 30});
+  SpatiotemporalAggregator aggregator(model);
+  const AggregationResult result = aggregator.run(cli.get_double("p"));
+
+  ViewOptions view;
+  view.min_row_px = 2.0;  // 700 rows: visual aggregation engages
+  const ViewStats stats =
+      save_overview(result, aggregator.cube(), cli.get("svg"), view);
+  std::printf("overview written to %s\n"
+              "  data aggregates   : %zu\n"
+              "  visual aggregates : %zu (diagonal %zu = coherent rows, "
+              "cross %zu = heterogeneous rows)\n\n",
+              cli.get("svg").c_str(), stats.data_aggregates,
+              stats.visual_aggregates, stats.diagonal_marks,
+              stats.cross_marks);
+
+  std::printf("phases:\n%s\n",
+              format_phases(detect_phases(result, aggregator.cube(),
+                                          {.quorum = 0.5}))
+                  .c_str());
+
+  // Per-cluster disruption summary (Figure 4's reading).
+  const auto disruptions =
+      detect_disruptions(result, aggregator.cube(), {.group_depth = 1});
+  const Hierarchy& h = *g.hierarchy;
+  for (const NodeId cluster : h.nodes_at_depth(1)) {
+    const auto& node = h.node(cluster);
+    std::size_t count = 0;
+    for (const auto& d : disruptions) {
+      if (d.leaf >= node.first_leaf &&
+          d.leaf < node.first_leaf + node.leaf_count) {
+        ++count;
+      }
+    }
+    std::printf("cluster %-10s %4d processes, %zu deviating rows (%.0f%%)\n",
+                node.name.c_str(), node.leaf_count, count,
+                100.0 * static_cast<double>(count) / node.leaf_count);
+  }
+  std::printf("\nexpected per the paper: graphene ~0%%, graphite high "
+              "(heterogeneous hardware), griffon localized around 34.5s.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Quickstart: the whole public API in ~60 lines.
+//
+//   1. describe the platform as a hierarchy,
+//   2. record (or load) a trace,
+//   3. build the microscopic model d_x(s,t),
+//   4. run the spatiotemporal aggregation,
+//   5. look at the result (ASCII here; SVG in the other examples).
+//
+// Build and run:   ./examples/quickstart
+#include <cstdio>
+
+#include "core/aggregator.hpp"
+#include "hierarchy/hierarchy.hpp"
+#include "model/builder.hpp"
+#include "trace/trace.hpp"
+#include "viz/ascii_view.hpp"
+
+int main() {
+  using namespace stagg;
+
+  // 1. A tiny platform: one node with two machines of two cores each.
+  HierarchyBuilder builder("node");
+  const NodeId m0 = builder.add(0, "m0");
+  const NodeId m1 = builder.add(0, "m1");
+  builder.add(m0, "core0");
+  builder.add(m0, "core1");
+  builder.add(m1, "core0");
+  builder.add(m1, "core1");
+  const Hierarchy hierarchy = builder.finish();
+
+  // 2. A trace: everyone initializes, then machine m0 computes while
+  //    machine m1 mostly waits; core1 of m1 recovers halfway through.
+  Trace trace;
+  for (std::size_t s = 0; s < hierarchy.leaf_count(); ++s) {
+    trace.add_resource(hierarchy.path(hierarchy.leaf_node(
+        static_cast<LeafId>(s))));
+  }
+  for (ResourceId r = 0; r < 4; ++r) {
+    trace.add_state(r, "MPI_Init", 0, seconds(1.0));
+  }
+  for (double t = 1.0; t < 10.0; t += 0.5) {
+    trace.add_state(0, "Compute", seconds(t), seconds(t + 0.5));
+    trace.add_state(1, "Compute", seconds(t), seconds(t + 0.5));
+    trace.add_state(2, "MPI_Wait", seconds(t), seconds(t + 0.5));
+    trace.add_state(3, t < 5.0 ? "MPI_Wait" : "Compute", seconds(t),
+                    seconds(t + 0.5));
+  }
+
+  // 3. Microscopic model: 20 uniform time slices of the trace window.
+  const MicroscopicModel model =
+      build_model(trace, hierarchy, {.slice_count = 20});
+
+  // 4. Aggregation.  p balances simplicity (1) against accuracy (0).
+  SpatiotemporalAggregator aggregator(model);
+  const AggregationResult result = aggregator.run(0.25);
+
+  // 5. Inspect.
+  std::printf("partition: %zu areas over %zu microscopic cells\n",
+              result.partition.size(), result.quality.microscopic_count);
+  std::printf("quality:   %s\n\n", format_quality(result.quality).c_str());
+  std::printf("%s", render_ascii(result, aggregator.cube(), {}).c_str());
+  std::printf("\nareas:\n%s", result.partition.to_string(hierarchy).c_str());
+  return 0;
+}

@@ -1,0 +1,99 @@
+#include "analysis/compare_runs.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "analysis/phases.hpp"
+#include "common/error.hpp"
+
+namespace stagg {
+namespace {
+
+/// Cell -> mode state of the covering area.
+std::vector<StateId> mode_paint(const DataCube& cube,
+                                const AggregationResult& run) {
+  const Hierarchy& h = cube.hierarchy();
+  const std::int32_t n_t = cube.slice_count();
+  std::vector<StateId> modes(h.leaf_count() * static_cast<std::size_t>(n_t),
+                             kNoState);
+  for (const auto& a : run.partition.areas()) {
+    const auto mode = cube.mode(a.node, a.time.i, a.time.j);
+    const auto& n = h.node(a.node);
+    for (LeafId s = n.first_leaf; s < n.first_leaf + n.leaf_count; ++s) {
+      for (SliceId t = a.time.i; t <= a.time.j; ++t) {
+        modes[static_cast<std::size_t>(s) * n_t +
+              static_cast<std::size_t>(t)] = mode.state;
+      }
+    }
+  }
+  return modes;
+}
+
+}  // namespace
+
+RunComparison compare_runs(const DataCube& cube_a,
+                           const AggregationResult& run_a,
+                           const DataCube& cube_b,
+                           const AggregationResult& run_b,
+                           const CompareOptions& options) {
+  const Hierarchy& h = cube_a.hierarchy();
+  if (cube_b.hierarchy().leaf_count() != h.leaf_count() ||
+      cube_b.slice_count() != cube_a.slice_count()) {
+    throw DimensionError("compare_runs: runs have different dimensions");
+  }
+  const std::int32_t n_t = cube_a.slice_count();
+
+  RunComparison out;
+  out.structure =
+      diff_partitions(h, n_t, run_a.partition, run_b.partition);
+
+  // Mode agreement.
+  const auto modes_a = mode_paint(cube_a, run_a);
+  const auto modes_b = mode_paint(cube_b, run_b);
+  std::size_t agree = 0;
+  for (std::size_t k = 0; k < modes_a.size(); ++k) {
+    if (modes_a[k] == modes_b[k]) ++agree;
+  }
+  out.mode_agreement =
+      static_cast<double>(agree) / static_cast<double>(modes_a.size());
+
+  // Divergent global boundaries.
+  const auto votes_a = cut_votes(run_a, cube_a);
+  const auto votes_b = cut_votes(run_b, cube_b);
+  for (SliceId t = 1; t < n_t; ++t) {
+    const bool ga = votes_a[static_cast<std::size_t>(t)] >= options.cut_quorum;
+    const bool gb = votes_b[static_cast<std::size_t>(t)] >= options.cut_quorum;
+    if (ga != gb) out.divergent_boundaries.push_back(t);
+  }
+
+  // Rows whose temporal structure changed (reuse the cell-level diff).
+  for (const LeafId s : out.structure.differing_leaves) {
+    out.changed_rows.push_back(h.path(h.leaf_node(s)));
+  }
+  return out;
+}
+
+std::string format_comparison(const RunComparison& c) {
+  std::ostringstream os;
+  os << "structure: " << c.structure.common_areas << " common areas, "
+     << c.structure.only_in_a << " only in A, " << c.structure.only_in_b
+     << " only in B (jaccard " << c.structure.area_jaccard << ")\n";
+  os << "mode agreement: " << c.mode_agreement * 100.0 << "% of cells\n";
+  os << "divergent global boundaries:";
+  if (c.divergent_boundaries.empty()) {
+    os << " none";
+  } else {
+    for (const SliceId t : c.divergent_boundaries) os << ' ' << t;
+  }
+  os << "\nchanged rows (" << c.changed_rows.size() << "):\n";
+  const std::size_t show = std::min<std::size_t>(c.changed_rows.size(), 12);
+  for (std::size_t k = 0; k < show; ++k) {
+    os << "  " << c.changed_rows[k] << '\n';
+  }
+  if (show < c.changed_rows.size()) {
+    os << "  ... (" << c.changed_rows.size() - show << " more)\n";
+  }
+  return os.str();
+}
+
+}  // namespace stagg

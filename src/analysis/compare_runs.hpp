@@ -1,0 +1,48 @@
+// Cross-run comparison — the paper's §V-A methodology: "By running several
+// executions with different settings, this anomaly appears occasionally,
+// and never at the same moment in the trace."
+//
+// Two aggregation results over the *same* platform and slice grid (e.g. a
+// clean run vs a perturbed one, or two seeds of the same scenario) are
+// aligned cell by cell: which rows changed their temporal structure, which
+// slice boundaries appeared or disappeared, and how much the displayed mode
+// states agree.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/aggregator.hpp"
+#include "core/partition_diff.hpp"
+
+namespace stagg {
+
+struct RunComparison {
+  PartitionDiff structure;  ///< area-level diff of the two partitions
+  /// Fraction of microscopic cells whose covering areas display the same
+  /// mode state in both runs (the visual agreement of the two overviews).
+  double mode_agreement = 0.0;
+  /// Slice boundaries that are global cuts (>= quorum of rows) in exactly
+  /// one of the runs — where the runs' dynamics diverge.
+  std::vector<SliceId> divergent_boundaries;
+  /// Rows whose temporal partitioning differs, by hierarchy path.
+  std::vector<std::string> changed_rows;
+};
+
+struct CompareOptions {
+  double cut_quorum = 0.5;  ///< row fraction for a boundary to be "global"
+};
+
+/// Compares two runs.  Both cubes must share the hierarchy (pointer
+/// identity not required; leaf counts and slice counts must match) —
+/// throws DimensionError otherwise.
+[[nodiscard]] RunComparison compare_runs(const DataCube& cube_a,
+                                         const AggregationResult& run_a,
+                                         const DataCube& cube_b,
+                                         const AggregationResult& run_b,
+                                         const CompareOptions& options = {});
+
+/// One-paragraph rendering of the comparison.
+[[nodiscard]] std::string format_comparison(const RunComparison& c);
+
+}  // namespace stagg

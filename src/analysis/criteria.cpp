@@ -1,0 +1,93 @@
+#include "analysis/criteria.hpp"
+
+namespace stagg {
+
+const char* to_symbol(CriterionMark m) noexcept {
+  switch (m) {
+    case CriterionMark::kNo: return " ";
+    case CriterionMark::kTimeOnly: return "*";
+    case CriterionMark::kSpaceOnly: return "o";
+    case CriterionMark::kBoth: return ".";
+  }
+  return "?";
+}
+
+const char* to_string(Criterion c) noexcept {
+  switch (c) {
+    case Criterion::kG1EntityBudget: return "G1";
+    case Criterion::kG2VisualSummary: return "G2";
+    case Criterion::kG3VisualSimplicity: return "G3";
+    case Criterion::kG4Discriminability: return "G4";
+    case Criterion::kG5Fidelity: return "G5";
+    case Criterion::kG6Interpretability: return "G6";
+    case Criterion::kM1SpatiotemporalRepresentation: return "M1";
+    case Criterion::kM2AggregationCoherence: return "M2";
+  }
+  return "?";
+}
+
+namespace {
+using M = CriterionMark;
+constexpr M kNo = M::kNo;
+constexpr M kT = M::kTimeOnly;
+constexpr M kS = M::kSpaceOnly;
+constexpr M kB = M::kBoth;
+}  // namespace
+
+std::vector<TechniqueEvaluation> paper_table1() {
+  // Marks transcribed from Table I of the paper.
+  // Columns: G1 G2 G3 G4 G5 G6 M1 M2.
+  return {
+      {"Gantt Chart", "Pixel-guided (time), no aggregation (space)",
+       "Vampir, Paraver",
+       {kT, kB, kB, kNo, kNo, kNo, kB, kNo},
+       true},
+      {"Gantt Chart", "Visual aggregation (time), no aggregation (space)",
+       "Paje, LTTng Eclipse Viewer",
+       {kT, kNo, kB, kB, kB, kB, kB, kNo},
+       false},
+      {"Gantt Chart", "Time compression (time), hierarchical agg. (space)",
+       "KPTrace Viewer",
+       {kS, kNo, kB, kNo, kNo, kB, kB, kNo},
+       false},
+      {"Gantt Chart", "Time abstraction (time), no aggregation (space)",
+       "Jumpshot",
+       {kT, kB, kB, kB, kB, kB, kB, kNo},
+       false},
+      {"Timeline", "Pixel-guided (both)", "Vampir",
+       {kB, kT, kB, kNo, kNo, kNo, kNo, kB},
+       false},
+      {"Timeline", "Information aggregation (both)", "Ocelotl",
+       {kB, kB, kB, kB, kB, kB, kNo, kB},
+       true},
+      {"Task Profile", "Clustering (space), mean operation (time)", "Vampir",
+       {kB, kB, kB, kB, kB, kB, kNo, kB},
+       true},
+      {"Treemap/Topology", "Hierarchical agg. (space), time integration",
+       "Viva",
+       {kB, kB, kB, kB, kB, kB, kNo, kB},
+       true},
+  };
+}
+
+CriterionMark measured_entity_budget(const MeasuredCriteria& m) {
+  if (m.entity_budget == 0) return CriterionMark::kNo;
+  const bool within = m.entities_drawn <= m.entity_budget;
+  const bool legible = m.entities_subpixel == 0;
+  return within && legible ? CriterionMark::kBoth : CriterionMark::kNo;
+}
+
+CriterionMark measured_m1(const MeasuredCriteria& m) {
+  if (m.shows_time_axis && m.shows_space_axis) return CriterionMark::kBoth;
+  if (m.shows_time_axis) return CriterionMark::kTimeOnly;
+  if (m.shows_space_axis) return CriterionMark::kSpaceOnly;
+  return CriterionMark::kNo;
+}
+
+CriterionMark measured_m2(const MeasuredCriteria& m) {
+  return m.reduction_simultaneous && m.aggregates_carry_data
+             ? CriterionMark::kBoth
+             : CriterionMark::kNo;
+}
+
+}  // namespace stagg

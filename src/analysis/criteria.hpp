@@ -1,0 +1,68 @@
+// Elmqvist-Fekete overview criteria G1-G6 and the paper's spatiotemporal
+// criteria M1-M2 (paper §II, Table I).
+//
+// Each visualization technique implemented in this library is evaluated
+// against the criteria.  Structural criteria (does the representation show
+// both dimensions? is the reduction simultaneous?) are properties of the
+// technique and are encoded as such; the *measurable* criteria (G1 entity
+// budget, G5 fidelity) are checked at runtime from actual render statistics
+// by the Table I bench.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stagg {
+
+/// How a criterion is satisfied — Table I's legend: both dimensions (•),
+/// only time (⋆), only space (◦), or not at all (blank).
+enum class CriterionMark : std::uint8_t { kNo, kTimeOnly, kSpaceOnly, kBoth };
+
+[[nodiscard]] const char* to_symbol(CriterionMark m) noexcept;
+
+/// The eight columns of Table I.
+enum class Criterion : std::uint8_t {
+  kG1EntityBudget,
+  kG2VisualSummary,
+  kG3VisualSimplicity,
+  kG4Discriminability,
+  kG5Fidelity,
+  kG6Interpretability,
+  kM1SpatiotemporalRepresentation,
+  kM2AggregationCoherence,
+};
+inline constexpr std::size_t kCriterionCount = 8;
+
+[[nodiscard]] const char* to_string(Criterion c) noexcept;
+
+/// One row of Table I.
+struct TechniqueEvaluation {
+  std::string visualization;  ///< "Gantt Chart", "Timeline", ...
+  std::string technique;      ///< "Pixel-guided (time), none (space)"
+  std::string tools;          ///< representative tools of the paper
+  std::array<CriterionMark, kCriterionCount> marks{};
+  bool implemented_here = false;  ///< backed by a renderer in this library
+};
+
+/// The eight rows of Table I, as the paper marks them.
+[[nodiscard]] std::vector<TechniqueEvaluation> paper_table1();
+
+/// Runtime checks the Table I bench feeds with real render statistics.
+struct MeasuredCriteria {
+  std::size_t entities_drawn = 0;
+  std::size_t entity_budget = 0;
+  std::size_t entities_subpixel = 0;
+  bool shows_time_axis = false;
+  bool shows_space_axis = false;
+  bool aggregates_carry_data = false;
+  bool reduction_simultaneous = false;
+};
+
+/// Derives G1/M1/M2 marks from measurements (the rest stay structural).
+[[nodiscard]] CriterionMark measured_entity_budget(const MeasuredCriteria& m);
+[[nodiscard]] CriterionMark measured_m1(const MeasuredCriteria& m);
+[[nodiscard]] CriterionMark measured_m2(const MeasuredCriteria& m);
+
+}  // namespace stagg

@@ -1,0 +1,83 @@
+#include "analysis/disruption.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace stagg {
+namespace {
+
+/// Set of slice boundaries (area starts, excluding 0) on one leaf's row.
+std::set<SliceId> row_cuts(const Partition& partition, const Hierarchy& h,
+                           LeafId leaf) {
+  std::set<SliceId> cuts;
+  for (const auto& a : partition.row_of_leaf(h, leaf)) {
+    if (a.time.i > 0) cuts.insert(a.time.i);
+  }
+  return cuts;
+}
+
+}  // namespace
+
+std::vector<Disruption> detect_disruptions(const AggregationResult& result,
+                                           const DataCube& cube,
+                                           const DisruptionOptions& options) {
+  const Hierarchy& h = cube.hierarchy();
+  const TimeGrid& grid = cube.model().grid();
+  std::vector<Disruption> out;
+
+  const std::int32_t depth = std::min(options.group_depth, h.max_depth());
+  for (const NodeId group : h.nodes_at_depth(depth)) {
+    const auto& g = h.node(group);
+    if (g.leaf_count < 2) continue;
+
+    // Count votes per boundary over the group's rows.
+    std::vector<std::set<SliceId>> cuts;
+    cuts.reserve(static_cast<std::size_t>(g.leaf_count));
+    std::map<SliceId, std::int32_t> votes;
+    for (LeafId s = g.first_leaf; s < g.first_leaf + g.leaf_count; ++s) {
+      cuts.push_back(row_cuts(result.partition, h, s));
+      for (SliceId c : cuts.back()) ++votes[c];
+    }
+    std::set<SliceId> majority;
+    for (const auto& [c, n] : votes) {
+      if (static_cast<double>(n) >=
+          options.majority * static_cast<double>(g.leaf_count)) {
+        majority.insert(c);
+      }
+    }
+
+    for (LeafId s = g.first_leaf; s < g.first_leaf + g.leaf_count; ++s) {
+      const auto& own = cuts[static_cast<std::size_t>(s - g.first_leaf)];
+      std::vector<SliceId> deviating;
+      std::set_symmetric_difference(own.begin(), own.end(), majority.begin(),
+                                    majority.end(),
+                                    std::back_inserter(deviating));
+      if (deviating.empty()) continue;
+      Disruption d;
+      d.leaf = s;
+      d.path = h.path(h.leaf_node(s));
+      d.deviating_cuts = std::move(deviating);
+      d.first_deviation_s =
+          to_seconds(grid.slice_begin(d.deviating_cuts.front()));
+      out.push_back(std::move(d));
+    }
+  }
+  return out;
+}
+
+std::string format_disruptions(const std::vector<Disruption>& ds) {
+  std::ostringstream os;
+  for (const auto& d : ds) {
+    os << "  " << d.path << "  deviates at " << d.first_deviation_s << "s (";
+    for (std::size_t k = 0; k < d.deviating_cuts.size(); ++k) {
+      if (k) os << ",";
+      os << d.deviating_cuts[k];
+    }
+    os << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace stagg

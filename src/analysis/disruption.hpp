@@ -1,0 +1,47 @@
+// Perturbed-resource identification (paper §V-A: "a detailed list of those
+// who significantly are [impacted]").
+//
+// A resource is *disrupted* in a time window when its own temporal
+// partition deviates from the majority partition of its sibling group: the
+// perturbation of Fig. 1 appears as extra temporal cuts on exactly the 26
+// affected rows.  The detector votes per slice boundary within each
+// grouping node (machine or cluster), then reports resources whose cut set
+// differs from the group majority, with the deviating windows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/aggregator.hpp"
+
+namespace stagg {
+
+/// One disrupted resource.
+struct Disruption {
+  LeafId leaf = -1;
+  std::string path;
+  /// Slice boundaries present on this row but not in the group majority
+  /// (or vice versa).
+  std::vector<SliceId> deviating_cuts;
+  /// Time of the first deviating cut, in seconds.
+  double first_deviation_s = 0.0;
+};
+
+struct DisruptionOptions {
+  /// Depth of the grouping nodes whose rows are compared (e.g. 1 =
+  /// clusters, 2 = machines for site/cluster/machine/core hierarchies).
+  std::int32_t group_depth = 1;
+  /// A boundary is "majority" when at least this fraction of the group's
+  /// rows cut there.
+  double majority = 0.5;
+};
+
+/// Finds resources whose temporal partitioning deviates from their group.
+[[nodiscard]] std::vector<Disruption> detect_disruptions(
+    const AggregationResult& result, const DataCube& cube,
+    const DisruptionOptions& options = {});
+
+/// Formats the list ("rennes/parapide/parapide-3/core1 deviates at 3.04s").
+[[nodiscard]] std::string format_disruptions(const std::vector<Disruption>& d);
+
+}  // namespace stagg

@@ -1,0 +1,88 @@
+#include "analysis/phases.hpp"
+
+#include <sstream>
+#include <vector>
+
+namespace stagg {
+
+std::vector<double> cut_votes(const AggregationResult& result,
+                              const DataCube& cube) {
+  const Hierarchy& h = cube.hierarchy();
+  const std::int32_t n_t = cube.slice_count();
+  const std::size_t n_s = h.leaf_count();
+
+  // owner[s][t]: area index covering the cell.
+  std::vector<std::int32_t> owner(n_s * static_cast<std::size_t>(n_t), -1);
+  const auto& areas = result.partition.areas();
+  for (std::size_t k = 0; k < areas.size(); ++k) {
+    const auto& n = h.node(areas[k].node);
+    for (LeafId s = n.first_leaf; s < n.first_leaf + n.leaf_count; ++s) {
+      for (SliceId t = areas[k].time.i; t <= areas[k].time.j; ++t) {
+        owner[static_cast<std::size_t>(s) * n_t + static_cast<std::size_t>(t)] =
+            static_cast<std::int32_t>(k);
+      }
+    }
+  }
+
+  std::vector<double> votes(static_cast<std::size_t>(n_t), 0.0);
+  for (SliceId t = 1; t < n_t; ++t) {
+    std::size_t switching = 0;
+    for (std::size_t s = 0; s < n_s; ++s) {
+      if (owner[s * static_cast<std::size_t>(n_t) + t] !=
+          owner[s * static_cast<std::size_t>(n_t) + t - 1]) {
+        ++switching;
+      }
+    }
+    votes[static_cast<std::size_t>(t)] =
+        static_cast<double>(switching) / static_cast<double>(n_s);
+  }
+  return votes;
+}
+
+std::vector<DetectedPhase> detect_phases(const AggregationResult& result,
+                                         const DataCube& cube,
+                                         const PhaseDetectionOptions& options) {
+  const std::int32_t n_t = cube.slice_count();
+  const auto votes = cut_votes(result, cube);
+
+  std::vector<SliceId> boundaries = {0};
+  for (SliceId t = 1; t < n_t; ++t) {
+    if (votes[static_cast<std::size_t>(t)] >= options.quorum) {
+      boundaries.push_back(t);
+    }
+  }
+  boundaries.push_back(n_t);
+
+  const TimeGrid& grid = cube.model().grid();
+  std::vector<DetectedPhase> phases;
+  for (std::size_t k = 0; k + 1 < boundaries.size(); ++k) {
+    DetectedPhase ph;
+    ph.first_slice = boundaries[k];
+    ph.last_slice = boundaries[k + 1] - 1;
+    ph.begin_s = to_seconds(grid.slice_begin(ph.first_slice));
+    ph.end_s = to_seconds(grid.slice_end(ph.last_slice));
+    const auto mode =
+        cube.mode(cube.hierarchy().root(), ph.first_slice, ph.last_slice);
+    ph.mode = mode.state;
+    ph.mode_share = mode.proportion;
+    ph.mode_name = mode.state == kNoState
+                       ? "(idle)"
+                       : cube.model().states().name(mode.state);
+    phases.push_back(std::move(ph));
+  }
+  return phases;
+}
+
+std::string format_phases(const std::vector<DetectedPhase>& ps) {
+  std::ostringstream os;
+  for (const auto& p : ps) {
+    char line[160];
+    std::snprintf(line, sizeof line, "%7.2fs - %7.2fs  %-16s (%2.0f%%)\n",
+                  p.begin_s, p.end_s, p.mode_name.c_str(),
+                  p.mode_share * 100.0);
+    os << line;
+  }
+  return os.str();
+}
+
+}  // namespace stagg

@@ -1,0 +1,46 @@
+// Phase detection on top of an aggregation result.
+//
+// The paper reads application phases off the overview (Fig. 1: init /
+// transition / computation; Fig. 4: init / Allreduce / computation).  This
+// module extracts them programmatically: a *global temporal cut* is a slice
+// boundary where at least `quorum` of the resource rows switch areas; the
+// stretches between global cuts are phases, labeled by their mode state.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/aggregator.hpp"
+
+namespace stagg {
+
+/// One detected phase.
+struct DetectedPhase {
+  SliceId first_slice = 0;
+  SliceId last_slice = 0;
+  double begin_s = 0.0;
+  double end_s = 0.0;
+  StateId mode = kNoState;
+  std::string mode_name;
+  double mode_share = 0.0;  ///< aggregated proportion of the mode state
+};
+
+struct PhaseDetectionOptions {
+  /// Fraction of leaf rows that must cut at a boundary to call it global.
+  double quorum = 0.6;
+};
+
+/// Cut votes per slice boundary: result[t] = fraction of leaves whose area
+/// changes between slices t-1 and t (index 0 unused, always 0).
+[[nodiscard]] std::vector<double> cut_votes(const AggregationResult& result,
+                                            const DataCube& cube);
+
+/// Detects global phases.
+[[nodiscard]] std::vector<DetectedPhase> detect_phases(
+    const AggregationResult& result, const DataCube& cube,
+    const PhaseDetectionOptions& options = {});
+
+/// Formats phases as one line each ("0.0s-1.6s MPI_Init (98%)").
+[[nodiscard]] std::string format_phases(const std::vector<DetectedPhase>& ps);
+
+}  // namespace stagg

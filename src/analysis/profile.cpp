@@ -1,0 +1,158 @@
+#include "analysis/profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "trace/trace_stats.hpp"
+
+namespace stagg {
+namespace {
+
+double l2(const std::vector<double>& a, const std::vector<double>& b) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace
+
+TaskProfile cluster_task_profile(Trace& trace, const ProfileOptions& o) {
+  trace.seal();
+  const auto vectors = state_duration_vectors(trace);
+  const auto n = static_cast<std::int32_t>(vectors.size());
+  if (n == 0) throw InvalidArgument("cluster_task_profile: empty trace");
+  const std::int32_t k = std::min(o.clusters, n);
+
+  // Farthest-first seeding from a deterministic start.
+  Rng rng(o.seed);
+  std::vector<std::int32_t> medoids = {
+      static_cast<std::int32_t>(rng.uniform_int(0, n - 1))};
+  while (static_cast<std::int32_t>(medoids.size()) < k) {
+    std::int32_t farthest = 0;
+    double best = -1.0;
+    for (std::int32_t i = 0; i < n; ++i) {
+      double nearest = std::numeric_limits<double>::infinity();
+      for (std::int32_t m : medoids) {
+        nearest = std::min(nearest, l2(vectors[static_cast<std::size_t>(i)],
+                                       vectors[static_cast<std::size_t>(m)]));
+      }
+      if (nearest > best) {
+        best = nearest;
+        farthest = i;
+      }
+    }
+    medoids.push_back(farthest);
+  }
+
+  std::vector<std::int32_t> assign(static_cast<std::size_t>(n), 0);
+  const auto reassign = [&] {
+    double total = 0.0;
+    for (std::int32_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      std::int32_t arg = 0;
+      for (std::size_t c = 0; c < medoids.size(); ++c) {
+        const double d = l2(vectors[static_cast<std::size_t>(i)],
+                            vectors[static_cast<std::size_t>(medoids[c])]);
+        if (d < best) {
+          best = d;
+          arg = static_cast<std::int32_t>(c);
+        }
+      }
+      assign[static_cast<std::size_t>(i)] = arg;
+      total += best;
+    }
+    return total;
+  };
+
+  double total = reassign();
+  for (std::int32_t it = 0; it < o.max_iterations; ++it) {
+    bool changed = false;
+    // Medoid update: the member minimizing intra-cluster distance.
+    for (std::size_t c = 0; c < medoids.size(); ++c) {
+      double best_sum = std::numeric_limits<double>::infinity();
+      std::int32_t best_m = medoids[c];
+      for (std::int32_t i = 0; i < n; ++i) {
+        if (assign[static_cast<std::size_t>(i)] !=
+            static_cast<std::int32_t>(c)) {
+          continue;
+        }
+        double sum = 0.0;
+        for (std::int32_t j = 0; j < n; ++j) {
+          if (assign[static_cast<std::size_t>(j)] ==
+              static_cast<std::int32_t>(c)) {
+            sum += l2(vectors[static_cast<std::size_t>(i)],
+                      vectors[static_cast<std::size_t>(j)]);
+          }
+        }
+        if (sum < best_sum) {
+          best_sum = sum;
+          best_m = i;
+        }
+      }
+      if (best_m != medoids[c]) {
+        medoids[c] = best_m;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+    total = reassign();
+  }
+
+  TaskProfile profile;
+  profile.total_distance = total;
+  profile.clusters.resize(medoids.size());
+  for (std::size_t c = 0; c < medoids.size(); ++c) {
+    profile.clusters[c].medoid = medoids[c];
+  }
+  const std::size_t n_states = trace.states().size();
+  for (std::int32_t i = 0; i < n; ++i) {
+    profile.clusters[static_cast<std::size_t>(assign[static_cast<std::size_t>(i)])]
+        .members.push_back(i);
+  }
+  for (auto& cluster : profile.clusters) {
+    cluster.mean_durations.assign(n_states, 0.0);
+    for (ResourceId m : cluster.members) {
+      for (std::size_t x = 0; x < n_states; ++x) {
+        cluster.mean_durations[x] += vectors[static_cast<std::size_t>(m)][x];
+      }
+    }
+    if (!cluster.members.empty()) {
+      for (auto& v : cluster.mean_durations) {
+        v /= static_cast<double>(cluster.members.size());
+      }
+    }
+  }
+  // Stable presentation order: biggest cluster first.
+  std::sort(profile.clusters.begin(), profile.clusters.end(),
+            [](const ProfileCluster& a, const ProfileCluster& b) {
+              return a.members.size() > b.members.size();
+            });
+  return profile;
+}
+
+std::string format_profile(const TaskProfile& profile, const Trace& trace) {
+  std::ostringstream os;
+  for (std::size_t c = 0; c < profile.clusters.size(); ++c) {
+    const auto& cluster = profile.clusters[c];
+    os << "cluster " << c << " (" << cluster.members.size()
+       << " processes):\n";
+    for (std::size_t x = 0; x < cluster.mean_durations.size(); ++x) {
+      const double v = cluster.mean_durations[x];
+      if (v <= 0.0) continue;
+      os << "  " << trace.states().name(static_cast<StateId>(x)) << ": ";
+      const int bar = static_cast<int>(std::min(v * 10.0, 50.0));
+      for (int b = 0; b < bar; ++b) os << '#';
+      os << " " << v << "s\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace stagg

@@ -1,0 +1,45 @@
+// Vampir-style task profile (Table I row 7): clusters the most similar
+// processes by the duration of the functions they execute, losing the
+// temporal dimension in the process — the M1 failure the paper points out.
+//
+// Clustering is k-medoids (PAM-lite with deterministic farthest-first
+// seeding) over per-resource state-duration vectors, with L2 distance —
+// "a distance measure based on the duration of the functions executed by
+// each process".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace stagg {
+
+/// One cluster of similar processes.
+struct ProfileCluster {
+  std::vector<ResourceId> members;
+  ResourceId medoid = -1;
+  std::vector<double> mean_durations;  ///< per-state mean seconds
+};
+
+struct ProfileOptions {
+  std::int32_t clusters = 4;
+  std::int32_t max_iterations = 32;
+  std::uint64_t seed = 5;
+};
+
+struct TaskProfile {
+  std::vector<ProfileCluster> clusters;
+  double total_distance = 0.0;  ///< sum of member-to-medoid distances
+};
+
+/// Builds the task profile of a trace.
+[[nodiscard]] TaskProfile cluster_task_profile(Trace& trace,
+                                               const ProfileOptions& o = {});
+
+/// Formats the profile as a per-cluster bar-chart-ish text block.
+[[nodiscard]] std::string format_profile(const TaskProfile& profile,
+                                         const Trace& trace);
+
+}  // namespace stagg

@@ -1,0 +1,30 @@
+#include "analysis/report.hpp"
+
+#include <sstream>
+
+#include "metrics/quality.hpp"
+
+namespace stagg {
+
+AnalysisReport analyze(Trace& trace, const AggregationResult& result,
+                       const DataCube& cube, const ReportOptions& options) {
+  AnalysisReport report;
+  report.trace_stats = compute_stats(trace);
+  report.aggregation = result;
+  report.phases = detect_phases(result, cube, options.phases);
+  report.disruptions = detect_disruptions(result, cube, options.disruptions);
+  return report;
+}
+
+std::string format_report(const AnalysisReport& report) {
+  std::ostringstream os;
+  os << "## Trace\n" << format_stats(report.trace_stats) << '\n';
+  os << "## Aggregation (p = " << report.aggregation.p << ")\n"
+     << format_quality(report.aggregation.quality) << "\n\n";
+  os << "## Phases\n" << format_phases(report.phases) << '\n';
+  os << "## Disrupted resources (" << report.disruptions.size() << ")\n"
+     << format_disruptions(report.disruptions);
+  return os.str();
+}
+
+}  // namespace stagg

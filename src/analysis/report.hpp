@@ -1,0 +1,37 @@
+// End-to-end analysis report: ties the pipeline together the way the
+// paper's §V walks through a use case — trace statistics, chosen
+// aggregation level, quality, detected phases and disrupted resources —
+// rendered as markdown-ish text.
+#pragma once
+
+#include <string>
+
+#include "analysis/disruption.hpp"
+#include "analysis/phases.hpp"
+#include "core/aggregator.hpp"
+#include "trace/trace_stats.hpp"
+
+namespace stagg {
+
+struct AnalysisReport {
+  TraceStats trace_stats;
+  AggregationResult aggregation;
+  std::vector<DetectedPhase> phases;
+  std::vector<Disruption> disruptions;
+};
+
+struct ReportOptions {
+  PhaseDetectionOptions phases;
+  DisruptionOptions disruptions;
+};
+
+/// Runs phase + disruption analysis on an aggregation result.
+[[nodiscard]] AnalysisReport analyze(Trace& trace,
+                                     const AggregationResult& result,
+                                     const DataCube& cube,
+                                     const ReportOptions& options = {});
+
+/// Renders the report as text.
+[[nodiscard]] std::string format_report(const AnalysisReport& report);
+
+}  // namespace stagg

@@ -1,0 +1,121 @@
+#include "common/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace stagg {
+
+Cli::Cli(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+Cli& Cli::option(std::string name, std::string default_value,
+                 std::string help) {
+  order_.push_back(name);
+  opts_[std::move(name)] = Opt{std::move(default_value), std::move(help),
+                               /*is_flag=*/false, std::nullopt};
+  return *this;
+}
+
+Cli& Cli::flag(std::string name, std::string help) {
+  order_.push_back(name);
+  opts_[std::move(name)] =
+      Opt{"false", std::move(help), /*is_flag=*/true, std::nullopt};
+  return *this;
+}
+
+bool Cli::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    if (starts_with(arg, "--")) {
+      std::string name = arg.substr(2);
+      std::string value;
+      bool has_value = false;
+      if (const auto eq = name.find('='); eq != std::string::npos) {
+        value = name.substr(eq + 1);
+        name = name.substr(0, eq);
+        has_value = true;
+      }
+      auto it = opts_.find(name);
+      if (it == opts_.end()) {
+        std::fprintf(stderr, "unknown option --%s\n%s", name.c_str(),
+                     usage().c_str());
+        return false;
+      }
+      if (it->second.is_flag) {
+        it->second.value = has_value ? value : "true";
+      } else if (has_value) {
+        it->second.value = value;
+      } else if (i + 1 < argc) {
+        it->second.value = argv[++i];
+      } else {
+        std::fprintf(stderr, "option --%s expects a value\n", name.c_str());
+        return false;
+      }
+    } else {
+      positional_.push_back(arg);
+    }
+  }
+  return true;
+}
+
+std::string Cli::get(const std::string& name) const {
+  const auto it = opts_.find(name);
+  if (it == opts_.end()) {
+    throw InvalidArgument("undeclared CLI option --" + name);
+  }
+  return it->second.value.value_or(it->second.default_value);
+}
+
+std::int64_t Cli::get_int(const std::string& name) const {
+  return parse_int(get(name), "--" + name);
+}
+
+double Cli::get_double(const std::string& name) const {
+  return parse_double(get(name), "--" + name);
+}
+
+bool Cli::get_flag(const std::string& name) const {
+  const std::string v = get(name);
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+std::string Cli::usage() const {
+  std::ostringstream os;
+  os << program_ << " — " << description_ << "\n\noptions:\n";
+  for (const auto& name : order_) {
+    const auto& opt = opts_.at(name);
+    os << "  --" << name;
+    if (!opt.is_flag) os << " <value>";
+    os << "\n      " << opt.help;
+    if (!opt.is_flag) os << " (default: " << opt.default_value << ")";
+    os << "\n";
+  }
+  os << "  --help\n      show this message\n";
+  return os.str();
+}
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+}  // namespace stagg

@@ -1,0 +1,59 @@
+// Minimal command-line parser for the examples and bench binaries.
+//
+// Supports `--name value`, `--name=value` and boolean `--flag` options plus
+// positional arguments, with typed accessors and an auto-generated usage
+// string.  Environment-variable fallbacks let the bench harness be tuned
+// without arguments (the `for b in build/bench/*; do $b; done` loop).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace stagg {
+
+/// Declarative CLI option set.
+class Cli {
+ public:
+  Cli(std::string program, std::string description);
+
+  /// Declares an option with a default value (rendered in --help).
+  Cli& option(std::string name, std::string default_value, std::string help);
+  /// Declares a boolean flag (false unless present).
+  Cli& flag(std::string name, std::string help);
+
+  /// Parses argv.  Returns false (after printing usage) on --help or error.
+  [[nodiscard]] bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_flag(const std::string& name) const;
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  struct Opt {
+    std::string default_value;
+    std::string help;
+    bool is_flag = false;
+    std::optional<std::string> value;
+  };
+  std::string program_;
+  std::string description_;
+  std::vector<std::string> order_;
+  std::map<std::string, Opt> opts_;
+  std::vector<std::string> positional_;
+};
+
+/// Reads an environment variable as double with a default; used for
+/// STAGG_SCALE / STAGG_THREADS knobs in benches.
+[[nodiscard]] double env_double(const char* name, double fallback);
+[[nodiscard]] std::int64_t env_int(const char* name, std::int64_t fallback);
+
+}  // namespace stagg

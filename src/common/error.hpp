@@ -1,0 +1,58 @@
+// Error hierarchy for the stagg library.
+//
+// The library throws (never aborts) on user-facing failures: malformed trace
+// files, inconsistent model dimensions, or aggregation requests that would
+// exceed the configured memory budget.  Internal invariant violations use
+// assert and are exercised by the test suite in debug builds.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace stagg {
+
+/// Base class of all stagg exceptions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A trace file or stream could not be parsed (bad magic, truncated record,
+/// unsorted timestamps, unknown resource/state id, ...).
+class TraceFormatError : public Error {
+ public:
+  explicit TraceFormatError(const std::string& what)
+      : Error("trace format error: " + what) {}
+};
+
+/// Filesystem-level failure (open/read/write).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error("io error: " + what) {}
+};
+
+/// Model dimensions do not line up (e.g. a microscopic model built on a
+/// different hierarchy than the one given to the aggregator).
+class DimensionError : public Error {
+ public:
+  explicit DimensionError(const std::string& what)
+      : Error("dimension error: " + what) {}
+};
+
+/// An aggregation run would exceed the configured memory budget
+/// (O(|S|*|T|^2) cells); the caller should reduce |T| or raise the budget.
+class BudgetError : public Error {
+ public:
+  explicit BudgetError(const std::string& what)
+      : Error("budget error: " + what) {}
+};
+
+/// Invalid argument at an API boundary (p outside [0,1], empty hierarchy,
+/// zero slices, ...).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what)
+      : Error("invalid argument: " + what) {}
+};
+
+}  // namespace stagg

@@ -1,0 +1,65 @@
+#include "common/math.hpp"
+
+#include <numeric>
+
+namespace stagg {
+
+double shannon_entropy(std::span<const double> weights) noexcept {
+  KahanSum total;
+  for (double w : weights) {
+    if (w > 0.0) total.add(w);
+  }
+  const double z = total.value();
+  if (z <= 0.0) return 0.0;
+  KahanSum h;
+  for (double w : weights) {
+    if (w > 0.0) {
+      const double p = w / z;
+      h.add(-p * std::log2(p));
+    }
+  }
+  return h.value();
+}
+
+double kl_divergence(std::span<const double> p,
+                     std::span<const double> q) noexcept {
+  assert(p.size() == q.size());
+  KahanSum zp, zq;
+  for (double v : p) zp.add(v);
+  for (double v : q) zq.add(v);
+  if (zp.value() <= 0.0 || zq.value() <= 0.0) return 0.0;
+  KahanSum kl;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double pi = p[i] / zp.value();
+    if (pi <= 0.0) continue;
+    const double qi = q[i] / zq.value();
+    if (qi <= 0.0) return std::numeric_limits<double>::infinity();
+    kl.add(pi * std::log2(pi / qi));
+  }
+  return kl.value();
+}
+
+double loglog_slope(std::span<const double> x, std::span<const double> y) {
+  assert(x.size() == y.size());
+  const std::size_t n = x.size();
+  if (n < 2) return 0.0;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  std::size_t m = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (x[i] <= 0.0 || y[i] <= 0.0) continue;
+    const double lx = std::log(x[i]);
+    const double ly = std::log(y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    ++m;
+  }
+  if (m < 2) return 0.0;
+  const double dm = static_cast<double>(m);
+  const double denom = dm * sxx - sx * sx;
+  if (denom == 0.0) return 0.0;
+  return (dm * sxy - sx * sy) / denom;
+}
+
+}  // namespace stagg

@@ -1,0 +1,140 @@
+// Numeric kernels shared by the information-theoretic measures.
+//
+// The aggregation measures of the paper (Eq. 2-4) are sums of terms of the
+// form x*log2(x) with the usual information-theoretic convention
+// 0*log2(0) = 0.  Those sums run over |S|*|T|*|X| microscopic proportions, so
+// they are kept branch-light and inlined.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace stagg {
+
+/// x * log2(x) with the convention 0*log2(0) = 0.  Negative inputs are
+/// invalid (proportions are non-negative); they are clamped in release
+/// builds and assert in debug builds.
+[[nodiscard]] inline double xlog2x(double x) noexcept {
+  assert(x >= -1e-12 && "xlog2x: negative proportion");
+  if (x <= 0.0) return 0.0;
+  return x * std::log2(x);
+}
+
+/// log2 guarded for zero: returns 0 for x <= 0 (callers multiply by a weight
+/// that is itself 0 in that case).
+[[nodiscard]] inline double safe_log2(double x) noexcept {
+  if (x <= 0.0) return 0.0;
+  return std::log2(x);
+}
+
+/// a / b with 0/0 = 0.  Used for proportions rho = d_x / d(t).
+[[nodiscard]] inline double safe_div(double a, double b) noexcept {
+  if (b == 0.0) return 0.0;
+  return a / b;
+}
+
+/// Kahan-Babuska compensated accumulator.  The data-cube prefix sums add
+/// millions of tiny proportions; compensation keeps the loss/gain values
+/// stable enough for exact comparisons between algorithm variants.
+class KahanSum {
+ public:
+  constexpr KahanSum() noexcept = default;
+  explicit constexpr KahanSum(double init) noexcept : sum_(init) {}
+
+  constexpr void add(double v) noexcept {
+    const double t = sum_ + v;
+    if (std::abs(sum_) >= std::abs(v)) {
+      comp_ += (sum_ - t) + v;
+    } else {
+      comp_ += (v - t) + sum_;
+    }
+    sum_ = t;
+  }
+
+  [[nodiscard]] constexpr double value() const noexcept { return sum_ + comp_; }
+
+  KahanSum& operator+=(double v) noexcept {
+    add(v);
+    return *this;
+  }
+
+ private:
+  double sum_ = 0.0;
+  double comp_ = 0.0;
+};
+
+/// Sum of a span with compensation.
+[[nodiscard]] inline double compensated_sum(std::span<const double> xs) noexcept {
+  KahanSum s;
+  for (double x : xs) s.add(x);
+  return s.value();
+}
+
+/// Shannon entropy (bits) of a discrete distribution given as non-negative
+/// weights (not necessarily normalized).  Returns 0 for an empty or
+/// zero-mass input.
+[[nodiscard]] double shannon_entropy(std::span<const double> weights) noexcept;
+
+/// Kullback-Leibler divergence KL(p || q) in bits over two positive
+/// distributions given as weights; both are normalized internally.
+/// Terms where p_i == 0 contribute 0; p_i > 0 with q_i == 0 yields +inf.
+[[nodiscard]] double kl_divergence(std::span<const double> p,
+                                   std::span<const double> q) noexcept;
+
+/// Relative difference |a-b| / max(|a|,|b|,eps); used by tests comparing
+/// algorithm variants that must agree analytically.
+[[nodiscard]] inline double rel_diff(double a, double b) noexcept {
+  const double m = std::max({std::abs(a), std::abs(b), 1e-300});
+  return std::abs(a - b) / m;
+}
+
+/// True when |a-b| <= atol + rtol*max(|a|,|b|).
+[[nodiscard]] inline bool almost_equal(double a, double b, double rtol = 1e-9,
+                                       double atol = 1e-12) noexcept {
+  return std::abs(a - b) <= atol + rtol * std::max(std::abs(a), std::abs(b));
+}
+
+/// Simple running statistics (mean/variance/min/max), Welford's algorithm.
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const noexcept {
+    return n_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  [[nodiscard]] double max() const noexcept {
+    return n_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+  }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Least-squares slope of log(y) vs log(x); used by the complexity-scaling
+/// bench to estimate empirical exponents (expected ~3 in |T|, ~1 in |S|).
+[[nodiscard]] double loglog_slope(std::span<const double> x,
+                                  std::span<const double> y);
+
+}  // namespace stagg

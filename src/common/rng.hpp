@@ -1,0 +1,82 @@
+// Deterministic random number generation.
+//
+// Every synthetic workload is seeded so that traces, and therefore the whole
+// experiment pipeline, are bit-reproducible across runs.  SplitMix64 is used
+// to derive independent per-resource streams from a scenario seed, so
+// generation can be parallelized over resources without changing results.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace stagg {
+
+/// SplitMix64: tiny, high-quality 64-bit mixer.  Used to derive stream seeds.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Derives the seed of an independent sub-stream (e.g. one per resource).
+[[nodiscard]] constexpr std::uint64_t derive_seed(std::uint64_t base,
+                                                  std::uint64_t stream) noexcept {
+  SplitMix64 mix(base ^ (0xA5A5A5A5DEADBEEFULL + stream * 0x9E3779B97F4A7C15ULL));
+  // A couple of rounds decorrelates consecutive stream ids.
+  SplitMix64 mix2(mix.next());
+  return mix2.next();
+}
+
+/// Deterministic engine wrapper.  std::mt19937_64 seeded via SplitMix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(derive_seed(seed, 0)) {}
+  Rng(std::uint64_t seed, std::uint64_t stream)
+      : engine_(derive_seed(seed, stream)) {}
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Normal with the given mean and standard deviation.
+  [[nodiscard]] double normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Exponential with the given mean (= 1/lambda).
+  [[nodiscard]] double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Bernoulli trial.
+  [[nodiscard]] bool chance(double probability) {
+    return std::bernoulli_distribution(probability)(engine_);
+  }
+
+  [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace stagg

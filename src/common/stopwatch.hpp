@@ -1,0 +1,50 @@
+// Wall-clock stopwatch used by the Table II timing harness.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace stagg {
+
+/// Monotonic wall-clock stopwatch.  Started on construction.
+class Stopwatch {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Stopwatch() noexcept : start_(Clock::now()) {}
+
+  void restart() noexcept { start_ = Clock::now(); }
+
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const noexcept { return seconds() * 1e3; }
+
+  [[nodiscard]] std::int64_t nanoseconds() const noexcept {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  Clock::time_point start_;
+};
+
+/// Formats a duration in seconds as a short human string ("<1s", "2.4s",
+/// "613s") mirroring how Table II of the paper reports times.
+[[nodiscard]] inline std::string format_seconds(double s) {
+  if (s < 0.0005) return "<1ms";
+  char buf[64];
+  if (s < 1.0) {
+    std::snprintf(buf, sizeof buf, "%.0fms", s * 1e3);
+  } else if (s < 10.0) {
+    std::snprintf(buf, sizeof buf, "%.2fs", s);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0fs", s);
+  }
+  return buf;
+}
+
+}  // namespace stagg

@@ -1,0 +1,95 @@
+#include "common/string_util.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace stagg {
+
+std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.push_back(s.substr(begin, i - begin));
+      begin = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  const auto is_space = [](char c) {
+    return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+  };
+  while (!s.empty() && is_space(s.front())) s.remove_prefix(1);
+  while (!s.empty() && is_space(s.back())) s.remove_suffix(1);
+  return s;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string with_thousands(long long v) {
+  const bool neg = v < 0;
+  unsigned long long u = neg ? -static_cast<unsigned long long>(v) : v;
+  std::string digits = std::to_string(u);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3 + 1);
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count && count % 3 == 0) out += ',';
+    out += *it;
+    ++count;
+  }
+  if (neg) out += '-';
+  return {out.rbegin(), out.rend()};
+}
+
+std::string format_bytes(unsigned long long bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  double v = static_cast<double>(bytes);
+  int u = 0;
+  while (v >= 1000.0 && u < 4) {
+    v /= 1000.0;
+    ++u;
+  }
+  char buf[64];
+  if (u == 0) {
+    std::snprintf(buf, sizeof buf, "%llu B", bytes);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f %s", v, units[u]);
+  }
+  return buf;
+}
+
+double parse_double(std::string_view s, std::string_view context) {
+  s = trim(s);
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    throw TraceFormatError("cannot parse number '" + std::string(s) + "' in " +
+                           std::string(context));
+  }
+  return value;
+}
+
+long long parse_int(std::string_view s, std::string_view context) {
+  s = trim(s);
+  long long value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    throw TraceFormatError("cannot parse integer '" + std::string(s) +
+                           "' in " + std::string(context));
+  }
+  return value;
+}
+
+}  // namespace stagg

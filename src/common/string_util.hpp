@@ -1,0 +1,38 @@
+// Small string helpers used by the CSV trace reader and report writers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stagg {
+
+/// Splits `s` on `sep` (no escaping).  Empty fields are preserved.
+[[nodiscard]] std::vector<std::string_view> split(std::string_view s, char sep);
+
+/// Strips ASCII whitespace from both ends.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+[[nodiscard]] inline bool starts_with(std::string_view s, std::string_view p) {
+  return s.substr(0, p.size()) == p;
+}
+
+/// Joins strings with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// Formats a count with thousands separators: 3838144 -> "3,838,144"
+/// (Table II prints event counts this way).
+[[nodiscard]] std::string with_thousands(long long v);
+
+/// Formats a byte count as "136.9 MB" / "1.8 GB" style.
+[[nodiscard]] std::string format_bytes(unsigned long long bytes);
+
+/// Parses a double, throwing stagg::TraceFormatError with context on failure.
+[[nodiscard]] double parse_double(std::string_view s, std::string_view context);
+
+/// Parses a signed 64-bit integer, throwing TraceFormatError on failure.
+[[nodiscard]] long long parse_int(std::string_view s, std::string_view context);
+
+}  // namespace stagg

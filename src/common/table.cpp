@@ -1,0 +1,57 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace stagg {
+
+TextTable::TextTable(std::vector<std::string> header) {
+  if (!header.empty()) {
+    rows_.push_back({std::move(header), false});
+    rows_.push_back({{}, true});
+    has_header_ = true;
+  }
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back({std::move(cells), false});
+}
+
+void TextTable::add_rule() { rows_.push_back({{}, true}); }
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> widths;
+  for (const auto& row : rows_) {
+    if (row.rule) continue;
+    if (row.cells.size() > widths.size()) widths.resize(row.cells.size(), 0);
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  total = total > 2 ? total - 2 : total;
+
+  std::ostringstream os;
+  for (const auto& row : rows_) {
+    if (row.rule) {
+      os << std::string(total, '-') << '\n';
+      continue;
+    }
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      os << row.cells[c];
+      if (c + 1 < row.cells.size()) {
+        os << std::string(widths[c] - row.cells[c].size() + 2, ' ');
+      }
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& t) {
+  return os << t.str();
+}
+
+}  // namespace stagg

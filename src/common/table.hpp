@@ -1,0 +1,39 @@
+// ASCII table printer for the bench harness.
+//
+// Every Table/Figure bench prints the paper's rows next to the measured
+// rows; this helper keeps alignment consistent.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace stagg {
+
+/// Column-aligned ASCII table.  Cells are strings; the first added row can be
+/// declared a header, which gets an underline rule.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header = {});
+
+  /// Appends a data row.  Rows may have fewer cells than the widest row.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a horizontal rule.
+  void add_rule();
+
+  /// Renders with two-space column padding.
+  [[nodiscard]] std::string str() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule = false;
+  };
+  std::vector<Row> rows_;
+  bool has_header_ = false;
+};
+
+}  // namespace stagg

@@ -1,0 +1,77 @@
+// Fixed-size thread pool with task futures and a blocked-range parallel_for.
+//
+// The pool backs two hot paths: building the microscopic model (parallel
+// over resources) and the spatiotemporal DP (parallel over independent
+// sibling subtrees).  It is deliberately simple — a single mutex-protected
+// deque — because task granularity in those paths is coarse (thousands of
+// slice-clippings or one O(|T|^3) node DP per task).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace stagg {
+
+/// Fixed-size worker pool.  Tasks are std::function<void()>; submit() returns
+/// a future.  Destruction waits for queued tasks to finish.
+class ThreadPool {
+ public:
+  /// Creates a pool with `threads` workers.  `threads == 0` selects
+  /// std::thread::hardware_concurrency() (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Submits a nullary callable; returns a future for its result.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      queue_.emplace_back([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Process-wide shared pool (lazily constructed, hardware concurrency).
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Splits [0, n) into contiguous blocks and runs `body(begin, end)` on the
+/// pool, blocking until all blocks complete.  With grain g, at most
+/// ceil(n/g) tasks are spawned.  Exceptions from the body are propagated
+/// (the first one observed).
+void parallel_for_blocked(ThreadPool& pool, std::size_t n, std::size_t grain,
+                          const std::function<void(std::size_t, std::size_t)>& body);
+
+/// Convenience: element-wise parallel for on the shared pool.
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain = 64);
+
+}  // namespace stagg

@@ -1,0 +1,242 @@
+#include "core/aggregator.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+
+namespace stagg {
+
+SpatiotemporalAggregator::SpatiotemporalAggregator(
+    const MicroscopicModel& model, AggregationOptions options)
+    : model_(&model),
+      options_(options),
+      cube_(model),
+      tri_(model.slice_count()) {
+  const Hierarchy& h = model.hierarchy();
+  levels_.resize(static_cast<std::size_t>(h.max_depth()) + 1);
+  for (NodeId id = 0; id < static_cast<NodeId>(h.node_count()); ++id) {
+    levels_[static_cast<std::size_t>(h.node(id).depth)].push_back(id);
+  }
+  pic_.resize(h.node_count());
+  cut_.resize(h.node_count());
+  cnt_.resize(h.node_count());
+}
+
+std::size_t SpatiotemporalAggregator::estimate_bytes(std::size_t node_count,
+                                                     std::int32_t slices) {
+  const TriangularIndex tri(slices);
+  // pIC (double) + cut (int32) + count tie-breaker (int32) per cell.
+  return node_count * tri.size() *
+         (sizeof(double) + 2 * sizeof(std::int32_t));
+}
+
+void SpatiotemporalAggregator::compute_node(NodeId node, double p,
+                                            double gain_scale,
+                                            double loss_scale) {
+  const Hierarchy& h = model_->hierarchy();
+  const auto& children = h.node(node).children;
+  const SliceId n_t = tri_.slices();
+
+  auto& pic_cells = pic_[static_cast<std::size_t>(node)];
+  auto& cut_cells = cut_[static_cast<std::size_t>(node)];
+  auto& cnt_cells = cnt_[static_cast<std::size_t>(node)];
+  pic_cells.resize(tri_.size());
+  cut_cells.resize(tri_.size());
+  cnt_cells.resize(tri_.size());
+
+  // Cache children cell arrays (computed at the deeper level already).
+  std::vector<const double*> child_pic;
+  std::vector<const std::int32_t*> child_cnt;
+  child_pic.reserve(children.size());
+  child_cnt.reserve(children.size());
+  for (NodeId c : children) {
+    child_pic.push_back(pic_[static_cast<std::size_t>(c)].data());
+    child_cnt.push_back(cnt_[static_cast<std::size_t>(c)].data());
+  }
+
+  for (SliceId i = n_t - 1; i >= 0; --i) {
+    const std::size_t row = tri_.row_offset(i);
+    for (SliceId j = i; j < n_t; ++j) {
+      const std::size_t cell = row + static_cast<std::size_t>(j - i);
+
+      // "No cut": the area itself is one aggregate (Eq. 4).
+      const AreaMeasures m = cube_.measures(node, i, j);
+      double best = p * m.gain * gain_scale - (1.0 - p) * m.loss * loss_scale;
+      std::int32_t best_cut = j;
+      std::int32_t best_count = 1;
+
+      // Ties (within accumulated rounding noise) are broken toward the
+      // *smallest area count*, so among equally-optimal partitions the
+      // coarsest representation is returned — a homogeneous phase stays one
+      // aggregate instead of fragmenting into equal-pIC slices.
+      const auto challenge = [&](double v, std::int32_t count,
+                                 std::int32_t cut) {
+        const double eps =
+            1e-12 + 1e-12 * std::max(std::abs(best), std::abs(v));
+        if (v > best + eps || (v >= best - eps && count < best_count)) {
+          best = std::max(best, v);
+          best_cut = cut;
+          best_count = count;
+        }
+      };
+
+      // Spatial cut: partition into the children over the same interval.
+      if (!child_pic.empty()) {
+        double sum = 0.0;
+        std::int32_t count = 0;
+        for (std::size_t k = 0; k < child_pic.size(); ++k) {
+          sum += child_pic[k][cell];
+          count += child_cnt[k][cell];
+        }
+        challenge(sum, count, -1);
+      }
+
+      // Temporal cuts: split [i,j] into [i,c] + [c+1,j]; both sub-cells are
+      // already optimal (j ascending covers [i,c], i descending [c+1,j]).
+      const double* my = pic_cells.data();
+      const std::int32_t* my_cnt = cnt_cells.data();
+      for (SliceId c = i; c < j; ++c) {
+        const std::size_t left = row + static_cast<std::size_t>(c - i);
+        const std::size_t right = tri_(c + 1, j);
+        challenge(my[left] + my[right], my_cnt[left] + my_cnt[right], c);
+      }
+
+      pic_cells[cell] = best;
+      cut_cells[cell] = best_cut;
+      cnt_cells[cell] = best_count;
+    }
+  }
+}
+
+void SpatiotemporalAggregator::extract_partition(Partition& out) const {
+  const Hierarchy& h = model_->hierarchy();
+  struct Item {
+    NodeId node;
+    SliceId i, j;
+  };
+  std::vector<Item> stack;
+  stack.push_back({h.root(), 0, tri_.slices() - 1});
+  while (!stack.empty()) {
+    const Item it = stack.back();
+    stack.pop_back();
+    const std::int32_t cut =
+        cut_[static_cast<std::size_t>(it.node)][tri_(it.i, it.j)];
+    if (cut == it.j) {
+      out.add(it.node, it.i, it.j);
+    } else if (cut == -1) {
+      for (NodeId c : h.node(it.node).children) {
+        stack.push_back({c, it.i, it.j});
+      }
+    } else {
+      stack.push_back({it.node, it.i, static_cast<SliceId>(cut)});
+      stack.push_back({it.node, static_cast<SliceId>(cut + 1), it.j});
+    }
+  }
+}
+
+AggregationResult SpatiotemporalAggregator::run(double p) {
+  if (p < 0.0 || p > 1.0) {
+    throw InvalidArgument("aggregation parameter p must be in [0,1], got " +
+                          std::to_string(p));
+  }
+  const Hierarchy& h = model_->hierarchy();
+  const std::size_t need = estimate_bytes(h.node_count(), tri_.slices());
+  if (need > options_.memory_budget_bytes) {
+    throw BudgetError("DP working set needs " + std::to_string(need) +
+                      " bytes > budget " +
+                      std::to_string(options_.memory_budget_bytes) +
+                      "; reduce |T| or raise the budget");
+  }
+
+  double gain_scale = 1.0;
+  double loss_scale = 1.0;
+  if (options_.normalize) {
+    const AreaMeasures root = cube_.root_measures();
+    if (root.gain > 0.0) gain_scale = 1.0 / root.gain;
+    if (root.loss > 0.0) loss_scale = 1.0 / root.loss;
+  }
+
+  // Level-synchronous bottom-up sweep: all nodes of one depth are mutually
+  // independent, and their children (depth+1) are complete.
+  for (auto level = levels_.rbegin(); level != levels_.rend(); ++level) {
+    const auto& nodes = *level;
+    if (options_.parallel && nodes.size() > 1) {
+      parallel_for(
+          nodes.size(),
+          [&](std::size_t k) { compute_node(nodes[k], p, gain_scale,
+                                            loss_scale); },
+          /*grain=*/1);
+    } else {
+      for (NodeId n : nodes) compute_node(n, p, gain_scale, loss_scale);
+    }
+    // Grandchildren pIC matrices are no longer read; release them to keep
+    // the peak working set near two adjacent levels.
+    const std::size_t depth =
+        static_cast<std::size_t>(levels_.rend() - level - 1);
+    if (depth + 2 <= levels_.size() - 1) {
+      for (NodeId n : levels_[depth + 2]) {
+        pic_[static_cast<std::size_t>(n)] = {};
+        cnt_[static_cast<std::size_t>(n)] = {};
+      }
+    }
+  }
+
+  AggregationResult result;
+  result.p = p;
+  result.optimal_pic = pic_[static_cast<std::size_t>(h.root())]
+                           [tri_(0, tri_.slices() - 1)];
+  extract_partition(result.partition);
+  result.partition.canonicalize(h);
+
+  for (const auto& a : result.partition.areas()) {
+    result.measures += cube_.measures(a.node, a.time.i, a.time.j);
+  }
+  const AreaMeasures root = cube_.root_measures();
+  result.quality.area_count = result.partition.size();
+  result.quality.microscopic_count =
+      h.leaf_count() * static_cast<std::size_t>(tri_.slices());
+  result.quality.gain = result.measures.gain;
+  result.quality.loss = result.measures.loss;
+  result.quality.max_gain = root.gain;
+  result.quality.max_loss = root.loss;
+
+  // Release the remaining DP buffers; the cube stays for further runs.
+  for (auto& v : pic_) v = {};
+  for (auto& v : cnt_) v = {};
+  return result;
+}
+
+AggregationResult SpatiotemporalAggregator::evaluate(
+    const Partition& partition, double p) const {
+  const Hierarchy& h = model_->hierarchy();
+  AggregationResult result;
+  result.p = p;
+  result.partition = partition;
+  result.partition.canonicalize(h);
+
+  double gain_scale = 1.0;
+  double loss_scale = 1.0;
+  const AreaMeasures root = cube_.root_measures();
+  if (options_.normalize) {
+    if (root.gain > 0.0) gain_scale = 1.0 / root.gain;
+    if (root.loss > 0.0) loss_scale = 1.0 / root.loss;
+  }
+
+  for (const auto& a : partition.areas()) {
+    result.measures += cube_.measures(a.node, a.time.i, a.time.j);
+  }
+  result.optimal_pic = p * result.measures.gain * gain_scale -
+                       (1.0 - p) * result.measures.loss * loss_scale;
+  result.quality.area_count = partition.size();
+  result.quality.microscopic_count =
+      h.leaf_count() * static_cast<std::size_t>(tri_.slices());
+  result.quality.gain = result.measures.gain;
+  result.quality.loss = result.measures.loss;
+  result.quality.max_gain = root.gain;
+  result.quality.max_loss = root.loss;
+  return result;
+}
+
+}  // namespace stagg

@@ -1,0 +1,98 @@
+// The spatiotemporal aggregation algorithm (paper §III-E, Algorithm 1).
+//
+// Exact dynamic program over the tree of packed upper-triangular matrices:
+// for every hierarchy node S_k and slice interval T_(i,j) it computes
+//   pIC[i,j]  — the criterion of an *optimal* partition of (S_k, T_(i,j))
+//   cut[i,j]  — the first step of a cut sequence realizing it:
+//                 cut == j        the area itself is an aggregate ("no cut")
+//                 cut == -1       spatial cut into the children of S_k
+//                 cut in [i, j)   temporal cut between slices cut and cut+1
+// Children are processed before parents (post-order); sibling subtrees are
+// independent and processed in parallel, level by level.  Complexity:
+// O(|S|·|T|^3) time, O(|S|·|T|^2) space, as derived in the paper.
+//
+// Tie-breaking: when an aggregate and a cut have equal pIC, the aggregate
+// wins (strict '>' in Algorithm 1), so the coarsest optimal partition is
+// returned — e.g. at p = 0 a fully homogeneous trace collapses to one area
+// even though the microscopic partition is equally optimal.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/cube.hpp"
+#include "core/partition.hpp"
+#include "metrics/quality.hpp"
+
+namespace stagg {
+
+/// Knobs of the spatiotemporal aggregation.
+struct AggregationOptions {
+  /// Upper bound on the DP working set (pIC + cut triangular matrices).
+  std::size_t memory_budget_bytes = std::size_t{6} << 30;
+  /// Process sibling subtrees on the shared thread pool.
+  bool parallel = true;
+  /// Normalize gain and loss by their full-aggregation (root area) values
+  /// before the trade-off, making p scales comparable across traces — the
+  /// behaviour of the Ocelotl tool.  Off reproduces Eq. 4 verbatim.
+  bool normalize = false;
+};
+
+/// Output of one aggregation run.
+struct AggregationResult {
+  double p = 0.0;
+  Partition partition;
+  /// pIC of the optimal partition (root cell of the DP), in the same
+  /// normalization as the run.
+  double optimal_pic = 0.0;
+  /// Raw (unnormalized) gain/loss summed over the chosen areas.
+  AreaMeasures measures;
+  PartitionQuality quality;
+};
+
+/// Reusable aggregator: builds the DataCube once; run(p) executes the DP.
+class SpatiotemporalAggregator {
+ public:
+  explicit SpatiotemporalAggregator(const MicroscopicModel& model,
+                                    AggregationOptions options = {});
+
+  /// Runs Algorithm 1 for a given trade-off parameter p in [0, 1].
+  /// Throws InvalidArgument on out-of-range p, BudgetError when the DP
+  /// working set would exceed the memory budget.
+  [[nodiscard]] AggregationResult run(double p);
+
+  [[nodiscard]] const DataCube& cube() const noexcept { return cube_; }
+  [[nodiscard]] const MicroscopicModel& model() const noexcept {
+    return cube_.model();
+  }
+
+  /// Bytes the DP working set will allocate (pIC doubles + cut int32s for
+  /// every node) — the paper's O(|S|·|T|^2) term.
+  [[nodiscard]] static std::size_t estimate_bytes(std::size_t node_count,
+                                                  std::int32_t slices);
+
+  /// Evaluates an arbitrary partition against this model: raw gain/loss
+  /// sums and normalized quality.  Used to score baseline partitions
+  /// (uniform, Cartesian) with identical measures.
+  [[nodiscard]] AggregationResult evaluate(const Partition& partition,
+                                           double p) const;
+
+ private:
+  void compute_node(NodeId node, double p, double gain_scale,
+                    double loss_scale);
+  void extract_partition(Partition& out) const;
+
+  const MicroscopicModel* model_;
+  AggregationOptions options_;
+  DataCube cube_;
+  TriangularIndex tri_;
+  std::vector<std::vector<NodeId>> levels_;  ///< nodes grouped by depth
+  std::vector<std::vector<double>> pic_;     ///< per-node packed pIC
+  std::vector<std::vector<std::int32_t>> cut_;  ///< per-node packed cuts
+  /// Area count of the optimal sub-partition per cell; used only as the
+  /// tie-breaker that keeps equal-pIC partitions maximally coarse.
+  std::vector<std::vector<std::int32_t>> cnt_;
+};
+
+}  // namespace stagg

@@ -1,0 +1,76 @@
+#include "core/baselines.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace stagg {
+
+Partition make_uniform_partition(const Hierarchy& hierarchy,
+                                 std::int32_t slices, std::int32_t depth,
+                                 std::int32_t k_intervals) {
+  if (k_intervals < 1 || k_intervals > slices) {
+    throw InvalidArgument("make_uniform_partition: need 1 <= k <= |T|");
+  }
+  if (depth < 0) {
+    throw InvalidArgument("make_uniform_partition: depth >= 0");
+  }
+
+  // Spatial parts: an antichain at `depth` — every node whose depth equals
+  // `depth`, plus leaves that sit above it.
+  std::vector<NodeId> parts;
+  std::vector<NodeId> stack = {hierarchy.root()};
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    const auto& n = hierarchy.node(id);
+    if (n.depth == depth || n.children.empty()) {
+      parts.push_back(id);
+    } else {
+      for (NodeId c : n.children) stack.push_back(c);
+    }
+  }
+
+  Partition out;
+  for (std::int32_t b = 0; b < k_intervals; ++b) {
+    const SliceId i = static_cast<SliceId>(
+        static_cast<std::int64_t>(slices) * b / k_intervals);
+    const SliceId j = static_cast<SliceId>(
+        static_cast<std::int64_t>(slices) * (b + 1) / k_intervals - 1);
+    if (j < i) continue;  // k > slices is rejected above, but stay safe
+    for (NodeId part : parts) out.add(part, i, j);
+  }
+  out.canonicalize(hierarchy);
+  return out;
+}
+
+Partition make_microscopic_partition(const Hierarchy& hierarchy,
+                                     std::int32_t slices) {
+  Partition out;
+  for (NodeId leaf : hierarchy.leaves()) {
+    for (SliceId t = 0; t < slices; ++t) out.add(leaf, t, t);
+  }
+  return out;
+}
+
+Partition make_full_partition(const Hierarchy& hierarchy,
+                              std::int32_t slices) {
+  Partition out;
+  out.add(hierarchy.root(), 0, slices - 1);
+  return out;
+}
+
+CartesianResult cartesian_aggregation(const DataCube& cube, double p) {
+  CartesianResult result;
+  result.spatial = HierarchyAggregator::temporally_aggregated(cube).run(p);
+  result.temporal = SequenceAggregator::spatially_aggregated(cube).run(p);
+  for (const NodeId node : result.spatial.parts) {
+    for (const TimeInterval& iv : result.temporal.intervals) {
+      result.partition.add(node, iv.i, iv.j);
+    }
+  }
+  result.partition.canonicalize(cube.hierarchy());
+  return result;
+}
+
+}  // namespace stagg

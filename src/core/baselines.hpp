@@ -1,0 +1,47 @@
+// Baseline partitions the paper compares against (§III-B, §III-D):
+//   - uniform grid (Fig. 3.b): a fixed hierarchy depth x k equal intervals;
+//   - Cartesian product (Fig. 3.c): the product of the independent optimal
+//     spatial partition (of S x {T}) and temporal partition (of {S} x T).
+// Both live in H(S) x I(T), so the spatiotemporal optimum always dominates
+// them on pIC — the property the paper's §III-D argues and our benches
+// quantify.
+#pragma once
+
+#include <cstdint>
+
+#include "core/cube.hpp"
+#include "core/partition.hpp"
+#include "core/spatial.hpp"
+#include "core/temporal.hpp"
+
+namespace stagg {
+
+/// Uniform aggregation (Fig. 3.b): every hierarchy node at `depth` (leaves
+/// shallower than `depth` stay themselves) crossed with ceil(|T|/k)-sized
+/// intervals.  Throws InvalidArgument when k < 1 or depth < 0.
+[[nodiscard]] Partition make_uniform_partition(const Hierarchy& hierarchy,
+                                               std::int32_t slices,
+                                               std::int32_t depth,
+                                               std::int32_t k_intervals);
+
+/// Fully microscopic partition: every (leaf, slice) cell.
+[[nodiscard]] Partition make_microscopic_partition(const Hierarchy& hierarchy,
+                                                   std::int32_t slices);
+
+/// One-area partition: the root over the whole window.
+[[nodiscard]] Partition make_full_partition(const Hierarchy& hierarchy,
+                                            std::int32_t slices);
+
+/// Result of the spatial x temporal combination.
+struct CartesianResult {
+  Partition partition;
+  HierarchyAggregator::Result spatial;
+  SequenceAggregator::Result temporal;
+};
+
+/// Fig. 3.c baseline: run both unidimensional algorithms at the same p and
+/// take the product partition P(S) x P(T).
+[[nodiscard]] CartesianResult cartesian_aggregation(const DataCube& cube,
+                                                    double p);
+
+}  // namespace stagg

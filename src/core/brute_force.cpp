@@ -1,0 +1,172 @@
+#include "core/brute_force.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace stagg {
+namespace {
+
+/// Memoized list of sub-partitions of one area (node, [i, j]).  A
+/// sub-partition is a vector of areas.  The expansion mirrors the cut
+/// grammar: no cut | spatial cut | temporal cut at each c.
+class Enumerator {
+ public:
+  Enumerator(const Hierarchy& h, std::int32_t slices, std::size_t limit)
+      : h_(h), n_t_(slices), limit_(limit) {}
+
+  std::vector<std::vector<Area>> expand(NodeId node, SliceId i, SliceId j) {
+    const auto key = std::make_tuple(node, i, j);
+    if (const auto it = memo_.find(key); it != memo_.end()) return it->second;
+
+    std::vector<std::vector<Area>> results;
+    std::unordered_set<std::uint64_t> seen;
+    const auto push = [&](std::vector<Area> areas) {
+      Partition p(areas);
+      const std::uint64_t sig = p.signature();
+      if (seen.insert(sig).second) {
+        results.push_back(std::move(areas));
+        if (results.size() > limit_) {
+          throw BudgetError("brute-force enumeration exceeds limit");
+        }
+      }
+    };
+
+    // No cut.
+    push({Area{node, {i, j}}});
+
+    // Spatial cut: Cartesian product of children expansions on [i, j].
+    const auto& children = h_.node(node).children;
+    if (!children.empty()) {
+      std::vector<std::vector<Area>> acc = {{}};
+      for (NodeId c : children) {
+        const auto subs = expand(c, i, j);
+        std::vector<std::vector<Area>> next;
+        next.reserve(acc.size() * subs.size());
+        for (const auto& prefix : acc) {
+          for (const auto& sub : subs) {
+            auto merged = prefix;
+            merged.insert(merged.end(), sub.begin(), sub.end());
+            next.push_back(std::move(merged));
+          }
+        }
+        acc = std::move(next);
+        if (acc.size() > limit_) {
+          throw BudgetError("brute-force enumeration exceeds limit");
+        }
+      }
+      for (auto& areas : acc) push(std::move(areas));
+    }
+
+    // Temporal cuts.  To avoid re-deriving the same partition through
+    // different cut orders, only split off the *first* interval [i, c] as an
+    // undivided-in-time block (its own expansion restricted to no-time-cut
+    // is handled by recursion on [i,c] with further temporal cuts forbidden
+    // at top level): enumerate c, expand [i,c] fully and [c+1,j] fully, then
+    // dedupe by signature (the `seen` set makes double-counting harmless).
+    for (SliceId c = i; c < j; ++c) {
+      const auto left = expand(node, i, c);
+      const auto right = expand(node, c + 1, j);
+      for (const auto& l : left) {
+        for (const auto& r : right) {
+          auto merged = l;
+          merged.insert(merged.end(), r.begin(), r.end());
+          push(std::move(merged));
+        }
+      }
+    }
+
+    memo_[key] = results;
+    return results;
+  }
+
+ private:
+  const Hierarchy& h_;
+  std::int32_t n_t_;
+  std::size_t limit_;
+  std::map<std::tuple<NodeId, SliceId, SliceId>,
+           std::vector<std::vector<Area>>>
+      memo_;
+};
+
+}  // namespace
+
+std::vector<Partition> enumerate_partitions(const Hierarchy& hierarchy,
+                                            std::int32_t slices,
+                                            std::size_t limit) {
+  Enumerator e(hierarchy, slices, limit);
+  const auto raw = e.expand(hierarchy.root(), 0, slices - 1);
+  std::vector<Partition> out;
+  out.reserve(raw.size());
+  for (const auto& areas : raw) {
+    Partition p(areas);
+    p.canonicalize(hierarchy);
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+AreaMeasures naive_area_measures(const MicroscopicModel& model,
+                                 const Area& area) {
+  const Hierarchy& h = model.hierarchy();
+  const auto& n = h.node(area.node);
+
+  AreaMeasures m;
+  for (StateId x = 0; x < model.state_count(); ++x) {
+    // Eq. 1: rho_agg = (1/|Sk|) * sum_s (sum_t d / sum_t d(t)).
+    double sum_d = 0.0;
+    double interval_dur = 0.0;
+    for (SliceId t = area.time.i; t <= area.time.j; ++t) {
+      interval_dur += model.grid().slice_duration_s(t);
+    }
+    double sum_rho = 0.0, sum_rholog = 0.0;
+    for (LeafId s = n.first_leaf; s < n.first_leaf + n.leaf_count; ++s) {
+      for (SliceId t = area.time.i; t <= area.time.j; ++t) {
+        const double d = model.duration(s, t, x);
+        sum_d += d;
+        const double rho = d / model.grid().slice_duration_s(t);
+        sum_rho += rho;
+        sum_rholog += xlog2x(rho);
+      }
+    }
+    const double rho_agg =
+        sum_d / (static_cast<double>(n.leaf_count) * interval_dur);
+    // Eq. 3 then Eq. 2.
+    m.gain += xlog2x(rho_agg) - sum_rholog;
+    if (rho_agg > 0.0) {
+      m.loss += sum_rholog - sum_rho * safe_log2(rho_agg);
+    }
+  }
+  return m;
+}
+
+double naive_partition_pic(const MicroscopicModel& model,
+                           const Partition& partition, double p) {
+  double total = 0.0;
+  for (const auto& a : partition.areas()) {
+    const AreaMeasures m = naive_area_measures(model, a);
+    total += pic(p, m.gain, m.loss);
+  }
+  return total;
+}
+
+BruteForceResult brute_force_optimum(const MicroscopicModel& model, double p,
+                                     std::size_t limit) {
+  const auto all =
+      enumerate_partitions(model.hierarchy(), model.slice_count(), limit);
+  BruteForceResult best;
+  best.partitions_examined = all.size();
+  best.optimal_pic = -std::numeric_limits<double>::infinity();
+  for (const auto& partition : all) {
+    const double v = naive_partition_pic(model, partition, p);
+    if (v > best.optimal_pic) {
+      best.optimal_pic = v;
+      best.partition = partition;
+    }
+  }
+  return best;
+}
+
+}  // namespace stagg

@@ -1,0 +1,43 @@
+// Exhaustive test oracle for Algorithm 1 (tests only; exponential).
+//
+// Enumerates every hierarchy-and-order-consistent partition of S x T by
+// expanding all cut sequences, deduplicates them, and evaluates each one
+// directly from the microscopic model with the plain Eq. 1/2/3 sums — no
+// cube, no prefix sums, no DP — so it is an independent implementation of
+// the measures as well as of the optimization.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/partition.hpp"
+#include "metrics/information.hpp"
+#include "model/microscopic_model.hpp"
+
+namespace stagg {
+
+/// All distinct hierarchy-and-order-consistent partitions of the |S| x |T|
+/// grid.  Throws BudgetError when the count would exceed `limit`.
+[[nodiscard]] std::vector<Partition> enumerate_partitions(
+    const Hierarchy& hierarchy, std::int32_t slices,
+    std::size_t limit = 2'000'000);
+
+/// Gain/loss of one area computed directly from the microscopic tensor
+/// (naive double loop over (s, t) cells, Eq. 1-3).
+[[nodiscard]] AreaMeasures naive_area_measures(const MicroscopicModel& model,
+                                               const Area& area);
+
+/// pIC of a whole partition via naive_area_measures.
+[[nodiscard]] double naive_partition_pic(const MicroscopicModel& model,
+                                         const Partition& partition, double p);
+
+/// Exhaustive optimum: the best partition and its pIC.
+struct BruteForceResult {
+  Partition partition;
+  double optimal_pic = 0.0;
+  std::size_t partitions_examined = 0;
+};
+[[nodiscard]] BruteForceResult brute_force_optimum(
+    const MicroscopicModel& model, double p, std::size_t limit = 2'000'000);
+
+}  // namespace stagg

@@ -1,0 +1,45 @@
+// Search-space combinatorics (paper §III-E, "Algebraic Structure of the
+// Partition Sets"): the number of hierarchy-consistent and order-consistent
+// partitions grows exponentially — |I(T)| = 2^(|T|-1) and |H(S)| = Θ(c^|S|)
+// with c ~ 1.229 for complete binary trees — which is why the brute-force
+// search is intractable and the O(|S||T|^3) DP matters.
+//
+// Counts are returned both exactly (saturating at the uint64 limit) and as
+// log2, so the Table-style bench can print the astronomical full-scale
+// numbers next to the DP's polynomial cell counts.
+#pragma once
+
+#include <cstdint>
+
+#include "hierarchy/hierarchy.hpp"
+
+namespace stagg {
+
+/// An exact-until-saturated count with its log2.
+struct PartitionCount {
+  std::uint64_t exact = 0;   ///< saturates at uint64 max
+  bool saturated = false;
+  double log2_value = 0.0;
+
+  [[nodiscard]] static PartitionCount one() { return {1, false, 0.0}; }
+};
+
+/// Number of order-consistent partitions of |T| slices: 2^(|T|-1).
+[[nodiscard]] PartitionCount count_interval_partitions(std::int32_t slices);
+
+/// Number of hierarchy-consistent partitions of the resource set:
+/// f(leaf) = 1, f(node) = 1 + prod over children of f(child).
+[[nodiscard]] PartitionCount count_hierarchy_partitions(
+    const Hierarchy& hierarchy);
+
+/// Number of DP cells Algorithm 1 evaluates: node_count * |T|(|T|+1)/2 —
+/// the polynomial the exponential search space collapses to.
+[[nodiscard]] std::uint64_t count_dp_cells(const Hierarchy& hierarchy,
+                                           std::int32_t slices);
+
+/// Base of the hierarchy-count growth for a complete binary tree with
+/// `levels` levels, measured per tree *node*: tends to ~1.2259 — the
+/// paper's "c ~ 1.229 worst case scenario (complete binary tree)".
+[[nodiscard]] double binary_tree_growth_base(std::int32_t levels);
+
+}  // namespace stagg

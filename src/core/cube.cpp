@@ -1,0 +1,118 @@
+#include "core/cube.hpp"
+
+#include "common/thread_pool.hpp"
+
+namespace stagg {
+
+DataCube::DataCube(const MicroscopicModel& model)
+    : model_(&model),
+      n_t_(model.slice_count()),
+      n_x_(model.state_count()) {
+  const Hierarchy& h = model.hierarchy();
+  const std::size_t node_stride =
+      static_cast<std::size_t>(n_x_) * (static_cast<std::size_t>(n_t_) + 1) * 3;
+  data_.assign(h.node_count() * node_stride, 0.0);
+
+  dur_prefix_.assign(static_cast<std::size_t>(n_t_) + 1, 0.0);
+  for (SliceId t = 0; t < n_t_; ++t) {
+    dur_prefix_[static_cast<std::size_t>(t) + 1] =
+        dur_prefix_[static_cast<std::size_t>(t)] +
+        model.grid().slice_duration_s(t);
+  }
+
+  // Leaves first (parallel: disjoint output stripes).  Values at slot t+1
+  // hold the *per-slice* triplet; prefix accumulation follows.
+  const auto& leaves = h.leaves();
+  parallel_for(
+      leaves.size(),
+      [&](std::size_t li) {
+        const LeafId s = static_cast<LeafId>(li);
+        const NodeId node = leaves[li];
+        for (StateId x = 0; x < n_x_; ++x) {
+          double* base = node_base_mut(node, x);
+          for (SliceId t = 0; t < n_t_; ++t) {
+            const double d = model.duration(s, t, x);
+            const double rho = d / model.grid().slice_duration_s(t);
+            double* slot = base + 3 * (static_cast<std::size_t>(t) + 1);
+            slot[0] = d;
+            slot[1] = rho;
+            slot[2] = xlog2x(rho);
+          }
+        }
+      },
+      /*grain=*/8);
+
+  // Internal nodes: children precede parents in post-order, so one pass
+  // accumulates per-slice triplets bottom-up.
+  for (NodeId id : h.post_order()) {
+    const auto& n = h.node(id);
+    if (n.children.empty()) continue;
+    for (NodeId child : n.children) {
+      for (StateId x = 0; x < n_x_; ++x) {
+        double* dst = node_base_mut(id, x);
+        const double* src = node_base(child, x);
+        for (std::size_t k = 3; k < (static_cast<std::size_t>(n_t_) + 1) * 3;
+             ++k) {
+          dst[k] += src[k];
+        }
+      }
+    }
+  }
+
+  // Convert per-slice triplets into prefix sums (slot 0 stays zero).
+  parallel_for(
+      h.node_count(),
+      [&](std::size_t node) {
+        for (StateId x = 0; x < n_x_; ++x) {
+          double* base = node_base_mut(static_cast<NodeId>(node), x);
+          for (SliceId t = 0; t < n_t_; ++t) {
+            double* cur = base + 3 * (static_cast<std::size_t>(t) + 1);
+            const double* prev = base + 3 * static_cast<std::size_t>(t);
+            cur[0] += prev[0];
+            cur[1] += prev[1];
+            cur[2] += prev[2];
+          }
+        }
+      },
+      /*grain=*/16);
+}
+
+AreaMeasures DataCube::state_measures(NodeId node, SliceId i, SliceId j,
+                                      StateId x) const noexcept {
+  const auto s = sums(node, i, j, x);
+  const double leaves =
+      static_cast<double>(hierarchy().node(node).leaf_count);
+  const double rho_agg = stagg::aggregated_proportion(
+      s.sum_d, leaves, interval_duration_s(i, j));
+  const double cells = leaves * static_cast<double>(j - i + 1);
+  return AreaMeasures{state_gain(s, rho_agg, cells),
+                      state_loss(s, rho_agg, cells)};
+}
+
+AreaMeasures DataCube::measures(NodeId node, SliceId i,
+                                SliceId j) const noexcept {
+  AreaMeasures m;
+  for (StateId x = 0; x < n_x_; ++x) {
+    m += state_measures(node, i, j, x);
+  }
+  return m;
+}
+
+DataCube::Mode DataCube::mode(NodeId node, SliceId i, SliceId j) const noexcept {
+  Mode best;
+  const double leaf_count =
+      static_cast<double>(hierarchy().node(node).leaf_count);
+  const double dur = interval_duration_s(i, j);
+  for (StateId x = 0; x < n_x_; ++x) {
+    const auto s = sums(node, i, j, x);
+    const double rho = stagg::aggregated_proportion(s.sum_d, leaf_count, dur);
+    best.proportion_sum += rho;
+    if (rho > best.proportion) {
+      best.proportion = rho;
+      best.state = x;
+    }
+  }
+  return best;
+}
+
+}  // namespace stagg

@@ -1,0 +1,116 @@
+// DataCube: the aggregation algorithms' input (paper §III-E "Data Input").
+//
+// For every hierarchy node S_k, state x and slice t the cube holds the
+// leaf-additive sums
+//   sum_d(S_k, t, x)       = sum over leaves of d_x(s,t)
+//   sum_rho(S_k, t, x)     = sum over leaves of rho_x(s,t)
+//   sum_rho_log(S_k, t, x) = sum over leaves of rho_x(s,t) log2 rho_x(s,t)
+// stored as prefix sums over t, so the three interval sums of any area
+// (S_k, T_(i,j)) — exactly the intermediary data listed by the paper — are
+// O(1) per state.  The cube is computed in O(|S| |T| |X|) bottom-up and is
+// p-independent: every aggregation run (any algorithm, any p) shares it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/interval.hpp"
+#include "metrics/information.hpp"
+#include "model/microscopic_model.hpp"
+
+namespace stagg {
+
+class DataCube {
+ public:
+  /// Builds the cube from a microscopic model (parallel over leaves, then a
+  /// sequential bottom-up merge over internal nodes).
+  explicit DataCube(const MicroscopicModel& model);
+
+  [[nodiscard]] const MicroscopicModel& model() const noexcept {
+    return *model_;
+  }
+  [[nodiscard]] const Hierarchy& hierarchy() const noexcept {
+    return model_->hierarchy();
+  }
+  [[nodiscard]] std::int32_t slice_count() const noexcept { return n_t_; }
+  [[nodiscard]] std::int32_t state_count() const noexcept { return n_x_; }
+
+  /// Total duration (seconds) of slices [i, j].
+  [[nodiscard]] double interval_duration_s(SliceId i, SliceId j) const noexcept {
+    return dur_prefix_[static_cast<std::size_t>(j) + 1] -
+           dur_prefix_[static_cast<std::size_t>(i)];
+  }
+
+  /// Additive sums of state x over area (node, T_(i,j)).
+  [[nodiscard]] StateAreaSums sums(NodeId node, SliceId i, SliceId j,
+                                   StateId x) const noexcept {
+    const double* base = node_base(node, x);
+    return StateAreaSums{
+        base[3 * (static_cast<std::size_t>(j) + 1) + 0] -
+            base[3 * static_cast<std::size_t>(i) + 0],
+        base[3 * (static_cast<std::size_t>(j) + 1) + 1] -
+            base[3 * static_cast<std::size_t>(i) + 1],
+        base[3 * (static_cast<std::size_t>(j) + 1) + 2] -
+            base[3 * static_cast<std::size_t>(i) + 2],
+    };
+  }
+
+  /// rho_x(S_k, T_(i,j)) per Eq. 1.
+  [[nodiscard]] double aggregated_proportion(NodeId node, SliceId i, SliceId j,
+                                             StateId x) const noexcept {
+    const auto s = sums(node, i, j, x);
+    return stagg::aggregated_proportion(
+        s.sum_d, static_cast<double>(hierarchy().node(node).leaf_count),
+        interval_duration_s(i, j));
+  }
+
+  /// Gain and loss of the area, summed over all states (Eq. 2 + 3).
+  [[nodiscard]] AreaMeasures measures(NodeId node, SliceId i,
+                                      SliceId j) const noexcept;
+
+  /// Gain/loss of the area for one state.
+  [[nodiscard]] AreaMeasures state_measures(NodeId node, SliceId i, SliceId j,
+                                            StateId x) const noexcept;
+
+  /// Measures of the full aggregation (root, whole window); the
+  /// normalization reference of PartitionQuality.
+  [[nodiscard]] AreaMeasures root_measures() const {
+    return measures(hierarchy().root(), 0, n_t_ - 1);
+  }
+
+  /// Mode state of an area: argmax_x rho_x, with its proportion and the sum
+  /// of all state proportions (used by the visualization's alpha channel).
+  struct Mode {
+    StateId state = kNoState;
+    double proportion = 0.0;
+    double proportion_sum = 0.0;
+  };
+  [[nodiscard]] Mode mode(NodeId node, SliceId i, SliceId j) const noexcept;
+
+  /// Estimated bytes held by the cube.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return data_.size() * sizeof(double) + dur_prefix_.size() * sizeof(double);
+  }
+
+ private:
+  // Layout: per node, per state, (n_t_+1) triplets {sum_d, sum_rho,
+  // sum_rho_log} of prefix values.  node stride = n_x_ * (n_t_+1) * 3.
+  [[nodiscard]] const double* node_base(NodeId node, StateId x) const noexcept {
+    return data_.data() +
+           (static_cast<std::size_t>(node) * static_cast<std::size_t>(n_x_) +
+            static_cast<std::size_t>(x)) *
+               (static_cast<std::size_t>(n_t_) + 1) * 3;
+  }
+  [[nodiscard]] double* node_base_mut(NodeId node, StateId x) noexcept {
+    return const_cast<double*>(node_base(node, x));
+  }
+
+  const MicroscopicModel* model_;
+  std::int32_t n_t_ = 0;
+  std::int32_t n_x_ = 0;
+  std::vector<double> data_;
+  std::vector<double> dur_prefix_;  ///< prefix sums of d(t), size n_t_+1
+};
+
+}  // namespace stagg

@@ -1,0 +1,65 @@
+#include "core/dichotomy.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace stagg {
+
+DichotomyResult find_significant_levels(SpatiotemporalAggregator& aggregator,
+                                        const DichotomyOptions& options) {
+  DichotomyResult out;
+
+  // Probe cache: p -> (signature, result).
+  std::map<double, std::pair<std::uint64_t, AggregationResult>> probes;
+  const auto probe = [&](double p) -> std::uint64_t {
+    if (const auto it = probes.find(p); it != probes.end()) {
+      return it->second.first;
+    }
+    AggregationResult r = aggregator.run(p);
+    const std::uint64_t sig = r.partition.signature();
+    probes.emplace(p, std::make_pair(sig, std::move(r)));
+    ++out.runs;
+    return sig;
+  };
+
+  // Recursive bisection (iterative stack to bound depth).
+  struct Span {
+    double lo, hi;
+  };
+  std::vector<Span> stack;
+  probe(0.0);
+  probe(1.0);
+  stack.push_back({0.0, 1.0});
+  while (!stack.empty() && out.runs < options.max_runs) {
+    const Span s = stack.back();
+    stack.pop_back();
+    if (s.hi - s.lo <= options.epsilon) continue;
+    const std::uint64_t sig_lo = probe(s.lo);
+    const std::uint64_t sig_hi = probe(s.hi);
+    if (sig_lo == sig_hi) continue;  // assume constant on the span
+    const double mid = 0.5 * (s.lo + s.hi);
+    probe(mid);
+    stack.push_back({s.lo, mid});
+    stack.push_back({mid, s.hi});
+  }
+
+  // Collapse consecutive probes with equal signatures into plateaus.
+  AggregationLevel current;
+  std::uint64_t current_sig = 0;
+  bool has_current = false;
+  for (auto& [p, entry] : probes) {
+    auto& [sig, result] = entry;
+    if (!has_current || sig != current_sig) {
+      if (has_current) out.levels.push_back(std::move(current));
+      current = AggregationLevel{p, p, std::move(result)};
+      current_sig = sig;
+      has_current = true;
+    } else {
+      current.p_max = p;
+    }
+  }
+  if (has_current) out.levels.push_back(std::move(current));
+  return out;
+}
+
+}  // namespace stagg

@@ -1,0 +1,43 @@
+// Significant aggregation strengths (paper §I: "the analyst can easily
+// choose several levels of details by sliding the aggregation strength
+// among a set of significant values").
+//
+// The optimal partition is a piecewise-constant function of p; the
+// dichotomic search recursively bisects [0, 1], comparing partition
+// signatures at the endpoints, and returns the distinct plateaus with their
+// parameter ranges.  Because the DataCube is p-independent, each probe
+// costs only the DP, not a model rebuild — this is what makes Ocelotl's
+// slider "instantaneous" after the preprocess (paper §VI).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/aggregator.hpp"
+
+namespace stagg {
+
+/// One plateau of the p -> partition map.
+struct AggregationLevel {
+  double p_min = 0.0;       ///< first probed p showing this partition
+  double p_max = 0.0;       ///< last probed p showing this partition
+  AggregationResult result; ///< representative run (at p_min)
+};
+
+struct DichotomyOptions {
+  double epsilon = 1e-3;       ///< stop bisecting below this p-gap
+  std::size_t max_runs = 256;  ///< hard cap on DP executions
+};
+
+struct DichotomyResult {
+  std::vector<AggregationLevel> levels;  ///< sorted by p_min ascending
+  std::size_t runs = 0;                  ///< DP executions performed
+};
+
+/// Finds the significant p plateaus of `aggregator` over [0, 1].
+/// Note: plateaus narrower than epsilon between two probes with equal
+/// signatures can be missed — the same trade-off the Ocelotl tool makes.
+[[nodiscard]] DichotomyResult find_significant_levels(
+    SpatiotemporalAggregator& aggregator, const DichotomyOptions& options = {});
+
+}  // namespace stagg

@@ -1,0 +1,79 @@
+#include "core/inspect.hpp"
+
+#include <sstream>
+
+namespace stagg {
+
+AreaDetail inspect_area(const DataCube& cube, const Area& area) {
+  const Hierarchy& h = cube.hierarchy();
+  const TimeGrid& grid = cube.model().grid();
+
+  AreaDetail d;
+  d.area = area;
+  d.node_path = h.path(area.node);
+  d.resources = h.node(area.node).leaf_count;
+  d.begin_s = to_seconds(grid.slice_begin(area.time.i));
+  d.end_s = to_seconds(grid.slice_end(area.time.j));
+  d.proportions.reserve(static_cast<std::size_t>(cube.state_count()));
+  for (StateId x = 0; x < cube.state_count(); ++x) {
+    d.proportions.push_back(
+        cube.aggregated_proportion(area.node, area.time.i, area.time.j, x));
+  }
+  const auto mode = cube.mode(area.node, area.time.i, area.time.j);
+  d.mode = mode.state;
+  d.mode_share = mode.proportion;
+  d.alpha = mode.proportion_sum > 0.0 ? mode.proportion / mode.proportion_sum
+                                      : 0.0;
+  d.measures = cube.measures(area.node, area.time.i, area.time.j);
+  return d;
+}
+
+std::vector<AreaDetail> inspect_partition(const DataCube& cube,
+                                          const Partition& partition) {
+  std::vector<AreaDetail> out;
+  out.reserve(partition.size());
+  for (const auto& a : partition.areas()) {
+    out.push_back(inspect_area(cube, a));
+  }
+  return out;
+}
+
+std::optional<AreaDetail> area_at(const DataCube& cube,
+                                  const Partition& partition, LeafId leaf,
+                                  double time_s) {
+  const Hierarchy& h = cube.hierarchy();
+  const TimeGrid& grid = cube.model().grid();
+  const TimeNs t = grid.begin() + seconds(time_s);
+  if (t < grid.begin() || t >= grid.end()) return std::nullopt;
+  if (leaf < 0 || static_cast<std::size_t>(leaf) >= h.leaf_count()) {
+    return std::nullopt;
+  }
+  const SliceId slice = grid.slice_of(t);
+  for (const auto& a : partition.areas()) {
+    const auto& n = h.node(a.node);
+    if (leaf >= n.first_leaf && leaf < n.first_leaf + n.leaf_count &&
+        slice >= a.time.i && slice <= a.time.j) {
+      return inspect_area(cube, a);
+    }
+  }
+  return std::nullopt;
+}
+
+std::string format_area_detail(const DataCube& cube, const AreaDetail& d) {
+  std::ostringstream os;
+  os << d.node_path << " x [" << d.begin_s << "s, " << d.end_s << "s)  ("
+     << d.resources << " resources, " << d.area.time.length()
+     << " slices)\n";
+  for (StateId x = 0; x < cube.state_count(); ++x) {
+    const double rho = d.proportions[static_cast<std::size_t>(x)];
+    if (rho <= 0.0) continue;
+    os << "  " << cube.model().states().name(x) << ": "
+       << static_cast<int>(rho * 1000.0) / 10.0 << "%"
+       << (x == d.mode ? "  <- mode" : "") << '\n';
+  }
+  os << "  gain=" << d.measures.gain << " loss=" << d.measures.loss
+     << " alpha=" << d.alpha << '\n';
+  return os.str();
+}
+
+}  // namespace stagg

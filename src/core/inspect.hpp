@@ -1,0 +1,54 @@
+// Aggregate inspection — the interaction the paper's §VI announces as
+// future work: "use interaction solutions to retrieve data such as the
+// proportion of all the active states".
+//
+// Given a cube and a partition, every area can be expanded into its full
+// state distribution, its measures and its screen semantics (mode, alpha),
+// and the area under any (resource, time) probe can be looked up.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/cube.hpp"
+#include "core/partition.hpp"
+
+namespace stagg {
+
+/// Everything the analyst can ask of one aggregate.
+struct AreaDetail {
+  Area area;
+  std::string node_path;
+  std::int32_t resources = 0;  ///< |S_k|
+  double begin_s = 0.0;
+  double end_s = 0.0;
+  /// Aggregated proportion rho_x per state (Eq. 1) — "the proportion of
+  /// all the active states" of §VI.
+  std::vector<double> proportions;
+  StateId mode = kNoState;
+  double mode_share = 0.0;  ///< rho of the mode state
+  double alpha = 0.0;       ///< mode / sum of proportions (§IV)
+  AreaMeasures measures;    ///< gain and loss of this aggregate
+};
+
+/// Expands one area.
+[[nodiscard]] AreaDetail inspect_area(const DataCube& cube, const Area& area);
+
+/// Expands a whole partition (same order as partition.areas()).
+[[nodiscard]] std::vector<AreaDetail> inspect_partition(
+    const DataCube& cube, const Partition& partition);
+
+/// The area of `partition` covering resource `leaf` at time `time_s`
+/// (seconds since the window origin); nullopt when the probe is outside
+/// the window.
+[[nodiscard]] std::optional<AreaDetail> area_at(const DataCube& cube,
+                                                const Partition& partition,
+                                                LeafId leaf, double time_s);
+
+/// Renders a detail as a short human block (used by the examples' "click"
+/// emulation).
+[[nodiscard]] std::string format_area_detail(const DataCube& cube,
+                                             const AreaDetail& detail);
+
+}  // namespace stagg

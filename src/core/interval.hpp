@@ -1,0 +1,67 @@
+// Time intervals T_(i,j) and packed upper-triangular indexing.
+//
+// The DP state of Algorithm 1 is one value per (i <= j) pair; the tree of
+// "upper triangular matrices" of the paper is stored as one packed array of
+// |T|(|T|+1)/2 cells per node.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "model/time_grid.hpp"
+
+namespace stagg {
+
+/// Inclusive slice interval T_(i,j), i <= j.
+struct TimeInterval {
+  SliceId i = 0;
+  SliceId j = 0;
+
+  [[nodiscard]] constexpr std::int32_t length() const noexcept {
+    return j - i + 1;
+  }
+  friend constexpr bool operator==(const TimeInterval&,
+                                   const TimeInterval&) = default;
+  friend constexpr auto operator<=>(const TimeInterval& a,
+                                    const TimeInterval& b) noexcept {
+    if (a.i != b.i) return a.i <=> b.i;
+    return a.j <=> b.j;
+  }
+};
+
+/// Packed storage for one value per interval (i <= j) over `t` slices.
+/// Cells of a fixed i are contiguous: index(i,j) = row_offset(i) + (j - i),
+/// which keeps the DP's inner j-loop cache-friendly.
+class TriangularIndex {
+ public:
+  TriangularIndex() = default;
+  explicit constexpr TriangularIndex(std::int32_t slices) noexcept
+      : t_(slices) {}
+
+  [[nodiscard]] constexpr std::int32_t slices() const noexcept { return t_; }
+
+  /// Number of packed cells: t(t+1)/2.
+  [[nodiscard]] constexpr std::size_t size() const noexcept {
+    const auto n = static_cast<std::size_t>(t_);
+    return n * (n + 1) / 2;
+  }
+
+  /// Offset of row i (cells [i,i..t-1]); rows are stored i ascending.
+  [[nodiscard]] constexpr std::size_t row_offset(SliceId i) const noexcept {
+    // Row k has t-k cells; offset(i) = sum_{k<i} (t-k) = i*t - i(i-1)/2.
+    const auto ii = static_cast<std::size_t>(i);
+    const auto tt = static_cast<std::size_t>(t_);
+    return ii * tt - ii * (ii - 1) / 2;
+  }
+
+  [[nodiscard]] constexpr std::size_t operator()(SliceId i,
+                                                 SliceId j) const noexcept {
+    assert(0 <= i && i <= j && j < t_);
+    return row_offset(i) + static_cast<std::size_t>(j - i);
+  }
+
+ private:
+  std::int32_t t_ = 0;
+};
+
+}  // namespace stagg

@@ -1,0 +1,136 @@
+#include "core/json_export.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "core/inspect.hpp"
+
+namespace stagg {
+namespace {
+
+void append_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string export_json(const AggregationResult& result,
+                        const DataCube& cube) {
+  const Hierarchy& h = cube.hierarchy();
+  const TimeGrid& grid = cube.model().grid();
+
+  std::string out;
+  out.reserve(result.partition.size() * 200 + 512);
+  out += "{\n\"format\": \"stagg-aggregation\",\n\"version\": 1,\n\"p\": ";
+  append_double(out, result.p);
+
+  out += ",\n\"dimensions\": {\"resources\": ";
+  out += std::to_string(h.leaf_count());
+  out += ", \"slices\": ";
+  out += std::to_string(cube.slice_count());
+  out += ", \"states\": [";
+  for (StateId x = 0; x < cube.state_count(); ++x) {
+    if (x) out += ", ";
+    out += '"' + json_escape(cube.model().states().name(x)) + '"';
+  }
+  out += "]},\n\"window\": {\"begin_s\": ";
+  append_double(out, to_seconds(grid.begin()));
+  out += ", \"end_s\": ";
+  append_double(out, to_seconds(grid.end()));
+
+  const auto& q = result.quality;
+  out += "},\n\"quality\": {\"areas\": ";
+  out += std::to_string(q.area_count);
+  out += ", \"microscopic\": ";
+  out += std::to_string(q.microscopic_count);
+  out += ", \"gain\": ";
+  append_double(out, q.gain);
+  out += ", \"loss\": ";
+  append_double(out, q.loss);
+  out += ", \"max_gain\": ";
+  append_double(out, q.max_gain);
+  out += ", \"max_loss\": ";
+  append_double(out, q.max_loss);
+  out += "},\n\"areas\": [\n";
+
+  bool first = true;
+  for (const auto& area : result.partition.areas()) {
+    const AreaDetail d = inspect_area(cube, area);
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"node\": \"" + json_escape(d.node_path) + "\", \"first_leaf\": ";
+    out += std::to_string(h.node(area.node).first_leaf);
+    out += ", \"resources\": ";
+    out += std::to_string(d.resources);
+    out += ", \"slice_begin\": ";
+    out += std::to_string(area.time.i);
+    out += ", \"slice_end\": ";
+    out += std::to_string(area.time.j);
+    out += ", \"begin_s\": ";
+    append_double(out, d.begin_s);
+    out += ", \"end_s\": ";
+    append_double(out, d.end_s);
+    out += ", \"mode\": ";
+    if (d.mode == kNoState) {
+      out += "null";
+    } else {
+      out += '"' + json_escape(cube.model().states().name(d.mode)) + '"';
+    }
+    out += ", \"alpha\": ";
+    append_double(out, d.alpha);
+    out += ", \"proportions\": [";
+    for (std::size_t x = 0; x < d.proportions.size(); ++x) {
+      if (x) out += ", ";
+      append_double(out, d.proportions[x]);
+    }
+    out += "], \"gain\": ";
+    append_double(out, d.measures.gain);
+    out += ", \"loss\": ";
+    append_double(out, d.measures.loss);
+    out += "}";
+  }
+  out += "\n]\n}\n";
+  return out;
+}
+
+void export_json_file(const AggregationResult& result, const DataCube& cube,
+                      const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw IoError("cannot open '" + path + "' for writing");
+  os << export_json(result, cube);
+  if (!os) throw IoError("short write to '" + path + "'");
+}
+
+}  // namespace stagg

@@ -1,0 +1,40 @@
+// JSON export of aggregation results, for downstream tooling (web
+// front-ends, notebooks) — the library's machine-readable counterpart of
+// the SVG overview.
+//
+// Schema (stable, versioned):
+// {
+//   "format": "stagg-aggregation", "version": 1,
+//   "p": 0.25,
+//   "dimensions": {"resources": 64, "slices": 30, "states": ["MPI_Init", ...]},
+//   "window": {"begin_s": 0.0, "end_s": 9.5},
+//   "quality": {"areas": 86, "microscopic": 1920, "gain": ..., "loss": ...,
+//               "max_gain": ..., "max_loss": ...},
+//   "areas": [
+//     {"node": "rennes/parapide", "first_leaf": 0, "resources": 64,
+//      "slice_begin": 0, "slice_end": 4, "begin_s": 0.0, "end_s": 1.58,
+//      "mode": "MPI_Init", "alpha": 1.0, "proportions": [1.0, 0, ...],
+//      "gain": ..., "loss": ...}, ...
+//   ]
+// }
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/aggregator.hpp"
+
+namespace stagg {
+
+/// Serializes a result (with per-area details from the cube) to JSON.
+[[nodiscard]] std::string export_json(const AggregationResult& result,
+                                      const DataCube& cube);
+
+/// Writes the JSON document to a file; throws IoError.
+void export_json_file(const AggregationResult& result, const DataCube& cube,
+                      const std::string& path);
+
+/// Escapes a string for inclusion in a JSON document.
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+}  // namespace stagg

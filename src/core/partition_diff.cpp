@@ -1,0 +1,96 @@
+#include "core/partition_diff.hpp"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "common/error.hpp"
+
+namespace stagg {
+namespace {
+
+using AreaKey = std::tuple<NodeId, SliceId, SliceId>;
+
+std::set<AreaKey> area_set(const Partition& p) {
+  std::set<AreaKey> out;
+  for (const auto& a : p.areas()) {
+    out.emplace(a.node, a.time.i, a.time.j);
+  }
+  return out;
+}
+
+/// Paints cell -> area index; -1 for uncovered (invalid input).
+std::vector<std::int32_t> paint(const Hierarchy& h, std::int32_t slices,
+                                const Partition& p) {
+  std::vector<std::int32_t> owner(
+      h.leaf_count() * static_cast<std::size_t>(slices), -1);
+  const auto& areas = p.areas();
+  for (std::size_t k = 0; k < areas.size(); ++k) {
+    const auto& n = h.node(areas[k].node);
+    for (LeafId s = n.first_leaf; s < n.first_leaf + n.leaf_count; ++s) {
+      for (SliceId t = areas[k].time.i; t <= areas[k].time.j; ++t) {
+        owner[static_cast<std::size_t>(s) * slices +
+              static_cast<std::size_t>(t)] = static_cast<std::int32_t>(k);
+      }
+    }
+  }
+  return owner;
+}
+
+}  // namespace
+
+PartitionDiff diff_partitions(const Hierarchy& hierarchy, std::int32_t slices,
+                              const Partition& a, const Partition& b) {
+  if (!a.is_valid(hierarchy, slices) || !b.is_valid(hierarchy, slices)) {
+    throw DimensionError("diff_partitions: inputs must be valid partitions");
+  }
+  PartitionDiff diff;
+
+  const auto sa = area_set(a);
+  const auto sb = area_set(b);
+  for (const auto& key : sa) {
+    if (sb.count(key)) {
+      ++diff.common_areas;
+    } else {
+      ++diff.only_in_a;
+    }
+  }
+  diff.only_in_b = sb.size() - diff.common_areas;
+  const std::size_t unions = sa.size() + sb.size() - diff.common_areas;
+  diff.area_jaccard =
+      unions == 0 ? 1.0
+                  : static_cast<double>(diff.common_areas) /
+                        static_cast<double>(unions);
+
+  // Cell agreement: a cell agrees when its owning areas are the *same*
+  // (node, interval) in both partitions.
+  const auto oa = paint(hierarchy, slices, a);
+  const auto ob = paint(hierarchy, slices, b);
+  const auto& aa = a.areas();
+  const auto& bb = b.areas();
+  std::size_t agree = 0;
+  std::vector<bool> leaf_differs(hierarchy.leaf_count(), false);
+  for (std::size_t s = 0; s < hierarchy.leaf_count(); ++s) {
+    for (SliceId t = 0; t < slices; ++t) {
+      const std::size_t idx = s * static_cast<std::size_t>(slices) +
+                              static_cast<std::size_t>(t);
+      const auto& area_a = aa[static_cast<std::size_t>(oa[idx])];
+      const auto& area_b = bb[static_cast<std::size_t>(ob[idx])];
+      if (area_a == area_b) {
+        ++agree;
+      } else {
+        leaf_differs[s] = true;
+      }
+    }
+  }
+  diff.cell_agreement = static_cast<double>(agree) /
+                        static_cast<double>(oa.size());
+  for (std::size_t s = 0; s < leaf_differs.size(); ++s) {
+    if (leaf_differs[s]) {
+      diff.differing_leaves.push_back(static_cast<LeafId>(s));
+    }
+  }
+  return diff;
+}
+
+}  // namespace stagg

@@ -1,0 +1,42 @@
+// Structural comparison of two partitions of the same S x T grid.
+//
+// Used by the dichotomic search's analysis (what changed between two
+// aggregation levels?) and by the disruption narrative (which rows moved
+// when the perturbation appeared?).  Two views of the difference:
+//   - the *area-set* view: Jaccard similarity of the area sets;
+//   - the *co-clustering* view: the fraction of microscopic cells whose
+//     owning areas cover the same cell sets in both partitions (Rand-like,
+//     computed per cell without the quadratic pair enumeration).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/partition.hpp"
+
+namespace stagg {
+
+struct PartitionDiff {
+  std::size_t common_areas = 0;    ///< identical (node, interval) areas
+  std::size_t only_in_a = 0;
+  std::size_t only_in_b = 0;
+  /// |A ∩ B| / |A ∪ B| over area sets.
+  double area_jaccard = 0.0;
+  /// Fraction of microscopic cells covered by an identical area in both.
+  double cell_agreement = 0.0;
+  /// Leaves whose row (sequence of areas) differs between the partitions.
+  std::vector<LeafId> differing_leaves;
+
+  [[nodiscard]] bool identical() const noexcept {
+    return only_in_a == 0 && only_in_b == 0;
+  }
+};
+
+/// Compares two partitions over the same hierarchy and slice count.
+/// Throws DimensionError when either partition is invalid for the grid.
+[[nodiscard]] PartitionDiff diff_partitions(const Hierarchy& hierarchy,
+                                            std::int32_t slices,
+                                            const Partition& a,
+                                            const Partition& b);
+
+}  // namespace stagg

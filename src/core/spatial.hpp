@@ -1,0 +1,58 @@
+// Spatial-only aggregation (paper §III-D; the Viva treemap of ref [13]):
+// optimal hierarchy-consistent partition of the resource set in O(|S|) by a
+// depth-first search that keeps, on each branch, either the node aggregate
+// or the union of its children's optima.
+//
+// Applied to the temporally-aggregated trace S x {T}, it is the other half
+// of the Cartesian-product baseline of Fig. 3.c.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cube.hpp"
+#include "hierarchy/hierarchy.hpp"
+#include "metrics/information.hpp"
+
+namespace stagg {
+
+/// Optimal pIC antichain of hierarchy nodes over per-leaf weighted values.
+class HierarchyAggregator {
+ public:
+  /// `leaf_values`: row-major |S| x |X| proportions w_x(s); the hierarchy
+  /// is referenced, not owned.
+  HierarchyAggregator(const Hierarchy* hierarchy,
+                      std::vector<double> leaf_values,
+                      std::int32_t state_count);
+
+  /// Builds the temporally-aggregated trace S x {T} from a cube:
+  /// w_x(s) = rho_x({s}, T_(0,|T|-1)).
+  [[nodiscard]] static HierarchyAggregator temporally_aggregated(
+      const DataCube& cube);
+
+  struct Result {
+    double p = 0.0;
+    std::vector<NodeId> parts;  ///< antichain covering all leaves
+    double optimal_pic = 0.0;
+    AreaMeasures measures;
+  };
+
+  /// O(|S|) post-order sweep; ties prefer the aggregate (coarser cut).
+  [[nodiscard]] Result run(double p) const;
+
+  /// Gain/loss of aggregating the whole subtree of `node` into one part.
+  [[nodiscard]] AreaMeasures node_measures(NodeId node) const;
+
+ private:
+  const Hierarchy* hier_;
+  std::int32_t n_x_ = 0;
+  // Per node, per state: {sum of w, sum of w log2 w} over subtree leaves.
+  std::vector<double> sum_w_, sum_wlog_;
+
+  [[nodiscard]] std::size_t nidx(NodeId n, StateId x) const noexcept {
+    return static_cast<std::size_t>(n) * static_cast<std::size_t>(n_x_) +
+           static_cast<std::size_t>(x);
+  }
+};
+
+}  // namespace stagg

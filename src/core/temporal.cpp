@@ -1,0 +1,118 @@
+#include "core/temporal.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace stagg {
+
+SequenceAggregator::SequenceAggregator(std::vector<double> values,
+                                       std::vector<double> durations,
+                                       std::int32_t state_count)
+    : n_t_(static_cast<std::int32_t>(durations.size())), n_x_(state_count) {
+  if (n_t_ < 1 || n_x_ < 1) {
+    throw InvalidArgument("SequenceAggregator: empty sequence");
+  }
+  if (values.size() != static_cast<std::size_t>(n_t_) * n_x_) {
+    throw InvalidArgument("SequenceAggregator: values size mismatch");
+  }
+  const std::size_t stride = static_cast<std::size_t>(n_x_);
+  pre_mass_.assign((static_cast<std::size_t>(n_t_) + 1) * stride, 0.0);
+  pre_v_.assign((static_cast<std::size_t>(n_t_) + 1) * stride, 0.0);
+  pre_vlog_.assign((static_cast<std::size_t>(n_t_) + 1) * stride, 0.0);
+  pre_d_.assign(static_cast<std::size_t>(n_t_) + 1, 0.0);
+  for (SliceId t = 0; t < n_t_; ++t) {
+    pre_d_[static_cast<std::size_t>(t) + 1] =
+        pre_d_[static_cast<std::size_t>(t)] +
+        durations[static_cast<std::size_t>(t)];
+    for (StateId x = 0; x < n_x_; ++x) {
+      const double v = values[pidx(t, x)];
+      const std::size_t cur = pidx(t + 1, x);
+      const std::size_t prev = pidx(t, x);
+      pre_mass_[cur] =
+          pre_mass_[prev] + v * durations[static_cast<std::size_t>(t)];
+      pre_v_[cur] = pre_v_[prev] + v;
+      pre_vlog_[cur] = pre_vlog_[prev] + xlog2x(v);
+    }
+  }
+}
+
+SequenceAggregator SequenceAggregator::spatially_aggregated(
+    const DataCube& cube) {
+  const std::int32_t n_t = cube.slice_count();
+  const std::int32_t n_x = cube.state_count();
+  const NodeId root = cube.hierarchy().root();
+  std::vector<double> values(static_cast<std::size_t>(n_t) * n_x);
+  std::vector<double> durations(static_cast<std::size_t>(n_t));
+  for (SliceId t = 0; t < n_t; ++t) {
+    durations[static_cast<std::size_t>(t)] = cube.interval_duration_s(t, t);
+    for (StateId x = 0; x < n_x; ++x) {
+      values[static_cast<std::size_t>(t) * n_x + x] =
+          cube.aggregated_proportion(root, t, t, x);
+    }
+  }
+  return SequenceAggregator(std::move(values), std::move(durations), n_x);
+}
+
+AreaMeasures SequenceAggregator::interval_measures(SliceId i,
+                                                   SliceId j) const {
+  AreaMeasures m;
+  const double dur = pre_d_[static_cast<std::size_t>(j) + 1] -
+                     pre_d_[static_cast<std::size_t>(i)];
+  const double cells = static_cast<double>(j - i + 1);
+  for (StateId x = 0; x < n_x_; ++x) {
+    const StateAreaSums s{
+        pre_mass_[pidx(j + 1, x)] - pre_mass_[pidx(i, x)],
+        pre_v_[pidx(j + 1, x)] - pre_v_[pidx(i, x)],
+        pre_vlog_[pidx(j + 1, x)] - pre_vlog_[pidx(i, x)],
+    };
+    const double v_agg = dur > 0.0 ? s.sum_d / dur : 0.0;
+    m.gain += state_gain(s, v_agg, cells);
+    m.loss += state_loss(s, v_agg, cells);
+  }
+  return m;
+}
+
+SequenceAggregator::Result SequenceAggregator::run(double p) const {
+  if (p < 0.0 || p > 1.0) {
+    throw InvalidArgument("SequenceAggregator: p must be in [0,1]");
+  }
+  // opt[j+1] = best pIC of a partition of slices [0, j]; back[j+1] = start
+  // of the last interval of that best partition.
+  std::vector<double> opt(static_cast<std::size_t>(n_t_) + 1, 0.0);
+  std::vector<SliceId> back(static_cast<std::size_t>(n_t_) + 1, 0);
+  for (SliceId j = 0; j < n_t_; ++j) {
+    double best = 0.0;
+    SliceId best_i = 0;
+    bool first = true;
+    for (SliceId i = 0; i <= j; ++i) {
+      const AreaMeasures m = interval_measures(i, j);
+      const double v =
+          opt[static_cast<std::size_t>(i)] + pic(p, m.gain, m.loss);
+      // Strict with a noise margin: the smallest i (coarsest last
+      // interval) wins ties, so homogeneous stretches stay merged.
+      if (first ||
+          v > best + 1e-12 + 1e-12 * std::max(std::abs(best), std::abs(v))) {
+        best = v;
+        best_i = i;
+        first = false;
+      }
+    }
+    opt[static_cast<std::size_t>(j) + 1] = best;
+    back[static_cast<std::size_t>(j) + 1] = best_i;
+  }
+
+  Result result;
+  result.p = p;
+  result.optimal_pic = opt[static_cast<std::size_t>(n_t_)];
+  for (SliceId j = n_t_ - 1; j >= 0;) {
+    const SliceId i = back[static_cast<std::size_t>(j) + 1];
+    result.intervals.push_back({i, j});
+    result.measures += interval_measures(i, j);
+    j = i - 1;
+  }
+  std::reverse(result.intervals.begin(), result.intervals.end());
+  return result;
+}
+
+}  // namespace stagg

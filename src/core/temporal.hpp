@@ -1,0 +1,61 @@
+// Temporal-only aggregation (paper §III-D; the Ocelotl timeline of refs
+// [11], [12]): optimal order-consistent partition of a sequence dataset in
+// O(|T|^2) by dynamic programming (Jackson et al. interval partitioning).
+//
+// Applied to the spatially-aggregated trace {S} x T, it is one half of the
+// Cartesian-product baseline of Fig. 3.c; it is also a general time-series
+// segmentation usable on its own.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cube.hpp"
+#include "core/interval.hpp"
+#include "metrics/information.hpp"
+
+namespace stagg {
+
+/// Optimal pIC partition of an ordered sequence of |T| individuals, each
+/// carrying |X| non-negative proportions and a duration weight.
+class SequenceAggregator {
+ public:
+  /// `values`: row-major |T| x |X| proportions; `durations`: d(t) in
+  /// seconds (weights of the aggregation, Eq. 1).
+  SequenceAggregator(std::vector<double> values,
+                     std::vector<double> durations, std::int32_t state_count);
+
+  /// Builds the sequence of the spatially-aggregated trace {S} x T from a
+  /// cube: v_x(t) = rho_x(S, {t}).
+  [[nodiscard]] static SequenceAggregator spatially_aggregated(
+      const DataCube& cube);
+
+  struct Result {
+    double p = 0.0;
+    std::vector<TimeInterval> intervals;  ///< ordered, covering [0, |T|)
+    double optimal_pic = 0.0;
+    AreaMeasures measures;  ///< raw gain/loss summed over intervals
+  };
+
+  /// O(|T|^2) DP; ties prefer the coarser split (fewer intervals).
+  [[nodiscard]] Result run(double p) const;
+
+  /// Gain/loss of one interval aggregate, summed over states.
+  [[nodiscard]] AreaMeasures interval_measures(SliceId i, SliceId j) const;
+
+  [[nodiscard]] std::int32_t length() const noexcept { return n_t_; }
+  [[nodiscard]] std::int32_t state_count() const noexcept { return n_x_; }
+
+ private:
+  std::int32_t n_t_ = 0;
+  std::int32_t n_x_ = 0;
+  // Prefix sums per state over t of: v*d (mass), v, v log2 v, and of d.
+  std::vector<double> pre_mass_, pre_v_, pre_vlog_, pre_d_;
+
+  [[nodiscard]] std::size_t pidx(SliceId t, StateId x) const noexcept {
+    return static_cast<std::size_t>(t) * static_cast<std::size_t>(n_x_) +
+           static_cast<std::size_t>(x);
+  }
+};
+
+}  // namespace stagg

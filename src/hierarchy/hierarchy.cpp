@@ -1,0 +1,190 @@
+#include "hierarchy/hierarchy.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace stagg {
+
+std::string Hierarchy::path(NodeId id) const {
+  std::vector<std::string> parts;
+  for (NodeId cur = id; cur != kNoNode; cur = node(cur).parent) {
+    parts.push_back(node(cur).name);
+  }
+  std::reverse(parts.begin(), parts.end());
+  return join(parts, "/");
+}
+
+NodeId Hierarchy::find(std::string_view path_str) const {
+  if (empty()) return kNoNode;
+  const auto parts = split(path_str, '/');
+  if (parts.empty() || parts[0] != node(root()).name) return kNoNode;
+  NodeId cur = root();
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    NodeId next = kNoNode;
+    for (NodeId child : node(cur).children) {
+      if (node(child).name == parts[i]) {
+        next = child;
+        break;
+      }
+    }
+    if (next == kNoNode) return kNoNode;
+    cur = next;
+  }
+  return cur;
+}
+
+std::vector<NodeId> Hierarchy::nodes_at_depth(std::int32_t depth) const {
+  std::vector<NodeId> out;
+  for (NodeId id = 0; id < static_cast<NodeId>(nodes_.size()); ++id) {
+    if (node(id).depth == depth) out.push_back(id);
+  }
+  // Order by leaf range so the output follows the DFS layout.
+  std::sort(out.begin(), out.end(), [this](NodeId a, NodeId b) {
+    return node(a).first_leaf < node(b).first_leaf;
+  });
+  return out;
+}
+
+NodeId Hierarchy::ancestor_at_depth(NodeId id, std::int32_t depth) const {
+  if (depth > node(id).depth) {
+    throw InvalidArgument("ancestor_at_depth: requested depth below node");
+  }
+  NodeId cur = id;
+  while (node(cur).depth > depth) cur = node(cur).parent;
+  return cur;
+}
+
+bool Hierarchy::validate() const {
+  if (empty()) return false;
+  if (node(root()).parent != kNoNode) return false;
+  for (NodeId id = 0; id < static_cast<NodeId>(nodes_.size()); ++id) {
+    const auto& n = node(id);
+    if (n.children.empty()) {
+      if (n.leaf_count != 1) return false;
+      if (leaves_[static_cast<std::size_t>(n.first_leaf)] != id) return false;
+    } else {
+      std::int32_t sum = 0;
+      LeafId expect = n.first_leaf;
+      for (NodeId c : n.children) {
+        const auto& cn = node(c);
+        if (cn.parent != id) return false;
+        if (cn.first_leaf != expect) return false;  // contiguity
+        if (cn.depth != n.depth + 1) return false;
+        expect += cn.leaf_count;
+        sum += cn.leaf_count;
+      }
+      if (sum != n.leaf_count) return false;
+    }
+  }
+  return true;
+}
+
+HierarchyBuilder::HierarchyBuilder(std::string root_name) {
+  HierarchyNode root;
+  root.name = std::move(root_name);
+  h_.nodes_.push_back(std::move(root));
+}
+
+NodeId HierarchyBuilder::add(NodeId parent, std::string name) {
+  if (parent < 0 || parent >= static_cast<NodeId>(h_.nodes_.size())) {
+    throw InvalidArgument("HierarchyBuilder::add: bad parent id");
+  }
+  const NodeId id = static_cast<NodeId>(h_.nodes_.size());
+  HierarchyNode n;
+  n.name = std::move(name);
+  n.parent = parent;
+  n.depth = h_.nodes_[static_cast<std::size_t>(parent)].depth + 1;
+  h_.nodes_.push_back(std::move(n));
+  h_.nodes_[static_cast<std::size_t>(parent)].children.push_back(id);
+  return id;
+}
+
+std::vector<NodeId> HierarchyBuilder::add_many(NodeId parent,
+                                               std::string_view prefix,
+                                               std::int32_t count) {
+  std::vector<NodeId> ids;
+  ids.reserve(static_cast<std::size_t>(count));
+  for (std::int32_t i = 0; i < count; ++i) {
+    ids.push_back(add(parent, std::string(prefix) + std::to_string(i)));
+  }
+  return ids;
+}
+
+Hierarchy HierarchyBuilder::finish() {
+  // DFS from the root assigns leaf numbers and builds the post-order.
+  h_.leaves_.clear();
+  h_.post_order_.clear();
+  h_.max_depth_ = 0;
+
+  // Iterative post-order DFS that respects child insertion order.
+  struct Frame {
+    NodeId id;
+    std::size_t next_child;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({0, 0});
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    auto& n = h_.nodes_[static_cast<std::size_t>(f.id)];
+    if (f.next_child == 0) {
+      h_.max_depth_ = std::max(h_.max_depth_, n.depth);
+      if (n.children.empty()) {
+        n.first_leaf = static_cast<LeafId>(h_.leaves_.size());
+        n.leaf_count = 1;
+        h_.leaves_.push_back(f.id);
+      } else {
+        n.first_leaf = static_cast<LeafId>(h_.leaves_.size());
+        n.leaf_count = 0;
+      }
+    }
+    if (f.next_child < n.children.size()) {
+      const NodeId child = n.children[f.next_child++];
+      stack.push_back({child, 0});
+    } else {
+      if (!n.children.empty()) {
+        for (NodeId c : n.children) {
+          n.leaf_count += h_.nodes_[static_cast<std::size_t>(c)].leaf_count;
+        }
+        if (n.leaf_count == 0) {
+          throw InvalidArgument("hierarchy node '" + n.name +
+                                "' has no leaf below it");
+        }
+      }
+      h_.post_order_.push_back(f.id);
+      stack.pop_back();
+    }
+  }
+  return std::move(h_);
+}
+
+Hierarchy make_balanced_hierarchy(std::int32_t levels, std::int32_t fanout,
+                                  std::string root_name) {
+  if (levels < 0 || fanout < 1) {
+    throw InvalidArgument("make_balanced_hierarchy: levels>=0, fanout>=1");
+  }
+  HierarchyBuilder b(std::move(root_name));
+  std::vector<NodeId> frontier = {0};
+  for (std::int32_t l = 0; l < levels; ++l) {
+    std::vector<NodeId> next;
+    next.reserve(frontier.size() * static_cast<std::size_t>(fanout));
+    for (NodeId p : frontier) {
+      const auto kids =
+          b.add_many(p, "n" + std::to_string(l) + "_", fanout);
+      next.insert(next.end(), kids.begin(), kids.end());
+    }
+    frontier = std::move(next);
+  }
+  return b.finish();
+}
+
+Hierarchy make_flat_hierarchy(std::int32_t n, std::string root_name) {
+  if (n < 1) throw InvalidArgument("make_flat_hierarchy: n >= 1 required");
+  HierarchyBuilder b(std::move(root_name));
+  b.add_many(0, "r", n);
+  return b.finish();
+}
+
+}  // namespace stagg

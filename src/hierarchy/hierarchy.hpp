@@ -1,0 +1,129 @@
+// The spatial dimension of the trace model (paper §III-A(1)).
+//
+// A hierarchy H(S) over the resource set S is a rooted tree whose leaves are
+// the microscopic resources (processes/cores) and whose internal nodes are
+// platform groupings (machines, clusters, sites).  Leaves are numbered in
+// DFS order so that every subtree owns a *contiguous* leaf range
+// [first_leaf, first_leaf + leaf_count); all per-resource arrays in the
+// library are stored leaf-major and sliced per node without copying.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stagg {
+
+/// Index of a node inside a Hierarchy (root included).
+using NodeId = std::int32_t;
+/// Index of a leaf in DFS leaf order; equals the resource index of the
+/// microscopic model.
+using LeafId = std::int32_t;
+
+inline constexpr NodeId kNoNode = -1;
+
+/// One node of the hierarchy tree.
+struct HierarchyNode {
+  std::string name;                 ///< Component name ("parapide-3", "core7").
+  NodeId parent = kNoNode;          ///< Parent node, kNoNode for the root.
+  std::vector<NodeId> children;     ///< Child nodes (empty for leaves).
+  LeafId first_leaf = 0;            ///< First leaf of the subtree (DFS order).
+  std::int32_t leaf_count = 0;      ///< |S_k|: leaves under this node.
+  std::int32_t depth = 0;           ///< Root has depth 0.
+};
+
+/// Immutable rooted tree over the resource set.  Built via HierarchyBuilder.
+class Hierarchy {
+ public:
+  Hierarchy() = default;
+
+  [[nodiscard]] NodeId root() const noexcept { return 0; }
+  [[nodiscard]] bool empty() const noexcept { return nodes_.empty(); }
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::size_t leaf_count() const noexcept { return leaves_.size(); }
+
+  [[nodiscard]] const HierarchyNode& node(NodeId id) const {
+    return nodes_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] bool is_leaf(NodeId id) const {
+    return node(id).children.empty();
+  }
+
+  /// Node ids in a post-order (children before parents) — the traversal
+  /// order of the aggregation recursion.
+  [[nodiscard]] const std::vector<NodeId>& post_order() const noexcept {
+    return post_order_;
+  }
+  /// Leaves in DFS order; leaves_[i] is the node id of resource i.
+  [[nodiscard]] const std::vector<NodeId>& leaves() const noexcept {
+    return leaves_;
+  }
+  /// Node id of leaf (resource) `leaf`.
+  [[nodiscard]] NodeId leaf_node(LeafId leaf) const {
+    return leaves_[static_cast<std::size_t>(leaf)];
+  }
+
+  /// Slash-separated path from the root ("rennes/parapide/parapide-1/core0").
+  [[nodiscard]] std::string path(NodeId id) const;
+
+  /// Looks a node up by path; returns kNoNode when absent.
+  [[nodiscard]] NodeId find(std::string_view path) const;
+
+  /// Maximum depth of any node.
+  [[nodiscard]] std::int32_t max_depth() const noexcept { return max_depth_; }
+
+  /// All nodes at the given depth, in DFS order (e.g. clusters at depth 1).
+  [[nodiscard]] std::vector<NodeId> nodes_at_depth(std::int32_t depth) const;
+
+  /// The ancestor of `id` at depth `depth` (id itself if node(id).depth ==
+  /// depth).  Requires depth <= node(id).depth.
+  [[nodiscard]] NodeId ancestor_at_depth(NodeId id, std::int32_t depth) const;
+
+  /// Structural-consistency check used by tests: leaf ranges contiguous,
+  /// parent/child symmetry, leaf counts additive.
+  [[nodiscard]] bool validate() const;
+
+ private:
+  friend class HierarchyBuilder;
+  std::vector<HierarchyNode> nodes_;
+  std::vector<NodeId> leaves_;
+  std::vector<NodeId> post_order_;
+  std::int32_t max_depth_ = 0;
+};
+
+/// Incremental builder.  Nodes are added parent-first; finish() freezes the
+/// tree and computes DFS leaf numbering and the post-order.
+class HierarchyBuilder {
+ public:
+  /// Starts a tree with the given root name.
+  explicit HierarchyBuilder(std::string root_name = "root");
+
+  /// Adds a child under `parent` and returns its id.
+  NodeId add(NodeId parent, std::string name);
+
+  /// Convenience: adds `count` children named `prefix0..prefix(count-1)`.
+  std::vector<NodeId> add_many(NodeId parent, std::string_view prefix,
+                               std::int32_t count);
+
+  /// Freezes and returns the hierarchy.  Throws InvalidArgument if any
+  /// internal node has no leaf below it (every branch must reach a resource).
+  [[nodiscard]] Hierarchy finish();
+
+ private:
+  Hierarchy h_;
+};
+
+/// Builds a balanced tree with `levels` internal levels and `fanout` children
+/// per node (leaf count = fanout^levels).  Used by scaling benches and
+/// property tests.
+[[nodiscard]] Hierarchy make_balanced_hierarchy(std::int32_t levels,
+                                                std::int32_t fanout,
+                                                std::string root_name = "root");
+
+/// Builds a flat hierarchy: a root with `n` leaf children.
+[[nodiscard]] Hierarchy make_flat_hierarchy(std::int32_t n,
+                                            std::string root_name = "root");
+
+}  // namespace stagg

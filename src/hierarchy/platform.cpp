@@ -1,0 +1,97 @@
+#include "hierarchy/platform.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace stagg {
+
+const char* to_string(Interconnect ic) noexcept {
+  switch (ic) {
+    case Interconnect::kInfiniband20G:
+      return "Infiniband-20G";
+    case Interconnect::kInfinibandMT25418:
+      return "Infiniband MT25418";
+    case Interconnect::kEthernet10G:
+      return "10G Ethernet";
+  }
+  return "unknown";
+}
+
+std::int32_t PlatformSpec::total_cores() const noexcept {
+  std::int32_t total = 0;
+  for (const auto& c : clusters) total += c.cores();
+  return total;
+}
+
+std::int32_t PlatformSpec::total_machines() const noexcept {
+  std::int32_t total = 0;
+  for (const auto& c : clusters) total += c.machines;
+  return total;
+}
+
+PlatformSpec PlatformSpec::scaled_to(std::int32_t target_cores) const {
+  if (target_cores <= 0) {
+    throw InvalidArgument("scaled_to: target_cores must be positive");
+  }
+  const double ratio =
+      static_cast<double>(target_cores) / static_cast<double>(total_cores());
+  PlatformSpec out;
+  out.site = site;
+  for (const auto& c : clusters) {
+    ClusterSpec s = c;
+    s.machines = std::max<std::int32_t>(
+        1, static_cast<std::int32_t>(std::lround(c.machines * ratio)));
+    out.clusters.push_back(std::move(s));
+  }
+  return out;
+}
+
+Hierarchy PlatformSpec::build_hierarchy(std::int32_t process_limit) const {
+  HierarchyBuilder b(site);
+  std::int32_t emitted = 0;
+  for (const auto& cluster : clusters) {
+    if (process_limit > 0 && emitted >= process_limit) break;
+    const NodeId cluster_id = b.add(0, cluster.name);
+    for (std::int32_t m = 0; m < cluster.machines; ++m) {
+      if (process_limit > 0 && emitted >= process_limit) break;
+      const NodeId machine_id =
+          b.add(cluster_id, cluster.name + "-" + std::to_string(m));
+      for (std::int32_t c = 0; c < cluster.cores_per_machine; ++c) {
+        if (process_limit > 0 && emitted >= process_limit) break;
+        b.add(machine_id, "core" + std::to_string(c));
+        ++emitted;
+      }
+    }
+  }
+  return b.finish();
+}
+
+PlatformSpec grid5000_rennes_parapide() {
+  return {"rennes",
+          {{"parapide", 8, 8, Interconnect::kInfinibandMT25418}}};
+}
+
+PlatformSpec grid5000_grenoble() {
+  return {"grenoble",
+          {{"adonis", 9, 8, Interconnect::kInfiniband20G},
+           {"edel", 24, 8, Interconnect::kInfiniband20G},
+           {"genepi", 31, 8, Interconnect::kInfiniband20G}}};
+}
+
+PlatformSpec grid5000_nancy() {
+  return {"nancy",
+          {{"graphene", 26, 4, Interconnect::kInfiniband20G},
+           {"graphite", 4, 16, Interconnect::kEthernet10G},
+           {"griffon", 67, 8, Interconnect::kInfiniband20G}}};
+}
+
+PlatformSpec grid5000_rennes_triple() {
+  return {"rennes",
+          {{"paradent", 38, 8, Interconnect::kInfiniband20G},
+           {"parapide", 21, 8, Interconnect::kInfinibandMT25418},
+           {"parapluie", 18, 24, Interconnect::kInfiniband20G}}};
+}
+
+}  // namespace stagg

@@ -1,0 +1,76 @@
+// Grid'5000 platform presets (paper §V, Table II).
+//
+// The paper's resource hierarchy is: site > cluster > machine > core, with
+// one MPI process bound to each core.  The presets below reproduce the four
+// experimental sites of Table II; the process count can be scaled down (the
+// scaling keeps the cluster proportions) so the bench harness runs on a
+// laptop while preserving the heterogeneity the paper's analysis relies on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hierarchy/hierarchy.hpp"
+
+namespace stagg {
+
+/// Interconnect family of a cluster; used by the LU workload model, where
+/// Ethernet clusters exhibit slower, more irregular communication (the
+/// paper's Graphite observation).
+enum class Interconnect : std::uint8_t {
+  kInfiniband20G,
+  kInfinibandMT25418,
+  kEthernet10G,
+};
+
+[[nodiscard]] const char* to_string(Interconnect ic) noexcept;
+
+/// Homogeneous cluster description.
+struct ClusterSpec {
+  std::string name;
+  std::int32_t machines = 0;
+  std::int32_t cores_per_machine = 0;
+  Interconnect interconnect = Interconnect::kInfiniband20G;
+
+  [[nodiscard]] std::int32_t cores() const noexcept {
+    return machines * cores_per_machine;
+  }
+};
+
+/// A Grid'5000 site: a named list of clusters.
+struct PlatformSpec {
+  std::string site;
+  std::vector<ClusterSpec> clusters;
+
+  [[nodiscard]] std::int32_t total_cores() const noexcept;
+  [[nodiscard]] std::int32_t total_machines() const noexcept;
+
+  /// Returns a copy scaled to approximately `target_cores` total cores,
+  /// keeping cores-per-machine fixed and shrinking machine counts
+  /// proportionally (at least one machine per cluster survives).
+  [[nodiscard]] PlatformSpec scaled_to(std::int32_t target_cores) const;
+
+  /// Materializes the site as a Hierarchy: site / cluster / machine / core.
+  /// Only the first `process_limit` cores (DFS order) are kept when the
+  /// limit is positive — Table II case C uses 700 of Nancy's 704 cores.
+  [[nodiscard]] Hierarchy build_hierarchy(std::int32_t process_limit = 0) const;
+};
+
+/// Table II case A: Rennes, cluster parapide (8 machines x 8 cores),
+/// Infiniband MT25418 — 64 processes.
+[[nodiscard]] PlatformSpec grid5000_rennes_parapide();
+
+/// Table II case B: Grenoble, adonis(9) + edel(24) + genepi(31) machines,
+/// 8 cores each — 512 processes.
+[[nodiscard]] PlatformSpec grid5000_grenoble();
+
+/// Table II case C: Nancy, graphene(26 x 4, IB-20G) + graphite(4 x 16,
+/// 10 GbE) + griffon(67 x 8, IB-20G) — 704 cores, 700 used.
+[[nodiscard]] PlatformSpec grid5000_nancy();
+
+/// Table II case D: Rennes, paradent(38 x 8) + parapide(21 x 8) +
+/// parapluie(18 x 24) — 904 cores, 900 used.
+[[nodiscard]] PlatformSpec grid5000_rennes_triple();
+
+}  // namespace stagg

@@ -1,0 +1,95 @@
+// Information-theoretic measures of the aggregation trade-off (paper §III-C).
+//
+// For a macroscopic area (S_k, T_(i,j)) and a state x, with
+//   rho_agg = aggregated proportion (Eq. 1)
+//   sum_rho = sum of microscopic proportions rho_x(s,t) over the area
+//   sum_rho_log = sum of rho_x(s,t) * log2 rho_x(s,t) over the area
+// the measures are
+//   loss_x = sum_rho_log - sum_rho * log2(rho_agg)          (Eq. 2, KL form)
+//   gain_x = rho_agg * log2(rho_agg) - sum_rho_log          (Eq. 3, entropy)
+//   pIC_x  = p * gain_x - (1 - p) * loss_x                  (Eq. 4)
+// pIC is additive over the parts of a partition and over states.
+#pragma once
+
+#include <cstdint>
+
+#include "common/math.hpp"
+
+namespace stagg {
+
+/// Per-state additive sums describing one spatiotemporal area.  All three
+/// fields are additive over sub-areas, which is what the DataCube prefix
+/// sums exploit.
+struct StateAreaSums {
+  double sum_d = 0.0;        ///< seconds spent in the state over the area
+  double sum_rho = 0.0;      ///< sum of microscopic proportions
+  double sum_rho_log = 0.0;  ///< sum of rho * log2(rho)
+
+  StateAreaSums& operator+=(const StateAreaSums& o) noexcept {
+    sum_d += o.sum_d;
+    sum_rho += o.sum_rho;
+    sum_rho_log += o.sum_rho_log;
+    return *this;
+  }
+};
+
+/// Gain and loss of an area, summed over states.
+struct AreaMeasures {
+  double gain = 0.0;
+  double loss = 0.0;
+
+  AreaMeasures& operator+=(const AreaMeasures& o) noexcept {
+    gain += o.gain;
+    loss += o.loss;
+    return *this;
+  }
+};
+
+/// Aggregated proportion rho_x(S_k, T_(i,j)) (Eq. 1): total state seconds
+/// divided by the resource count times the interval duration.
+[[nodiscard]] inline double aggregated_proportion(
+    double sum_d, double leaf_count, double interval_duration_s) noexcept {
+  const double denom = leaf_count * interval_duration_s;
+  return denom > 0.0 ? sum_d / denom : 0.0;
+}
+
+/// Rounding-noise floor of loss/gain over an area of `cells` microscopic
+/// cells.  The measures subtract accumulated sums whose ulp-level errors
+/// are amplified by sum_rho (up to `cells`); on an exactly homogeneous area
+/// the analytic value is 0 but the computed one can reach ~cells * 1e-13.
+/// Snapping values below the floor to zero keeps homogeneous areas exact
+/// ties so the aggregation's coarsest-tie rule applies (information below
+/// 1e-12 bit per cell is meaningless anyway).
+[[nodiscard]] inline double measure_noise_floor(double cells) noexcept {
+  return 1e-12 * cells + 1e-14;
+}
+
+/// Information loss of one state over one area (Eq. 2).  Zero when the area
+/// is homogeneous (all microscopic proportions equal) or empty.
+/// `cells` (when > 0) enables the rounding-noise snap-to-zero.
+[[nodiscard]] inline double state_loss(const StateAreaSums& s, double rho_agg,
+                                       double cells = 0.0) noexcept {
+  if (rho_agg <= 0.0) return 0.0;  // then every rho is 0, loss is 0
+  const double loss = s.sum_rho_log - s.sum_rho * safe_log2(rho_agg);
+  if (cells > 0.0 && std::abs(loss) < measure_noise_floor(cells)) return 0.0;
+  return loss;
+}
+
+/// Data-reduction gain of one state over one area (Eq. 3).
+[[nodiscard]] inline double state_gain(const StateAreaSums& s, double rho_agg,
+                                       double cells = 0.0) noexcept {
+  const double gain = xlog2x(rho_agg) - s.sum_rho_log;
+  if (cells > 0.0 && std::abs(gain) < measure_noise_floor(cells)) return 0.0;
+  return gain;
+}
+
+/// Parametrized Information Criterion (Eq. 4).
+[[nodiscard]] inline double pic(double p, double gain, double loss) noexcept {
+  return p * gain - (1.0 - p) * loss;
+}
+
+[[nodiscard]] inline double pic(double p, const AreaMeasures& m) noexcept {
+  return pic(p, m.gain, m.loss);
+}
+
+}  // namespace stagg

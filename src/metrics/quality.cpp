@@ -1,0 +1,17 @@
+#include "metrics/quality.hpp"
+
+#include <cstdio>
+
+namespace stagg {
+
+std::string format_quality(const PartitionQuality& q) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "areas=%zu/%zu reduction=%.1f%% gain=%.1f%% loss=%.1f%%",
+                q.area_count, q.microscopic_count,
+                q.complexity_reduction() * 100.0, q.gain_fraction() * 100.0,
+                q.loss_fraction() * 100.0);
+  return buf;
+}
+
+}  // namespace stagg

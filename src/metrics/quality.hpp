@@ -1,0 +1,40 @@
+// Partition quality indicators shown to the analyst (criteria G5/G6: the
+// tool reports how far a representation is from the microscopic model).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace stagg {
+
+/// Normalized quality of a chosen partition, as Ocelotl displays it next to
+/// the aggregation-strength slider.
+struct PartitionQuality {
+  std::size_t area_count = 0;        ///< |P|
+  std::size_t microscopic_count = 0; ///< |S| * |T|
+  double gain = 0.0;                 ///< total gain of the partition
+  double loss = 0.0;                 ///< total loss of the partition
+  double max_gain = 0.0;             ///< gain of the full aggregation
+  double max_loss = 0.0;             ///< loss of the full aggregation
+
+  /// Complexity reduction in [0,1]: 1 - |P| / |S x T|.
+  [[nodiscard]] double complexity_reduction() const noexcept {
+    return microscopic_count == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(area_count) /
+                           static_cast<double>(microscopic_count);
+  }
+  /// Fraction of the maximal gain achieved, in [0,1] when max_gain > 0.
+  [[nodiscard]] double gain_fraction() const noexcept {
+    return max_gain != 0.0 ? gain / max_gain : 0.0;
+  }
+  /// Fraction of the maximal loss incurred, in [0,1] when max_loss > 0.
+  [[nodiscard]] double loss_fraction() const noexcept {
+    return max_loss != 0.0 ? loss / max_loss : 0.0;
+  }
+};
+
+/// One-line rendering: "areas=56/240 reduction=76.7% loss=12.3%".
+[[nodiscard]] std::string format_quality(const PartitionQuality& q);
+
+}  // namespace stagg

@@ -1,0 +1,122 @@
+#include "model/builder.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+
+namespace stagg {
+
+namespace detail {
+
+std::vector<LeafId> map_resources(const std::vector<std::string>& paths,
+                                  const Hierarchy& hierarchy,
+                                  bool match_by_path) {
+  if (paths.size() != hierarchy.leaf_count()) {
+    throw DimensionError("trace has " + std::to_string(paths.size()) +
+                         " resources but hierarchy has " +
+                         std::to_string(hierarchy.leaf_count()) + " leaves");
+  }
+  std::vector<LeafId> map(paths.size());
+  if (!match_by_path) {
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      map[i] = static_cast<LeafId>(i);
+    }
+    return map;
+  }
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const NodeId node = hierarchy.find(paths[i]);
+    if (node == kNoNode || !hierarchy.is_leaf(node)) {
+      throw DimensionError("trace resource '" + paths[i] +
+                           "' is not a hierarchy leaf");
+    }
+    map[i] = hierarchy.node(node).first_leaf;
+  }
+  // The mapping must be a bijection.
+  std::vector<LeafId> sorted = map;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (sorted[i] != static_cast<LeafId>(i)) {
+      throw DimensionError("trace resources do not cover hierarchy leaves");
+    }
+  }
+  return map;
+}
+
+namespace {
+
+/// Folds one interval into the tensor: distributes [begin,end) over the
+/// slices it overlaps.
+inline void fold_interval(MicroscopicModel& model, const TimeGrid& grid,
+                          LeafId leaf, const StateInterval& s) {
+  const TimeNs lo = std::max(s.begin, grid.begin());
+  const TimeNs hi = std::min(s.end, grid.end());
+  if (hi <= lo) return;
+  const SliceId first = grid.slice_of(lo);
+  const SliceId last = grid.slice_of(hi - 1);
+  for (SliceId t = first; t <= last; ++t) {
+    const double overlap = grid.overlap_s(lo, hi, t);
+    if (overlap > 0.0) model.add_duration(leaf, t, s.state, overlap);
+  }
+}
+
+TimeGrid make_grid(TimeNs trace_begin, TimeNs trace_end,
+                   const ModelBuildOptions& options) {
+  TimeNs begin = options.window_begin;
+  TimeNs end = options.window_end;
+  if (begin == 0 && end == 0) {
+    begin = trace_begin;
+    end = trace_end;
+  }
+  if (end <= begin) {
+    throw InvalidArgument("model window is empty; trace has no events?");
+  }
+  return TimeGrid(begin, end, options.slice_count);
+}
+
+}  // namespace
+}  // namespace detail
+
+MicroscopicModel build_model(Trace& trace, const Hierarchy& hierarchy,
+                             const ModelBuildOptions& options) {
+  trace.seal();
+  const auto map = detail::map_resources(trace.resource_paths(), hierarchy,
+                                         options.match_by_path);
+  const TimeGrid grid =
+      detail::make_grid(trace.begin(), trace.end(), options);
+  MicroscopicModel model(&hierarchy, grid, trace.states());
+
+  // Parallel over trace resources: leaf stripes are disjoint by bijection.
+  parallel_for(
+      trace.resource_count(),
+      [&](std::size_t r) {
+        const LeafId leaf = map[r];
+        for (const auto& s : trace.intervals(static_cast<ResourceId>(r))) {
+          detail::fold_interval(model, grid, leaf, s);
+        }
+      },
+      /*grain=*/1);
+  return model;
+}
+
+MicroscopicModel build_model_streaming(const std::string& trace_path,
+                                       const Hierarchy& hierarchy,
+                                       const ModelBuildOptions& options) {
+  const TraceFileInfo info = read_binary_trace_info(trace_path);
+  const auto map = detail::map_resources(info.resource_paths, hierarchy,
+                                         options.match_by_path);
+  const TimeGrid grid =
+      detail::make_grid(info.window_begin, info.window_end, options);
+  MicroscopicModel model(&hierarchy, grid, info.states);
+
+  stream_binary_trace(trace_path, [&](std::span<const TraceRecord> chunk) {
+    for (const auto& rec : chunk) {
+      detail::fold_interval(model, grid,
+                            map[static_cast<std::size_t>(rec.resource)],
+                            rec.interval);
+    }
+  });
+  return model;
+}
+
+}  // namespace stagg

@@ -1,0 +1,53 @@
+// Builds the microscopic model from a trace (Table II "microscopic
+// description" step).
+//
+// Each state interval is clipped against the slices it overlaps and its
+// overlap durations accumulated into d_x(s,t).  The build is parallel over
+// resources (each leaf owns a disjoint tensor stripe, so no synchronization
+// is needed) and is also available in streaming form, fed by
+// stream_binary_trace, for traces larger than memory.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "hierarchy/hierarchy.hpp"
+#include "model/microscopic_model.hpp"
+#include "trace/binary_io.hpp"
+#include "trace/trace.hpp"
+
+namespace stagg {
+
+/// Options of the model build.
+struct ModelBuildOptions {
+  std::int32_t slice_count = 30;  ///< |T|; the paper uses 30 everywhere.
+  /// Match trace resources to hierarchy leaves by path (true) or by index
+  /// order (false).  Path matching tolerates permuted traces.
+  bool match_by_path = true;
+  /// Restrict the model window; {0,0} means "use the trace window".
+  TimeNs window_begin = 0;
+  TimeNs window_end = 0;
+};
+
+/// Builds d_x(s,t) from an in-memory trace.  Throws DimensionError when a
+/// trace resource cannot be mapped onto a hierarchy leaf.
+[[nodiscard]] MicroscopicModel build_model(Trace& trace,
+                                           const Hierarchy& hierarchy,
+                                           const ModelBuildOptions& options = {});
+
+/// Streaming build straight from a binary trace file: reads the header,
+/// maps resources, and folds record chunks into the tensor without ever
+/// materializing the trace.  Reports the same result as read + build.
+[[nodiscard]] MicroscopicModel build_model_streaming(
+    const std::string& trace_path, const Hierarchy& hierarchy,
+    const ModelBuildOptions& options = {});
+
+namespace detail {
+/// Maps trace resource ids to hierarchy leaves.  Exposed for tests.
+[[nodiscard]] std::vector<LeafId> map_resources(
+    const std::vector<std::string>& resource_paths, const Hierarchy& hierarchy,
+    bool match_by_path);
+}  // namespace detail
+
+}  // namespace stagg

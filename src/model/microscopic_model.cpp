@@ -1,0 +1,63 @@
+#include "model/microscopic_model.hpp"
+
+#include <string>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace stagg {
+
+MicroscopicModel::MicroscopicModel(const Hierarchy* hierarchy, TimeGrid grid,
+                                   StateRegistry states)
+    : hier_(hierarchy),
+      grid_(grid),
+      states_(std::move(states)),
+      n_s_(static_cast<std::int32_t>(hierarchy->leaf_count())),
+      n_t_(grid.slice_count()),
+      n_x_(static_cast<std::int32_t>(states_.size())) {
+  if (hier_ == nullptr || hier_->empty()) {
+    throw InvalidArgument("MicroscopicModel: empty hierarchy");
+  }
+  if (n_x_ < 1) {
+    throw InvalidArgument("MicroscopicModel: at least one state required");
+  }
+  data_.assign(static_cast<std::size_t>(n_s_) * n_t_ * n_x_, 0.0);
+}
+
+double MicroscopicModel::total_mass() const noexcept {
+  KahanSum sum;
+  for (double v : data_) sum.add(v);
+  return sum.value();
+}
+
+void MicroscopicModel::validate() const {
+  if (hier_ == nullptr) throw DimensionError("model has no hierarchy");
+  if (static_cast<std::size_t>(n_s_) != hier_->leaf_count()) {
+    throw DimensionError("leaf count mismatch");
+  }
+  if (data_.size() != static_cast<std::size_t>(n_s_) * n_t_ * n_x_) {
+    throw DimensionError("tensor size mismatch");
+  }
+  for (LeafId s = 0; s < n_s_; ++s) {
+    for (SliceId t = 0; t < n_t_; ++t) {
+      double in_slice = 0.0;
+      for (StateId x = 0; x < n_x_; ++x) {
+        const double d = duration(s, t, x);
+        if (d < 0.0) {
+          throw DimensionError("negative duration at s=" + std::to_string(s) +
+                               " t=" + std::to_string(t));
+        }
+        in_slice += d;
+      }
+      const double cap = grid_.slice_duration_s(t) * (1.0 + 1e-6) + 1e-9;
+      if (in_slice > cap) {
+        throw DimensionError(
+            "states of resource " + std::to_string(s) + " overlap in slice " +
+            std::to_string(t) + ": " + std::to_string(in_slice) + "s > " +
+            std::to_string(grid_.slice_duration_s(t)) + "s");
+      }
+    }
+  }
+}
+
+}  // namespace stagg

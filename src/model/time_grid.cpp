@@ -1,0 +1,31 @@
+#include "model/time_grid.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace stagg {
+
+TimeGrid::TimeGrid(TimeNs begin, TimeNs end, std::int32_t count)
+    : begin_(begin), end_(end), span_(end - begin), count_(count) {
+  if (count < 1) throw InvalidArgument("TimeGrid: slice count must be >= 1");
+  if (end <= begin) throw InvalidArgument("TimeGrid: empty window");
+}
+
+SliceId TimeGrid::slice_of(TimeNs time) const noexcept {
+  if (time <= begin_) return 0;
+  if (time >= end_) return count_ - 1;
+  // Integer computation mirroring slice_begin (128-bit safe via long double
+  // avoided: span_ * count fits i64 for realistic traces, but guard anyway).
+  const auto idx = static_cast<SliceId>(
+      static_cast<__int128>(time - begin_) * count_ / span_);
+  return std::clamp<SliceId>(idx, 0, count_ - 1);
+}
+
+double TimeGrid::overlap_s(TimeNs a, TimeNs b, SliceId t) const noexcept {
+  const TimeNs lo = std::max(a, slice_begin(t));
+  const TimeNs hi = std::min(b, slice_end(t));
+  return hi > lo ? to_seconds(hi - lo) : 0.0;
+}
+
+}  // namespace stagg

@@ -1,0 +1,65 @@
+// The temporal dimension of the trace model (paper §III-A(2)).
+//
+// The raw continuous trace time is divided into |T| regular time periods
+// ("slices"); events are associated with the periods they are active in.
+// The paper uses 30 slices for every Table II scenario; the library supports
+// any count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace stagg {
+
+/// Index of a time slice in [0, slice_count).
+using SliceId = std::int32_t;
+
+/// Uniform slicing of a window [begin, end) into `count` slices.
+class TimeGrid {
+ public:
+  TimeGrid() = default;
+
+  /// Throws InvalidArgument when count < 1 or end <= begin.
+  TimeGrid(TimeNs begin, TimeNs end, std::int32_t count);
+
+  [[nodiscard]] TimeNs begin() const noexcept { return begin_; }
+  [[nodiscard]] TimeNs end() const noexcept { return end_; }
+  [[nodiscard]] std::int32_t slice_count() const noexcept { return count_; }
+
+  /// Slice boundaries: slice t covers [slice_begin(t), slice_end(t)).
+  /// Boundaries are computed multiplicatively so they are exact and the last
+  /// slice ends exactly at end() (no cumulative rounding drift).
+  [[nodiscard]] TimeNs slice_begin(SliceId t) const noexcept {
+    return begin_ + span_ * t / count_;
+  }
+  [[nodiscard]] TimeNs slice_end(SliceId t) const noexcept {
+    return begin_ + span_ * (t + 1) / count_;
+  }
+  /// d(t): duration of slice t in seconds.
+  [[nodiscard]] double slice_duration_s(SliceId t) const noexcept {
+    return to_seconds(slice_end(t) - slice_begin(t));
+  }
+
+  /// Slice containing timestamp `time` (clamped to [0, count)).
+  [[nodiscard]] SliceId slice_of(TimeNs time) const noexcept;
+
+  /// Overlap in seconds between [a, b) and slice t.
+  [[nodiscard]] double overlap_s(TimeNs a, TimeNs b, SliceId t) const noexcept;
+
+  /// Total duration of the interval of slices [i, j] in seconds.
+  [[nodiscard]] double interval_duration_s(SliceId i, SliceId j) const noexcept {
+    return to_seconds(slice_end(j) - slice_begin(i));
+  }
+
+  friend bool operator==(const TimeGrid&, const TimeGrid&) = default;
+
+ private:
+  TimeNs begin_ = 0;
+  TimeNs end_ = 0;
+  TimeNs span_ = 0;
+  std::int32_t count_ = 0;
+};
+
+}  // namespace stagg

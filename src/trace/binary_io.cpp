@@ -1,0 +1,219 @@
+#include "trace/binary_io.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace stagg {
+namespace {
+
+constexpr char kMagic[8] = {'S', 'T', 'G', 'T', 'R', 'C', '0', '1'};
+constexpr std::size_t kRecordBytes = 4 + 4 + 8 + 8;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const noexcept {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+FilePtr open_file(const std::string& path, const char* mode) {
+  FilePtr f(std::fopen(path.c_str(), mode));
+  if (!f) throw IoError("cannot open '" + path + "'");
+  return f;
+}
+
+void write_bytes(std::FILE* f, const void* data, std::size_t n,
+                 const std::string& path) {
+  if (std::fwrite(data, 1, n, f) != n) {
+    throw IoError("short write to '" + path + "'");
+  }
+}
+
+void read_bytes(std::FILE* f, void* data, std::size_t n,
+                const std::string& path) {
+  if (std::fread(data, 1, n, f) != n) {
+    throw TraceFormatError("truncated file '" + path + "'");
+  }
+}
+
+template <typename T>
+void write_pod(std::FILE* f, T v, const std::string& path) {
+  write_bytes(f, &v, sizeof v, path);
+}
+
+template <typename T>
+T read_pod(std::FILE* f, const std::string& path) {
+  T v{};
+  read_bytes(f, &v, sizeof v, path);
+  return v;
+}
+
+void write_string(std::FILE* f, const std::string& s, const std::string& path) {
+  write_pod<std::uint32_t>(f, static_cast<std::uint32_t>(s.size()), path);
+  write_bytes(f, s.data(), s.size(), path);
+}
+
+std::string read_string(std::FILE* f, const std::string& path) {
+  const auto len = read_pod<std::uint32_t>(f, path);
+  if (len > (1u << 20)) {
+    throw TraceFormatError("string too long in '" + path + "'");
+  }
+  std::string s(len, '\0');
+  read_bytes(f, s.data(), len, path);
+  return s;
+}
+
+void encode_record(std::uint8_t* out, ResourceId r, const StateInterval& s) {
+  const std::uint32_t ur = static_cast<std::uint32_t>(r);
+  const std::uint32_t ux = static_cast<std::uint32_t>(s.state);
+  std::memcpy(out, &ur, 4);
+  std::memcpy(out + 4, &ux, 4);
+  std::memcpy(out + 8, &s.begin, 8);
+  std::memcpy(out + 16, &s.end, 8);
+}
+
+TraceRecord decode_record(const std::uint8_t* in) {
+  std::uint32_t ur = 0, ux = 0;
+  TimeNs begin = 0, end = 0;
+  std::memcpy(&ur, in, 4);
+  std::memcpy(&ux, in + 4, 4);
+  std::memcpy(&begin, in + 8, 8);
+  std::memcpy(&end, in + 16, 8);
+  return {static_cast<ResourceId>(ur),
+          StateInterval{begin, end, static_cast<StateId>(ux)}};
+}
+
+TraceFileInfo read_header(std::FILE* f, const std::string& path) {
+  char magic[8];
+  read_bytes(f, magic, sizeof magic, path);
+  if (std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    throw TraceFormatError("bad magic in '" + path + "'");
+  }
+  TraceFileInfo info;
+  const auto resource_count = read_pod<std::uint64_t>(f, path);
+  const auto state_count = read_pod<std::uint64_t>(f, path);
+  info.window_begin = read_pod<TimeNs>(f, path);
+  info.window_end = read_pod<TimeNs>(f, path);
+  info.record_count = read_pod<std::uint64_t>(f, path);
+  if (resource_count > (1ull << 32) || state_count > (1ull << 20)) {
+    throw TraceFormatError("implausible table sizes in '" + path + "'");
+  }
+  info.resource_paths.reserve(resource_count);
+  for (std::uint64_t i = 0; i < resource_count; ++i) {
+    info.resource_paths.push_back(read_string(f, path));
+  }
+  for (std::uint64_t i = 0; i < state_count; ++i) {
+    info.states.intern(read_string(f, path));
+  }
+  return info;
+}
+
+}  // namespace
+
+std::uint64_t write_binary_trace(Trace& trace, const std::string& path) {
+  trace.seal();
+  FilePtr f = open_file(path, "wb");
+
+  write_bytes(f.get(), kMagic, sizeof kMagic, path);
+  write_pod<std::uint64_t>(f.get(), trace.resource_count(), path);
+  write_pod<std::uint64_t>(f.get(), trace.states().size(), path);
+  write_pod<TimeNs>(f.get(), trace.begin(), path);
+  write_pod<TimeNs>(f.get(), trace.end(), path);
+  write_pod<std::uint64_t>(f.get(), trace.state_count(), path);
+  for (const auto& p : trace.resource_paths()) write_string(f.get(), p, path);
+  for (const auto& s : trace.states().names()) write_string(f.get(), s, path);
+
+  // Buffered record emission, resource-major (file order is deterministic).
+  constexpr std::size_t kBufRecords = 1 << 15;
+  std::vector<std::uint8_t> buf(kBufRecords * kRecordBytes);
+  std::size_t in_buf = 0;
+  for (ResourceId r = 0; r < static_cast<ResourceId>(trace.resource_count());
+       ++r) {
+    for (const auto& s : trace.intervals(r)) {
+      encode_record(buf.data() + in_buf * kRecordBytes, r, s);
+      if (++in_buf == kBufRecords) {
+        write_bytes(f.get(), buf.data(), in_buf * kRecordBytes, path);
+        in_buf = 0;
+      }
+    }
+  }
+  if (in_buf != 0) {
+    write_bytes(f.get(), buf.data(), in_buf * kRecordBytes, path);
+  }
+  const long pos = std::ftell(f.get());
+  if (pos < 0) throw IoError("ftell failed on '" + path + "'");
+  return static_cast<std::uint64_t>(pos);
+}
+
+TraceFileInfo read_binary_trace_info(const std::string& path) {
+  FilePtr f = open_file(path, "rb");
+  return read_header(f.get(), path);
+}
+
+TraceFileInfo stream_binary_trace(
+    const std::string& path,
+    const std::function<void(std::span<const TraceRecord>)>& sink,
+    std::size_t chunk_records) {
+  FilePtr f = open_file(path, "rb");
+  TraceFileInfo info = read_header(f.get(), path);
+
+  std::vector<std::uint8_t> buf(chunk_records * kRecordBytes);
+  std::vector<TraceRecord> records;
+  records.reserve(chunk_records);
+
+  std::uint64_t remaining = info.record_count;
+  const auto n_resources = info.resource_paths.size();
+  const auto n_states = info.states.size();
+  while (remaining > 0) {
+    const std::size_t take = static_cast<std::size_t>(
+        std::min<std::uint64_t>(remaining, chunk_records));
+    read_bytes(f.get(), buf.data(), take * kRecordBytes, path);
+    records.clear();
+    for (std::size_t i = 0; i < take; ++i) {
+      TraceRecord rec = decode_record(buf.data() + i * kRecordBytes);
+      if (static_cast<std::size_t>(rec.resource) >= n_resources) {
+        throw TraceFormatError("record references unknown resource in '" +
+                               path + "'");
+      }
+      if (static_cast<std::size_t>(rec.interval.state) >= n_states) {
+        throw TraceFormatError("record references unknown state in '" + path +
+                               "'");
+      }
+      if (rec.interval.end < rec.interval.begin) {
+        throw TraceFormatError("record with end < begin in '" + path + "'");
+      }
+      records.push_back(rec);
+    }
+    sink({records.data(), records.size()});
+    remaining -= take;
+  }
+  return info;
+}
+
+Trace read_binary_trace(const std::string& path) {
+  // Register tables before records: decode the header once, then stream the
+  // records into the trace (ids in the file are dense and file-ordered, so
+  // they coincide with the registration order).
+  const TraceFileInfo info = read_binary_trace_info(path);
+  Trace out;
+  for (const auto& p : info.resource_paths) out.add_resource(p);
+  for (const auto& s : info.states.names()) out.states().intern(s);
+  stream_binary_trace(
+      path,
+      [&](std::span<const TraceRecord> chunk) {
+        for (const auto& rec : chunk) {
+          out.add_state(rec.resource, rec.interval.state, rec.interval.begin,
+                        rec.interval.end);
+        }
+      },
+      /*chunk_records=*/1 << 16);
+  out.set_window(info.window_begin, info.window_end);
+  out.seal();
+  return out;
+}
+
+}  // namespace stagg

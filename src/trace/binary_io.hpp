@@ -1,0 +1,57 @@
+// Compact binary trace format ("STGT"), the library's OTF2 stand-in.
+//
+// Layout (little-endian):
+//   header:   magic "STGTRC01" | u64 resource_count | u64 state_count
+//             | i64 window_begin | i64 window_end | u64 record_count
+//   tables:   resource paths then state names, each u32-length-prefixed UTF-8
+//   records:  record_count x { u32 resource | u32 state | i64 begin | i64 end }
+//
+// Records are 24 bytes; Table II's "trace size" column is reproduced from
+// this format.  The reader offers both a materializing API and a streaming
+// API (fixed-size chunks through a callback) so the microscopic model can be
+// built from traces larger than memory.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace stagg {
+
+/// One on-disk record paired with its resource (streaming API).
+struct TraceRecord {
+  ResourceId resource;
+  StateInterval interval;
+};
+
+/// Static description decoded from a trace file header + tables.
+struct TraceFileInfo {
+  std::vector<std::string> resource_paths;
+  StateRegistry states;
+  TimeNs window_begin = 0;
+  TimeNs window_end = 0;
+  std::uint64_t record_count = 0;
+};
+
+/// Writes `trace` to `path`.  Returns the number of bytes written.
+/// The trace is sealed first if needed.
+std::uint64_t write_binary_trace(Trace& trace, const std::string& path);
+
+/// Reads a full trace file into memory.  Throws TraceFormatError/IoError.
+[[nodiscard]] Trace read_binary_trace(const std::string& path);
+
+/// Decodes only the header and tables.
+[[nodiscard]] TraceFileInfo read_binary_trace_info(const std::string& path);
+
+/// Streams the records of a trace file through `sink` in file order,
+/// `chunk_records` at a time.  Returns the decoded file info.  The spans
+/// passed to `sink` are only valid during the call.
+TraceFileInfo stream_binary_trace(
+    const std::string& path,
+    const std::function<void(std::span<const TraceRecord>)>& sink,
+    std::size_t chunk_records = 1 << 16);
+
+}  // namespace stagg

@@ -1,0 +1,83 @@
+#include "trace/csv_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace stagg {
+
+void write_csv_trace(Trace& trace, std::ostream& os) {
+  trace.seal();
+  os << "# stagg-trace-csv v1\n";
+  os << "# window," << trace.begin() << ',' << trace.end() << '\n';
+  for (ResourceId r = 0; r < static_cast<ResourceId>(trace.resource_count());
+       ++r) {
+    const auto& path = trace.resource_path(r);
+    for (const auto& s : trace.intervals(r)) {
+      os << "STATE," << path << ',' << trace.states().name(s.state) << ','
+         << s.begin << ',' << s.end << '\n';
+    }
+  }
+}
+
+std::uint64_t write_csv_trace(Trace& trace, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw IoError("cannot open '" + path + "' for writing");
+  write_csv_trace(trace, os);
+  os.flush();
+  if (!os) throw IoError("short write to '" + path + "'");
+  return static_cast<std::uint64_t>(os.tellp());
+}
+
+Trace read_csv_trace(std::istream& is, const std::string& context) {
+  Trace trace;
+  std::string line;
+  std::size_t line_no = 0;
+  bool have_window = false;
+  TimeNs wbegin = 0, wend = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::string_view sv = trim(line);
+    if (sv.empty()) continue;
+    if (sv.front() == '#') {
+      if (starts_with(sv, "# window,")) {
+        const auto fields = split(sv.substr(2), ',');
+        if (fields.size() != 3) {
+          throw TraceFormatError("bad window comment at " + context + ":" +
+                                 std::to_string(line_no));
+        }
+        wbegin = parse_int(fields[1], context);
+        wend = parse_int(fields[2], context);
+        have_window = true;
+      }
+      continue;
+    }
+    const auto fields = split(sv, ',');
+    const std::string where = context + ":" + std::to_string(line_no);
+    if (fields.size() != 5 || fields[0] != "STATE") {
+      throw TraceFormatError("expected STATE record with 5 fields at " +
+                             where);
+    }
+    const ResourceId r = trace.add_resource(fields[1]);
+    const StateId x = trace.states().intern(fields[2]);
+    const TimeNs begin = parse_int(fields[3], where);
+    const TimeNs end = parse_int(fields[4], where);
+    if (end < begin) {
+      throw TraceFormatError("end < begin at " + where);
+    }
+    trace.add_state(r, x, begin, end);
+  }
+  if (have_window) trace.set_window(wbegin, wend);
+  trace.seal();
+  return trace;
+}
+
+Trace read_csv_trace(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw IoError("cannot open '" + path + "'");
+  return read_csv_trace(is, path);
+}
+
+}  // namespace stagg

@@ -1,0 +1,34 @@
+// CSV trace exchange format (Pajé-dump-like).
+//
+// Human-readable sibling of the binary format, used for interoperability and
+// small fixtures:
+//
+//   # stagg-trace-csv v1
+//   # window,<begin_ns>,<end_ns>
+//   STATE,<resource_path>,<state_name>,<begin_ns>,<end_ns>
+//
+// Lines starting with '#' are comments; fields are comma-separated with no
+// quoting (resource paths and state names must not contain commas).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace stagg {
+
+/// Writes `trace` as CSV.  Returns bytes written.  Seals the trace.
+std::uint64_t write_csv_trace(Trace& trace, const std::string& path);
+
+/// Serializes to a stream (used by tests).
+void write_csv_trace(Trace& trace, std::ostream& os);
+
+/// Parses a CSV trace file.
+[[nodiscard]] Trace read_csv_trace(const std::string& path);
+
+/// Parses from a stream.
+[[nodiscard]] Trace read_csv_trace(std::istream& is,
+                                   const std::string& context = "<stream>");
+
+}  // namespace stagg

@@ -1,0 +1,51 @@
+// Event-level trace model (paper §III-A).
+//
+// Raw traces contain timestamped events; a *state* is a pair of events (an
+// enter and a leave, e.g. an MPI function call and its return) attached to
+// the resource that produced it.  The library stores states directly as
+// half-open intervals [begin, end); the event count reported by statistics
+// is 2x the state count, matching how Score-P counts the enter/leave records
+// of Table II.
+#pragma once
+
+#include <cstdint>
+
+namespace stagg {
+
+/// Timestamps are signed 64-bit nanoseconds from the trace origin.
+using TimeNs = std::int64_t;
+
+/// Identifier of a state type (an entry of the StateRegistry).
+using StateId = std::int32_t;
+
+/// Identifier of a traced resource (index into the trace resource table;
+/// aligned with hierarchy leaf ids by the model builder).
+using ResourceId = std::int32_t;
+
+inline constexpr StateId kNoState = -1;
+
+/// Converts seconds to the internal nanosecond timestamps.
+[[nodiscard]] constexpr TimeNs seconds(double s) noexcept {
+  return static_cast<TimeNs>(s * 1e9);
+}
+
+/// Converts internal timestamps back to seconds.
+[[nodiscard]] constexpr double to_seconds(TimeNs t) noexcept {
+  return static_cast<double>(t) * 1e-9;
+}
+
+/// One state occurrence: resource `r` was in state `state` over [begin, end).
+struct StateInterval {
+  TimeNs begin = 0;
+  TimeNs end = 0;
+  StateId state = kNoState;
+
+  [[nodiscard]] constexpr TimeNs duration() const noexcept {
+    return end - begin;
+  }
+
+  friend constexpr bool operator==(const StateInterval&,
+                                   const StateInterval&) = default;
+};
+
+}  // namespace stagg

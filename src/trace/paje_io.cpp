@@ -1,0 +1,93 @@
+#include "trace/paje_io.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace stagg {
+namespace {
+
+/// Seconds (pj_dump) to nanoseconds, with round-to-nearest so that
+/// begin + duration == end survives the conversion.
+TimeNs paje_time(double seconds_value) {
+  return static_cast<TimeNs>(std::llround(seconds_value * 1e9));
+}
+
+}  // namespace
+
+Trace read_paje_dump(std::istream& is, const std::string& context,
+                     PajeReadStats* stats) {
+  Trace trace;
+  PajeReadStats local;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::string_view sv = trim(line);
+    if (sv.empty() || sv.front() == '#' || sv.front() == '%') {
+      ++local.comment_lines;
+      continue;
+    }
+    const auto fields = split(sv, ',');
+    const std::string_view kind = trim(fields[0]);
+    if (kind != "State") {
+      ++local.skipped_records;
+      continue;
+    }
+    const std::string where = context + ":" + std::to_string(line_no);
+    if (fields.size() < 8) {
+      throw TraceFormatError("State record needs 8 fields at " + where);
+    }
+    const std::string_view container = trim(fields[1]);
+    const double begin_s = parse_double(fields[3], where);
+    const double end_s = parse_double(fields[4], where);
+    const std::string_view value = trim(fields[7]);
+    if (end_s < begin_s) {
+      throw TraceFormatError("State with end < begin at " + where);
+    }
+    const ResourceId r = trace.add_resource(container);
+    trace.add_state(r, value, paje_time(begin_s), paje_time(end_s));
+    ++local.state_records;
+  }
+  trace.seal();
+  if (stats != nullptr) *stats = local;
+  return trace;
+}
+
+Trace read_paje_dump(const std::string& path, PajeReadStats* stats) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw IoError("cannot open '" + path + "'");
+  return read_paje_dump(is, path, stats);
+}
+
+void write_paje_dump(Trace& trace, std::ostream& os) {
+  trace.seal();
+  os << "# pj_dump-compatible state list (stagg)\n";
+  char buf[64];
+  for (ResourceId r = 0; r < static_cast<ResourceId>(trace.resource_count());
+       ++r) {
+    const auto& path = trace.resource_path(r);
+    for (const auto& s : trace.intervals(r)) {
+      const double begin_s = to_seconds(s.begin);
+      const double end_s = to_seconds(s.end);
+      std::snprintf(buf, sizeof buf, "%.9f, %.9f, %.9f", begin_s, end_s,
+                    end_s - begin_s);
+      os << "State, " << path << ", STATE, " << buf << ", 0, "
+         << trace.states().name(s.state) << '\n';
+    }
+  }
+}
+
+std::uint64_t write_paje_dump(Trace& trace, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw IoError("cannot open '" + path + "' for writing");
+  write_paje_dump(trace, os);
+  os.flush();
+  if (!os) throw IoError("short write to '" + path + "'");
+  return static_cast<std::uint64_t>(os.tellp());
+}
+
+}  // namespace stagg

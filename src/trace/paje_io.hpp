@@ -1,0 +1,47 @@
+// Pajé dump reader — the trace format the Ocelotl tool actually consumes
+// (the paper's §V pipeline is Score-P -> OTF2 -> pj_dump -> Ocelotl).
+//
+// pj_dump emits one CSV-ish line per object; the subset relevant to the
+// microscopic model is the State record:
+//
+//   State, <container>, <type>, <begin>, <end>, <duration>, <imbrication>, <value>
+//
+// e.g.  State, rennes/parapide-1/rank12, STATE, 2.115601, 2.116015, 0.000414, 0, MPI_Send
+//
+// Container events (Container, ...), variables (Variable, ...), links and
+// point events (Event, ...) are skipped — the spatiotemporal model of the
+// paper only consumes states.  Timestamps are seconds (doubles), converted
+// to the library's nanosecond timeline.  Container names become resource
+// paths verbatim.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace stagg {
+
+/// Statistics of a Pajé parse (what was consumed vs skipped).
+struct PajeReadStats {
+  std::uint64_t state_records = 0;
+  std::uint64_t skipped_records = 0;  ///< containers, variables, links, ...
+  std::uint64_t comment_lines = 0;
+};
+
+/// Parses a pj_dump file.  Throws TraceFormatError on malformed State
+/// records; unknown record kinds are counted and skipped.
+[[nodiscard]] Trace read_paje_dump(const std::string& path,
+                                   PajeReadStats* stats = nullptr);
+
+/// Parses from a stream (tests).
+[[nodiscard]] Trace read_paje_dump(std::istream& is,
+                                   const std::string& context = "<stream>",
+                                   PajeReadStats* stats = nullptr);
+
+/// Writes a trace as a pj_dump-compatible State list (round-trip support
+/// and interoperability with Pajé-ecosystem tools).
+void write_paje_dump(Trace& trace, std::ostream& os);
+std::uint64_t write_paje_dump(Trace& trace, const std::string& path);
+
+}  // namespace stagg

@@ -1,0 +1,65 @@
+// Registry of state types (the trace state dimension X, paper §III-A(3)).
+//
+// The paper renounces any algebraic structure on X: the registry is a flat
+// name <-> id table.  Ids are dense and stable, so per-state arrays in the
+// microscopic model are indexed directly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace stagg {
+
+using StateId = std::int32_t;
+
+/// Dense bidirectional map between state names ("MPI_Send") and ids.
+class StateRegistry {
+ public:
+  /// Returns the id of `name`, registering it if new.
+  StateId intern(std::string_view name);
+
+  /// Returns the id of `name` or nullopt when unknown.
+  [[nodiscard]] std::optional<StateId> find(std::string_view name) const;
+
+  /// Name of a registered id.
+  [[nodiscard]] const std::string& name(StateId id) const {
+    return names_[static_cast<std::size_t>(id)];
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return names_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return names_.empty(); }
+
+  [[nodiscard]] const std::vector<std::string>& names() const noexcept {
+    return names_;
+  }
+
+  friend bool operator==(const StateRegistry& a, const StateRegistry& b) {
+    return a.names_ == b.names_;
+  }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, StateId> ids_;
+};
+
+inline StateId StateRegistry::intern(std::string_view name) {
+  if (const auto it = ids_.find(std::string(name)); it != ids_.end()) {
+    return it->second;
+  }
+  const StateId id = static_cast<StateId>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+inline std::optional<StateId> StateRegistry::find(std::string_view name) const {
+  const auto it = ids_.find(std::string(name));
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace stagg

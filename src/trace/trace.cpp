@@ -1,0 +1,92 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+
+namespace stagg {
+
+ResourceId Trace::add_resource(std::string_view path) {
+  if (const auto it = resource_ids_.find(std::string(path));
+      it != resource_ids_.end()) {
+    return it->second;
+  }
+  const ResourceId id = static_cast<ResourceId>(resource_paths_.size());
+  resource_paths_.emplace_back(path);
+  resource_ids_.emplace(resource_paths_.back(), id);
+  per_resource_.emplace_back();
+  return id;
+}
+
+ResourceId Trace::find_resource(std::string_view path) const {
+  const auto it = resource_ids_.find(std::string(path));
+  return it == resource_ids_.end() ? ResourceId{-1} : it->second;
+}
+
+void Trace::add_state(ResourceId resource, StateId state, TimeNs begin,
+                      TimeNs end) {
+  if (resource < 0 ||
+      static_cast<std::size_t>(resource) >= resource_paths_.size()) {
+    throw InvalidArgument("add_state: unknown resource id " +
+                          std::to_string(resource));
+  }
+  if (state < 0 || static_cast<std::size_t>(state) >= states_.size()) {
+    throw InvalidArgument("add_state: unknown state id " +
+                          std::to_string(state));
+  }
+  if (end < begin) {
+    throw InvalidArgument("add_state: end < begin");
+  }
+  per_resource_[static_cast<std::size_t>(resource)].push_back(
+      StateInterval{begin, end, state});
+  sealed_ = false;
+}
+
+void Trace::add_state(ResourceId resource, std::string_view state_name,
+                      TimeNs begin, TimeNs end) {
+  add_state(resource, states_.intern(state_name), begin, end);
+}
+
+void Trace::seal() {
+  if (sealed_) return;
+  parallel_for(per_resource_.size(), [this](std::size_t r) {
+    auto& v = per_resource_[r];
+    std::sort(v.begin(), v.end(),
+              [](const StateInterval& a, const StateInterval& b) {
+                if (a.begin != b.begin) return a.begin < b.begin;
+                return a.end < b.end;
+              });
+  }, /*grain=*/1);
+  if (!window_overridden_) {
+    TimeNs lo = std::numeric_limits<TimeNs>::max();
+    TimeNs hi = std::numeric_limits<TimeNs>::min();
+    bool any = false;
+    for (const auto& v : per_resource_) {
+      for (const auto& s : v) {
+        lo = std::min(lo, s.begin);
+        hi = std::max(hi, s.end);
+        any = true;
+      }
+    }
+    begin_ = any ? lo : 0;
+    end_ = any ? hi : 0;
+  }
+  sealed_ = true;
+}
+
+std::uint64_t Trace::state_count() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& v : per_resource_) n += v.size();
+  return n;
+}
+
+void Trace::set_window(TimeNs begin, TimeNs end) {
+  if (end < begin) throw InvalidArgument("set_window: end < begin");
+  begin_ = begin;
+  end_ = end;
+  window_overridden_ = true;
+}
+
+}  // namespace stagg

@@ -1,0 +1,100 @@
+// In-memory execution trace: per-resource sorted state intervals.
+//
+// This is the substrate the paper obtains from Score-P/OTF2 dumps; here it
+// is produced either by the synthetic workload generators or by the binary /
+// CSV readers.  Resources are identified by their hierarchy path so a trace
+// can be re-attached to the platform hierarchy it was captured on.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/event.hpp"
+#include "trace/state_registry.hpp"
+
+namespace stagg {
+
+/// Mutable in-memory trace.  Intervals may be appended in any order;
+/// seal() sorts each resource's intervals by begin time and freezes the
+/// observation window.
+class Trace {
+ public:
+  Trace() = default;
+
+  /// Registers a resource by hierarchy path; returns its dense id.
+  /// Re-registering an existing path returns the existing id.
+  ResourceId add_resource(std::string_view path);
+
+  /// Number of registered resources.
+  [[nodiscard]] std::size_t resource_count() const noexcept {
+    return resource_paths_.size();
+  }
+
+  [[nodiscard]] const std::string& resource_path(ResourceId r) const {
+    return resource_paths_[static_cast<std::size_t>(r)];
+  }
+
+  [[nodiscard]] const std::vector<std::string>& resource_paths() const noexcept {
+    return resource_paths_;
+  }
+
+  /// Finds a resource id by path (-1 when absent).
+  [[nodiscard]] ResourceId find_resource(std::string_view path) const;
+
+  /// State-name registry (shared across all resources).
+  [[nodiscard]] StateRegistry& states() noexcept { return states_; }
+  [[nodiscard]] const StateRegistry& states() const noexcept { return states_; }
+
+  /// Appends a state occurrence.  Throws InvalidArgument on end < begin or
+  /// unknown resource/state ids.
+  void add_state(ResourceId resource, StateId state, TimeNs begin, TimeNs end);
+
+  /// Convenience: intern the state name and append.
+  void add_state(ResourceId resource, std::string_view state_name, TimeNs begin,
+                 TimeNs end);
+
+  /// Sorts intervals per resource and computes the observation window.
+  /// Idempotent; readers call it automatically.
+  void seal();
+
+  [[nodiscard]] bool sealed() const noexcept { return sealed_; }
+
+  /// Intervals of one resource (sorted by begin after seal()).
+  [[nodiscard]] std::span<const StateInterval> intervals(ResourceId r) const {
+    const auto& v = per_resource_[static_cast<std::size_t>(r)];
+    return {v.data(), v.size()};
+  }
+
+  /// Total number of state occurrences.
+  [[nodiscard]] std::uint64_t state_count() const noexcept;
+
+  /// Event count as Table II reports it: one enter + one leave per state.
+  [[nodiscard]] std::uint64_t event_count() const noexcept {
+    return 2 * state_count();
+  }
+
+  /// Observation window [begin, end).  Valid after seal(); an empty trace
+  /// reports [0, 0).
+  [[nodiscard]] TimeNs begin() const noexcept { return begin_; }
+  [[nodiscard]] TimeNs end() const noexcept { return end_; }
+  [[nodiscard]] TimeNs span() const noexcept { return end_ - begin_; }
+
+  /// Overrides the observation window (e.g. to align several traces).
+  void set_window(TimeNs begin, TimeNs end);
+
+ private:
+  std::vector<std::string> resource_paths_;
+  std::unordered_map<std::string, ResourceId> resource_ids_;
+  StateRegistry states_;
+  std::vector<std::vector<StateInterval>> per_resource_;
+  TimeNs begin_ = 0;
+  TimeNs end_ = 0;
+  bool sealed_ = false;
+  bool window_overridden_ = false;
+};
+
+}  // namespace stagg

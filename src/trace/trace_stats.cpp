@@ -1,0 +1,93 @@
+#include "trace/trace_stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/string_util.hpp"
+
+namespace stagg {
+
+TraceStats compute_stats(Trace& trace) {
+  trace.seal();
+  TraceStats st;
+  st.resource_count = trace.resource_count();
+  st.window_begin = trace.begin();
+  st.window_end = trace.end();
+
+  const std::size_t n_states = trace.states().size();
+  std::vector<std::uint64_t> occurrences(n_states, 0);
+  std::vector<TimeNs> durations(n_states, 0);
+
+  for (ResourceId r = 0; r < static_cast<ResourceId>(trace.resource_count());
+       ++r) {
+    for (const auto& s : trace.intervals(r)) {
+      ++st.state_count;
+      st.busy_time += s.duration();
+      occurrences[static_cast<std::size_t>(s.state)]++;
+      durations[static_cast<std::size_t>(s.state)] += s.duration();
+    }
+  }
+  st.event_count = 2 * st.state_count;
+  st.mean_states_per_resource =
+      st.resource_count
+          ? static_cast<double>(st.state_count) /
+                static_cast<double>(st.resource_count)
+          : 0.0;
+
+  st.per_state.reserve(n_states);
+  for (std::size_t x = 0; x < n_states; ++x) {
+    StateSummary s;
+    s.state = static_cast<StateId>(x);
+    s.name = trace.states().name(s.state);
+    s.occurrences = occurrences[x];
+    s.total_duration = durations[x];
+    s.fraction_of_busy_time =
+        st.busy_time > 0
+            ? static_cast<double>(durations[x]) /
+                  static_cast<double>(st.busy_time)
+            : 0.0;
+    st.per_state.push_back(std::move(s));
+  }
+  std::sort(st.per_state.begin(), st.per_state.end(),
+            [](const StateSummary& a, const StateSummary& b) {
+              return a.total_duration > b.total_duration;
+            });
+  return st;
+}
+
+std::vector<std::vector<double>> state_duration_vectors(const Trace& trace) {
+  const std::size_t n_states = trace.states().size();
+  std::vector<std::vector<double>> out(trace.resource_count(),
+                                       std::vector<double>(n_states, 0.0));
+  for (ResourceId r = 0; r < static_cast<ResourceId>(trace.resource_count());
+       ++r) {
+    auto& vec = out[static_cast<std::size_t>(r)];
+    for (const auto& s : trace.intervals(r)) {
+      vec[static_cast<std::size_t>(s.state)] += to_seconds(s.duration());
+    }
+  }
+  return out;
+}
+
+std::string format_stats(const TraceStats& st) {
+  std::ostringstream os;
+  os << "resources:  " << st.resource_count << '\n'
+     << "states:     " << with_thousands(static_cast<long long>(st.state_count))
+     << " (" << with_thousands(static_cast<long long>(st.event_count))
+     << " events)\n"
+     << "window:     [" << to_seconds(st.window_begin) << "s, "
+     << to_seconds(st.window_end) << "s)\n"
+     << "busy time:  " << to_seconds(st.busy_time) << "s\n";
+  os << "top states:\n";
+  const std::size_t top = std::min<std::size_t>(st.per_state.size(), 8);
+  for (std::size_t i = 0; i < top; ++i) {
+    const auto& s = st.per_state[i];
+    os << "  " << s.name << ": "
+       << with_thousands(static_cast<long long>(s.occurrences)) << " x, "
+       << to_seconds(s.total_duration) << "s ("
+       << static_cast<int>(s.fraction_of_busy_time * 100.0) << "%)\n";
+  }
+  return os.str();
+}
+
+}  // namespace stagg

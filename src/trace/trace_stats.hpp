@@ -1,0 +1,47 @@
+// Trace statistics: the numbers reported in the descriptive half of
+// Table II (event counts, sizes) plus per-state duration summaries used by
+// the Vampir-style task profile baseline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace stagg {
+
+/// Per-state aggregate over the whole trace.
+struct StateSummary {
+  StateId state = kNoState;
+  std::string name;
+  std::uint64_t occurrences = 0;
+  TimeNs total_duration = 0;
+  double fraction_of_busy_time = 0.0;  ///< share of summed state time
+};
+
+/// Whole-trace statistics.
+struct TraceStats {
+  std::uint64_t state_count = 0;
+  std::uint64_t event_count = 0;  ///< 2 x state_count
+  std::size_t resource_count = 0;
+  TimeNs window_begin = 0;
+  TimeNs window_end = 0;
+  TimeNs busy_time = 0;            ///< sum of all state durations
+  double mean_states_per_resource = 0.0;
+  std::vector<StateSummary> per_state;  ///< sorted by total duration desc
+};
+
+/// Computes statistics (requires or performs seal()).
+[[nodiscard]] TraceStats compute_stats(Trace& trace);
+
+/// Per-resource vector of total duration per state — the feature vectors of
+/// the Vampir task-profile clustering baseline (Table I row 7).  Layout:
+/// result[resource][state] in seconds.
+[[nodiscard]] std::vector<std::vector<double>> state_duration_vectors(
+    const Trace& trace);
+
+/// Renders the stats as a short report block.
+[[nodiscard]] std::string format_stats(const TraceStats& stats);
+
+}  // namespace stagg

@@ -1,0 +1,80 @@
+#include "viz/ascii_view.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace stagg {
+
+std::string render_ascii(const AggregationResult& result, const DataCube& cube,
+                         const AsciiOptions& options) {
+  const Hierarchy& h = cube.hierarchy();
+  const std::int32_t n_t = cube.slice_count();
+  const std::size_t n_s = h.leaf_count();
+
+  // Map every microscopic cell to its area index.
+  std::vector<std::int32_t> owner(n_s * static_cast<std::size_t>(n_t), -1);
+  const auto& areas = result.partition.areas();
+  for (std::size_t k = 0; k < areas.size(); ++k) {
+    const auto& a = areas[k];
+    const auto& n = h.node(a.node);
+    for (LeafId s = n.first_leaf; s < n.first_leaf + n.leaf_count; ++s) {
+      for (SliceId t = a.time.i; t <= a.time.j; ++t) {
+        owner[static_cast<std::size_t>(s) * n_t + static_cast<std::size_t>(t)] =
+            static_cast<std::int32_t>(k);
+      }
+    }
+  }
+
+  // Pre-compute area modes and whether the area is aggregated.
+  std::vector<char> mode_char(areas.size(), '.');
+  for (std::size_t k = 0; k < areas.size(); ++k) {
+    const auto& a = areas[k];
+    const auto mode = cube.mode(a.node, a.time.i, a.time.j);
+    if (mode.state == kNoState || mode.proportion_sum <= 0.0) {
+      mode_char[k] = '.';
+      continue;
+    }
+    const bool aggregated =
+        h.node(a.node).leaf_count > 1 || a.time.length() > 1;
+    const char base = static_cast<char>('a' + (mode.state % 26));
+    mode_char[k] =
+        aggregated ? static_cast<char>(base - 'a' + 'A') : base;
+  }
+
+  std::size_t path_width = 0;
+  if (options.show_paths) {
+    for (std::size_t s = 0; s < std::min(n_s, options.max_rows); ++s) {
+      path_width = std::max(
+          path_width, h.path(h.leaf_node(static_cast<LeafId>(s))).size());
+    }
+  }
+
+  std::ostringstream os;
+  const std::size_t rows = std::min(n_s, options.max_rows);
+  for (std::size_t s = 0; s < rows; ++s) {
+    if (options.show_paths) {
+      const std::string p = h.path(h.leaf_node(static_cast<LeafId>(s)));
+      os << p << std::string(path_width - p.size() + 1, ' ');
+    }
+    std::int32_t prev = -1;
+    for (SliceId t = 0; t < n_t; ++t) {
+      const std::int32_t k = owner[s * static_cast<std::size_t>(n_t) +
+                                   static_cast<std::size_t>(t)];
+      if (options.show_cuts && t > 0 && k != prev) {
+        os << '|';
+      } else if (options.show_cuts && t > 0) {
+        os << ' ';
+      }
+      os << (k >= 0 ? mode_char[static_cast<std::size_t>(k)] : '?');
+      prev = k;
+    }
+    os << '\n';
+  }
+  if (rows < n_s) {
+    os << "... (" << (n_s - rows) << " more rows)\n";
+  }
+  return os.str();
+}
+
+}  // namespace stagg

@@ -1,0 +1,27 @@
+// Terminal rendering of an aggregation result.
+//
+// One character cell per (leaf, slice): the letter of the area's mode state
+// (A, B, C... by state id), uppercase when the cell belongs to a
+// multi-cell aggregate and lowercase when it is microscopic.  Vertical bars
+// mark temporal cuts of the row.  Used by the examples and as a
+// deterministic golden format in tests.
+#pragma once
+
+#include <string>
+
+#include "core/aggregator.hpp"
+
+namespace stagg {
+
+struct AsciiOptions {
+  bool show_paths = true;    ///< prefix each row with the leaf path
+  bool show_cuts = true;     ///< draw '|' at row-local temporal boundaries
+  std::size_t max_rows = 64; ///< clip large hierarchies ("..." footer)
+};
+
+/// Renders the partition grid as text.
+[[nodiscard]] std::string render_ascii(const AggregationResult& result,
+                                       const DataCube& cube,
+                                       const AsciiOptions& options = {});
+
+}  // namespace stagg

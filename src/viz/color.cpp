@@ -1,0 +1,104 @@
+#include "viz/color.hpp"
+
+#include <array>
+#include <cstdio>
+#include <utility>
+
+namespace stagg {
+
+std::string Rgba::hex_rgb() const {
+  char buf[8];
+  std::snprintf(buf, sizeof buf, "#%02x%02x%02x", r, g, b);
+  return buf;
+}
+
+Rgba blend_over_white(Rgba fg, double alpha) noexcept {
+  const auto mix = [alpha](std::uint8_t c) {
+    const double v = alpha * c + (1.0 - alpha) * 255.0;
+    return static_cast<std::uint8_t>(v < 0 ? 0 : (v > 255 ? 255 : v));
+  };
+  return Rgba{mix(fg.r), mix(fg.g), mix(fg.b), 255};
+}
+
+namespace {
+
+std::uint8_t clamp_channel(double v) noexcept {
+  return static_cast<std::uint8_t>(v < 0.0 ? 0.0 : (v > 255.0 ? 255.0 : v));
+}
+
+}  // namespace
+
+Ycbcr rgb_to_ycbcr(Rgba c) noexcept {
+  // BT.601 full-range conversion.
+  const double r = c.r, g = c.g, b = c.b;
+  return Ycbcr{
+      0.299 * r + 0.587 * g + 0.114 * b,
+      128.0 - 0.168736 * r - 0.331264 * g + 0.5 * b,
+      128.0 + 0.5 * r - 0.418688 * g - 0.081312 * b,
+  };
+}
+
+Rgba ycbcr_to_rgb(const Ycbcr& c) noexcept {
+  const double cb = c.cb - 128.0;
+  const double cr = c.cr - 128.0;
+  return Rgba{
+      clamp_channel(c.y + 1.402 * cr),
+      clamp_channel(c.y - 0.344136 * cb - 0.714136 * cr),
+      clamp_channel(c.y + 1.772 * cb),
+      255,
+  };
+}
+
+Rgba chroma_fade(Rgba color, double certainty) noexcept {
+  const double k = certainty < 0.0 ? 0.0 : (certainty > 1.0 ? 1.0 : certainty);
+  Ycbcr y = rgb_to_ycbcr(color);
+  y.cb = 128.0 + (y.cb - 128.0) * k;
+  y.cr = 128.0 + (y.cr - 128.0) * k;
+  return ycbcr_to_rgb(y);
+}
+
+namespace {
+
+// The hues visible in the paper's Figure 1 plus common MPI states.
+constexpr std::pair<std::string_view, Rgba> kWellKnown[] = {
+    {"MPI_Init", {240, 200, 0, 255}},       // yellow
+    {"MPI_Send", {60, 160, 60, 255}},       // green
+    {"MPI_Wait", {205, 50, 40, 255}},       // red
+    {"MPI_Recv", {60, 100, 190, 255}},      // blue
+    {"MPI_Allreduce", {150, 60, 170, 255}}, // purple
+    {"MPI_Irecv", {90, 170, 200, 255}},
+    {"MPI_Isend", {120, 200, 120, 255}},
+    {"MPI_Finalize", {120, 120, 120, 255}},
+    {"Compute", {170, 170, 170, 255}},      // gray
+};
+
+constexpr Rgba kPalette[] = {
+    {31, 119, 180, 255},  {255, 127, 14, 255},  {44, 160, 44, 255},
+    {214, 39, 40, 255},   {148, 103, 189, 255}, {140, 86, 75, 255},
+    {227, 119, 194, 255}, {127, 127, 127, 255}, {188, 189, 34, 255},
+    {23, 190, 207, 255},  {174, 199, 232, 255}, {255, 187, 120, 255},
+};
+
+}  // namespace
+
+const Rgba* StateColorMap::well_known(std::string_view name) {
+  for (const auto& [known, color] : kWellKnown) {
+    if (known == name) return &color;
+  }
+  return nullptr;
+}
+
+StateColorMap::StateColorMap(const StateRegistry& states) {
+  colors_.reserve(states.size());
+  std::size_t next_palette = 0;
+  for (const auto& name : states.names()) {
+    if (const Rgba* c = well_known(name)) {
+      colors_.push_back(*c);
+    } else {
+      colors_.push_back(kPalette[next_palette % std::size(kPalette)]);
+      ++next_palette;
+    }
+  }
+}
+
+}  // namespace stagg

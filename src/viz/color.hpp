@@ -1,0 +1,64 @@
+// State colors and the transparency encoding of §IV.
+//
+// Each state x gets a color; an aggregate shows its *mode* state (argmax of
+// the aggregated proportions) at opacity alpha = rho_max / sum_x rho_x,
+// which lies in [1/|X|, 1] — a faint tile means the mode barely dominates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/state_registry.hpp"
+
+namespace stagg {
+
+/// 8-bit RGBA color.
+struct Rgba {
+  std::uint8_t r = 0, g = 0, b = 0, a = 255;
+
+  [[nodiscard]] std::string hex_rgb() const;  ///< "#rrggbb"
+  friend constexpr bool operator==(const Rgba&, const Rgba&) = default;
+};
+
+/// Alpha-composites `fg` at `alpha` over an opaque white background
+/// (how an SVG viewer shows our tiles); used by ASCII shading.
+[[nodiscard]] Rgba blend_over_white(Rgba fg, double alpha) noexcept;
+
+/// YCbCr (BT.601) color value; the alternative encoding the paper's §VI
+/// proposes: transparency perception depends on the hue, whereas scaling
+/// the *chroma* at constant luma fades all states uniformly.
+struct Ycbcr {
+  double y = 0.0;   ///< luma in [0, 255]
+  double cb = 0.0;  ///< blue-difference chroma, centered on 128
+  double cr = 0.0;  ///< red-difference chroma, centered on 128
+};
+
+[[nodiscard]] Ycbcr rgb_to_ycbcr(Rgba c) noexcept;
+[[nodiscard]] Rgba ycbcr_to_rgb(const Ycbcr& c) noexcept;
+
+/// §VI's encoding: keeps the luma, scales the chroma by `certainty` in
+/// [0, 1] (1 = full color, 0 = gray of the same brightness).
+[[nodiscard]] Rgba chroma_fade(Rgba color, double certainty) noexcept;
+
+/// Maps state names to colors: well-known MPI states get the paper's hues
+/// (MPI_Init yellow, MPI_Send green, MPI_Wait red, ...); anything else is
+/// assigned from a 12-color qualitative palette by registration order.
+class StateColorMap {
+ public:
+  explicit StateColorMap(const StateRegistry& states);
+
+  [[nodiscard]] Rgba color(StateId x) const {
+    return colors_[static_cast<std::size_t>(x)];
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return colors_.size(); }
+
+  /// Fixed color of a known state name, if any.
+  [[nodiscard]] static const Rgba* well_known(std::string_view name);
+
+ private:
+  std::vector<Rgba> colors_;
+};
+
+}  // namespace stagg

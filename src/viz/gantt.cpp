@@ -1,0 +1,113 @@
+#include "viz/gantt.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace stagg {
+namespace {
+
+struct Window {
+  TimeNs begin, end;
+};
+
+Window effective_window(const Trace& trace, const GanttOptions& options) {
+  if (options.window_begin == 0 && options.window_end == 0) {
+    return {trace.begin(), trace.end()};
+  }
+  return {options.window_begin, options.window_end};
+}
+
+}  // namespace
+
+GanttStats gantt_stats(Trace& trace, const GanttOptions& options) {
+  trace.seal();
+  const Window win = effective_window(trace, options);
+  const double span = static_cast<double>(win.end - win.begin);
+  GanttStats stats;
+  if (span <= 0.0) return stats;
+
+  const std::size_t columns = static_cast<std::size_t>(options.width_px);
+  std::vector<std::uint32_t> column_load(columns, 0);
+  double width_sum = 0.0;
+
+  for (ResourceId r = 0; r < static_cast<ResourceId>(trace.resource_count());
+       ++r) {
+    for (const auto& s : trace.intervals(r)) {
+      if (s.end <= win.begin || s.begin >= win.end) continue;
+      ++stats.objects_total;
+      const TimeNs lo = std::max(s.begin, win.begin);
+      const TimeNs hi = std::min(s.end, win.end);
+      const double x0 = (static_cast<double>(lo - win.begin) / span) *
+                        options.width_px;
+      const double x1 = (static_cast<double>(hi - win.begin) / span) *
+                        options.width_px;
+      const double w = x1 - x0;
+      width_sum += w;
+      if (w < 1.0) ++stats.objects_subpixel;
+      const std::size_t c0 = static_cast<std::size_t>(
+          std::clamp(x0, 0.0, options.width_px - 1.0));
+      const std::size_t c1 = static_cast<std::size_t>(
+          std::clamp(x1, 0.0, options.width_px - 1.0));
+      for (std::size_t c = c0; c <= c1 && c < columns; ++c) ++column_load[c];
+    }
+  }
+
+  if (stats.objects_total > 0) {
+    stats.mean_object_width_px =
+        width_sum / static_cast<double>(stats.objects_total);
+  }
+  double sum = 0.0, mx = 0.0;
+  for (std::uint32_t load : column_load) {
+    sum += load;
+    mx = std::max(mx, static_cast<double>(load));
+  }
+  stats.mean_objects_per_column = columns ? sum / columns : 0.0;
+  stats.max_objects_per_column = mx;
+  if (options.object_budget > 0 &&
+      stats.objects_total > options.object_budget) {
+    stats.objects_dropped = stats.objects_total - options.object_budget;
+    stats.objects_drawn = options.object_budget;
+  } else {
+    stats.objects_drawn = stats.objects_total;
+  }
+  return stats;
+}
+
+GanttRendering render_gantt(Trace& trace, const GanttOptions& options) {
+  trace.seal();
+  const Window win = effective_window(trace, options);
+  const double span = static_cast<double>(win.end - win.begin);
+  const StateColorMap colors(trace.states());
+
+  GanttRendering out{SvgCanvas(options.width_px, options.height_px),
+                     gantt_stats(trace, options)};
+  if (span <= 0.0 || trace.resource_count() == 0) return out;
+
+  const double row_h =
+      options.height_px / static_cast<double>(trace.resource_count());
+  std::size_t emitted = 0;
+  out.svg.begin_group("gantt");
+  for (ResourceId r = 0; r < static_cast<ResourceId>(trace.resource_count());
+       ++r) {
+    const double y = r * row_h;
+    for (const auto& s : trace.intervals(r)) {
+      if (s.end <= win.begin || s.begin >= win.end) continue;
+      if (options.object_budget > 0 && emitted >= options.object_budget) {
+        break;
+      }
+      const TimeNs lo = std::max(s.begin, win.begin);
+      const TimeNs hi = std::min(s.end, win.end);
+      const double x0 =
+          (static_cast<double>(lo - win.begin) / span) * options.width_px;
+      const double x1 =
+          (static_cast<double>(hi - win.begin) / span) * options.width_px;
+      out.svg.rect(x0, y, std::max(x1 - x0, 0.05), row_h * 0.9,
+                   colors.color(s.state));
+      ++emitted;
+    }
+  }
+  out.svg.end_group();
+  return out;
+}
+
+}  // namespace stagg

@@ -1,0 +1,61 @@
+// Classic Gantt-chart rendering and its clutter diagnosis (paper Fig. 2).
+//
+// Draws every state interval of a trace as one rectangle per (resource,
+// state) — the representation the paper shows collapsing at scale — and
+// measures *why* it collapses: how many objects land under one pixel wide,
+// how many objects pile onto each pixel column, and how much of the trace
+// the renderer is forced to drop once an object budget is imposed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "trace/trace.hpp"
+#include "viz/svg.hpp"
+
+namespace stagg {
+
+struct GanttOptions {
+  double width_px = 1600.0;
+  double height_px = 800.0;
+  /// Window to draw; {0,0} = whole trace.  Fig. 2 draws 1/7 of the trace.
+  TimeNs window_begin = 0;
+  TimeNs window_end = 0;
+  /// Hard cap on emitted SVG rects (0 = unlimited).  Objects beyond the
+  /// budget are *counted* but not drawn — the pixel-guided tools' silent
+  /// dropping, made explicit.
+  std::size_t object_budget = 200'000;
+};
+
+/// Clutter metrics of a Gantt rendering (the quantified Fig. 2 argument).
+struct GanttStats {
+  std::size_t objects_total = 0;      ///< states in the window
+  std::size_t objects_drawn = 0;      ///< emitted (within budget)
+  std::size_t objects_subpixel = 0;   ///< width < 1 px
+  std::size_t objects_dropped = 0;    ///< beyond the object budget
+  double mean_objects_per_column = 0; ///< overdraw: states per pixel column
+  double max_objects_per_column = 0;
+  double mean_object_width_px = 0;
+
+  [[nodiscard]] double subpixel_fraction() const noexcept {
+    return objects_total
+               ? static_cast<double>(objects_subpixel) /
+                     static_cast<double>(objects_total)
+               : 0.0;
+  }
+};
+
+/// Renders the Gantt chart and computes clutter statistics.
+struct GanttRendering {
+  SvgCanvas svg;
+  GanttStats stats;
+};
+[[nodiscard]] GanttRendering render_gantt(Trace& trace,
+                                          const GanttOptions& options = {});
+
+/// Metrics only — no SVG body is built (fast path for the Fig. 2 bench at
+/// full event counts).
+[[nodiscard]] GanttStats gantt_stats(Trace& trace,
+                                     const GanttOptions& options = {});
+
+}  // namespace stagg

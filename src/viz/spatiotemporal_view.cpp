@@ -1,0 +1,215 @@
+#include "viz/spatiotemporal_view.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace stagg {
+namespace {
+
+/// Minimal ancestor of `node` whose pixel height reaches the threshold.
+NodeId visible_ancestor(const Hierarchy& h, NodeId node, double row_px,
+                        double min_px) {
+  NodeId cur = node;
+  while (h.node(cur).parent != kNoNode &&
+         h.node(cur).leaf_count * row_px < min_px) {
+    cur = h.node(cur).parent;
+  }
+  return cur;
+}
+
+/// X pixel of a slice boundary.
+double slice_x(const TimeGrid& grid, SliceId boundary, double plot_x,
+               double plot_w) {
+  const double t0 = static_cast<double>(grid.begin());
+  const double span = static_cast<double>(grid.end() - grid.begin());
+  const TimeNs b = boundary >= grid.slice_count()
+                       ? grid.end()
+                       : grid.slice_begin(boundary);
+  return plot_x + plot_w * (static_cast<double>(b) - t0) / span;
+}
+
+}  // namespace
+
+ViewLayout layout_overview(const AggregationResult& result,
+                           const DataCube& cube, const ViewOptions& options) {
+  const Hierarchy& h = cube.hierarchy();
+  const TimeGrid& grid = cube.model().grid();
+  const std::size_t n_s = h.leaf_count();
+
+  ViewLayout out;
+  out.plot_x = 0.0;
+  out.plot_y = 0.0;
+  out.plot_w =
+      options.width_px - (options.draw_legend ? options.legend_px : 0.0);
+  out.plot_h = options.height_px - (options.draw_axis ? 24.0 : 0.0);
+  const double row_px = out.plot_h / static_cast<double>(n_s);
+
+  const auto make_tile = [&](NodeId node, SliceId i, SliceId j,
+                             VisualMark mark, bool visual) {
+    const auto& n = h.node(node);
+    Tile tile;
+    tile.x = slice_x(grid, i, out.plot_x, out.plot_w);
+    tile.w = slice_x(grid, j + 1, out.plot_x, out.plot_w) - tile.x;
+    tile.y = out.plot_y + n.first_leaf * row_px;
+    tile.h = n.leaf_count * row_px;
+    tile.node = node;
+    tile.time = {i, j};
+    const auto mode = cube.mode(node, i, j);
+    tile.mode = mode.state;
+    tile.alpha = mode.proportion_sum > 0.0
+                     ? mode.proportion / mode.proportion_sum
+                     : 0.0;
+    tile.mark = mark;
+    tile.is_visual_aggregate = visual;
+    return tile;
+  };
+
+  // Partition areas into directly-drawable ones and groups folded under a
+  // minimal visible ancestor.
+  std::map<NodeId, std::vector<Area>> folded;
+  for (const auto& a : result.partition.areas()) {
+    const double height = h.node(a.node).leaf_count * row_px;
+    if (options.min_row_px <= 0.0 || height >= options.min_row_px) {
+      out.tiles.push_back(
+          make_tile(a.node, a.time.i, a.time.j, VisualMark::kNone, false));
+      ++out.stats.data_aggregates;
+    } else {
+      const NodeId anc =
+          visible_ancestor(h, a.node, row_px, options.min_row_px);
+      folded[anc].push_back(a);
+      ++out.stats.hidden_aggregates;
+    }
+  }
+
+  // Each folded group covers its ancestor's full leaf range over some time
+  // span set; decide diagonal vs cross by comparing per-leaf temporal
+  // partitions (Fig. 3.f).
+  for (const auto& [anc, areas] : folded) {
+    const auto& anc_node = h.node(anc);
+
+    // Per-leaf sorted interval lists.
+    std::map<LeafId, std::vector<TimeInterval>> per_leaf;
+    for (const auto& a : areas) {
+      const auto& n = h.node(a.node);
+      for (LeafId s = n.first_leaf; s < n.first_leaf + n.leaf_count; ++s) {
+        per_leaf[s].push_back(a.time);
+      }
+    }
+    for (auto& [leaf, intervals] : per_leaf) {
+      std::sort(intervals.begin(), intervals.end());
+    }
+
+    bool same = true;
+    const auto& reference = per_leaf.begin()->second;
+    for (const auto& [leaf, intervals] : per_leaf) {
+      if (intervals != reference) {
+        same = false;
+        break;
+      }
+    }
+
+    // Spans: the common partition when identical, otherwise the union of
+    // all start boundaries.
+    std::vector<SliceId> starts;
+    if (same) {
+      for (const auto& iv : reference) starts.push_back(iv.i);
+    } else {
+      for (const auto& a : areas) starts.push_back(a.time.i);
+    }
+    std::sort(starts.begin(), starts.end());
+    starts.erase(std::unique(starts.begin(), starts.end()), starts.end());
+
+    const SliceId group_end = [&] {
+      SliceId last = 0;
+      for (const auto& a : areas) last = std::max(last, a.time.j);
+      return last;
+    }();
+
+    const VisualMark mark = same ? VisualMark::kDiagonal : VisualMark::kCross;
+    for (std::size_t k = 0; k < starts.size(); ++k) {
+      const SliceId i = starts[k];
+      const SliceId j =
+          k + 1 < starts.size() ? starts[k + 1] - 1 : group_end;
+      out.tiles.push_back(make_tile(anc, i, j, mark, true));
+      ++out.stats.visual_aggregates;
+      if (same) {
+        ++out.stats.diagonal_marks;
+      } else {
+        ++out.stats.cross_marks;
+      }
+    }
+    (void)anc_node;
+  }
+
+  return out;
+}
+
+SvgCanvas render_overview(const AggregationResult& result,
+                          const DataCube& cube, const ViewOptions& options) {
+  const ViewLayout layout = layout_overview(result, cube, options);
+  const StateColorMap colors(cube.model().states());
+  const TimeGrid& grid = cube.model().grid();
+
+  SvgCanvas svg(options.width_px, options.height_px);
+  svg.begin_group("tiles");
+  for (const auto& tile : layout.tiles) {
+    if (tile.mode == kNoState || tile.alpha <= 0.0) continue;  // idle area
+    if (options.alpha_encoding == AlphaEncoding::kChromaFade) {
+      svg.rect(tile.x, tile.y, tile.w, tile.h,
+               chroma_fade(colors.color(tile.mode), tile.alpha), 1.0,
+               /*stroke=*/true);
+    } else {
+      svg.rect(tile.x, tile.y, tile.w, tile.h, colors.color(tile.mode),
+               tile.alpha, /*stroke=*/true);
+    }
+    if (tile.mark == VisualMark::kDiagonal ||
+        tile.mark == VisualMark::kCross) {
+      svg.line(tile.x, tile.y + tile.h, tile.x + tile.w, tile.y,
+               {32, 32, 32, 255}, 0.8);
+    }
+    if (tile.mark == VisualMark::kCross) {
+      svg.line(tile.x, tile.y, tile.x + tile.w, tile.y + tile.h,
+               {32, 32, 32, 255}, 0.8);
+    }
+  }
+  svg.end_group();
+
+  if (options.draw_axis) {
+    const double y = layout.plot_y + layout.plot_h;
+    svg.line(layout.plot_x, y, layout.plot_x + layout.plot_w, y,
+             {0, 0, 0, 255}, 1.0);
+    for (int k = 0; k <= 4; ++k) {
+      const double frac = k / 4.0;
+      const double x = layout.plot_x + frac * layout.plot_w;
+      const double t = to_seconds(grid.begin()) +
+                       frac * to_seconds(grid.end() - grid.begin());
+      char label[32];
+      std::snprintf(label, sizeof label, "%.1fs", t);
+      svg.line(x, y, x, y + 4, {0, 0, 0, 255}, 1.0);
+      svg.text(x + 2, y + 14, label, 9.0);
+    }
+  }
+
+  if (options.draw_legend) {
+    const double lx = options.width_px - options.legend_px + 8.0;
+    double ly = 12.0;
+    for (StateId x = 0; x < cube.state_count(); ++x) {
+      svg.rect(lx, ly - 8, 10, 10, colors.color(x), 1.0, true);
+      svg.text(lx + 14, ly, cube.model().states().name(x), 9.0);
+      ly += 14.0;
+    }
+  }
+  return svg;
+}
+
+ViewStats save_overview(const AggregationResult& result, const DataCube& cube,
+                        const std::string& path, const ViewOptions& options) {
+  const ViewLayout layout = layout_overview(result, cube, options);
+  render_overview(result, cube, options).save(path);
+  return layout.stats;
+}
+
+}  // namespace stagg

@@ -1,0 +1,90 @@
+// The overview visualization of §IV: renders an aggregation result as the
+// Ocelotl-style mosaic — one tile per data aggregate, colored by the mode
+// state at opacity alpha = rho_max / sum rho — plus the *visual aggregation*
+// pass that enforces the spatial entity budget (G1): a data aggregate whose
+// tile is under `min_row_px` is replaced by its nearest ancestor tall
+// enough, and the replacement tile is marked with a diagonal when all
+// hidden resources share the same temporal partitioning, with a cross
+// otherwise (Fig. 3.f).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/aggregator.hpp"
+#include "viz/svg.hpp"
+
+namespace stagg {
+
+/// Visual-aggregate marks of Fig. 3.f.
+enum class VisualMark : std::uint8_t {
+  kNone,      ///< plain data aggregate
+  kDiagonal,  ///< hidden resources share one temporal partition
+  kCross,     ///< hidden resources disagree on temporal cuts
+};
+
+/// One rendered tile, in pixel coordinates.
+struct Tile {
+  double x = 0, y = 0, w = 0, h = 0;
+  NodeId node = kNoNode;
+  TimeInterval time;
+  StateId mode = kNoState;
+  double alpha = 1.0;
+  VisualMark mark = VisualMark::kNone;
+  bool is_visual_aggregate = false;
+};
+
+/// Render statistics: the counts Fig. 3.f reports ("21 data aggregates and
+/// 7 visual aggregates").
+struct ViewStats {
+  std::size_t data_aggregates = 0;     ///< partition areas drawn directly
+  std::size_t visual_aggregates = 0;   ///< replacement tiles drawn
+  std::size_t hidden_aggregates = 0;   ///< areas folded into visual tiles
+  std::size_t diagonal_marks = 0;
+  std::size_t cross_marks = 0;
+};
+
+/// How the mode-dominance value alpha is encoded on screen (§IV uses
+/// opacity; §VI proposes a chroma encoding in YCbCr whose perceived effect
+/// does not depend on the state's hue).
+enum class AlphaEncoding : std::uint8_t {
+  kOpacity,     ///< SVG fill-opacity = alpha (the paper's §IV rendering)
+  kChromaFade,  ///< constant luma, chroma scaled by alpha (§VI proposal)
+};
+
+struct ViewOptions {
+  double width_px = 1200.0;
+  double height_px = 600.0;
+  double min_row_px = 3.0;   ///< visual-aggregation threshold (0 disables)
+  bool draw_axis = true;
+  bool draw_legend = true;
+  double legend_px = 120.0;  ///< horizontal space reserved for the legend
+  AlphaEncoding alpha_encoding = AlphaEncoding::kOpacity;
+};
+
+/// Computed layout: tiles + stats, independent of the output backend.
+struct ViewLayout {
+  std::vector<Tile> tiles;
+  ViewStats stats;
+  double plot_x = 0, plot_y = 0, plot_w = 0, plot_h = 0;
+};
+
+/// Lays the aggregation result out on a pixel canvas.  Resource rows follow
+/// DFS leaf order (so hierarchy siblings are adjacent); time maps linearly
+/// to the x axis.
+[[nodiscard]] ViewLayout layout_overview(const AggregationResult& result,
+                                         const DataCube& cube,
+                                         const ViewOptions& options = {});
+
+/// Renders the layout to SVG (tiles, marks, axis, state legend).
+[[nodiscard]] SvgCanvas render_overview(const AggregationResult& result,
+                                        const DataCube& cube,
+                                        const ViewOptions& options = {});
+
+/// Convenience: render and save.
+ViewStats save_overview(const AggregationResult& result, const DataCube& cube,
+                        const std::string& path,
+                        const ViewOptions& options = {});
+
+}  // namespace stagg

@@ -1,0 +1,116 @@
+#include "viz/svg.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace stagg {
+
+namespace {
+void append_num(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f", v);
+  out += buf;
+}
+}  // namespace
+
+std::string svg_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+SvgCanvas::SvgCanvas(double width, double height)
+    : width_(width), height_(height) {}
+
+void SvgCanvas::rect(double x, double y, double w, double h, Rgba fill,
+                     double opacity, bool stroke) {
+  body_ += "<rect x=\"";
+  append_num(body_, x);
+  body_ += "\" y=\"";
+  append_num(body_, y);
+  body_ += "\" width=\"";
+  append_num(body_, w);
+  body_ += "\" height=\"";
+  append_num(body_, h);
+  body_ += "\" fill=\"" + fill.hex_rgb() + "\"";
+  if (opacity < 1.0) {
+    body_ += " fill-opacity=\"";
+    append_num(body_, opacity);
+    body_ += "\"";
+  }
+  if (stroke) {
+    body_ += " stroke=\"#404040\" stroke-width=\"0.5\"";
+  }
+  body_ += "/>\n";
+  ++elements_;
+}
+
+void SvgCanvas::line(double x1, double y1, double x2, double y2, Rgba color,
+                     double width) {
+  body_ += "<line x1=\"";
+  append_num(body_, x1);
+  body_ += "\" y1=\"";
+  append_num(body_, y1);
+  body_ += "\" x2=\"";
+  append_num(body_, x2);
+  body_ += "\" y2=\"";
+  append_num(body_, y2);
+  body_ += "\" stroke=\"" + color.hex_rgb() + "\" stroke-width=\"";
+  append_num(body_, width);
+  body_ += "\"/>\n";
+  ++elements_;
+}
+
+void SvgCanvas::text(double x, double y, const std::string& content,
+                     double font_size, Rgba color) {
+  body_ += "<text x=\"";
+  append_num(body_, x);
+  body_ += "\" y=\"";
+  append_num(body_, y);
+  body_ += "\" font-size=\"";
+  append_num(body_, font_size);
+  body_ += "\" font-family=\"sans-serif\" fill=\"" + color.hex_rgb() + "\">" +
+           svg_escape(content) + "</text>\n";
+  ++elements_;
+}
+
+void SvgCanvas::begin_group(const std::string& id) {
+  body_ += "<g id=\"" + svg_escape(id) + "\">\n";
+}
+
+void SvgCanvas::end_group() { body_ += "</g>\n"; }
+
+std::string SvgCanvas::str() const {
+  std::string out = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  out += "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"";
+  append_num(out, width_);
+  out += "\" height=\"";
+  append_num(out, height_);
+  out += "\" viewBox=\"0 0 ";
+  append_num(out, width_);
+  out += " ";
+  append_num(out, height_);
+  out += "\">\n<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  out += body_;
+  out += "</svg>\n";
+  return out;
+}
+
+void SvgCanvas::save(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw IoError("cannot open '" + path + "' for writing");
+  os << str();
+  if (!os) throw IoError("short write to '" + path + "'");
+}
+
+}  // namespace stagg

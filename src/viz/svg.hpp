@@ -1,0 +1,56 @@
+// Minimal SVG document writer: the library's rendering backend.
+//
+// Only the primitives the views need: rectangles, lines, text.  Coordinates
+// are in CSS pixels; the canvas clips nothing (views stay in bounds).
+#pragma once
+
+#include <string>
+
+#include "viz/color.hpp"
+
+namespace stagg {
+
+/// Builds an SVG document incrementally; str() finalizes it.
+class SvgCanvas {
+ public:
+  SvgCanvas(double width, double height);
+
+  [[nodiscard]] double width() const noexcept { return width_; }
+  [[nodiscard]] double height() const noexcept { return height_; }
+
+  /// Filled rectangle with optional opacity and hairline stroke.
+  void rect(double x, double y, double w, double h, Rgba fill,
+            double opacity = 1.0, bool stroke = false);
+
+  void line(double x1, double y1, double x2, double y2, Rgba color,
+            double width = 1.0);
+
+  /// Left-anchored text at baseline (x, y).
+  void text(double x, double y, const std::string& content,
+            double font_size = 10.0, Rgba color = {0, 0, 0, 255});
+
+  /// Starts/ends a named group (for diffable output).
+  void begin_group(const std::string& id);
+  void end_group();
+
+  /// Number of drawable elements emitted so far.
+  [[nodiscard]] std::size_t element_count() const noexcept {
+    return elements_;
+  }
+
+  /// Full document.
+  [[nodiscard]] std::string str() const;
+
+  /// Writes the document to a file; throws IoError.
+  void save(const std::string& path) const;
+
+ private:
+  double width_, height_;
+  std::string body_;
+  std::size_t elements_ = 0;
+};
+
+/// Escapes &, <, > for SVG text nodes.
+[[nodiscard]] std::string svg_escape(const std::string& s);
+
+}  // namespace stagg

@@ -1,0 +1,32 @@
+#include "viz/timeline_view.hpp"
+
+namespace stagg {
+
+SvgCanvas render_timeline(const SequenceAggregator::Result& r,
+                          const DataCube& cube,
+                          const TimelineOptions& options) {
+  const StateColorMap colors(cube.model().states());
+  const std::int32_t n_t = cube.slice_count();
+  const NodeId root = cube.hierarchy().root();
+
+  SvgCanvas svg(options.width_px, options.height_px);
+  svg.begin_group("timeline");
+  for (const auto& iv : r.intervals) {
+    const double x0 = options.width_px * iv.i / n_t;
+    const double x1 = options.width_px * (iv.j + 1) / n_t;
+    // Stack the aggregated proportions bottom-up.
+    double level = options.height_px;
+    for (StateId x = 0; x < cube.state_count(); ++x) {
+      const double rho = cube.aggregated_proportion(root, iv.i, iv.j, x);
+      const double h = rho * options.height_px;
+      if (h <= 0.0) continue;
+      level -= h;
+      svg.rect(x0, level, x1 - x0, h, colors.color(x), 1.0, false);
+    }
+    svg.line(x0, 0, x0, options.height_px, {160, 160, 160, 255}, 0.5);
+  }
+  svg.end_group();
+  return svg;
+}
+
+}  // namespace stagg

@@ -1,0 +1,24 @@
+// 1-D temporal overview — the original Ocelotl timeline of refs [11], [12]
+// (Table I row 6): an information-aggregated partition of time only, with
+// space integrated away.  Each interval is drawn as a column whose stacked
+// sub-bars show the aggregated state proportions.
+#pragma once
+
+#include <string>
+
+#include "core/temporal.hpp"
+#include "viz/svg.hpp"
+
+namespace stagg {
+
+struct TimelineOptions {
+  double width_px = 1200.0;
+  double height_px = 160.0;
+};
+
+/// Renders the temporal partition as stacked proportion columns.
+[[nodiscard]] SvgCanvas render_timeline(const SequenceAggregator::Result& r,
+                                        const DataCube& cube,
+                                        const TimelineOptions& options = {});
+
+}  // namespace stagg

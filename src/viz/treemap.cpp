@@ -1,0 +1,125 @@
+#include "viz/treemap.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace stagg {
+namespace {
+
+struct Item {
+  NodeId node;
+  double weight;
+};
+
+/// Squarified layout (Bruls et al.): lays `items` (sorted descending) into
+/// the rectangle, row by row along the shorter side.
+void squarify(std::vector<Item> items, double x, double y, double w, double h,
+              double padding, const DataCube& cube,
+              std::vector<TreemapCell>& out) {
+  std::sort(items.begin(), items.end(),
+            [](const Item& a, const Item& b) { return a.weight > b.weight; });
+  double total = 0.0;
+  for (const auto& it : items) total += it.weight;
+  if (total <= 0.0 || items.empty()) return;
+  const double scale = (w * h) / total;
+
+  std::size_t begin = 0;
+  while (begin < items.size()) {
+    const bool horizontal = w >= h;  // row along the shorter side
+    const double side = horizontal ? h : w;
+
+    // Grow the row while the worst aspect ratio improves.
+    double row_sum = 0.0;
+    double row_max = 0.0, row_min = 1e300;
+    std::size_t end = begin;
+    double best_worst = 1e300;
+    while (end < items.size()) {
+      const double a = items[end].weight * scale;
+      const double nsum = row_sum + a;
+      const double nmax = std::max(row_max, a);
+      const double nmin = std::min(row_min, a);
+      const double worst = std::max(side * side * nmax / (nsum * nsum),
+                                    nsum * nsum / (side * side * nmin));
+      if (worst > best_worst && end > begin) break;
+      best_worst = worst;
+      row_sum = nsum;
+      row_max = nmax;
+      row_min = nmin;
+      ++end;
+    }
+
+    const double thickness = row_sum / side;
+    double offset = 0.0;
+    for (std::size_t k = begin; k < end; ++k) {
+      const double a = items[k].weight * scale;
+      const double len = a / thickness;
+      TreemapCell cell;
+      if (horizontal) {
+        cell.x = x;
+        cell.y = y + offset;
+        cell.w = thickness;
+        cell.h = len;
+      } else {
+        cell.x = x + offset;
+        cell.y = y;
+        cell.w = len;
+        cell.h = thickness;
+      }
+      cell.x += padding / 2;
+      cell.y += padding / 2;
+      cell.w = std::max(0.0, cell.w - padding);
+      cell.h = std::max(0.0, cell.h - padding);
+      cell.node = items[k].node;
+      const auto mode =
+          cube.mode(items[k].node, 0, cube.slice_count() - 1);
+      cell.mode = mode.state;
+      cell.alpha = mode.proportion_sum > 0.0
+                       ? mode.proportion / mode.proportion_sum
+                       : 0.0;
+      out.push_back(cell);
+      offset += len;
+    }
+    if (horizontal) {
+      x += thickness;
+      w -= thickness;
+    } else {
+      y += thickness;
+      h -= thickness;
+    }
+    begin = end;
+  }
+}
+
+}  // namespace
+
+std::vector<TreemapCell> layout_treemap(
+    const HierarchyAggregator::Result& spatial, const DataCube& cube,
+    const TreemapOptions& options) {
+  std::vector<Item> items;
+  items.reserve(spatial.parts.size());
+  for (NodeId n : spatial.parts) {
+    items.push_back(
+        {n, static_cast<double>(cube.hierarchy().node(n).leaf_count)});
+  }
+  std::vector<TreemapCell> out;
+  squarify(std::move(items), 0.0, 0.0, options.width_px, options.height_px,
+           options.padding_px, cube, out);
+  return out;
+}
+
+SvgCanvas render_treemap(const HierarchyAggregator::Result& spatial,
+                         const DataCube& cube, const TreemapOptions& options) {
+  const auto cells = layout_treemap(spatial, cube, options);
+  const StateColorMap colors(cube.model().states());
+  SvgCanvas svg(options.width_px, options.height_px);
+  svg.begin_group("treemap");
+  for (const auto& cell : cells) {
+    if (cell.mode == kNoState) continue;
+    svg.rect(cell.x, cell.y, cell.w, cell.h, colors.color(cell.mode),
+             cell.alpha, /*stroke=*/true);
+  }
+  svg.end_group();
+  return svg;
+}
+
+}  // namespace stagg

@@ -1,0 +1,41 @@
+// Squarified treemap of a spatial (hierarchy-consistent) partition — the
+// Viva baseline of Table I (row 8): space is represented hierarchically,
+// time is integrated away (M1 unmet, M2 met), which is exactly what the
+// Table I bench demonstrates against our spatiotemporal view.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/spatial.hpp"
+#include "viz/svg.hpp"
+
+namespace stagg {
+
+struct TreemapOptions {
+  double width_px = 600.0;
+  double height_px = 600.0;
+  double padding_px = 1.0;
+};
+
+/// One laid-out treemap cell.
+struct TreemapCell {
+  double x = 0, y = 0, w = 0, h = 0;
+  NodeId node = kNoNode;
+  StateId mode = kNoState;
+  double alpha = 1.0;
+};
+
+/// Lays out the parts of a spatial aggregation; each part's cell area is
+/// proportional to its resource count (fidelity criterion G5), colored by
+/// its mode state over the whole window.
+[[nodiscard]] std::vector<TreemapCell> layout_treemap(
+    const HierarchyAggregator::Result& spatial, const DataCube& cube,
+    const TreemapOptions& options = {});
+
+/// Renders the layout to SVG.
+[[nodiscard]] SvgCanvas render_treemap(
+    const HierarchyAggregator::Result& spatial, const DataCube& cube,
+    const TreemapOptions& options = {});
+
+}  // namespace stagg

@@ -1,0 +1,131 @@
+#include "workload/fixtures.hpp"
+
+#include "common/rng.hpp"
+
+namespace stagg {
+namespace {
+
+/// Fills (leaf, slice) with a two-state split: rho1 = v, rho2 = 1 - v
+/// (slices of 1 s, as in Fig. 3 where intensity encodes rho1).
+void set_split(MicroscopicModel& m, LeafId s, SliceId t, double v) {
+  m.set_duration(s, t, 0, v);
+  m.set_duration(s, t, 1, 1.0 - v);
+}
+
+}  // namespace
+
+OwnedModel make_figure3_model() {
+  HierarchyBuilder b("S");
+  const NodeId sa = b.add(0, "SA");
+  const NodeId sb = b.add(0, "SB");
+  const NodeId sc = b.add(0, "SC");
+  b.add_many(sa, "s", 4);
+  b.add_many(sb, "s", 4);
+  b.add_many(sc, "s", 4);
+
+  OwnedModel out;
+  out.hierarchy = std::make_unique<Hierarchy>(b.finish());
+
+  StateRegistry states;
+  states.intern("state1");
+  states.intern("state2");
+  const TimeGrid grid(0, seconds(20.0), 20);
+  out.model = MicroscopicModel(out.hierarchy.get(), grid, states);
+  MicroscopicModel& m = out.model;
+
+  // Leaves 0-3 = SA, 4-7 = SB, 8-11 = SC (DFS order).
+  for (LeafId s = 0; s < 12; ++s) {
+    // T(1,2) -> slices 0-1: constant in time, one value per resource.
+    for (SliceId t = 0; t <= 1; ++t) {
+      set_split(m, s, t, static_cast<double>(s) / 11.0);
+    }
+    // T(3,5) -> slices 2-4: SA homogeneous (0.8), others per-resource.
+    for (SliceId t = 2; t <= 4; ++t) {
+      const double v = s < 4 ? 0.8 : 0.05 + 0.9 * ((s * 7) % 12) / 11.0;
+      set_split(m, s, t, v);
+    }
+    // T(6,7) -> slices 5-6: homogeneous per cluster.
+    for (SliceId t = 5; t <= 6; ++t) {
+      const double v = s < 4 ? 0.2 : (s < 8 ? 0.6 : 0.9);
+      set_split(m, s, t, v);
+    }
+    // T(8) -> slice 7: fully homogeneous.
+    set_split(m, s, 7, 0.5);
+    // T(9,20) -> slices 8-19.
+    for (SliceId t = 8; t <= 19; ++t) {
+      double v;
+      if (s < 4) {
+        // SA: spatially homogeneous, three temporal regimes.
+        v = t <= 11 ? 0.2 : (t <= 15 ? 0.7 : 0.4);
+      } else if (s < 8) {
+        // SB: homogeneous in space and time.
+        v = 0.55;
+      } else if (s < 10) {
+        // SC, first half: one temporal cut shared by both resources.
+        v = t <= 13 ? 0.3 : 0.8;
+      } else if (s == 10) {
+        v = t <= 10 ? 0.9 : 0.15;
+      } else {
+        v = t <= 16 ? 0.5 : 1.0;
+      }
+      set_split(m, s, t, v);
+    }
+  }
+  return out;
+}
+
+OwnedModel make_random_model(const RandomModelOptions& o) {
+  OwnedModel out;
+  out.hierarchy = std::make_unique<Hierarchy>(
+      make_balanced_hierarchy(o.levels, o.fanout));
+  StateRegistry states;
+  for (std::int32_t x = 0; x < o.states; ++x) {
+    states.intern("state" + std::to_string(x));
+  }
+  const TimeGrid grid(0, seconds(static_cast<double>(o.slices)), o.slices);
+  out.model = MicroscopicModel(out.hierarchy.get(), grid, states);
+
+  const auto n_s = static_cast<std::int32_t>(out.hierarchy->leaf_count());
+  Rng rng(o.seed);
+  // Draw one composition per block; copy it across the block's cells.
+  for (std::int32_t s0 = 0; s0 < n_s; s0 += o.block_leaves) {
+    for (std::int32_t t0 = 0; t0 < o.slices; t0 += o.block_slices) {
+      std::vector<double> w(static_cast<std::size_t>(o.states));
+      const bool idle = rng.chance(o.idle_fraction);
+      double total = 0.0;
+      for (auto& v : w) {
+        v = rng.uniform();
+        total += v;
+      }
+      const double busy = idle ? 0.0 : rng.uniform(0.2, 1.0);
+      for (auto& v : w) v = total > 0.0 ? v / total * busy : 0.0;
+
+      for (std::int32_t s = s0; s < std::min(n_s, s0 + o.block_leaves); ++s) {
+        for (std::int32_t t = t0; t < std::min(o.slices, t0 + o.block_slices);
+             ++t) {
+          const double dur = grid.slice_duration_s(t);
+          for (std::int32_t x = 0; x < o.states; ++x) {
+            out.model.set_duration(s, t, x,
+                                   w[static_cast<std::size_t>(x)] * dur);
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+OwnedModel make_tiny_model() {
+  OwnedModel out;
+  out.hierarchy = std::make_unique<Hierarchy>(make_flat_hierarchy(2));
+  StateRegistry states;
+  states.intern("busy");
+  const TimeGrid grid(0, seconds(2.0), 2);
+  out.model = MicroscopicModel(out.hierarchy.get(), grid, states);
+  out.model.set_duration(0, 0, 0, 1.0);  // leaf 0 busy in slice 0 only
+  out.model.set_duration(1, 0, 0, 1.0);  // leaf 1 busy in both slices
+  out.model.set_duration(1, 1, 0, 1.0);
+  return out;
+}
+
+}  // namespace stagg

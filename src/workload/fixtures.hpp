@@ -1,0 +1,49 @@
+// Deterministic model fixtures: the Figure 3 artificial trace and random
+// microscopic models for property tests and scaling benches.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "model/microscopic_model.hpp"
+
+namespace stagg {
+
+/// A model that owns its hierarchy (MicroscopicModel only references one).
+struct OwnedModel {
+  std::unique_ptr<Hierarchy> hierarchy;
+  MicroscopicModel model;
+};
+
+/// The artificial trace of paper Fig. 3.a: 12 resources in three 4-leaf
+/// clusters (SA, SB, SC), 20 microscopic time periods, 2 states, crafted to
+/// contain the spatiotemporal patterns the figure describes:
+///   T(1,2)  homogeneous in time, heterogeneous in space;
+///   T(3,5)  heterogeneous in space except cluster SA;
+///   T(6,7)  homogeneous at the cluster level;
+///   T(8)    fully homogeneous;
+///   T(9,20) SA homogeneous in space / heterogeneous in time, SB homogeneous
+///           in both, SC mixed imbrications.
+/// (1-based indices as in the paper; the model is 0-based.)
+[[nodiscard]] OwnedModel make_figure3_model();
+
+/// Random model over a balanced hierarchy: i.i.d. proportions, optionally
+/// smoothed into homogeneous blocks (block_slices/block_leaves > 1) so
+/// aggregation has structure to find.
+struct RandomModelOptions {
+  std::int32_t levels = 2;
+  std::int32_t fanout = 4;   ///< leaves = fanout^levels
+  std::int32_t slices = 16;
+  std::int32_t states = 2;
+  std::int32_t block_slices = 1;
+  std::int32_t block_leaves = 1;
+  double idle_fraction = 0.0;  ///< probability a cell is left empty
+  std::uint64_t seed = 7;
+};
+[[nodiscard]] OwnedModel make_random_model(const RandomModelOptions& options);
+
+/// Tiny hand-checkable model: |S|=2 (flat), |T|=2, |X|=1; leaf 0 busy in
+/// slice 0 only, leaf 1 busy in both.  Used by unit tests of the measures.
+[[nodiscard]] OwnedModel make_tiny_model();
+
+}  // namespace stagg

@@ -1,0 +1,96 @@
+#include "workload/nas_cg.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/rng.hpp"
+#include "workload/synthetic.hpp"
+
+namespace stagg {
+namespace {
+
+/// Machines are the parents of leaves (core level); the machine-local index
+/// of a leaf decides its role (core 0 = wait-dedicated).
+std::int32_t machine_local_index(const Hierarchy& h, LeafId leaf) {
+  const NodeId node = h.leaf_node(leaf);
+  const NodeId machine = h.node(node).parent;
+  return leaf - h.node(machine).first_leaf;
+}
+
+}  // namespace
+
+std::vector<LeafId> cg_perturbed_leaves(const Hierarchy& hierarchy,
+                                        const CgWorkloadOptions& options) {
+  // Deterministic spread: walk leaves with a stride derived from the seed
+  // so the same options always flag the same processes.
+  std::vector<LeafId> out;
+  const std::int32_t n = static_cast<std::int32_t>(hierarchy.leaf_count());
+  const std::int32_t want = std::min(options.perturbed_processes, n);
+  if (want <= 0) return out;
+  SplitMix64 mix(options.seed);
+  const std::int32_t offset = static_cast<std::int32_t>(mix.next() % n);
+  // A stride coprime with n visits every leaf exactly once.
+  std::int32_t stride = 1 + static_cast<std::int32_t>(mix.next() % n);
+  while (std::gcd(stride, n) != 1) ++stride;
+  LeafId cur = offset;
+  for (std::int32_t k = 0; k < want; ++k) {
+    out.push_back(cur % n);
+    cur = (cur + stride) % n;
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Trace generate_cg_trace(const Hierarchy& hierarchy,
+                        const CgWorkloadOptions& options) {
+  const double dur = options.base_state_s / options.event_scale;
+  const auto perturbed_vec = cg_perturbed_leaves(hierarchy, options);
+  const std::unordered_set<LeafId> perturbed(perturbed_vec.begin(),
+                                             perturbed_vec.end());
+
+  // Perturbation window: "around 3 s, never at the same moment" — jitter
+  // the center by up to +/-10% of the span with the scenario seed.
+  Rng pert_rng(options.seed, 0xC61D);
+  const double center =
+      options.perturbation_center_s +
+      pert_rng.uniform(-0.1, 0.1) * options.perturbation_span_s * 2.0;
+  const double pert_begin = center - options.perturbation_span_s / 2.0;
+  const double pert_end = center + options.perturbation_span_s / 2.0;
+
+  const auto programmer = [&](LeafId leaf) {
+    ResourceProgram prog;
+    // Initialization + the two uniform transition periods.
+    prog.phases.push_back(
+        {0.0, options.init_end_s, StatePattern::solid("MPI_Init")});
+    prog.phases.push_back({options.init_end_s, options.transition_mid_s,
+                           StatePattern{{{"MPI_Recv", 12 * dur, 0.25},
+                                         {"Compute", 4 * dur, 0.25}}}});
+    prog.phases.push_back({options.transition_mid_s, options.transition_end_s,
+                           StatePattern{{{"MPI_Send", 12 * dur, 0.25},
+                                         {"Compute", 4 * dur, 0.25}}}});
+
+    // Computation: per-machine role split.
+    const bool wait_role = machine_local_index(hierarchy, leaf) == 0;
+    StatePattern comp;
+    if (wait_role) {
+      comp.elements = {{"MPI_Wait", 3.0 * dur, 0.3},
+                       {"Compute", 1.0 * dur, 0.3}};
+    } else {
+      comp.elements = {{"MPI_Send", 2.4 * dur, 0.3},
+                       {"Compute", 1.2 * dur, 0.3},
+                       {"MPI_Recv", 0.4 * dur, 0.3}};
+    }
+    prog.phases.push_back({options.transition_end_s, options.span_s, comp});
+
+    if (perturbed.contains(leaf) && options.perturbation_factor > 1.0) {
+      prog.perturbations.push_back({pert_begin, pert_end,
+                                    options.perturbation_factor,
+                                    {"MPI_Send", "MPI_Wait"}});
+    }
+    return prog;
+  };
+
+  return generate_trace(hierarchy, programmer, options.seed);
+}
+
+}  // namespace stagg

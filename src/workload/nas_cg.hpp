@@ -1,0 +1,52 @@
+// Behavioural model of the NAS-CG runs of paper §V-A (Table II cases A, B).
+//
+// Structure reproduced from the paper's reading of Figure 1:
+//   * initialization: every process in MPI_Init from 0 s to 1.6 s;
+//   * transition: two spatially-uniform periods (1.6-1.9 s mostly MPI_Recv,
+//     1.9-2.2 s mostly MPI_Send);
+//   * computation (2.2 s - end): on every 8-core machine one process is
+//     dedicated to MPI_Wait while the others mainly run MPI_Send;
+//   * a network-concurrency perturbation around 3 s stretching the
+//     MPI_Send/MPI_Wait calls of a subset of processes (26 of 64 in the
+//     paper) — occasional, never at the same trace position, so the start
+//     time is seed-dependent around 3 s.
+#pragma once
+
+#include <cstdint>
+
+#include "hierarchy/hierarchy.hpp"
+#include "trace/trace.hpp"
+
+namespace stagg {
+
+struct CgWorkloadOptions {
+  double span_s = 9.5;            ///< end of the trace (case A duration)
+  double init_end_s = 1.6;
+  double transition_mid_s = 1.9;
+  double transition_end_s = 2.2;
+  /// Mean duration of computation-phase states; controls the event count
+  /// (smaller = more events).  0.245 ms reproduces case A's ~3.8M events.
+  double base_state_s = 0.245e-3;
+  /// Events scale factor: multiplies base_state_s by 1/scale (scale 0.5 =
+  /// half the events).  The Table II bench drives this.
+  double event_scale = 1.0;
+  /// Perturbation (paper: around 3 s, touching 26 processes).  Set
+  /// perturbed_processes = 0 to disable.
+  double perturbation_center_s = 3.0;
+  double perturbation_span_s = 0.45;
+  double perturbation_factor = 8.0;
+  std::int32_t perturbed_processes = 26;
+  std::uint64_t seed = 42;
+};
+
+/// Generates the CG trace over the given platform hierarchy (site/cluster/
+/// machine/core).  Wait-dedicated process: core 0 of each machine.
+[[nodiscard]] Trace generate_cg_trace(const Hierarchy& hierarchy,
+                                      const CgWorkloadOptions& options = {});
+
+/// The leaves stretched by the perturbation, deterministically spread over
+/// the machines (round-robin), matching `perturbed_processes`.
+[[nodiscard]] std::vector<LeafId> cg_perturbed_leaves(
+    const Hierarchy& hierarchy, const CgWorkloadOptions& options = {});
+
+}  // namespace stagg

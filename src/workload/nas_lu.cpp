@@ -1,0 +1,121 @@
+#include "workload/nas_lu.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "workload/synthetic.hpp"
+
+namespace stagg {
+namespace {
+
+struct ClusterRole {
+  bool ethernet = false;   ///< Graphite-like: spatially heterogeneous
+  bool rupture = false;    ///< Griffon-like: carries the 34.5 s anomaly
+};
+
+}  // namespace
+
+Trace generate_lu_trace(const Hierarchy& hierarchy,
+                        const PlatformSpec& platform,
+                        const LuWorkloadOptions& options) {
+  const double dur = options.base_state_s / options.event_scale;
+
+  // Map hierarchy clusters (depth 1) onto platform specs by name; the
+  // rupture goes to the *last* Infiniband cluster (Griffon in case C).
+  const auto clusters = hierarchy.nodes_at_depth(1);
+  std::vector<ClusterRole> roles(clusters.size());
+  std::int32_t last_ib = -1;
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    const auto& name = hierarchy.node(clusters[c]).name;
+    const auto spec =
+        std::find_if(platform.clusters.begin(), platform.clusters.end(),
+                     [&](const ClusterSpec& s) { return s.name == name; });
+    if (spec == platform.clusters.end()) {
+      throw InvalidArgument("hierarchy cluster '" + name +
+                            "' missing from platform spec");
+    }
+    roles[c].ethernet = spec->interconnect == Interconnect::kEthernet10G;
+    if (!roles[c].ethernet) last_ib = static_cast<std::int32_t>(c);
+  }
+  if (options.blocked_machines > 0 && last_ib >= 0) {
+    roles[static_cast<std::size_t>(last_ib)].rupture = true;
+  }
+
+  // Leaf -> (cluster index, machine node).
+  const auto cluster_of = [&](LeafId leaf) {
+    const NodeId node = hierarchy.leaf_node(leaf);
+    const NodeId machine = hierarchy.node(node).parent;
+    const NodeId cluster = hierarchy.node(machine).parent;
+    for (std::size_t c = 0; c < clusters.size(); ++c) {
+      if (clusters[c] == cluster) return std::make_pair(c, machine);
+    }
+    throw InvalidArgument("leaf outside any depth-1 cluster");
+  };
+
+  const auto programmer = [&](LeafId leaf) {
+    const auto [c, machine] = cluster_of(leaf);
+    const ClusterRole role = roles[c];
+    Rng rng(options.seed, 0x10000000ULL + static_cast<std::uint64_t>(leaf));
+
+    ResourceProgram prog;
+    prog.phases.push_back(
+        {0.0, options.init_end_s, StatePattern::solid("MPI_Init")});
+
+    // Spatially-heterogeneous Allreduce period: the Allreduce share varies
+    // per process (0.35..0.95), visible as spatial structure.
+    const double all_share = rng.uniform(0.35, 0.95);
+    prog.phases.push_back(
+        {options.init_end_s, options.allreduce_end_s,
+         StatePattern{{{"MPI_Allreduce", 40 * dur * all_share, 0.3},
+                       {"Compute", 40 * dur * (1.0 - all_share), 0.3}}}});
+
+    // Computation phase, by cluster role.
+    StatePattern comp;
+    if (role.ethernet) {
+      // Persistent per-process bias: irregular long waits and sends.
+      const double wait_bias = rng.uniform(0.5, 4.0);
+      const double send_bias = rng.uniform(0.5, 3.0);
+      comp.elements = {{"MPI_Wait", 2.5 * dur * wait_bias, 0.9},
+                       {"MPI_Send", 2.0 * dur * send_bias, 0.9},
+                       {"Compute", 1.5 * dur, 0.4}};
+    } else {
+      comp.elements = {{"MPI_Recv", 1.2 * dur, 0.25},
+                       {"Compute", 2.0 * dur, 0.25},
+                       {"MPI_Send", 0.8 * dur, 0.25}};
+    }
+    prog.phases.push_back({options.allreduce_end_s, options.span_s, comp});
+
+    // Rupture: first `blocked_machines` machines of the rupture cluster —
+    // even machine index blocks in MPI_Wait, odd in MPI_Send.
+    if (role.rupture) {
+      const auto& cluster_node = hierarchy.node(clusters[c]);
+      const auto& machines = cluster_node.children;
+      const auto it = std::find(machines.begin(), machines.end(), machine);
+      const auto machine_idx =
+          static_cast<std::int32_t>(it - machines.begin());
+      if (machine_idx < options.blocked_machines) {
+        const char* blocked_state =
+            machine_idx % 2 == 0 ? "MPI_Wait" : "MPI_Send";
+        prog.perturbations.push_back(
+            {options.rupture_begin_s,
+             options.rupture_begin_s + options.rupture_span_s,
+             /*factor=*/40.0,
+             {blocked_state}});
+      } else {
+        // The concurrency on the shared switches mildly touches the whole
+        // cluster (the paper sees the rupture across Griffon).
+        prog.perturbations.push_back(
+            {options.rupture_begin_s,
+             options.rupture_begin_s + options.rupture_span_s,
+             /*factor=*/6.0,
+             {"MPI_Send", "MPI_Recv"}});
+      }
+    }
+    return prog;
+  };
+
+  return generate_trace(hierarchy, programmer, options.seed);
+}
+
+}  // namespace stagg

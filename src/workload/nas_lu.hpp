@@ -1,0 +1,50 @@
+// Behavioural model of the NAS-LU runs of paper §V-B (Table II cases C, D,
+// Figure 4).
+//
+// Structure reproduced from the paper's reading of Figure 4:
+//   * initialization: MPI_Init from 0 s to 17.5 s;
+//   * a spatially-heterogeneous MPI_Allreduce period (17.5-20 s);
+//   * computation (20 s - end) whose behaviour depends on the *cluster*:
+//       - Infiniband clusters with small machines (Graphene): homogeneous
+//         Recv/Compute/Send cycling, identical everywhere;
+//       - Ethernet clusters (Graphite): spatially heterogeneous — each
+//         process draws a persistent bias toward long irregular MPI_Wait /
+//         MPI_Send (slow 10 GbE network);
+//       - the remaining Infiniband cluster (Griffon): homogeneous, plus a
+//         rupture at 34.5 s where two machines block in MPI_Wait and two in
+//         MPI_Send (the hidden-machine switch-concurrency anomaly).
+#pragma once
+
+#include <cstdint>
+
+#include "hierarchy/hierarchy.hpp"
+#include "hierarchy/platform.hpp"
+#include "trace/trace.hpp"
+
+namespace stagg {
+
+struct LuWorkloadOptions {
+  double span_s = 65.0;
+  double init_end_s = 17.5;
+  double allreduce_end_s = 20.0;
+  /// Mean computation-state duration; 0.11 ms reproduces case C's ~218M
+  /// events at full scale.
+  double base_state_s = 0.11e-3;
+  double event_scale = 1.0;
+  /// Rupture (paper: 34.5 s, Griffon only).  blocked_machines machines are
+  /// hit, alternating Wait/Send blocking; 0 disables.
+  double rupture_begin_s = 34.5;
+  double rupture_span_s = 2.5;
+  std::int32_t blocked_machines = 4;
+  std::uint64_t seed = 1337;
+};
+
+/// Generates the LU trace over a platform.  Cluster roles are derived from
+/// the PlatformSpec interconnects, so the same generator covers case C
+/// (Nancy) and case D (Rennes triple, which has no Ethernet cluster and no
+/// scripted rupture when blocked_machines = 0).
+[[nodiscard]] Trace generate_lu_trace(const Hierarchy& hierarchy,
+                                      const PlatformSpec& platform,
+                                      const LuWorkloadOptions& options = {});
+
+}  // namespace stagg

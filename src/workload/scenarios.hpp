@@ -1,0 +1,61 @@
+// Table II scenario presets (paper §V).
+//
+// Each scenario bundles the platform, the workload generator and the
+// paper's reported numbers, so the Table II bench can print "paper vs
+// measured" rows.  `scale` shrinks the event rate (and nothing else): the
+// spatiotemporal structure — phases, perturbations, heterogeneity — is
+// preserved, only the microscopic event density drops.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "hierarchy/hierarchy.hpp"
+#include "hierarchy/platform.hpp"
+#include "trace/trace.hpp"
+
+namespace stagg {
+
+/// Paper-reported numbers of one Table II column.
+struct PaperNumbers {
+  std::uint64_t events = 0;
+  double trace_mb = 0.0;
+  double read_s = 0.0;
+  double microscopic_s = 0.0;
+  double aggregation_s = 0.0;
+};
+
+/// One scenario of Table II.
+struct ScenarioSpec {
+  std::string id;           ///< "A".."D"
+  std::string application;  ///< "CG, class C" / "LU, class B"
+  std::string site;
+  PlatformSpec platform;
+  std::int32_t processes = 0;  ///< cores used (Table II row 2)
+  double span_s = 0.0;
+  PaperNumbers paper;
+};
+
+[[nodiscard]] ScenarioSpec scenario_a();  ///< CG-C, 64p, Rennes/parapide
+[[nodiscard]] ScenarioSpec scenario_b();  ///< CG-C, 512p, Grenoble
+[[nodiscard]] ScenarioSpec scenario_c();  ///< LU-C, 700p, Nancy
+[[nodiscard]] ScenarioSpec scenario_d();  ///< LU-B, 900p, Rennes triple
+
+[[nodiscard]] std::vector<ScenarioSpec> all_scenarios();
+
+/// A generated scenario: the hierarchy owns the spatial structure the trace
+/// paths refer to.
+struct GeneratedScenario {
+  ScenarioSpec spec;
+  std::unique_ptr<Hierarchy> hierarchy;
+  Trace trace;
+};
+
+/// Generates the scenario's trace at the given event-rate scale (1.0 =
+/// paper-sized, 1/32 = default bench size).  Deterministic in `seed`.
+[[nodiscard]] GeneratedScenario generate_scenario(const ScenarioSpec& spec,
+                                                  double scale = 1.0,
+                                                  std::uint64_t seed = 42);
+
+}  // namespace stagg

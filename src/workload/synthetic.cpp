@@ -1,0 +1,79 @@
+#include "workload/synthetic.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace stagg {
+
+StatePattern StatePattern::solid(std::string state) {
+  StatePattern p;
+  p.elements.push_back({std::move(state), 0.0, 0.0});
+  return p;
+}
+
+bool Perturbation::applies_to(const std::string& state) const {
+  if (states.empty()) return true;
+  return std::find(states.begin(), states.end(), state) != states.end();
+}
+
+void generate_resource(Trace& trace, ResourceId resource,
+                       const ResourceProgram& program, std::uint64_t seed,
+                       std::uint64_t stream) {
+  Rng rng(seed, stream);
+  for (const auto& phase : program.phases) {
+    if (phase.end_s <= phase.begin_s) {
+      throw InvalidArgument("phase with non-positive span");
+    }
+    if (phase.pattern.elements.empty()) continue;  // idle phase
+
+    // Solid phase: one state covering the span.
+    if (phase.pattern.elements.size() == 1 &&
+        phase.pattern.elements[0].mean_s <= 0.0) {
+      trace.add_state(resource, phase.pattern.elements[0].state,
+                      seconds(phase.begin_s), seconds(phase.end_s));
+      continue;
+    }
+
+    double t = phase.begin_s;
+    std::size_t k = 0;
+    while (t < phase.end_s) {
+      const auto& el = phase.pattern.elements[k % phase.pattern.elements.size()];
+      ++k;
+      double dur = el.mean_s;
+      if (el.jitter > 0.0) {
+        dur = std::max(el.mean_s * 0.05,
+                       rng.normal(el.mean_s, el.mean_s * el.jitter));
+      }
+      // Perturbations stretch matching states inside their window.
+      for (const auto& pert : program.perturbations) {
+        if (t >= pert.begin_s && t < pert.end_s && pert.applies_to(el.state)) {
+          dur *= pert.factor;
+        }
+      }
+      const double end = std::min(t + dur, phase.end_s);
+      if (end > t) {
+        trace.add_state(resource, el.state, seconds(t), seconds(end));
+      }
+      t += dur;
+    }
+  }
+}
+
+Trace generate_trace(const Hierarchy& hierarchy,
+                     const std::function<ResourceProgram(LeafId)>& programmer,
+                     std::uint64_t seed) {
+  Trace trace;
+  for (std::size_t s = 0; s < hierarchy.leaf_count(); ++s) {
+    trace.add_resource(
+        hierarchy.path(hierarchy.leaf_node(static_cast<LeafId>(s))));
+  }
+  for (std::size_t s = 0; s < hierarchy.leaf_count(); ++s) {
+    const auto program = programmer(static_cast<LeafId>(s));
+    generate_resource(trace, static_cast<ResourceId>(s), program, seed, s);
+  }
+  trace.seal();
+  return trace;
+}
+
+}  // namespace stagg

@@ -1,0 +1,79 @@
+// Phase-based synthetic MPI trace generation — the library's stand-in for
+// Score-P traces of real NAS runs on Grid'5000 (see DESIGN.md,
+// "Substitutions").
+//
+// A workload is a list of per-resource *phases*; within a phase the
+// resource cycles through a pattern of states whose durations are drawn
+// from per-element lognormal-ish jittered means.  Every resource has its
+// own deterministic RNG stream derived from (seed, resource), so traces
+// are reproducible and generation order-independent.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hierarchy/hierarchy.hpp"
+#include "trace/trace.hpp"
+
+namespace stagg {
+
+/// One element of a cyclic state pattern.
+struct PatternElement {
+  std::string state;
+  double mean_s = 1e-3;   ///< mean state duration in seconds
+  double jitter = 0.2;    ///< relative stddev of the duration
+};
+
+/// A cyclic pattern: the resource loops over the elements in order.
+struct StatePattern {
+  std::vector<PatternElement> elements;
+
+  /// Convenience: pattern of one state filling the whole phase.
+  [[nodiscard]] static StatePattern solid(std::string state);
+};
+
+/// A phase: a pattern active over [begin_s, end_s).
+struct Phase {
+  double begin_s = 0.0;
+  double end_s = 0.0;
+  StatePattern pattern;
+};
+
+/// A time-bounded multiplier on state durations — used to inject the
+/// paper's network-concurrency perturbations: inside [begin_s, end_s),
+/// durations of states matching `states` (empty = all) are multiplied by
+/// `factor` (> 1 stretches states, i.e. slows the resource down).
+struct Perturbation {
+  double begin_s = 0.0;
+  double end_s = 0.0;
+  double factor = 1.0;
+  std::vector<std::string> states;
+
+  [[nodiscard]] bool applies_to(const std::string& state) const;
+};
+
+/// Per-resource generation program.
+struct ResourceProgram {
+  std::vector<Phase> phases;
+  std::vector<Perturbation> perturbations;
+};
+
+/// Generates the states of one resource into `trace`.  `solid` phases emit
+/// exactly one state; cyclic phases emit states until the phase ends (the
+/// final state is clipped to the phase boundary).
+void generate_resource(Trace& trace, ResourceId resource,
+                       const ResourceProgram& program, std::uint64_t seed,
+                       std::uint64_t stream);
+
+/// Drives generation for a whole hierarchy: `programmer(leaf)` returns the
+/// program of each leaf; resources are registered under their hierarchy
+/// path, in leaf order.
+[[nodiscard]] Trace generate_trace(
+    const Hierarchy& hierarchy,
+    const std::function<ResourceProgram(LeafId)>& programmer,
+    std::uint64_t seed);
+
+}  // namespace stagg

@@ -1,0 +1,112 @@
+#include "core/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/aggregator.hpp"
+#include "workload/fixtures.hpp"
+
+namespace stagg {
+namespace {
+
+TEST(UniformPartition, GridShapeAndValidity) {
+  const Hierarchy h = make_balanced_hierarchy(2, 3);  // 3 clusters x 3
+  const Partition p = make_uniform_partition(h, 20, /*depth=*/1, /*k=*/4);
+  EXPECT_TRUE(p.is_valid(h, 20));
+  EXPECT_EQ(p.size(), 3u * 4u);  // Fig. 3.b: 3 clusters x 4 periods
+}
+
+TEST(UniformPartition, DepthZeroIsTemporalOnly) {
+  const Hierarchy h = make_balanced_hierarchy(2, 2);
+  const Partition p = make_uniform_partition(h, 10, 0, 5);
+  EXPECT_TRUE(p.is_valid(h, 10));
+  EXPECT_EQ(p.size(), 5u);
+}
+
+TEST(UniformPartition, LeafDepthIsMicroscopicWhenKEqualsT) {
+  const Hierarchy h = make_balanced_hierarchy(1, 4);
+  const Partition p = make_uniform_partition(h, 6, 99, 6);
+  // depth beyond max -> leaves; k = T -> single slices.
+  EXPECT_TRUE(p.is_valid(h, 6));
+  EXPECT_EQ(p.size(), 4u * 6u);
+}
+
+TEST(UniformPartition, UnevenSlicesStillCover) {
+  const Hierarchy h = make_flat_hierarchy(2);
+  const Partition p = make_uniform_partition(h, 7, 1, 3);  // 7 into 3
+  EXPECT_TRUE(p.is_valid(h, 7));
+}
+
+TEST(UniformPartition, RejectsBadK) {
+  const Hierarchy h = make_flat_hierarchy(2);
+  EXPECT_THROW((void)make_uniform_partition(h, 5, 1, 0), InvalidArgument);
+  EXPECT_THROW((void)make_uniform_partition(h, 5, 1, 6), InvalidArgument);
+  EXPECT_THROW((void)make_uniform_partition(h, 5, -1, 2), InvalidArgument);
+}
+
+TEST(Cartesian, ProductPartitionIsValid) {
+  const OwnedModel om = make_random_model(
+      {.levels = 2, .fanout = 3, .slices = 12, .states = 2, .seed = 19});
+  const DataCube cube(om.model);
+  const CartesianResult r = cartesian_aggregation(cube, 0.5);
+  EXPECT_TRUE(r.partition.is_valid(*om.hierarchy, 12));
+  EXPECT_EQ(r.partition.size(),
+            r.spatial.parts.size() * r.temporal.intervals.size());
+}
+
+TEST(Cartesian, SpatiotemporalOptimumDominates) {
+  // §III-D's argument: H(S) x I(T) products are a subset of A(S x T), so
+  // the DP optimum is >= the Cartesian combination's pIC under the *full*
+  // spatiotemporal measures.
+  for (const std::uint64_t seed : {3ull, 23ull, 31ull}) {
+    const OwnedModel om = make_random_model({.levels = 2,
+                                             .fanout = 3,
+                                             .slices = 10,
+                                             .states = 2,
+                                             .block_slices = 3,
+                                             .block_leaves = 3,
+                                             .seed = seed});
+    SpatiotemporalAggregator agg(om.model);
+    for (const double p : {0.2, 0.5, 0.8}) {
+      const auto st = agg.run(p);
+      const auto cart = cartesian_aggregation(agg.cube(), p);
+      const auto cart_eval = agg.evaluate(cart.partition, p);
+      EXPECT_GE(st.optimal_pic, cart_eval.optimal_pic - 1e-9)
+          << "seed=" << seed << " p=" << p;
+    }
+  }
+}
+
+TEST(Cartesian, UniformGridNeverBeatsEither) {
+  const OwnedModel om = make_random_model({.levels = 2,
+                                           .fanout = 3,
+                                           .slices = 12,
+                                           .states = 2,
+                                           .block_slices = 4,
+                                           .block_leaves = 3,
+                                           .seed = 77});
+  SpatiotemporalAggregator agg(om.model);
+  const double p = 0.5;
+  const auto st = agg.run(p);
+  const Partition uniform = make_uniform_partition(*om.hierarchy, 12, 1, 4);
+  const auto uni_eval = agg.evaluate(uniform, p);
+  EXPECT_GE(st.optimal_pic, uni_eval.optimal_pic - 1e-9);
+}
+
+TEST(MicroscopicAndFull, AreExtremePartitions) {
+  const OwnedModel om = make_random_model(
+      {.levels = 2, .fanout = 2, .slices = 5, .states = 2, .seed = 55});
+  SpatiotemporalAggregator agg(om.model);
+  const auto micro =
+      agg.evaluate(make_microscopic_partition(*om.hierarchy, 5), 0.5);
+  const auto full = agg.evaluate(make_full_partition(*om.hierarchy, 5), 0.5);
+  EXPECT_NEAR(micro.measures.gain, 0.0, 1e-12);
+  EXPECT_NEAR(micro.measures.loss, 0.0, 1e-12);
+  EXPECT_GT(full.measures.gain, 0.0);
+  EXPECT_GT(full.measures.loss, 0.0);
+  EXPECT_EQ(micro.quality.area_count, 4u * 5u);
+  EXPECT_EQ(full.quality.area_count, 1u);
+}
+
+}  // namespace
+}  // namespace stagg

@@ -1,0 +1,110 @@
+// Direct tests of the exhaustive oracle (core/brute_force): since the main
+// aggregator is validated *against* it, the oracle itself needs independent
+// grounding — enumeration counts against closed forms, every enumerated
+// partition valid and distinct, naive measures against hand computations.
+#include "core/brute_force.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "core/baselines.hpp"
+#include "workload/fixtures.hpp"
+
+namespace stagg {
+namespace {
+
+TEST(BruteForce, EveryEnumeratedPartitionIsValidAndDistinct) {
+  const Hierarchy h = make_balanced_hierarchy(2, 2);
+  const auto all = enumerate_partitions(h, 3);
+  std::set<std::uint64_t> signatures;
+  for (const auto& p : all) {
+    EXPECT_TRUE(p.is_valid(h, 3));
+    EXPECT_TRUE(signatures.insert(p.signature()).second)
+        << "duplicate partition in enumeration";
+  }
+}
+
+TEST(BruteForce, EnumerationContainsTheNamedPartitions) {
+  const Hierarchy h = make_balanced_hierarchy(2, 2);
+  const auto all = enumerate_partitions(h, 3);
+  const auto contains = [&](const Partition& p) {
+    const std::uint64_t sig = p.signature();
+    for (const auto& q : all) {
+      if (q.signature() == sig) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(contains(make_full_partition(h, 3)));
+  EXPECT_TRUE(contains(make_microscopic_partition(h, 3)));
+  EXPECT_TRUE(contains(make_uniform_partition(h, 3, 1, 3)));
+}
+
+TEST(BruteForce, EnumerationLimitThrows) {
+  const Hierarchy h = make_balanced_hierarchy(2, 2);
+  EXPECT_THROW((void)enumerate_partitions(h, 4, /*limit=*/100), BudgetError);
+}
+
+TEST(BruteForce, NaiveMeasuresOnTinyModelByHand) {
+  // Tiny model: leaf0 rho = {1, 0}, leaf1 rho = {1, 1}, one state, 1 s
+  // slices.  Root x [0,1]: rho_agg = 3/4.
+  const OwnedModel om = make_tiny_model();
+  const Area root_all{om.hierarchy->root(), {0, 1}};
+  const AreaMeasures m = naive_area_measures(om.model, root_all);
+  // sum_rho_log = 0 (all rho in {0,1}); loss = -sum_rho*log2(3/4).
+  const double expected_loss = -3.0 * std::log2(0.75);
+  const double expected_gain = 0.75 * std::log2(0.75);
+  EXPECT_NEAR(m.loss, expected_loss, 1e-12);
+  EXPECT_NEAR(m.gain, expected_gain, 1e-12);
+}
+
+TEST(BruteForce, NaivePicAdditiveOverParts) {
+  const OwnedModel om = make_random_model(
+      {.levels = 2, .fanout = 2, .slices = 3, .states = 2, .seed = 44});
+  const Partition micro =
+      make_microscopic_partition(*om.hierarchy, 3);
+  // Microscopic areas all have zero gain/loss -> pIC = 0 at any p.
+  EXPECT_NEAR(naive_partition_pic(om.model, micro, 0.3), 0.0, 1e-12);
+  const Partition full = make_full_partition(*om.hierarchy, 3);
+  const AreaMeasures root = naive_area_measures(
+      om.model, Area{om.hierarchy->root(), {0, 2}});
+  EXPECT_NEAR(naive_partition_pic(om.model, full, 0.3),
+              pic(0.3, root.gain, root.loss), 1e-12);
+}
+
+TEST(BruteForce, OptimumIsAtLeastAnyNamedPartition) {
+  const OwnedModel om = make_random_model(
+      {.levels = 2, .fanout = 2, .slices = 3, .states = 2, .seed = 9});
+  const double p = 0.5;
+  const BruteForceResult best = brute_force_optimum(om.model, p);
+  for (const Partition& candidate :
+       {make_full_partition(*om.hierarchy, 3),
+        make_microscopic_partition(*om.hierarchy, 3),
+        make_uniform_partition(*om.hierarchy, 3, 1, 3)}) {
+    EXPECT_GE(best.optimal_pic,
+              naive_partition_pic(om.model, candidate, p) - 1e-12);
+  }
+  EXPECT_TRUE(best.partition.is_valid(*om.hierarchy, 3));
+}
+
+TEST(BruteForce, PZeroOptimumHasZeroLoss) {
+  const OwnedModel om = make_random_model(
+      {.levels = 2, .fanout = 2, .slices = 3, .states = 2, .seed = 5});
+  const BruteForceResult best = brute_force_optimum(om.model, 0.0);
+  EXPECT_NEAR(best.optimal_pic, 0.0, 1e-9);  // -loss maximized at 0
+}
+
+TEST(BruteForce, MemoizationConsistentAcrossCalls) {
+  const Hierarchy h = make_balanced_hierarchy(2, 2);
+  const auto a = enumerate_partitions(h, 3);
+  const auto b = enumerate_partitions(h, 3);
+  ASSERT_EQ(a.size(), b.size());
+  std::set<std::uint64_t> sa, sb;
+  for (const auto& p : a) sa.insert(p.signature());
+  for (const auto& p : b) sb.insert(p.signature());
+  EXPECT_EQ(sa, sb);
+}
+
+}  // namespace
+}  // namespace stagg

@@ -1,0 +1,101 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace stagg {
+namespace {
+
+Cli make_cli() {
+  Cli cli("prog", "test program");
+  cli.option("count", "10", "a number")
+      .option("name", "dflt", "a string")
+      .flag("verbose", "a flag");
+  return cli;
+}
+
+TEST(Cli, DefaultsApply) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.get_int("count"), 10);
+  EXPECT_EQ(cli.get("name"), "dflt");
+  EXPECT_FALSE(cli.get_flag("verbose"));
+}
+
+TEST(Cli, SpaceSeparatedValue) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--count", "42"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(cli.get_int("count"), 42);
+}
+
+TEST(Cli, EqualsValue) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--name=hello", "--verbose"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(cli.get("name"), "hello");
+  EXPECT_TRUE(cli.get_flag("verbose"));
+}
+
+TEST(Cli, PositionalArguments) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "input.trc", "--count=1", "out.svg"};
+  ASSERT_TRUE(cli.parse(4, argv));
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "input.trc");
+  EXPECT_EQ(cli.positional()[1], "out.svg");
+}
+
+TEST(Cli, UnknownOptionFails) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--bogus", "1"};
+  EXPECT_FALSE(cli.parse(3, argv));
+}
+
+TEST(Cli, MissingValueFails) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--count"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, GetUndeclaredThrows) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_THROW((void)cli.get("nothere"), InvalidArgument);
+}
+
+TEST(Cli, DoubleParsing) {
+  Cli cli("p", "d");
+  cli.option("scale", "0.5", "scale");
+  const char* argv[] = {"p", "--scale", "0.03125"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_DOUBLE_EQ(cli.get_double("scale"), 0.03125);
+}
+
+TEST(EnvHelpers, FallbackAndParse) {
+  ::unsetenv("STAGG_TEST_ENV");
+  EXPECT_DOUBLE_EQ(env_double("STAGG_TEST_ENV", 2.5), 2.5);
+  EXPECT_EQ(env_int("STAGG_TEST_ENV", 9), 9);
+  ::setenv("STAGG_TEST_ENV", "0.125", 1);
+  EXPECT_DOUBLE_EQ(env_double("STAGG_TEST_ENV", 2.5), 0.125);
+  ::setenv("STAGG_TEST_ENV", "17", 1);
+  EXPECT_EQ(env_int("STAGG_TEST_ENV", 9), 17);
+  ::setenv("STAGG_TEST_ENV", "junk", 1);
+  EXPECT_DOUBLE_EQ(env_double("STAGG_TEST_ENV", 2.5), 2.5);
+  EXPECT_EQ(env_int("STAGG_TEST_ENV", 9), 9);
+  ::unsetenv("STAGG_TEST_ENV");
+}
+
+}  // namespace
+}  // namespace stagg

@@ -1,0 +1,91 @@
+// Tests of the YCbCr color machinery (§VI future work: "Solutions using
+// different color spaces, as YCbCr, could be employed").
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "viz/color.hpp"
+#include "viz/spatiotemporal_view.hpp"
+#include "core/aggregator.hpp"
+#include "workload/fixtures.hpp"
+
+namespace stagg {
+namespace {
+
+TEST(Ycbcr, RoundTripsRepresentativeColors) {
+  for (const Rgba c : {Rgba{255, 0, 0, 255}, Rgba{0, 255, 0, 255},
+                       Rgba{0, 0, 255, 255}, Rgba{240, 200, 0, 255},
+                       Rgba{17, 93, 211, 255}, Rgba{128, 128, 128, 255}}) {
+    const Rgba back = ycbcr_to_rgb(rgb_to_ycbcr(c));
+    EXPECT_NEAR(back.r, c.r, 2);
+    EXPECT_NEAR(back.g, c.g, 2);
+    EXPECT_NEAR(back.b, c.b, 2);
+  }
+}
+
+TEST(Ycbcr, GrayHasNeutralChroma) {
+  const Ycbcr y = rgb_to_ycbcr({100, 100, 100, 255});
+  EXPECT_NEAR(y.cb, 128.0, 0.5);
+  EXPECT_NEAR(y.cr, 128.0, 0.5);
+  EXPECT_NEAR(y.y, 100.0, 0.5);
+}
+
+TEST(Ycbcr, LumaOrdering) {
+  // Yellow is perceptually brighter than blue at equal RGB magnitudes —
+  // the reason §VI says opacity-based fading is hue-dependent.
+  const double yellow = rgb_to_ycbcr({255, 255, 0, 255}).y;
+  const double blue = rgb_to_ycbcr({0, 0, 255, 255}).y;
+  EXPECT_GT(yellow, blue * 3.0);
+}
+
+TEST(ChromaFade, FullCertaintyIsIdentityish) {
+  const Rgba c{205, 50, 40, 255};
+  const Rgba faded = chroma_fade(c, 1.0);
+  EXPECT_NEAR(faded.r, c.r, 2);
+  EXPECT_NEAR(faded.g, c.g, 2);
+  EXPECT_NEAR(faded.b, c.b, 2);
+}
+
+TEST(ChromaFade, ZeroCertaintyIsGrayWithSameLuma) {
+  const Rgba c{205, 50, 40, 255};
+  const Rgba faded = chroma_fade(c, 0.0);
+  EXPECT_NEAR(faded.r, faded.g, 2);
+  EXPECT_NEAR(faded.g, faded.b, 2);
+  EXPECT_NEAR(rgb_to_ycbcr(faded).y, rgb_to_ycbcr(c).y, 2.0);
+}
+
+TEST(ChromaFade, PreservesLumaAtAnyStrength) {
+  // The whole point of the YCbCr encoding: fading must not change the
+  // perceived brightness, for any hue.
+  for (const Rgba c : {Rgba{240, 200, 0, 255}, Rgba{60, 160, 60, 255},
+                       Rgba{60, 100, 190, 255}}) {
+    const double luma = rgb_to_ycbcr(c).y;
+    for (const double k : {0.25, 0.5, 0.75}) {
+      EXPECT_NEAR(rgb_to_ycbcr(chroma_fade(c, k)).y, luma, 2.5);
+    }
+  }
+}
+
+TEST(ChromaFade, ClampsCertainty) {
+  const Rgba c{10, 200, 30, 255};
+  EXPECT_EQ(chroma_fade(c, -1.0), chroma_fade(c, 0.0));
+  EXPECT_EQ(chroma_fade(c, 2.0), chroma_fade(c, 1.0));
+}
+
+TEST(ChromaFadeView, RenderUsesOpaqueTiles) {
+  OwnedModel om = make_figure3_model();
+  SpatiotemporalAggregator agg(om.model);
+  const auto result = agg.run(0.5);
+  ViewOptions opt;
+  opt.alpha_encoding = AlphaEncoding::kChromaFade;
+  const SvgCanvas svg = render_overview(result, agg.cube(), opt);
+  // Chroma encoding never emits fill-opacity (tiles are opaque).
+  EXPECT_EQ(svg.str().find("fill-opacity"), std::string::npos);
+  // Opacity encoding does, whenever some aggregate is mixed.
+  ViewOptions classic;
+  const SvgCanvas svg2 = render_overview(result, agg.cube(), classic);
+  EXPECT_NE(svg2.str().find("fill-opacity"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stagg

@@ -1,0 +1,182 @@
+// Tests of the search-space counting (§III-E combinatorics) and the
+// cross-run comparison (§V-A methodology).
+#include <gtest/gtest.h>
+
+#include "analysis/compare_runs.hpp"
+#include "common/error.hpp"
+#include "core/brute_force.hpp"
+#include "core/counting.hpp"
+#include "model/builder.hpp"
+#include "workload/nas_cg.hpp"
+#include "workload/scenarios.hpp"
+
+namespace stagg {
+namespace {
+
+TEST(Counting, IntervalPartitionsArePowersOfTwo) {
+  EXPECT_EQ(count_interval_partitions(1).exact, 1u);
+  EXPECT_EQ(count_interval_partitions(2).exact, 2u);
+  EXPECT_EQ(count_interval_partitions(5).exact, 16u);
+  EXPECT_EQ(count_interval_partitions(30).exact, 1u << 29);
+  EXPECT_DOUBLE_EQ(count_interval_partitions(30).log2_value, 29.0);
+  EXPECT_THROW((void)count_interval_partitions(0), InvalidArgument);
+}
+
+TEST(Counting, IntervalCountSaturatesGracefully) {
+  const auto c = count_interval_partitions(100);
+  EXPECT_TRUE(c.saturated);
+  EXPECT_DOUBLE_EQ(c.log2_value, 99.0);
+}
+
+TEST(Counting, IntervalCountMatchesEnumeration) {
+  // A single-node hierarchy (the root is the only resource) over T slices
+  // only admits order-consistent partitions: the enumeration must find
+  // exactly 2^(T-1).
+  const Hierarchy h = make_balanced_hierarchy(0, 2);
+  for (const std::int32_t slices : {2, 3, 4, 5}) {
+    const auto all = enumerate_partitions(h, slices);
+    EXPECT_EQ(all.size(), count_interval_partitions(slices).exact)
+        << "T=" << slices;
+  }
+}
+
+TEST(Counting, WrapperRootTriplesChoicesPerBlock) {
+  // A root wrapping one leaf offers, per temporal block, the choice of
+  // drawing it at the root or at the leaf level: 2 * 3^(T-1) partitions.
+  const Hierarchy h = make_flat_hierarchy(1);
+  std::size_t expected = 2;
+  for (const std::int32_t slices : {1, 2, 3, 4}) {
+    EXPECT_EQ(enumerate_partitions(h, slices).size(), expected)
+        << "T=" << slices;
+    expected *= 3;
+  }
+}
+
+TEST(Counting, HierarchyCountFollowsRecurrence) {
+  // f(leaf) = 1, f(node) = 1 + prod f(children).
+  // Flat hierarchy of n leaves: f(root) = 2 (all leaves, or the root).
+  EXPECT_EQ(count_hierarchy_partitions(make_flat_hierarchy(5)).exact, 2u);
+  // Binary, 2 levels: f(mid) = 2, f(root) = 1 + 2*2 = 5.
+  EXPECT_EQ(count_hierarchy_partitions(make_balanced_hierarchy(2, 2)).exact,
+            5u);
+  // 3 levels: f = 1 + 5*5 = 26.
+  EXPECT_EQ(count_hierarchy_partitions(make_balanced_hierarchy(3, 2)).exact,
+            26u);
+  // Single leaf: 1.
+  EXPECT_EQ(count_hierarchy_partitions(make_balanced_hierarchy(0, 2)).exact,
+            1u);
+}
+
+TEST(Counting, BinaryGrowthBaseApproachesPaperConstant) {
+  // The paper: |H(S)| = Theta(c^|S|) with c ~ 1.229 for complete binary
+  // trees.  The per-leaf base converges from below.
+  const double base = binary_tree_growth_base(16);
+  EXPECT_GT(base, 1.22);
+  EXPECT_LT(base, 1.23);
+}
+
+TEST(Counting, SpatiotemporalEnumerationOnTinyGrid) {
+  // Hand-enumerated: flat 2-leaf hierarchy x 2 slices has exactly 8
+  // hierarchy-and-order-consistent partitions (see the derivation in the
+  // test comment history / EXPERIMENTS.md).
+  const Hierarchy h = make_flat_hierarchy(2);
+  EXPECT_EQ(enumerate_partitions(h, 2).size(), 8u);
+}
+
+TEST(Counting, DpCellsArePolynomial) {
+  const Hierarchy h = make_balanced_hierarchy(3, 2);  // 15 nodes
+  EXPECT_EQ(count_dp_cells(h, 30), 15u * (30u * 31u / 2u));
+  // The contrast the paper draws: exponential search space, polynomial DP.
+  const auto space = count_hierarchy_partitions(h);
+  EXPECT_LT(space.exact, count_dp_cells(h, 30));  // tiny tree: still close
+  const Hierarchy big = make_balanced_hierarchy(8, 2);
+  EXPECT_GT(count_hierarchy_partitions(big).log2_value,
+            std::log2(static_cast<double>(count_dp_cells(big, 30))));
+}
+
+// --- compare_runs ----------------------------------------------------------
+
+class CompareRunsTest : public ::testing::Test {
+ protected:
+  struct Run {
+    GeneratedScenario scenario;
+    MicroscopicModel model;
+    std::optional<SpatiotemporalAggregator> agg;
+    AggregationResult result;
+  };
+
+  static Run make_run(std::int32_t perturbed, std::uint64_t seed) {
+    Run run{generate_scenario(scenario_a(), 1.0 / 128.0, 42), {}, {}, {}};
+    CgWorkloadOptions opt;
+    opt.event_scale = 1.0 / 128.0;
+    opt.perturbed_processes = perturbed;
+    opt.seed = seed;
+    Trace trace = generate_cg_trace(*run.scenario.hierarchy, opt);
+    trace.set_window(0, seconds(9.5));
+    run.scenario.trace = std::move(trace);
+    run.model = build_model(run.scenario.trace, *run.scenario.hierarchy,
+                            {.slice_count = 30});
+    run.agg.emplace(run.model);
+    run.result = run.agg->run(0.1);
+    return run;
+  }
+};
+
+TEST_F(CompareRunsTest, IdenticalRunsAgreeFully) {
+  const Run a = make_run(0, 7);
+  const RunComparison c =
+      compare_runs(a.agg->cube(), a.result, a.agg->cube(), a.result);
+  EXPECT_TRUE(c.structure.identical());
+  EXPECT_DOUBLE_EQ(c.mode_agreement, 1.0);
+  EXPECT_TRUE(c.divergent_boundaries.empty());
+  EXPECT_TRUE(c.changed_rows.empty());
+}
+
+TEST_F(CompareRunsTest, PerturbedVsCleanLocalizesTheAnomaly) {
+  const Run clean = make_run(0, 7);
+  const Run dirty = make_run(26, 7);
+  const RunComparison c = compare_runs(clean.agg->cube(), clean.result,
+                                       dirty.agg->cube(), dirty.result);
+  // The perturbation touches 26 of 64 rows; the comparison must flag a
+  // nontrivial but bounded set of rows and keep most modes identical.
+  EXPECT_GE(c.changed_rows.size(), 20u);
+  EXPECT_LE(c.changed_rows.size(), 48u);
+  EXPECT_GT(c.mode_agreement, 0.85);
+  EXPECT_FALSE(c.structure.identical());
+}
+
+TEST_F(CompareRunsTest, DifferentSeedsMoveThePerturbation) {
+  // §V-A: the anomaly "never [appears] at the same moment in the trace" —
+  // with different seeds the perturbation window shifts, so comparing two
+  // perturbed runs still shows structural differences near 3 s.
+  const Run s1 = make_run(26, 1);
+  const Run s2 = make_run(26, 2);
+  const RunComparison c =
+      compare_runs(s1.agg->cube(), s1.result, s2.agg->cube(), s2.result);
+  EXPECT_FALSE(c.changed_rows.empty());
+}
+
+TEST_F(CompareRunsTest, DimensionMismatchThrows) {
+  const Run a = make_run(0, 7);
+  GeneratedScenario other = generate_scenario(scenario_a(), 1.0 / 128.0);
+  const MicroscopicModel model =
+      build_model(other.trace, *other.hierarchy, {.slice_count = 15});
+  SpatiotemporalAggregator agg(model);
+  const auto r = agg.run(0.1);
+  EXPECT_THROW(
+      (void)compare_runs(a.agg->cube(), a.result, agg.cube(), r),
+      DimensionError);
+}
+
+TEST_F(CompareRunsTest, FormatSummarizes) {
+  const Run clean = make_run(0, 7);
+  const Run dirty = make_run(26, 7);
+  const RunComparison c = compare_runs(clean.agg->cube(), clean.result,
+                                       dirty.agg->cube(), dirty.result);
+  const std::string s = format_comparison(c);
+  EXPECT_NE(s.find("mode agreement"), std::string::npos);
+  EXPECT_NE(s.find("changed rows"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stagg

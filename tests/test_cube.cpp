@@ -1,0 +1,133 @@
+#include "core/cube.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/math.hpp"
+#include "core/brute_force.hpp"
+#include "workload/fixtures.hpp"
+
+namespace stagg {
+namespace {
+
+TEST(DataCube, SumsMatchNaiveOnRandomModel) {
+  const OwnedModel om = make_random_model(
+      {.levels = 2, .fanout = 3, .slices = 7, .states = 3, .seed = 11});
+  const DataCube cube(om.model);
+  const Hierarchy& h = *om.hierarchy;
+
+  for (NodeId node = 0; node < static_cast<NodeId>(h.node_count()); ++node) {
+    const auto& n = h.node(node);
+    for (SliceId i = 0; i < 7; ++i) {
+      for (SliceId j = i; j < 7; ++j) {
+        for (StateId x = 0; x < 3; ++x) {
+          double sum_d = 0, sum_rho = 0, sum_rholog = 0;
+          for (LeafId s = n.first_leaf; s < n.first_leaf + n.leaf_count;
+               ++s) {
+            for (SliceId t = i; t <= j; ++t) {
+              const double d = om.model.duration(s, t, x);
+              sum_d += d;
+              const double rho = d / om.model.grid().slice_duration_s(t);
+              sum_rho += rho;
+              sum_rholog += xlog2x(rho);
+            }
+          }
+          const auto got = cube.sums(node, i, j, x);
+          EXPECT_NEAR(got.sum_d, sum_d, 1e-9);
+          EXPECT_NEAR(got.sum_rho, sum_rho, 1e-9);
+          EXPECT_NEAR(got.sum_rho_log, sum_rholog, 1e-9);
+        }
+      }
+    }
+  }
+}
+
+TEST(DataCube, MeasuresMatchNaiveImplementation) {
+  const OwnedModel om = make_random_model(
+      {.levels = 2, .fanout = 2, .slices = 6, .states = 2, .seed = 3});
+  const DataCube cube(om.model);
+  const Hierarchy& h = *om.hierarchy;
+  for (NodeId node = 0; node < static_cast<NodeId>(h.node_count()); ++node) {
+    for (SliceId i = 0; i < 6; ++i) {
+      for (SliceId j = i; j < 6; ++j) {
+        const AreaMeasures fast = cube.measures(node, i, j);
+        const AreaMeasures slow =
+            naive_area_measures(om.model, Area{node, {i, j}});
+        EXPECT_NEAR(fast.gain, slow.gain, 1e-8);
+        EXPECT_NEAR(fast.loss, slow.loss, 1e-8);
+      }
+    }
+  }
+}
+
+TEST(DataCube, AggregatedProportionIsMeanOfLeafProportions) {
+  // Uniform slices: Eq. 1 reduces to the plain mean over the area cells.
+  const OwnedModel om = make_tiny_model();  // leaf0: {1,0}; leaf1: {1,1}
+  const DataCube cube(om.model);
+  const NodeId root = om.hierarchy->root();
+  EXPECT_NEAR(cube.aggregated_proportion(root, 0, 1, 0), 0.75, 1e-12);
+  EXPECT_NEAR(cube.aggregated_proportion(root, 0, 0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(cube.aggregated_proportion(root, 1, 1, 0), 0.5, 1e-12);
+}
+
+TEST(DataCube, HomogeneousAreaHasZeroLoss) {
+  const OwnedModel om = make_tiny_model();
+  const DataCube cube(om.model);
+  // Slice 0: both leaves fully busy -> homogeneous.
+  const NodeId root = om.hierarchy->root();
+  EXPECT_NEAR(cube.measures(root, 0, 0).loss, 0.0, 1e-12);
+  // Whole window: heterogeneous -> positive loss.
+  EXPECT_GT(cube.measures(root, 0, 1).loss, 0.0);
+}
+
+TEST(DataCube, LeafCellsHaveZeroGainAndLoss) {
+  const OwnedModel om = make_random_model(
+      {.levels = 1, .fanout = 4, .slices = 5, .states = 2, .seed = 9});
+  const DataCube cube(om.model);
+  for (LeafId s = 0; s < 4; ++s) {
+    const NodeId leaf = om.hierarchy->leaves()[static_cast<std::size_t>(s)];
+    for (SliceId t = 0; t < 5; ++t) {
+      const AreaMeasures m = cube.measures(leaf, t, t);
+      EXPECT_NEAR(m.gain, 0.0, 1e-12);
+      EXPECT_NEAR(m.loss, 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(DataCube, LossIsNonNegativeOnUniformGrids) {
+  const OwnedModel om = make_random_model(
+      {.levels = 3, .fanout = 2, .slices = 9, .states = 3, .seed = 17});
+  const DataCube cube(om.model);
+  const Hierarchy& h = *om.hierarchy;
+  for (NodeId node = 0; node < static_cast<NodeId>(h.node_count()); ++node) {
+    for (SliceId i = 0; i < 9; ++i) {
+      for (SliceId j = i; j < 9; ++j) {
+        EXPECT_GE(cube.measures(node, i, j).loss, -1e-9);
+      }
+    }
+  }
+}
+
+TEST(DataCube, IntervalDuration) {
+  const OwnedModel om = make_random_model({.slices = 10, .seed = 1});
+  const DataCube cube(om.model);
+  EXPECT_NEAR(cube.interval_duration_s(0, 9), 10.0, 1e-9);
+  EXPECT_NEAR(cube.interval_duration_s(3, 5), 3.0, 1e-9);
+}
+
+TEST(DataCube, ModeFindsDominantState) {
+  const OwnedModel om = make_tiny_model();
+  const DataCube cube(om.model);
+  const auto mode = cube.mode(om.hierarchy->root(), 0, 1);
+  EXPECT_EQ(mode.state, 0);  // only one state
+  EXPECT_NEAR(mode.proportion, 0.75, 1e-12);
+  EXPECT_NEAR(mode.proportion_sum, 0.75, 1e-12);
+}
+
+TEST(DataCube, MemoryEstimateIsPositive) {
+  const OwnedModel om = make_random_model({.slices = 4, .seed = 2});
+  const DataCube cube(om.model);
+  EXPECT_GT(cube.memory_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace stagg

@@ -1,0 +1,89 @@
+#include "core/dichotomy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/fixtures.hpp"
+
+namespace stagg {
+namespace {
+
+TEST(Dichotomy, FindsMultipleLevelsOnStructuredModel) {
+  OwnedModel om = make_figure3_model();
+  SpatiotemporalAggregator agg(om.model);
+  const DichotomyResult r = find_significant_levels(agg);
+  // The Fig. 3 trace has several distinct description levels (the paper
+  // shows at least two: 3.d and 3.e).
+  EXPECT_GE(r.levels.size(), 3u);
+  EXPECT_GT(r.runs, 0u);
+}
+
+TEST(Dichotomy, LevelsSpanTheParameterRange) {
+  OwnedModel om = make_figure3_model();
+  SpatiotemporalAggregator agg(om.model);
+  const DichotomyResult r = find_significant_levels(agg);
+  ASSERT_FALSE(r.levels.empty());
+  EXPECT_DOUBLE_EQ(r.levels.front().p_min, 0.0);
+  EXPECT_DOUBLE_EQ(r.levels.back().p_max, 1.0);
+  for (std::size_t k = 0; k + 1 < r.levels.size(); ++k) {
+    EXPECT_LT(r.levels[k].p_max, r.levels[k + 1].p_min);
+  }
+}
+
+TEST(Dichotomy, AreaCountWeaklyDecreasesWithP) {
+  // Higher p = simpler representation: along the significant levels the
+  // aggregate count must not increase (monotone coarsening).
+  OwnedModel om = make_figure3_model();
+  SpatiotemporalAggregator agg(om.model);
+  const DichotomyResult r = find_significant_levels(agg);
+  for (std::size_t k = 0; k + 1 < r.levels.size(); ++k) {
+    EXPECT_GE(r.levels[k].result.partition.size(),
+              r.levels[k + 1].result.partition.size())
+        << "level " << k;
+  }
+}
+
+TEST(Dichotomy, LastLevelIsFullAggregation) {
+  OwnedModel om = make_figure3_model();
+  SpatiotemporalAggregator agg(om.model);
+  const DichotomyResult r = find_significant_levels(agg);
+  EXPECT_EQ(r.levels.back().result.partition.size(), 1u);
+}
+
+TEST(Dichotomy, RespectsRunBudget) {
+  OwnedModel om = make_figure3_model();
+  SpatiotemporalAggregator agg(om.model);
+  DichotomyOptions opt;
+  opt.max_runs = 5;
+  const DichotomyResult r = find_significant_levels(agg, opt);
+  EXPECT_LE(r.runs, 5u);
+}
+
+TEST(Dichotomy, HomogeneousModelHasOneLevel) {
+  const OwnedModel om = make_random_model({.levels = 2,
+                                           .fanout = 2,
+                                           .slices = 6,
+                                           .states = 2,
+                                           .block_slices = 6,
+                                           .block_leaves = 4,
+                                           .seed = 5});
+  SpatiotemporalAggregator agg(om.model);
+  const DichotomyResult r = find_significant_levels(agg);
+  ASSERT_EQ(r.levels.size(), 1u);
+  EXPECT_EQ(r.levels[0].result.partition.size(), 1u);
+  // Constant-signature interval: only the two endpoint probes needed.
+  EXPECT_LE(r.runs, 3u);
+}
+
+TEST(Dichotomy, EpsilonControlsResolution) {
+  OwnedModel om = make_figure3_model();
+  SpatiotemporalAggregator agg(om.model);
+  const auto coarse =
+      find_significant_levels(agg, {.epsilon = 0.25, .max_runs = 256});
+  const auto fine =
+      find_significant_levels(agg, {.epsilon = 1e-3, .max_runs = 256});
+  EXPECT_LE(coarse.runs, fine.runs);
+  EXPECT_LE(coarse.levels.size(), fine.levels.size());
+}
+
+}  // namespace
+}  // namespace stagg

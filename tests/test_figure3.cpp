@@ -1,0 +1,137 @@
+// Structural reproduction of paper Figure 3: the artificial 12-resource,
+// 20-slice, 2-state trace and the behaviours the figure illustrates.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/aggregator.hpp"
+#include "core/baselines.hpp"
+#include "core/dichotomy.hpp"
+#include "workload/fixtures.hpp"
+
+namespace stagg {
+namespace {
+
+class Figure3 : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    om_ = make_figure3_model();
+    om_->model.validate();
+  }
+  std::optional<OwnedModel> om_;
+};
+
+TEST_F(Figure3, Dimensions) {
+  EXPECT_EQ(om_->hierarchy->leaf_count(), 12u);
+  EXPECT_EQ(om_->model.slice_count(), 20);
+  EXPECT_EQ(om_->model.state_count(), 2);
+  // 240 microscopic spatiotemporal areas (paper §III-A).
+  EXPECT_EQ(om_->hierarchy->leaf_count() *
+                static_cast<std::size_t>(om_->model.slice_count()),
+            240u);
+}
+
+TEST_F(Figure3, TwoStatesAreComplementary) {
+  // Fig. 3.a: intensity encodes rho1 = 1 - rho2.
+  for (LeafId s = 0; s < 12; ++s) {
+    for (SliceId t = 0; t < 20; ++t) {
+      const double total = om_->model.proportion(s, t, 0) +
+                           om_->model.proportion(s, t, 1);
+      EXPECT_NEAR(total, 1.0, 1e-9);
+    }
+  }
+}
+
+TEST_F(Figure3, SpatiotemporalBeatsCartesianProduct) {
+  // The core §III-D claim: patterns like "T(1,2) homogeneous in time,
+  // heterogeneous in space" cannot be captured by P(S) x P(T).
+  SpatiotemporalAggregator agg(om_->model);
+  bool strictly_better_somewhere = false;
+  for (const double p : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const auto st = agg.run(p);
+    const auto cart = cartesian_aggregation(agg.cube(), p);
+    const auto cart_eval = agg.evaluate(cart.partition, p);
+    EXPECT_GE(st.optimal_pic, cart_eval.optimal_pic - 1e-9);
+    if (st.optimal_pic > cart_eval.optimal_pic + 1e-6) {
+      strictly_better_somewhere = true;
+    }
+  }
+  EXPECT_TRUE(strictly_better_somewhere);
+}
+
+TEST_F(Figure3, OptimalPartitionIsNotACartesianProduct) {
+  // At a mid-range p the optimum mixes per-cluster temporal partitions
+  // (Fig. 3.d), which no product partition can express: different leaves
+  // must end up with different temporal cut sets.
+  SpatiotemporalAggregator agg(om_->model);
+  const auto r = agg.run(0.35);
+  std::vector<std::vector<SliceId>> cut_sets;
+  for (LeafId s = 0; s < 12; ++s) {
+    std::vector<SliceId> cuts;
+    for (const auto& a : r.partition.row_of_leaf(*om_->hierarchy, s)) {
+      if (a.time.i > 0) cuts.push_back(a.time.i);
+    }
+    std::sort(cuts.begin(), cuts.end());
+    cut_sets.push_back(std::move(cuts));
+  }
+  const bool all_same = std::all_of(
+      cut_sets.begin(), cut_sets.end(),
+      [&](const std::vector<SliceId>& c) { return c == cut_sets[0]; });
+  EXPECT_FALSE(all_same)
+      << "optimum degenerated to a product partition at p=0.35";
+}
+
+TEST_F(Figure3, FullyHomogeneousSliceMergesSpatially) {
+  // T(8) (slice 7) is fully homogeneous: at any p the area covering it on
+  // any leaf must span the whole hierarchy root or at least not split
+  // resources apart *within* slice 7 alone... verified via zero loss of
+  // the root aggregate on that slice.
+  const DataCube cube(om_->model);
+  EXPECT_NEAR(cube.measures(om_->hierarchy->root(), 7, 7).loss, 0.0, 1e-9);
+}
+
+TEST_F(Figure3, SbClusterIsFullyHomogeneousLate) {
+  // SB over slices 8..19 is homogeneous in space and time -> zero loss.
+  const DataCube cube(om_->model);
+  const NodeId sb = om_->hierarchy->find("S/SB");
+  ASSERT_NE(sb, kNoNode);
+  EXPECT_NEAR(cube.measures(sb, 8, 19).loss, 0.0, 1e-9);
+}
+
+TEST_F(Figure3, SaRecoversItsThreeTemporalRegimes) {
+  // SA over slices 8..19 has regimes [8,11], [12,15], [16,19]; an
+  // accuracy-leaning run must place cuts at 12 and 16 on SA rows.
+  SpatiotemporalAggregator agg(om_->model);
+  const auto r = agg.run(0.2);
+  const auto row = r.partition.row_of_leaf(*om_->hierarchy, 0);  // s in SA
+  std::vector<SliceId> cuts;
+  for (const auto& a : row) {
+    if (a.time.i > 0) cuts.push_back(a.time.i);
+  }
+  EXPECT_TRUE(std::find(cuts.begin(), cuts.end(), 12) != cuts.end())
+      << "missing SA cut at slice 12";
+  EXPECT_TRUE(std::find(cuts.begin(), cuts.end(), 16) != cuts.end())
+      << "missing SA cut at slice 16";
+}
+
+TEST_F(Figure3, NestedLevelsAppearAsPGrows) {
+  // Fig. 3.d (p_d) vs Fig. 3.e (p_e > p_d): higher p gives fewer areas.
+  SpatiotemporalAggregator agg(om_->model);
+  const auto fine = agg.run(0.2);
+  const auto coarse = agg.run(0.8);
+  EXPECT_GT(fine.partition.size(), coarse.partition.size());
+  EXPECT_TRUE(fine.partition.is_valid(*om_->hierarchy, 20));
+  EXPECT_TRUE(coarse.partition.is_valid(*om_->hierarchy, 20));
+}
+
+TEST_F(Figure3, QualityNumbersAreConsistent) {
+  SpatiotemporalAggregator agg(om_->model);
+  const auto r = agg.run(0.4);
+  EXPECT_EQ(r.quality.microscopic_count, 240u);
+  EXPECT_EQ(r.quality.area_count, r.partition.size());
+  EXPECT_GE(r.quality.complexity_reduction(), 0.0);
+  EXPECT_LE(r.quality.loss_fraction(), 1.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace stagg

@@ -1,0 +1,140 @@
+#include "hierarchy/hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace stagg {
+namespace {
+
+Hierarchy make_sample() {
+  // root -> {a -> {a0, a1}, b -> {b0, b1, b2}}
+  HierarchyBuilder b("root");
+  const NodeId a = b.add(0, "a");
+  const NodeId bb = b.add(0, "b");
+  b.add(a, "a0");
+  b.add(a, "a1");
+  b.add(bb, "b0");
+  b.add(bb, "b1");
+  b.add(bb, "b2");
+  return b.finish();
+}
+
+TEST(Hierarchy, LeafCountAndNodeCount) {
+  const Hierarchy h = make_sample();
+  EXPECT_EQ(h.leaf_count(), 5u);
+  EXPECT_EQ(h.node_count(), 8u);
+  EXPECT_TRUE(h.validate());
+}
+
+TEST(Hierarchy, LeafRangesAreContiguousAndDfsOrdered) {
+  const Hierarchy h = make_sample();
+  const NodeId a = h.find("root/a");
+  const NodeId bb = h.find("root/b");
+  ASSERT_NE(a, kNoNode);
+  ASSERT_NE(bb, kNoNode);
+  EXPECT_EQ(h.node(a).first_leaf, 0);
+  EXPECT_EQ(h.node(a).leaf_count, 2);
+  EXPECT_EQ(h.node(bb).first_leaf, 2);
+  EXPECT_EQ(h.node(bb).leaf_count, 3);
+  EXPECT_EQ(h.node(h.root()).leaf_count, 5);
+}
+
+TEST(Hierarchy, PostOrderChildrenBeforeParents) {
+  const Hierarchy h = make_sample();
+  std::vector<bool> seen(h.node_count(), false);
+  for (NodeId id : h.post_order()) {
+    for (NodeId c : h.node(id).children) {
+      EXPECT_TRUE(seen[static_cast<std::size_t>(c)]);
+    }
+    seen[static_cast<std::size_t>(id)] = true;
+  }
+  EXPECT_EQ(h.post_order().size(), h.node_count());
+  EXPECT_EQ(h.post_order().back(), h.root());
+}
+
+TEST(Hierarchy, PathRoundTrip) {
+  const Hierarchy h = make_sample();
+  for (NodeId id = 0; id < static_cast<NodeId>(h.node_count()); ++id) {
+    EXPECT_EQ(h.find(h.path(id)), id);
+  }
+  EXPECT_EQ(h.find("root/zzz"), kNoNode);
+  EXPECT_EQ(h.find("wrongroot"), kNoNode);
+  EXPECT_EQ(h.find(""), kNoNode);
+}
+
+TEST(Hierarchy, LeafNodeMapping) {
+  const Hierarchy h = make_sample();
+  for (LeafId s = 0; s < static_cast<LeafId>(h.leaf_count()); ++s) {
+    const NodeId n = h.leaf_node(s);
+    EXPECT_TRUE(h.is_leaf(n));
+    EXPECT_EQ(h.node(n).first_leaf, s);
+  }
+}
+
+TEST(Hierarchy, NodesAtDepth) {
+  const Hierarchy h = make_sample();
+  EXPECT_EQ(h.nodes_at_depth(0).size(), 1u);
+  EXPECT_EQ(h.nodes_at_depth(1).size(), 2u);
+  EXPECT_EQ(h.nodes_at_depth(2).size(), 5u);
+  EXPECT_EQ(h.max_depth(), 2);
+  // DFS layout order.
+  const auto clusters = h.nodes_at_depth(1);
+  EXPECT_EQ(h.node(clusters[0]).name, "a");
+  EXPECT_EQ(h.node(clusters[1]).name, "b");
+}
+
+TEST(Hierarchy, AncestorAtDepth) {
+  const Hierarchy h = make_sample();
+  const NodeId b2 = h.find("root/b/b2");
+  ASSERT_NE(b2, kNoNode);
+  EXPECT_EQ(h.ancestor_at_depth(b2, 0), h.root());
+  EXPECT_EQ(h.ancestor_at_depth(b2, 1), h.find("root/b"));
+  EXPECT_EQ(h.ancestor_at_depth(b2, 2), b2);
+  EXPECT_THROW((void)h.ancestor_at_depth(h.root(), 1), InvalidArgument);
+}
+
+TEST(HierarchyBuilder, BadParentThrows) {
+  HierarchyBuilder b("root");
+  EXPECT_THROW((void)b.add(99, "x"), InvalidArgument);
+  EXPECT_THROW((void)b.add(-1, "x"), InvalidArgument);
+}
+
+TEST(HierarchyBuilder, AddMany) {
+  HierarchyBuilder b("root");
+  const auto ids = b.add_many(0, "leaf", 4);
+  EXPECT_EQ(ids.size(), 4u);
+  const Hierarchy h = b.finish();
+  EXPECT_EQ(h.leaf_count(), 4u);
+  EXPECT_EQ(h.node(ids[2]).name, "leaf2");
+}
+
+TEST(MakeBalanced, ShapeAndCounts) {
+  const Hierarchy h = make_balanced_hierarchy(3, 2);
+  EXPECT_EQ(h.leaf_count(), 8u);
+  EXPECT_EQ(h.node_count(), 1u + 2 + 4 + 8);
+  EXPECT_EQ(h.max_depth(), 3);
+  EXPECT_TRUE(h.validate());
+}
+
+TEST(MakeBalanced, ZeroLevelsIsSingleLeafRoot) {
+  const Hierarchy h = make_balanced_hierarchy(0, 4);
+  EXPECT_EQ(h.leaf_count(), 1u);
+  EXPECT_TRUE(h.is_leaf(h.root()));
+}
+
+TEST(MakeBalanced, InvalidArgs) {
+  EXPECT_THROW((void)make_balanced_hierarchy(-1, 2), InvalidArgument);
+  EXPECT_THROW((void)make_balanced_hierarchy(2, 0), InvalidArgument);
+}
+
+TEST(MakeFlat, Shape) {
+  const Hierarchy h = make_flat_hierarchy(6);
+  EXPECT_EQ(h.leaf_count(), 6u);
+  EXPECT_EQ(h.max_depth(), 1);
+  EXPECT_TRUE(h.validate());
+  EXPECT_THROW((void)make_flat_hierarchy(0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace stagg

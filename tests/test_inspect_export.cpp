@@ -1,0 +1,180 @@
+// Tests of the inspection API (§VI data retrieval), the JSON export and
+// the partition diff.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/aggregator.hpp"
+#include "core/baselines.hpp"
+#include "core/inspect.hpp"
+#include "core/json_export.hpp"
+#include "core/partition_diff.hpp"
+#include "workload/fixtures.hpp"
+
+namespace stagg {
+namespace {
+
+class InspectTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    om_ = make_figure3_model();
+    agg_.emplace(om_->model);
+    result_ = agg_->run(0.35);
+  }
+  std::optional<OwnedModel> om_;
+  std::optional<SpatiotemporalAggregator> agg_;
+  AggregationResult result_;
+};
+
+TEST_F(InspectTest, AreaDetailProportionsSumToOne) {
+  // The Fig. 3 trace has rho1 + rho2 = 1 everywhere, and Eq. 1 preserves
+  // the total over any aggregate.
+  for (const auto& d : inspect_partition(agg_->cube(), result_.partition)) {
+    double total = 0.0;
+    for (const double rho : d.proportions) total += rho;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    EXPECT_GE(d.alpha, 0.5 - 1e-9);  // |X| = 2 -> alpha in [1/2, 1]
+    EXPECT_LE(d.alpha, 1.0 + 1e-9);
+  }
+}
+
+TEST_F(InspectTest, DetailMatchesCubeMode) {
+  const auto& area = result_.partition.areas()[0];
+  const AreaDetail d = inspect_area(agg_->cube(), area);
+  const auto mode = agg_->cube().mode(area.node, area.time.i, area.time.j);
+  EXPECT_EQ(d.mode, mode.state);
+  EXPECT_NEAR(d.mode_share, mode.proportion, 1e-12);
+  EXPECT_EQ(d.node_path, om_->hierarchy->path(area.node));
+  EXPECT_EQ(d.resources, om_->hierarchy->node(area.node).leaf_count);
+}
+
+TEST_F(InspectTest, AreaAtFindsTheCoveringArea) {
+  // Probe every (leaf, slice-center): the returned area must contain it.
+  for (LeafId s = 0; s < 12; s += 3) {
+    for (double time_s : {0.5, 7.5, 15.5, 19.5}) {
+      const auto d = area_at(agg_->cube(), result_.partition, s, time_s);
+      ASSERT_TRUE(d.has_value()) << "leaf " << s << " t " << time_s;
+      const auto& n = om_->hierarchy->node(d->area.node);
+      EXPECT_GE(s, n.first_leaf);
+      EXPECT_LT(s, n.first_leaf + n.leaf_count);
+      EXPECT_LE(d->begin_s, time_s);
+      EXPECT_GT(d->end_s, time_s);
+    }
+  }
+}
+
+TEST_F(InspectTest, AreaAtRejectsOutOfRangeProbes) {
+  EXPECT_FALSE(area_at(agg_->cube(), result_.partition, 0, -1.0).has_value());
+  EXPECT_FALSE(area_at(agg_->cube(), result_.partition, 0, 25.0).has_value());
+  EXPECT_FALSE(area_at(agg_->cube(), result_.partition, 99, 1.0).has_value());
+}
+
+TEST_F(InspectTest, FormatMentionsModeAndPath) {
+  const AreaDetail d = inspect_area(agg_->cube(), result_.partition.areas()[0]);
+  const std::string s = format_area_detail(agg_->cube(), d);
+  EXPECT_NE(s.find(d.node_path), std::string::npos);
+  EXPECT_NE(s.find("<- mode"), std::string::npos);
+}
+
+TEST_F(InspectTest, JsonExportIsWellFormedEnough) {
+  const std::string json = export_json(result_, agg_->cube());
+  // Structural sanity: balanced braces/brackets, key fields present.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+  EXPECT_NE(json.find("\"format\": \"stagg-aggregation\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"areas\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"state1\""), std::string::npos);
+  // One area object per partition area.
+  std::size_t count = 0;
+  for (std::size_t pos = json.find("\"node\":"); pos != std::string::npos;
+       pos = json.find("\"node\":", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, result_.partition.size());
+}
+
+TEST_F(InspectTest, JsonEscaping) {
+  EXPECT_EQ(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST_F(InspectTest, JsonFileExport) {
+  const std::string path = "/tmp/stagg_export_test.json";
+  export_json_file(result_, agg_->cube(), path);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+// --- partition diff --------------------------------------------------------
+
+TEST(PartitionDiffTest, IdenticalPartitions) {
+  const OwnedModel om = make_figure3_model();
+  const Partition p = make_uniform_partition(*om.hierarchy, 20, 1, 4);
+  const PartitionDiff d = diff_partitions(*om.hierarchy, 20, p, p);
+  EXPECT_TRUE(d.identical());
+  EXPECT_DOUBLE_EQ(d.area_jaccard, 1.0);
+  EXPECT_DOUBLE_EQ(d.cell_agreement, 1.0);
+  EXPECT_TRUE(d.differing_leaves.empty());
+}
+
+TEST(PartitionDiffTest, DisjointExtremes) {
+  const OwnedModel om = make_figure3_model();
+  const Partition full = make_full_partition(*om.hierarchy, 20);
+  const Partition micro = make_microscopic_partition(*om.hierarchy, 20);
+  const PartitionDiff d = diff_partitions(*om.hierarchy, 20, full, micro);
+  EXPECT_EQ(d.common_areas, 0u);
+  EXPECT_DOUBLE_EQ(d.area_jaccard, 0.0);
+  EXPECT_DOUBLE_EQ(d.cell_agreement, 0.0);
+  EXPECT_EQ(d.differing_leaves.size(), 12u);
+}
+
+TEST(PartitionDiffTest, LocalizedChange) {
+  const OwnedModel om = make_figure3_model();
+  const Hierarchy& h = *om.hierarchy;
+  // Two partitions differing only on cluster SC's rows.
+  Partition a, b;
+  a.add(h.find("S/SA"), 0, 19);
+  a.add(h.find("S/SB"), 0, 19);
+  a.add(h.find("S/SC"), 0, 19);
+  b.add(h.find("S/SA"), 0, 19);
+  b.add(h.find("S/SB"), 0, 19);
+  b.add(h.find("S/SC"), 0, 9);
+  b.add(h.find("S/SC"), 10, 19);
+  const PartitionDiff d = diff_partitions(h, 20, a, b);
+  EXPECT_EQ(d.common_areas, 2u);
+  EXPECT_EQ(d.only_in_a, 1u);
+  EXPECT_EQ(d.only_in_b, 2u);
+  // Only SC's 4 leaves differ; 8 of 12 rows agree fully.
+  EXPECT_EQ(d.differing_leaves.size(), 4u);
+  EXPECT_NEAR(d.cell_agreement, 8.0 / 12.0, 1e-12);
+  for (const LeafId s : d.differing_leaves) EXPECT_GE(s, 8);
+}
+
+TEST(PartitionDiffTest, RejectsInvalidInputs) {
+  const OwnedModel om = make_figure3_model();
+  Partition bad;
+  bad.add(om.hierarchy->root(), 0, 5);  // does not cover
+  const Partition good = make_full_partition(*om.hierarchy, 20);
+  EXPECT_THROW((void)diff_partitions(*om.hierarchy, 20, bad, good),
+               DimensionError);
+}
+
+TEST(PartitionDiffTest, DichotomyNeighborsOverlapHeavily) {
+  // Adjacent significant levels share most of their structure.
+  OwnedModel om = make_figure3_model();
+  SpatiotemporalAggregator agg(om.model);
+  const auto fine = agg.run(0.30);
+  const auto coarse = agg.run(0.45);
+  const PartitionDiff d =
+      diff_partitions(*om.hierarchy, 20, fine.partition, coarse.partition);
+  EXPECT_GT(d.area_jaccard, 0.3);
+  EXPECT_GT(d.cell_agreement, 0.3);
+}
+
+}  // namespace
+}  // namespace stagg

@@ -1,0 +1,136 @@
+// End-to-end pipeline tests: generator -> trace file -> reader -> model ->
+// aggregation -> analysis, mirroring the paper's Table II processing chain.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "analysis/phases.hpp"
+#include "core/aggregator.hpp"
+#include "core/dichotomy.hpp"
+#include "model/builder.hpp"
+#include "trace/binary_io.hpp"
+#include "trace/csv_io.hpp"
+#include "trace/trace_stats.hpp"
+#include "viz/spatiotemporal_view.hpp"
+#include "workload/scenarios.hpp"
+
+namespace stagg {
+namespace {
+
+namespace fs = std::filesystem;
+
+class Pipeline : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "stagg_pipeline";
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  [[nodiscard]] std::string file(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+  fs::path dir_;
+};
+
+TEST_F(Pipeline, CaseAThroughBinaryFile) {
+  GeneratedScenario g = generate_scenario(scenario_a(), 1.0 / 128.0);
+  const std::string path = file("caseA.stgt");
+  write_binary_trace(g.trace, path);
+
+  Trace loaded = read_binary_trace(path);
+  EXPECT_EQ(loaded.state_count(), g.trace.state_count());
+
+  const MicroscopicModel model =
+      build_model(loaded, *g.hierarchy, {.slice_count = 30});
+  model.validate();
+
+  SpatiotemporalAggregator agg(model);
+  const AggregationResult r = agg.run(0.3);
+  EXPECT_TRUE(r.partition.is_valid(*g.hierarchy, 30));
+  // The overview is a real reduction: far fewer areas than microscopic
+  // cells, and far fewer than one per trace state.
+  EXPECT_LT(r.partition.size(), 64u * 30u / 2u);
+  EXPECT_GE(r.quality.complexity_reduction(), 0.5);
+
+  const auto phases = detect_phases(r, agg.cube());
+  EXPECT_GE(phases.size(), 2u);
+  EXPECT_EQ(phases[0].mode_name, "MPI_Init");
+}
+
+TEST_F(Pipeline, BinaryAndCsvPathsProduceIdenticalModels) {
+  GeneratedScenario g = generate_scenario(scenario_a(), 1.0 / 512.0);
+  write_binary_trace(g.trace, file("t.stgt"));
+  write_csv_trace(g.trace, file("t.csv"));
+
+  Trace from_bin = read_binary_trace(file("t.stgt"));
+  Trace from_csv = read_csv_trace(file("t.csv"));
+  const MicroscopicModel a =
+      build_model(from_bin, *g.hierarchy, {.slice_count = 30});
+  const MicroscopicModel b =
+      build_model(from_csv, *g.hierarchy, {.slice_count = 30});
+  ASSERT_EQ(a.raw().size(), b.raw().size());
+  for (std::size_t i = 0; i < a.raw().size(); ++i) {
+    ASSERT_NEAR(a.raw()[i], b.raw()[i], 1e-12);
+  }
+}
+
+TEST_F(Pipeline, StreamingBuildMatchesInMemoryOnScenario) {
+  GeneratedScenario g = generate_scenario(scenario_a(), 1.0 / 256.0);
+  const std::string path = file("s.stgt");
+  write_binary_trace(g.trace, path);
+  const MicroscopicModel mem =
+      build_model(g.trace, *g.hierarchy, {.slice_count = 30});
+  const MicroscopicModel str =
+      build_model_streaming(path, *g.hierarchy, {.slice_count = 30});
+  for (std::size_t i = 0; i < mem.raw().size(); ++i) {
+    ASSERT_NEAR(mem.raw()[i], str.raw()[i], 1e-9);
+  }
+}
+
+TEST_F(Pipeline, ModelMassEqualsTraceBusyTimeWithinWindow) {
+  GeneratedScenario g = generate_scenario(scenario_a(), 1.0 / 256.0);
+  const TraceStats stats = compute_stats(g.trace);
+  const MicroscopicModel model =
+      build_model(g.trace, *g.hierarchy, {.slice_count = 30});
+  // Busy time clipped to [0, 9.5 s]; generated states may spill slightly
+  // past the window, so mass <= busy and close to it.
+  EXPECT_LE(model.total_mass(), to_seconds(stats.busy_time) + 1e-6);
+  EXPECT_GT(model.total_mass(), to_seconds(stats.busy_time) * 0.95);
+}
+
+TEST_F(Pipeline, DichotomyThenRenderAtEachLevel) {
+  GeneratedScenario g = generate_scenario(scenario_a(), 1.0 / 256.0);
+  const MicroscopicModel model =
+      build_model(g.trace, *g.hierarchy, {.slice_count = 30});
+  SpatiotemporalAggregator agg(model);
+  const DichotomyResult levels =
+      find_significant_levels(agg, {.epsilon = 0.05, .max_runs = 64});
+  EXPECT_GE(levels.levels.size(), 2u);
+  for (const auto& level : levels.levels) {
+    const ViewLayout layout = layout_overview(level.result, agg.cube(), {});
+    EXPECT_GT(layout.tiles.size(), 0u);
+  }
+}
+
+TEST_F(Pipeline, AggregationIsFasterThanModelBuildAtScale) {
+  // The paper's headline performance fact (Table II): aggregation (<1-2 s)
+  // is orders of magnitude cheaper than reading/describing the trace.  At
+  // test scale we only assert the ordering, not absolute times.
+  GeneratedScenario g = generate_scenario(scenario_a(), 1.0 / 32.0);
+  const auto t0 = std::chrono::steady_clock::now();
+  const MicroscopicModel model =
+      build_model(g.trace, *g.hierarchy, {.slice_count = 30});
+  const auto t1 = std::chrono::steady_clock::now();
+  SpatiotemporalAggregator agg(model);  // includes cube build
+  const auto r = agg.run(0.5);
+  (void)r;
+  const auto t2 = std::chrono::steady_clock::now();
+  // Aggregation (cube + DP) should not dwarf the microscopic description;
+  // allow a generous factor to stay robust on loaded CI machines.
+  const auto micro = t1 - t0;
+  const auto aggregation = t2 - t1;
+  EXPECT_LT(aggregation, micro * 50);
+}
+
+}  // namespace
+}  // namespace stagg

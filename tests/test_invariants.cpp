@@ -1,0 +1,198 @@
+// Symmetry and invariance properties of the aggregation (parameterized
+// property tests).  These pin down semantics the paper implies but never
+// states: the criterion is additive over states, blind to state identity,
+// covariant with time reversal and with sibling permutations, and
+// insensitive to uniform time rescaling.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "core/aggregator.hpp"
+#include "model/builder.hpp"
+#include "workload/fixtures.hpp"
+
+namespace stagg {
+namespace {
+
+/// Copies a model with the state axis permuted: perm[x] = new index of x.
+OwnedModel permute_states(const OwnedModel& src,
+                          const std::vector<StateId>& perm) {
+  OwnedModel out;
+  out.hierarchy = std::make_unique<Hierarchy>(*src.hierarchy);
+  StateRegistry states;
+  std::vector<std::string> names(perm.size());
+  for (StateId x = 0; x < static_cast<StateId>(perm.size()); ++x) {
+    names[static_cast<std::size_t>(perm[static_cast<std::size_t>(x)])] =
+        src.model.states().name(x);
+  }
+  for (const auto& n : names) states.intern(n);
+  out.model =
+      MicroscopicModel(out.hierarchy.get(), src.model.grid(), states);
+  for (LeafId s = 0; s < src.model.resource_count(); ++s) {
+    for (SliceId t = 0; t < src.model.slice_count(); ++t) {
+      for (StateId x = 0; x < src.model.state_count(); ++x) {
+        out.model.set_duration(s, t,
+                               perm[static_cast<std::size_t>(x)],
+                               src.model.duration(s, t, x));
+      }
+    }
+  }
+  return out;
+}
+
+/// Copies a model with time reversed (slice t -> T-1-t).
+OwnedModel reverse_time(const OwnedModel& src) {
+  OwnedModel out;
+  out.hierarchy = std::make_unique<Hierarchy>(*src.hierarchy);
+  StateRegistry states = src.model.states();
+  out.model =
+      MicroscopicModel(out.hierarchy.get(), src.model.grid(), states);
+  const SliceId last = src.model.slice_count() - 1;
+  for (LeafId s = 0; s < src.model.resource_count(); ++s) {
+    for (SliceId t = 0; t <= last; ++t) {
+      for (StateId x = 0; x < src.model.state_count(); ++x) {
+        out.model.set_duration(s, last - t, x, src.model.duration(s, t, x));
+      }
+    }
+  }
+  return out;
+}
+
+class InvariantTest : public ::testing::TestWithParam<int> {
+ protected:
+  OwnedModel make() const {
+    return make_random_model({.levels = 2,
+                              .fanout = 3,
+                              .slices = 10,
+                              .states = 3,
+                              .block_slices = 3,
+                              .block_leaves = 2,
+                              .idle_fraction = 0.1,
+                              .seed = static_cast<std::uint64_t>(GetParam())});
+  }
+};
+
+TEST_P(InvariantTest, StateRelabelingPreservesOptimum) {
+  const OwnedModel a = make();
+  const OwnedModel b = permute_states(a, {2, 0, 1});
+  SpatiotemporalAggregator agg_a(a.model);
+  SpatiotemporalAggregator agg_b(b.model);
+  for (const double p : {0.2, 0.5, 0.8}) {
+    const auto ra = agg_a.run(p);
+    const auto rb = agg_b.run(p);
+    EXPECT_NEAR(ra.optimal_pic, rb.optimal_pic, 1e-9);
+    EXPECT_EQ(ra.partition.signature(), rb.partition.signature());
+  }
+}
+
+TEST_P(InvariantTest, AllZeroExtraStateIsNeutral) {
+  const OwnedModel a = make();
+  // Rebuild with one extra, never-used state.
+  OwnedModel b;
+  b.hierarchy = std::make_unique<Hierarchy>(*a.hierarchy);
+  StateRegistry states = a.model.states();
+  states.intern("phantom_state");
+  b.model = MicroscopicModel(b.hierarchy.get(), a.model.grid(), states);
+  for (LeafId s = 0; s < a.model.resource_count(); ++s) {
+    for (SliceId t = 0; t < a.model.slice_count(); ++t) {
+      for (StateId x = 0; x < a.model.state_count(); ++x) {
+        b.model.set_duration(s, t, x, a.model.duration(s, t, x));
+      }
+    }
+  }
+  SpatiotemporalAggregator agg_a(a.model);
+  SpatiotemporalAggregator agg_b(b.model);
+  const auto ra = agg_a.run(0.5);
+  const auto rb = agg_b.run(0.5);
+  EXPECT_NEAR(ra.optimal_pic, rb.optimal_pic, 1e-9);
+  EXPECT_EQ(ra.partition.signature(), rb.partition.signature());
+}
+
+TEST_P(InvariantTest, TimeReversalMirrorsThePartition) {
+  const OwnedModel a = make();
+  const OwnedModel b = reverse_time(a);
+  SpatiotemporalAggregator agg_a(a.model);
+  SpatiotemporalAggregator agg_b(b.model);
+  const double p = 0.4;
+  const auto ra = agg_a.run(p);
+  const auto rb = agg_b.run(p);
+  EXPECT_NEAR(ra.optimal_pic, rb.optimal_pic, 1e-9);
+  // Mirror ra's areas and compare as sets.
+  const SliceId last = a.model.slice_count() - 1;
+  Partition mirrored;
+  for (const auto& area : ra.partition.areas()) {
+    mirrored.add(area.node, last - area.time.j, last - area.time.i);
+  }
+  EXPECT_EQ(mirrored.signature(), rb.partition.signature());
+}
+
+TEST_P(InvariantTest, MeasuresAreTimeUnitInvariant) {
+  // Rescaling the window (and durations) by any factor leaves proportions,
+  // hence gain/loss, unchanged.  Build the same logical trace at two time
+  // scales and compare the cubes.
+  const Hierarchy h = make_flat_hierarchy(3);
+  const auto build = [&](double unit) {
+    Trace t;
+    for (std::size_t s = 0; s < 3; ++s) {
+      t.add_resource(h.path(h.leaf_node(static_cast<LeafId>(s))));
+    }
+    const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+    Rng rng(seed);
+    for (ResourceId r = 0; r < 3; ++r) {
+      double cursor = 0.0;
+      while (cursor < 8.0) {
+        const double dur = rng.uniform(0.05, 0.4);
+        t.add_state(r, rng.chance(0.5) ? "a" : "b",
+                    seconds(cursor * unit),
+                    seconds(std::min(cursor + dur, 8.0) * unit));
+        cursor += dur + rng.uniform(0.0, 0.1);
+      }
+    }
+    t.set_window(0, seconds(8.0 * unit));
+    return build_model(t, h, {.slice_count = 8});
+  };
+  const MicroscopicModel m1 = build(1.0);
+  const MicroscopicModel m5 = build(5.0);
+  const DataCube c1(m1), c5(m5);
+  for (SliceId i = 0; i < 8; ++i) {
+    for (SliceId j = i; j < 8; ++j) {
+      const auto a = c1.measures(h.root(), i, j);
+      const auto b = c5.measures(h.root(), i, j);
+      EXPECT_NEAR(a.gain, b.gain, 1e-6);
+      EXPECT_NEAR(a.loss, b.loss, 1e-6);
+    }
+  }
+}
+
+TEST_P(InvariantTest, PicIsAdditiveOverStates) {
+  const OwnedModel a = make();
+  const DataCube cube(a.model);
+  const Hierarchy& h = *a.hierarchy;
+  for (NodeId n = 0; n < static_cast<NodeId>(h.node_count()); n += 2) {
+    const AreaMeasures whole = cube.measures(n, 2, 7);
+    AreaMeasures by_state;
+    for (StateId x = 0; x < a.model.state_count(); ++x) {
+      by_state += cube.state_measures(n, 2, 7, x);
+    }
+    EXPECT_NEAR(whole.gain, by_state.gain, 1e-9);
+    EXPECT_NEAR(whole.loss, by_state.loss, 1e-9);
+  }
+}
+
+TEST_P(InvariantTest, PicIsAdditiveOverPartitionParts) {
+  const OwnedModel a = make();
+  SpatiotemporalAggregator agg(a.model);
+  const auto r = agg.run(0.35);
+  AreaMeasures sum;
+  for (const auto& area : r.partition.areas()) {
+    sum += agg.cube().measures(area.node, area.time.i, area.time.j);
+  }
+  EXPECT_NEAR(pic(0.35, sum.gain, sum.loss), r.optimal_pic, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InvariantTest,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+}  // namespace
+}  // namespace stagg

@@ -1,0 +1,139 @@
+#include "common/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+namespace stagg {
+namespace {
+
+TEST(XLog2X, ZeroConvention) {
+  EXPECT_EQ(xlog2x(0.0), 0.0);
+  EXPECT_EQ(xlog2x(-0.0), 0.0);
+}
+
+TEST(XLog2X, KnownValues) {
+  EXPECT_DOUBLE_EQ(xlog2x(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(xlog2x(0.5), -0.5);
+  EXPECT_DOUBLE_EQ(xlog2x(2.0), 2.0);
+  EXPECT_DOUBLE_EQ(xlog2x(0.25), 0.25 * -2.0);
+}
+
+TEST(XLog2X, ContinuousNearZero) {
+  // x log2 x -> 0 as x -> 0+.
+  EXPECT_NEAR(xlog2x(1e-12), 0.0, 1e-10);
+}
+
+TEST(SafeLog2, GuardsNonPositive) {
+  EXPECT_EQ(safe_log2(0.0), 0.0);
+  EXPECT_EQ(safe_log2(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(safe_log2(8.0), 3.0);
+}
+
+TEST(SafeDiv, ZeroOverZero) {
+  EXPECT_EQ(safe_div(0.0, 0.0), 0.0);
+  EXPECT_EQ(safe_div(5.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(safe_div(1.0, 4.0), 0.25);
+}
+
+TEST(KahanSum, CompensatesSmallTerms) {
+  KahanSum s(1e16);
+  for (int i = 0; i < 10'000'000 / 10; ++i) s.add(1.0);
+  // Naive summation would lose every 1.0 against 1e16.
+  EXPECT_DOUBLE_EQ(s.value(), 1e16 + 1e6);
+}
+
+TEST(KahanSum, MatchesExactForSmallInputs) {
+  KahanSum s;
+  s += 0.1;
+  s += 0.2;
+  s += 0.3;
+  EXPECT_NEAR(s.value(), 0.6, 1e-15);
+}
+
+TEST(CompensatedSum, EmptyIsZero) {
+  EXPECT_EQ(compensated_sum({}), 0.0);
+}
+
+TEST(ShannonEntropy, UniformIsLogN) {
+  const std::vector<double> u(8, 1.0);
+  EXPECT_NEAR(shannon_entropy(u), 3.0, 1e-12);
+}
+
+TEST(ShannonEntropy, DegenerateIsZero) {
+  const std::vector<double> d = {1.0, 0.0, 0.0};
+  EXPECT_EQ(shannon_entropy(d), 0.0);
+  EXPECT_EQ(shannon_entropy(std::vector<double>{}), 0.0);
+  EXPECT_EQ(shannon_entropy(std::vector<double>{0.0, 0.0}), 0.0);
+}
+
+TEST(ShannonEntropy, UnnormalizedInputEqualsNormalized) {
+  const std::vector<double> a = {1.0, 3.0};
+  const std::vector<double> b = {0.25, 0.75};
+  EXPECT_NEAR(shannon_entropy(a), shannon_entropy(b), 1e-12);
+}
+
+TEST(KlDivergence, SelfIsZero) {
+  const std::vector<double> p = {0.2, 0.3, 0.5};
+  EXPECT_NEAR(kl_divergence(p, p), 0.0, 1e-12);
+}
+
+TEST(KlDivergence, NonNegative) {
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> u(0.01, 1.0);
+  for (int rep = 0; rep < 50; ++rep) {
+    std::vector<double> p(6), q(6);
+    for (int i = 0; i < 6; ++i) {
+      p[static_cast<std::size_t>(i)] = u(rng);
+      q[static_cast<std::size_t>(i)] = u(rng);
+    }
+    EXPECT_GE(kl_divergence(p, q), -1e-12);
+  }
+}
+
+TEST(KlDivergence, InfiniteWhenSupportMismatch) {
+  const std::vector<double> p = {0.5, 0.5};
+  const std::vector<double> q = {1.0, 0.0};
+  EXPECT_TRUE(std::isinf(kl_divergence(p, q)));
+}
+
+TEST(RunningStats, MeanVarianceMinMax) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(LogLogSlope, RecoversPowerLaw) {
+  std::vector<double> x, y;
+  for (double v : {8.0, 16.0, 32.0, 64.0, 128.0}) {
+    x.push_back(v);
+    y.push_back(3.5 * v * v * v);  // cubic
+  }
+  EXPECT_NEAR(loglog_slope(x, y), 3.0, 1e-9);
+}
+
+TEST(LogLogSlope, DegenerateInputs) {
+  EXPECT_EQ(loglog_slope({}, {}), 0.0);
+  const std::vector<double> one = {2.0};
+  EXPECT_EQ(loglog_slope(one, one), 0.0);
+}
+
+TEST(AlmostEqual, RelativeAndAbsolute) {
+  EXPECT_TRUE(almost_equal(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(almost_equal(1.0, 1.001));
+  EXPECT_TRUE(almost_equal(0.0, 1e-13));
+}
+
+TEST(RelDiff, Symmetric) {
+  EXPECT_DOUBLE_EQ(rel_diff(2.0, 1.0), rel_diff(1.0, 2.0));
+  EXPECT_EQ(rel_diff(0.0, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace stagg

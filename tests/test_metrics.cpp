@@ -1,0 +1,108 @@
+#include "metrics/information.hpp"
+
+#include <gtest/gtest.h>
+
+#include "metrics/quality.hpp"
+
+namespace stagg {
+namespace {
+
+// Hand-checked two-cell area: proportions {1, 0.5}, uniform 1 s slices,
+// one resource over two slices -> rho_agg = 0.75.
+StateAreaSums two_cell_sums() {
+  StateAreaSums s;
+  s.sum_d = 1.5;
+  s.sum_rho = 1.5;
+  s.sum_rho_log = xlog2x(1.0) + xlog2x(0.5);  // 0 + (-0.5)
+  return s;
+}
+
+TEST(Information, AggregatedProportion) {
+  EXPECT_DOUBLE_EQ(aggregated_proportion(1.5, 1.0, 2.0), 0.75);
+  EXPECT_DOUBLE_EQ(aggregated_proportion(0.0, 4.0, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(aggregated_proportion(1.0, 0.0, 0.0), 0.0);
+}
+
+TEST(Information, LossMatchesHandComputation) {
+  const auto s = two_cell_sums();
+  const double rho_agg = 0.75;
+  // loss = sum rho log rho - sum_rho * log(rho_agg)
+  //      = -0.5 - 1.5 * log2(0.75)
+  const double expected = -0.5 - 1.5 * std::log2(0.75);
+  EXPECT_NEAR(state_loss(s, rho_agg), expected, 1e-12);
+  EXPECT_GT(state_loss(s, rho_agg), 0.0);
+}
+
+TEST(Information, GainMatchesHandComputation) {
+  const auto s = two_cell_sums();
+  const double rho_agg = 0.75;
+  // gain = rho_agg log rho_agg - sum rho log rho
+  const double expected = 0.75 * std::log2(0.75) - (-0.5);
+  EXPECT_NEAR(state_gain(s, rho_agg), expected, 1e-12);
+}
+
+TEST(Information, HomogeneousAreaHasZeroLoss) {
+  StateAreaSums s;
+  s.sum_d = 1.2;
+  s.sum_rho = 1.2;  // two cells at 0.6
+  s.sum_rho_log = 2 * xlog2x(0.6);
+  EXPECT_NEAR(state_loss(s, 0.6), 0.0, 1e-12);
+}
+
+TEST(Information, EmptyAreaHasZeroMeasures) {
+  StateAreaSums s;  // all zero
+  EXPECT_EQ(state_loss(s, 0.0), 0.0);
+  EXPECT_EQ(state_gain(s, 0.0), 0.0);
+}
+
+TEST(Information, PicEndpoints) {
+  // p = 0: pIC = -loss; p = 1: pIC = gain.
+  EXPECT_DOUBLE_EQ(pic(0.0, 3.0, 2.0), -2.0);
+  EXPECT_DOUBLE_EQ(pic(1.0, 3.0, 2.0), 3.0);
+  EXPECT_DOUBLE_EQ(pic(0.5, 3.0, 2.0), 0.5);
+}
+
+TEST(Information, SumsAndMeasuresAreAdditive) {
+  StateAreaSums a{1.0, 0.5, -0.1};
+  const StateAreaSums b{2.0, 0.25, -0.2};
+  a += b;
+  EXPECT_DOUBLE_EQ(a.sum_d, 3.0);
+  EXPECT_DOUBLE_EQ(a.sum_rho, 0.75);
+  EXPECT_DOUBLE_EQ(a.sum_rho_log, -0.30000000000000004);
+
+  AreaMeasures m{1.0, 2.0};
+  m += AreaMeasures{0.5, 0.25};
+  EXPECT_DOUBLE_EQ(m.gain, 1.5);
+  EXPECT_DOUBLE_EQ(m.loss, 2.25);
+}
+
+TEST(Quality, DerivedRatios) {
+  PartitionQuality q;
+  q.area_count = 56;
+  q.microscopic_count = 240;
+  q.gain = 30.0;
+  q.max_gain = 100.0;
+  q.loss = 5.0;
+  q.max_loss = 50.0;
+  EXPECT_NEAR(q.complexity_reduction(), 1.0 - 56.0 / 240.0, 1e-12);
+  EXPECT_NEAR(q.gain_fraction(), 0.3, 1e-12);
+  EXPECT_NEAR(q.loss_fraction(), 0.1, 1e-12);
+}
+
+TEST(Quality, ZeroDenominatorsAreSafe) {
+  const PartitionQuality q;
+  EXPECT_EQ(q.complexity_reduction(), 0.0);
+  EXPECT_EQ(q.gain_fraction(), 0.0);
+  EXPECT_EQ(q.loss_fraction(), 0.0);
+}
+
+TEST(Quality, FormatMentionsCounts) {
+  PartitionQuality q;
+  q.area_count = 15;
+  q.microscopic_count = 240;
+  const std::string s = format_quality(q);
+  EXPECT_NE(s.find("15/240"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stagg

@@ -1,0 +1,114 @@
+#include "trace/paje_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace stagg {
+namespace {
+
+constexpr const char* kSample =
+    "# pj_dump of a small run\n"
+    "Container, 0, site, 0.000000, 9.500000, 9.500000, rennes\n"
+    "Container, rennes, machine, 0.0, 9.5, 9.5, parapide-1\n"
+    "State, rennes/parapide-1/rank0, STATE, 0.000000, 1.600000, 1.600000, 0, "
+    "MPI_Init\n"
+    "State, rennes/parapide-1/rank0, STATE, 1.600000, 1.600414, 0.000414, 0, "
+    "MPI_Send\n"
+    "State, rennes/parapide-1/rank1, STATE, 0.000000, 1.600000, 1.600000, 0, "
+    "MPI_Init\n"
+    "Variable, rennes/parapide-1, power, 0.0, 9.5, 9.5, 42.0\n"
+    "Event, rennes/parapide-1/rank0, EVT, 2.0, interrupt\n";
+
+TEST(PajeIo, ParsesStatesSkipsOtherRecords) {
+  std::istringstream is(kSample);
+  PajeReadStats stats;
+  Trace t = read_paje_dump(is, "<sample>", &stats);
+  EXPECT_EQ(stats.state_records, 3u);
+  EXPECT_EQ(stats.skipped_records, 4u);  // 2 containers, 1 variable, 1 event
+  EXPECT_EQ(stats.comment_lines, 1u);
+  EXPECT_EQ(t.resource_count(), 2u);
+  EXPECT_EQ(t.state_count(), 3u);
+}
+
+TEST(PajeIo, ConvertsSecondsToNanoseconds) {
+  std::istringstream is(kSample);
+  Trace t = read_paje_dump(is);
+  const ResourceId r0 = t.find_resource("rennes/parapide-1/rank0");
+  ASSERT_GE(r0, 0);
+  const auto iv = t.intervals(r0);
+  ASSERT_EQ(iv.size(), 2u);
+  EXPECT_EQ(iv[0].begin, 0);
+  EXPECT_EQ(iv[0].end, seconds(1.6));
+  EXPECT_EQ(iv[1].end - iv[1].begin, 414'000);  // 0.000414 s
+}
+
+TEST(PajeIo, StateNamesInterned) {
+  std::istringstream is(kSample);
+  Trace t = read_paje_dump(is);
+  EXPECT_TRUE(t.states().find("MPI_Init").has_value());
+  EXPECT_TRUE(t.states().find("MPI_Send").has_value());
+  EXPECT_EQ(t.states().size(), 2u);
+}
+
+TEST(PajeIo, RejectsMalformedState) {
+  std::istringstream missing("State, c, STATE, 1.0, 2.0\n");
+  EXPECT_THROW((void)read_paje_dump(missing), TraceFormatError);
+  std::istringstream reversed(
+      "State, c, STATE, 5.0, 2.0, 3.0, 0, MPI_Send\n");
+  EXPECT_THROW((void)read_paje_dump(reversed), TraceFormatError);
+  std::istringstream bad_time(
+      "State, c, STATE, x, 2.0, 2.0, 0, MPI_Send\n");
+  EXPECT_THROW((void)read_paje_dump(bad_time), TraceFormatError);
+}
+
+TEST(PajeIo, ToleratesWhitespaceVariations) {
+  std::istringstream is(
+      "State,c/rank0,STATE,0.5,1.5,1.0,0,Compute\n"
+      "State,   c/rank0 , STATE ,  2.0 , 3.0 , 1.0 , 0 ,  MPI_Wait \n");
+  Trace t = read_paje_dump(is);
+  EXPECT_EQ(t.state_count(), 2u);
+  EXPECT_TRUE(t.states().find("MPI_Wait").has_value());
+}
+
+TEST(PajeIo, RoundTripThroughWriter) {
+  std::istringstream is(kSample);
+  Trace original = read_paje_dump(is);
+  std::ostringstream os;
+  write_paje_dump(original, os);
+  std::istringstream back(os.str());
+  Trace reread = read_paje_dump(back);
+  ASSERT_EQ(reread.resource_count(), original.resource_count());
+  ASSERT_EQ(reread.state_count(), original.state_count());
+  for (ResourceId r = 0;
+       r < static_cast<ResourceId>(original.resource_count()); ++r) {
+    const auto a = original.intervals(r);
+    const auto b = reread.intervals(r);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      EXPECT_EQ(a[k].begin, b[k].begin);
+      EXPECT_EQ(a[k].end, b[k].end);
+    }
+  }
+}
+
+TEST(PajeIo, MissingFileThrows) {
+  EXPECT_THROW((void)read_paje_dump("/nonexistent/x.paje"), IoError);
+}
+
+TEST(PajeIo, PercentHeaderLinesAreComments) {
+  std::istringstream is(
+      "%EventDef PajeDefineContainerType 0\n"
+      "% Name string\n"
+      "%EndEventDef\n"
+      "State, c/r0, STATE, 0.0, 1.0, 1.0, 0, Compute\n");
+  PajeReadStats stats;
+  Trace t = read_paje_dump(is, "<hdr>", &stats);
+  EXPECT_EQ(stats.comment_lines, 3u);
+  EXPECT_EQ(t.state_count(), 1u);
+}
+
+}  // namespace
+}  // namespace stagg

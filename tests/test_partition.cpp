@@ -1,0 +1,149 @@
+#include "core/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/baselines.hpp"
+
+namespace stagg {
+namespace {
+
+Hierarchy sample_hierarchy() {
+  HierarchyBuilder b("S");
+  const NodeId a = b.add(0, "A");
+  const NodeId c = b.add(0, "B");
+  b.add_many(a, "a", 2);
+  b.add_many(c, "b", 2);
+  return b.finish();
+}
+
+TEST(PartitionTest, FullPartitionIsValid) {
+  const Hierarchy h = sample_hierarchy();
+  const Partition p = make_full_partition(h, 5);
+  EXPECT_TRUE(p.is_valid(h, 5));
+  EXPECT_EQ(p.size(), 1u);
+}
+
+TEST(PartitionTest, MicroscopicPartitionIsValid) {
+  const Hierarchy h = sample_hierarchy();
+  const Partition p = make_microscopic_partition(h, 5);
+  EXPECT_TRUE(p.is_valid(h, 5));
+  EXPECT_EQ(p.size(), 4u * 5u);
+}
+
+TEST(PartitionTest, OverlapIsInvalid) {
+  const Hierarchy h = sample_hierarchy();
+  Partition p;
+  p.add(h.root(), 0, 4);
+  p.add(h.find("S/A"), 0, 0);  // overlaps the root area
+  EXPECT_FALSE(p.is_valid(h, 5));
+}
+
+TEST(PartitionTest, GapIsInvalid) {
+  const Hierarchy h = sample_hierarchy();
+  Partition p;
+  p.add(h.find("S/A"), 0, 4);  // B never covered
+  EXPECT_FALSE(p.is_valid(h, 5));
+}
+
+TEST(PartitionTest, OutOfRangeIntervalIsInvalid) {
+  const Hierarchy h = sample_hierarchy();
+  Partition p;
+  p.add(h.root(), 0, 5);  // j == slices
+  EXPECT_FALSE(p.is_valid(h, 5));
+  Partition q;
+  q.add(h.root(), 3, 1);  // i > j
+  EXPECT_FALSE(q.is_valid(h, 5));
+}
+
+TEST(PartitionTest, SignatureIsOrderInvariant) {
+  const Hierarchy h = sample_hierarchy();
+  Partition p1;
+  p1.add(h.find("S/A"), 0, 4);
+  p1.add(h.find("S/B"), 0, 4);
+  Partition p2;
+  p2.add(h.find("S/B"), 0, 4);
+  p2.add(h.find("S/A"), 0, 4);
+  EXPECT_EQ(p1.signature(), p2.signature());
+}
+
+TEST(PartitionTest, SignatureDistinguishesPartitions) {
+  const Hierarchy h = sample_hierarchy();
+  const Partition full = make_full_partition(h, 5);
+  const Partition micro = make_microscopic_partition(h, 5);
+  EXPECT_NE(full.signature(), micro.signature());
+  Partition split;
+  split.add(h.root(), 0, 2);
+  split.add(h.root(), 3, 4);
+  EXPECT_NE(full.signature(), split.signature());
+}
+
+TEST(PartitionTest, TemporalCutSlices) {
+  const Hierarchy h = sample_hierarchy();
+  Partition p;
+  p.add(h.root(), 0, 1);
+  p.add(h.find("S/A"), 2, 4);
+  p.add(h.find("S/B"), 2, 3);
+  p.add(h.find("S/B"), 4, 4);
+  const auto cuts = p.temporal_cut_slices();
+  ASSERT_EQ(cuts.size(), 2u);
+  EXPECT_EQ(cuts[0], 2);
+  EXPECT_EQ(cuts[1], 4);
+}
+
+TEST(PartitionTest, RowOfLeafIsTimeOrdered) {
+  const Hierarchy h = sample_hierarchy();
+  Partition p;
+  p.add(h.find("S/A"), 3, 4);
+  p.add(h.root(), 0, 2);
+  p.add(h.find("S/B"), 3, 4);
+  const auto row = p.row_of_leaf(h, 0);
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_EQ(row[0].time.i, 0);
+  EXPECT_EQ(row[1].time.i, 3);
+}
+
+TEST(PartitionTest, CanonicalizeSortsBySpaceThenTime) {
+  const Hierarchy h = sample_hierarchy();
+  Partition p;
+  p.add(h.find("S/B"), 0, 4);
+  p.add(h.find("S/A"), 2, 4);
+  p.add(h.find("S/A"), 0, 1);
+  p.canonicalize(h);
+  EXPECT_EQ(p.areas()[0].node, h.find("S/A"));
+  EXPECT_EQ(p.areas()[0].time.i, 0);
+  EXPECT_EQ(p.areas()[1].time.i, 2);
+  EXPECT_EQ(p.areas()[2].node, h.find("S/B"));
+}
+
+TEST(TriangularIndexTest, PackedLayout) {
+  const TriangularIndex tri(4);
+  EXPECT_EQ(tri.size(), 10u);
+  // Row-contiguous: (i, j) and (i, j+1) are adjacent.
+  EXPECT_EQ(tri(0, 0), 0u);
+  EXPECT_EQ(tri(0, 3), 3u);
+  EXPECT_EQ(tri(1, 1), 4u);
+  EXPECT_EQ(tri(3, 3), 9u);
+  // All indices distinct and in range.
+  std::vector<bool> seen(tri.size(), false);
+  for (SliceId i = 0; i < 4; ++i) {
+    for (SliceId j = i; j < 4; ++j) {
+      const std::size_t idx = tri(i, j);
+      ASSERT_LT(idx, tri.size());
+      EXPECT_FALSE(seen[idx]);
+      seen[idx] = true;
+    }
+  }
+}
+
+TEST(PartitionTest, ToStringListsAreas) {
+  const Hierarchy h = sample_hierarchy();
+  Partition p;
+  p.add(h.find("S/A"), 0, 4);
+  p.add(h.find("S/B"), 0, 4);
+  const std::string s = p.to_string(h);
+  EXPECT_NE(s.find("S/A [0..4]"), std::string::npos);
+  EXPECT_NE(s.find("S/B [0..4]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stagg

@@ -1,0 +1,73 @@
+#include "hierarchy/platform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace stagg {
+namespace {
+
+TEST(Platform, RennesParapideMatchesCaseA) {
+  const PlatformSpec p = grid5000_rennes_parapide();
+  EXPECT_EQ(p.total_cores(), 64);
+  EXPECT_EQ(p.total_machines(), 8);
+  EXPECT_EQ(p.clusters.size(), 1u);
+  EXPECT_EQ(p.clusters[0].interconnect, Interconnect::kInfinibandMT25418);
+}
+
+TEST(Platform, GrenobleMatchesCaseB) {
+  const PlatformSpec p = grid5000_grenoble();
+  EXPECT_EQ(p.total_cores(), 512);
+  EXPECT_EQ(p.total_machines(), 9 + 24 + 31);
+}
+
+TEST(Platform, NancyMatchesCaseC) {
+  const PlatformSpec p = grid5000_nancy();
+  // 26*4 + 4*16 + 67*8 = 704 cores; the paper uses 700 of them.
+  EXPECT_EQ(p.total_cores(), 704);
+  EXPECT_EQ(p.clusters[1].interconnect, Interconnect::kEthernet10G);
+}
+
+TEST(Platform, RennesTripleMatchesCaseD) {
+  const PlatformSpec p = grid5000_rennes_triple();
+  // 38*8 + 21*8 + 18*24 = 904 cores; the paper uses 900.
+  EXPECT_EQ(p.total_cores(), 904);
+}
+
+TEST(Platform, BuildHierarchyFullDepth) {
+  const Hierarchy h = grid5000_rennes_parapide().build_hierarchy();
+  EXPECT_EQ(h.leaf_count(), 64u);
+  EXPECT_EQ(h.max_depth(), 3);  // site/cluster/machine/core
+  EXPECT_TRUE(h.validate());
+  EXPECT_NE(h.find("rennes/parapide/parapide-0/core0"), kNoNode);
+  EXPECT_NE(h.find("rennes/parapide/parapide-7/core7"), kNoNode);
+}
+
+TEST(Platform, ProcessLimitTruncates) {
+  const Hierarchy h = grid5000_nancy().build_hierarchy(700);
+  EXPECT_EQ(h.leaf_count(), 700u);
+  EXPECT_TRUE(h.validate());
+  EXPECT_EQ(h.nodes_at_depth(1).size(), 3u);  // all clusters present
+}
+
+TEST(Platform, ScaledToKeepsClusterStructure) {
+  const PlatformSpec p = grid5000_nancy().scaled_to(88);
+  EXPECT_EQ(p.clusters.size(), 3u);
+  for (const auto& c : p.clusters) EXPECT_GE(c.machines, 1);
+  // The scale keeps cores-per-machine and shrinks machine counts.
+  EXPECT_EQ(p.clusters[0].cores_per_machine, 4);
+  EXPECT_EQ(p.clusters[1].cores_per_machine, 16);
+  EXPECT_LT(p.total_cores(), 704);
+}
+
+TEST(Platform, ScaledToRejectsNonPositive) {
+  EXPECT_THROW((void)grid5000_nancy().scaled_to(0), InvalidArgument);
+}
+
+TEST(Platform, InterconnectNames) {
+  EXPECT_STREQ(to_string(Interconnect::kEthernet10G), "10G Ethernet");
+  EXPECT_STREQ(to_string(Interconnect::kInfiniband20G), "Infiniband-20G");
+}
+
+}  // namespace
+}  // namespace stagg

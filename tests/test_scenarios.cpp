@@ -1,0 +1,74 @@
+#include "workload/scenarios.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace stagg {
+namespace {
+
+TEST(Scenarios, AllFourDefined) {
+  const auto all = all_scenarios();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0].id, "A");
+  EXPECT_EQ(all[3].id, "D");
+  // Paper process counts.
+  EXPECT_EQ(all[0].processes, 64);
+  EXPECT_EQ(all[1].processes, 512);
+  EXPECT_EQ(all[2].processes, 700);
+  EXPECT_EQ(all[3].processes, 900);
+}
+
+TEST(Scenarios, PaperNumbersTranscribed) {
+  EXPECT_EQ(scenario_a().paper.events, 3'838'144u);
+  EXPECT_EQ(scenario_b().paper.events, 49'149'440u);
+  EXPECT_EQ(scenario_c().paper.events, 218'457'456u);
+  EXPECT_EQ(scenario_d().paper.events, 177'376'729u);
+  EXPECT_DOUBLE_EQ(scenario_c().paper.read_s, 2911.0);
+}
+
+TEST(Scenarios, GenerateCaseASmall) {
+  const auto g = generate_scenario(scenario_a(), 1.0 / 256.0);
+  EXPECT_EQ(g.hierarchy->leaf_count(), 64u);
+  EXPECT_EQ(g.trace.resource_count(), 64u);
+  EXPECT_GT(g.trace.state_count(), 0u);
+  EXPECT_EQ(g.trace.begin(), 0);
+  EXPECT_EQ(g.trace.end(), seconds(9.5));
+}
+
+TEST(Scenarios, GenerateCaseCSmallHasThreeClusters) {
+  const auto g = generate_scenario(scenario_c(), 1.0 / 2048.0);
+  EXPECT_EQ(g.hierarchy->leaf_count(), 700u);
+  EXPECT_EQ(g.hierarchy->nodes_at_depth(1).size(), 3u);
+}
+
+TEST(Scenarios, ScaleControlsEventCount) {
+  const auto small = generate_scenario(scenario_a(), 1.0 / 512.0);
+  const auto larger = generate_scenario(scenario_a(), 1.0 / 128.0);
+  EXPECT_GT(larger.trace.state_count(), small.trace.state_count() * 2);
+}
+
+TEST(Scenarios, DeterministicForSameSeed) {
+  const auto a = generate_scenario(scenario_a(), 1.0 / 512.0, 9);
+  const auto b = generate_scenario(scenario_a(), 1.0 / 512.0, 9);
+  EXPECT_EQ(a.trace.state_count(), b.trace.state_count());
+}
+
+TEST(Scenarios, RejectsNonPositiveScale) {
+  EXPECT_THROW((void)generate_scenario(scenario_a(), 0.0), InvalidArgument);
+}
+
+TEST(Scenarios, FullScaleEventCalibrationCaseA) {
+  // At scale 1.0 case A must land within 2x of the paper's 3.8M events.
+  // Run at 1/64 and extrapolate linearly to keep the test fast.
+  const double scale = 1.0 / 64.0;
+  const auto g = generate_scenario(scenario_a(), scale);
+  const double extrapolated =
+      static_cast<double>(g.trace.event_count()) / scale;
+  const double paper = static_cast<double>(scenario_a().paper.events);
+  EXPECT_GT(extrapolated, paper / 2.0);
+  EXPECT_LT(extrapolated, paper * 2.0);
+}
+
+}  // namespace
+}  // namespace stagg

@@ -1,0 +1,104 @@
+#include "core/spatial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <limits>
+
+#include "common/error.hpp"
+#include "workload/fixtures.hpp"
+
+namespace stagg {
+namespace {
+
+/// Exhaustive optimum over hierarchy-consistent antichains.
+double exhaustive_best(const HierarchyAggregator& agg, const Hierarchy& h,
+                       double p) {
+  // best(n) = max(pIC of n aggregated, sum over children of best(child)).
+  // That recursion *is* the DP, so enumerate instead: every antichain is a
+  // set of nodes; recursively expand "keep or split" and track the max.
+  std::function<double(NodeId)> best = [&](NodeId n) -> double {
+    const AreaMeasures m = agg.node_measures(n);
+    double keep = pic(p, m.gain, m.loss);
+    if (h.node(n).children.empty()) return keep;
+    double split = 0.0;
+    for (NodeId c : h.node(n).children) split += best(c);
+    return std::max(keep, split);
+  };
+  return best(h.root());
+}
+
+TEST(HierarchyAggregatorTest, RejectsBadInputs) {
+  const OwnedModel om = make_tiny_model();
+  EXPECT_THROW(HierarchyAggregator(nullptr, {}, 1), InvalidArgument);
+  EXPECT_THROW(HierarchyAggregator(om.hierarchy.get(), {1.0}, 1),
+               InvalidArgument);
+  HierarchyAggregator agg(om.hierarchy.get(), {0.5, 0.5}, 1);
+  EXPECT_THROW((void)agg.run(-1.0), InvalidArgument);
+}
+
+TEST(HierarchyAggregatorTest, HomogeneousLeavesMergeToRoot) {
+  const Hierarchy h = make_balanced_hierarchy(2, 3);  // 9 leaves
+  std::vector<double> w(h.leaf_count(), 0.7);
+  HierarchyAggregator agg(&h, std::move(w), 1);
+  const auto r = agg.run(0.5);
+  ASSERT_EQ(r.parts.size(), 1u);
+  EXPECT_EQ(r.parts[0], h.root());
+  EXPECT_NEAR(r.measures.loss, 0.0, 1e-12);
+}
+
+TEST(HierarchyAggregatorTest, ContrastedSubtreesStaySeparate) {
+  const Hierarchy h = make_balanced_hierarchy(1, 2);  // root + 2 leaves
+  HierarchyAggregator agg(&h, {0.95, 0.05}, 1);
+  const auto r = agg.run(0.05);  // accuracy-leaning
+  EXPECT_EQ(r.parts.size(), 2u);
+  EXPECT_NEAR(r.measures.loss, 0.0, 1e-12);
+}
+
+TEST(HierarchyAggregatorTest, PartsFormAntichainCoveringLeaves) {
+  const OwnedModel om = make_random_model(
+      {.levels = 3, .fanout = 2, .slices = 4, .states = 2, .seed = 6});
+  const DataCube cube(om.model);
+  const auto agg = HierarchyAggregator::temporally_aggregated(cube);
+  for (const double p : {0.0, 0.5, 1.0}) {
+    const auto r = agg.run(p);
+    std::vector<bool> covered(om.hierarchy->leaf_count(), false);
+    for (NodeId n : r.parts) {
+      const auto& node = om.hierarchy->node(n);
+      for (LeafId s = node.first_leaf; s < node.first_leaf + node.leaf_count;
+           ++s) {
+        EXPECT_FALSE(covered[static_cast<std::size_t>(s)]);
+        covered[static_cast<std::size_t>(s)] = true;
+      }
+    }
+    for (const bool c : covered) EXPECT_TRUE(c);
+  }
+}
+
+TEST(HierarchyAggregatorTest, MatchesExhaustiveSearch) {
+  for (const std::uint64_t seed : {41ull, 42ull, 43ull}) {
+    const OwnedModel om = make_random_model(
+        {.levels = 3, .fanout = 2, .slices = 4, .states = 2, .seed = seed});
+    const DataCube cube(om.model);
+    const auto agg = HierarchyAggregator::temporally_aggregated(cube);
+    for (const double p : {0.0, 0.3, 0.7, 1.0}) {
+      const auto r = agg.run(p);
+      EXPECT_NEAR(r.optimal_pic, exhaustive_best(agg, *om.hierarchy, p),
+                  1e-10)
+          << "seed=" << seed << " p=" << p;
+    }
+  }
+}
+
+TEST(HierarchyAggregatorTest, OptimalPicEqualsSummedMeasures) {
+  const OwnedModel om = make_random_model(
+      {.levels = 2, .fanout = 3, .slices = 5, .states = 2, .seed = 15});
+  const DataCube cube(om.model);
+  const auto agg = HierarchyAggregator::temporally_aggregated(cube);
+  const auto r = agg.run(0.6);
+  EXPECT_NEAR(r.optimal_pic, pic(0.6, r.measures.gain, r.measures.loss),
+              1e-10);
+}
+
+}  // namespace
+}  // namespace stagg

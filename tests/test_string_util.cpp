@@ -1,0 +1,76 @@
+#include "common/string_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace stagg {
+namespace {
+
+TEST(Split, BasicAndEmptyFields) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Split, SingleField) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Split, TrailingSeparator) {
+  const auto parts = split("a,", ',');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  x y \t\r\n"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StartsWith, Basics) {
+  EXPECT_TRUE(starts_with("STATE,abc", "STATE"));
+  EXPECT_FALSE(starts_with("STA", "STATE"));
+}
+
+TEST(Join, WithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, "/"), "a/b/c");
+  EXPECT_EQ(join({}, "/"), "");
+  EXPECT_EQ(join({"x"}, "/"), "x");
+}
+
+TEST(WithThousands, TableTwoStyle) {
+  EXPECT_EQ(with_thousands(3838144), "3,838,144");
+  EXPECT_EQ(with_thousands(218457456), "218,457,456");
+  EXPECT_EQ(with_thousands(0), "0");
+  EXPECT_EQ(with_thousands(999), "999");
+  EXPECT_EQ(with_thousands(1000), "1,000");
+  EXPECT_EQ(with_thousands(-1234567), "-1,234,567");
+}
+
+TEST(FormatBytes, Units) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(136'900'000), "136.9 MB");
+  EXPECT_EQ(format_bytes(8'300'000'000ull), "8.3 GB");
+}
+
+TEST(ParseDouble, ValidAndInvalid) {
+  EXPECT_DOUBLE_EQ(parse_double(" 3.5 ", "ctx"), 3.5);
+  EXPECT_THROW((void)parse_double("3.5x", "ctx"), TraceFormatError);
+  EXPECT_THROW((void)parse_double("", "ctx"), TraceFormatError);
+}
+
+TEST(ParseInt, ValidAndInvalid) {
+  EXPECT_EQ(parse_int("-42", "ctx"), -42);
+  EXPECT_EQ(parse_int(" 7 ", "ctx"), 7);
+  EXPECT_THROW((void)parse_int("7.5", "ctx"), TraceFormatError);
+  EXPECT_THROW((void)parse_int("abc", "ctx"), TraceFormatError);
+}
+
+}  // namespace
+}  // namespace stagg

@@ -1,0 +1,43 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stagg {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string s = t.str();
+  // Header, rule, two rows.
+  EXPECT_NE(s.find("name    value"), std::string::npos);
+  EXPECT_NE(s.find("longer  22"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(TextTable, NoHeader) {
+  TextTable t;
+  t.add_row({"a", "b"});
+  EXPECT_EQ(t.str(), "a  b\n");
+}
+
+TEST(TextTable, RaggedRows) {
+  TextTable t;
+  t.add_row({"a", "b", "c"});
+  t.add_row({"only"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("only"), std::string::npos);
+}
+
+TEST(TextTable, ManualRule) {
+  TextTable t;
+  t.add_row({"a"});
+  t.add_rule();
+  t.add_row({"b"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find('-'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stagg

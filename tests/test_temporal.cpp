@@ -1,0 +1,130 @@
+#include "core/temporal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/error.hpp"
+#include "workload/fixtures.hpp"
+
+namespace stagg {
+namespace {
+
+SequenceAggregator make_sequence(std::vector<double> values,
+                                 std::int32_t states = 1) {
+  std::vector<double> durations(values.size() / states, 1.0);
+  return SequenceAggregator(std::move(values), std::move(durations), states);
+}
+
+/// Exhaustive optimal interval partition via bitmask over cut positions.
+double exhaustive_best(const SequenceAggregator& seq, double p) {
+  const std::int32_t n = seq.length();
+  double best = -std::numeric_limits<double>::infinity();
+  for (std::uint32_t mask = 0; mask < (1u << (n - 1)); ++mask) {
+    double total = 0.0;
+    SliceId start = 0;
+    for (SliceId t = 0; t < n; ++t) {
+      const bool cut_after = t == n - 1 || (mask >> t) & 1u;
+      if (cut_after) {
+        const AreaMeasures m = seq.interval_measures(start, t);
+        total += pic(p, m.gain, m.loss);
+        start = t + 1;
+      }
+    }
+    best = std::max(best, total);
+  }
+  return best;
+}
+
+TEST(SequenceAggregator, RejectsBadInputs) {
+  EXPECT_THROW(SequenceAggregator({}, {}, 1), InvalidArgument);
+  EXPECT_THROW(SequenceAggregator({1.0, 2.0}, {1.0}, 1), InvalidArgument);
+  auto seq = make_sequence({0.5, 0.5});
+  EXPECT_THROW((void)seq.run(2.0), InvalidArgument);
+}
+
+TEST(SequenceAggregator, HomogeneousSequenceMergesFully) {
+  const auto seq = make_sequence({0.4, 0.4, 0.4, 0.4, 0.4});
+  const auto r = seq.run(0.5);
+  ASSERT_EQ(r.intervals.size(), 1u);
+  EXPECT_EQ(r.intervals[0].i, 0);
+  EXPECT_EQ(r.intervals[0].j, 4);
+  EXPECT_NEAR(r.measures.loss, 0.0, 1e-12);
+}
+
+TEST(SequenceAggregator, StepFunctionCutsAtTheStep) {
+  // Strongly contrasted halves: at accuracy-leaning p the DP must cut at
+  // the boundary.
+  const auto seq = make_sequence({0.9, 0.9, 0.9, 0.1, 0.1, 0.1});
+  const auto r = seq.run(0.1);
+  ASSERT_EQ(r.intervals.size(), 2u);
+  EXPECT_EQ(r.intervals[0].j, 2);
+  EXPECT_EQ(r.intervals[1].i, 3);
+  EXPECT_NEAR(r.measures.loss, 0.0, 1e-12);
+}
+
+TEST(SequenceAggregator, IntervalsCoverInOrder) {
+  const auto seq =
+      make_sequence({0.1, 0.9, 0.3, 0.7, 0.2, 0.8, 0.5, 0.5});
+  for (const double p : {0.0, 0.3, 0.7, 1.0}) {
+    const auto r = seq.run(p);
+    SliceId expect = 0;
+    for (const auto& iv : r.intervals) {
+      EXPECT_EQ(iv.i, expect);
+      EXPECT_LE(iv.i, iv.j);
+      expect = iv.j + 1;
+    }
+    EXPECT_EQ(expect, seq.length());
+  }
+}
+
+TEST(SequenceAggregator, MatchesExhaustiveSearch) {
+  // Random-ish sequences, two states, against the 2^(T-1) enumeration.
+  const std::vector<double> values = {0.1, 0.8, 0.2, 0.7, 0.9, 0.05,
+                                      0.3, 0.6, 0.4, 0.5, 0.15, 0.75};
+  const auto seq = make_sequence(values, 2);  // T = 6, X = 2
+  for (const double p : {0.0, 0.2, 0.5, 0.8, 1.0}) {
+    const auto r = seq.run(p);
+    EXPECT_NEAR(r.optimal_pic, exhaustive_best(seq, p), 1e-10) << "p=" << p;
+  }
+}
+
+TEST(SequenceAggregator, OptimalPicEqualsSummedMeasures) {
+  const auto seq = make_sequence({0.2, 0.9, 0.1, 0.6, 0.3, 0.8, 0.4});
+  const auto r = seq.run(0.4);
+  EXPECT_NEAR(r.optimal_pic, pic(0.4, r.measures.gain, r.measures.loss),
+              1e-10);
+}
+
+TEST(SequenceAggregator, WeightedDurationsChangeAggregation) {
+  // Same values, very unequal durations: the aggregate proportion is
+  // duration-weighted (Eq. 1), so interval measures must differ from the
+  // uniform case.
+  SequenceAggregator uniform({0.9, 0.1}, {1.0, 1.0}, 1);
+  SequenceAggregator skewed({0.9, 0.1}, {10.0, 0.1}, 1);
+  const auto mu = uniform.interval_measures(0, 1);
+  const auto ms = skewed.interval_measures(0, 1);
+  EXPECT_GT(std::abs(mu.loss - ms.loss), 1e-6);
+}
+
+TEST(SequenceAggregator, SpatiallyAggregatedFromCube) {
+  const OwnedModel om = make_random_model(
+      {.levels = 2, .fanout = 2, .slices = 6, .states = 2, .seed = 7});
+  const DataCube cube(om.model);
+  const auto seq = SequenceAggregator::spatially_aggregated(cube);
+  EXPECT_EQ(seq.length(), 6);
+  EXPECT_EQ(seq.state_count(), 2);
+  // The whole-window aggregate of the sequence equals the cube's root
+  // measures restricted to the "sequence individuals = slices" view: at
+  // minimum the run must produce a covering partition.
+  const auto r = seq.run(0.5);
+  SliceId expect = 0;
+  for (const auto& iv : r.intervals) {
+    EXPECT_EQ(iv.i, expect);
+    expect = iv.j + 1;
+  }
+  EXPECT_EQ(expect, 6);
+}
+
+}  // namespace
+}  // namespace stagg

@@ -1,0 +1,87 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace stagg {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsValue) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesException) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ManyTasksAllRun) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 500; ++i) {
+    futures.push_back(pool.submit([&count] { ++count; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(count.load(), 500);
+}
+
+TEST(ThreadPool, SizeDefaultsToHardware) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ParallelForBlocked, CoversRangeExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for_blocked(pool, hits.size(), 7,
+                       [&](std::size_t b, std::size_t e) {
+                         for (std::size_t i = b; i < e; ++i) ++hits[i];
+                       });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForBlocked, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  parallel_for_blocked(pool, 0, 8,
+                       [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForBlocked, PropagatesBodyException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      parallel_for_blocked(pool, 100, 10,
+                           [](std::size_t b, std::size_t) {
+                             if (b >= 50) throw std::runtime_error("half");
+                           }),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, ComputesSameAsSequential) {
+  std::vector<double> out(257, 0.0);
+  parallel_for(out.size(), [&](std::size_t i) {
+    out[i] = static_cast<double>(i) * 2.0;
+  });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<double>(i) * 2.0);
+  }
+}
+
+TEST(ParallelFor, GrainLargerThanRangeRunsInline) {
+  std::vector<int> out(5, 0);
+  parallel_for(out.size(), [&](std::size_t i) { out[i] = 1; },
+               /*grain=*/100);
+  EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), 5);
+}
+
+}  // namespace
+}  // namespace stagg

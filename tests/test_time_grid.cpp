@@ -1,0 +1,70 @@
+#include "model/time_grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace stagg {
+namespace {
+
+TEST(TimeGrid, BoundariesExactAtEnds) {
+  const TimeGrid g(seconds(1.0), seconds(10.0), 30);
+  EXPECT_EQ(g.slice_begin(0), seconds(1.0));
+  EXPECT_EQ(g.slice_end(29), seconds(10.0));
+  // Slices tile the window with no gaps.
+  for (SliceId t = 1; t < 30; ++t) {
+    EXPECT_EQ(g.slice_end(t - 1), g.slice_begin(t));
+  }
+}
+
+TEST(TimeGrid, NoCumulativeDrift) {
+  // A span that does not divide evenly: boundaries must still be monotone
+  // and the summed durations equal the window exactly.
+  const TimeGrid g(0, 1'000'000'007, 30);
+  TimeNs total = 0;
+  for (SliceId t = 0; t < 30; ++t) {
+    EXPECT_LT(g.slice_begin(t), g.slice_end(t));
+    total += g.slice_end(t) - g.slice_begin(t);
+  }
+  EXPECT_EQ(total, 1'000'000'007);
+}
+
+TEST(TimeGrid, SliceOfRoundTrips) {
+  const TimeGrid g(0, seconds(3.0), 30);
+  for (SliceId t = 0; t < 30; ++t) {
+    EXPECT_EQ(g.slice_of(g.slice_begin(t)), t);
+    EXPECT_EQ(g.slice_of(g.slice_end(t) - 1), t);
+  }
+}
+
+TEST(TimeGrid, SliceOfClamps) {
+  const TimeGrid g(seconds(1.0), seconds(2.0), 10);
+  EXPECT_EQ(g.slice_of(0), 0);
+  EXPECT_EQ(g.slice_of(seconds(5.0)), 9);
+}
+
+TEST(TimeGrid, OverlapFullInsideOutside) {
+  const TimeGrid g(0, seconds(10.0), 10);  // 1 s slices
+  // Interval spanning slices 2..4 partially.
+  EXPECT_DOUBLE_EQ(g.overlap_s(seconds(2.5), seconds(4.5), 2), 0.5);
+  EXPECT_DOUBLE_EQ(g.overlap_s(seconds(2.5), seconds(4.5), 3), 1.0);
+  EXPECT_DOUBLE_EQ(g.overlap_s(seconds(2.5), seconds(4.5), 4), 0.5);
+  EXPECT_DOUBLE_EQ(g.overlap_s(seconds(2.5), seconds(4.5), 5), 0.0);
+  EXPECT_DOUBLE_EQ(g.overlap_s(seconds(2.5), seconds(4.5), 0), 0.0);
+}
+
+TEST(TimeGrid, IntervalDuration) {
+  const TimeGrid g(0, seconds(30.0), 30);
+  EXPECT_NEAR(g.interval_duration_s(0, 29), 30.0, 1e-9);
+  EXPECT_NEAR(g.interval_duration_s(5, 9), 5.0, 1e-9);
+  EXPECT_NEAR(g.slice_duration_s(7), 1.0, 1e-9);
+}
+
+TEST(TimeGrid, InvalidConstruction) {
+  EXPECT_THROW(TimeGrid(0, 100, 0), InvalidArgument);
+  EXPECT_THROW(TimeGrid(100, 100, 5), InvalidArgument);
+  EXPECT_THROW(TimeGrid(200, 100, 5), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace stagg

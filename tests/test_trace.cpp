@@ -1,0 +1,112 @@
+#include "trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace stagg {
+namespace {
+
+TEST(Trace, ResourceRegistrationIsIdempotent) {
+  Trace t;
+  const ResourceId a = t.add_resource("root/a");
+  const ResourceId b = t.add_resource("root/b");
+  EXPECT_EQ(t.add_resource("root/a"), a);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(t.resource_count(), 2u);
+  EXPECT_EQ(t.find_resource("root/b"), b);
+  EXPECT_EQ(t.find_resource("nope"), -1);
+}
+
+TEST(Trace, SealSortsIntervals) {
+  Trace t;
+  const ResourceId r = t.add_resource("r");
+  t.add_state(r, "s", 100, 200);
+  t.add_state(r, "s", 0, 50);
+  t.add_state(r, "s", 60, 90);
+  t.seal();
+  const auto iv = t.intervals(r);
+  ASSERT_EQ(iv.size(), 3u);
+  EXPECT_EQ(iv[0].begin, 0);
+  EXPECT_EQ(iv[1].begin, 60);
+  EXPECT_EQ(iv[2].begin, 100);
+}
+
+TEST(Trace, WindowFromEvents) {
+  Trace t;
+  const ResourceId r = t.add_resource("r");
+  t.add_state(r, "s", 50, 200);
+  t.add_state(r, "s", 10, 40);
+  t.seal();
+  EXPECT_EQ(t.begin(), 10);
+  EXPECT_EQ(t.end(), 200);
+  EXPECT_EQ(t.span(), 190);
+}
+
+TEST(Trace, WindowOverrideSurvivesSeal) {
+  Trace t;
+  const ResourceId r = t.add_resource("r");
+  t.add_state(r, "s", 50, 200);
+  t.set_window(0, 1000);
+  t.seal();
+  EXPECT_EQ(t.begin(), 0);
+  EXPECT_EQ(t.end(), 1000);
+  EXPECT_THROW(t.set_window(10, 5), InvalidArgument);
+}
+
+TEST(Trace, EventCountIsTwiceStates) {
+  Trace t;
+  const ResourceId r = t.add_resource("r");
+  t.add_state(r, "s", 0, 1);
+  t.add_state(r, "s", 1, 2);
+  t.add_state(r, "s", 2, 3);
+  EXPECT_EQ(t.state_count(), 3u);
+  EXPECT_EQ(t.event_count(), 6u);
+}
+
+TEST(Trace, AddStateValidation) {
+  Trace t;
+  const ResourceId r = t.add_resource("r");
+  const StateId x = t.states().intern("s");
+  EXPECT_THROW(t.add_state(static_cast<ResourceId>(5), x, 0, 1),
+               InvalidArgument);
+  EXPECT_THROW(t.add_state(r, static_cast<StateId>(9), 0, 1),
+               InvalidArgument);
+  EXPECT_THROW(t.add_state(r, x, 10, 5), InvalidArgument);
+  // Zero-length states are allowed (instantaneous call).
+  t.add_state(r, x, 5, 5);
+}
+
+TEST(Trace, EmptyTraceWindow) {
+  Trace t;
+  t.seal();
+  EXPECT_EQ(t.begin(), 0);
+  EXPECT_EQ(t.end(), 0);
+  EXPECT_EQ(t.state_count(), 0u);
+}
+
+TEST(Trace, AppendAfterSealUnsealsAndResorts) {
+  Trace t;
+  const ResourceId r = t.add_resource("r");
+  t.add_state(r, "s", 10, 20);
+  t.seal();
+  EXPECT_TRUE(t.sealed());
+  t.add_state(r, "s", 0, 5);
+  EXPECT_FALSE(t.sealed());
+  t.seal();
+  EXPECT_EQ(t.intervals(r)[0].begin, 0);
+}
+
+TEST(StateRegistryTest, InternAndFind) {
+  StateRegistry reg;
+  const StateId a = reg.intern("MPI_Send");
+  const StateId b = reg.intern("MPI_Wait");
+  EXPECT_EQ(reg.intern("MPI_Send"), a);
+  EXPECT_EQ(reg.size(), 2u);
+  EXPECT_EQ(reg.name(b), "MPI_Wait");
+  EXPECT_EQ(reg.find("MPI_Wait"), b);
+  EXPECT_FALSE(reg.find("nope").has_value());
+}
+
+}  // namespace
+}  // namespace stagg

@@ -1,0 +1,68 @@
+#include "trace/trace_stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stagg {
+namespace {
+
+Trace make_sample() {
+  Trace t;
+  const ResourceId r0 = t.add_resource("r0");
+  const ResourceId r1 = t.add_resource("r1");
+  t.add_state(r0, "send", 0, seconds(2.0));
+  t.add_state(r0, "wait", seconds(2.0), seconds(3.0));
+  t.add_state(r1, "send", 0, seconds(1.0));
+  return t;
+}
+
+TEST(TraceStats, Counts) {
+  Trace t = make_sample();
+  const TraceStats st = compute_stats(t);
+  EXPECT_EQ(st.state_count, 3u);
+  EXPECT_EQ(st.event_count, 6u);
+  EXPECT_EQ(st.resource_count, 2u);
+  EXPECT_DOUBLE_EQ(st.mean_states_per_resource, 1.5);
+  EXPECT_EQ(st.busy_time, seconds(4.0));
+}
+
+TEST(TraceStats, PerStateSortedByDuration) {
+  Trace t = make_sample();
+  const TraceStats st = compute_stats(t);
+  ASSERT_EQ(st.per_state.size(), 2u);
+  EXPECT_EQ(st.per_state[0].name, "send");  // 3 s total beats 1 s
+  EXPECT_EQ(st.per_state[0].occurrences, 2u);
+  EXPECT_NEAR(st.per_state[0].fraction_of_busy_time, 0.75, 1e-12);
+  EXPECT_EQ(st.per_state[1].name, "wait");
+}
+
+TEST(TraceStats, DurationVectors) {
+  Trace t = make_sample();
+  t.seal();
+  const auto vecs = state_duration_vectors(t);
+  ASSERT_EQ(vecs.size(), 2u);
+  const StateId send = *t.states().find("send");
+  const StateId wait = *t.states().find("wait");
+  EXPECT_DOUBLE_EQ(vecs[0][static_cast<std::size_t>(send)], 2.0);
+  EXPECT_DOUBLE_EQ(vecs[0][static_cast<std::size_t>(wait)], 1.0);
+  EXPECT_DOUBLE_EQ(vecs[1][static_cast<std::size_t>(send)], 1.0);
+  EXPECT_DOUBLE_EQ(vecs[1][static_cast<std::size_t>(wait)], 0.0);
+}
+
+TEST(TraceStats, FormatContainsHeadlineNumbers) {
+  Trace t = make_sample();
+  const TraceStats st = compute_stats(t);
+  const std::string s = format_stats(st);
+  EXPECT_NE(s.find("resources:  2"), std::string::npos);
+  EXPECT_NE(s.find("send"), std::string::npos);
+}
+
+TEST(TraceStats, EmptyTrace) {
+  Trace t;
+  const TraceStats st = compute_stats(t);
+  EXPECT_EQ(st.state_count, 0u);
+  EXPECT_EQ(st.busy_time, 0);
+  EXPECT_EQ(st.mean_states_per_resource, 0.0);
+}
+
+}  // namespace
+}  // namespace stagg

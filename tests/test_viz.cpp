@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include "core/aggregator.hpp"
+#include "core/baselines.hpp"
+#include "viz/ascii_view.hpp"
+#include "viz/gantt.hpp"
+#include "viz/spatiotemporal_view.hpp"
+#include "viz/svg.hpp"
+#include "viz/timeline_view.hpp"
+#include "viz/treemap.hpp"
+#include "workload/fixtures.hpp"
+
+namespace stagg {
+namespace {
+
+TEST(Color, HexFormatting) {
+  EXPECT_EQ((Rgba{255, 0, 16, 255}.hex_rgb()), "#ff0010");
+}
+
+TEST(Color, WellKnownMpiStates) {
+  ASSERT_NE(StateColorMap::well_known("MPI_Init"), nullptr);
+  ASSERT_NE(StateColorMap::well_known("MPI_Wait"), nullptr);
+  EXPECT_EQ(StateColorMap::well_known("NotAState"), nullptr);
+  // Figure 1's reading: init yellow-ish (high R+G), wait red-ish.
+  const Rgba init = *StateColorMap::well_known("MPI_Init");
+  EXPECT_GT(static_cast<int>(init.r) + init.g, 2 * init.b);
+}
+
+TEST(Color, MapAssignsDistinctFallbacks) {
+  StateRegistry reg;
+  reg.intern("custom_a");
+  reg.intern("custom_b");
+  reg.intern("MPI_Send");
+  const StateColorMap map(reg);
+  EXPECT_NE(map.color(0), map.color(1));
+  EXPECT_EQ(map.color(2), *StateColorMap::well_known("MPI_Send"));
+}
+
+TEST(Color, BlendOverWhite) {
+  const Rgba c = blend_over_white({0, 0, 0, 255}, 0.5);
+  EXPECT_NEAR(c.r, 127, 1);
+  const Rgba full = blend_over_white({10, 20, 30, 255}, 1.0);
+  EXPECT_EQ(full.r, 10);
+}
+
+TEST(Svg, DocumentStructure) {
+  SvgCanvas svg(100, 50);
+  svg.rect(1, 2, 3, 4, {255, 0, 0, 255}, 0.5, true);
+  svg.line(0, 0, 10, 10, {0, 0, 0, 255});
+  svg.text(5, 5, "a<b");
+  const std::string s = svg.str();
+  EXPECT_NE(s.find("<svg"), std::string::npos);
+  EXPECT_NE(s.find("</svg>"), std::string::npos);
+  EXPECT_NE(s.find("fill=\"#ff0000\""), std::string::npos);
+  EXPECT_NE(s.find("fill-opacity"), std::string::npos);
+  EXPECT_NE(s.find("a&lt;b"), std::string::npos);
+  EXPECT_EQ(svg.element_count(), 3u);
+}
+
+class ViewTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    om_ = make_figure3_model();
+    agg_.emplace(om_->model);
+    result_ = agg_->run(0.35);
+  }
+  std::optional<OwnedModel> om_;
+  std::optional<SpatiotemporalAggregator> agg_;
+  AggregationResult result_;
+};
+
+TEST_F(ViewTest, NoVisualAggregationWhenRowsAreTall) {
+  ViewOptions opt;
+  opt.min_row_px = 0.0;  // disabled
+  const ViewLayout layout = layout_overview(result_, agg_->cube(), opt);
+  EXPECT_EQ(layout.stats.data_aggregates, result_.partition.size());
+  EXPECT_EQ(layout.stats.visual_aggregates, 0u);
+  EXPECT_EQ(layout.tiles.size(), result_.partition.size());
+}
+
+TEST_F(ViewTest, TilesCoverPlotExactly) {
+  ViewOptions opt;
+  opt.min_row_px = 0.0;
+  opt.draw_legend = false;
+  opt.draw_axis = false;
+  const ViewLayout layout = layout_overview(result_, agg_->cube(), opt);
+  double area = 0.0;
+  for (const auto& t : layout.tiles) area += t.w * t.h;
+  EXPECT_NEAR(area, layout.plot_w * layout.plot_h,
+              layout.plot_w * layout.plot_h * 1e-6);
+}
+
+TEST_F(ViewTest, VisualAggregationKicksInUnderBudget) {
+  ViewOptions opt;
+  opt.height_px = 30.0;  // 12 rows in <30 px -> rows ~2 px
+  opt.min_row_px = 6.0;  // leaves and single rows are sub-threshold
+  opt.draw_axis = false;
+  const ViewLayout layout = layout_overview(result_, agg_->cube(), opt);
+  EXPECT_GT(layout.stats.visual_aggregates, 0u);
+  EXPECT_GT(layout.stats.hidden_aggregates, 0u);
+  EXPECT_EQ(layout.stats.visual_aggregates,
+            layout.stats.diagonal_marks + layout.stats.cross_marks);
+  // Fig. 3.f behaviour: heterogeneous SC rows produce crosses.
+  EXPECT_GT(layout.stats.cross_marks, 0u);
+}
+
+TEST_F(ViewTest, AlphaWithinPaperBounds) {
+  const ViewLayout layout = layout_overview(result_, agg_->cube(), {});
+  for (const auto& t : layout.tiles) {
+    if (t.mode == kNoState) continue;
+    // alpha = rho_max / sum rho in [1/|X|, 1].
+    EXPECT_GE(t.alpha, 1.0 / 2 - 1e-9);
+    EXPECT_LE(t.alpha, 1.0 + 1e-9);
+  }
+}
+
+TEST_F(ViewTest, RenderAndSaveProducesSvg) {
+  const SvgCanvas svg = render_overview(result_, agg_->cube(), {});
+  EXPECT_GT(svg.element_count(), result_.partition.size());
+  const std::string path = "/tmp/stagg_view_test.svg";
+  const ViewStats stats = save_overview(result_, agg_->cube(), path, {});
+  EXPECT_GT(stats.data_aggregates, 0u);
+  std::remove(path.c_str());
+}
+
+TEST_F(ViewTest, AsciiRenderShowsCutsAndModes) {
+  const std::string s = render_ascii(result_, agg_->cube(), {});
+  EXPECT_NE(s.find('|'), std::string::npos);   // temporal cuts
+  EXPECT_NE(s.find("S/SA"), std::string::npos);  // leaf paths
+  // 12 rows.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 12);
+}
+
+TEST_F(ViewTest, AsciiClipsRows) {
+  AsciiOptions opt;
+  opt.max_rows = 3;
+  const std::string s = render_ascii(result_, agg_->cube(), opt);
+  EXPECT_NE(s.find("more rows"), std::string::npos);
+}
+
+TEST(GanttTest, StatsCountSubpixelObjects) {
+  Trace t;
+  const ResourceId r = t.add_resource("r");
+  // 1000 states over 10 s rendered at 100 px: each ~0.1 px wide.
+  for (int k = 0; k < 1000; ++k) {
+    t.add_state(r, "s", seconds(k * 0.01), seconds(k * 0.01 + 0.008));
+  }
+  GanttOptions opt;
+  opt.width_px = 100.0;
+  const GanttStats stats = gantt_stats(t, opt);
+  EXPECT_EQ(stats.objects_total, 1000u);
+  EXPECT_EQ(stats.objects_subpixel, 1000u);
+  EXPECT_NEAR(stats.subpixel_fraction(), 1.0, 1e-12);
+  EXPECT_GT(stats.mean_objects_per_column, 5.0);
+}
+
+TEST(GanttTest, WideStatesAreNotSubpixel) {
+  Trace t;
+  const ResourceId r = t.add_resource("r");
+  t.add_state(r, "s", 0, seconds(5.0));
+  t.add_state(r, "s", seconds(5.0), seconds(10.0));
+  GanttOptions opt;
+  opt.width_px = 100.0;
+  const GanttStats stats = gantt_stats(t, opt);
+  EXPECT_EQ(stats.objects_subpixel, 0u);
+  EXPECT_EQ(stats.objects_total, 2u);
+}
+
+TEST(GanttTest, WindowRestrictsObjects) {
+  Trace t;
+  const ResourceId r = t.add_resource("r");
+  for (int k = 0; k < 70; ++k) {
+    t.add_state(r, "s", seconds(k * 1.0), seconds(k * 1.0 + 0.9));
+  }
+  GanttOptions opt;
+  opt.window_begin = 0;
+  opt.window_end = seconds(10.0);  // 1/7 of the trace, as Fig. 2
+  const GanttStats stats = gantt_stats(t, opt);
+  EXPECT_EQ(stats.objects_total, 10u);
+}
+
+TEST(GanttTest, ObjectBudgetDropsRest) {
+  Trace t;
+  const ResourceId r = t.add_resource("r");
+  for (int k = 0; k < 100; ++k) {
+    t.add_state(r, "s", seconds(k * 0.1), seconds(k * 0.1 + 0.05));
+  }
+  GanttOptions opt;
+  opt.object_budget = 30;
+  const auto rendering = render_gantt(t, opt);
+  EXPECT_EQ(rendering.stats.objects_drawn, 30u);
+  EXPECT_EQ(rendering.stats.objects_dropped, 70u);
+}
+
+TEST(TreemapTest, CellAreasProportionalToLeafCounts) {
+  const OwnedModel om = make_random_model(
+      {.levels = 2, .fanout = 3, .slices = 4, .states = 2, .seed = 12});
+  const DataCube cube(om.model);
+  const auto spatial = HierarchyAggregator::temporally_aggregated(cube);
+  const auto r = spatial.run(0.0);  // microscopic: 9 leaves
+  TreemapOptions opt;
+  opt.padding_px = 0.0;
+  const auto cells = layout_treemap(r, cube, opt);
+  ASSERT_EQ(cells.size(), r.parts.size());
+  double total = 0.0;
+  for (const auto& c : cells) total += c.w * c.h;
+  EXPECT_NEAR(total, opt.width_px * opt.height_px, 1.0);
+  // Equal-weight leaves -> roughly equal cells (fidelity G5).
+  const double expected = total / static_cast<double>(cells.size());
+  for (const auto& c : cells) {
+    EXPECT_NEAR(c.w * c.h, expected, expected * 0.01);
+  }
+}
+
+TEST(TreemapTest, RendersSvg) {
+  const OwnedModel om = make_random_model(
+      {.levels = 1, .fanout = 4, .slices = 4, .states = 2, .seed = 2});
+  const DataCube cube(om.model);
+  const auto spatial = HierarchyAggregator::temporally_aggregated(cube);
+  const SvgCanvas svg = render_treemap(spatial.run(0.5), cube);
+  EXPECT_GT(svg.element_count(), 0u);
+}
+
+TEST(TimelineTest, RendersStackedColumns) {
+  const OwnedModel om = make_random_model(
+      {.levels = 1, .fanout = 4, .slices = 8, .states = 3, .seed = 4});
+  const DataCube cube(om.model);
+  const auto seq = SequenceAggregator::spatially_aggregated(cube);
+  const SvgCanvas svg = render_timeline(seq.run(0.5), cube);
+  EXPECT_GT(svg.element_count(), 0u);
+}
+
+}  // namespace
+}  // namespace stagg

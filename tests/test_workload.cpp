@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "trace/trace_stats.hpp"
+#include "workload/nas_cg.hpp"
+#include "workload/nas_lu.hpp"
+#include "workload/synthetic.hpp"
+
+namespace stagg {
+namespace {
+
+TEST(Synthetic, SolidPhaseEmitsOneState) {
+  const Hierarchy h = make_flat_hierarchy(1);
+  const auto programmer = [](LeafId) {
+    ResourceProgram p;
+    p.phases.push_back({0.0, 2.0, StatePattern::solid("MPI_Init")});
+    return p;
+  };
+  Trace t = generate_trace(h, programmer, 1);
+  EXPECT_EQ(t.state_count(), 1u);
+  const auto iv = t.intervals(0);
+  EXPECT_EQ(iv[0].begin, 0);
+  EXPECT_EQ(iv[0].end, seconds(2.0));
+}
+
+TEST(Synthetic, CyclicPhaseFillsSpanWithoutOverlap) {
+  const Hierarchy h = make_flat_hierarchy(1);
+  const auto programmer = [](LeafId) {
+    ResourceProgram p;
+    p.phases.push_back(
+        {0.0, 1.0,
+         StatePattern{{{"a", 0.01, 0.3}, {"b", 0.02, 0.3}}}});
+    return p;
+  };
+  Trace t = generate_trace(h, programmer, 7);
+  const auto iv = t.intervals(0);
+  ASSERT_GT(iv.size(), 10u);
+  for (std::size_t k = 1; k < iv.size(); ++k) {
+    EXPECT_GE(iv[k].begin, iv[k - 1].end);  // no overlap
+  }
+  EXPECT_LE(iv.back().end, seconds(1.0) + 1);  // clipped at phase end
+}
+
+TEST(Synthetic, DeterministicInSeed) {
+  const Hierarchy h = make_flat_hierarchy(3);
+  const auto programmer = [](LeafId) {
+    ResourceProgram p;
+    p.phases.push_back({0.0, 1.0, StatePattern{{{"a", 0.01, 0.5}}}});
+    return p;
+  };
+  Trace t1 = generate_trace(h, programmer, 5);
+  Trace t2 = generate_trace(h, programmer, 5);
+  Trace t3 = generate_trace(h, programmer, 6);
+  EXPECT_EQ(t1.state_count(), t2.state_count());
+  for (ResourceId r = 0; r < 3; ++r) {
+    const auto a = t1.intervals(r);
+    const auto b = t2.intervals(r);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t k = 0; k < a.size(); ++k) EXPECT_EQ(a[k], b[k]);
+  }
+  EXPECT_NE(t1.state_count(), t3.state_count());
+}
+
+TEST(Synthetic, PerturbationStretchesMatchingStates) {
+  const Hierarchy h = make_flat_hierarchy(1);
+  const auto programmer = [](LeafId) {
+    ResourceProgram p;
+    p.phases.push_back({0.0, 10.0, StatePattern{{{"send", 0.1, 0.0}}}});
+    p.perturbations.push_back({4.0, 6.0, 10.0, {"send"}});
+    return p;
+  };
+  Trace t = generate_trace(h, programmer, 1);
+  // Inside [4, 6): 1 s states instead of 0.1 s.
+  bool found_long = false;
+  for (const auto& s : t.intervals(0)) {
+    const double dur = to_seconds(s.duration());
+    if (to_seconds(s.begin) >= 4.0 && to_seconds(s.begin) < 6.0) {
+      if (dur > 0.5) found_long = true;
+    } else if (to_seconds(s.begin) < 3.8) {
+      EXPECT_LT(dur, 0.2);
+    }
+  }
+  EXPECT_TRUE(found_long);
+}
+
+TEST(Synthetic, InvalidPhaseThrows) {
+  const Hierarchy h = make_flat_hierarchy(1);
+  const auto programmer = [](LeafId) {
+    ResourceProgram p;
+    p.phases.push_back({5.0, 5.0, StatePattern::solid("x")});
+    return p;
+  };
+  EXPECT_THROW((void)generate_trace(h, programmer, 1), InvalidArgument);
+}
+
+// --- CG -------------------------------------------------------------------
+
+class CgWorkload : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    hierarchy_ = grid5000_rennes_parapide().build_hierarchy();
+    options_.event_scale = 1.0 / 64.0;  // keep tests fast
+    trace_ = generate_cg_trace(hierarchy_, options_);
+  }
+  Hierarchy hierarchy_;
+  CgWorkloadOptions options_;
+  Trace trace_;
+};
+
+TEST_F(CgWorkload, HasSixtyFourResources) {
+  EXPECT_EQ(trace_.resource_count(), 64u);
+}
+
+TEST_F(CgWorkload, InitPhaseIsSolidMpiInit) {
+  const StateId init = *trace_.states().find("MPI_Init");
+  for (ResourceId r = 0; r < 64; ++r) {
+    const auto iv = trace_.intervals(r);
+    ASSERT_FALSE(iv.empty());
+    EXPECT_EQ(iv[0].state, init);
+    EXPECT_EQ(iv[0].begin, 0);
+    EXPECT_EQ(iv[0].end, seconds(1.6));
+  }
+}
+
+TEST_F(CgWorkload, WaitRoleOnCoreZeroOfEachMachine) {
+  const StateId wait = *trace_.states().find("MPI_Wait");
+  const StateId send = *trace_.states().find("MPI_Send");
+  const auto vectors = state_duration_vectors(trace_);
+  for (std::size_t machine = 0; machine < 8; ++machine) {
+    const std::size_t core0 = machine * 8;
+    EXPECT_GT(vectors[core0][static_cast<std::size_t>(wait)],
+              vectors[core0][static_cast<std::size_t>(send)])
+        << "machine " << machine;
+    // Other cores are send-dominated.
+    EXPECT_GT(vectors[core0 + 1][static_cast<std::size_t>(send)],
+              vectors[core0 + 1][static_cast<std::size_t>(wait)]);
+  }
+}
+
+TEST_F(CgWorkload, PerturbedLeavesAreDeterministicAndCounted) {
+  const auto a = cg_perturbed_leaves(hierarchy_, options_);
+  const auto b = cg_perturbed_leaves(hierarchy_, options_);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 26u);
+  // All distinct and in range.
+  for (std::size_t k = 1; k < a.size(); ++k) EXPECT_LT(a[k - 1], a[k]);
+  EXPECT_GE(a.front(), 0);
+  EXPECT_LT(a.back(), 64);
+}
+
+TEST_F(CgWorkload, EventScaleControlsEventCount) {
+  CgWorkloadOptions coarse = options_;
+  coarse.event_scale = 1.0 / 128.0;
+  Trace small = generate_cg_trace(hierarchy_, coarse);
+  EXPECT_LT(small.state_count(), trace_.state_count());
+  // Roughly halving the rate roughly halves the states (within 20%).
+  const double ratio = static_cast<double>(small.state_count()) /
+                       static_cast<double>(trace_.state_count());
+  EXPECT_NEAR(ratio, 0.5, 0.2);
+}
+
+TEST_F(CgWorkload, DisablingPerturbationRemovesIt) {
+  CgWorkloadOptions clean = options_;
+  clean.perturbed_processes = 0;
+  EXPECT_TRUE(cg_perturbed_leaves(hierarchy_, clean).empty());
+}
+
+// --- LU -------------------------------------------------------------------
+
+class LuWorkload : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    platform_ = grid5000_nancy().scaled_to(120);  // small but 3 clusters
+    hierarchy_ = platform_.build_hierarchy();
+    options_.event_scale = 1.0 / 256.0;
+    options_.span_s = 65.0;
+    trace_ = generate_lu_trace(hierarchy_, platform_, options_);
+  }
+  PlatformSpec platform_;
+  Hierarchy hierarchy_;
+  LuWorkloadOptions options_;
+  Trace trace_;
+};
+
+TEST_F(LuWorkload, AllClustersPresent) {
+  EXPECT_EQ(hierarchy_.nodes_at_depth(1).size(), 3u);
+  EXPECT_EQ(trace_.resource_count(), hierarchy_.leaf_count());
+}
+
+TEST_F(LuWorkload, GraphiteIsMoreHeterogeneousThanGraphene) {
+  // Per-process MPI_Wait totals: variance across Graphite (Ethernet) must
+  // exceed variance across Graphene (homogeneous IB cluster).
+  const StateId wait = *trace_.states().find("MPI_Wait");
+  const auto vectors = state_duration_vectors(trace_);
+  const auto spread = [&](const char* cluster) {
+    const NodeId n = hierarchy_.find(std::string("nancy/") + cluster);
+    const auto& node = hierarchy_.node(n);
+    double mean = 0.0;
+    for (LeafId s = node.first_leaf; s < node.first_leaf + node.leaf_count;
+         ++s) {
+      mean += vectors[static_cast<std::size_t>(s)]
+                     [static_cast<std::size_t>(wait)];
+    }
+    mean /= node.leaf_count;
+    double var = 0.0;
+    for (LeafId s = node.first_leaf; s < node.first_leaf + node.leaf_count;
+         ++s) {
+      const double d = vectors[static_cast<std::size_t>(s)]
+                              [static_cast<std::size_t>(wait)] -
+                       mean;
+      var += d * d;
+    }
+    return var / node.leaf_count;
+  };
+  EXPECT_GT(spread("graphite"), spread("graphene") * 4.0);
+}
+
+TEST_F(LuWorkload, RuptureBlocksMachinesInGriffon) {
+  // During [34.5, 37) s, the first machines of Griffon must hold one very
+  // long blocked state.
+  const NodeId griffon = hierarchy_.find("nancy/griffon");
+  ASSERT_NE(griffon, kNoNode);
+  const auto& cluster = hierarchy_.node(griffon);
+  bool found_block = false;
+  for (LeafId s = cluster.first_leaf;
+       s < cluster.first_leaf + cluster.leaf_count; ++s) {
+    for (const auto& iv : trace_.intervals(static_cast<ResourceId>(s))) {
+      const double b = to_seconds(iv.begin);
+      if (b >= 34.0 && b < 37.5 && to_seconds(iv.duration()) > 0.2) {
+        found_block = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found_block);
+}
+
+TEST_F(LuWorkload, InitPhaseCoversAllResources) {
+  const StateId init = *trace_.states().find("MPI_Init");
+  for (ResourceId r = 0; r < static_cast<ResourceId>(trace_.resource_count());
+       ++r) {
+    EXPECT_EQ(trace_.intervals(r)[0].state, init);
+    EXPECT_EQ(trace_.intervals(r)[0].end, seconds(17.5));
+  }
+}
+
+TEST_F(LuWorkload, MissingClusterInPlatformThrows) {
+  PlatformSpec wrong = platform_;
+  wrong.clusters[0].name = "renamed";
+  EXPECT_THROW((void)generate_lu_trace(hierarchy_, wrong, options_),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace stagg
