@@ -1,9 +1,12 @@
 #include "core/aggregator.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
+#include <utility>
 
 #include "common/error.hpp"
+#include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
 
 namespace stagg {
@@ -20,6 +23,7 @@ SpatiotemporalAggregator::SpatiotemporalAggregator(
     levels_[static_cast<std::size_t>(h.node(id).depth)].push_back(id);
   }
   pic_.resize(h.node_count());
+  mirror_.resize(h.node_count());
   cut_.resize(h.node_count());
   cnt_.resize(h.node_count());
 }
@@ -27,14 +31,320 @@ SpatiotemporalAggregator::SpatiotemporalAggregator(
 std::size_t SpatiotemporalAggregator::estimate_bytes(std::size_t node_count,
                                                      std::int32_t slices) {
   const TriangularIndex tri(slices);
-  // pIC (double) + cut (int32) + count tie-breaker (int32) per cell.
+  // Per cell: pIC (double) + column-major mirror (double) + cut + count
+  // (int32) + the cached p-independent (gain, loss) pair (2 doubles).
   return node_count * tri.size() *
-         (sizeof(double) + 2 * sizeof(std::int32_t));
+         (2 * sizeof(double) + 2 * sizeof(std::int32_t) +
+          sizeof(AreaMeasures));
 }
 
-void SpatiotemporalAggregator::compute_node(NodeId node, double p,
-                                            double gain_scale,
-                                            double loss_scale) {
+std::size_t SpatiotemporalAggregator::working_set_bytes() const noexcept {
+  const std::size_t cells = tri_.size();
+  const std::size_t node_count = model_->hierarchy().node_count();
+  if (options_.kernel == DpKernel::kReference) {
+    // The original formulation: pIC + cut + count for every node.
+    return node_count * cells * (sizeof(double) + 2 * sizeof(std::int32_t));
+  }
+  // pIC + count matrices live for two adjacent levels at a time (the arena
+  // recycles grandchildren buffers); the column-major mirror only for the
+  // level being computed; cut matrices and the measure cache for all nodes.
+  std::size_t peak_per_cell = 0;
+  for (std::size_t d = 0; d < levels_.size(); ++d) {
+    const std::size_t two =
+        levels_[d].size() + (d + 1 < levels_.size() ? levels_[d + 1].size() : 0);
+    peak_per_cell = std::max(
+        peak_per_cell, two * (sizeof(double) + sizeof(std::int32_t)) +
+                           levels_[d].size() * sizeof(double));
+  }
+  return cells * (node_count * sizeof(std::int32_t) + peak_per_cell) +
+         MeasureCache::estimate_bytes(node_count, tri_.slices());
+}
+
+void SpatiotemporalAggregator::check_p(double p) const {
+  // Negated-range form so NaN (every comparison false) is rejected too.
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw InvalidArgument("aggregation parameter p must be in [0,1], got " +
+                          std::to_string(p));
+  }
+}
+
+void SpatiotemporalAggregator::check_budget() const {
+  const std::size_t need = working_set_bytes();
+  if (need > options_.memory_budget_bytes) {
+    throw BudgetError("DP working set needs " + std::to_string(need) +
+                      " bytes > budget " +
+                      std::to_string(options_.memory_budget_bytes) +
+                      "; reduce |T| or raise the budget");
+  }
+}
+
+void SpatiotemporalAggregator::ensure_measure_cache() {
+  if (cache_.built()) return;
+  Stopwatch watch;
+  cache_.build(cube_, options_.parallel);
+  cache_build_seconds_ = watch.seconds();
+}
+
+AreaMeasures SpatiotemporalAggregator::area_measures(
+    NodeId node, SliceId i, SliceId j) const noexcept {
+  return cache_.built() ? cache_.at(node, i, j) : cube_.measures(node, i, j);
+}
+
+void SpatiotemporalAggregator::fill_quality(AggregationResult& result) const {
+  const Hierarchy& h = model_->hierarchy();
+  const AreaMeasures root = area_measures(h.root(), 0, tri_.slices() - 1);
+  result.quality.area_count = result.partition.size();
+  result.quality.microscopic_count =
+      h.leaf_count() * static_cast<std::size_t>(tri_.slices());
+  result.quality.gain = result.measures.gain;
+  result.quality.loss = result.measures.loss;
+  result.quality.max_gain = root.gain;
+  result.quality.max_loss = root.loss;
+}
+
+// ---------------------------------------------------------------------------
+// Buffer arena.
+// ---------------------------------------------------------------------------
+
+std::vector<double> SpatiotemporalAggregator::acquire_dbl() {
+  if (!dbl_pool_.empty()) {
+    std::vector<double> buf = std::move(dbl_pool_.back());
+    dbl_pool_.pop_back();
+    return buf;
+  }
+  return std::vector<double>(tri_.size());
+}
+
+std::vector<std::int32_t> SpatiotemporalAggregator::acquire_i32() {
+  if (!i32_pool_.empty()) {
+    std::vector<std::int32_t> buf = std::move(i32_pool_.back());
+    i32_pool_.pop_back();
+    return buf;
+  }
+  return std::vector<std::int32_t>(tri_.size());
+}
+
+void SpatiotemporalAggregator::release(std::vector<double>&& buf) {
+  if (buf.size() == tri_.size()) dbl_pool_.push_back(std::move(buf));
+}
+
+void SpatiotemporalAggregator::release(std::vector<std::int32_t>&& buf) {
+  if (buf.size() == tri_.size()) i32_pool_.push_back(std::move(buf));
+}
+
+// ---------------------------------------------------------------------------
+// Cached kernel.
+// ---------------------------------------------------------------------------
+
+SpatiotemporalAggregator::NodeScan SpatiotemporalAggregator::make_scan(
+    NodeId node, double p, double gain_scale, double loss_scale,
+    std::vector<const double*>& child_pic,
+    std::vector<const std::int32_t*>& child_cnt) {
+  const auto& children = model_->hierarchy().node(node).children;
+  child_pic.clear();
+  child_cnt.clear();
+  child_pic.reserve(children.size());
+  child_cnt.reserve(children.size());
+  for (NodeId c : children) {
+    child_pic.push_back(pic_[static_cast<std::size_t>(c)].data());
+    child_cnt.push_back(cnt_[static_cast<std::size_t>(c)].data());
+  }
+  NodeScan scan;
+  scan.meas = cache_.node_data(node);
+  scan.pic = pic_[static_cast<std::size_t>(node)].data();
+  scan.mirror = mirror_[static_cast<std::size_t>(node)].data();
+  scan.cnt = cnt_[static_cast<std::size_t>(node)].data();
+  scan.cut = cut_[static_cast<std::size_t>(node)].data();
+  scan.child_pic = child_pic.data();
+  scan.child_cnt = child_cnt.data();
+  scan.n_children = children.size();
+  scan.p = p;
+  scan.gain_scale = gain_scale;
+  scan.loss_scale = loss_scale;
+  return scan;
+}
+
+void SpatiotemporalAggregator::compute_cell(const NodeScan& scan, SliceId i,
+                                            SliceId j) const noexcept {
+  const std::size_t row = tri_.row_offset(i);
+  const std::size_t cell = row + static_cast<std::size_t>(j - i);
+
+  // "No cut": the area itself is one aggregate (Eq. 4) — a multiply-add
+  // over the cached p-independent (gain, loss) pair.
+  const AreaMeasures& m = scan.meas[cell];
+  double best = scan.p * m.gain * scan.gain_scale -
+                (1.0 - scan.p) * m.loss * scan.loss_scale;
+  std::int32_t best_cut = j;
+  std::int32_t best_count = 1;
+
+  // Ties (within accumulated rounding noise) are broken toward the
+  // *smallest area count*, so among equally-optimal partitions the
+  // coarsest representation is returned — a homogeneous phase stays one
+  // aggregate instead of fragmenting into equal-pIC slices.  The
+  // acceptance logic is the reference kernel's challenge, restructured so
+  // the common path is a single compare.
+
+  // Spatial cut: partition into the children over the same interval.
+  if (scan.n_children != 0) {
+    double sum = 0.0;
+    std::int32_t count = 0;
+    for (std::size_t k = 0; k < scan.n_children; ++k) {
+      sum += scan.child_pic[k][cell];
+      count += scan.child_cnt[k][cell];
+    }
+    const double eps = 1e-12 + 1e-12 * std::max(std::abs(best), std::abs(sum));
+    if (sum > best + eps || (sum >= best - eps && count < best_count)) {
+      best = std::max(best, sum);
+      best_cut = -1;
+      best_count = count;
+    }
+  }
+
+  // Temporal cuts: split [i,j] into [i,c] + [c+1,j].  The left operand
+  // pIC(i, c) is row-contiguous; the right operand pIC(c+1, j) is read from
+  // the column-major mirror, where column j is contiguous — a flat scan
+  // whose count lookups only happen on near-accepting candidates.
+  const double* left = scan.pic + row;
+  const double* right = scan.mirror + col_offset(j) + static_cast<std::size_t>(i) + 1;
+  const std::int32_t* left_cnt = scan.cnt + row;
+  const std::int32_t len = j - i;
+  for (std::int32_t k = 0; k < len; ++k) {
+    const double v = left[k] + right[k];
+    const double eps = 1e-12 + 1e-12 * std::max(std::abs(best), std::abs(v));
+    if (v >= best - eps) {
+      const std::int32_t count =
+          left_cnt[k] + scan.cnt[tri_(static_cast<SliceId>(i + k + 1), j)];
+      if (v > best + eps || count < best_count) {
+        best = std::max(best, v);
+        best_cut = i + k;
+        best_count = count;
+      }
+    }
+  }
+
+  scan.pic[cell] = best;
+  scan.mirror[col_offset(j) + static_cast<std::size_t>(i)] = best;
+  scan.cut[cell] = best_cut;
+  scan.cnt[cell] = best_count;
+}
+
+void SpatiotemporalAggregator::compute_node_cached(NodeId node,
+                                                   const NodeScan& scan,
+                                                   bool wavefront) {
+  (void)node;
+  const SliceId n_t = tri_.slices();
+  if (!wavefront) {
+    for (SliceId i = n_t - 1; i >= 0; --i) {
+      for (SliceId j = i; j < n_t; ++j) compute_cell(scan, i, j);
+    }
+    return;
+  }
+  // Wavefront sweep: all cells of equal interval length j - i are mutually
+  // independent (a cell only reads strictly shorter intervals), so each
+  // anti-diagonal is one parallel_for.  Used for single-node levels —
+  // notably the root — whose DP otherwise runs entirely serially.
+  for (SliceId i = 0; i < n_t; ++i) compute_cell(scan, i, i);
+  const std::size_t threads = std::max<std::size_t>(1, ThreadPool::shared().size());
+  for (SliceId len = 1; len < n_t; ++len) {
+    const std::size_t n = static_cast<std::size_t>(n_t - len);
+    const std::size_t grain = std::max<std::size_t>(16, n / (4 * threads));
+    parallel_for(
+        n,
+        [&](std::size_t i) {
+          compute_cell(scan, static_cast<SliceId>(i),
+                       static_cast<SliceId>(i) + len);
+        },
+        grain);
+  }
+}
+
+AggregationResult SpatiotemporalAggregator::run_cached(double p) {
+  const Hierarchy& h = model_->hierarchy();
+
+  double gain_scale = 1.0;
+  double loss_scale = 1.0;
+  if (options_.normalize) {
+    const AreaMeasures root = area_measures(h.root(), 0, tri_.slices() - 1);
+    if (root.gain > 0.0) gain_scale = 1.0 / root.gain;
+    if (root.loss > 0.0) loss_scale = 1.0 / root.loss;
+  }
+
+  // Level-synchronous bottom-up sweep: all nodes of one depth are mutually
+  // independent, and their children (depth+1) are complete.
+  for (std::size_t d = levels_.size(); d-- > 0;) {
+    const auto& nodes = levels_[d];
+    // Grandchildren pIC/count matrices are no longer read (level d+1 is
+    // complete); recycle them *before* acquiring this level's buffers so at
+    // no point more than two adjacent levels hold live DP matrices — the
+    // invariant working_set_bytes() charges for.
+    if (d + 2 < levels_.size()) {
+      for (NodeId n : levels_[d + 2]) {
+        release(std::move(pic_[static_cast<std::size_t>(n)]));
+        release(std::move(cnt_[static_cast<std::size_t>(n)]));
+      }
+    }
+    for (NodeId n : nodes) {
+      const auto idx = static_cast<std::size_t>(n);
+      pic_[idx] = acquire_dbl();
+      mirror_[idx] = acquire_dbl();
+      cnt_[idx] = acquire_i32();
+      if (cut_[idx].size() != tri_.size()) cut_[idx].resize(tri_.size());
+    }
+    if (options_.parallel && nodes.size() > 1) {
+      parallel_for(
+          nodes.size(),
+          [&](std::size_t k) {
+            std::vector<const double*> child_pic;
+            std::vector<const std::int32_t*> child_cnt;
+            const NodeScan scan =
+                make_scan(nodes[k], p, gain_scale, loss_scale, child_pic,
+                          child_cnt);
+            compute_node_cached(nodes[k], scan, /*wavefront=*/false);
+          },
+          /*grain=*/1);
+    } else {
+      // A thin level (typically the single root node) cannot use sibling
+      // parallelism; sweep its anti-diagonals in parallel instead.  The
+      // wavefront runs on the caller thread, so it never nests pool waits.
+      std::vector<const double*> child_pic;
+      std::vector<const std::int32_t*> child_cnt;
+      for (NodeId n : nodes) {
+        const NodeScan scan =
+            make_scan(n, p, gain_scale, loss_scale, child_pic, child_cnt);
+        compute_node_cached(n, scan, /*wavefront=*/options_.parallel);
+      }
+    }
+    // The mirror is only read by the node's own temporal scans.
+    for (NodeId n : nodes) release(std::move(mirror_[static_cast<std::size_t>(n)]));
+  }
+
+  AggregationResult result;
+  result.p = p;
+  result.optimal_pic = pic_[static_cast<std::size_t>(h.root())]
+                           [tri_(0, tri_.slices() - 1)];
+  extract_partition(result.partition);
+  result.partition.canonicalize(h);
+  for (const auto& a : result.partition.areas()) {
+    result.measures += area_measures(a.node, a.time.i, a.time.j);
+  }
+  fill_quality(result);
+
+  // Return the last two levels' buffers to the arena; nothing is freed, so
+  // the next run (same |T|) allocates nothing.
+  for (auto& buf : pic_) release(std::move(buf));
+  for (auto& buf : cnt_) release(std::move(buf));
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Reference kernel: the original per-cell formulation (measures recomputed
+// from the cube inside the innermost loop, buffers freed after the run).
+// Kept as the equivalence-test oracle and the bench baseline.
+// ---------------------------------------------------------------------------
+
+void SpatiotemporalAggregator::compute_node_reference(NodeId node, double p,
+                                                      double gain_scale,
+                                                      double loss_scale) {
   const Hierarchy& h = model_->hierarchy();
   const auto& children = h.node(node).children;
   const SliceId n_t = tri_.slices();
@@ -67,10 +377,6 @@ void SpatiotemporalAggregator::compute_node(NodeId node, double p,
       std::int32_t best_cut = j;
       std::int32_t best_count = 1;
 
-      // Ties (within accumulated rounding noise) are broken toward the
-      // *smallest area count*, so among equally-optimal partitions the
-      // coarsest representation is returned — a homogeneous phase stays one
-      // aggregate instead of fragmenting into equal-pIC slices.
       const auto challenge = [&](double v, std::int32_t count,
                                  std::int32_t cut) {
         const double eps =
@@ -110,6 +416,62 @@ void SpatiotemporalAggregator::compute_node(NodeId node, double p,
   }
 }
 
+AggregationResult SpatiotemporalAggregator::run_reference(double p) {
+  const Hierarchy& h = model_->hierarchy();
+
+  double gain_scale = 1.0;
+  double loss_scale = 1.0;
+  if (options_.normalize) {
+    const AreaMeasures root = cube_.root_measures();
+    if (root.gain > 0.0) gain_scale = 1.0 / root.gain;
+    if (root.loss > 0.0) loss_scale = 1.0 / root.loss;
+  }
+
+  for (auto level = levels_.rbegin(); level != levels_.rend(); ++level) {
+    const auto& nodes = *level;
+    if (options_.parallel && nodes.size() > 1) {
+      parallel_for(
+          nodes.size(),
+          [&](std::size_t k) {
+            compute_node_reference(nodes[k], p, gain_scale, loss_scale);
+          },
+          /*grain=*/1);
+    } else {
+      for (NodeId n : nodes) {
+        compute_node_reference(n, p, gain_scale, loss_scale);
+      }
+    }
+    const std::size_t depth =
+        static_cast<std::size_t>(levels_.rend() - level - 1);
+    if (depth + 2 <= levels_.size() - 1) {
+      for (NodeId n : levels_[depth + 2]) {
+        pic_[static_cast<std::size_t>(n)] = {};
+        cnt_[static_cast<std::size_t>(n)] = {};
+      }
+    }
+  }
+
+  AggregationResult result;
+  result.p = p;
+  result.optimal_pic = pic_[static_cast<std::size_t>(h.root())]
+                           [tri_(0, tri_.slices() - 1)];
+  extract_partition(result.partition);
+  result.partition.canonicalize(h);
+  for (const auto& a : result.partition.areas()) {
+    result.measures += cube_.measures(a.node, a.time.i, a.time.j);
+  }
+  fill_quality(result);
+
+  // Release the DP buffers (the original behaviour); the cube stays.
+  for (auto& v : pic_) v = {};
+  for (auto& v : cnt_) v = {};
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Public entry points.
+// ---------------------------------------------------------------------------
+
 void SpatiotemporalAggregator::extract_partition(Partition& out) const {
   const Hierarchy& h = model_->hierarchy();
   struct Item {
@@ -137,75 +499,26 @@ void SpatiotemporalAggregator::extract_partition(Partition& out) const {
 }
 
 AggregationResult SpatiotemporalAggregator::run(double p) {
-  if (p < 0.0 || p > 1.0) {
-    throw InvalidArgument("aggregation parameter p must be in [0,1], got " +
-                          std::to_string(p));
-  }
-  const Hierarchy& h = model_->hierarchy();
-  const std::size_t need = estimate_bytes(h.node_count(), tri_.slices());
-  if (need > options_.memory_budget_bytes) {
-    throw BudgetError("DP working set needs " + std::to_string(need) +
-                      " bytes > budget " +
-                      std::to_string(options_.memory_budget_bytes) +
-                      "; reduce |T| or raise the budget");
-  }
+  check_p(p);
+  check_budget();
+  if (options_.kernel == DpKernel::kReference) return run_reference(p);
+  ensure_measure_cache();
+  return run_cached(p);
+}
 
-  double gain_scale = 1.0;
-  double loss_scale = 1.0;
-  if (options_.normalize) {
-    const AreaMeasures root = cube_.root_measures();
-    if (root.gain > 0.0) gain_scale = 1.0 / root.gain;
-    if (root.loss > 0.0) loss_scale = 1.0 / root.loss;
+std::vector<AggregationResult> SpatiotemporalAggregator::run_many(
+    std::span<const double> ps) {
+  for (const double p : ps) check_p(p);
+  check_budget();
+  std::vector<AggregationResult> results;
+  results.reserve(ps.size());
+  if (options_.kernel == DpKernel::kReference) {
+    for (const double p : ps) results.push_back(run_reference(p));
+  } else {
+    ensure_measure_cache();
+    for (const double p : ps) results.push_back(run_cached(p));
   }
-
-  // Level-synchronous bottom-up sweep: all nodes of one depth are mutually
-  // independent, and their children (depth+1) are complete.
-  for (auto level = levels_.rbegin(); level != levels_.rend(); ++level) {
-    const auto& nodes = *level;
-    if (options_.parallel && nodes.size() > 1) {
-      parallel_for(
-          nodes.size(),
-          [&](std::size_t k) { compute_node(nodes[k], p, gain_scale,
-                                            loss_scale); },
-          /*grain=*/1);
-    } else {
-      for (NodeId n : nodes) compute_node(n, p, gain_scale, loss_scale);
-    }
-    // Grandchildren pIC matrices are no longer read; release them to keep
-    // the peak working set near two adjacent levels.
-    const std::size_t depth =
-        static_cast<std::size_t>(levels_.rend() - level - 1);
-    if (depth + 2 <= levels_.size() - 1) {
-      for (NodeId n : levels_[depth + 2]) {
-        pic_[static_cast<std::size_t>(n)] = {};
-        cnt_[static_cast<std::size_t>(n)] = {};
-      }
-    }
-  }
-
-  AggregationResult result;
-  result.p = p;
-  result.optimal_pic = pic_[static_cast<std::size_t>(h.root())]
-                           [tri_(0, tri_.slices() - 1)];
-  extract_partition(result.partition);
-  result.partition.canonicalize(h);
-
-  for (const auto& a : result.partition.areas()) {
-    result.measures += cube_.measures(a.node, a.time.i, a.time.j);
-  }
-  const AreaMeasures root = cube_.root_measures();
-  result.quality.area_count = result.partition.size();
-  result.quality.microscopic_count =
-      h.leaf_count() * static_cast<std::size_t>(tri_.slices());
-  result.quality.gain = result.measures.gain;
-  result.quality.loss = result.measures.loss;
-  result.quality.max_gain = root.gain;
-  result.quality.max_loss = root.loss;
-
-  // Release the remaining DP buffers; the cube stays for further runs.
-  for (auto& v : pic_) v = {};
-  for (auto& v : cnt_) v = {};
-  return result;
+  return results;
 }
 
 AggregationResult SpatiotemporalAggregator::evaluate(
@@ -218,24 +531,18 @@ AggregationResult SpatiotemporalAggregator::evaluate(
 
   double gain_scale = 1.0;
   double loss_scale = 1.0;
-  const AreaMeasures root = cube_.root_measures();
+  const AreaMeasures root = area_measures(h.root(), 0, tri_.slices() - 1);
   if (options_.normalize) {
     if (root.gain > 0.0) gain_scale = 1.0 / root.gain;
     if (root.loss > 0.0) loss_scale = 1.0 / root.loss;
   }
 
   for (const auto& a : partition.areas()) {
-    result.measures += cube_.measures(a.node, a.time.i, a.time.j);
+    result.measures += area_measures(a.node, a.time.i, a.time.j);
   }
   result.optimal_pic = p * result.measures.gain * gain_scale -
                        (1.0 - p) * result.measures.loss * loss_scale;
-  result.quality.area_count = partition.size();
-  result.quality.microscopic_count =
-      h.leaf_count() * static_cast<std::size_t>(tri_.slices());
-  result.quality.gain = result.measures.gain;
-  result.quality.loss = result.measures.loss;
-  result.quality.max_gain = root.gain;
-  result.quality.max_loss = root.loss;
+  fill_quality(result);
   return result;
 }
 

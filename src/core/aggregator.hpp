@@ -8,8 +8,25 @@
 //                 cut == -1       spatial cut into the children of S_k
 //                 cut in [i, j)   temporal cut between slices cut and cut+1
 // Children are processed before parents (post-order); sibling subtrees are
-// independent and processed in parallel, level by level.  Complexity:
-// O(|S|·|T|^3) time, O(|S|·|T|^2) space, as derived in the paper.
+// independent and processed in parallel, level by level.  Inside a level
+// with a single node (notably the root, whose DP would otherwise run
+// serially), cells are swept by anti-diagonals: all intervals of equal
+// length j - i are mutually independent, so each wavefront is a parallel_for.
+//
+// Complexity: the p-independent gain/loss of every cell is computed once
+// into a MeasureCache — O(|S|·|T|²·|X|), shared by all subsequent runs —
+// after which each run(p) is a pure multiply-add DP, O(|S|·|T|³) time and
+// O(|S|·|T|²) space as derived in the paper.  A p-sweep therefore pays the
+// measure pass once; use run_many() (or find_significant_levels, which is
+// built on it) to amortize the cache build and the DP arena across probes:
+//
+//   SpatiotemporalAggregator agg(model);
+//   const double ps[] = {0.0, 0.25, 0.5, 0.75, 1.0};
+//   std::vector<AggregationResult> sweep = agg.run_many(ps);
+//
+// The DP buffers are pooled and reused between runs (no per-run
+// allocation); the kernel keeps a column-major mirror of each node's pIC
+// matrix so the temporal-cut right operand pIC(c+1, j) is read contiguously.
 //
 // Tie-breaking: when an aggregate and a cut have equal pIC, the aggregate
 // wins (strict '>' in Algorithm 1), so the coarsest optimal partition is
@@ -19,24 +36,38 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/cube.hpp"
+#include "core/measure_cache.hpp"
 #include "core/partition.hpp"
 #include "metrics/quality.hpp"
 
 namespace stagg {
 
+/// DP kernel selection.  kCachedWavefront is the production kernel
+/// (MeasureCache + wavefront + pooled buffers); kReference recomputes every
+/// cell's measures from the cube and frees its buffers after each run — the
+/// original per-cell formulation, kept as the equivalence-test oracle and
+/// the "before" baseline of bench_multi_p.  Both produce bit-identical
+/// pIC values and identical partitions.
+enum class DpKernel : std::uint8_t { kCachedWavefront, kReference };
+
 /// Knobs of the spatiotemporal aggregation.
 struct AggregationOptions {
-  /// Upper bound on the DP working set (pIC + cut triangular matrices).
+  /// Upper bound on the peak working set: the pooled DP matrices of two
+  /// adjacent levels + cut matrices + the p-independent MeasureCache.
   std::size_t memory_budget_bytes = std::size_t{6} << 30;
-  /// Process sibling subtrees on the shared thread pool.
+  /// Process sibling subtrees (and single-node levels' wavefronts) on the
+  /// shared thread pool.
   bool parallel = true;
   /// Normalize gain and loss by their full-aggregation (root area) values
   /// before the trade-off, making p scales comparable across traces — the
   /// behaviour of the Ocelotl tool.  Off reproduces Eq. 4 verbatim.
   bool normalize = false;
+  /// DP kernel; see DpKernel.
+  DpKernel kernel = DpKernel::kCachedWavefront;
 };
 
 /// Output of one aggregation run.
@@ -51,48 +82,129 @@ struct AggregationResult {
   PartitionQuality quality;
 };
 
-/// Reusable aggregator: builds the DataCube once; run(p) executes the DP.
+/// Reusable aggregator: builds the DataCube once; the measure cache is
+/// built lazily on the first cached-kernel run; run(p) executes the DP.
 class SpatiotemporalAggregator {
  public:
   explicit SpatiotemporalAggregator(const MicroscopicModel& model,
                                     AggregationOptions options = {});
 
   /// Runs Algorithm 1 for a given trade-off parameter p in [0, 1].
-  /// Throws InvalidArgument on out-of-range p, BudgetError when the DP
+  /// Throws InvalidArgument on out-of-range p, BudgetError when the peak
   /// working set would exceed the memory budget.
   [[nodiscard]] AggregationResult run(double p);
+
+  /// Batched sweep: one result per parameter, in order.  Equivalent to
+  /// calling run() per element but validates every p and checks the budget
+  /// up front, and shares the measure cache and the DP buffer arena across
+  /// all probes — the intended API for dichotomic level searches and
+  /// Ocelotl-style exploration.
+  [[nodiscard]] std::vector<AggregationResult> run_many(
+      std::span<const double> ps);
 
   [[nodiscard]] const DataCube& cube() const noexcept { return cube_; }
   [[nodiscard]] const MicroscopicModel& model() const noexcept {
     return cube_.model();
   }
 
-  /// Bytes the DP working set will allocate (pIC doubles + cut int32s for
-  /// every node) — the paper's O(|S|·|T|^2) term.
+  /// The p-independent (gain, loss) cache; built() is false until the
+  /// first cached-kernel run.
+  [[nodiscard]] const MeasureCache& measure_cache() const noexcept {
+    return cache_;
+  }
+  /// Wall seconds the (one-time) measure-cache build took; 0 until built.
+  [[nodiscard]] double cache_build_seconds() const noexcept {
+    return cache_build_seconds_;
+  }
+
+  /// Conservative upper bound on the cached kernel's working set for
+  /// `node_count` nodes over `slices` slices: per packed triangular cell,
+  /// pIC (double) + column-major mirror (double) + cut + count (int32) +
+  /// the cached (gain, loss) pair (2 doubles) — 40 bytes/cell.  The
+  /// instance working_set_bytes() is tighter (it knows the level shape).
   [[nodiscard]] static std::size_t estimate_bytes(std::size_t node_count,
                                                   std::int32_t slices);
 
+  /// Precise peak working set of this aggregator's next run: cut matrices
+  /// for all nodes + the measure cache + pooled pIC/count matrices of the
+  /// two widest adjacent levels + the mirror of the widest level (cached
+  /// kernel), or the whole-tree pIC/cut/count set (reference kernel).
+  [[nodiscard]] std::size_t working_set_bytes() const noexcept;
+
   /// Evaluates an arbitrary partition against this model: raw gain/loss
   /// sums and normalized quality.  Used to score baseline partitions
-  /// (uniform, Cartesian) with identical measures.
+  /// (uniform, Cartesian) with identical measures.  Reads the measure
+  /// cache when built, the cube otherwise — bit-identical either way.
   [[nodiscard]] AggregationResult evaluate(const Partition& partition,
                                            double p) const;
 
  private:
-  void compute_node(NodeId node, double p, double gain_scale,
-                    double loss_scale);
+  /// Pointers and parameters of one node's DP scan (cached kernel).
+  struct NodeScan {
+    const AreaMeasures* meas = nullptr;     ///< cached (gain, loss) cells
+    double* pic = nullptr;                  ///< row-major pIC
+    double* mirror = nullptr;               ///< column-major pIC mirror
+    std::int32_t* cnt = nullptr;
+    std::int32_t* cut = nullptr;
+    const double* const* child_pic = nullptr;
+    const std::int32_t* const* child_cnt = nullptr;
+    std::size_t n_children = 0;
+    double p = 0.0;
+    double gain_scale = 1.0;
+    double loss_scale = 1.0;
+  };
+
+  /// Offset of column j in the packed column-major triangle: cells
+  /// (0..j, j) are contiguous at [col_offset(j), col_offset(j) + j].
+  [[nodiscard]] static constexpr std::size_t col_offset(SliceId j) noexcept {
+    const auto jj = static_cast<std::size_t>(j);
+    return jj * (jj + 1) / 2;
+  }
+
+  void ensure_measure_cache();
+  void check_p(double p) const;
+  void check_budget() const;
+  [[nodiscard]] AreaMeasures area_measures(NodeId node, SliceId i,
+                                           SliceId j) const noexcept;
+  void fill_quality(AggregationResult& result) const;
+
+  AggregationResult run_cached(double p);
+  AggregationResult run_reference(double p);
+
+  void compute_cell(const NodeScan& scan, SliceId i, SliceId j) const noexcept;
+  void compute_node_cached(NodeId node, const NodeScan& scan, bool wavefront);
+  void compute_node_reference(NodeId node, double p, double gain_scale,
+                              double loss_scale);
+  [[nodiscard]] NodeScan make_scan(NodeId node, double p, double gain_scale,
+                                   double loss_scale,
+                                   std::vector<const double*>& child_pic,
+                                   std::vector<const std::int32_t*>& child_cnt);
   void extract_partition(Partition& out) const;
+
+  // Fixed-size buffer pool: every pIC/mirror/count matrix has tri_.size()
+  // cells, so released buffers are recycled verbatim — the arena survives
+  // across runs, bounding live pIC/count buffers to two adjacent levels
+  // while eliminating the per-run allocation churn of the original code.
+  [[nodiscard]] std::vector<double> acquire_dbl();
+  [[nodiscard]] std::vector<std::int32_t> acquire_i32();
+  void release(std::vector<double>&& buf);
+  void release(std::vector<std::int32_t>&& buf);
 
   const MicroscopicModel* model_;
   AggregationOptions options_;
   DataCube cube_;
   TriangularIndex tri_;
   std::vector<std::vector<NodeId>> levels_;  ///< nodes grouped by depth
+  MeasureCache cache_;                       ///< p-independent (gain, loss)
+  double cache_build_seconds_ = 0.0;
   std::vector<std::vector<double>> pic_;     ///< per-node packed pIC
+  std::vector<std::vector<double>> mirror_;  ///< column-major pIC mirrors
   std::vector<std::vector<std::int32_t>> cut_;  ///< per-node packed cuts
   /// Area count of the optimal sub-partition per cell; used only as the
   /// tie-breaker that keeps equal-pIC partitions maximally coarse.
   std::vector<std::vector<std::int32_t>> cnt_;
+  std::vector<std::vector<double>> dbl_pool_;
+  std::vector<std::vector<std::int32_t>> i32_pool_;
 };
 
 }  // namespace stagg

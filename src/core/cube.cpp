@@ -1,5 +1,8 @@
 #include "core/cube.hpp"
 
+#include <algorithm>
+#include <cassert>
+
 #include "common/thread_pool.hpp"
 
 namespace stagg {
@@ -77,25 +80,81 @@ DataCube::DataCube(const MicroscopicModel& model)
       /*grain=*/16);
 }
 
-AreaMeasures DataCube::state_measures(NodeId node, SliceId i, SliceId j,
-                                      StateId x) const noexcept {
-  const auto s = sums(node, i, j, x);
-  const double leaves =
-      static_cast<double>(hierarchy().node(node).leaf_count);
-  const double rho_agg = stagg::aggregated_proportion(
-      s.sum_d, leaves, interval_duration_s(i, j));
-  const double cells = leaves * static_cast<double>(j - i + 1);
+namespace {
+
+// The per-state gain/loss of one area.  Every path that produces measures
+// — state_measures, measures, the measures_into bulk fill — must go
+// through this one helper: the MeasureCache's bit-identity contract with
+// direct recomputation rests on all of them performing the exact same
+// floating-point operations in the same order.
+inline AreaMeasures state_area_measures(const StateAreaSums& s, double leaves,
+                                        double dur, double cells) noexcept {
+  const double rho_agg = aggregated_proportion(s.sum_d, leaves, dur);
   return AreaMeasures{state_gain(s, rho_agg, cells),
                       state_loss(s, rho_agg, cells)};
 }
 
+}  // namespace
+
+AreaMeasures DataCube::state_measures(NodeId node, SliceId i, SliceId j,
+                                      StateId x) const noexcept {
+  const double leaves =
+      static_cast<double>(hierarchy().node(node).leaf_count);
+  return state_area_measures(sums(node, i, j, x), leaves,
+                             interval_duration_s(i, j),
+                             leaves * static_cast<double>(j - i + 1));
+}
+
 AreaMeasures DataCube::measures(NodeId node, SliceId i,
                                 SliceId j) const noexcept {
+  const double leaves =
+      static_cast<double>(hierarchy().node(node).leaf_count);
+  const double dur = interval_duration_s(i, j);
+  const double cells = leaves * static_cast<double>(j - i + 1);
+  const std::size_t stride = (static_cast<std::size_t>(n_t_) + 1) * 3;
+  const double* base = node_base(node, 0);
   AreaMeasures m;
-  for (StateId x = 0; x < n_x_; ++x) {
-    m += state_measures(node, i, j, x);
+  for (StateId x = 0; x < n_x_; ++x, base += stride) {
+    const StateAreaSums s{
+        base[3 * (static_cast<std::size_t>(j) + 1) + 0] -
+            base[3 * static_cast<std::size_t>(i) + 0],
+        base[3 * (static_cast<std::size_t>(j) + 1) + 1] -
+            base[3 * static_cast<std::size_t>(i) + 1],
+        base[3 * (static_cast<std::size_t>(j) + 1) + 2] -
+            base[3 * static_cast<std::size_t>(i) + 2],
+    };
+    const AreaMeasures sm = state_area_measures(s, leaves, dur, cells);
+    m.gain += sm.gain;
+    m.loss += sm.loss;
   }
   return m;
+}
+
+void DataCube::measures_into(NodeId node, SliceId i,
+                             std::span<AreaMeasures> out) const noexcept {
+  assert(out.size() == static_cast<std::size_t>(n_t_ - i));
+  const double leaves =
+      static_cast<double>(hierarchy().node(node).leaf_count);
+  const double dur_i = dur_prefix_[static_cast<std::size_t>(i)];
+  const std::size_t stride = (static_cast<std::size_t>(n_t_) + 1) * 3;
+  const double* base = node_base(node, 0);
+  std::fill(out.begin(), out.end(), AreaMeasures{});
+  for (StateId x = 0; x < n_x_; ++x, base += stride) {
+    const double pref_d = base[3 * static_cast<std::size_t>(i) + 0];
+    const double pref_rho = base[3 * static_cast<std::size_t>(i) + 1];
+    const double pref_log = base[3 * static_cast<std::size_t>(i) + 2];
+    for (SliceId j = i; j < n_t_; ++j) {
+      const double* cur = base + 3 * (static_cast<std::size_t>(j) + 1);
+      const StateAreaSums s{cur[0] - pref_d, cur[1] - pref_rho,
+                            cur[2] - pref_log};
+      const double dur = dur_prefix_[static_cast<std::size_t>(j) + 1] - dur_i;
+      const double cells = leaves * static_cast<double>(j - i + 1);
+      const AreaMeasures sm = state_area_measures(s, leaves, dur, cells);
+      AreaMeasures& m = out[static_cast<std::size_t>(j - i)];
+      m.gain += sm.gain;
+      m.loss += sm.loss;
+    }
+  }
 }
 
 DataCube::Mode DataCube::mode(NodeId node, SliceId i, SliceId j) const noexcept {
@@ -103,9 +162,12 @@ DataCube::Mode DataCube::mode(NodeId node, SliceId i, SliceId j) const noexcept 
   const double leaf_count =
       static_cast<double>(hierarchy().node(node).leaf_count);
   const double dur = interval_duration_s(i, j);
-  for (StateId x = 0; x < n_x_; ++x) {
-    const auto s = sums(node, i, j, x);
-    const double rho = stagg::aggregated_proportion(s.sum_d, leaf_count, dur);
+  const std::size_t stride = (static_cast<std::size_t>(n_t_) + 1) * 3;
+  const double* base = node_base(node, 0);
+  for (StateId x = 0; x < n_x_; ++x, base += stride) {
+    const double sum_d = base[3 * (static_cast<std::size_t>(j) + 1)] -
+                         base[3 * static_cast<std::size_t>(i)];
+    const double rho = stagg::aggregated_proportion(sum_d, leaf_count, dur);
     best.proportion_sum += rho;
     if (rho > best.proportion) {
       best.proportion = rho;

@@ -69,6 +69,15 @@ class DataCube {
   [[nodiscard]] AreaMeasures measures(NodeId node, SliceId i,
                                       SliceId j) const noexcept;
 
+  /// Bulk variant: fills `out[j - i] = measures(node, i, j)` for every
+  /// j in [i, |T|) — one packed triangular row per call.  States are the
+  /// outer loop so each prefix stripe is streamed once; the per-cell
+  /// accumulation order is identical to measures(), so the results are
+  /// bit-identical.  This is the MeasureCache builder's hot path.
+  /// `out.size()` must be exactly |T| - i.
+  void measures_into(NodeId node, SliceId i,
+                     std::span<AreaMeasures> out) const noexcept;
+
   /// Gain/loss of the area for one state.
   [[nodiscard]] AreaMeasures state_measures(NodeId node, SliceId i, SliceId j,
                                             StateId x) const noexcept;

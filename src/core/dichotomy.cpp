@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <map>
+#include <utility>
+#include <vector>
 
 namespace stagg {
 
@@ -11,36 +13,54 @@ DichotomyResult find_significant_levels(SpatiotemporalAggregator& aggregator,
 
   // Probe cache: p -> (signature, result).
   std::map<double, std::pair<std::uint64_t, AggregationResult>> probes;
-  const auto probe = [&](double p) -> std::uint64_t {
-    if (const auto it = probes.find(p); it != probes.end()) {
-      return it->second.first;
-    }
-    AggregationResult r = aggregator.run(p);
-    const std::uint64_t sig = r.partition.signature();
-    probes.emplace(p, std::make_pair(sig, std::move(r)));
-    ++out.runs;
-    return sig;
-  };
 
-  // Recursive bisection (iterative stack to bound depth).
+  // Runs one bisection wave as a single batch: the aggregator amortizes
+  // its measure-cache build and DP buffer arena across all probes of the
+  // search (SpatiotemporalAggregator::run_many).
+  const auto probe_batch = [&](std::vector<double> ps) {
+    std::erase_if(ps, [&](double p) { return probes.contains(p); });
+    std::sort(ps.begin(), ps.end());
+    ps.erase(std::unique(ps.begin(), ps.end()), ps.end());
+    if (out.runs + ps.size() > options.max_runs) {
+      ps.resize(options.max_runs - out.runs);
+    }
+    if (ps.empty()) return;
+    std::vector<AggregationResult> results = aggregator.run_many(ps);
+    for (std::size_t k = 0; k < ps.size(); ++k) {
+      const std::uint64_t sig = results[k].partition.signature();
+      probes.emplace(ps[k], std::make_pair(sig, std::move(results[k])));
+    }
+    out.runs += ps.size();
+  };
+  const auto signature_at = [&](double p) { return probes.at(p).first; };
+
+  // Breadth-first bisection: every wave probes all pending midpoints in one
+  // batch.  The probe set matches the depth-first original — a span is
+  // split iff its endpoints disagree and its gap exceeds epsilon.
   struct Span {
     double lo, hi;
   };
-  std::vector<Span> stack;
-  probe(0.0);
-  probe(1.0);
-  stack.push_back({0.0, 1.0});
-  while (!stack.empty() && out.runs < options.max_runs) {
-    const Span s = stack.back();
-    stack.pop_back();
-    if (s.hi - s.lo <= options.epsilon) continue;
-    const std::uint64_t sig_lo = probe(s.lo);
-    const std::uint64_t sig_hi = probe(s.hi);
-    if (sig_lo == sig_hi) continue;  // assume constant on the span
-    const double mid = 0.5 * (s.lo + s.hi);
-    probe(mid);
-    stack.push_back({s.lo, mid});
-    stack.push_back({mid, s.hi});
+  probe_batch({0.0, 1.0});
+  std::vector<Span> spans{{0.0, 1.0}};
+  while (!spans.empty() && out.runs < options.max_runs) {
+    std::vector<double> mids;
+    std::vector<Span> splitting;
+    for (const Span& s : spans) {
+      if (s.hi - s.lo <= options.epsilon) continue;
+      if (signature_at(s.lo) == signature_at(s.hi)) continue;
+      mids.push_back(0.5 * (s.lo + s.hi));
+      splitting.push_back(s);
+    }
+    if (mids.empty()) break;
+    probe_batch(std::move(mids));
+    spans.clear();
+    for (const Span& s : splitting) {
+      const double mid = 0.5 * (s.lo + s.hi);
+      // Midpoints past the max_runs cap were not probed; drop their spans.
+      if (!probes.contains(mid)) continue;
+      spans.push_back({s.lo, mid});
+      spans.push_back({mid, s.hi});
+    }
   }
 
   // Collapse consecutive probes with equal signatures into plateaus.

@@ -3,11 +3,14 @@
 // among a set of significant values").
 //
 // The optimal partition is a piecewise-constant function of p; the
-// dichotomic search recursively bisects [0, 1], comparing partition
+// dichotomic search bisects [0, 1] breadth-first, comparing partition
 // signatures at the endpoints, and returns the distinct plateaus with their
-// parameter ranges.  Because the DataCube is p-independent, each probe
-// costs only the DP, not a model rebuild — this is what makes Ocelotl's
-// slider "instantaneous" after the preprocess (paper §VI).
+// parameter ranges.  Because the DataCube and the measure cache are
+// p-independent, each probe costs only the multiply-add DP, not a model
+// rebuild; every bisection wave is submitted as one
+// SpatiotemporalAggregator::run_many batch, so the cache build and the DP
+// buffer arena are paid once for the whole search — this is what makes
+// Ocelotl's slider "instantaneous" after the preprocess (paper §VI).
 #pragma once
 
 #include <cstdint>

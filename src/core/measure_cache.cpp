@@ -1,0 +1,34 @@
+#include "core/measure_cache.hpp"
+
+#include "common/thread_pool.hpp"
+
+namespace stagg {
+
+void MeasureCache::build(const DataCube& cube, bool parallel) {
+  const std::size_t node_count = cube.hierarchy().node_count();
+  const auto n_t = cube.slice_count();
+  tri_ = TriangularIndex(n_t);
+  data_.resize(node_count * tri_.size());
+
+  // One task per (node, row i): rows write disjoint output spans and read
+  // one prefix stripe per state, so the build parallelizes without any
+  // synchronization.  Row i holds n_t - i cells; tasks are enumerated
+  // node-major so a grain block stays within one node's stripes.
+  const std::size_t rows = node_count * static_cast<std::size_t>(n_t);
+  const auto fill_row = [&](std::size_t task) {
+    const auto node = static_cast<NodeId>(task / static_cast<std::size_t>(n_t));
+    const auto i = static_cast<SliceId>(task % static_cast<std::size_t>(n_t));
+    AreaMeasures* row =
+        data_.data() + static_cast<std::size_t>(node) * tri_.size() +
+        tri_.row_offset(i);
+    cube.measures_into(node, i,
+                       {row, static_cast<std::size_t>(n_t - i)});
+  };
+  if (parallel && rows > 1) {
+    parallel_for(rows, fill_row, /*grain=*/4);
+  } else {
+    for (std::size_t task = 0; task < rows; ++task) fill_row(task);
+  }
+}
+
+}  // namespace stagg

@@ -1,0 +1,82 @@
+// MeasureCache: precomputed per-area (gain, loss) for every DP cell.
+//
+// The gain and loss of an area (S_k, T_(i,j)) (Eq. 2 + 3) do not depend on
+// the trade-off parameter p — only the linear combination pIC (Eq. 4) does.
+// The spatiotemporal DP, however, evaluates the "no cut" term of every one
+// of the |S|·|T|(|T|+1)/2 cells on *every* run(p), and each evaluation is an
+// O(|X|) loop with two log2-heavy information terms per state.  A p-sweep
+// (dichotomic level search, Ocelotl-style slider) therefore pays the most
+// expensive part of the kernel over and over for identical results.
+//
+// This cache pays it exactly once: one parallel O(|S|·|T|²·|X|) build fills
+// a packed upper-triangular (gain, loss) matrix per hierarchy node — the
+// same TriangularIndex layout as the DP matrices — after which every
+// run(p), evaluate() and baseline scoring is a pure multiply-add over the
+// cached pairs.  Cells are produced by DataCube::measures_into with the
+// exact per-state accumulation order of DataCube::measures, so cached and
+// recomputed values are bit-identical (the equivalence suite asserts this).
+//
+// Footprint: 2 doubles per cell = |S|·|T|(|T|+1)/2 · 16 bytes, folded into
+// SpatiotemporalAggregator's memory-budget accounting.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/cube.hpp"
+#include "core/interval.hpp"
+
+namespace stagg {
+
+class MeasureCache {
+ public:
+  MeasureCache() = default;
+
+  /// Fills the cache from the cube: every (node, i) triangular row is an
+  /// independent task, parallelized over the shared pool when `parallel`.
+  void build(const DataCube& cube, bool parallel = true);
+
+  [[nodiscard]] bool built() const noexcept { return !data_.empty(); }
+
+  /// Releases the storage (built() becomes false).
+  void clear() noexcept {
+    data_.clear();
+    data_.shrink_to_fit();
+  }
+
+  [[nodiscard]] const TriangularIndex& tri() const noexcept { return tri_; }
+
+  /// Packed triangular (gain, loss) matrix of one node; cell order is
+  /// TriangularIndex (rows of fixed i, j ascending).
+  [[nodiscard]] const AreaMeasures* node_data(NodeId node) const noexcept {
+    return data_.data() + static_cast<std::size_t>(node) * tri_.size();
+  }
+  [[nodiscard]] std::span<const AreaMeasures> node_measures(
+      NodeId node) const noexcept {
+    return {node_data(node), tri_.size()};
+  }
+
+  /// Cached measures of area (node, T_(i,j)); bit-identical to
+  /// DataCube::measures(node, i, j).
+  [[nodiscard]] const AreaMeasures& at(NodeId node, SliceId i,
+                                       SliceId j) const noexcept {
+    return node_data(node)[tri_(i, j)];
+  }
+
+  /// Bytes the cache for `node_count` nodes over `slices` slices occupies.
+  [[nodiscard]] static std::size_t estimate_bytes(std::size_t node_count,
+                                                  std::int32_t slices) {
+    return node_count * TriangularIndex(slices).size() * sizeof(AreaMeasures);
+  }
+
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return data_.size() * sizeof(AreaMeasures);
+  }
+
+ private:
+  TriangularIndex tri_;
+  std::vector<AreaMeasures> data_;  ///< node-major, packed triangular rows
+};
+
+}  // namespace stagg

@@ -30,8 +30,53 @@ TEST(Aggregator, MemoryBudgetEnforced) {
 }
 
 TEST(Aggregator, EstimateBytesMatchesTriangularCells) {
-  // 10 nodes x tri(8) = 36 cells x (8 + 4 + 4) bytes.
-  EXPECT_EQ(SpatiotemporalAggregator::estimate_bytes(10, 8), 10u * 36u * 16u);
+  // 10 nodes x tri(8) = 36 cells x (pIC 8 + mirror 8 + cut 4 + count 4 +
+  // cached (gain, loss) 16) = 40 bytes.
+  EXPECT_EQ(SpatiotemporalAggregator::estimate_bytes(10, 8), 10u * 36u * 40u);
+}
+
+TEST(Aggregator, WorkingSetBytesIsBoundedByStaticEstimate) {
+  const OwnedModel om = make_random_model(
+      {.levels = 3, .fanout = 2, .slices = 12, .states = 2, .seed = 7});
+  SpatiotemporalAggregator agg(om.model);
+  const std::size_t precise = agg.working_set_bytes();
+  const std::size_t upper = SpatiotemporalAggregator::estimate_bytes(
+      om.hierarchy->node_count(), 12);
+  EXPECT_GT(precise, 0u);
+  // The instance accounting knows only two adjacent levels hold live
+  // pIC/count matrices, so it must not exceed the whole-tree upper bound.
+  EXPECT_LE(precise, upper);
+
+  // The reference kernel's working set is the original whole-tree formula.
+  AggregationOptions ref;
+  ref.kernel = DpKernel::kReference;
+  SpatiotemporalAggregator ref_agg(om.model, ref);
+  const TriangularIndex tri(12);
+  EXPECT_EQ(ref_agg.working_set_bytes(),
+            om.hierarchy->node_count() * tri.size() * 16u);
+}
+
+TEST(Aggregator, RunManyMatchesRepeatedRuns) {
+  const OwnedModel om = make_random_model(
+      {.levels = 2, .fanout = 3, .slices = 10, .states = 2, .seed = 77});
+  SpatiotemporalAggregator batched(om.model);
+  SpatiotemporalAggregator repeated(om.model);
+  const double ps[] = {0.0, 0.15, 0.5, 0.85, 1.0};
+  const std::vector<AggregationResult> sweep = batched.run_many(ps);
+  ASSERT_EQ(sweep.size(), 5u);
+  for (std::size_t k = 0; k < sweep.size(); ++k) {
+    const AggregationResult one = repeated.run(ps[k]);
+    EXPECT_EQ(sweep[k].p, ps[k]);
+    EXPECT_EQ(sweep[k].optimal_pic, one.optimal_pic) << "p=" << ps[k];
+    EXPECT_EQ(sweep[k].partition.signature(), one.partition.signature());
+  }
+}
+
+TEST(Aggregator, RunManyValidatesEveryParameterUpFront) {
+  const OwnedModel om = make_tiny_model();
+  SpatiotemporalAggregator agg(om.model);
+  const double ps[] = {0.5, 1.5};
+  EXPECT_THROW((void)agg.run_many(ps), InvalidArgument);
 }
 
 TEST(Aggregator, PZeroYieldsZeroLossPartition) {
