@@ -27,11 +27,13 @@ void study(const char* label, SpatiotemporalAggregator& agg) {
   const double search_s = watch.seconds();
   // One-time p-independent measure pass vs the pure multiply-add DP probes
   // (the search batches every bisection wave through run_many, so the cache
-  // is built exactly once, on the first wave).
+  // is built exactly once, on the first wave, and each wave's probes are
+  // evaluated in lanes of up to max_lanes parameters per DP sweep).
   const double cache_s = agg.cache_build_seconds();
   const double per_p_s =
       (search_s - cache_s) / static_cast<double>(std::max<std::size_t>(
                                  levels.runs, 1));
+  const std::size_t lanes = agg.options().max_lanes;
 
   // Dense sweep cost for the same resolution.
   const std::size_t dense_runs = static_cast<std::size_t>(1.0 / 1e-3) + 1;
@@ -48,10 +50,10 @@ void study(const char* label, SpatiotemporalAggregator& agg) {
               static_cast<double>(dense_runs) /
                   static_cast<double>(levels.runs));
   std::printf("  search time        : %s = measure cache %s (once) + %s "
-              "per probe\n",
+              "per probe (waves of <= %zu DP lanes)\n",
               format_seconds(search_s).c_str(),
               format_seconds(cache_s).c_str(),
-              format_seconds(per_p_s).c_str());
+              format_seconds(per_p_s).c_str(), lanes);
   std::printf("  one warm DP re-run : %s\n",
               format_seconds(one_run_s).c_str());
   TextTable t({"p range", "areas", "reduction", "loss"});

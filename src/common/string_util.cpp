@@ -70,6 +70,15 @@ std::string format_bytes(unsigned long long bytes) {
   return buf;
 }
 
+void require_field_safe(std::string_view value, std::string_view what) {
+  if (value.find_first_of(",\n\r") != std::string_view::npos) {
+    throw TraceFormatError(std::string(what) + " '" + std::string(value) +
+                           "' contains a comma or line break; "
+                           "comma-separated trace formats cannot represent "
+                           "it — rename the " + std::string(what));
+  }
+}
+
 double parse_double(std::string_view s, std::string_view context) {
   s = trim(s);
   double value = 0.0;

@@ -29,6 +29,13 @@ namespace stagg {
 /// Formats a byte count as "136.9 MB" / "1.8 GB" style.
 [[nodiscard]] std::string format_bytes(unsigned long long bytes);
 
+/// Throws stagg::TraceFormatError if `value` contains a comma or a line
+/// break — characters the comma-separated trace formats (CSV, pj_dump)
+/// cannot represent in a field; split() does no escaping, so writing such
+/// a name would silently corrupt the writer→reader roundtrip.  `what`
+/// names the field for the error message (e.g. "resource path").
+void require_field_safe(std::string_view value, std::string_view what);
+
 /// Parses a double, throwing stagg::TraceFormatError with context on failure.
 [[nodiscard]] double parse_double(std::string_view s, std::string_view context);
 

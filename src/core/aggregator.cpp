@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <string>
 #include <utility>
 
@@ -10,6 +11,50 @@
 #include "common/thread_pool.hpp"
 
 namespace stagg {
+namespace {
+
+/// Smallest double greater than finite x (inline bit increment;
+/// std::nextafter is a libm call, too slow for per-cell use).
+inline double next_up(double x) noexcept {
+  std::uint64_t bits;
+  std::memcpy(&bits, &x, sizeof bits);
+  if (x >= 0.0) {
+    if (bits == 0x8000000000000000ull) bits = 0;  // -0.0 -> +0.0
+    ++bits;
+  } else {
+    --bits;
+  }
+  std::memcpy(&x, &bits, sizeof bits);
+  return x;
+}
+
+/// Conservative per-lane challenge threshold: every temporal-cut candidate
+/// v that can change lane state (best, cut, count) satisfies
+/// v >= challenge_threshold(best, best_count); candidates below it are
+/// skipped without evaluating the reference predicate at all, which is
+/// what makes the hot scan a bare add-and-compare.
+///
+/// Soundness: the reference kernel accepts iff
+///   v > best + eps  ||  (v >= best - eps && count < best_count),
+///   eps = 1e-12 + 1e-12 * max(|best|, |v|).
+/// - While best_count <= 2 the count tie-break can never fire (any cut's
+///   area count is >= 2), so a state change needs v > best + eps > best,
+///   i.e. v >= next_up(best) — exact, no epsilon analysis needed.
+/// - Otherwise any accepting v is within relative ~1e-12 of best (the
+///   |v|-dependent eps term matters only when |v| ~ |best|; solving
+///   v >= best - 1e-12*(1 + max(|best|,|v|)) for v in every sign case
+///   bounds v >= best - 2.1e-12 - 1.1e-12*|best|).  The 4e-12
+///   coefficients leave a ~2x margin that swallows every rounding error
+///   of both this expression and the reference predicate's.
+/// The threshold only rises when (best, best_count) tighten, so a value
+/// screened out once can never become a challenger later in the scan.
+inline double challenge_threshold(double best,
+                                  std::int32_t best_count) noexcept {
+  if (best_count <= 2) return next_up(best);
+  return best - (4e-12 + 4e-12 * std::abs(best));
+}
+
+}  // namespace
 
 SpatiotemporalAggregator::SpatiotemporalAggregator(
     const MicroscopicModel& model, AggregationOptions options)
@@ -17,6 +62,8 @@ SpatiotemporalAggregator::SpatiotemporalAggregator(
       options_(options),
       cube_(model),
       tri_(model.slice_count()) {
+  options_.max_lanes = std::clamp<std::size_t>(options_.max_lanes, 1,
+                                               kMaxDpLanes);
   const Hierarchy& h = model.hierarchy();
   levels_.resize(static_cast<std::size_t>(h.max_depth()) + 1);
   for (NodeId id = 0; id < static_cast<NodeId>(h.node_count()); ++id) {
@@ -24,39 +71,47 @@ SpatiotemporalAggregator::SpatiotemporalAggregator(
   }
   pic_.resize(h.node_count());
   mirror_.resize(h.node_count());
+  cmirror_.resize(h.node_count());
   cut_.resize(h.node_count());
   cnt_.resize(h.node_count());
 }
 
 std::size_t SpatiotemporalAggregator::estimate_bytes(std::size_t node_count,
-                                                     std::int32_t slices) {
+                                                     std::int32_t slices,
+                                                     std::size_t lanes) {
   const TriangularIndex tri(slices);
-  // Per cell: pIC (double) + column-major mirror (double) + cut + count
-  // (int32) + the cached p-independent (gain, loss) pair (2 doubles).
+  // Per cell: per lane pIC (double) + column-major pIC mirror (double) +
+  // column-major count mirror + cut + count (int32), plus the lane-shared
+  // cached (gain, loss) pair.
   return node_count * tri.size() *
-         (2 * sizeof(double) + 2 * sizeof(std::int32_t) +
+         (lanes * (2 * sizeof(double) + 3 * sizeof(std::int32_t)) +
           sizeof(AreaMeasures));
 }
 
-std::size_t SpatiotemporalAggregator::working_set_bytes() const noexcept {
+std::size_t SpatiotemporalAggregator::working_set_bytes(
+    std::size_t lanes) const noexcept {
   const std::size_t cells = tri_.size();
   const std::size_t node_count = model_->hierarchy().node_count();
   if (options_.kernel == DpKernel::kReference) {
-    // The original formulation: pIC + cut + count for every node.
+    // The original formulation: pIC + cut + count for every node (the
+    // reference kernel never lanes).
     return node_count * cells * (sizeof(double) + 2 * sizeof(std::int32_t));
   }
   // pIC + count matrices live for two adjacent levels at a time (the arena
-  // recycles grandchildren buffers); the column-major mirror only for the
-  // level being computed; cut matrices and the measure cache for all nodes.
+  // recycles grandchildren buffers); the column-major pIC and count
+  // mirrors only for the level being computed; cut matrices for all
+  // nodes.  All of these carry one value per lane; the shared measure
+  // cache does not.
   std::size_t peak_per_cell = 0;
   for (std::size_t d = 0; d < levels_.size(); ++d) {
     const std::size_t two =
         levels_[d].size() + (d + 1 < levels_.size() ? levels_[d + 1].size() : 0);
     peak_per_cell = std::max(
-        peak_per_cell, two * (sizeof(double) + sizeof(std::int32_t)) +
-                           levels_[d].size() * sizeof(double));
+        peak_per_cell,
+        two * (sizeof(double) + sizeof(std::int32_t)) +
+            levels_[d].size() * (sizeof(double) + sizeof(std::int32_t)));
   }
-  return cells * (node_count * sizeof(std::int32_t) + peak_per_cell) +
+  return cells * lanes * (node_count * sizeof(std::int32_t) + peak_per_cell) +
          MeasureCache::estimate_bytes(node_count, tri_.slices());
 }
 
@@ -68,14 +123,21 @@ void SpatiotemporalAggregator::check_p(double p) const {
   }
 }
 
-void SpatiotemporalAggregator::check_budget() const {
-  const std::size_t need = working_set_bytes();
+void SpatiotemporalAggregator::check_budget(std::size_t lanes) const {
+  const std::size_t need = working_set_bytes(lanes);
   if (need > options_.memory_budget_bytes) {
     throw BudgetError("DP working set needs " + std::to_string(need) +
                       " bytes > budget " +
                       std::to_string(options_.memory_budget_bytes) +
-                      "; reduce |T| or raise the budget");
+                      "; reduce |T|, the lane width, or raise the budget");
   }
+}
+
+std::size_t SpatiotemporalAggregator::lane_width(
+    std::size_t probe_count) const noexcept {
+  if (options_.kernel == DpKernel::kCachedSolo) return 1;
+  return std::min({options_.max_lanes, kMaxDpLanes,
+                   std::max<std::size_t>(probe_count, 1)});
 }
 
 void SpatiotemporalAggregator::ensure_measure_cache() {
@@ -106,39 +168,43 @@ void SpatiotemporalAggregator::fill_quality(AggregationResult& result) const {
 // Buffer arena.
 // ---------------------------------------------------------------------------
 
-std::vector<double> SpatiotemporalAggregator::acquire_dbl() {
+std::vector<double> SpatiotemporalAggregator::acquire_dbl(std::size_t n) {
   if (!dbl_pool_.empty()) {
     std::vector<double> buf = std::move(dbl_pool_.back());
     dbl_pool_.pop_back();
+    buf.resize(n);
     return buf;
   }
-  return std::vector<double>(tri_.size());
+  return std::vector<double>(n);
 }
 
-std::vector<std::int32_t> SpatiotemporalAggregator::acquire_i32() {
+std::vector<std::int32_t> SpatiotemporalAggregator::acquire_i32(
+    std::size_t n) {
   if (!i32_pool_.empty()) {
     std::vector<std::int32_t> buf = std::move(i32_pool_.back());
     i32_pool_.pop_back();
+    buf.resize(n);
     return buf;
   }
-  return std::vector<std::int32_t>(tri_.size());
+  return std::vector<std::int32_t>(n);
 }
 
 void SpatiotemporalAggregator::release(std::vector<double>&& buf) {
-  if (buf.size() == tri_.size()) dbl_pool_.push_back(std::move(buf));
+  // Moved-from (already released) vectors are empty; only pool live ones.
+  if (!buf.empty()) dbl_pool_.push_back(std::move(buf));
 }
 
 void SpatiotemporalAggregator::release(std::vector<std::int32_t>&& buf) {
-  if (buf.size() == tri_.size()) i32_pool_.push_back(std::move(buf));
+  if (!buf.empty()) i32_pool_.push_back(std::move(buf));
 }
 
 // ---------------------------------------------------------------------------
-// Cached kernel.
+// Cached lane kernel.
 // ---------------------------------------------------------------------------
 
-SpatiotemporalAggregator::NodeScan SpatiotemporalAggregator::make_scan(
-    NodeId node, double p, double gain_scale, double loss_scale,
-    std::vector<const double*>& child_pic,
+SpatiotemporalAggregator::LaneScan SpatiotemporalAggregator::make_scan(
+    NodeId node, std::span<const double> ps, double gain_scale,
+    double loss_scale, std::vector<const double*>& child_pic,
     std::vector<const std::int32_t*>& child_cnt) {
   const auto& children = model_->hierarchy().node(node).children;
   child_pic.clear();
@@ -149,117 +215,222 @@ SpatiotemporalAggregator::NodeScan SpatiotemporalAggregator::make_scan(
     child_pic.push_back(pic_[static_cast<std::size_t>(c)].data());
     child_cnt.push_back(cnt_[static_cast<std::size_t>(c)].data());
   }
-  NodeScan scan;
+  LaneScan scan;
   scan.meas = cache_.node_data(node);
   scan.pic = pic_[static_cast<std::size_t>(node)].data();
   scan.mirror = mirror_[static_cast<std::size_t>(node)].data();
   scan.cnt = cnt_[static_cast<std::size_t>(node)].data();
+  scan.cnt_mirror = cmirror_[static_cast<std::size_t>(node)].data();
   scan.cut = cut_[static_cast<std::size_t>(node)].data();
   scan.child_pic = child_pic.data();
   scan.child_cnt = child_cnt.data();
   scan.n_children = children.size();
-  scan.p = p;
+  scan.p = ps.data();
+  scan.lanes = ps.size();
   scan.gain_scale = gain_scale;
   scan.loss_scale = loss_scale;
   return scan;
 }
 
-void SpatiotemporalAggregator::compute_cell(const NodeScan& scan, SliceId i,
-                                            SliceId j) const noexcept {
+template <int W, bool Filtered>
+void SpatiotemporalAggregator::compute_cell_lanes(const LaneScan& scan,
+                                                  SliceId i,
+                                                  SliceId j) const noexcept {
   const std::size_t row = tri_.row_offset(i);
   const std::size_t cell = row + static_cast<std::size_t>(j - i);
 
-  // "No cut": the area itself is one aggregate (Eq. 4) — a multiply-add
-  // over the cached p-independent (gain, loss) pair.
+  // "No cut": the area itself is one aggregate (Eq. 4) — a multiply-add of
+  // every lane's p over the one cached p-independent (gain, loss) pair.
+  // The expression (operand order included) is the reference kernel's, so
+  // each lane stays bit-identical to a solo run at its p.
   const AreaMeasures& m = scan.meas[cell];
-  double best = scan.p * m.gain * scan.gain_scale -
-                (1.0 - scan.p) * m.loss * scan.loss_scale;
-  std::int32_t best_cut = j;
-  std::int32_t best_count = 1;
+  double best[W];
+  std::int32_t best_cut[W];
+  std::int32_t best_count[W];
+  for (int w = 0; w < W; ++w) {
+    best[w] = scan.p[w] * m.gain * scan.gain_scale -
+              (1.0 - scan.p[w]) * m.loss * scan.loss_scale;
+  }
+  for (int w = 0; w < W; ++w) {
+    best_cut[w] = j;
+    best_count[w] = 1;
+  }
 
   // Ties (within accumulated rounding noise) are broken toward the
   // *smallest area count*, so among equally-optimal partitions the
   // coarsest representation is returned — a homogeneous phase stays one
   // aggregate instead of fragmenting into equal-pIC slices.  The
   // acceptance logic is the reference kernel's challenge, restructured so
-  // the common path is a single compare.
+  // the common path is a lane-parallel compare.
 
-  // Spatial cut: partition into the children over the same interval.
+  // Spatial cut: partition into the children over the same interval.  The
+  // children's per-lane optima sit adjacent in memory, so the sum is a
+  // contiguous W-wide accumulation per child.
   if (scan.n_children != 0) {
-    double sum = 0.0;
-    std::int32_t count = 0;
+    double sum[W];
+    std::int32_t count[W];
+    for (int w = 0; w < W; ++w) {
+      sum[w] = 0.0;
+      count[w] = 0;
+    }
     for (std::size_t k = 0; k < scan.n_children; ++k) {
-      sum += scan.child_pic[k][cell];
-      count += scan.child_cnt[k][cell];
+      const double* cp = scan.child_pic[k] + cell * W;
+      const std::int32_t* cc = scan.child_cnt[k] + cell * W;
+      for (int w = 0; w < W; ++w) {
+        sum[w] += cp[w];
+        count[w] += cc[w];
+      }
     }
-    const double eps = 1e-12 + 1e-12 * std::max(std::abs(best), std::abs(sum));
-    if (sum > best + eps || (sum >= best - eps && count < best_count)) {
-      best = std::max(best, sum);
-      best_cut = -1;
-      best_count = count;
-    }
-  }
-
-  // Temporal cuts: split [i,j] into [i,c] + [c+1,j].  The left operand
-  // pIC(i, c) is row-contiguous; the right operand pIC(c+1, j) is read from
-  // the column-major mirror, where column j is contiguous — a flat scan
-  // whose count lookups only happen on near-accepting candidates.
-  const double* left = scan.pic + row;
-  const double* right = scan.mirror + col_offset(j) + static_cast<std::size_t>(i) + 1;
-  const std::int32_t* left_cnt = scan.cnt + row;
-  const std::int32_t len = j - i;
-  for (std::int32_t k = 0; k < len; ++k) {
-    const double v = left[k] + right[k];
-    const double eps = 1e-12 + 1e-12 * std::max(std::abs(best), std::abs(v));
-    if (v >= best - eps) {
-      const std::int32_t count =
-          left_cnt[k] + scan.cnt[tri_(static_cast<SliceId>(i + k + 1), j)];
-      if (v > best + eps || count < best_count) {
-        best = std::max(best, v);
-        best_cut = i + k;
-        best_count = count;
+    for (int w = 0; w < W; ++w) {
+      const double eps =
+          1e-12 + 1e-12 * std::max(std::abs(best[w]), std::abs(sum[w]));
+      if (sum[w] > best[w] + eps ||
+          (sum[w] >= best[w] - eps && count[w] < best_count[w])) {
+        best[w] = std::max(best[w], sum[w]);
+        best_cut[w] = -1;
+        best_count[w] = count[w];
       }
     }
   }
 
-  scan.pic[cell] = best;
-  scan.mirror[col_offset(j) + static_cast<std::size_t>(i)] = best;
-  scan.cut[cell] = best_cut;
-  scan.cnt[cell] = best_count;
+  // Temporal cuts: split [i,j] into [i,c] + [c+1,j].  The left operand
+  // pIC(i, c) is row-contiguous, the right operand pIC(c+1, j) is read from
+  // the column-major mirror where column j is contiguous — with the lane
+  // interleave both are flat W-wide streams.
+  //
+  // Threshold scan (Filtered, the production kernel): each lane keeps the
+  // conservative challenge_threshold of its current (best, count) state,
+  // so the hot loop over cut positions is a bare add-and-compare per lane
+  // with no epsilon arithmetic at all; only cuts at or above a lane's
+  // threshold evaluate the reference kernel's exact accept-and-tie-break
+  // logic (same cut order, same operations — bit-identical), and the
+  // threshold is conservative, so no state-changing candidate is ever
+  // screened out.  The W lanes' independent compare chains are what the
+  // batching buys: one pass over the streams feeds W superscalar-parallel
+  // per-lane pipelines, where the solo kernel re-walked the streams per
+  // probe.  With Filtered = false (kCachedSolo, the PR 1 formulation)
+  // every cut evaluates the reference challenge directly.
+  double thr[Filtered ? W : 1];
+  if constexpr (Filtered) {
+    for (int w = 0; w < W; ++w) {
+      thr[w] = challenge_threshold(best[w], best_count[w]);
+    }
+  }
+  const double* left = scan.pic + row * W;
+  const double* right =
+      scan.mirror + (col_offset(j) + static_cast<std::size_t>(i) + 1) * W;
+  const std::int32_t* left_cnt = scan.cnt + row * W;
+  const std::int32_t* right_cnt =
+      scan.cnt_mirror + (col_offset(j) + static_cast<std::size_t>(i) + 1) * W;
+  const std::int32_t len = j - i;
+
+  // Exact reference challenge of cut i+k against lane w's state.
+  const auto challenge = [&](std::int32_t k, int w, double v) {
+    const double eps =
+        1e-12 + 1e-12 * std::max(std::abs(best[w]), std::abs(v));
+    const bool strict = v > best[w] + eps;
+    if (!strict && !(v >= best[w] - eps)) return;
+    const std::int32_t count = left_cnt[static_cast<std::size_t>(k) * W + w] +
+                               right_cnt[static_cast<std::size_t>(k) * W + w];
+    if (strict || count < best_count[w]) {
+      best[w] = std::max(best[w], v);
+      best_cut[w] = i + k;
+      best_count[w] = count;
+      if constexpr (Filtered) {
+        thr[w] = challenge_threshold(best[w], best_count[w]);
+      }
+    }
+  };
+
+  for (std::int32_t k = 0; k < len; ++k) {
+    for (int w = 0; w < W; ++w) {
+      const double v = left[static_cast<std::size_t>(k) * W + w] +
+                       right[static_cast<std::size_t>(k) * W + w];
+      if constexpr (Filtered) {
+        if (v >= thr[w]) challenge(k, w, v);
+      } else {
+        challenge(k, w, v);
+      }
+    }
+  }
+
+  double* out_pic = scan.pic + cell * W;
+  double* out_mirror =
+      scan.mirror + (col_offset(j) + static_cast<std::size_t>(i)) * W;
+  std::int32_t* out_cut = scan.cut + cell * W;
+  std::int32_t* out_cnt = scan.cnt + cell * W;
+  std::int32_t* out_cmirror =
+      scan.cnt_mirror + (col_offset(j) + static_cast<std::size_t>(i)) * W;
+  for (int w = 0; w < W; ++w) {
+    out_pic[w] = best[w];
+    out_mirror[w] = best[w];
+    out_cut[w] = best_cut[w];
+    out_cnt[w] = best_count[w];
+    out_cmirror[w] = best_count[w];
+  }
 }
 
-void SpatiotemporalAggregator::compute_node_cached(NodeId node,
-                                                   const NodeScan& scan,
-                                                   bool wavefront) {
-  (void)node;
+template <int W, bool Filtered>
+void SpatiotemporalAggregator::compute_node_lanes_w(const LaneScan& scan,
+                                                    bool wavefront) {
   const SliceId n_t = tri_.slices();
   if (!wavefront) {
     for (SliceId i = n_t - 1; i >= 0; --i) {
-      for (SliceId j = i; j < n_t; ++j) compute_cell(scan, i, j);
+      for (SliceId j = i; j < n_t; ++j) {
+        compute_cell_lanes<W, Filtered>(scan, i, j);
+      }
     }
     return;
   }
   // Wavefront sweep: all cells of equal interval length j - i are mutually
   // independent (a cell only reads strictly shorter intervals), so each
   // anti-diagonal is one parallel_for.  Used for single-node levels —
-  // notably the root — whose DP otherwise runs entirely serially.
-  for (SliceId i = 0; i < n_t; ++i) compute_cell(scan, i, i);
-  const std::size_t threads = std::max<std::size_t>(1, ThreadPool::shared().size());
+  // notably the root — whose DP otherwise runs entirely serially.  Lane
+  // values of one cell are always computed by one task, so the schedule
+  // cannot affect results.
+  for (SliceId i = 0; i < n_t; ++i) compute_cell_lanes<W, Filtered>(scan, i, i);
+  const std::size_t threads =
+      std::max<std::size_t>(1, ThreadPool::shared().size());
   for (SliceId len = 1; len < n_t; ++len) {
     const std::size_t n = static_cast<std::size_t>(n_t - len);
     const std::size_t grain = std::max<std::size_t>(16, n / (4 * threads));
     parallel_for(
         n,
         [&](std::size_t i) {
-          compute_cell(scan, static_cast<SliceId>(i),
-                       static_cast<SliceId>(i) + len);
+          compute_cell_lanes<W, Filtered>(scan, static_cast<SliceId>(i),
+                                          static_cast<SliceId>(i) + len);
         },
         grain);
   }
 }
 
-AggregationResult SpatiotemporalAggregator::run_cached(double p) {
+void SpatiotemporalAggregator::compute_node_lanes(const LaneScan& scan,
+                                                  bool wavefront) {
+  // One instantiation per width keeps the per-cell lane loops at a
+  // compile-time trip count the optimizer can unroll.  kCachedSolo (the
+  // PR 1 kernel) always runs width 1, unfiltered.
+  if (options_.kernel == DpKernel::kCachedSolo) {
+    compute_node_lanes_w<1, false>(scan, wavefront);
+    return;
+  }
+  switch (scan.lanes) {
+    case 1: compute_node_lanes_w<1, true>(scan, wavefront); break;
+    case 2: compute_node_lanes_w<2, true>(scan, wavefront); break;
+    case 3: compute_node_lanes_w<3, true>(scan, wavefront); break;
+    case 4: compute_node_lanes_w<4, true>(scan, wavefront); break;
+    case 5: compute_node_lanes_w<5, true>(scan, wavefront); break;
+    case 6: compute_node_lanes_w<6, true>(scan, wavefront); break;
+    case 7: compute_node_lanes_w<7, true>(scan, wavefront); break;
+    case 8: compute_node_lanes_w<8, true>(scan, wavefront); break;
+    default: break;  // unreachable: lane_width clamps to kMaxDpLanes
+  }
+}
+
+void SpatiotemporalAggregator::run_wave(std::span<const double> ps,
+                                        std::vector<AggregationResult>& out) {
   const Hierarchy& h = model_->hierarchy();
+  const std::size_t lanes = ps.size();
+  const std::size_t lane_cells = tri_.size() * lanes;
 
   double gain_scale = 1.0;
   double loss_scale = 1.0;
@@ -285,10 +456,11 @@ AggregationResult SpatiotemporalAggregator::run_cached(double p) {
     }
     for (NodeId n : nodes) {
       const auto idx = static_cast<std::size_t>(n);
-      pic_[idx] = acquire_dbl();
-      mirror_[idx] = acquire_dbl();
-      cnt_[idx] = acquire_i32();
-      if (cut_[idx].size() != tri_.size()) cut_[idx].resize(tri_.size());
+      pic_[idx] = acquire_dbl(lane_cells);
+      mirror_[idx] = acquire_dbl(lane_cells);
+      cnt_[idx] = acquire_i32(lane_cells);
+      cmirror_[idx] = acquire_i32(lane_cells);
+      if (cut_[idx].size() != lane_cells) cut_[idx].resize(lane_cells);
     }
     if (options_.parallel && nodes.size() > 1) {
       parallel_for(
@@ -296,10 +468,9 @@ AggregationResult SpatiotemporalAggregator::run_cached(double p) {
           [&](std::size_t k) {
             std::vector<const double*> child_pic;
             std::vector<const std::int32_t*> child_cnt;
-            const NodeScan scan =
-                make_scan(nodes[k], p, gain_scale, loss_scale, child_pic,
-                          child_cnt);
-            compute_node_cached(nodes[k], scan, /*wavefront=*/false);
+            const LaneScan scan = make_scan(nodes[k], ps, gain_scale,
+                                            loss_scale, child_pic, child_cnt);
+            compute_node_lanes(scan, /*wavefront=*/false);
           },
           /*grain=*/1);
     } else {
@@ -309,31 +480,44 @@ AggregationResult SpatiotemporalAggregator::run_cached(double p) {
       std::vector<const double*> child_pic;
       std::vector<const std::int32_t*> child_cnt;
       for (NodeId n : nodes) {
-        const NodeScan scan =
-            make_scan(n, p, gain_scale, loss_scale, child_pic, child_cnt);
-        compute_node_cached(n, scan, /*wavefront=*/options_.parallel);
+        const LaneScan scan =
+            make_scan(n, ps, gain_scale, loss_scale, child_pic, child_cnt);
+        compute_node_lanes(scan, /*wavefront=*/options_.parallel);
       }
     }
-    // The mirror is only read by the node's own temporal scans.
-    for (NodeId n : nodes) release(std::move(mirror_[static_cast<std::size_t>(n)]));
+    // The mirrors are only read by the node's own temporal scans.
+    for (NodeId n : nodes) {
+      release(std::move(mirror_[static_cast<std::size_t>(n)]));
+      release(std::move(cmirror_[static_cast<std::size_t>(n)]));
+    }
   }
 
-  AggregationResult result;
-  result.p = p;
-  result.optimal_pic = pic_[static_cast<std::size_t>(h.root())]
-                           [tri_(0, tri_.slices() - 1)];
-  extract_partition(result.partition);
-  result.partition.canonicalize(h);
-  for (const auto& a : result.partition.areas()) {
-    result.measures += area_measures(a.node, a.time.i, a.time.j);
+  const std::size_t root_cell = tri_(0, tri_.slices() - 1);
+  const auto root_idx = static_cast<std::size_t>(h.root());
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    AggregationResult result;
+    result.p = ps[lane];
+    result.optimal_pic = pic_[root_idx][root_cell * lanes + lane];
+    extract_partition(result.partition, lane, lanes);
+    result.partition.canonicalize(h);
+    for (const auto& a : result.partition.areas()) {
+      result.measures += area_measures(a.node, a.time.i, a.time.j);
+    }
+    fill_quality(result);
+    out.push_back(std::move(result));
   }
-  fill_quality(result);
 
   // Return the last two levels' buffers to the arena; nothing is freed, so
-  // the next run (same |T|) allocates nothing.
+  // the next wave (same |T| and width) allocates nothing.
   for (auto& buf : pic_) release(std::move(buf));
   for (auto& buf : cnt_) release(std::move(buf));
-  return result;
+}
+
+AggregationResult SpatiotemporalAggregator::run_cached(double p) {
+  std::vector<AggregationResult> out;
+  out.reserve(1);
+  run_wave({&p, 1}, out);
+  return std::move(out.front());
 }
 
 // ---------------------------------------------------------------------------
@@ -455,7 +639,7 @@ AggregationResult SpatiotemporalAggregator::run_reference(double p) {
   result.p = p;
   result.optimal_pic = pic_[static_cast<std::size_t>(h.root())]
                            [tri_(0, tri_.slices() - 1)];
-  extract_partition(result.partition);
+  extract_partition(result.partition, /*lane=*/0, /*lanes=*/1);
   result.partition.canonicalize(h);
   for (const auto& a : result.partition.areas()) {
     result.measures += cube_.measures(a.node, a.time.i, a.time.j);
@@ -472,7 +656,9 @@ AggregationResult SpatiotemporalAggregator::run_reference(double p) {
 // Public entry points.
 // ---------------------------------------------------------------------------
 
-void SpatiotemporalAggregator::extract_partition(Partition& out) const {
+void SpatiotemporalAggregator::extract_partition(Partition& out,
+                                                 std::size_t lane,
+                                                 std::size_t lanes) const {
   const Hierarchy& h = model_->hierarchy();
   struct Item {
     NodeId node;
@@ -484,7 +670,8 @@ void SpatiotemporalAggregator::extract_partition(Partition& out) const {
     const Item it = stack.back();
     stack.pop_back();
     const std::int32_t cut =
-        cut_[static_cast<std::size_t>(it.node)][tri_(it.i, it.j)];
+        cut_[static_cast<std::size_t>(it.node)][tri_(it.i, it.j) * lanes +
+                                                lane];
     if (cut == it.j) {
       out.add(it.node, it.i, it.j);
     } else if (cut == -1) {
@@ -500,7 +687,7 @@ void SpatiotemporalAggregator::extract_partition(Partition& out) const {
 
 AggregationResult SpatiotemporalAggregator::run(double p) {
   check_p(p);
-  check_budget();
+  check_budget(/*lanes=*/1);
   if (options_.kernel == DpKernel::kReference) return run_reference(p);
   ensure_measure_cache();
   return run_cached(p);
@@ -509,14 +696,21 @@ AggregationResult SpatiotemporalAggregator::run(double p) {
 std::vector<AggregationResult> SpatiotemporalAggregator::run_many(
     std::span<const double> ps) {
   for (const double p : ps) check_p(p);
-  check_budget();
   std::vector<AggregationResult> results;
   results.reserve(ps.size());
   if (options_.kernel == DpKernel::kReference) {
+    check_budget(/*lanes=*/1);
     for (const double p : ps) results.push_back(run_reference(p));
-  } else {
-    ensure_measure_cache();
-    for (const double p : ps) results.push_back(run_cached(p));
+    return results;
+  }
+  const std::size_t width = lane_width(ps.size());
+  check_budget(width);
+  ensure_measure_cache();
+  // Waves of `width` lanes; the remainder wave uses its exact (possibly
+  // odd) width — every width in [1, kMaxDpLanes] has an instantiation.
+  for (std::size_t offset = 0; offset < ps.size(); offset += width) {
+    run_wave(ps.subspan(offset, std::min(width, ps.size() - offset)),
+             results);
   }
   return results;
 }

@@ -24,7 +24,31 @@
 //   const double ps[] = {0.0, 0.25, 0.5, 0.75, 1.0};
 //   std::vector<AggregationResult> sweep = agg.run_many(ps);
 //
-// The DP buffers are pooled and reused between runs (no per-run
+// Lane batching: run_many() additionally groups its probes into *lanes* —
+// waves of up to kMaxDpLanes (8, default 4) parameters evaluated by a
+// single DP sweep.  Every DP matrix (pIC, its column-major mirror, cut,
+// count and its mirror) gains a lane dimension, stored cell-major with the
+// W lane values of one cell adjacent (`pic[cell * W + lane]`), so the
+// per-cell kernel is a fixed-width loop
+//   best[lane] = p[lane] * gain - (1 - p[lane]) * loss        (no-cut term)
+//   v[lane]    = left_pic[lane] + right_pic[lane]             (temporal cut)
+// over W contiguous doubles: one pass over the shared p-independent
+// (gain, loss) cell and the cut-candidate streams feeds W independent
+// per-lane compare chains (superscalar-parallel, with a conservative
+// per-lane challenge threshold keeping the epsilon tie-break arithmetic
+// off the hot path) where the solo kernel re-walked the streams and
+// re-derived the epsilon bounds once per probe.
+//
+// Bit-identity guarantee: each lane performs exactly the reference kernel's
+// arithmetic (same expressions, same operand order, same epsilon-guarded
+// tie-breaking; the threshold screen provably never drops a state-changing
+// candidate), so every lane of every wave is bit-identical in pIC and
+// identical in partition to a solo DpKernel::kReference run at that p —
+// regardless of lane width, wave grouping, duplicate parameters, or arena
+// reuse.  tests/test_measure_cache.cpp asserts this with EXPECT_EQ on
+// doubles across W ∈ {1, 4, 8} and the solo kernel.
+//
+// The DP buffers are pooled and reused between runs and waves (no per-run
 // allocation); the kernel keeps a column-major mirror of each node's pIC
 // matrix so the temporal-cut right operand pIC(c+1, j) is read contiguously.
 //
@@ -47,17 +71,30 @@
 namespace stagg {
 
 /// DP kernel selection.  kCachedWavefront is the production kernel
-/// (MeasureCache + wavefront + pooled buffers); kReference recomputes every
-/// cell's measures from the cube and frees its buffers after each run — the
-/// original per-cell formulation, kept as the equivalence-test oracle and
-/// the "before" baseline of bench_multi_p.  Both produce bit-identical
-/// pIC values and identical partitions.
-enum class DpKernel : std::uint8_t { kCachedWavefront, kReference };
+/// (MeasureCache + lane batching + threshold-filtered scan + wavefront +
+/// pooled buffers).  kCachedSolo is the previous generation (measure
+/// cache + wavefront, one probe per DP sweep, per-cut epsilon evaluation —
+/// the PR 1 kernel), kept as the lane-batching bench baseline and a fast
+/// second equivalence oracle.  kReference recomputes every cell's measures
+/// from the cube and frees its buffers after each run — the original
+/// per-cell formulation and the primary equivalence-test oracle.  All
+/// three produce bit-identical pIC values and identical partitions.
+enum class DpKernel : std::uint8_t {
+  kCachedWavefront,
+  kCachedSolo,
+  kReference,
+};
+
+/// Hard upper bound on the lane width of one DP wave: 8 doubles = one
+/// 64-byte cache line of per-lane state per cell, and a trip count short
+/// enough for full unrolling at every instantiated width.
+inline constexpr std::size_t kMaxDpLanes = 8;
 
 /// Knobs of the spatiotemporal aggregation.
 struct AggregationOptions {
   /// Upper bound on the peak working set: the pooled DP matrices of two
-  /// adjacent levels + cut matrices + the p-independent MeasureCache.
+  /// adjacent levels + cut matrices + the p-independent MeasureCache,
+  /// at the lane width the run will use.
   std::size_t memory_budget_bytes = std::size_t{6} << 30;
   /// Process sibling subtrees (and single-node levels' wavefronts) on the
   /// shared thread pool.
@@ -68,6 +105,12 @@ struct AggregationOptions {
   bool normalize = false;
   /// DP kernel; see DpKernel.
   DpKernel kernel = DpKernel::kCachedWavefront;
+  /// Lane-width cap for run_many(): probes are evaluated in waves of
+  /// min(max_lanes, kMaxDpLanes, probes left).  1 reproduces a solo
+  /// per-probe sweep; results are bit-identical at any width.  The default
+  /// of 4 is the measured sweet spot — the per-lane state of wider waves
+  /// spills out of registers and gives the win back.
+  std::size_t max_lanes = 4;
 };
 
 /// Output of one aggregation run.
@@ -96,15 +139,19 @@ class SpatiotemporalAggregator {
 
   /// Batched sweep: one result per parameter, in order.  Equivalent to
   /// calling run() per element but validates every p and checks the budget
-  /// up front, and shares the measure cache and the DP buffer arena across
-  /// all probes — the intended API for dichotomic level searches and
-  /// Ocelotl-style exploration.
+  /// up front, shares the measure cache and the DP buffer arena across all
+  /// probes, and evaluates the probes in lanes of up to
+  /// options.max_lanes per DP sweep — the intended API for dichotomic level
+  /// searches and Ocelotl-style exploration.
   [[nodiscard]] std::vector<AggregationResult> run_many(
       std::span<const double> ps);
 
   [[nodiscard]] const DataCube& cube() const noexcept { return cube_; }
   [[nodiscard]] const MicroscopicModel& model() const noexcept {
     return cube_.model();
+  }
+  [[nodiscard]] const AggregationOptions& options() const noexcept {
+    return options_;
   }
 
   /// The p-independent (gain, loss) cache; built() is false until the
@@ -118,18 +165,24 @@ class SpatiotemporalAggregator {
   }
 
   /// Conservative upper bound on the cached kernel's working set for
-  /// `node_count` nodes over `slices` slices: per packed triangular cell,
-  /// pIC (double) + column-major mirror (double) + cut + count (int32) +
-  /// the cached (gain, loss) pair (2 doubles) — 40 bytes/cell.  The
-  /// instance working_set_bytes() is tighter (it knows the level shape).
+  /// `node_count` nodes over `slices` slices at lane width `lanes`: per
+  /// packed triangular cell, per lane pIC (double) + column-major pIC and
+  /// count mirrors (double + int32) + cut + count (int32) — 28
+  /// bytes/cell/lane — plus the shared cached (gain, loss) pair (2
+  /// doubles) — 16 bytes/cell.  The instance working_set_bytes() is
+  /// tighter (it knows the level shape).
   [[nodiscard]] static std::size_t estimate_bytes(std::size_t node_count,
-                                                  std::int32_t slices);
+                                                  std::int32_t slices,
+                                                  std::size_t lanes = 1);
 
-  /// Precise peak working set of this aggregator's next run: cut matrices
-  /// for all nodes + the measure cache + pooled pIC/count matrices of the
-  /// two widest adjacent levels + the mirror of the widest level (cached
-  /// kernel), or the whole-tree pIC/cut/count set (reference kernel).
-  [[nodiscard]] std::size_t working_set_bytes() const noexcept;
+  /// Precise peak working set of this aggregator's next run at lane width
+  /// `lanes`: cut matrices for all nodes + the measure cache + pooled
+  /// pIC/count matrices of the two widest adjacent levels + the mirror of
+  /// the widest level (cached kernel; the per-cell DP state scales with
+  /// `lanes`, the measure cache does not), or the whole-tree pIC/cut/count
+  /// set (reference kernel, lane-oblivious).
+  [[nodiscard]] std::size_t working_set_bytes(
+      std::size_t lanes = 1) const noexcept;
 
   /// Evaluates an arbitrary partition against this model: raw gain/loss
   /// sums and normalized quality.  Used to score baseline partitions
@@ -139,17 +192,22 @@ class SpatiotemporalAggregator {
                                            double p) const;
 
  private:
-  /// Pointers and parameters of one node's DP scan (cached kernel).
-  struct NodeScan {
-    const AreaMeasures* meas = nullptr;     ///< cached (gain, loss) cells
-    double* pic = nullptr;                  ///< row-major pIC
+  /// Pointers and parameters of one node's DP sweep over one wave of W
+  /// lanes (cached kernel).  The shared (gain, loss) triangle is read once
+  /// per cell for all lanes; every per-lane matrix is cell-major with the
+  /// W lane values of a cell adjacent.
+  struct LaneScan {
+    const AreaMeasures* meas = nullptr;     ///< shared (gain, loss) cells
+    double* pic = nullptr;                  ///< row-major pIC, lane-interleaved
     double* mirror = nullptr;               ///< column-major pIC mirror
     std::int32_t* cnt = nullptr;
+    std::int32_t* cnt_mirror = nullptr;     ///< column-major count mirror
     std::int32_t* cut = nullptr;
     const double* const* child_pic = nullptr;
     const std::int32_t* const* child_cnt = nullptr;
     std::size_t n_children = 0;
-    double p = 0.0;
+    const double* p = nullptr;              ///< W trade-off parameters
+    std::size_t lanes = 1;                  ///< W, in [1, kMaxDpLanes]
     double gain_scale = 1.0;
     double loss_scale = 1.0;
   };
@@ -163,30 +221,44 @@ class SpatiotemporalAggregator {
 
   void ensure_measure_cache();
   void check_p(double p) const;
-  void check_budget() const;
+  void check_budget(std::size_t lanes) const;
+  [[nodiscard]] std::size_t lane_width(std::size_t probe_count) const noexcept;
   [[nodiscard]] AreaMeasures area_measures(NodeId node, SliceId i,
                                            SliceId j) const noexcept;
   void fill_quality(AggregationResult& result) const;
 
   AggregationResult run_cached(double p);
   AggregationResult run_reference(double p);
+  /// One DP sweep for ps.size() (<= kMaxDpLanes) parameters; appends one
+  /// result per lane, in order.
+  void run_wave(std::span<const double> ps,
+                std::vector<AggregationResult>& out);
 
-  void compute_cell(const NodeScan& scan, SliceId i, SliceId j) const noexcept;
-  void compute_node_cached(NodeId node, const NodeScan& scan, bool wavefront);
+  /// Filtered = false drops the conservative challenge-threshold screen
+  /// and evaluates the reference predicate at every cut — the kCachedSolo
+  /// (PR 1) formulation.
+  template <int W, bool Filtered>
+  void compute_cell_lanes(const LaneScan& scan, SliceId i,
+                          SliceId j) const noexcept;
+  template <int W, bool Filtered>
+  void compute_node_lanes_w(const LaneScan& scan, bool wavefront);
+  void compute_node_lanes(const LaneScan& scan, bool wavefront);
   void compute_node_reference(NodeId node, double p, double gain_scale,
                               double loss_scale);
-  [[nodiscard]] NodeScan make_scan(NodeId node, double p, double gain_scale,
-                                   double loss_scale,
+  [[nodiscard]] LaneScan make_scan(NodeId node, std::span<const double> ps,
+                                   double gain_scale, double loss_scale,
                                    std::vector<const double*>& child_pic,
                                    std::vector<const std::int32_t*>& child_cnt);
-  void extract_partition(Partition& out) const;
+  void extract_partition(Partition& out, std::size_t lane,
+                         std::size_t lanes) const;
 
-  // Fixed-size buffer pool: every pIC/mirror/count matrix has tri_.size()
-  // cells, so released buffers are recycled verbatim — the arena survives
-  // across runs, bounding live pIC/count buffers to two adjacent levels
-  // while eliminating the per-run allocation churn of the original code.
-  [[nodiscard]] std::vector<double> acquire_dbl();
-  [[nodiscard]] std::vector<std::int32_t> acquire_i32();
+  // Buffer pool: pIC/mirror/count matrices hold tri_.size() * W cells, so a
+  // released buffer is recycled with at most a cheap resize when the lane
+  // width changes between waves — the arena survives across runs, bounding
+  // live pIC/count buffers to two adjacent levels while eliminating the
+  // per-run allocation churn of the original code.
+  [[nodiscard]] std::vector<double> acquire_dbl(std::size_t n);
+  [[nodiscard]] std::vector<std::int32_t> acquire_i32(std::size_t n);
   void release(std::vector<double>&& buf);
   void release(std::vector<std::int32_t>&& buf);
 
@@ -199,6 +271,9 @@ class SpatiotemporalAggregator {
   double cache_build_seconds_ = 0.0;
   std::vector<std::vector<double>> pic_;     ///< per-node packed pIC
   std::vector<std::vector<double>> mirror_;  ///< column-major pIC mirrors
+  /// Column-major mirrors of cnt_, so the tie-breaker's right operand
+  /// count(c+1, j) is a contiguous read like the pIC mirror's.
+  std::vector<std::vector<std::int32_t>> cmirror_;
   std::vector<std::vector<std::int32_t>> cut_;  ///< per-node packed cuts
   /// Area count of the optimal sub-partition per cell; used only as the
   /// tie-breaker that keeps equal-pIC partitions maximally coarse.

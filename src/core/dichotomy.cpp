@@ -16,14 +16,18 @@ DichotomyResult find_significant_levels(SpatiotemporalAggregator& aggregator,
 
   // Runs one bisection wave as a single batch: the aggregator amortizes
   // its measure-cache build and DP buffer arena across all probes of the
-  // search (SpatiotemporalAggregator::run_many).
+  // search, and evaluates the wave in lanes of up to
+  // AggregationOptions::max_lanes parameters per DP sweep
+  // (SpatiotemporalAggregator::run_many).
   const auto probe_batch = [&](std::vector<double> ps) {
     std::erase_if(ps, [&](double p) { return probes.contains(p); });
     std::sort(ps.begin(), ps.end());
     ps.erase(std::unique(ps.begin(), ps.end()), ps.end());
-    if (out.runs + ps.size() > options.max_runs) {
-      ps.resize(options.max_runs - out.runs);
-    }
+    // Truncate to the remaining run budget; `room` saturates at 0 so a
+    // batch submitted at (or past) the cap cannot underflow the resize.
+    const std::size_t room =
+        options.max_runs > out.runs ? options.max_runs - out.runs : 0;
+    if (ps.size() > room) ps.resize(room);
     if (ps.empty()) return;
     std::vector<AggregationResult> results = aggregator.run_many(ps);
     for (std::size_t k = 0; k < ps.size(); ++k) {
@@ -47,6 +51,11 @@ DichotomyResult find_significant_levels(SpatiotemporalAggregator& aggregator,
     std::vector<Span> splitting;
     for (const Span& s : spans) {
       if (s.hi - s.lo <= options.epsilon) continue;
+      // A tight max_runs (< 2) can leave a span endpoint unprobed — the
+      // initial {0, 1} batch itself gets truncated.  Such spans cannot be
+      // compared; drop them and return the partial result instead of
+      // hitting probes.at() below.
+      if (!probes.contains(s.lo) || !probes.contains(s.hi)) continue;
       if (signature_at(s.lo) == signature_at(s.hi)) continue;
       mids.push_back(0.5 * (s.lo + s.hi));
       splitting.push_back(s);

@@ -9,8 +9,10 @@
 // p-independent, each probe costs only the multiply-add DP, not a model
 // rebuild; every bisection wave is submitted as one
 // SpatiotemporalAggregator::run_many batch, so the cache build and the DP
-// buffer arena are paid once for the whole search — this is what makes
-// Ocelotl's slider "instantaneous" after the preprocess (paper §VI).
+// buffer arena are paid once for the whole search, and the wave's probes
+// are evaluated in SIMD-friendly lanes sharing one pass over the measure
+// cache — this is what makes Ocelotl's slider "instantaneous" after the
+// preprocess (paper §VI).
 #pragma once
 
 #include <cstdint>
@@ -29,7 +31,10 @@ struct AggregationLevel {
 
 struct DichotomyOptions {
   double epsilon = 1e-3;       ///< stop bisecting below this p-gap
-  std::size_t max_runs = 256;  ///< hard cap on DP executions
+  /// Hard cap on DP executions.  Values below 2 cannot even probe both
+  /// endpoints; the search then returns whatever partial result the budget
+  /// allowed (max_runs == 1: the single p = 0 plateau; 0: no levels).
+  std::size_t max_runs = 256;
 };
 
 struct DichotomyResult {

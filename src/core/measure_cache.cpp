@@ -13,16 +13,16 @@ void MeasureCache::build(const DataCube& cube, bool parallel) {
   // One task per (node, row i): rows write disjoint output spans and read
   // one prefix stripe per state, so the build parallelizes without any
   // synchronization.  Row i holds n_t - i cells; tasks are enumerated
-  // node-major so a grain block stays within one node's stripes.
+  // node-major so a grain block stays within one node's stripes.  The
+  // spans written here are exactly what node_row() hands out later — the
+  // contiguous per-row streams the lane-batched DP kernel reads.
   const std::size_t rows = node_count * static_cast<std::size_t>(n_t);
   const auto fill_row = [&](std::size_t task) {
     const auto node = static_cast<NodeId>(task / static_cast<std::size_t>(n_t));
     const auto i = static_cast<SliceId>(task % static_cast<std::size_t>(n_t));
-    AreaMeasures* row =
-        data_.data() + static_cast<std::size_t>(node) * tri_.size() +
-        tri_.row_offset(i);
     cube.measures_into(node, i,
-                       {row, static_cast<std::size_t>(n_t - i)});
+                       {node_row_mut(node, i),
+                        static_cast<std::size_t>(n_t - i)});
   };
   if (parallel && rows > 1) {
     parallel_for(rows, fill_row, /*grain=*/4);

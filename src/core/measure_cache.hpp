@@ -18,16 +18,29 @@
 //
 // Footprint: 2 doubles per cell = |S|·|T|(|T|+1)/2 · 16 bytes, folded into
 // SpatiotemporalAggregator's memory-budget accounting.
+//
+// Layout contract (what the lane-batched DP kernel relies on): cells are
+// node-major packed triangular rows, each cell one contiguous {gain, loss}
+// pair of doubles with no padding — so the "no cut" term of a whole wave
+// of p-lanes is fed by a single 16-byte load per cell, and a DP row scan
+// streams the row's cells front to back.  The static_asserts below pin
+// this down; node_row() exposes a row for such streaming reads.
 #pragma once
 
 #include <cstdint>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "core/cube.hpp"
 #include "core/interval.hpp"
 
 namespace stagg {
+
+static_assert(std::is_trivially_copyable_v<AreaMeasures> &&
+                  sizeof(AreaMeasures) == 2 * sizeof(double),
+              "MeasureCache cells must be bare {gain, loss} double pairs; "
+              "the lane-batched DP reads them as one contiguous load");
 
 class MeasureCache {
  public:
@@ -57,6 +70,15 @@ class MeasureCache {
     return {node_data(node), tri_.size()};
   }
 
+  /// Row i of one node's triangle: the |T| - i cells (i, i..|T|-1),
+  /// contiguous in memory — the stream a DP row scan (any lane width)
+  /// walks front to back.
+  [[nodiscard]] std::span<const AreaMeasures> node_row(
+      NodeId node, SliceId i) const noexcept {
+    return {node_data(node) + tri_.row_offset(i),
+            static_cast<std::size_t>(tri_.slices() - i)};
+  }
+
   /// Cached measures of area (node, T_(i,j)); bit-identical to
   /// DataCube::measures(node, i, j).
   [[nodiscard]] const AreaMeasures& at(NodeId node, SliceId i,
@@ -75,6 +97,11 @@ class MeasureCache {
   }
 
  private:
+  [[nodiscard]] AreaMeasures* node_row_mut(NodeId node, SliceId i) noexcept {
+    return data_.data() + static_cast<std::size_t>(node) * tri_.size() +
+           tri_.row_offset(i);
+  }
+
   TriangularIndex tri_;
   std::vector<AreaMeasures> data_;  ///< node-major, packed triangular rows
 };

@@ -10,6 +10,10 @@ namespace stagg {
 
 void write_csv_trace(Trace& trace, std::ostream& os) {
   trace.seal();
+  // Fields are comma-separated with no quoting: a comma inside a name
+  // would be re-read as a separator (the reader then rejects the record
+  // or, worse, silently mis-assigns fields).
+  require_delimiter_safe_names(trace, "resource path");
   os << "# stagg-trace-csv v1\n";
   os << "# window," << trace.begin() << ',' << trace.end() << '\n';
   for (ResourceId r = 0; r < static_cast<ResourceId>(trace.resource_count());

@@ -8,7 +8,11 @@
 //   STATE,<resource_path>,<state_name>,<begin_ns>,<end_ns>
 //
 // Lines starting with '#' are comments; fields are comma-separated with no
-// quoting (resource paths and state names must not contain commas).
+// quoting.  Resource paths and state names therefore must not contain
+// commas or line breaks: the writer rejects such names with a
+// TraceFormatError (rather than emitting a file the reader would reject or
+// silently mis-parse), and the reader rejects records with a field-count
+// mismatch.
 #pragma once
 
 #include <iosfwd>

@@ -1,6 +1,7 @@
 #include "trace/paje_io.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -10,9 +11,23 @@
 namespace stagg {
 namespace {
 
+/// Largest |seconds| whose nanosecond count fits in TimeNs (int64):
+/// 2^63 ns ≈ 9.223e9 s; stay just inside so llround cannot overflow.
+constexpr double kMaxAbsSeconds = 9.2e9;
+
 /// Seconds (pj_dump) to nanoseconds, with round-to-nearest so that
-/// begin + duration == end survives the conversion.
-TimeNs paje_time(double seconds_value) {
+/// begin + duration == end survives the conversion.  Non-finite values and
+/// magnitudes whose nanosecond count would overflow the 64-bit TimeNs make
+/// llround undefined behaviour — reject them with the line context instead.
+TimeNs paje_time(double seconds_value, const std::string& where) {
+  // Negated form so NaN (every comparison false) is rejected too.
+  if (!(std::abs(seconds_value) <= kMaxAbsSeconds)) {
+    char num[32];
+    std::snprintf(num, sizeof num, "%g", seconds_value);
+    throw TraceFormatError(std::string("timestamp ") + num +
+                           " s is not representable in nanoseconds (finite, "
+                           "|t| <= 9.2e9 s required) at " + where);
+  }
   return static_cast<TimeNs>(std::llround(seconds_value * 1e9));
 }
 
@@ -38,8 +53,17 @@ Trace read_paje_dump(std::istream& is, const std::string& context,
       continue;
     }
     const std::string where = context + ":" + std::to_string(line_no);
-    if (fields.size() < 8) {
-      throw TraceFormatError("State record needs 8 fields at " + where);
+    if (fields.size() != 8) {
+      // More than 8 fields is ambiguous between unsupported extra pj_dump
+      // columns and a comma embedded in a container/state name (the format
+      // has no escaping, so such a name shifts every later field); both
+      // would silently mis-assign fields, so reject with the line context.
+      throw TraceFormatError(
+          "State record needs exactly 8 fields, got " +
+          std::to_string(fields.size()) + " at " + where +
+          (fields.size() > 8 ? " (extra trailing fields are not supported, "
+                               "and names must not contain commas)"
+                             : ""));
     }
     const std::string_view container = trim(fields[1]);
     const double begin_s = parse_double(fields[3], where);
@@ -49,7 +73,8 @@ Trace read_paje_dump(std::istream& is, const std::string& context,
       throw TraceFormatError("State with end < begin at " + where);
     }
     const ResourceId r = trace.add_resource(container);
-    trace.add_state(r, value, paje_time(begin_s), paje_time(end_s));
+    trace.add_state(r, value, paje_time(begin_s, where),
+                    paje_time(end_s, where));
     ++local.state_records;
   }
   trace.seal();
@@ -65,6 +90,9 @@ Trace read_paje_dump(const std::string& path, PajeReadStats* stats) {
 
 void write_paje_dump(Trace& trace, std::ostream& os) {
   trace.seal();
+  // The format has no escaping: a comma inside a name would be re-read as
+  // a field separator, silently corrupting the roundtrip.
+  require_delimiter_safe_names(trace, "container path");
   os << "# pj_dump-compatible state list (stagg)\n";
   char buf[64];
   for (ResourceId r = 0; r < static_cast<ResourceId>(trace.resource_count());

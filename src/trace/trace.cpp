@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "common/string_util.hpp"
 #include "common/thread_pool.hpp"
 
 namespace stagg {
@@ -87,6 +88,17 @@ void Trace::set_window(TimeNs begin, TimeNs end) {
   begin_ = begin;
   end_ = end;
   window_overridden_ = true;
+}
+
+void require_delimiter_safe_names(const Trace& trace,
+                                  std::string_view path_kind) {
+  for (StateId x = 0; x < static_cast<StateId>(trace.states().size()); ++x) {
+    require_field_safe(trace.states().name(x), "state name");
+  }
+  for (ResourceId r = 0; r < static_cast<ResourceId>(trace.resource_count());
+       ++r) {
+    require_field_safe(trace.resource_path(r), path_kind);
+  }
 }
 
 }  // namespace stagg

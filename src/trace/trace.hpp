@@ -18,6 +18,17 @@
 
 namespace stagg {
 
+class Trace;
+
+/// Throws TraceFormatError if any resource path or state name of `trace`
+/// contains a comma or line break — the shared write-time precondition of
+/// the unquoted comma-separated trace formats (CSV, pj_dump), checked
+/// before a single record is emitted.  `path_kind` names the path field
+/// in error messages ("resource path" for CSV, "container path" for
+/// pj_dump).
+void require_delimiter_safe_names(const Trace& trace,
+                                  std::string_view path_kind);
+
 /// Mutable in-memory trace.  Intervals may be appended in any order;
 /// seal() sorts each resource's intervals by begin time and freezes the
 /// observation window.

@@ -1,0 +1,92 @@
+// Exhaustive oracle suite (ctest label `heavy`): the DP must equal the
+// brute-force optimum, which enumerates every hierarchy-and-order-consistent
+// partition and evaluates it with an independent implementation of Eq. 1-3.
+//
+// Split out of test_aggregator.cpp: the enumeration dominates the whole
+// suite's wall time (~50 s), so it carries its own ctest TIMEOUT and runs
+// in the Release CI job only — the fast aggregator tests stay in the
+// default test run.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/aggregator.hpp"
+#include "core/brute_force.hpp"
+#include "workload/fixtures.hpp"
+
+namespace stagg {
+namespace {
+
+using OracleParam = std::tuple<int /*seed*/, double /*p*/>;
+
+class AggregatorOracle : public ::testing::TestWithParam<OracleParam> {};
+
+TEST_P(AggregatorOracle, MatchesBruteForceOptimum) {
+  const auto [seed, p] = GetParam();
+  const OwnedModel om =
+      make_random_model({.levels = 2,
+                         .fanout = 2,
+                         .slices = 4,
+                         .states = 2,
+                         .idle_fraction = 0.2,
+                         .seed = static_cast<std::uint64_t>(seed)});
+  SpatiotemporalAggregator agg(om.model);
+  const AggregationResult fast = agg.run(p);
+  const BruteForceResult slow = brute_force_optimum(om.model, p);
+
+  EXPECT_GT(slow.partitions_examined, 100u);  // the oracle actually works
+  EXPECT_NEAR(fast.optimal_pic, slow.optimal_pic, 1e-8)
+      << "DP disagrees with exhaustive optimum";
+  // The DP's partition must achieve the optimal value under the naive
+  // evaluator too (the argmax may differ on exact ties).
+  const double naive = naive_partition_pic(om.model, fast.partition, p);
+  EXPECT_NEAR(naive, slow.optimal_pic, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndPs, AggregatorOracle,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 6),
+                       ::testing::Values(0.0, 0.25, 0.5, 0.75, 1.0)));
+
+// Oracle over a deeper, narrower shape (3 levels, fanout 2, T = 3).
+class AggregatorOracleDeep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AggregatorOracleDeep, MatchesBruteForceOptimum) {
+  const OwnedModel om = make_random_model(
+      {.levels = 3,
+       .fanout = 2,
+       .slices = 3,
+       .states = 2,
+       .seed = static_cast<std::uint64_t>(GetParam())});
+  SpatiotemporalAggregator agg(om.model);
+  for (const double p : {0.3, 0.6}) {
+    const AggregationResult fast = agg.run(p);
+    const BruteForceResult slow = brute_force_optimum(om.model, p);
+    EXPECT_NEAR(fast.optimal_pic, slow.optimal_pic, 1e-8) << "p=" << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AggregatorOracleDeep,
+                         ::testing::Values(11, 12, 13, 14));
+
+// The lane-batched run_many must agree with the exhaustive optimum too —
+// one wide wave over a p-grid against the brute-force evaluator.
+TEST(AggregatorOracleLanes, RunManyMatchesBruteForceAcrossAWave) {
+  const OwnedModel om = make_random_model({.levels = 2,
+                                           .fanout = 2,
+                                           .slices = 4,
+                                           .states = 2,
+                                           .idle_fraction = 0.2,
+                                           .seed = 3});
+  SpatiotemporalAggregator agg(om.model);
+  const double ps[] = {0.0, 0.2, 0.4, 0.5, 0.6, 0.8, 0.9, 1.0};
+  const std::vector<AggregationResult> sweep = agg.run_many(ps);
+  for (std::size_t k = 0; k < sweep.size(); ++k) {
+    const BruteForceResult slow = brute_force_optimum(om.model, ps[k]);
+    EXPECT_NEAR(sweep[k].optimal_pic, slow.optimal_pic, 1e-8)
+        << "p=" << ps[k];
+  }
+}
+
+}  // namespace
+}  // namespace stagg

@@ -58,6 +58,43 @@ TEST(Dichotomy, RespectsRunBudget) {
   EXPECT_LE(r.runs, 5u);
 }
 
+TEST(Dichotomy, MaxRunsZeroReturnsEmptyResultWithoutThrowing) {
+  OwnedModel om = make_figure3_model();
+  SpatiotemporalAggregator agg(om.model);
+  const DichotomyResult r =
+      find_significant_levels(agg, {.epsilon = 1e-3, .max_runs = 0});
+  EXPECT_EQ(r.runs, 0u);
+  EXPECT_TRUE(r.levels.empty());
+}
+
+TEST(Dichotomy, MaxRunsOneReturnsPartialResultWithoutThrowing) {
+  // The initial {0, 1} endpoint batch is truncated to the budget; the
+  // search must return the single-probe partial result, not throw on the
+  // unprobed endpoint.
+  OwnedModel om = make_figure3_model();
+  SpatiotemporalAggregator agg(om.model);
+  const DichotomyResult r =
+      find_significant_levels(agg, {.epsilon = 1e-3, .max_runs = 1});
+  EXPECT_EQ(r.runs, 1u);
+  ASSERT_EQ(r.levels.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.levels[0].p_min, 0.0);
+  EXPECT_DOUBLE_EQ(r.levels[0].p_max, 0.0);
+  EXPECT_TRUE(r.levels[0].result.partition.is_valid(*om.hierarchy, 20));
+}
+
+TEST(Dichotomy, MaxRunsTwoProbesExactlyBothEndpoints) {
+  OwnedModel om = make_figure3_model();
+  SpatiotemporalAggregator agg(om.model);
+  const DichotomyResult r =
+      find_significant_levels(agg, {.epsilon = 1e-3, .max_runs = 2});
+  EXPECT_EQ(r.runs, 2u);
+  // Fig. 3 has distinct partitions at p = 0 and p = 1, so the two endpoint
+  // probes form two one-point plateaus spanning the range.
+  ASSERT_EQ(r.levels.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.levels.front().p_min, 0.0);
+  EXPECT_DOUBLE_EQ(r.levels.back().p_max, 1.0);
+}
+
 TEST(Dichotomy, HomogeneousModelHasOneLevel) {
   const OwnedModel om = make_random_model({.levels = 2,
                                            .fanout = 2,

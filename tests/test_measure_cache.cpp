@@ -190,6 +190,116 @@ TEST(KernelEquivalence, EvaluateIdenticalBeforeAndAfterCacheBuild) {
   EXPECT_EQ(before.measures.loss, after.measures.loss);
 }
 
+// ---------------------------------------------------------------------------
+// Lane batching: run_many evaluates probes in waves of max_lanes parameters
+// sharing one DP sweep.  Any lane width, odd probe counts (remainder waves
+// of width 1..7), duplicate parameters, and wave regrouping must all be
+// bit-identical per probe to the reference kernel.
+// ---------------------------------------------------------------------------
+
+TEST(KernelEquivalence, LaneWidthSweepBitIdenticalToReference) {
+  const OwnedModel om = make_random_model(
+      {.levels = 3, .fanout = 2, .slices = 15, .states = 3, .seed = 402});
+  AggregationOptions ref_opt;
+  ref_opt.kernel = DpKernel::kReference;
+  SpatiotemporalAggregator reference(om.model, ref_opt);
+
+  // 9 probes with duplicates: an 8-lane wave plus a width-1 remainder, a
+  // 4-lane config with a width-1 remainder, and the solo pre-lane sweep.
+  const std::vector<double> ps = {0.0, 0.3, 0.3, 0.55, 0.55,
+                                  0.7, 0.85, 1.0, 0.3};
+  std::vector<AggregationResult> oracle;
+  oracle.reserve(ps.size());
+  for (const double p : ps) oracle.push_back(reference.run(p));
+
+  // Width 0 stands for the PR 1 solo kernel (DpKernel::kCachedSolo), which
+  // must stay bit-identical too — it is the lane-batching bench baseline.
+  for (const std::size_t width : {std::size_t{0}, std::size_t{1},
+                                  std::size_t{4}, std::size_t{8}}) {
+    AggregationOptions opt;
+    if (width == 0) {
+      opt.kernel = DpKernel::kCachedSolo;
+    } else {
+      opt.max_lanes = width;
+    }
+    SpatiotemporalAggregator laned(om.model, opt);
+    const std::vector<AggregationResult> fast = laned.run_many(ps);
+    ASSERT_EQ(fast.size(), ps.size()) << "W=" << width;
+    for (std::size_t k = 0; k < ps.size(); ++k) {
+      EXPECT_EQ(fast[k].p, ps[k]) << "W=" << width;
+      EXPECT_EQ(fast[k].optimal_pic, oracle[k].optimal_pic)
+          << "W=" << width << " k=" << k << " p=" << ps[k];
+      EXPECT_EQ(fast[k].partition.signature(),
+                oracle[k].partition.signature())
+          << "W=" << width << " k=" << k << " p=" << ps[k];
+      EXPECT_EQ(fast[k].measures.gain, oracle[k].measures.gain)
+          << "W=" << width << " k=" << k;
+      EXPECT_EQ(fast[k].measures.loss, oracle[k].measures.loss)
+          << "W=" << width << " k=" << k;
+    }
+  }
+}
+
+TEST(KernelEquivalence, WaveRegroupingDoesNotChangeResults) {
+  // The same probes pushed through different wave shapes (8+3, 4+4+3,
+  // 11 x 1) must agree bit-for-bit: lanes never interact.
+  const OwnedModel om = make_random_model(
+      {.levels = 2, .fanout = 3, .slices = 18, .states = 4,
+       .idle_fraction = 0.1, .seed = 77});
+  const std::vector<double> ps = p_grid(11);  // odd count
+  std::vector<std::vector<AggregationResult>> runs;
+  for (const std::size_t width : {std::size_t{8}, std::size_t{4},
+                                  std::size_t{1}}) {
+    AggregationOptions opt;
+    opt.max_lanes = width;
+    SpatiotemporalAggregator agg(om.model, opt);
+    runs.push_back(agg.run_many(ps));
+  }
+  for (std::size_t k = 0; k < ps.size(); ++k) {
+    EXPECT_EQ(runs[0][k].optimal_pic, runs[1][k].optimal_pic) << "k=" << k;
+    EXPECT_EQ(runs[0][k].optimal_pic, runs[2][k].optimal_pic) << "k=" << k;
+    EXPECT_EQ(runs[0][k].partition.signature(),
+              runs[1][k].partition.signature()) << "k=" << k;
+    EXPECT_EQ(runs[0][k].partition.signature(),
+              runs[2][k].partition.signature()) << "k=" << k;
+  }
+}
+
+TEST(KernelEquivalence, LanedNormalizedRunsMatchReference) {
+  const OwnedModel om = make_random_model(
+      {.levels = 2, .fanout = 4, .slices = 12, .states = 3, .seed = 19});
+  AggregationOptions opt;
+  opt.normalize = true;
+  opt.max_lanes = 8;
+  AggregationOptions ref_opt = opt;
+  ref_opt.kernel = DpKernel::kReference;
+  SpatiotemporalAggregator laned(om.model, opt);
+  SpatiotemporalAggregator reference(om.model, ref_opt);
+  const std::vector<double> ps = p_grid(7);  // one wave of 7 (odd width)
+  const std::vector<AggregationResult> fast = laned.run_many(ps);
+  for (std::size_t k = 0; k < ps.size(); ++k) {
+    const AggregationResult slow = reference.run(ps[k]);
+    EXPECT_EQ(fast[k].optimal_pic, slow.optimal_pic) << "p=" << ps[k];
+    EXPECT_EQ(fast[k].partition.signature(), slow.partition.signature())
+        << "p=" << ps[k];
+  }
+}
+
+TEST(KernelEquivalence, RunAfterWideWaveReusesArenaBitIdentically) {
+  // A wide wave leaves 8-lane-sized pooled buffers; a following solo run
+  // (and a narrower wave) must resize and reuse them without value drift.
+  const OwnedModel om = make_random_model(
+      {.levels = 2, .fanout = 3, .slices = 13, .states = 2, .seed = 88});
+  SpatiotemporalAggregator agg(om.model);
+  SpatiotemporalAggregator fresh(om.model);
+  const std::vector<double> wide = p_grid(8);
+  (void)agg.run_many(wide);  // 8-lane wave pollutes the arena
+  const AggregationResult warm = agg.run(0.42);
+  const AggregationResult cold = fresh.run(0.42);
+  EXPECT_EQ(warm.optimal_pic, cold.optimal_pic);
+  EXPECT_EQ(warm.partition.signature(), cold.partition.signature());
+}
+
 TEST(KernelEquivalence, DichotomyFindsSameLevelsOnBothKernels) {
   const OwnedModel om = make_figure3_model();
   AggregationOptions ref_opt;

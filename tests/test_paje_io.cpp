@@ -98,6 +98,62 @@ TEST(PajeIo, MissingFileThrows) {
   EXPECT_THROW((void)read_paje_dump("/nonexistent/x.paje"), IoError);
 }
 
+TEST(PajeIo, WriterRejectsCommaInNames) {
+  // The format has no escaping; a comma-bearing name must be rejected at
+  // write time instead of producing a file the reader mis-parses.
+  Trace bad_path;
+  const ResourceId r = bad_path.add_resource("site/machine,0/rank0");
+  bad_path.add_state(r, "Compute", 0, seconds(1.0));
+  std::ostringstream os;
+  EXPECT_THROW(write_paje_dump(bad_path, os), TraceFormatError);
+
+  Trace bad_state;
+  const ResourceId r2 = bad_state.add_resource("site/rank0");
+  bad_state.add_state(r2, "MPI_Send,sync", 0, seconds(1.0));
+  std::ostringstream os2;
+  EXPECT_THROW(write_paje_dump(bad_state, os2), TraceFormatError);
+}
+
+TEST(PajeIo, ReaderRejectsStateRecordWithEmbeddedComma) {
+  // A comma inside the container name shifts every field right (9 fields);
+  // the reader must reject instead of parsing garbage.
+  std::istringstream is(
+      "State, site/machine,0/rank0, STATE, 0.0, 1.0, 1.0, 0, Compute\n");
+  EXPECT_THROW((void)read_paje_dump(is), TraceFormatError);
+}
+
+TEST(PajeIo, RejectsNonFiniteAndOverflowingTimestamps) {
+  // |t| * 1e9 beyond int64 (or non-finite t) would make llround UB.
+  std::istringstream huge(
+      "State, c/r0, STATE, 0.0, 1e300, 1e300, 0, Compute\n");
+  EXPECT_THROW((void)read_paje_dump(huge), TraceFormatError);
+  std::istringstream inf_time(
+      "State, c/r0, STATE, 0.0, inf, inf, 0, Compute\n");
+  EXPECT_THROW((void)read_paje_dump(inf_time), TraceFormatError);
+  std::istringstream nan_time(
+      "State, c/r0, STATE, nan, nan, 0.0, 0, Compute\n");
+  EXPECT_THROW((void)read_paje_dump(nan_time), TraceFormatError);
+  // Just under the cap still parses (~291 years in nanoseconds).
+  std::istringstream big_ok(
+      "State, c/r0, STATE, 0.0, 9.1e9, 9.1e9, 0, Compute\n");
+  const Trace t = read_paje_dump(big_ok);
+  EXPECT_EQ(t.state_count(), 1u);
+}
+
+TEST(PajeIo, ErrorMessagesCarryLineContext) {
+  std::istringstream is(
+      "# header\n"
+      "State, c/r0, STATE, 0.0, 1.0, 1.0, 0, Compute\n"
+      "State, c/r0, STATE, 2.0, 1e300, 1e300, 0, Compute\n");
+  try {
+    (void)read_paje_dump(is, "<ctx>");
+    FAIL() << "expected TraceFormatError";
+  } catch (const TraceFormatError& e) {
+    EXPECT_NE(std::string(e.what()).find("<ctx>:3"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(PajeIo, PercentHeaderLinesAreComments) {
   std::istringstream is(
       "%EventDef PajeDefineContainerType 0\n"

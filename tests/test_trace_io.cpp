@@ -135,6 +135,35 @@ TEST_F(TraceIoTest, CsvRoundTripStream) {
   expect_equal(t, back);
 }
 
+TEST_F(TraceIoTest, CsvWriterRejectsCommaInNames) {
+  // Unquoted format: a comma in a resource path or state name would be
+  // re-read as a field separator — the writer must throw, not corrupt the
+  // roundtrip.
+  Trace bad_path;
+  const ResourceId r = bad_path.add_resource("root/m0,shard1/c0");
+  bad_path.add_state(r, "Compute", 0, seconds(1.0));
+  std::ostringstream os;
+  EXPECT_THROW(write_csv_trace(bad_path, os), TraceFormatError);
+
+  Trace bad_state;
+  const ResourceId r2 = bad_state.add_resource("root/m0/c0");
+  bad_state.add_state(r2, "Send,recv", 0, seconds(1.0));
+  EXPECT_THROW((void)write_csv_trace(bad_state, file("bad.csv")),
+               TraceFormatError);
+
+  Trace newline_state;
+  const ResourceId r3 = newline_state.add_resource("root/m0/c0");
+  newline_state.add_state(r3, "Send\nrecv", 0, seconds(1.0));
+  std::ostringstream os3;
+  EXPECT_THROW(write_csv_trace(newline_state, os3), TraceFormatError);
+}
+
+TEST_F(TraceIoTest, CsvReaderRejectsRecordWithEmbeddedComma) {
+  // What a comma-bearing name would have produced: six fields.
+  std::istringstream is("STATE,root/m0,shard1/c0,x,0,10\n");
+  EXPECT_THROW((void)read_csv_trace(is), TraceFormatError);
+}
+
 TEST_F(TraceIoTest, CsvRejectsMalformedRecords) {
   std::istringstream missing_fields("STATE,r,x,1\n");
   EXPECT_THROW((void)read_csv_trace(missing_fields), TraceFormatError);
