@@ -9,6 +9,7 @@
 #include "common/error.hpp"
 #include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
+#include "core/triangular_relocate.hpp"
 
 namespace stagg {
 namespace {
@@ -372,11 +373,17 @@ void SpatiotemporalAggregator::compute_cell_lanes(const LaneScan& scan,
 
 template <int W, bool Filtered>
 void SpatiotemporalAggregator::compute_node_lanes_w(const LaneScan& scan,
-                                                    bool wavefront) {
+                                                    bool wavefront,
+                                                    SliceId first_dirty) {
   const SliceId n_t = tri_.slices();
   if (!wavefront) {
+    // i descending / j ascending: a cell (i, j) reads (i, c) with c < j
+    // (this row, already swept — or a retained clean column) and (c+1, j)
+    // with c+1 > i (deeper rows, already swept).  Restricting j to the
+    // dirty columns therefore preserves every dependency: clean cells are
+    // read, never written.
     for (SliceId i = n_t - 1; i >= 0; --i) {
-      for (SliceId j = i; j < n_t; ++j) {
+      for (SliceId j = std::max(i, first_dirty); j < n_t; ++j) {
         compute_cell_lanes<W, Filtered>(scan, i, j);
       }
     }
@@ -387,41 +394,47 @@ void SpatiotemporalAggregator::compute_node_lanes_w(const LaneScan& scan,
   // anti-diagonal is one parallel_for.  Used for single-node levels —
   // notably the root — whose DP otherwise runs entirely serially.  Lane
   // values of one cell are always computed by one task, so the schedule
-  // cannot affect results.
-  for (SliceId i = 0; i < n_t; ++i) compute_cell_lanes<W, Filtered>(scan, i, i);
+  // cannot affect results.  Dirty sweeps clip each anti-diagonal to the
+  // cells with j = i + len >= first_dirty.
+  for (SliceId i = std::max<SliceId>(0, first_dirty); i < n_t; ++i) {
+    compute_cell_lanes<W, Filtered>(scan, i, i);
+  }
   const std::size_t threads =
       std::max<std::size_t>(1, ThreadPool::shared().size());
   for (SliceId len = 1; len < n_t; ++len) {
-    const std::size_t n = static_cast<std::size_t>(n_t - len);
+    const SliceId i_lo = std::max<SliceId>(0, first_dirty - len);
+    if (i_lo >= n_t - len) continue;
+    const std::size_t n = static_cast<std::size_t>(n_t - len - i_lo);
     const std::size_t grain = std::max<std::size_t>(16, n / (4 * threads));
     parallel_for(
         n,
-        [&](std::size_t i) {
-          compute_cell_lanes<W, Filtered>(scan, static_cast<SliceId>(i),
-                                          static_cast<SliceId>(i) + len);
+        [&](std::size_t k) {
+          const auto i = static_cast<SliceId>(i_lo + static_cast<SliceId>(k));
+          compute_cell_lanes<W, Filtered>(scan, i, i + len);
         },
         grain);
   }
 }
 
 void SpatiotemporalAggregator::compute_node_lanes(const LaneScan& scan,
-                                                  bool wavefront) {
+                                                  bool wavefront,
+                                                  SliceId first_dirty) {
   // One instantiation per width keeps the per-cell lane loops at a
   // compile-time trip count the optimizer can unroll.  kCachedSolo (the
   // PR 1 kernel) always runs width 1, unfiltered.
   if (options_.kernel == DpKernel::kCachedSolo) {
-    compute_node_lanes_w<1, false>(scan, wavefront);
+    compute_node_lanes_w<1, false>(scan, wavefront, first_dirty);
     return;
   }
   switch (scan.lanes) {
-    case 1: compute_node_lanes_w<1, true>(scan, wavefront); break;
-    case 2: compute_node_lanes_w<2, true>(scan, wavefront); break;
-    case 3: compute_node_lanes_w<3, true>(scan, wavefront); break;
-    case 4: compute_node_lanes_w<4, true>(scan, wavefront); break;
-    case 5: compute_node_lanes_w<5, true>(scan, wavefront); break;
-    case 6: compute_node_lanes_w<6, true>(scan, wavefront); break;
-    case 7: compute_node_lanes_w<7, true>(scan, wavefront); break;
-    case 8: compute_node_lanes_w<8, true>(scan, wavefront); break;
+    case 1: compute_node_lanes_w<1, true>(scan, wavefront, first_dirty); break;
+    case 2: compute_node_lanes_w<2, true>(scan, wavefront, first_dirty); break;
+    case 3: compute_node_lanes_w<3, true>(scan, wavefront, first_dirty); break;
+    case 4: compute_node_lanes_w<4, true>(scan, wavefront, first_dirty); break;
+    case 5: compute_node_lanes_w<5, true>(scan, wavefront, first_dirty); break;
+    case 6: compute_node_lanes_w<6, true>(scan, wavefront, first_dirty); break;
+    case 7: compute_node_lanes_w<7, true>(scan, wavefront, first_dirty); break;
+    case 8: compute_node_lanes_w<8, true>(scan, wavefront, first_dirty); break;
     default: break;  // unreachable: lane_width clamps to kMaxDpLanes
   }
 }
@@ -462,29 +475,7 @@ void SpatiotemporalAggregator::run_wave(std::span<const double> ps,
       cmirror_[idx] = acquire_i32(lane_cells);
       if (cut_[idx].size() != lane_cells) cut_[idx].resize(lane_cells);
     }
-    if (options_.parallel && nodes.size() > 1) {
-      parallel_for(
-          nodes.size(),
-          [&](std::size_t k) {
-            std::vector<const double*> child_pic;
-            std::vector<const std::int32_t*> child_cnt;
-            const LaneScan scan = make_scan(nodes[k], ps, gain_scale,
-                                            loss_scale, child_pic, child_cnt);
-            compute_node_lanes(scan, /*wavefront=*/false);
-          },
-          /*grain=*/1);
-    } else {
-      // A thin level (typically the single root node) cannot use sibling
-      // parallelism; sweep its anti-diagonals in parallel instead.  The
-      // wavefront runs on the caller thread, so it never nests pool waits.
-      std::vector<const double*> child_pic;
-      std::vector<const std::int32_t*> child_cnt;
-      for (NodeId n : nodes) {
-        const LaneScan scan =
-            make_scan(n, ps, gain_scale, loss_scale, child_pic, child_cnt);
-        compute_node_lanes(scan, /*wavefront=*/options_.parallel);
-      }
-    }
+    sweep_level(nodes, ps, gain_scale, loss_scale, /*first_dirty=*/0);
     // The mirrors are only read by the node's own temporal scans.
     for (NodeId n : nodes) {
       release(std::move(mirror_[static_cast<std::size_t>(n)]));
@@ -492,6 +483,48 @@ void SpatiotemporalAggregator::run_wave(std::span<const double> ps,
     }
   }
 
+  extract_wave_results(ps, out);
+
+  // Return the last two levels' buffers to the arena; nothing is freed, so
+  // the next wave (same |T| and width) allocates nothing.
+  for (auto& buf : pic_) release(std::move(buf));
+  for (auto& buf : cnt_) release(std::move(buf));
+}
+
+void SpatiotemporalAggregator::sweep_level(std::span<const NodeId> nodes,
+                                           std::span<const double> ps,
+                                           double gain_scale,
+                                           double loss_scale,
+                                           SliceId first_dirty) {
+  if (options_.parallel && nodes.size() > 1) {
+    parallel_for(
+        nodes.size(),
+        [&](std::size_t k) {
+          std::vector<const double*> child_pic;
+          std::vector<const std::int32_t*> child_cnt;
+          const LaneScan scan = make_scan(nodes[k], ps, gain_scale,
+                                          loss_scale, child_pic, child_cnt);
+          compute_node_lanes(scan, /*wavefront=*/false, first_dirty);
+        },
+        /*grain=*/1);
+  } else {
+    // A thin level (typically the single root node) cannot use sibling
+    // parallelism; sweep its anti-diagonals in parallel instead.  The
+    // wavefront runs on the caller thread, so it never nests pool waits.
+    std::vector<const double*> child_pic;
+    std::vector<const std::int32_t*> child_cnt;
+    for (NodeId n : nodes) {
+      const LaneScan scan =
+          make_scan(n, ps, gain_scale, loss_scale, child_pic, child_cnt);
+      compute_node_lanes(scan, /*wavefront=*/options_.parallel, first_dirty);
+    }
+  }
+}
+
+void SpatiotemporalAggregator::extract_wave_results(
+    std::span<const double> ps, std::vector<AggregationResult>& out) {
+  const Hierarchy& h = model_->hierarchy();
+  const std::size_t lanes = ps.size();
   const std::size_t root_cell = tri_(0, tri_.slices() - 1);
   const auto root_idx = static_cast<std::size_t>(h.root());
   for (std::size_t lane = 0; lane < lanes; ++lane) {
@@ -506,11 +539,6 @@ void SpatiotemporalAggregator::run_wave(std::span<const double> ps,
     fill_quality(result);
     out.push_back(std::move(result));
   }
-
-  // Return the last two levels' buffers to the arena; nothing is freed, so
-  // the next wave (same |T| and width) allocates nothing.
-  for (auto& buf : pic_) release(std::move(buf));
-  for (auto& buf : cnt_) release(std::move(buf));
 }
 
 AggregationResult SpatiotemporalAggregator::run_cached(double p) {
@@ -518,6 +546,194 @@ AggregationResult SpatiotemporalAggregator::run_cached(double p) {
   out.reserve(1);
   run_wave({&p, 1}, out);
   return std::move(out.front());
+}
+
+// ---------------------------------------------------------------------------
+// Incremental re-aggregation: window splicing + dirty-column DP sweeps.
+// ---------------------------------------------------------------------------
+
+void SpatiotemporalAggregator::apply_window_update(std::int32_t dropped_front,
+                                                   SliceId first_dirty) {
+  const std::int32_t old_t = tri_.slices();
+  const std::int32_t new_t = model_->slice_count();
+  if (dropped_front < 0 || dropped_front > old_t) {
+    throw InvalidArgument("apply_window_update: invalid dropped_front");
+  }
+  // Cells whose column has no old counterpart (appended slices) are dirty
+  // regardless of what the caller reports; so are all columns at or past
+  // the first changed model column.
+  const SliceId fresh_from =
+      std::max<SliceId>(0, old_t - dropped_front);
+  const SliceId dirty =
+      std::clamp<SliceId>(std::min(first_dirty, fresh_from), 0, new_t);
+
+  cube_.reshape_slices(new_t, dropped_front);
+  cube_.recompute_slices(dirty, options_.parallel);
+
+  const TriangularIndex new_tri(new_t);
+  if (cache_.built()) {
+    cache_.reshape(new_t, dropped_front);
+    cache_.update(cube_, dirty, options_.parallel);
+  }
+
+  if (inc_ && inc_->valid) {
+    // Relocate every wave's retained row-major matrices; the column-major
+    // mirrors are not retained (see WaveDpState).
+    for (WaveDpState& wave : inc_->waves) {
+      for (auto& buf : wave.pic) {
+        reshape_packed_triangles(buf, tri_, new_tri, dropped_front,
+                                 wave.lanes, 1);
+      }
+      for (auto& buf : wave.cnt) {
+        reshape_packed_triangles(buf, tri_, new_tri, dropped_front,
+                                 wave.lanes, 1);
+      }
+      for (auto& buf : wave.cut) {
+        reshape_packed_triangles(buf, tri_, new_tri, dropped_front,
+                                 wave.lanes, 1);
+        // pIC and count are coordinate-free, but cut values are *absolute
+        // slice indices* (cut == j marks an aggregate, cut in [i, j) a
+        // temporal split position): a dropped prefix shifts them all.
+        // Dirty cells are about to be recomputed anyway; -1 (spatial cut)
+        // is preserved.
+        if (dropped_front > 0) {
+          for (auto& c : buf) {
+            if (c >= 0) c -= dropped_front;
+          }
+        }
+      }
+    }
+    // Prior staleness shifts with the window; combine with this update.
+    const SliceId prior = std::clamp<SliceId>(
+        inc_dirty_ - dropped_front, 0, new_t);
+    inc_dirty_ = std::min(prior, dirty);
+  } else {
+    inc_dirty_ = 0;
+  }
+  tri_ = new_tri;
+}
+
+std::size_t SpatiotemporalAggregator::incremental_state_bytes()
+    const noexcept {
+  if (!inc_) return 0;
+  std::size_t bytes = 0;
+  for (const WaveDpState& wave : inc_->waves) {
+    for (const auto& buf : wave.pic) bytes += buf.size() * sizeof(double);
+    for (const auto& buf : wave.cnt) bytes += buf.size() * sizeof(std::int32_t);
+    for (const auto& buf : wave.cut) bytes += buf.size() * sizeof(std::int32_t);
+  }
+  return bytes;
+}
+
+void SpatiotemporalAggregator::run_wave_incremental(
+    std::span<const double> ps, WaveDpState& state, SliceId first_dirty,
+    std::vector<AggregationResult>& out) {
+  const Hierarchy& h = model_->hierarchy();
+  const std::size_t lanes = ps.size();
+  const std::size_t lane_cells = tri_.size() * lanes;
+  const std::size_t node_count = h.node_count();
+
+  state.lanes = lanes;
+  state.pic.resize(node_count);
+  state.cnt.resize(node_count);
+  state.cut.resize(node_count);
+  // Adopt the retained buffers into the member slots the scan builders
+  // read; vectors move by pointer swap.  Fresh (empty) buffers are sized
+  // here — their cells are all covered by a first_dirty == 0 sweep.
+  for (std::size_t n = 0; n < node_count; ++n) {
+    pic_[n] = std::move(state.pic[n]);
+    cnt_[n] = std::move(state.cnt[n]);
+    cut_[n] = std::move(state.cut[n]);
+    if (pic_[n].size() != lane_cells) pic_[n].resize(lane_cells);
+    if (cnt_[n].size() != lane_cells) cnt_[n].resize(lane_cells);
+    if (cut_[n].size() != lane_cells) cut_[n].resize(lane_cells);
+  }
+
+  if (first_dirty < tri_.slices()) {
+    for (std::size_t d = levels_.size(); d-- > 0;) {
+      const auto& nodes = levels_[d];
+      for (NodeId n : nodes) {
+        const auto idx = static_cast<std::size_t>(n);
+        mirror_[idx] = acquire_dbl(lane_cells);
+        cmirror_[idx] = acquire_i32(lane_cells);
+      }
+      sweep_level(nodes, ps, /*gain_scale=*/1.0, /*loss_scale=*/1.0,
+                  first_dirty);
+      for (NodeId n : nodes) {
+        release(std::move(mirror_[static_cast<std::size_t>(n)]));
+        release(std::move(cmirror_[static_cast<std::size_t>(n)]));
+      }
+    }
+  }
+
+  extract_wave_results(ps, out);
+
+  // Return the matrices to the retained checkpoint for the next advance.
+  for (std::size_t n = 0; n < node_count; ++n) {
+    state.pic[n] = std::move(pic_[n]);
+    state.cnt[n] = std::move(cnt_[n]);
+    state.cut[n] = std::move(cut_[n]);
+  }
+}
+
+std::vector<AggregationResult> SpatiotemporalAggregator::run_incremental(
+    std::span<const double> ps) {
+  for (const double p : ps) check_p(p);
+  if (options_.kernel == DpKernel::kReference) {
+    throw InvalidArgument(
+        "run_incremental: the reference kernel has no retained form; use a "
+        "cached kernel");
+  }
+  if (options_.normalize) {
+    throw InvalidArgument(
+        "run_incremental: normalization rescales every cell on each window "
+        "update; incremental sessions require normalize = false");
+  }
+  std::vector<AggregationResult> results;
+  if (ps.empty()) return results;
+  const std::size_t width = lane_width(ps.size());
+  const std::size_t waves = (ps.size() + width - 1) / width;
+  // Budget: the sweep working set plus the retained checkpoint (pIC +
+  // count + cut per cell per lane, every node, every wave).
+  const std::size_t retained =
+      waves * model_->hierarchy().node_count() * tri_.size() * width *
+      (sizeof(double) + 2 * sizeof(std::int32_t));
+  const std::size_t need = working_set_bytes(width) + retained;
+  if (need > options_.memory_budget_bytes) {
+    throw BudgetError("incremental DP working set + retained state need " +
+                      std::to_string(need) + " bytes > budget " +
+                      std::to_string(options_.memory_budget_bytes) +
+                      "; reduce |T|, the lane width, or raise the budget");
+  }
+  ensure_measure_cache();
+
+  const bool fresh =
+      !inc_ || !inc_->valid || inc_->width != width ||
+      inc_->ps.size() != ps.size() ||
+      !std::equal(inc_->ps.begin(), inc_->ps.end(), ps.begin());
+  if (fresh) {
+    inc_ = std::make_unique<IncrementalDp>();
+    inc_->ps.assign(ps.begin(), ps.end());
+    inc_->width = width;
+    inc_->waves.resize(waves);
+    inc_dirty_ = 0;
+  }
+  const SliceId first_dirty = fresh ? 0 : inc_dirty_;
+  // Invalidate while waves are in flight: if a sweep throws (allocation
+  // failure past the budget check, cancellation), the retained buffers are
+  // partially moved out and must not be spliced from on a retry.
+  inc_->valid = false;
+
+  results.reserve(ps.size());
+  for (std::size_t w = 0; w < waves; ++w) {
+    const std::size_t offset = w * width;
+    run_wave_incremental(
+        ps.subspan(offset, std::min(width, ps.size() - offset)),
+        inc_->waves[w], first_dirty, results);
+  }
+  inc_->valid = true;
+  inc_dirty_ = tri_.slices();
+  return results;
 }
 
 // ---------------------------------------------------------------------------
@@ -550,13 +766,24 @@ void SpatiotemporalAggregator::compute_node_reference(NodeId node, double p,
     child_cnt.push_back(cnt_[static_cast<std::size_t>(c)].data());
   }
 
-  for (SliceId i = n_t - 1; i >= 0; --i) {
-    const std::size_t row = tri_.row_offset(i);
-    for (SliceId j = i; j < n_t; ++j) {
+  // Column-major sweep (j ascending, i descending): column j's measures
+  // are produced by one descending per-state accumulation over the cube's
+  // per-slice data — bit-identical to per-cell cube_.measures() calls (the
+  // MeasureCache equivalence suite pins this), but O(|X|) amortized per
+  // cell instead of O(|X| (j-i)), preserving the original formulation's
+  // O(|S| |T|^2 |X|) measure cost.  The order is DP-valid: cell (i, j)
+  // reads (i, c) with c < j (earlier columns) and (c+1, j) deeper in the
+  // current column (already computed, i descends).
+  std::vector<AreaMeasures> col(static_cast<std::size_t>(n_t));
+  for (SliceId j = 0; j < n_t; ++j) {
+    cube_.measures_column_into(
+        node, j, std::span(col.data(), static_cast<std::size_t>(j) + 1));
+    for (SliceId i = j; i >= 0; --i) {
+      const std::size_t row = tri_.row_offset(i);
       const std::size_t cell = row + static_cast<std::size_t>(j - i);
 
       // "No cut": the area itself is one aggregate (Eq. 4).
-      const AreaMeasures m = cube_.measures(node, i, j);
+      const AreaMeasures m = col[static_cast<std::size_t>(i)];
       double best = p * m.gain * gain_scale - (1.0 - p) * m.loss * loss_scale;
       std::int32_t best_cut = j;
       std::int32_t best_count = 1;

@@ -191,6 +191,62 @@ class SpatiotemporalAggregator {
   [[nodiscard]] AggregationResult evaluate(const Partition& partition,
                                            double p) const;
 
+  // -------------------------------------------------------------------------
+  // Incremental re-aggregation (sliding-window sessions).
+  //
+  // Contract: the referenced model's window was mutated in place so that
+  //   * `dropped_front` leading slices were dropped (column c of the new
+  //     window held column c + dropped_front of the old one, bit-exactly),
+  //   * every per-slice column >= `first_dirty` (new indexing) may differ,
+  //     every column before it is bit-identical,
+  // and |T| may have changed (extension/contraction).  apply_window_update
+  // then splices all derived state: the cube's per-slice columns are
+  // remapped and the dirty suffix recomputed, the measure cache's triangle
+  // is relocated (new cell (i,j) = old cell (i+k, j+k), exact under the
+  // translation-invariant convention of cube.hpp) and its dirty columns
+  // refilled, and the retained DP matrices of an active incremental
+  // session are remapped the same way.
+  //
+  // run_incremental(ps) then re-runs the DP **only over cells whose column
+  // is dirty** — the dirty-column invariant: a DP cell (i, j) depends
+  // solely on measures and sub-cells inside [i, j], so every cell with
+  // j < first_dirty is provably bit-identical to its previous value and is
+  // restored from the retained checkpoint instead of recomputed.  Results
+  // are bit-identical to a from-scratch run_many(ps) on the new window at
+  // any lane width.  The retained state (pIC + cut + count for every node,
+  // per wave) is what working_set accounting charges via
+  // incremental_state_bytes(); it always reflects the post-advance |T|.
+  //
+  // Requires a cached kernel (kReference has no retained form) and
+  // normalize == false (the root normalization scales change with every
+  // window update, which would dirty every cell).
+  // -------------------------------------------------------------------------
+
+  /// Splices cube, measure cache and retained DP state after an in-place
+  /// model-window mutation; see the contract above.  Cheap (proportional
+  /// to the dirty suffix plus one relocation pass); performs no DP run.
+  void apply_window_update(std::int32_t dropped_front, SliceId first_dirty);
+
+  /// Batched sweep reusing the previous sweep's DP state: recomputes only
+  /// dirty columns (everything, on the first call or when `ps`/the lane
+  /// width change) and returns one result per parameter — bit-identical to
+  /// run_many(ps) on the current window.  Throws InvalidArgument on the
+  /// reference kernel or normalize == true; BudgetError when working set +
+  /// retained state exceed the budget.
+  [[nodiscard]] std::vector<AggregationResult> run_incremental(
+      std::span<const double> ps);
+
+  /// True between the first run_incremental() and reset_incremental().
+  [[nodiscard]] bool incremental_active() const noexcept {
+    return inc_ != nullptr && inc_->valid;
+  }
+  /// Releases the retained per-wave DP state (the next run_incremental
+  /// recomputes everything).
+  void reset_incremental() noexcept { inc_.reset(); }
+  /// Bytes held by the retained incremental DP state (pIC + count + cut
+  /// per cell per lane, every node, every wave) at the current |T|.
+  [[nodiscard]] std::size_t incremental_state_bytes() const noexcept;
+
  private:
   /// Pointers and parameters of one node's DP sweep over one wave of W
   /// lanes (cached kernel).  The shared (gain, loss) triangle is read once
@@ -219,6 +275,24 @@ class SpatiotemporalAggregator {
     return jj * (jj + 1) / 2;
   }
 
+  /// Retained DP matrices of one lane wave (incremental sessions): the
+  /// row-major pIC/count/cut triangles of every node.  The column-major
+  /// mirrors are *not* retained — a dirty column's mirror entries are
+  /// always rewritten before they are read, so mirrors live in the pooled
+  /// arena only while a level is being swept.
+  struct WaveDpState {
+    std::size_t lanes = 0;
+    std::vector<std::vector<double>> pic;          ///< per node
+    std::vector<std::vector<std::int32_t>> cnt;    ///< per node
+    std::vector<std::vector<std::int32_t>> cut;    ///< per node
+  };
+  struct IncrementalDp {
+    std::vector<double> ps;           ///< session probe list, wave-ordered
+    std::size_t width = 1;            ///< full-wave lane width
+    std::vector<WaveDpState> waves;
+    bool valid = false;
+  };
+
   void ensure_measure_cache();
   void check_p(double p) const;
   void check_budget(std::size_t lanes) const;
@@ -233,6 +307,21 @@ class SpatiotemporalAggregator {
   /// result per lane, in order.
   void run_wave(std::span<const double> ps,
                 std::vector<AggregationResult>& out);
+  /// One retained DP sweep over cells with j >= first_dirty, splicing the
+  /// unchanged prefix from `state`; appends one result per lane.
+  void run_wave_incremental(std::span<const double> ps, WaveDpState& state,
+                            SliceId first_dirty,
+                            std::vector<AggregationResult>& out);
+  /// Assembles one AggregationResult per lane from the member DP matrices
+  /// (shared tail of run_wave and run_wave_incremental).
+  void extract_wave_results(std::span<const double> ps,
+                            std::vector<AggregationResult>& out);
+  /// Sweeps one level's nodes over the cells with j >= first_dirty:
+  /// sibling subtrees in parallel, or (thin levels, notably the root)
+  /// anti-diagonal wavefronts on the caller thread — the shared scheduling
+  /// of run_wave and run_wave_incremental.
+  void sweep_level(std::span<const NodeId> nodes, std::span<const double> ps,
+                   double gain_scale, double loss_scale, SliceId first_dirty);
 
   /// Filtered = false drops the conservative challenge-threshold screen
   /// and evaluates the reference predicate at every cut — the kCachedSolo
@@ -240,9 +329,13 @@ class SpatiotemporalAggregator {
   template <int W, bool Filtered>
   void compute_cell_lanes(const LaneScan& scan, SliceId i,
                           SliceId j) const noexcept;
+  /// Sweeps the cells with j >= first_dirty (0 = the full triangle) in a
+  /// dependency-respecting order; `wavefront` parallelizes anti-diagonals.
   template <int W, bool Filtered>
-  void compute_node_lanes_w(const LaneScan& scan, bool wavefront);
-  void compute_node_lanes(const LaneScan& scan, bool wavefront);
+  void compute_node_lanes_w(const LaneScan& scan, bool wavefront,
+                            SliceId first_dirty);
+  void compute_node_lanes(const LaneScan& scan, bool wavefront,
+                          SliceId first_dirty = 0);
   void compute_node_reference(NodeId node, double p, double gain_scale,
                               double loss_scale);
   [[nodiscard]] LaneScan make_scan(NodeId node, std::span<const double> ps,
@@ -280,6 +373,11 @@ class SpatiotemporalAggregator {
   std::vector<std::vector<std::int32_t>> cnt_;
   std::vector<std::vector<double>> dbl_pool_;
   std::vector<std::vector<std::int32_t>> i32_pool_;
+  std::unique_ptr<IncrementalDp> inc_;  ///< retained per-wave DP state
+  /// First column whose DP state is stale relative to the retained
+  /// checkpoint; tri_.slices() when clean.  Maintained by
+  /// apply_window_update, reset by run_incremental.
+  SliceId inc_dirty_ = 0;
 };
 
 }  // namespace stagg

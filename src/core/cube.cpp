@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 
+#include "common/error.hpp"
 #include "common/thread_pool.hpp"
 
 namespace stagg {
@@ -13,77 +15,101 @@ DataCube::DataCube(const MicroscopicModel& model)
       n_x_(model.state_count()) {
   const Hierarchy& h = model.hierarchy();
   const std::size_t node_stride =
-      static_cast<std::size_t>(n_x_) * (static_cast<std::size_t>(n_t_) + 1) * 3;
+      static_cast<std::size_t>(n_x_) * static_cast<std::size_t>(n_t_) * 3;
   data_.assign(h.node_count() * node_stride, 0.0);
+  recompute_slices(0);
+}
 
-  dur_prefix_.assign(static_cast<std::size_t>(n_t_) + 1, 0.0);
-  for (SliceId t = 0; t < n_t_; ++t) {
-    dur_prefix_[static_cast<std::size_t>(t) + 1] =
-        dur_prefix_[static_cast<std::size_t>(t)] +
-        model.grid().slice_duration_s(t);
+void DataCube::recompute_slices(SliceId first_dirty, bool parallel) {
+  const Hierarchy& h = model_->hierarchy();
+  first_dirty = std::clamp<SliceId>(first_dirty, 0, n_t_);
+  if (first_dirty >= n_t_) return;
+
+  // Leaves first (parallel: disjoint output stripes).  Every slice column
+  // is a pure per-slice function of the model — no cross-slice
+  // accumulation — so recomputing a suffix of columns is exactly the
+  // operation the full build performs on them.
+  const auto& leaves = h.leaves();
+  const auto fill_leaf = [&](std::size_t li) {
+    const LeafId s = static_cast<LeafId>(li);
+    const NodeId node = leaves[li];
+    for (StateId x = 0; x < n_x_; ++x) {
+      double* base = node_base_mut(node, x);
+      for (SliceId t = first_dirty; t < n_t_; ++t) {
+        const double d = model_->duration(s, t, x);
+        const double rho = d / model_->grid().slice_duration_s(t);
+        double* slot = base + 3 * static_cast<std::size_t>(t);
+        slot[0] = d;
+        slot[1] = rho;
+        slot[2] = xlog2x(rho);
+      }
+    }
+  };
+  if (parallel) {
+    parallel_for(leaves.size(), fill_leaf, /*grain=*/8);
+  } else {
+    for (std::size_t li = 0; li < leaves.size(); ++li) fill_leaf(li);
   }
 
-  // Leaves first (parallel: disjoint output stripes).  Values at slot t+1
-  // hold the *per-slice* triplet; prefix accumulation follows.
-  const auto& leaves = h.leaves();
-  parallel_for(
-      leaves.size(),
-      [&](std::size_t li) {
-        const LeafId s = static_cast<LeafId>(li);
-        const NodeId node = leaves[li];
-        for (StateId x = 0; x < n_x_; ++x) {
-          double* base = node_base_mut(node, x);
-          for (SliceId t = 0; t < n_t_; ++t) {
-            const double d = model.duration(s, t, x);
-            const double rho = d / model.grid().slice_duration_s(t);
-            double* slot = base + 3 * (static_cast<std::size_t>(t) + 1);
-            slot[0] = d;
-            slot[1] = rho;
-            slot[2] = xlog2x(rho);
-          }
-        }
-      },
-      /*grain=*/8);
-
   // Internal nodes: children precede parents in post-order, so one pass
-  // accumulates per-slice triplets bottom-up.
+  // accumulates per-slice triplets bottom-up.  Children are merged in
+  // child order per slice — the same addition order as the full build.
+  const std::size_t lo = 3 * static_cast<std::size_t>(first_dirty);
+  const std::size_t hi = 3 * static_cast<std::size_t>(n_t_);
   for (NodeId id : h.post_order()) {
     const auto& n = h.node(id);
     if (n.children.empty()) continue;
+    for (StateId x = 0; x < n_x_; ++x) {
+      double* dst = node_base_mut(id, x);
+      std::fill(dst + lo, dst + hi, 0.0);
+    }
     for (NodeId child : n.children) {
       for (StateId x = 0; x < n_x_; ++x) {
         double* dst = node_base_mut(id, x);
         const double* src = node_base(child, x);
-        for (std::size_t k = 3; k < (static_cast<std::size_t>(n_t_) + 1) * 3;
-             ++k) {
-          dst[k] += src[k];
-        }
+        for (std::size_t k = lo; k < hi; ++k) dst[k] += src[k];
       }
     }
   }
+}
 
-  // Convert per-slice triplets into prefix sums (slot 0 stays zero).
-  parallel_for(
-      h.node_count(),
-      [&](std::size_t node) {
-        for (StateId x = 0; x < n_x_; ++x) {
-          double* base = node_base_mut(static_cast<NodeId>(node), x);
-          for (SliceId t = 0; t < n_t_; ++t) {
-            double* cur = base + 3 * (static_cast<std::size_t>(t) + 1);
-            const double* prev = base + 3 * static_cast<std::size_t>(t);
-            cur[0] += prev[0];
-            cur[1] += prev[1];
-            cur[2] += prev[2];
-          }
-        }
-      },
-      /*grain=*/16);
+void DataCube::reshape_slices(std::int32_t new_count, std::int32_t src_shift) {
+  if (new_count < 1) {
+    throw InvalidArgument("DataCube::reshape_slices: empty window");
+  }
+  if (new_count != model_->slice_count()) {
+    throw InvalidArgument(
+        "DataCube::reshape_slices: model window must be updated first");
+  }
+  if (new_count == n_t_ && src_shift == 0) return;  // identity
+  const Hierarchy& h = model_->hierarchy();
+  const std::size_t stripes = h.node_count() * static_cast<std::size_t>(n_x_);
+  const std::size_t old_stride = static_cast<std::size_t>(n_t_) * 3;
+  const std::size_t new_stride = static_cast<std::size_t>(new_count) * 3;
+  std::vector<double> next(stripes * new_stride, 0.0);
+  // Column t of the new window held old column t + src_shift: copy the
+  // overlap bit-exactly; columns with no old counterpart stay zero until
+  // recompute_slices fills them.
+  const SliceId copy_begin = std::max<SliceId>(0, -src_shift);
+  const SliceId copy_end = std::min<SliceId>(new_count, n_t_ - src_shift);
+  if (copy_begin < copy_end) {
+    const std::size_t n = static_cast<std::size_t>(copy_end - copy_begin) * 3;
+    for (std::size_t stripe = 0; stripe < stripes; ++stripe) {
+      std::memcpy(
+          next.data() + stripe * new_stride + 3 * static_cast<std::size_t>(copy_begin),
+          data_.data() + stripe * old_stride +
+              3 * static_cast<std::size_t>(copy_begin + src_shift),
+          n * sizeof(double));
+    }
+  }
+  data_ = std::move(next);
+  n_t_ = new_count;
 }
 
 namespace {
 
 // The per-state gain/loss of one area.  Every path that produces measures
-// — state_measures, measures, the measures_into bulk fill — must go
+// — state_measures, measures, the measures_column_into bulk fill — must go
 // through this one helper: the MeasureCache's bit-identity contract with
 // direct recomputation rests on all of them performing the exact same
 // floating-point operations in the same order.
@@ -111,18 +137,17 @@ AreaMeasures DataCube::measures(NodeId node, SliceId i,
       static_cast<double>(hierarchy().node(node).leaf_count);
   const double dur = interval_duration_s(i, j);
   const double cells = leaves * static_cast<double>(j - i + 1);
-  const std::size_t stride = (static_cast<std::size_t>(n_t_) + 1) * 3;
+  const std::size_t stride = static_cast<std::size_t>(n_t_) * 3;
   const double* base = node_base(node, 0);
   AreaMeasures m;
   for (StateId x = 0; x < n_x_; ++x, base += stride) {
-    const StateAreaSums s{
-        base[3 * (static_cast<std::size_t>(j) + 1) + 0] -
-            base[3 * static_cast<std::size_t>(i) + 0],
-        base[3 * (static_cast<std::size_t>(j) + 1) + 1] -
-            base[3 * static_cast<std::size_t>(i) + 1],
-        base[3 * (static_cast<std::size_t>(j) + 1) + 2] -
-            base[3 * static_cast<std::size_t>(i) + 2],
-    };
+    StateAreaSums s;
+    for (SliceId t = j; t >= i; --t) {
+      const double* slot = base + 3 * static_cast<std::size_t>(t);
+      s.sum_d += slot[0];
+      s.sum_rho += slot[1];
+      s.sum_rho_log += slot[2];
+    }
     const AreaMeasures sm = state_area_measures(s, leaves, dur, cells);
     m.gain += sm.gain;
     m.loss += sm.loss;
@@ -130,27 +155,27 @@ AreaMeasures DataCube::measures(NodeId node, SliceId i,
   return m;
 }
 
-void DataCube::measures_into(NodeId node, SliceId i,
-                             std::span<AreaMeasures> out) const noexcept {
-  assert(out.size() == static_cast<std::size_t>(n_t_ - i));
+void DataCube::measures_column_into(NodeId node, SliceId j,
+                                    std::span<AreaMeasures> out) const noexcept {
+  assert(out.size() == static_cast<std::size_t>(j) + 1);
   const double leaves =
       static_cast<double>(hierarchy().node(node).leaf_count);
-  const double dur_i = dur_prefix_[static_cast<std::size_t>(i)];
-  const std::size_t stride = (static_cast<std::size_t>(n_t_) + 1) * 3;
+  const std::size_t stride = static_cast<std::size_t>(n_t_) * 3;
   const double* base = node_base(node, 0);
   std::fill(out.begin(), out.end(), AreaMeasures{});
+  const TimeGrid& grid = model_->grid();
+  const TimeNs col_end = grid.slice_end(j);
   for (StateId x = 0; x < n_x_; ++x, base += stride) {
-    const double pref_d = base[3 * static_cast<std::size_t>(i) + 0];
-    const double pref_rho = base[3 * static_cast<std::size_t>(i) + 1];
-    const double pref_log = base[3 * static_cast<std::size_t>(i) + 2];
-    for (SliceId j = i; j < n_t_; ++j) {
-      const double* cur = base + 3 * (static_cast<std::size_t>(j) + 1);
-      const StateAreaSums s{cur[0] - pref_d, cur[1] - pref_rho,
-                            cur[2] - pref_log};
-      const double dur = dur_prefix_[static_cast<std::size_t>(j) + 1] - dur_i;
+    StateAreaSums s;
+    for (SliceId i = j; i >= 0; --i) {
+      const double* slot = base + 3 * static_cast<std::size_t>(i);
+      s.sum_d += slot[0];
+      s.sum_rho += slot[1];
+      s.sum_rho_log += slot[2];
+      const double dur = to_seconds(col_end - grid.slice_begin(i));
       const double cells = leaves * static_cast<double>(j - i + 1);
       const AreaMeasures sm = state_area_measures(s, leaves, dur, cells);
-      AreaMeasures& m = out[static_cast<std::size_t>(j - i)];
+      AreaMeasures& m = out[static_cast<std::size_t>(i)];
       m.gain += sm.gain;
       m.loss += sm.loss;
     }
@@ -162,11 +187,13 @@ DataCube::Mode DataCube::mode(NodeId node, SliceId i, SliceId j) const noexcept 
   const double leaf_count =
       static_cast<double>(hierarchy().node(node).leaf_count);
   const double dur = interval_duration_s(i, j);
-  const std::size_t stride = (static_cast<std::size_t>(n_t_) + 1) * 3;
+  const std::size_t stride = static_cast<std::size_t>(n_t_) * 3;
   const double* base = node_base(node, 0);
   for (StateId x = 0; x < n_x_; ++x, base += stride) {
-    const double sum_d = base[3 * (static_cast<std::size_t>(j) + 1)] -
-                         base[3 * static_cast<std::size_t>(i)];
+    double sum_d = 0.0;
+    for (SliceId t = j; t >= i; --t) {
+      sum_d += base[3 * static_cast<std::size_t>(t)];
+    }
     const double rho = stagg::aggregated_proportion(sum_d, leaf_count, dur);
     best.proportion_sum += rho;
     if (rho > best.proportion) {

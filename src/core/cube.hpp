@@ -1,14 +1,30 @@
 // DataCube: the aggregation algorithms' input (paper §III-E "Data Input").
 //
 // For every hierarchy node S_k, state x and slice t the cube holds the
-// leaf-additive sums
+// leaf-additive per-slice sums
 //   sum_d(S_k, t, x)       = sum over leaves of d_x(s,t)
 //   sum_rho(S_k, t, x)     = sum over leaves of rho_x(s,t)
 //   sum_rho_log(S_k, t, x) = sum over leaves of rho_x(s,t) log2 rho_x(s,t)
-// stored as prefix sums over t, so the three interval sums of any area
-// (S_k, T_(i,j)) — exactly the intermediary data listed by the paper — are
-// O(1) per state.  The cube is computed in O(|S| |T| |X|) bottom-up and is
-// p-independent: every aggregation run (any algorithm, any p) shares it.
+// — exactly the intermediary data listed by the paper.  The cube is computed
+// in O(|S| |T| |X|) bottom-up and is p-independent: every aggregation run
+// (any algorithm, any p) shares it.
+//
+// Translation-invariant accumulation contract (what the incremental
+// re-aggregation subsystem rests on): the cube stores *per-slice* triplets,
+// and every interval sum over T_(i,j) is accumulated per state from slice j
+// DOWN to slice i, with the interval duration taken exactly from the
+// integer time grid.  A cell's value is therefore a pure function of the
+// per-slice data inside its interval — independent of the window it is
+// embedded in — so
+//   * sliding the window by k slices maps cell (i, j) of the new window to
+//     cell (i+k, j+k) of the old one *bit-identically* (uniform-dt grids),
+//   * appending or rewriting a time suffix leaves every cell with j below
+//     the first dirty slice bit-identical, and
+//   * the cells of one triangle column j are produced by a single
+//     descending accumulation (measures_column_into) in O(1) amortized per
+//     cell — the unit of incremental recomputation.
+// Each slice column is independent of every other (no cross-slice prefix),
+// which is what makes recompute_slices / reshape_slices exact.
 #pragma once
 
 #include <cstdint>
@@ -24,7 +40,7 @@ namespace stagg {
 class DataCube {
  public:
   /// Builds the cube from a microscopic model (parallel over leaves, then a
-  /// sequential bottom-up merge over internal nodes).
+  /// per-slice bottom-up merge over internal nodes).
   explicit DataCube(const MicroscopicModel& model);
 
   [[nodiscard]] const MicroscopicModel& model() const noexcept {
@@ -36,24 +52,26 @@ class DataCube {
   [[nodiscard]] std::int32_t slice_count() const noexcept { return n_t_; }
   [[nodiscard]] std::int32_t state_count() const noexcept { return n_x_; }
 
-  /// Total duration (seconds) of slices [i, j].
+  /// Total duration (seconds) of slices [i, j]: the exact integer span of
+  /// the grid converted once — bit-identical for any two windows whose
+  /// slices [i, j] cover intervals of equal width.
   [[nodiscard]] double interval_duration_s(SliceId i, SliceId j) const noexcept {
-    return dur_prefix_[static_cast<std::size_t>(j) + 1] -
-           dur_prefix_[static_cast<std::size_t>(i)];
+    return model_->grid().interval_duration_s(i, j);
   }
 
-  /// Additive sums of state x over area (node, T_(i,j)).
+  /// Additive sums of state x over area (node, T_(i,j)), accumulated in the
+  /// canonical descending-slice order (t = j down to i).
   [[nodiscard]] StateAreaSums sums(NodeId node, SliceId i, SliceId j,
                                    StateId x) const noexcept {
     const double* base = node_base(node, x);
-    return StateAreaSums{
-        base[3 * (static_cast<std::size_t>(j) + 1) + 0] -
-            base[3 * static_cast<std::size_t>(i) + 0],
-        base[3 * (static_cast<std::size_t>(j) + 1) + 1] -
-            base[3 * static_cast<std::size_t>(i) + 1],
-        base[3 * (static_cast<std::size_t>(j) + 1) + 2] -
-            base[3 * static_cast<std::size_t>(i) + 2],
-    };
+    StateAreaSums s;
+    for (SliceId t = j; t >= i; --t) {
+      const double* slot = base + 3 * static_cast<std::size_t>(t);
+      s.sum_d += slot[0];
+      s.sum_rho += slot[1];
+      s.sum_rho_log += slot[2];
+    }
+    return s;
   }
 
   /// rho_x(S_k, T_(i,j)) per Eq. 1.
@@ -69,14 +87,14 @@ class DataCube {
   [[nodiscard]] AreaMeasures measures(NodeId node, SliceId i,
                                       SliceId j) const noexcept;
 
-  /// Bulk variant: fills `out[j - i] = measures(node, i, j)` for every
-  /// j in [i, |T|) — one packed triangular row per call.  States are the
-  /// outer loop so each prefix stripe is streamed once; the per-cell
-  /// accumulation order is identical to measures(), so the results are
-  /// bit-identical.  This is the MeasureCache builder's hot path.
-  /// `out.size()` must be exactly |T| - i.
-  void measures_into(NodeId node, SliceId i,
-                     std::span<AreaMeasures> out) const noexcept;
+  /// Bulk variant: fills `out[i] = measures(node, i, j)` for every
+  /// i in [0, j] — one triangle *column* per call, produced by a single
+  /// descending accumulation per state (O(1) amortized per cell, same
+  /// per-cell operation order as measures(), so results are bit-identical).
+  /// This is the MeasureCache builder's hot path and the unit of dirty-
+  /// column recomputation.  `out.size()` must be exactly j + 1.
+  void measures_column_into(NodeId node, SliceId j,
+                            std::span<AreaMeasures> out) const noexcept;
 
   /// Gain/loss of the area for one state.
   [[nodiscard]] AreaMeasures state_measures(NodeId node, SliceId i, SliceId j,
@@ -97,19 +115,38 @@ class DataCube {
   };
   [[nodiscard]] Mode mode(NodeId node, SliceId i, SliceId j) const noexcept;
 
+  // -------------------------------------------------------------------------
+  // Incremental window maintenance (the model must be updated *first*; the
+  // session layer orders the calls).
+  // -------------------------------------------------------------------------
+
+  /// Re-layouts the per-slice columns for a changed window: new column t
+  /// takes the bit-exact contents of old column t + src_shift (columns
+  /// falling outside the old window are zeroed and must be recomputed via
+  /// recompute_slices).  Handles slides (src_shift = dropped leading
+  /// slices), extensions and contractions (new_count != old count).
+  /// `new_count` must equal the (already updated) model's slice count.
+  void reshape_slices(std::int32_t new_count, std::int32_t src_shift);
+
+  /// Recomputes every per-slice column t >= first_dirty from the model:
+  /// parallel leaf fill, then the same per-slice bottom-up child merge (in
+  /// child order) as the full build — fresh and incremental columns are
+  /// bit-identical by construction.
+  void recompute_slices(SliceId first_dirty, bool parallel = true);
+
   /// Estimated bytes held by the cube.
   [[nodiscard]] std::size_t memory_bytes() const noexcept {
-    return data_.size() * sizeof(double) + dur_prefix_.size() * sizeof(double);
+    return data_.size() * sizeof(double);
   }
 
  private:
-  // Layout: per node, per state, (n_t_+1) triplets {sum_d, sum_rho,
-  // sum_rho_log} of prefix values.  node stride = n_x_ * (n_t_+1) * 3.
+  // Layout: per node, per state, n_t_ triplets {sum_d, sum_rho,
+  // sum_rho_log}, one per slice.  node stride = n_x_ * n_t_ * 3.
   [[nodiscard]] const double* node_base(NodeId node, StateId x) const noexcept {
     return data_.data() +
            (static_cast<std::size_t>(node) * static_cast<std::size_t>(n_x_) +
             static_cast<std::size_t>(x)) *
-               (static_cast<std::size_t>(n_t_) + 1) * 3;
+               static_cast<std::size_t>(n_t_) * 3;
   }
   [[nodiscard]] double* node_base_mut(NodeId node, StateId x) noexcept {
     return const_cast<double*>(node_base(node, x));
@@ -119,7 +156,6 @@ class DataCube {
   std::int32_t n_t_ = 0;
   std::int32_t n_x_ = 0;
   std::vector<double> data_;
-  std::vector<double> dur_prefix_;  ///< prefix sums of d(t), size n_t_+1
 };
 
 }  // namespace stagg

@@ -1,34 +1,87 @@
 #include "core/measure_cache.hpp"
 
+#include <algorithm>
+
+#include "common/error.hpp"
 #include "common/thread_pool.hpp"
+#include "core/triangular_relocate.hpp"
 
 namespace stagg {
 
-void MeasureCache::build(const DataCube& cube, bool parallel) {
+namespace {
+
+// Scatters one computed triangle column into the row-major packed layout.
+// The column buffer holds cells (0..j, j); cell (i, j) lands at
+// tri(i, j) = row_offset(i) + (j - i).
+inline void scatter_column(AreaMeasures* node_cells, const TriangularIndex& tri,
+                           SliceId j, std::span<const AreaMeasures> col) {
+  for (SliceId i = 0; i <= j; ++i) {
+    node_cells[tri(i, j)] = col[static_cast<std::size_t>(i)];
+  }
+}
+
+}  // namespace
+
+void MeasureCache::fill_columns(const DataCube& cube, SliceId first_dirty,
+                                bool parallel) {
   const std::size_t node_count = cube.hierarchy().node_count();
   const auto n_t = cube.slice_count();
-  tri_ = TriangularIndex(n_t);
-  data_.resize(node_count * tri_.size());
-
-  // One task per (node, row i): rows write disjoint output spans and read
-  // one prefix stripe per state, so the build parallelizes without any
-  // synchronization.  Row i holds n_t - i cells; tasks are enumerated
-  // node-major so a grain block stays within one node's stripes.  The
-  // spans written here are exactly what node_row() hands out later — the
-  // contiguous per-row streams the lane-batched DP kernel reads.
-  const std::size_t rows = node_count * static_cast<std::size_t>(n_t);
-  const auto fill_row = [&](std::size_t task) {
-    const auto node = static_cast<NodeId>(task / static_cast<std::size_t>(n_t));
-    const auto i = static_cast<SliceId>(task % static_cast<std::size_t>(n_t));
-    cube.measures_into(node, i,
-                       {node_row_mut(node, i),
-                        static_cast<std::size_t>(n_t - i)});
+  const auto dirty_cols = static_cast<std::size_t>(n_t - first_dirty);
+  // One task per (node, dirty column j): columns write disjoint cell sets
+  // and each is one descending accumulation over the cube's per-slice
+  // data, so the fill parallelizes without synchronization and recomputing
+  // a column is bit-identical to producing it in a full build.
+  const std::size_t tasks = node_count * dirty_cols;
+  const auto fill_col = [&](std::size_t task) {
+    const auto node = static_cast<NodeId>(task / dirty_cols);
+    const auto j =
+        static_cast<SliceId>(first_dirty + static_cast<SliceId>(task % dirty_cols));
+    thread_local std::vector<AreaMeasures> col;
+    col.resize(static_cast<std::size_t>(j) + 1);
+    cube.measures_column_into(node, j, col);
+    scatter_column(data_.data() + static_cast<std::size_t>(node) * tri_.size(),
+                   tri_, j, col);
   };
-  if (parallel && rows > 1) {
-    parallel_for(rows, fill_row, /*grain=*/4);
+  if (parallel && tasks > 1) {
+    parallel_for(tasks, fill_col, /*grain=*/4);
   } else {
-    for (std::size_t task = 0; task < rows; ++task) fill_row(task);
+    for (std::size_t task = 0; task < tasks; ++task) fill_col(task);
   }
+}
+
+void MeasureCache::build(const DataCube& cube, bool parallel) {
+  const std::size_t node_count = cube.hierarchy().node_count();
+  tri_ = TriangularIndex(cube.slice_count());
+  data_.resize(node_count * tri_.size());
+  fill_columns(cube, 0, parallel);
+}
+
+void MeasureCache::reshape(std::int32_t new_slices, std::int32_t src_shift) {
+  if (!built()) return;
+  if (new_slices < 1 || src_shift < 0) {
+    throw InvalidArgument("MeasureCache::reshape: invalid window delta");
+  }
+  // New cell (i, j) is old cell (i + k, j + k): with the translation-
+  // invariant measure convention the values are bit-identical, so the
+  // whole cache relocates in place (see triangular_relocate.hpp).  Cells
+  // without an old counterpart hold unspecified values — the caller must
+  // update() with first_dirty covering exactly those cells.
+  const TriangularIndex new_tri(new_slices);
+  reshape_packed_triangles(data_, tri_, new_tri, src_shift, /*lanes=*/1,
+                           data_.size() / tri_.size());
+  tri_ = new_tri;
+}
+
+void MeasureCache::update(const DataCube& cube, SliceId first_dirty,
+                          bool parallel) {
+  if (!built()) return;
+  if (cube.slice_count() != tri_.slices()) {
+    throw InvalidArgument(
+        "MeasureCache::update: reshape to the cube's slice count first");
+  }
+  first_dirty = std::clamp<SliceId>(first_dirty, 0, tri_.slices());
+  if (first_dirty >= tri_.slices()) return;
+  fill_columns(cube, first_dirty, parallel);
 }
 
 }  // namespace stagg

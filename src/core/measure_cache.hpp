@@ -12,9 +12,18 @@
 // a packed upper-triangular (gain, loss) matrix per hierarchy node — the
 // same TriangularIndex layout as the DP matrices — after which every
 // run(p), evaluate() and baseline scoring is a pure multiply-add over the
-// cached pairs.  Cells are produced by DataCube::measures_into with the
-// exact per-state accumulation order of DataCube::measures, so cached and
-// recomputed values are bit-identical (the equivalence suite asserts this).
+// cached pairs.  Cells are produced column by column by
+// DataCube::measures_column_into with the exact per-state accumulation
+// order of DataCube::measures, so cached and recomputed values are
+// bit-identical (the equivalence suite asserts this).
+//
+// Incremental maintenance: because cell values are translation-invariant
+// (see cube.hpp), a window change decomposes into reshape() — a pure
+// relocation mapping new cell (i, j) to old cell (i + k, j + k) — plus
+// update(first_dirty), which recomputes only the triangle columns whose
+// interval intersects the changed time suffix.  Recomputation is
+// column-anchored (one descending accumulation per column), so its cost is
+// proportional to the number of dirty cells, not to |T|².
 //
 // Footprint: 2 doubles per cell = |S|·|T|(|T|+1)/2 · 16 bytes, folded into
 // SpatiotemporalAggregator's memory-budget accounting.
@@ -46,9 +55,22 @@ class MeasureCache {
  public:
   MeasureCache() = default;
 
-  /// Fills the cache from the cube: every (node, i) triangular row is an
+  /// Fills the cache from the cube: every (node, j) triangle column is an
   /// independent task, parallelized over the shared pool when `parallel`.
   void build(const DataCube& cube, bool parallel = true);
+
+  /// Relocates the triangle for a changed window: new cell (i, j) takes the
+  /// bit-exact value of old cell (i + src_shift, j + src_shift); cells with
+  /// no old counterpart (appended columns) are left uninitialized and MUST
+  /// be covered by the following update(first_dirty).  No-op when not
+  /// built.
+  void reshape(std::int32_t new_slices, std::int32_t src_shift);
+
+  /// Recomputes every triangle column j >= first_dirty from the (already
+  /// updated) cube — the cells whose interval intersects a changed time
+  /// suffix.  Requires reshape() to the cube's slice count first; no-op
+  /// when not built.
+  void update(const DataCube& cube, SliceId first_dirty, bool parallel = true);
 
   [[nodiscard]] bool built() const noexcept { return !data_.empty(); }
 
@@ -97,10 +119,9 @@ class MeasureCache {
   }
 
  private:
-  [[nodiscard]] AreaMeasures* node_row_mut(NodeId node, SliceId i) noexcept {
-    return data_.data() + static_cast<std::size_t>(node) * tri_.size() +
-           tri_.row_offset(i);
-  }
+  /// Shared worker of build() and update(): computes and scatters every
+  /// (node, column >= first_dirty) via DataCube::measures_column_into.
+  void fill_columns(const DataCube& cube, SliceId first_dirty, bool parallel);
 
   TriangularIndex tri_;
   std::vector<AreaMeasures> data_;  ///< node-major, packed triangular rows

@@ -1,0 +1,153 @@
+#include "core/sliding_window.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+#include "model/builder.hpp"
+
+namespace stagg {
+
+namespace {
+
+TimeGrid make_initial_grid(const TimeGrid& window) {
+  if (window.uniform_dt_ns() == 0) {
+    throw InvalidArgument(
+        "SlidingWindowSession: the window span must be divisible by the "
+        "slice count (uniform dt) so derived windows stay exact");
+  }
+  return window;
+}
+
+}  // namespace
+
+SlidingWindowSession::SlidingWindowSession(const Hierarchy& hierarchy,
+                                           Trace trace, const TimeGrid& window,
+                                           std::vector<double> ps,
+                                           SlidingWindowOptions options)
+    : hierarchy_(&hierarchy),
+      options_(options),
+      trace_(std::move(trace)),
+      model_([&]() -> MicroscopicModel {
+        const TimeGrid grid = make_initial_grid(window);
+        trace_.set_window(grid.begin(), grid.end());
+        ModelBuildOptions build;
+        build.slice_count = grid.slice_count();
+        build.match_by_path = options_.match_by_path;
+        build.window_begin = grid.begin();
+        build.window_end = grid.end();
+        return build_model(trace_, hierarchy, build);
+      }()),
+      agg_(model_, options.aggregation),
+      ps_(std::move(ps)) {
+  results_ = agg_.run_incremental(ps_);
+  dirty_from_ns_ = window.end();
+}
+
+void SlidingWindowSession::append(ResourceId resource, StateId state,
+                                  TimeNs begin, TimeNs end) {
+  if (state < 0 || static_cast<std::size_t>(state) >= trace_.states().size()) {
+    throw InvalidArgument(
+        "SlidingWindowSession::append: unknown state id " +
+        std::to_string(state) +
+        " (new states require a new session: they change |X|)");
+  }
+  trace_.add_state(resource, state, begin, end);
+  dirty_from_ns_ = std::min(dirty_from_ns_, begin);
+}
+
+void SlidingWindowSession::append(ResourceId resource,
+                                  std::string_view state_name, TimeNs begin,
+                                  TimeNs end) {
+  const auto id = trace_.states().find(state_name);
+  if (!id) {
+    throw InvalidArgument(
+        "SlidingWindowSession::append: unknown state '" +
+        std::string(state_name) +
+        "' (new states require a new session: they change |X|)");
+  }
+  append(resource, *id, begin, end);
+}
+
+SliceId SlidingWindowSession::pending_dirty_slice() const noexcept {
+  const TimeGrid& grid = model_.grid();
+  if (dirty_from_ns_ >= grid.end()) return grid.slice_count();
+  if (dirty_from_ns_ <= grid.begin()) return 0;
+  return grid.slice_of(dirty_from_ns_);
+}
+
+const std::vector<AggregationResult>& SlidingWindowSession::advance_to(
+    const TimeGrid& new_grid, std::int32_t dropped_front) {
+  const std::int32_t old_t = model_.slice_count();
+  dropped_front = std::min(dropped_front, old_t);
+
+  // 1. Re-layout the tensor: surviving columns relocate bit-exactly.
+  model_.reshape_window(new_grid, dropped_front);
+
+  // 2. First dirty column of the new window: the earliest of (a) the first
+  // column with no relocated counterpart (appended suffix) and (b) the
+  // column holding the earliest staged-event timestamp.
+  const auto new_t = new_grid.slice_count();
+  const SliceId fresh_from =
+      std::clamp<SliceId>(old_t - dropped_front, 0, new_t);
+  SliceId staged_from = new_t;
+  if (dirty_from_ns_ < new_grid.end()) {
+    staged_from = dirty_from_ns_ <= new_grid.begin()
+                      ? 0
+                      : new_grid.slice_of(dirty_from_ns_);
+  }
+  const SliceId first_dirty = std::min(fresh_from, staged_from);
+
+  // 3. Prune intervals that can never overlap the window again, then
+  // re-fold the dirty suffix from the retained trace.
+  if (options_.prune_trace) trace_.erase_before(new_grid.begin());
+  trace_.set_window(new_grid.begin(), new_grid.end());
+  refold_suffix(model_, trace_, *hierarchy_, first_dirty,
+                options_.match_by_path);
+
+  // 4. Splice every derived structure and re-run the DP over the dirty
+  // columns only.
+  agg_.apply_window_update(dropped_front, first_dirty);
+  results_ = agg_.run_incremental(ps_);
+  dirty_from_ns_ = new_grid.end();
+  return results_;
+}
+
+const std::vector<AggregationResult>& SlidingWindowSession::slide(
+    std::int32_t slices) {
+  if (slices < 0) {
+    throw InvalidArgument("SlidingWindowSession::slide: negative slide");
+  }
+  return advance_to(model_.grid().advanced(slices), slices);
+}
+
+const std::vector<AggregationResult>& SlidingWindowSession::extend(
+    std::int32_t slices) {
+  return advance_to(model_.grid().extended(slices), 0);
+}
+
+const std::vector<AggregationResult>& SlidingWindowSession::contract(
+    std::int32_t slices) {
+  return advance_to(model_.grid().contracted(slices), 0);
+}
+
+const std::vector<AggregationResult>& SlidingWindowSession::refresh() {
+  return advance_to(model_.grid(), 0);
+}
+
+std::vector<AggregationResult> SlidingWindowSession::run_from_scratch(
+    DpKernel kernel) const {
+  Trace copy = trace_;
+  ModelBuildOptions build;
+  build.slice_count = model_.slice_count();
+  build.match_by_path = options_.match_by_path;
+  build.window_begin = model_.grid().begin();
+  build.window_end = model_.grid().end();
+  const MicroscopicModel fresh = build_model(copy, *hierarchy_, build);
+  AggregationOptions opt = options_.aggregation;
+  opt.kernel = kernel;
+  SpatiotemporalAggregator agg(fresh, opt);
+  return agg.run_many(ps_);
+}
+
+}  // namespace stagg

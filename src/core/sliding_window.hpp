@@ -1,0 +1,150 @@
+// SlidingWindowSession: incremental spatiotemporal aggregation over a
+// moving time window of a live trace.
+//
+// The batch pipeline (trace -> model -> DataCube -> MeasureCache -> DP) is
+// an offline, whole-trace analysis; this session turns it into a streaming
+// one by exploiting the *dirty-column invariant*:
+//
+//   Every derived cell — a cube per-slice column, a cached (gain, loss)
+//   triangle cell (i, j), a DP cell pIC/cut/count(i, j) — is a pure
+//   function of the per-slice trace data inside its interval [i, j]
+//   (translation-invariant accumulation, see cube.hpp).  When only a time
+//   suffix of the window changes, every cell whose column j precedes the
+//   first dirty slice is therefore *bit-identical* to its previous value
+//   and is spliced from the retained state; only cells with j >= the first
+//   dirty column are recomputed.  When the window slides by k slices, cell
+//   (i, j) of the new window equals cell (i+k, j+k) of the old one and is
+//   remapped by a pure relocation instead of recomputed.
+//
+// The append-only shape mirrors time-series storage engines: closed slice
+// columns are immutable; only the mutable tail (the dirty suffix) is ever
+// rewritten.  Results after every operation are bit-identical to a
+// from-scratch run_many() over the same window at any lane width — the
+// splice property tests assert this against the kReference and kCachedSolo
+// oracles.
+//
+// Half-open edge convention (shared with the trace readers and the model
+// builder): a state occupies [begin, end).  An event whose end lies
+// exactly on a slice edge or on the window end contributes nothing past
+// it; one whose begin lies exactly on an edge contributes nothing before
+// it; a zero-duration event contributes nowhere.  During append() the
+// convention is what guarantees an event's mass lands in exactly one of
+// the old-suffix / new-suffix partitions — never in both.
+//
+// Usage:
+//   SlidingWindowSession session(hierarchy, std::move(trace),
+//                                TimeGrid(t0, t0 + span, 96), {0.25, 0.5});
+//   session.append(resource, state, begin_ns, end_ns);  // stage events
+//   const auto& results = session.slide(4);  // drop 4 slices, append 4
+//
+// Windows must have a uniform slice width (span divisible by the count) so
+// slice edges of derived windows stay exact; see TimeGrid::advanced.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/aggregator.hpp"
+#include "model/microscopic_model.hpp"
+#include "trace/trace.hpp"
+
+namespace stagg {
+
+/// Knobs of a sliding-window session.
+struct SlidingWindowOptions {
+  /// Aggregation options of the retained DP; the kernel must be a cached
+  /// one and normalize must stay false (run_incremental's requirements).
+  AggregationOptions aggregation;
+  /// Match trace resources to hierarchy leaves by path (see build_model).
+  bool match_by_path = true;
+  /// Drop retained intervals that can no longer overlap the window after a
+  /// slide (bounds the session's trace memory; never affects results).
+  bool prune_trace = true;
+};
+
+class SlidingWindowSession {
+ public:
+  /// Takes ownership of the initial trace and aggregates it over `window`
+  /// (which must have a uniform slice width) for the probe parameters
+  /// `ps`.  Results are available immediately via results().
+  SlidingWindowSession(const Hierarchy& hierarchy, Trace trace,
+                       const TimeGrid& window, std::vector<double> ps,
+                       SlidingWindowOptions options = {});
+
+  SlidingWindowSession(const SlidingWindowSession&) = delete;
+  SlidingWindowSession& operator=(const SlidingWindowSession&) = delete;
+
+  /// Stages one state occurrence [begin, end); it becomes visible at the
+  /// next slide/extend/contract/refresh.  The state must already be
+  /// registered (a new state would change the model dimensions — start a
+  /// new session for that).  Events may land anywhere, but only events
+  /// confined to the window's time suffix keep the next advance
+  /// incremental; an event reaching back dirties every column from its
+  /// begin slice on.
+  void append(ResourceId resource, StateId state, TimeNs begin, TimeNs end);
+  /// Convenience overload resolving an *existing* state by name (throws
+  /// InvalidArgument on unknown names instead of interning).
+  void append(ResourceId resource, std::string_view state_name, TimeNs begin,
+              TimeNs end);
+
+  /// Slides the window forward by `slices` (fixed |T|): the leading
+  /// `slices` columns are dropped, the surviving ones remapped by column
+  /// shift, and only the appended suffix recomputed.
+  const std::vector<AggregationResult>& slide(std::int32_t slices);
+  /// Grows the window by `slices` new trailing slices (|T| increases).
+  const std::vector<AggregationResult>& extend(std::int32_t slices);
+  /// Shrinks the window by `slices` trailing slices (|T| decreases).  A
+  /// pure truncation: no cell is recomputed unless staged events dirtied
+  /// the surviving suffix.
+  const std::vector<AggregationResult>& contract(std::int32_t slices);
+  /// Re-aggregates the current window with the staged events folded in.
+  const std::vector<AggregationResult>& refresh();
+
+  /// Results of the latest advance, one per probe parameter, in order.
+  [[nodiscard]] const std::vector<AggregationResult>& results() const noexcept {
+    return results_;
+  }
+  [[nodiscard]] std::span<const double> probes() const noexcept { return ps_; }
+  [[nodiscard]] const TimeGrid& window() const noexcept {
+    return model_.grid();
+  }
+  [[nodiscard]] const MicroscopicModel& model() const noexcept {
+    return model_;
+  }
+  [[nodiscard]] const Trace& trace() const noexcept { return trace_; }
+  [[nodiscard]] const SpatiotemporalAggregator& aggregator() const noexcept {
+    return agg_;
+  }
+
+  /// First dirty column the *next* advance would recompute from
+  /// (slice_count() when the retained state is clean) — exposed for tests
+  /// and instrumentation of the dirty-column invariant.
+  [[nodiscard]] SliceId pending_dirty_slice() const noexcept;
+
+  /// From-scratch oracle: builds a fresh model over the current window
+  /// from a copy of the retained trace and runs run_many(ps) on a fresh
+  /// aggregator with the given kernel.  The splice tests assert
+  /// bit-identity of results() against this at every step.
+  [[nodiscard]] std::vector<AggregationResult> run_from_scratch(
+      DpKernel kernel = DpKernel::kCachedWavefront) const;
+
+ private:
+  const std::vector<AggregationResult>& advance_to(const TimeGrid& new_grid,
+                                                   std::int32_t dropped_front);
+
+  const Hierarchy* hierarchy_;
+  SlidingWindowOptions options_;
+  Trace trace_;
+  MicroscopicModel model_;
+  SpatiotemporalAggregator agg_;
+  std::vector<double> ps_;
+  std::vector<AggregationResult> results_;
+  /// Earliest timestamp whose fold state is not yet reflected in the
+  /// model: min begin of staged events, or the window end when only the
+  /// not-yet-visible tail beyond the window is outstanding.
+  TimeNs dirty_from_ns_ = 0;
+};
+
+}  // namespace stagg

@@ -1,0 +1,95 @@
+// In-place relocation of packed upper-triangular matrices for a changed
+// time window — the shared primitive of MeasureCache::reshape and the
+// aggregator's retained-DP-state splicing.
+//
+// The mapping: new cell (i, j) takes old cell (i + shift, j + shift);
+// cells with no old counterpart (appended columns) are left with
+// unspecified values and MUST be covered by the caller's dirty-column
+// recomputation.  `buf` holds `node_count` consecutive packed triangles,
+// each cell `lanes` consecutive elements.
+//
+// Safety of the in-place move orders:
+//   * shift > 0 or a shrinking triangle: every destination run starts at
+//     or before its source (new_off(i) <= old_off(i + shift), and node
+//     bases only move left) and ends before the next run's source, so
+//     ascending node/row memmoves never clobber unread data;
+//   * a pure extension reverses the inequality (offsets only move right),
+//     so it grows the buffer first and moves nodes and rows descending;
+//   * the combined slide + extension case can move offsets either way and
+//     falls back to a fresh buffer (the sliding-window session never
+//     issues it).
+// A constant-|T| slide — the hot production advance — allocates nothing,
+// and a no-op reshape returns immediately.
+#pragma once
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "core/interval.hpp"
+
+namespace stagg {
+
+template <typename T>
+void reshape_packed_triangles(std::vector<T>& buf,
+                              const TriangularIndex& old_tri,
+                              const TriangularIndex& new_tri,
+                              std::int32_t shift, std::size_t lanes,
+                              std::size_t node_count) {
+  if (buf.empty()) return;
+  const std::int32_t old_t = old_tri.slices();
+  const std::int32_t new_t = new_tri.slices();
+  if (shift == 0 && new_t == old_t) return;  // identity
+  if (shift > 0 && new_t > old_t) {
+    // Combined slide + extension: relocate via a fresh buffer.
+    std::vector<T> next(node_count * new_tri.size() * lanes);
+    for (std::size_t node = 0; node < node_count; ++node) {
+      const T* src_node = buf.data() + node * old_tri.size() * lanes;
+      T* dst_node = next.data() + node * new_tri.size() * lanes;
+      for (SliceId i = 0; i < new_t; ++i) {
+        const SliceId src_row = i + shift;
+        if (src_row >= old_t) break;
+        std::memcpy(dst_node + new_tri.row_offset(i) * lanes,
+                    src_node + old_tri.row_offset(src_row) * lanes,
+                    static_cast<std::size_t>(
+                        std::min(new_t - i, old_t - src_row)) *
+                        lanes * sizeof(T));
+      }
+    }
+    buf = std::move(next);
+    return;
+  }
+  if (new_t > old_t) {
+    // Pure extension: grow, then relocate nodes and rows descending.
+    buf.resize(node_count * new_tri.size() * lanes);
+    for (std::size_t node = node_count; node-- > 0;) {
+      const T* src_node = buf.data() + node * old_tri.size() * lanes;
+      T* dst_node = buf.data() + node * new_tri.size() * lanes;
+      for (SliceId i = old_t - 1; i >= 0; --i) {
+        if (node == 0 && i == 0) break;  // first row of first node: offset 0
+        std::memmove(dst_node + new_tri.row_offset(i) * lanes,
+                     src_node + old_tri.row_offset(i) * lanes,
+                     static_cast<std::size_t>(old_t - i) * lanes * sizeof(T));
+      }
+    }
+    return;
+  }
+  // Slide and/or contraction: relocate nodes and rows ascending, shrink.
+  for (std::size_t node = 0; node < node_count; ++node) {
+    const T* src_node = buf.data() + node * old_tri.size() * lanes;
+    T* dst_node = buf.data() + node * new_tri.size() * lanes;
+    for (SliceId i = 0; i < new_t; ++i) {
+      const SliceId src_row = i + shift;
+      if (src_row >= old_t) break;
+      if (node == 0 && i == 0 && shift == 0) continue;  // offset 0 already
+      std::memmove(dst_node + new_tri.row_offset(i) * lanes,
+                   src_node + old_tri.row_offset(src_row) * lanes,
+                   static_cast<std::size_t>(
+                       std::min(new_t - i, old_t - src_row)) *
+                       lanes * sizeof(T));
+    }
+  }
+  buf.resize(node_count * new_tri.size() * lanes);
+}
+
+}  // namespace stagg

@@ -18,8 +18,8 @@
 namespace stagg {
 
 /// Per-state additive sums describing one spatiotemporal area.  All three
-/// fields are additive over sub-areas, which is what the DataCube prefix
-/// sums exploit.
+/// fields are additive over sub-areas, which is what the DataCube's
+/// per-slice accumulation exploits.
 struct StateAreaSums {
   double sum_d = 0.0;        ///< seconds spent in the state over the area
   double sum_rho = 0.0;      ///< sum of microscopic proportions

@@ -46,13 +46,18 @@ std::vector<LeafId> map_resources(const std::vector<std::string>& paths,
 namespace {
 
 /// Folds one interval into the tensor: distributes [begin,end) over the
-/// slices it overlaps.
+/// slices it overlaps, restricted to slices >= min_slice (0 = all).  The
+/// half-open convention keeps edge events unambiguous: an interval ending
+/// exactly on a slice edge contributes nothing past the edge, one starting
+/// exactly on it contributes nothing before, and a zero-duration interval
+/// contributes nowhere.
 inline void fold_interval(MicroscopicModel& model, const TimeGrid& grid,
-                          LeafId leaf, const StateInterval& s) {
+                          LeafId leaf, const StateInterval& s,
+                          SliceId min_slice = 0) {
   const TimeNs lo = std::max(s.begin, grid.begin());
   const TimeNs hi = std::min(s.end, grid.end());
   if (hi <= lo) return;
-  const SliceId first = grid.slice_of(lo);
+  const SliceId first = std::max(grid.slice_of(lo), min_slice);
   const SliceId last = grid.slice_of(hi - 1);
   for (SliceId t = first; t <= last; ++t) {
     const double overlap = grid.overlap_s(lo, hi, t);
@@ -97,6 +102,31 @@ MicroscopicModel build_model(Trace& trace, const Hierarchy& hierarchy,
       },
       /*grain=*/1);
   return model;
+}
+
+void refold_suffix(MicroscopicModel& model, Trace& trace,
+                   const Hierarchy& hierarchy, SliceId first_dirty,
+                   bool match_by_path) {
+  first_dirty = std::clamp<SliceId>(first_dirty, 0, model.slice_count());
+  if (first_dirty >= model.slice_count()) return;  // nothing dirty: no-op
+  trace.seal();
+  const auto map =
+      detail::map_resources(trace.resource_paths(), hierarchy, match_by_path);
+  const TimeGrid& grid = model.grid();
+  model.zero_slices(first_dirty);
+  // Skipping intervals that end at or before the dirty region is pure
+  // pruning: fold_interval would contribute nothing there anyway.
+  const TimeNs dirty_begin = grid.slice_begin(first_dirty);
+  parallel_for(
+      trace.resource_count(),
+      [&](std::size_t r) {
+        const LeafId leaf = map[r];
+        for (const auto& s : trace.intervals(static_cast<ResourceId>(r))) {
+          if (s.end <= dirty_begin) continue;
+          detail::fold_interval(model, grid, leaf, s, first_dirty);
+        }
+      },
+      /*grain=*/1);
 }
 
 MicroscopicModel build_model_streaming(const std::string& trace_path,

@@ -43,6 +43,18 @@ struct ModelBuildOptions {
     const std::string& trace_path, const Hierarchy& hierarchy,
     const ModelBuildOptions& options = {});
 
+/// Re-folds `trace` into the slice columns t >= first_dirty of an existing
+/// model (zeroing them first) — the ingest step of a sliding-window
+/// session after the window moved or events were appended.  Intervals are
+/// clipped half-open against the model window, and contributions to each
+/// (leaf, slice, state) cell accumulate in the same per-resource sorted
+/// interval order as build_model, so the refolded columns are
+/// bit-identical to the corresponding columns of a fresh build over the
+/// same window.
+void refold_suffix(MicroscopicModel& model, Trace& trace,
+                   const Hierarchy& hierarchy, SliceId first_dirty,
+                   bool match_by_path = true);
+
 namespace detail {
 /// Maps trace resource ids to hierarchy leaves.  Exposed for tests.
 [[nodiscard]] std::vector<LeafId> map_resources(

@@ -1,5 +1,7 @@
 #include "model/microscopic_model.hpp"
 
+#include <algorithm>
+#include <cstring>
 #include <string>
 
 #include "common/error.hpp"
@@ -22,6 +24,44 @@ MicroscopicModel::MicroscopicModel(const Hierarchy* hierarchy, TimeGrid grid,
     throw InvalidArgument("MicroscopicModel: at least one state required");
   }
   data_.assign(static_cast<std::size_t>(n_s_) * n_t_ * n_x_, 0.0);
+}
+
+void MicroscopicModel::reshape_window(const TimeGrid& new_grid,
+                                      std::int32_t src_shift) {
+  if (src_shift < 0) {
+    throw InvalidArgument("reshape_window: negative source shift");
+  }
+  if (src_shift == 0 && new_grid == grid_) return;  // identity (refresh)
+  const std::int32_t new_t = new_grid.slice_count();
+  const std::size_t col = static_cast<std::size_t>(n_x_);
+  std::vector<double> next(
+      static_cast<std::size_t>(n_s_) * static_cast<std::size_t>(new_t) * col,
+      0.0);
+  const SliceId copy_end = std::min<SliceId>(new_t, n_t_ - src_shift);
+  if (copy_end > 0) {
+    for (LeafId s = 0; s < n_s_; ++s) {
+      const double* src =
+          data_.data() + (static_cast<std::size_t>(s) * n_t_ + src_shift) * col;
+      double* dst = next.data() + static_cast<std::size_t>(s) * new_t * col;
+      std::memcpy(dst, src,
+                  static_cast<std::size_t>(copy_end) * col * sizeof(double));
+    }
+  }
+  data_ = std::move(next);
+  grid_ = new_grid;
+  n_t_ = new_t;
+}
+
+void MicroscopicModel::zero_slices(SliceId first_dirty) noexcept {
+  if (first_dirty < 0) first_dirty = 0;
+  const std::size_t col = static_cast<std::size_t>(n_x_);
+  for (LeafId s = 0; s < n_s_; ++s) {
+    if (first_dirty >= n_t_) break;
+    double* base =
+        data_.data() + (static_cast<std::size_t>(s) * n_t_ + first_dirty) * col;
+    std::fill(base, base + static_cast<std::size_t>(n_t_ - first_dirty) * col,
+              0.0);
+  }
 }
 
 double MicroscopicModel::total_mass() const noexcept {

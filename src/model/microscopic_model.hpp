@@ -17,7 +17,9 @@
 
 namespace stagg {
 
-/// Immutable-after-build microscopic description of a trace.
+/// Microscopic description of a trace.  Immutable after build for batch
+/// analyses; sliding-window sessions additionally use reshape_window /
+/// zero_slices to maintain the tensor in place as the window moves.
 class MicroscopicModel {
  public:
   MicroscopicModel() = default;
@@ -68,6 +70,17 @@ class MicroscopicModel {
   [[nodiscard]] std::span<double> raw_mutable() noexcept {
     return {data_.data(), data_.size()};
   }
+
+  /// Window maintenance for sliding sessions: re-layouts the tensor for a
+  /// changed grid.  New slice column t takes the *bit-exact* contents of
+  /// old column t + src_shift; columns with no old counterpart are zeroed
+  /// (the caller re-folds the affected suffix from the trace).  The new
+  /// grid must cover the same hierarchy and states.
+  void reshape_window(const TimeGrid& new_grid, std::int32_t src_shift);
+
+  /// Zeroes every duration cell of slices >= first_dirty — the first step
+  /// of a suffix re-fold.
+  void zero_slices(SliceId first_dirty) noexcept;
 
   /// Total traced seconds in the model (sum of the tensor).
   [[nodiscard]] double total_mass() const noexcept;

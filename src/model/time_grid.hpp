@@ -42,8 +42,34 @@ class TimeGrid {
     return to_seconds(slice_end(t) - slice_begin(t));
   }
 
-  /// Slice containing timestamp `time` (clamped to [0, count)).
+  /// Slice containing timestamp `time` (clamped to [0, count)): the unique
+  /// t with slice_begin(t) <= time < slice_end(t).  Timestamps exactly on a
+  /// slice edge belong to the slice *starting* there (half-open convention);
+  /// time >= end() clamps to the last slice.
   [[nodiscard]] SliceId slice_of(TimeNs time) const noexcept;
+
+  /// Exact slice width in ns when all slices are equal (span divisible by
+  /// the count), 0 otherwise.  The window-derivation helpers below require
+  /// a uniform width: it is what makes a derived grid's slice edges
+  /// bit-identical to a fresh grid over the same span (every edge is
+  /// begin + t * dt recomputed from the origin, never accumulated).
+  [[nodiscard]] TimeNs uniform_dt_ns() const noexcept {
+    return count_ > 0 && span_ % count_ == 0 ? span_ / count_ : 0;
+  }
+
+  /// Window slid forward by `slices` whole slices (same count, same dt):
+  /// [begin + k*dt, end + k*dt).  Throws InvalidArgument unless the grid
+  /// has a uniform dt.  Negative k slides backward.
+  [[nodiscard]] TimeGrid advanced(std::int32_t slices) const;
+  /// Window extended by `slices` new trailing slices (count grows):
+  /// [begin, end + k*dt).  Existing slice edges are preserved exactly.
+  /// Throws InvalidArgument when dt is not uniform or `slices` is
+  /// negative (use contracted() to shrink).
+  [[nodiscard]] TimeGrid extended(std::int32_t slices) const;
+  /// Window contracted by `slices` trailing slices (count shrinks):
+  /// [begin, end - k*dt).  Throws InvalidArgument unless dt is uniform,
+  /// or when fewer than one slice would remain.
+  [[nodiscard]] TimeGrid contracted(std::int32_t slices) const;
 
   /// Overlap in seconds between [a, b) and slice t.
   [[nodiscard]] double overlap_s(TimeNs a, TimeNs b, SliceId t) const noexcept;

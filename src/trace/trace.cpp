@@ -18,6 +18,7 @@ ResourceId Trace::add_resource(std::string_view path) {
   resource_paths_.emplace_back(path);
   resource_ids_.emplace(resource_paths_.back(), id);
   per_resource_.emplace_back();
+  sorted_prefix_.push_back(0);
   return id;
 }
 
@@ -54,11 +55,16 @@ void Trace::seal() {
   if (sealed_) return;
   parallel_for(per_resource_.size(), [this](std::size_t r) {
     auto& v = per_resource_[r];
-    std::sort(v.begin(), v.end(),
-              [](const StateInterval& a, const StateInterval& b) {
-                if (a.begin != b.begin) return a.begin < b.begin;
-                return a.end < b.end;
-              });
+    const std::size_t sorted = sorted_prefix_[r];
+    if (sorted >= v.size()) return;  // nothing appended since last seal
+    const auto cmp = [](const StateInterval& a, const StateInterval& b) {
+      if (a.begin != b.begin) return a.begin < b.begin;
+      return a.end < b.end;
+    };
+    const auto mid = v.begin() + static_cast<std::ptrdiff_t>(sorted);
+    std::sort(mid, v.end(), cmp);
+    if (sorted > 0) std::inplace_merge(v.begin(), mid, v.end(), cmp);
+    sorted_prefix_[r] = v.size();
   }, /*grain=*/1);
   if (!window_overridden_) {
     TimeNs lo = std::numeric_limits<TimeNs>::max();
@@ -81,6 +87,29 @@ std::uint64_t Trace::state_count() const noexcept {
   std::uint64_t n = 0;
   for (const auto& v : per_resource_) n += v.size();
   return n;
+}
+
+void Trace::erase_before(TimeNs cutoff) {
+  for (std::size_t r = 0; r < per_resource_.size(); ++r) {
+    auto& v = per_resource_[r];
+    // Manual erase-remove keeps relative order (sortedness and fold order
+    // survive) while re-counting how many survivors come from the sorted
+    // prefix, so the next seal still merges instead of re-sorting.
+    std::size_t write = 0;
+    std::size_t sorted_survivors = 0;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (v[i].end <= cutoff) continue;
+      if (i < sorted_prefix_[r]) ++sorted_survivors;
+      v[write++] = v[i];
+    }
+    v.resize(write);
+    sorted_prefix_[r] = sorted_survivors;
+  }
+  // An auto-computed observation window may have spanned the erased
+  // intervals; unseal so the next seal() re-derives it from the survivors
+  // (cheap: the sorted prefixes are intact, only the window scan runs).
+  // An overridden window is the caller's contract and stays put.
+  if (!window_overridden_) sealed_ = false;
 }
 
 void Trace::set_window(TimeNs begin, TimeNs end) {

@@ -69,8 +69,17 @@ class Trace {
                  TimeNs end);
 
   /// Sorts intervals per resource and computes the observation window.
-  /// Idempotent; readers call it automatically.
+  /// Idempotent; readers call it automatically.  Each resource tracks its
+  /// sorted prefix: a re-seal sorts only the appended tail and merges it
+  /// in, so the repeated seal of a streaming ingest path costs
+  /// O(appended log appended + merge) instead of a full O(n log n).
   void seal();
+
+  /// Drops every interval ending at or before `cutoff` — intervals that,
+  /// by the half-open [begin, end) convention, can never overlap a window
+  /// starting at `cutoff`.  Used by sliding sessions to bound retained
+  /// memory; sortedness is preserved and an overridden window untouched.
+  void erase_before(TimeNs cutoff);
 
   [[nodiscard]] bool sealed() const noexcept { return sealed_; }
 
@@ -102,6 +111,9 @@ class Trace {
   std::unordered_map<std::string, ResourceId> resource_ids_;
   StateRegistry states_;
   std::vector<std::vector<StateInterval>> per_resource_;
+  /// Per resource: count of leading intervals known to be sorted; seal()
+  /// sorts only the tail beyond it and merges.
+  std::vector<std::size_t> sorted_prefix_;
   TimeNs begin_ = 0;
   TimeNs end_ = 0;
   bool sealed_ = false;

@@ -60,6 +60,85 @@ TEST(TimeGrid, IntervalDuration) {
   EXPECT_NEAR(g.slice_duration_s(7), 1.0, 1e-9);
 }
 
+TEST(TimeGrid, SliceOfExactEdgeOnNonDivisibleSpan) {
+  // Regression: span 10 / count 3 gives edges {0, 3, 6, 10}; the plain
+  // floor((time - begin) * count / span) maps the edge timestamp 3 to
+  // slice 0 (3 * 3 / 10 = 0).  An event starting exactly on a slice edge
+  // must land in the slice *starting* there, never the one before.
+  const TimeGrid g(0, 10, 3);
+  ASSERT_EQ(g.slice_begin(1), 3);
+  EXPECT_EQ(g.slice_of(3), 1);
+  for (SliceId t = 0; t < 3; ++t) {
+    EXPECT_EQ(g.slice_of(g.slice_begin(t)), t) << "t=" << t;
+    EXPECT_EQ(g.slice_of(g.slice_end(t) - 1), t) << "t=" << t;
+  }
+  // Sweep awkward spans: the round trip must hold on the edges of every
+  // *non-empty* slice (span < count produces zero-width slices, which by
+  // the half-open convention contain no timestamp at all — their edge
+  // belongs to the next non-empty slice).
+  for (const TimeNs span : {7LL, 101LL, 999'999'937LL}) {
+    for (const std::int32_t count : {3, 13, 30}) {
+      const TimeGrid grid(5, 5 + span, count);
+      for (SliceId t = 0; t < count; ++t) {
+        if (grid.slice_begin(t) == grid.slice_end(t)) continue;
+        EXPECT_EQ(grid.slice_of(grid.slice_begin(t)), t)
+            << "span=" << span << " count=" << count << " t=" << t;
+        EXPECT_EQ(grid.slice_of(grid.slice_end(t) - 1), t)
+            << "span=" << span << " count=" << count << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(TimeGrid, DerivedWindowsMatchFreshGridsToZeroUlp) {
+  // Satellite regression: 10^3 slides (with interleaved extensions and
+  // contractions) derived step by step must produce slice edges that are
+  // *bit-identical* (0 ULP, both the integer edges and the double
+  // durations) to a grid built from scratch over the same span — edges are
+  // always recomputed from the window origin, never accumulated.
+  const TimeNs dt = 1'000'000;  // 1 ms slices
+  TimeGrid g(seconds(2.0), seconds(2.0) + dt * 96, 96);
+  for (int step = 0; step < 1000; ++step) {
+    const int k = 1 + step % 3;
+    if (step % 7 == 3 && g.slice_count() < 160) {
+      g = g.extended(k);
+    } else if (step % 7 == 5 && g.slice_count() > k + 32) {
+      g = g.contracted(k);
+    } else {
+      g = g.advanced(k);
+    }
+    const TimeGrid fresh(g.begin(), g.end(), g.slice_count());
+    ASSERT_EQ(g.uniform_dt_ns(), dt);
+    for (SliceId t = 0; t < g.slice_count(); ++t) {
+      ASSERT_EQ(g.slice_begin(t), fresh.slice_begin(t))
+          << "step=" << step << " t=" << t;
+      ASSERT_EQ(g.slice_end(t), fresh.slice_end(t))
+          << "step=" << step << " t=" << t;
+      // Double-typed durations too: bit-equality, not tolerance.
+      ASSERT_EQ(g.slice_duration_s(t), fresh.slice_duration_s(t))
+          << "step=" << step << " t=" << t;
+    }
+  }
+}
+
+TEST(TimeGrid, DerivedWindowHelpersValidate) {
+  const TimeGrid uneven(0, 10, 3);  // no uniform dt
+  EXPECT_EQ(uneven.uniform_dt_ns(), 0);
+  EXPECT_THROW((void)uneven.advanced(1), InvalidArgument);
+  EXPECT_THROW((void)uneven.extended(1), InvalidArgument);
+  EXPECT_THROW((void)uneven.contracted(1), InvalidArgument);
+
+  const TimeGrid g(0, 100, 10);
+  EXPECT_EQ(g.uniform_dt_ns(), 10);
+  EXPECT_THROW((void)g.extended(-1), InvalidArgument);
+  EXPECT_THROW((void)g.contracted(10), InvalidArgument);
+  EXPECT_THROW((void)g.contracted(-1), InvalidArgument);
+  const TimeGrid back = g.advanced(-2);
+  EXPECT_EQ(back.begin(), -20);
+  EXPECT_EQ(back.end(), 80);
+  EXPECT_EQ(g.contracted(9).slice_count(), 1);
+}
+
 TEST(TimeGrid, InvalidConstruction) {
   EXPECT_THROW(TimeGrid(0, 100, 0), InvalidArgument);
   EXPECT_THROW(TimeGrid(100, 100, 5), InvalidArgument);

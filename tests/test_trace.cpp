@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 
 namespace stagg {
 namespace {
@@ -95,6 +96,70 @@ TEST(Trace, AppendAfterSealUnsealsAndResorts) {
   EXPECT_FALSE(t.sealed());
   t.seal();
   EXPECT_EQ(t.intervals(r)[0].begin, 0);
+}
+
+TEST(Trace, EraseBeforeIsHalfOpen) {
+  Trace t;
+  const ResourceId r = t.add_resource("r");
+  t.add_state(r, "s", 0, 10);    // ends exactly at the cutoff: dropped
+  t.add_state(r, "s", 0, 11);    // overlaps [10, inf): kept
+  t.add_state(r, "s", 10, 10);   // zero-duration at the cutoff: dropped
+  t.add_state(r, "s", 10, 12);   // starts at the cutoff: kept
+  t.add_state(r, "s", 15, 16);   // strictly after: kept
+  t.seal();
+  t.erase_before(10);
+  const auto iv = t.intervals(r);
+  ASSERT_EQ(iv.size(), 3u);
+  EXPECT_EQ(iv[0].end, 11);
+  EXPECT_EQ(iv[1].begin, 10);
+  EXPECT_EQ(iv[1].end, 12);
+  EXPECT_EQ(iv[2].begin, 15);
+  // Sortedness survives: a re-seal must not change the intervals, but it
+  // re-derives the auto-computed window from the survivors (the erased
+  // prefix must no longer stretch it back to 0).
+  t.seal();
+  EXPECT_EQ(t.intervals(r).size(), 3u);
+  EXPECT_EQ(t.begin(), 0);  // interval [0, 11) survived
+  t.erase_before(12);
+  t.seal();
+  ASSERT_EQ(t.intervals(r).size(), 1u);
+  EXPECT_EQ(t.begin(), 15);
+  EXPECT_EQ(t.end(), 16);
+}
+
+TEST(Trace, IncrementalSealMatchesFullSort) {
+  // Appends interleaved with seals across several resources must yield the
+  // same per-resource interval order as appending everything then sealing
+  // once (the dirty-resource sort skips only untouched resources).
+  SplitMix64 mix(42);
+  Trace incremental;
+  Trace batch;
+  for (int r = 0; r < 4; ++r) {
+    incremental.add_resource("r" + std::to_string(r));
+    batch.add_resource("r" + std::to_string(r));
+  }
+  (void)incremental.states().intern("s");
+  (void)batch.states().intern("s");
+  for (int round = 0; round < 6; ++round) {
+    for (int k = 0; k < 25; ++k) {
+      const auto r = static_cast<ResourceId>(mix.next() % 4);
+      const auto b = static_cast<TimeNs>(mix.next() % 1000);
+      const auto d = static_cast<TimeNs>(mix.next() % 50);
+      incremental.add_state(r, StateId{0}, b, b + d);
+      batch.add_state(r, StateId{0}, b, b + d);
+    }
+    incremental.seal();  // sorts only the resources touched this round
+  }
+  incremental.seal();
+  batch.seal();
+  for (ResourceId r = 0; r < 4; ++r) {
+    const auto a = incremental.intervals(r);
+    const auto b = batch.intervals(r);
+    ASSERT_EQ(a.size(), b.size()) << "r=" << r;
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      EXPECT_EQ(a[k], b[k]) << "r=" << r << " k=" << k;
+    }
+  }
 }
 
 TEST(StateRegistryTest, InternAndFind) {
