@@ -1,0 +1,286 @@
+// Bench: N concurrent sliding-window sessions over ONE shared immutable
+// TraceStore (SessionManager) vs N sessions each owning a private copy of
+// the trace.
+//
+// The multi-view workflow of the paper — one analyst, several windows,
+// slice counts and trade-off probes over the same execution — used to pay
+// one full trace copy per view.  The shared store pays the event bytes
+// once: sessions read sealed chunks through zero-copy TraceViews, the
+// manager ingests/seals/evicts centrally, and advances fan out over the
+// shared pool (help-while-waiting keeps the sessions' inner DP waves
+// composable with the outer per-session parallelism).
+//
+// Protocol: a synthetic MPI-ish stream drives N sessions with staggered
+// windows and probe sets.  Each measured round delivers the next event
+// burst and advances everyone by one slice — once through the manager
+// (shared store), once through N private sessions fed the same events —
+// timing both, asserting bit-identical results per session per round, and
+// comparing retained trace bytes.  The acceptance bar: shared trace bytes
+// <= 1.2/N of the private total for N >= 4.  --smoke emits
+// BENCH_sessions.json for CI trend tracking.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/stopwatch.hpp"
+#include "core/session_manager.hpp"
+#include "hierarchy/hierarchy.hpp"
+#include "workload/stream_split.hpp"
+#include "workload/synthetic.hpp"
+
+namespace stagg {
+namespace {
+
+bool results_equal(const std::vector<AggregationResult>& a,
+                   const std::vector<AggregationResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    if (a[k].optimal_pic != b[k].optimal_pic ||
+        a[k].partition.signature() != b[k].partition.signature() ||
+        a[k].measures.gain != b[k].measures.gain ||
+        a[k].measures.loss != b[k].measures.loss) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int run(int argc, const char* const* argv) {
+  Cli cli("bench_sessions",
+          "N concurrent sliding-window sessions sharing one immutable "
+          "TraceStore vs N private trace copies: memory and aggregate "
+          "advance throughput");
+  cli.option("levels", "3", "hierarchy depth of the balanced platform");
+  cli.option("fanout", "4", "children per node (leaves = fanout^levels)");
+  cli.option("sessions", "6", "number of concurrent sessions N");
+  cli.option("slices", "64", "base window slice count |T|");
+  cli.option("states", "5", "number of states |X|");
+  cli.option("lanes", "4", "lane width of the DP waves (1-8)");
+  cli.option("rounds", "", "measured advance rounds (default 12, smoke 8)");
+  cli.option("json", "", "write a JSON summary to this path");
+  cli.flag("smoke", "reduced model + BENCH_sessions.json (CI mode)");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const bool smoke = cli.get_flag("smoke");
+  std::int32_t levels = static_cast<std::int32_t>(cli.get_int("levels"));
+  std::int32_t fanout = static_cast<std::int32_t>(cli.get_int("fanout"));
+  std::int32_t slices = static_cast<std::int32_t>(cli.get_int("slices"));
+  std::int32_t states = static_cast<std::int32_t>(cli.get_int("states"));
+  auto n_sessions =
+      static_cast<std::size_t>(std::max<std::int64_t>(
+          2, cli.get_int("sessions")));
+  if (smoke) {
+    levels = 2;
+    fanout = 4;
+    slices = 48;
+    states = 4;
+    n_sessions = std::max<std::size_t>(n_sessions, 4);
+  }
+  // An explicit --rounds wins even under --smoke (the sanitize CI job
+  // shortens the smoke run with it).
+  const int rounds =
+      cli.get("rounds").empty()
+          ? (smoke ? 8 : 12)
+          : static_cast<int>(std::max<std::int64_t>(2, cli.get_int("rounds")));
+  std::string json_path = cli.get("json");
+  if (smoke && json_path.empty()) json_path = "BENCH_sessions.json";
+
+  const Hierarchy h = make_balanced_hierarchy(levels, fanout);
+  const TimeNs dt = seconds(1.0);
+  const double span_s = to_seconds(dt * (slices + rounds + 8));
+
+  const auto programmer = [&](LeafId leaf) {
+    ResourceProgram p;
+    StatePattern pattern;
+    for (std::int32_t x = 0; x < states; ++x) {
+      const double mean = 0.02 + 0.015 * ((leaf + x) % 4);
+      pattern.elements.push_back({"state" + std::to_string(x), mean, 0.35});
+    }
+    p.phases.push_back({0.0, span_s, std::move(pattern)});
+    return p;
+  };
+  Trace whole = generate_trace(h, programmer, 0x5E5510);
+  whole.seal();
+
+  // Session specs: staggered windows (same 1 s slice width so one stream
+  // paces everyone), varied |T| and probe sets.
+  struct Spec {
+    TimeGrid window;
+    std::vector<double> ps;
+  };
+  std::vector<Spec> specs;
+  TimeNs max_end = 0;
+  for (std::size_t i = 0; i < n_sessions; ++i) {
+    const auto t = static_cast<std::int32_t>(
+        std::max<std::int32_t>(8, slices - 8 * static_cast<std::int32_t>(
+                                               i % 3)));
+    const TimeNs begin = dt * static_cast<TimeNs>(i % 4);
+    const TimeGrid window(begin, begin + dt * t, t);
+    std::vector<double> ps;
+    for (std::size_t k = 0; k <= i % 3 + 1; ++k) {
+      ps.push_back(static_cast<double>(k + i) /
+                   static_cast<double>(i % 3 + n_sessions));
+    }
+    specs.push_back({window, std::move(ps)});
+    max_end = std::max(max_end, window.end());
+  }
+
+  SlidingWindowOptions opt;
+  opt.aggregation.max_lanes = static_cast<std::size_t>(
+      std::clamp<std::int64_t>(cli.get_int("lanes"), 1,
+                               static_cast<std::int64_t>(kMaxDpLanes)));
+
+  std::printf("=== Shared-store multi-session aggregation ===\n\n");
+  std::printf(
+      "model: |S| = %zu leaves, base |T| = %d, |X| = %d, N = %zu sessions, "
+      "W = %zu, %d rounds\n\n",
+      h.leaf_count(), slices, states, n_sessions, opt.aggregation.max_lanes,
+      rounds);
+
+  // Split the trace at the initial horizon; future events feed both
+  // sides.  Private sessions each get a fresh split so their stores share
+  // no chunks (honest per-copy byte accounting).
+  const TimeNs horizon = max_end + dt;
+  const auto make_initial = [&]() -> Trace {
+    return split_trace_at(whole, horizon).initial;
+  };
+  const std::vector<std::pair<ResourceId, StateInterval>> future =
+      split_trace_at(whole, horizon).future;
+
+  // ---- Shared side: one store, one manager. -------------------------------
+  Stopwatch shared_setup;
+  Trace shared_initial = make_initial();
+  shared_initial.seal();
+  SessionManager manager(h, shared_initial.store());
+  for (const Spec& spec : specs) {
+    SessionSpec s;
+    s.window = spec.window;
+    s.ps = spec.ps;
+    s.options = opt;
+    manager.add_session(s);
+  }
+  const double shared_setup_s = shared_setup.seconds();
+
+  // ---- Private side: N exclusive sessions, each with its own copy of the
+  // events (fresh stores: no chunk sharing).
+  Stopwatch private_setup;
+  std::vector<std::unique_ptr<SlidingWindowSession>> private_sessions;
+  for (const Spec& spec : specs) {
+    private_sessions.push_back(std::make_unique<SlidingWindowSession>(
+        h, make_initial(), spec.window, spec.ps, opt));
+  }
+  const double private_setup_s = private_setup.seconds();
+
+  // ---- Lockstep rounds. ---------------------------------------------------
+  std::size_t next_shared = 0;
+  std::size_t next_private = 0;
+  double shared_s = 0.0;
+  double private_s = 0.0;
+  std::size_t shared_bytes_peak = 0;
+  std::size_t private_bytes_peak = 0;
+  bool equivalent = true;
+  TimeNs frontier = horizon;
+  for (int round = 0; round < rounds; ++round) {
+    frontier += dt;
+    {
+      Stopwatch w;
+      for (; next_shared < future.size() &&
+             future[next_shared].second.begin < frontier;
+           ++next_shared) {
+        const auto& [r, s] = future[next_shared];
+        manager.append(r, s.state, s.begin, s.end);
+      }
+      manager.slide_all(1);
+      shared_s += w.seconds();
+    }
+    {
+      Stopwatch w;
+      for (; next_private < future.size() &&
+             future[next_private].second.begin < frontier;
+           ++next_private) {
+        const auto& [r, s] = future[next_private];
+        for (auto& session : private_sessions) {
+          session->append(r, s.state, s.begin, s.end);
+        }
+      }
+      for (auto& session : private_sessions) session->slide(1);
+      private_s += w.seconds();
+    }
+    std::size_t private_bytes = 0;
+    for (const auto& session : private_sessions) {
+      private_bytes += session->store().store_bytes();
+    }
+    shared_bytes_peak = std::max(shared_bytes_peak, manager.store_bytes());
+    private_bytes_peak = std::max(private_bytes_peak, private_bytes);
+    for (std::size_t i = 0; i < n_sessions; ++i) {
+      equivalent = equivalent && results_equal(manager.session(i).results(),
+                                               private_sessions[i]->results());
+    }
+  }
+
+  const double total_advances =
+      static_cast<double>(n_sessions) * static_cast<double>(rounds);
+  const double shared_rate = total_advances / std::max(shared_s, 1e-12);
+  const double private_rate = total_advances / std::max(private_s, 1e-12);
+  const double bytes_ratio =
+      static_cast<double>(shared_bytes_peak) /
+      static_cast<double>(std::max<std::size_t>(1, private_bytes_peak));
+  const double share_bar = 1.2 / static_cast<double>(n_sessions);
+  const bool meets_share_bar = bytes_ratio <= share_bar;
+
+  std::printf("setup               : shared %s | private %s\n",
+              format_seconds(shared_setup_s).c_str(),
+              format_seconds(private_setup_s).c_str());
+  std::printf("trace bytes (peak)  : shared %.2f MiB | private %.2f MiB  "
+              "=>  ratio %.3f (bar <= %.3f for N = %zu)  [%s]\n",
+              shared_bytes_peak / 1048576.0, private_bytes_peak / 1048576.0,
+              bytes_ratio, share_bar, n_sessions,
+              meets_share_bar ? "ok" : "MISS");
+  std::printf("advance throughput  : shared %.1f slides/s | private %.1f "
+              "slides/s  =>  %.2fx\n",
+              shared_rate, private_rate,
+              shared_rate / std::max(private_rate, 1e-12));
+  std::printf("equivalence         : %s\n\n",
+              equivalent ? "bit-identical on every round"
+                         : "MISMATCH (BUG)");
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    char buf[64];
+    out << "{\n  \"bench\": \"sessions\",\n";
+    out << "  \"model\": {\"leaves\": " << h.leaf_count()
+        << ", \"base_slices\": " << slices << ", \"states\": " << states
+        << "},\n";
+    out << "  \"sessions\": " << n_sessions << ",\n";
+    out << "  \"lane_width\": " << opt.aggregation.max_lanes << ",\n";
+    out << "  \"rounds\": " << rounds << ",\n";
+    out << "  \"shared_trace_bytes\": " << shared_bytes_peak << ",\n";
+    out << "  \"private_trace_bytes_total\": " << private_bytes_peak
+        << ",\n";
+    std::snprintf(buf, sizeof buf, "%.6g", bytes_ratio);
+    out << "  \"bytes_ratio\": " << buf << ",\n";
+    std::snprintf(buf, sizeof buf, "%.6g", share_bar);
+    out << "  \"bytes_ratio_bar\": " << buf << ",\n";
+    out << "  \"meets_share_bar\": " << (meets_share_bar ? "true" : "false")
+        << ",\n";
+    std::snprintf(buf, sizeof buf, "%.6g", shared_rate);
+    out << "  \"shared_slides_per_s\": " << buf << ",\n";
+    std::snprintf(buf, sizeof buf, "%.6g", private_rate);
+    out << "  \"private_slides_per_s\": " << buf << ",\n";
+    out << "  \"equivalent\": " << (equivalent ? "true" : "false") << "\n";
+    out << "}\n";
+    std::printf("summary written to %s\n", json_path.c_str());
+  }
+
+  return equivalent && meets_share_bar ? 0 : 2;
+}
+
+}  // namespace
+}  // namespace stagg
+
+int main(int argc, char** argv) { return stagg::run(argc, argv); }

@@ -1,0 +1,100 @@
+// Example: one live trace stream, several concurrent analysis views.
+//
+// A monitoring service rarely wants a single window: the on-call view
+// watches the last 30 s at fine slices, the capacity view keeps two
+// minutes at coarse slices, and a per-cluster view scopes to one subtree.
+// With a SessionManager they all read ONE immutable chunked TraceStore —
+// the event bytes are paid once — while each session keeps its own
+// incremental DP state and probe set.
+#include <cstdio>
+#include <string>
+
+#include "core/session_manager.hpp"
+#include "hierarchy/hierarchy.hpp"
+#include "trace/trace.hpp"
+#include "workload/stream_split.hpp"
+#include "workload/synthetic.hpp"
+
+using namespace stagg;
+
+int main() {
+  // Platform: 2 clusters x 8 ranks.
+  const Hierarchy platform = make_balanced_hierarchy(2, /*fanout=*/4);
+  // Scope hierarchy: cluster 0 only (same leaf paths as the platform).
+  HierarchyBuilder scope_builder("root");
+  const NodeId c0 = scope_builder.add(0, "n0_0");
+  scope_builder.add_many(c0, "n1_", 4);
+  const Hierarchy cluster0 = scope_builder.finish();
+
+  // A synthetic mixed workload spanning 90 s.
+  const double span_s = 90.0;
+  Trace trace = generate_trace(
+      platform,
+      [&](LeafId leaf) {
+        ResourceProgram p;
+        p.phases.push_back(
+            {0.0, span_s,
+             StatePattern{{{"compute", 0.05, 0.25},
+                           {"mpi_wait", leaf % 4 == 0 ? 0.05 : 0.01, 0.5},
+                           {"io", 0.02, 0.4}}}});
+        return p;
+      },
+      /*seed=*/2024);
+  trace.seal();
+
+  // Keep the first 40 s as "already ingested"; stream the rest live.
+  TraceSplit split = split_trace_at(trace, seconds(40.0));
+  split.initial.seal();
+
+  // One store, three very different sessions.
+  SessionManager manager(platform, split.initial.store());
+  SessionSpec oncall;  // fine slices, last 32 s, balanced probes
+  oncall.window = TimeGrid(seconds(8.0), seconds(40.0), 64);
+  oncall.ps = {0.25, 0.5, 0.75};
+  SessionSpec capacity;  // coarse slices, a long look-back
+  capacity.window = TimeGrid(0, seconds(40.0), 20);
+  capacity.ps = {0.5};
+  SessionSpec cluster_view;  // cluster 0 only
+  cluster_view.window = TimeGrid(seconds(10.0), seconds(40.0), 30);
+  cluster_view.ps = {0.4, 0.8};
+  cluster_view.hierarchy = &cluster0;
+  manager.add_session(oncall);
+  manager.add_session(capacity);
+  manager.add_session(cluster_view);
+
+  std::printf("shared store: %zu resources, %llu states, %.2f MiB — read by "
+              "%zu sessions\n\n",
+              manager.store().resource_count(),
+              static_cast<unsigned long long>(manager.store().state_count()),
+              manager.store_bytes() / 1048576.0, manager.session_count());
+
+  // Live loop: every 5 s of trace time, deliver the burst and advance all
+  // sessions to the new frontier (each by whole slices of its own width).
+  std::size_t next = 0;
+  for (TimeNs frontier = seconds(45.0); frontier <= seconds(85.0);
+       frontier += seconds(5.0)) {
+    for (; next < split.future.size() && split.future[next].second.begin < frontier;
+         ++next) {
+      const auto& [r, s] = split.future[next];
+      manager.append(r, s.state, s.begin, s.end);
+    }
+    manager.advance_to(frontier);
+
+    std::printf("t = %2.0f s | store %.2f MiB\n", to_seconds(frontier),
+                manager.store_bytes() / 1048576.0);
+    static const char* names[] = {"on-call ", "capacity", "cluster0"};
+    for (std::size_t i = 0; i < manager.session_count(); ++i) {
+      const auto& session = manager.session(i);
+      const auto& results = session.results();
+      std::printf("  %s [%5.1f, %5.1f) s :", names[i],
+                  to_seconds(session.window().begin()),
+                  to_seconds(session.window().end()));
+      for (const auto& res : results) {
+        std::printf("  p=%.2f -> %zu areas", res.p,
+                    res.partition.areas().size());
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 
 namespace stagg {
@@ -43,6 +44,18 @@ void ThreadPool::worker_loop() {
   }
 }
 
+bool ThreadPool::try_run_one() {
+  std::function<void()> task;
+  {
+    std::lock_guard lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  return true;
+}
+
 ThreadPool& ThreadPool::shared() {
   static ThreadPool pool;
   return pool;
@@ -65,6 +78,15 @@ void parallel_for_blocked(
   }
   std::exception_ptr first_error;
   for (auto& f : futures) {
+    // Help drain the queue while waiting: nested parallel_for calls (e.g.
+    // per-session DP waves under a SessionManager advance) would otherwise
+    // deadlock once every worker blocks on futures of tasks still queued.
+    while (f.wait_for(std::chrono::seconds(0)) !=
+           std::future_status::ready) {
+      if (!pool.try_run_one()) {
+        f.wait_for(std::chrono::microseconds(200));
+      }
+    }
     try {
       f.get();
     } catch (...) {

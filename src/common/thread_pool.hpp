@@ -49,6 +49,16 @@ class ThreadPool {
     return fut;
   }
 
+  /// Runs one queued task on the *calling* thread if any is pending;
+  /// returns whether a task ran.  parallel_for_blocked callers help drain
+  /// the queue with this while waiting for their own blocks, which makes
+  /// nested parallel_for composable: an outer wave that has every worker
+  /// blocked on inner futures still makes progress, because each blocked
+  /// waiter executes inner tasks itself instead of idling (no idle-worker
+  /// deadlock).  Exceptions of helped tasks are captured in their
+  /// packaged_task future, never thrown here.
+  bool try_run_one();
+
   /// Process-wide shared pool (lazily constructed, hardware concurrency).
   static ThreadPool& shared();
 

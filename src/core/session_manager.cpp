@@ -1,0 +1,121 @@
+#include "core/session_manager.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+
+namespace stagg {
+
+namespace {
+constexpr TimeNs kNoStagedEvents = std::numeric_limits<TimeNs>::max();
+}  // namespace
+
+SessionManager::SessionManager(const Hierarchy& hierarchy,
+                               std::shared_ptr<TraceStore> store)
+    : hierarchy_(&hierarchy),
+      store_(std::move(store)),
+      staged_min_(kNoStagedEvents) {
+  if (!store_) throw InvalidArgument("SessionManager: null trace store");
+  store_->seal_chunk();
+}
+
+std::size_t SessionManager::add_session(SessionSpec spec) {
+  store_->seal_chunk();
+  const Hierarchy* scope = spec.hierarchy != nullptr ? spec.hierarchy
+                                                     : hierarchy_;
+  spec.options.prune_trace = false;  // eviction is centralized here
+  sessions_.push_back(std::make_unique<SlidingWindowSession>(
+      *scope, store_, spec.window, std::move(spec.ps), spec.options,
+      StoreOwnership::kShared));
+  return sessions_.size() - 1;
+}
+
+void SessionManager::append(ResourceId resource, StateId state, TimeNs begin,
+                            TimeNs end) {
+  if (state < 0 ||
+      static_cast<std::size_t>(state) >= store_->states().size()) {
+    throw InvalidArgument(
+        "SessionManager::append: unknown state id " + std::to_string(state) +
+        " (sessions pin |X|; new states require a new store)");
+  }
+  store_->add_state(resource, state, begin, end);
+  staged_min_ = std::min(staged_min_, begin);
+}
+
+void SessionManager::append(ResourceId resource, std::string_view state_name,
+                            TimeNs begin, TimeNs end) {
+  const auto id = store_->states().find(state_name);
+  if (!id) {
+    throw InvalidArgument("SessionManager::append: unknown state '" +
+                          std::string(state_name) +
+                          "' (sessions pin |X|; new states require a new "
+                          "store)");
+  }
+  append(resource, *id, begin, end);
+}
+
+template <class Advance>
+void SessionManager::advance_sessions(const Advance& advance) {
+  store_->seal_chunk();
+  const TimeNs staged = std::exchange(staged_min_, kNoStagedEvents);
+  // Parallel over sessions: each session touches only its own model and
+  // retained DP state and reads the store through an immutable chunk
+  // snapshot; the help-while-waiting pool composes this outer fan-out
+  // with the sessions' inner parallel_for waves.
+  parallel_for(
+      sessions_.size(),
+      [&](std::size_t i) {
+        SlidingWindowSession& s = *sessions_[i];
+        if (staged != kNoStagedEvents) s.note_external_ingest(staged);
+        advance(s);
+      },
+      /*grain=*/1);
+  // With no session attached there is no window to bound eviction by;
+  // evicting to the store begin would only poison the horizon and reject
+  // perfectly valid sessions attached later.
+  if (!sessions_.empty()) store_->evict_before(min_window_begin());
+}
+
+void SessionManager::slide_all(std::int32_t slices) {
+  if (slices < 0) {
+    throw InvalidArgument("SessionManager::slide_all: negative slide");
+  }
+  advance_sessions(
+      [slices](SlidingWindowSession& s) { (void)s.slide(slices); });
+}
+
+void SessionManager::advance_to(TimeNs frontier) {
+  advance_sessions([frontier](SlidingWindowSession& s) {
+    const TimeGrid& window = s.window();
+    const TimeNs dt = window.uniform_dt_ns();
+    const TimeNs gap = frontier - window.end();
+    // gap/dt can exceed int32 for a far-ahead frontier; clamp instead of
+    // letting the cast wrap into a negative or bogus slide.
+    const auto slices = static_cast<std::int32_t>(std::clamp<TimeNs>(
+        gap > 0 ? gap / dt : 0, 0,
+        std::numeric_limits<std::int32_t>::max()));
+    if (slices > 0) {
+      (void)s.slide(slices);
+    } else {
+      (void)s.refresh();
+    }
+  });
+}
+
+void SessionManager::refresh_all() {
+  advance_sessions([](SlidingWindowSession& s) { (void)s.refresh(); });
+}
+
+TimeNs SessionManager::min_window_begin() const noexcept {
+  if (sessions_.empty()) return store_->begin();
+  TimeNs lo = std::numeric_limits<TimeNs>::max();
+  for (const auto& s : sessions_) {
+    lo = std::min(lo, s->window().begin());
+  }
+  return lo;
+}
+
+}  // namespace stagg

@@ -1,0 +1,136 @@
+// SessionManager: N concurrent sliding-window analyses over ONE immutable
+// chunked TraceStore — the multi-view server shape of the paper's
+// workflow, where an analyst probes the same execution at several windows,
+// hierarchy scopes and trade-off parameters at once.
+//
+// The manager owns the single-writer side of the store: it ingests events
+// into the mutable tails, seals them into immutable chunks before every
+// advance, and evicts chunks no session can ever read again (fence
+// eviction below the minimum window begin across sessions).  Sessions are
+// pure readers: each holds its own model + retained DP state but selects
+// the shared chunks through zero-copy TraceViews, so the trace bytes are
+// paid once for all N sessions instead of once per session.
+//
+// Advances run the sessions in parallel on the shared thread pool; the
+// pool's help-while-waiting parallel_for makes the sessions' inner DP
+// parallelism compose with the outer per-session fan-out (no idle-worker
+// deadlock, one pool for everything).
+//
+// Results are bit-identical to N sessions each owning a private copy of
+// the trace: a view merges chunk cursors into the exact sorted interval
+// sequence a single-owner trace folds, and each session's incremental DP
+// is already bit-identical to its from-scratch oracle.
+//
+// Usage:
+//   auto store = read_binary_trace_store("run.stgt");
+//   SessionManager mgr(platform, store);
+//   mgr.add_session({TimeGrid(0, seconds(60), 60), {0.25, 0.5}});
+//   mgr.add_session({TimeGrid(0, seconds(120), 48), {0.5}, &cluster0});
+//   mgr.append(resource, state, begin_ns, end_ns);   // live ingest
+//   mgr.slide_all(4);                                // everyone advances
+//   mgr.session(0).results();
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "core/sliding_window.hpp"
+#include "hierarchy/hierarchy.hpp"
+#include "trace/trace_store.hpp"
+
+namespace stagg {
+
+/// One session to attach to the shared store.
+struct SessionSpec {
+  /// Analysis window (uniform slice width required); windows and slice
+  /// counts may differ freely between sessions.
+  TimeGrid window;
+  /// Trade-off probes swept on every advance.
+  std::vector<double> ps;
+  /// Hierarchy scope; nullptr selects the manager's default hierarchy.  A
+  /// hierarchy whose leaves name a subset of store resources scopes the
+  /// session to those resources.
+  const Hierarchy* hierarchy = nullptr;
+  /// Per-session knobs.  prune_trace is ignored: the manager evicts
+  /// centrally below the minimum window begin across all sessions.
+  SlidingWindowOptions options;
+};
+
+class SessionManager {
+ public:
+  /// Shares `store` (sealed, or with pending tails which are sealed here)
+  /// between the sessions to come.  `hierarchy` is the default scope; it
+  /// must outlive the manager, as must any per-spec hierarchy.
+  SessionManager(const Hierarchy& hierarchy,
+                 std::shared_ptr<TraceStore> store);
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Attaches a session and runs its initial window; returns its index.
+  /// Events already staged via append() become visible to it (they are
+  /// sealed first), but to *existing* sessions only at their next advance.
+  std::size_t add_session(SessionSpec spec);
+
+  [[nodiscard]] std::size_t session_count() const noexcept {
+    return sessions_.size();
+  }
+  [[nodiscard]] SlidingWindowSession& session(std::size_t i) {
+    return *sessions_[i];
+  }
+  [[nodiscard]] const SlidingWindowSession& session(std::size_t i) const {
+    return *sessions_[i];
+  }
+
+  /// Stages one state occurrence into the shared store; it becomes
+  /// visible to every session at its next advance.  The state must
+  /// already be registered (sessions pin |X| at creation).
+  void append(ResourceId resource, StateId state, TimeNs begin, TimeNs end);
+  /// Convenience overload resolving an *existing* state by name.
+  void append(ResourceId resource, std::string_view state_name, TimeNs begin,
+              TimeNs end);
+
+  /// Seals staged events, slides every session forward by `slices` of its
+  /// *own* slice width (parallel over sessions), then evicts dead chunks.
+  void slide_all(std::int32_t slices);
+
+  /// Seals staged events and advances every session so its window end
+  /// reaches as close to `frontier` as whole slices allow (sessions whose
+  /// window already touches the frontier refresh in place) — the live
+  /// ingest pattern where one event stream drives differently-paced
+  /// windows.  Then evicts dead chunks.
+  void advance_to(TimeNs frontier);
+
+  /// Seals staged events and re-aggregates every current window in place.
+  void refresh_all();
+
+  [[nodiscard]] const TraceStore& store() const noexcept { return *store_; }
+  [[nodiscard]] const std::shared_ptr<TraceStore>& store_ptr()
+      const noexcept {
+    return store_;
+  }
+  /// Payload bytes of the shared store — counted once, however many
+  /// sessions read it.
+  [[nodiscard]] std::size_t store_bytes() const noexcept {
+    return store_->store_bytes();
+  }
+  /// Earliest window begin across sessions (the eviction horizon); the
+  /// store window begin when no session is attached.
+  [[nodiscard]] TimeNs min_window_begin() const noexcept;
+
+ private:
+  template <class Advance>
+  void advance_sessions(const Advance& advance);
+
+  const Hierarchy* hierarchy_;
+  std::shared_ptr<TraceStore> store_;
+  std::vector<std::unique_ptr<SlidingWindowSession>> sessions_;
+  /// Min begin of events staged since the last seal (ingest dirty
+  /// frontier distributed to sessions at the next advance).
+  TimeNs staged_min_;
+};
+
+}  // namespace stagg

@@ -19,24 +19,104 @@ TimeGrid make_initial_grid(const TimeGrid& window) {
   return window;
 }
 
+/// Store resources backing the hierarchy's leaves, in leaf order; empty
+/// when the hierarchy spans the whole store (full view — the classic
+/// one-trace-one-analysis case).  Scoping is a *shared-store* feature: an
+/// exclusive session keeps the historical contract that a hierarchy/trace
+/// resource-count mismatch is an error (map_resources throws), never a
+/// silent subset analysis.  A scoped session requires path matching: leaf
+/// order has no meaning against a larger store.
+std::vector<ResourceId> compute_scope(const Hierarchy& hierarchy,
+                                      const TraceStore& store,
+                                      bool match_by_path,
+                                      StoreOwnership ownership) {
+  if (hierarchy.leaf_count() == store.resource_count()) return {};
+  if (ownership == StoreOwnership::kExclusive) return {};
+  if (!match_by_path) {
+    throw DimensionError(
+        "session scope: a hierarchy covering a subset of store resources "
+        "requires match_by_path");
+  }
+  std::vector<ResourceId> scope;
+  scope.reserve(hierarchy.leaf_count());
+  for (LeafId leaf = 0; leaf < static_cast<LeafId>(hierarchy.leaf_count());
+       ++leaf) {
+    const std::string path = hierarchy.path(hierarchy.leaf_node(leaf));
+    const ResourceId r = store.find_resource(path);
+    if (r == kInvalidResource) {
+      throw DimensionError("session scope: hierarchy leaf '" + path +
+                           "' is not a store resource");
+    }
+    scope.push_back(r);
+  }
+  return scope;
+}
+
 }  // namespace
 
 SlidingWindowSession::SlidingWindowSession(const Hierarchy& hierarchy,
                                            Trace trace, const TimeGrid& window,
                                            std::vector<double> ps,
                                            SlidingWindowOptions options)
+    : SlidingWindowSession(hierarchy, trace.store(), window, std::move(ps),
+                           options, StoreOwnership::kExclusive) {}
+
+SlidingWindowSession::SlidingWindowSession(const Hierarchy& hierarchy,
+                                           std::shared_ptr<TraceStore> store,
+                                           const TimeGrid& window,
+                                           std::vector<double> ps,
+                                           SlidingWindowOptions options,
+                                           StoreOwnership ownership)
     : hierarchy_(&hierarchy),
       options_(options),
-      trace_(std::move(trace)),
+      store_([&]() -> std::shared_ptr<TraceStore> {
+        if (!store) {
+          throw InvalidArgument("SlidingWindowSession: null trace store");
+        }
+        return std::move(store);
+      }()),
+      ownership_(ownership),
+      scope_(compute_scope(hierarchy, *store_, options.match_by_path,
+                           ownership)),
+      scope_paths_([&]() -> std::shared_ptr<const std::vector<std::string>> {
+        if (scope_.empty()) return nullptr;
+        auto paths = std::make_shared<std::vector<std::string>>();
+        paths->reserve(scope_.size());
+        for (const ResourceId r : scope_) {
+          paths->push_back(store_->resource_path(r));
+        }
+        return paths;
+      }()),
+      facade_(store_),
       model_([&]() -> MicroscopicModel {
         const TimeGrid grid = make_initial_grid(window);
-        trace_.set_window(grid.begin(), grid.end());
+        if (ownership_ == StoreOwnership::kExclusive) {
+          store_->set_window(grid.begin(), grid.end());
+          store_->seal_chunk();
+        } else {
+          if (!store_->tails_sealed()) {
+            throw InvalidArgument(
+                "SlidingWindowSession: shared store has unsealed events "
+                "(seal_chunk() before attaching sessions)");
+          }
+          // A window reaching behind the eviction horizon would silently
+          // aggregate over already-unlinked chunks and break the
+          // bit-identity-with-a-private-copy contract.
+          if (grid.begin() < store_->evict_horizon()) {
+            throw InvalidArgument(
+                "SlidingWindowSession: window begins at " +
+                std::to_string(grid.begin()) +
+                " ns, before the shared store's eviction horizon (" +
+                std::to_string(store_->evict_horizon()) +
+                " ns) — events there are already evicted");
+          }
+        }
         ModelBuildOptions build;
         build.slice_count = grid.slice_count();
         build.match_by_path = options_.match_by_path;
         build.window_begin = grid.begin();
         build.window_end = grid.end();
-        return build_model(trace_, hierarchy, build);
+        return build_model(make_view(grid), hierarchy, build);
       }()),
       agg_(model_, options.aggregation),
       ps_(std::move(ps)) {
@@ -44,22 +124,32 @@ SlidingWindowSession::SlidingWindowSession(const Hierarchy& hierarchy,
   dirty_from_ns_ = window.end();
 }
 
+TraceView SlidingWindowSession::make_view(const TimeGrid& grid) const {
+  return TraceView(store_, grid.begin(), grid.end(), scope_, scope_paths_);
+}
+
 void SlidingWindowSession::append(ResourceId resource, StateId state,
                                   TimeNs begin, TimeNs end) {
-  if (state < 0 || static_cast<std::size_t>(state) >= trace_.states().size()) {
+  if (ownership_ == StoreOwnership::kShared) {
+    throw InvalidArgument(
+        "SlidingWindowSession::append: shared-store sessions ingest through "
+        "their SessionManager");
+  }
+  if (state < 0 ||
+      static_cast<std::size_t>(state) >= store_->states().size()) {
     throw InvalidArgument(
         "SlidingWindowSession::append: unknown state id " +
         std::to_string(state) +
         " (new states require a new session: they change |X|)");
   }
-  trace_.add_state(resource, state, begin, end);
+  store_->add_state(resource, state, begin, end);
   dirty_from_ns_ = std::min(dirty_from_ns_, begin);
 }
 
 void SlidingWindowSession::append(ResourceId resource,
                                   std::string_view state_name, TimeNs begin,
                                   TimeNs end) {
-  const auto id = trace_.states().find(state_name);
+  const auto id = store_->states().find(state_name);
   if (!id) {
     throw InvalidArgument(
         "SlidingWindowSession::append: unknown state '" +
@@ -67,6 +157,10 @@ void SlidingWindowSession::append(ResourceId resource,
         "' (new states require a new session: they change |X|)");
   }
   append(resource, *id, begin, end);
+}
+
+void SlidingWindowSession::note_external_ingest(TimeNs earliest_begin) noexcept {
+  dirty_from_ns_ = std::min(dirty_from_ns_, earliest_begin);
 }
 
 SliceId SlidingWindowSession::pending_dirty_slice() const noexcept {
@@ -98,11 +192,20 @@ const std::vector<AggregationResult>& SlidingWindowSession::advance_to(
   }
   const SliceId first_dirty = std::min(fresh_from, staged_from);
 
-  // 3. Prune intervals that can never overlap the window again, then
-  // re-fold the dirty suffix from the retained trace.
-  if (options_.prune_trace) trace_.erase_before(new_grid.begin());
-  trace_.set_window(new_grid.begin(), new_grid.end());
-  refold_suffix(model_, trace_, *hierarchy_, first_dirty,
+  // 3. Seal staged events into chunks and unlink chunks that can never
+  // overlap the window again (exclusive stores; a SessionManager does both
+  // centrally for shared stores), then re-fold the dirty suffix through a
+  // fresh window view.
+  if (ownership_ == StoreOwnership::kExclusive) {
+    if (options_.prune_trace) store_->evict_before(new_grid.begin());
+    store_->set_window(new_grid.begin(), new_grid.end());
+    store_->seal_chunk();
+  } else if (!store_->tails_sealed()) {
+    throw InvalidArgument(
+        "SlidingWindowSession: shared store advanced with unsealed events "
+        "(the SessionManager seals before advancing)");
+  }
+  refold_suffix(model_, make_view(new_grid), *hierarchy_, first_dirty,
                 options_.match_by_path);
 
   // 4. Splice every derived structure and re-run the DP over the dirty
@@ -137,13 +240,19 @@ const std::vector<AggregationResult>& SlidingWindowSession::refresh() {
 
 std::vector<AggregationResult> SlidingWindowSession::run_from_scratch(
     DpKernel kernel) const {
-  Trace copy = trace_;
+  // Sealed snapshot: shares the immutable chunks, seals any staged tail
+  // (the original also folded staged-but-unadvanced events).
+  auto snapshot = std::make_shared<TraceStore>(*store_);
+  snapshot->seal_chunk();
+  const TimeGrid& grid = model_.grid();
+  const TraceView view(snapshot, grid.begin(), grid.end(), scope_,
+                       scope_paths_);
   ModelBuildOptions build;
-  build.slice_count = model_.slice_count();
+  build.slice_count = grid.slice_count();
   build.match_by_path = options_.match_by_path;
-  build.window_begin = model_.grid().begin();
-  build.window_end = model_.grid().end();
-  const MicroscopicModel fresh = build_model(copy, *hierarchy_, build);
+  build.window_begin = grid.begin();
+  build.window_end = grid.end();
+  const MicroscopicModel fresh = build_model(view, *hierarchy_, build);
   AggregationOptions opt = options_.aggregation;
   opt.kernel = kernel;
   SpatiotemporalAggregator agg(fresh, opt);

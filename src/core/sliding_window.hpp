@@ -16,12 +16,15 @@
 //   (i, j) of the new window equals cell (i+k, j+k) of the old one and is
 //   remapped by a pure relocation instead of recomputed.
 //
-// The append-only shape mirrors time-series storage engines: closed slice
-// columns are immutable; only the mutable tail (the dirty suffix) is ever
-// rewritten.  Results after every operation are bit-identical to a
-// from-scratch run_many() over the same window at any lane width — the
-// splice property tests assert this against the kReference and kCachedSolo
-// oracles.
+// Since the multi-session refactor the session no longer owns a mutable
+// event blob: it reads an immutable chunked TraceStore through zero-copy
+// TraceViews (chunk-fence pruning selects the window, a merge cursor
+// yields the sorted interval stream).  A session either *owns* its store
+// exclusively (the classic single-analysis mode: it may append, seal and
+// evict) or *shares* it with other sessions under a SessionManager, which
+// then owns ingest, sealing and eviction — N sessions with different
+// windows, slice counts, hierarchy scopes and probe sets read the same
+// chunks, so the trace bytes are paid once, not N times.
 //
 // Half-open edge convention (shared with the trace readers and the model
 // builder): a state occupies [begin, end).  An event whose end lies
@@ -31,7 +34,7 @@
 // convention is what guarantees an event's mass lands in exactly one of
 // the old-suffix / new-suffix partitions — never in both.
 //
-// Usage:
+// Usage (exclusive store):
 //   SlidingWindowSession session(hierarchy, std::move(trace),
 //                                TimeGrid(t0, t0 + span, 96), {0.25, 0.5});
 //   session.append(resource, state, begin_ns, end_ns);  // stage events
@@ -42,15 +45,30 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <string>
 #include <string_view>
 #include <vector>
 
 #include "core/aggregator.hpp"
 #include "model/microscopic_model.hpp"
 #include "trace/trace.hpp"
+#include "trace/trace_store.hpp"
+#include "trace/trace_view.hpp"
 
 namespace stagg {
+
+/// Who may mutate the session's TraceStore.
+enum class StoreOwnership : std::uint8_t {
+  /// The session owns the store: append() stages events, every advance
+  /// seals them and (optionally) evicts dead chunks.
+  kExclusive,
+  /// The store is shared with other sessions (a SessionManager owns
+  /// ingest, sealing and eviction); append() throws, advances require the
+  /// store to be sealed.
+  kShared,
+};
 
 /// Knobs of a sliding-window session.
 struct SlidingWindowOptions {
@@ -59,19 +77,30 @@ struct SlidingWindowOptions {
   AggregationOptions aggregation;
   /// Match trace resources to hierarchy leaves by path (see build_model).
   bool match_by_path = true;
-  /// Drop retained intervals that can no longer overlap the window after a
-  /// slide (bounds the session's trace memory; never affects results).
+  /// Evict chunks that can no longer overlap the window after a slide
+  /// (bounds the session's trace memory; never affects results).
+  /// Exclusive stores only — a SessionManager evicts centrally.
   bool prune_trace = true;
 };
 
 class SlidingWindowSession {
  public:
-  /// Takes ownership of the initial trace and aggregates it over `window`
-  /// (which must have a uniform slice width) for the probe parameters
-  /// `ps`.  Results are available immediately via results().
+  /// Takes ownership of the initial trace's store and aggregates it over
+  /// `window` (which must have a uniform slice width) for the probe
+  /// parameters `ps`.  Results are available immediately via results().
   SlidingWindowSession(const Hierarchy& hierarchy, Trace trace,
                        const TimeGrid& window, std::vector<double> ps,
                        SlidingWindowOptions options = {});
+
+  /// Aggregates over a store, exclusively owned or shared (see
+  /// StoreOwnership).  With a shared store the hierarchy may *scope* the
+  /// session to a subset of store resources: every hierarchy leaf path
+  /// must name a store resource; other resources are outside the view.
+  SlidingWindowSession(const Hierarchy& hierarchy,
+                       std::shared_ptr<TraceStore> store,
+                       const TimeGrid& window, std::vector<double> ps,
+                       SlidingWindowOptions options = {},
+                       StoreOwnership ownership = StoreOwnership::kExclusive);
 
   SlidingWindowSession(const SlidingWindowSession&) = delete;
   SlidingWindowSession& operator=(const SlidingWindowSession&) = delete;
@@ -82,12 +111,19 @@ class SlidingWindowSession {
   /// new session for that).  Events may land anywhere, but only events
   /// confined to the window's time suffix keep the next advance
   /// incremental; an event reaching back dirties every column from its
-  /// begin slice on.
+  /// begin slice on.  Exclusive stores only — shared-store sessions
+  /// ingest through their SessionManager.
   void append(ResourceId resource, StateId state, TimeNs begin, TimeNs end);
   /// Convenience overload resolving an *existing* state by name (throws
   /// InvalidArgument on unknown names instead of interning).
   void append(ResourceId resource, std::string_view state_name, TimeNs begin,
               TimeNs end);
+
+  /// Tells a shared-store session that events were ingested into the
+  /// store externally (by the SessionManager), the earliest beginning at
+  /// `earliest_begin` — the next advance recomputes from that timestamp's
+  /// column.  No-op for timestamps at or past the current window end.
+  void note_external_ingest(TimeNs earliest_begin) noexcept;
 
   /// Slides the window forward by `slices` (fixed |T|): the leading
   /// `slices` columns are dropped, the surviving ones remapped by column
@@ -113,7 +149,20 @@ class SlidingWindowSession {
   [[nodiscard]] const MicroscopicModel& model() const noexcept {
     return model_;
   }
-  [[nodiscard]] const Trace& trace() const noexcept { return trace_; }
+  /// Row-facade over the session's store (compatibility accessor; copying
+  /// it yields an independent trace sharing the sealed chunks).
+  [[nodiscard]] const Trace& trace() const noexcept { return facade_; }
+  [[nodiscard]] const TraceStore& store() const noexcept { return *store_; }
+  [[nodiscard]] const std::shared_ptr<TraceStore>& store_ptr() const noexcept {
+    return store_;
+  }
+  [[nodiscard]] StoreOwnership ownership() const noexcept {
+    return ownership_;
+  }
+  /// Store resources this session reads (empty = all, in store order).
+  [[nodiscard]] std::span<const ResourceId> scope() const noexcept {
+    return scope_;
+  }
   [[nodiscard]] const SpatiotemporalAggregator& aggregator() const noexcept {
     return agg_;
   }
@@ -124,19 +173,29 @@ class SlidingWindowSession {
   [[nodiscard]] SliceId pending_dirty_slice() const noexcept;
 
   /// From-scratch oracle: builds a fresh model over the current window
-  /// from a copy of the retained trace and runs run_many(ps) on a fresh
-  /// aggregator with the given kernel.  The splice tests assert
-  /// bit-identity of results() against this at every step.
+  /// from a sealed snapshot of the store (same scope) and runs
+  /// run_many(ps) on a fresh aggregator with the given kernel.  The
+  /// splice tests assert bit-identity of results() against this at every
+  /// step.
   [[nodiscard]] std::vector<AggregationResult> run_from_scratch(
       DpKernel kernel = DpKernel::kCachedWavefront) const;
 
  private:
   const std::vector<AggregationResult>& advance_to(const TimeGrid& new_grid,
                                                    std::int32_t dropped_front);
+  [[nodiscard]] TraceView make_view(const TimeGrid& grid) const;
 
   const Hierarchy* hierarchy_;
   SlidingWindowOptions options_;
-  Trace trace_;
+  std::shared_ptr<TraceStore> store_;
+  StoreOwnership ownership_ = StoreOwnership::kExclusive;
+  /// Store resources backing the hierarchy's leaves; empty when the
+  /// hierarchy covers the whole store (full view).
+  std::vector<ResourceId> scope_;
+  /// Their paths in scope order, computed once and shared with every view
+  /// this session builds (one per advance); null for full views.
+  std::shared_ptr<const std::vector<std::string>> scope_paths_;
+  Trace facade_;
   MicroscopicModel model_;
   SpatiotemporalAggregator agg_;
   std::vector<double> ps_;

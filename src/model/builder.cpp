@@ -79,54 +79,81 @@ TimeGrid make_grid(TimeNs trace_begin, TimeNs trace_end,
   return TimeGrid(begin, end, options.slice_count);
 }
 
+/// Effective model window of a Trace compatibility shim (explicit options
+/// window, else the sealed trace window).
+std::pair<TimeNs, TimeNs> effective_window(const Trace& trace,
+                                           const ModelBuildOptions& options) {
+  if (options.window_begin == 0 && options.window_end == 0) {
+    return {trace.begin(), trace.end()};
+  }
+  return {options.window_begin, options.window_end};
+}
+
 }  // namespace
 }  // namespace detail
 
-MicroscopicModel build_model(Trace& trace, const Hierarchy& hierarchy,
+MicroscopicModel build_model(const TraceView& view, const Hierarchy& hierarchy,
                              const ModelBuildOptions& options) {
-  trace.seal();
-  const auto map = detail::map_resources(trace.resource_paths(), hierarchy,
+  const auto map = detail::map_resources(view.resource_paths(), hierarchy,
                                          options.match_by_path);
-  const TimeGrid grid =
-      detail::make_grid(trace.begin(), trace.end(), options);
-  MicroscopicModel model(&hierarchy, grid, trace.states());
+  const TimeGrid grid = detail::make_grid(view.begin(), view.end(), options);
+  MicroscopicModel model(&hierarchy, grid, view.states());
 
-  // Parallel over trace resources: leaf stripes are disjoint by bijection.
+  // Parallel over view resources: leaf stripes are disjoint by bijection.
   parallel_for(
-      trace.resource_count(),
+      view.resource_count(),
       [&](std::size_t r) {
         const LeafId leaf = map[r];
-        for (const auto& s : trace.intervals(static_cast<ResourceId>(r))) {
+        view.for_each(r, [&](const StateInterval& s) {
           detail::fold_interval(model, grid, leaf, s);
-        }
+        });
       },
       /*grain=*/1);
   return model;
 }
 
-void refold_suffix(MicroscopicModel& model, Trace& trace,
+MicroscopicModel build_model(Trace& trace, const Hierarchy& hierarchy,
+                             const ModelBuildOptions& options) {
+  trace.seal();
+  // A degenerate window still builds the (empty) view first so the error
+  // order of the original code is preserved: resource-mapping problems
+  // throw DimensionError before make_grid rejects the window.
+  const auto [begin, end] = detail::effective_window(trace, options);
+  return build_model(trace.view(begin, std::max(begin, end)), hierarchy,
+                     options);
+}
+
+void refold_suffix(MicroscopicModel& model, const TraceView& view,
                    const Hierarchy& hierarchy, SliceId first_dirty,
                    bool match_by_path) {
   first_dirty = std::clamp<SliceId>(first_dirty, 0, model.slice_count());
   if (first_dirty >= model.slice_count()) return;  // nothing dirty: no-op
-  trace.seal();
   const auto map =
-      detail::map_resources(trace.resource_paths(), hierarchy, match_by_path);
+      detail::map_resources(view.resource_paths(), hierarchy, match_by_path);
   const TimeGrid& grid = model.grid();
   model.zero_slices(first_dirty);
   // Skipping intervals that end at or before the dirty region is pure
   // pruning: fold_interval would contribute nothing there anyway.
   const TimeNs dirty_begin = grid.slice_begin(first_dirty);
   parallel_for(
-      trace.resource_count(),
+      view.resource_count(),
       [&](std::size_t r) {
         const LeafId leaf = map[r];
-        for (const auto& s : trace.intervals(static_cast<ResourceId>(r))) {
-          if (s.end <= dirty_begin) continue;
+        view.for_each(r, [&](const StateInterval& s) {
+          if (s.end <= dirty_begin) return;
           detail::fold_interval(model, grid, leaf, s, first_dirty);
-        }
+        });
       },
       /*grain=*/1);
+}
+
+void refold_suffix(MicroscopicModel& model, Trace& trace,
+                   const Hierarchy& hierarchy, SliceId first_dirty,
+                   bool match_by_path) {
+  trace.seal();
+  refold_suffix(model,
+                trace.view(model.grid().begin(), model.grid().end()),
+                hierarchy, first_dirty, match_by_path);
 }
 
 MicroscopicModel build_model_streaming(const std::string& trace_path,

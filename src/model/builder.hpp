@@ -2,20 +2,26 @@
 // description" step).
 //
 // Each state interval is clipped against the slices it overlaps and its
-// overlap durations accumulated into d_x(s,t).  The build is parallel over
-// resources (each leaf owns a disjoint tensor stripe, so no synchronization
-// is needed) and is also available in streaming form, fed by
-// stream_binary_trace, for traces larger than memory.
+// overlap durations accumulated into d_x(s,t).  The fold consumes a
+// TraceView — a zero-copy chunk-cursor selection of a shared TraceStore —
+// so any number of concurrent model builds (different windows, slice
+// counts, hierarchy scopes) read the same immutable chunks without copying
+// the event data.  The build is parallel over resources (each leaf owns a
+// disjoint tensor stripe, so no synchronization is needed) and is also
+// available in streaming form, fed by stream_binary_trace, for traces
+// larger than memory.  The Trace& overloads are compatibility shims that
+// seal the facade and fold through a full-window view.
 #pragma once
 
 #include <cstdint>
-#include <span>
 #include <string>
+#include <vector>
 
 #include "hierarchy/hierarchy.hpp"
 #include "model/microscopic_model.hpp"
 #include "trace/binary_io.hpp"
 #include "trace/trace.hpp"
+#include "trace/trace_view.hpp"
 
 namespace stagg {
 
@@ -30,8 +36,17 @@ struct ModelBuildOptions {
   TimeNs window_end = 0;
 };
 
-/// Builds d_x(s,t) from an in-memory trace.  Throws DimensionError when a
-/// trace resource cannot be mapped onto a hierarchy leaf.
+/// Builds d_x(s,t) from a trace view: the grid covers the view's window
+/// (or the explicit options window — the view must cover it) and every
+/// selected interval is folded through the chunk cursors in sorted order.
+/// Throws DimensionError when a view resource cannot be mapped onto a
+/// hierarchy leaf.
+[[nodiscard]] MicroscopicModel build_model(const TraceView& view,
+                                           const Hierarchy& hierarchy,
+                                           const ModelBuildOptions& options = {});
+
+/// Compatibility shim: seals `trace` and folds a full-window view of its
+/// store.  Bit-identical to the view overload.
 [[nodiscard]] MicroscopicModel build_model(Trace& trace,
                                            const Hierarchy& hierarchy,
                                            const ModelBuildOptions& options = {});
@@ -43,14 +58,19 @@ struct ModelBuildOptions {
     const std::string& trace_path, const Hierarchy& hierarchy,
     const ModelBuildOptions& options = {});
 
-/// Re-folds `trace` into the slice columns t >= first_dirty of an existing
-/// model (zeroing them first) — the ingest step of a sliding-window
-/// session after the window moved or events were appended.  Intervals are
-/// clipped half-open against the model window, and contributions to each
-/// (leaf, slice, state) cell accumulate in the same per-resource sorted
-/// interval order as build_model, so the refolded columns are
-/// bit-identical to the corresponding columns of a fresh build over the
-/// same window.
+/// Re-folds the view into the slice columns t >= first_dirty of an
+/// existing model (zeroing them first) — the ingest step of a
+/// sliding-window session after the window moved or events were appended.
+/// Intervals are clipped half-open against the model window, and
+/// contributions to each (leaf, slice, state) cell accumulate in the same
+/// per-resource sorted interval order as build_model, so the refolded
+/// columns are bit-identical to the corresponding columns of a fresh
+/// build over the same window.
+void refold_suffix(MicroscopicModel& model, const TraceView& view,
+                   const Hierarchy& hierarchy, SliceId first_dirty,
+                   bool match_by_path = true);
+
+/// Compatibility shim over a window-matched view of `trace`'s store.
 void refold_suffix(MicroscopicModel& model, Trace& trace,
                    const Hierarchy& hierarchy, SliceId first_dirty,
                    bool match_by_path = true);

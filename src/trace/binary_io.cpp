@@ -194,6 +194,32 @@ TraceFileInfo stream_binary_trace(
   return info;
 }
 
+std::shared_ptr<TraceStore> read_binary_trace_store(const std::string& path,
+                                                    std::size_t chunk_records) {
+  const TraceFileInfo info = read_binary_trace_info(path);
+  auto store = std::make_shared<TraceStore>();
+  for (const auto& p : info.resource_paths) store->add_resource(p);
+  for (const auto& s : info.states.names()) store->states().intern(s);
+  std::uint64_t staged = 0;
+  stream_binary_trace(
+      path,
+      [&](std::span<const TraceRecord> chunk) {
+        for (const auto& rec : chunk) {
+          store->add_state(rec.resource, rec.interval.state,
+                           rec.interval.begin, rec.interval.end);
+        }
+        staged += chunk.size();
+        if (staged >= chunk_records) {
+          store->seal_chunk();
+          staged = 0;
+        }
+      },
+      chunk_records);
+  store->set_window(info.window_begin, info.window_end);
+  store->seal_chunk();
+  return store;
+}
+
 Trace read_binary_trace(const std::string& path) {
   // Register tables before records: decode the header once, then stream the
   // records into the trace (ids in the file are dense and file-ordered, so

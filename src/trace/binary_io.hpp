@@ -12,12 +12,18 @@
 // built from traces larger than memory.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
+#include "trace/event.hpp"
+#include "trace/state_registry.hpp"
 #include "trace/trace.hpp"
+#include "trace/trace_store.hpp"
 
 namespace stagg {
 
@@ -42,6 +48,16 @@ std::uint64_t write_binary_trace(Trace& trace, const std::string& path);
 
 /// Reads a full trace file into memory.  Throws TraceFormatError/IoError.
 [[nodiscard]] Trace read_binary_trace(const std::string& path);
+
+/// Streams a trace file into an immutable chunked store: records are
+/// appended to the resource tails and sealed every `chunk_records`
+/// records, so the result arrives pre-chunked and shared-ready (back it
+/// with TraceViews / a SessionManager) while peak mutable memory stays
+/// bounded by one record chunk plus the store's size-tiered compaction
+/// buffer.  The interval multiset — and therefore every model fold — is
+/// bit-identical to read_binary_trace.
+[[nodiscard]] std::shared_ptr<TraceStore> read_binary_trace_store(
+    const std::string& path, std::size_t chunk_records = 1 << 16);
 
 /// Decodes only the header and tables.
 [[nodiscard]] TraceFileInfo read_binary_trace_info(const std::string& path);

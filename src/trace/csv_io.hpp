@@ -15,6 +15,7 @@
 // mismatch.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 

@@ -24,6 +24,10 @@ using ResourceId = std::int32_t;
 
 inline constexpr StateId kNoState = -1;
 
+/// Sentinel returned by resource lookups (Trace/TraceStore::find_resource)
+/// when no resource is registered under the queried path.
+inline constexpr ResourceId kInvalidResource = -1;
+
 /// Converts seconds to the internal nanosecond timestamps.
 [[nodiscard]] constexpr TimeNs seconds(double s) noexcept {
   return static_cast<TimeNs>(s * 1e9);

@@ -15,6 +15,7 @@
 // paths verbatim.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 

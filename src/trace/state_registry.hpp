@@ -5,6 +5,7 @@
 // microscopic model are indexed directly.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>

@@ -1,122 +1,16 @@
 #include "trace/trace.hpp"
 
-#include <algorithm>
-#include <limits>
-
-#include "common/error.hpp"
 #include "common/string_util.hpp"
-#include "common/thread_pool.hpp"
 
 namespace stagg {
 
-ResourceId Trace::add_resource(std::string_view path) {
-  if (const auto it = resource_ids_.find(std::string(path));
-      it != resource_ids_.end()) {
-    return it->second;
+std::span<const StateInterval> Trace::intervals(ResourceId r) const {
+  if (row_resource_ != r || row_generation_ != store_->generation()) {
+    store_->materialize(r, row_);
+    row_resource_ = r;
+    row_generation_ = store_->generation();
   }
-  const ResourceId id = static_cast<ResourceId>(resource_paths_.size());
-  resource_paths_.emplace_back(path);
-  resource_ids_.emplace(resource_paths_.back(), id);
-  per_resource_.emplace_back();
-  sorted_prefix_.push_back(0);
-  return id;
-}
-
-ResourceId Trace::find_resource(std::string_view path) const {
-  const auto it = resource_ids_.find(std::string(path));
-  return it == resource_ids_.end() ? ResourceId{-1} : it->second;
-}
-
-void Trace::add_state(ResourceId resource, StateId state, TimeNs begin,
-                      TimeNs end) {
-  if (resource < 0 ||
-      static_cast<std::size_t>(resource) >= resource_paths_.size()) {
-    throw InvalidArgument("add_state: unknown resource id " +
-                          std::to_string(resource));
-  }
-  if (state < 0 || static_cast<std::size_t>(state) >= states_.size()) {
-    throw InvalidArgument("add_state: unknown state id " +
-                          std::to_string(state));
-  }
-  if (end < begin) {
-    throw InvalidArgument("add_state: end < begin");
-  }
-  per_resource_[static_cast<std::size_t>(resource)].push_back(
-      StateInterval{begin, end, state});
-  sealed_ = false;
-}
-
-void Trace::add_state(ResourceId resource, std::string_view state_name,
-                      TimeNs begin, TimeNs end) {
-  add_state(resource, states_.intern(state_name), begin, end);
-}
-
-void Trace::seal() {
-  if (sealed_) return;
-  parallel_for(per_resource_.size(), [this](std::size_t r) {
-    auto& v = per_resource_[r];
-    const std::size_t sorted = sorted_prefix_[r];
-    if (sorted >= v.size()) return;  // nothing appended since last seal
-    const auto cmp = [](const StateInterval& a, const StateInterval& b) {
-      if (a.begin != b.begin) return a.begin < b.begin;
-      return a.end < b.end;
-    };
-    const auto mid = v.begin() + static_cast<std::ptrdiff_t>(sorted);
-    std::sort(mid, v.end(), cmp);
-    if (sorted > 0) std::inplace_merge(v.begin(), mid, v.end(), cmp);
-    sorted_prefix_[r] = v.size();
-  }, /*grain=*/1);
-  if (!window_overridden_) {
-    TimeNs lo = std::numeric_limits<TimeNs>::max();
-    TimeNs hi = std::numeric_limits<TimeNs>::min();
-    bool any = false;
-    for (const auto& v : per_resource_) {
-      for (const auto& s : v) {
-        lo = std::min(lo, s.begin);
-        hi = std::max(hi, s.end);
-        any = true;
-      }
-    }
-    begin_ = any ? lo : 0;
-    end_ = any ? hi : 0;
-  }
-  sealed_ = true;
-}
-
-std::uint64_t Trace::state_count() const noexcept {
-  std::uint64_t n = 0;
-  for (const auto& v : per_resource_) n += v.size();
-  return n;
-}
-
-void Trace::erase_before(TimeNs cutoff) {
-  for (std::size_t r = 0; r < per_resource_.size(); ++r) {
-    auto& v = per_resource_[r];
-    // Manual erase-remove keeps relative order (sortedness and fold order
-    // survive) while re-counting how many survivors come from the sorted
-    // prefix, so the next seal still merges instead of re-sorting.
-    std::size_t write = 0;
-    std::size_t sorted_survivors = 0;
-    for (std::size_t i = 0; i < v.size(); ++i) {
-      if (v[i].end <= cutoff) continue;
-      if (i < sorted_prefix_[r]) ++sorted_survivors;
-      v[write++] = v[i];
-    }
-    v.resize(write);
-    sorted_prefix_[r] = sorted_survivors;
-  }
-  // An auto-computed observation window may have spanned the erased
-  // intervals; unseal so the next seal() re-derives it from the survivors
-  // (cheap: the sorted prefixes are intact, only the window scan runs).
-  // An overridden window is the caller's contract and stays put.
-  if (!window_overridden_) sealed_ = false;
-}
-
-void Trace::set_window(TimeNs begin, TimeNs end) {
-  if (end < begin) throw InvalidArgument("set_window: end < begin");
-  begin_ = begin;
-  end_ = end;
-  window_overridden_ = true;
+  return {row_.data(), row_.size()};
 }
 
 void require_delimiter_safe_names(const Trace& trace,

@@ -3,6 +3,7 @@
 // the Vampir-style task profile baseline.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>

@@ -1,0 +1,293 @@
+#include "trace/trace_store.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+
+namespace stagg {
+
+namespace {
+
+/// Merges whole chunks into row-major `out` (appending) via the shared
+/// canonical merge.
+void merge_chunks(std::span<const TraceChunkPtr> chunks,
+                  std::vector<StateInterval>& out) {
+  std::vector<ChunkRun> runs;
+  runs.reserve(chunks.size());
+  for (const TraceChunkPtr& c : chunks) runs.push_back({c.get(), c->size()});
+  merge_chunk_runs(std::span<const ChunkRun>(runs),
+                   [&out](const StateInterval& s) { out.push_back(s); });
+}
+
+}  // namespace
+
+TraceChunk::TraceChunk(std::vector<TimeNs> begins, std::vector<TimeNs> ends,
+                       std::vector<StateId> states)
+    : begins_(std::move(begins)),
+      ends_(std::move(ends)),
+      states_(std::move(states)) {
+  if (begins_.empty() || begins_.size() != ends_.size() ||
+      begins_.size() != states_.size()) {
+    throw InvalidArgument("TraceChunk: empty or mismatched columns");
+  }
+  min_end_ = std::numeric_limits<TimeNs>::max();
+  max_end_ = std::numeric_limits<TimeNs>::min();
+  for (const TimeNs e : ends_) {
+    min_end_ = std::min(min_end_, e);
+    max_end_ = std::max(max_end_, e);
+  }
+}
+
+std::shared_ptr<const TraceChunk> TraceChunk::from_sorted(
+    std::span<const StateInterval> sorted) {
+  std::vector<TimeNs> begins;
+  std::vector<TimeNs> ends;
+  std::vector<StateId> states;
+  begins.reserve(sorted.size());
+  ends.reserve(sorted.size());
+  states.reserve(sorted.size());
+  for (const StateInterval& s : sorted) {
+    begins.push_back(s.begin);
+    ends.push_back(s.end);
+    states.push_back(s.state);
+  }
+  return std::make_shared<const TraceChunk>(
+      std::move(begins), std::move(ends), std::move(states));
+}
+
+ResourceId TraceStore::add_resource(std::string_view path) {
+  if (const auto it = resource_ids_.find(std::string(path));
+      it != resource_ids_.end()) {
+    return it->second;
+  }
+  if (resource_paths_.use_count() > 1) {  // pinned by a view or a copy
+    resource_paths_ =
+        std::make_shared<std::vector<std::string>>(*resource_paths_);
+  }
+  const ResourceId id = static_cast<ResourceId>(resource_paths_->size());
+  resource_paths_->emplace_back(path);
+  resource_ids_.emplace(resource_paths_->back(), id);
+  lanes_.emplace_back();
+  sealed_ = false;
+  ++generation_;
+  return id;
+}
+
+ResourceId TraceStore::find_resource(std::string_view path) const {
+  const auto it = resource_ids_.find(std::string(path));
+  return it == resource_ids_.end() ? kInvalidResource : it->second;
+}
+
+void TraceStore::add_state(ResourceId resource, StateId state, TimeNs begin,
+                           TimeNs end) {
+  if (resource < 0 ||
+      static_cast<std::size_t>(resource) >= resource_paths_->size()) {
+    throw InvalidArgument("add_state: unknown resource id " +
+                          std::to_string(resource));
+  }
+  if (state < 0 || static_cast<std::size_t>(state) >= states_.size()) {
+    throw InvalidArgument("add_state: unknown state id " +
+                          std::to_string(state));
+  }
+  if (end < begin) {
+    throw InvalidArgument("add_state: end < begin");
+  }
+  lanes_[static_cast<std::size_t>(resource)].tail.push_back(
+      StateInterval{begin, end, state});
+  sealed_ = false;
+  ++generation_;
+}
+
+void TraceStore::seal_chunk() {
+  if (sealed_) return;
+  parallel_for(
+      lanes_.size(),
+      [this](std::size_t r) {
+        Lane& lane = lanes_[r];
+        if (!lane.tail.empty()) {
+          std::sort(lane.tail.begin(), lane.tail.end(), interval_key_less);
+          lane.chunks.push_back(TraceChunk::from_sorted(lane.tail));
+          lane.tail.clear();
+          lane.tail.shrink_to_fit();
+        }
+        if (lane.chunks.size() > kCompactionThreshold) compact_lane(lane);
+      },
+      /*grain=*/1);
+  derive_window();
+  sealed_ = true;
+  ++generation_;
+}
+
+void TraceStore::compact_lane(Lane& lane) {
+  // Size-tiered compaction: merge only as many of the *smallest* chunks
+  // as it takes to halve the list.  Large merged chunks are re-merged
+  // only once enough small ones accumulate past them, so streaming
+  // ingest costs O(n log n) element copies overall — never the
+  // re-merge-everything-every-16-seals quadratic blowup — and the
+  // transient merge buffer holds a fraction of the lane, not all of it.
+  const std::size_t target = kCompactionThreshold / 2;
+  const std::size_t merge_count = lane.chunks.size() - target + 1;
+  std::vector<std::size_t> order(lane.chunks.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&lane](std::size_t a, std::size_t b) {
+                     return lane.chunks[a]->size() < lane.chunks[b]->size();
+                   });
+  std::vector<std::uint8_t> picked(lane.chunks.size(), 0);
+  for (std::size_t k = 0; k < merge_count; ++k) picked[order[k]] = 1;
+
+  std::vector<TraceChunkPtr> merge_set;
+  merge_set.reserve(merge_count);
+  std::size_t first_picked = lane.chunks.size();
+  for (std::size_t i = 0; i < lane.chunks.size(); ++i) {
+    if (picked[i] != 0) {
+      if (first_picked == lane.chunks.size()) first_picked = i;
+      merge_set.push_back(lane.chunks[i]);
+    }
+  }
+  std::size_t total = 0;
+  for (const TraceChunkPtr& c : merge_set) total += c->size();
+  std::vector<StateInterval> merged;
+  merged.reserve(total);
+  merge_chunks(merge_set, merged);
+  // Compaction is also the one place individually dead intervals of
+  // straddling chunks are let go: anything ending at or before the
+  // eviction horizon can never be read by a legal window again.
+  std::erase_if(merged, [this](const StateInterval& s) {
+    return s.end <= evict_horizon_;
+  });
+
+  // Rebuild: survivors keep their order; the merged chunk takes the slot
+  // of its oldest member, preserving rough time order for the view
+  // cursors' concatenation fast path.
+  std::vector<TraceChunkPtr> next;
+  next.reserve(lane.chunks.size() - merge_count + 1);
+  for (std::size_t i = 0; i < lane.chunks.size(); ++i) {
+    if (i == first_picked && !merged.empty()) {
+      next.push_back(TraceChunk::from_sorted(merged));
+    }
+    if (picked[i] == 0) next.push_back(lane.chunks[i]);
+  }
+  lane.chunks = std::move(next);
+}
+
+bool TraceStore::tails_sealed() const noexcept {
+  for (const Lane& lane : lanes_) {
+    if (!lane.tail.empty()) return false;
+  }
+  return true;
+}
+
+void TraceStore::derive_window() {
+  if (window_overridden_) return;
+  TimeNs lo = std::numeric_limits<TimeNs>::max();
+  TimeNs hi = std::numeric_limits<TimeNs>::min();
+  bool any = false;
+  for (const Lane& lane : lanes_) {
+    for (const TraceChunkPtr& c : lane.chunks) {
+      lo = std::min(lo, c->min_begin());
+      hi = std::max(hi, c->max_end());
+      any = true;
+    }
+    for (const StateInterval& s : lane.tail) {
+      lo = std::min(lo, s.begin);
+      hi = std::max(hi, s.end);
+      any = true;
+    }
+  }
+  begin_ = any ? lo : 0;
+  end_ = any ? hi : 0;
+}
+
+void TraceStore::evict_before(TimeNs cutoff) {
+  evict_horizon_ = std::max(evict_horizon_, cutoff);
+  for (Lane& lane : lanes_) {
+    std::erase_if(lane.chunks, [cutoff](const TraceChunkPtr& c) {
+      return c->max_end() <= cutoff;
+    });
+    std::erase_if(lane.tail, [cutoff](const StateInterval& s) {
+      return s.end <= cutoff;
+    });
+  }
+  // The auto-derived window may have spanned the evicted chunks; the next
+  // seal re-derives it from the survivors.  An overridden window is the
+  // caller's contract and stays put.
+  if (!window_overridden_) sealed_ = false;
+  ++generation_;
+}
+
+void TraceStore::erase_before_exact(TimeNs cutoff) {
+  // Deliberately does NOT raise the eviction horizon: erase_before is a
+  // point-in-time operation (the Trace facade contract) and must not
+  // retroactively delete intervals appended after the call.  Only
+  // evict_before — the forward-moving-window API — is sticky.
+  for (Lane& lane : lanes_) {
+    std::vector<TraceChunkPtr> kept;
+    kept.reserve(lane.chunks.size());
+    for (TraceChunkPtr& c : lane.chunks) {
+      if (c->max_end() <= cutoff) continue;  // entirely dead
+      if (c->min_end() > cutoff) {           // fence proves no dead entry
+        kept.push_back(std::move(c));
+        continue;
+      }
+      // Straddling: rewrite the surviving subsequence (still sorted).
+      std::vector<StateInterval> survivors;
+      survivors.reserve(c->size());
+      for (std::size_t i = 0; i < c->size(); ++i) {
+        const StateInterval s = c->at(i);
+        if (s.end > cutoff) survivors.push_back(s);
+      }
+      if (!survivors.empty()) {
+        kept.push_back(TraceChunk::from_sorted(survivors));
+      }
+    }
+    lane.chunks = std::move(kept);
+    std::erase_if(lane.tail, [cutoff](const StateInterval& s) {
+      return s.end <= cutoff;
+    });
+  }
+  if (!window_overridden_) sealed_ = false;
+  ++generation_;
+}
+
+void TraceStore::set_window(TimeNs begin, TimeNs end) {
+  if (end < begin) throw InvalidArgument("set_window: end < begin");
+  begin_ = begin;
+  end_ = end;
+  window_overridden_ = true;
+}
+
+std::uint64_t TraceStore::state_count() const noexcept {
+  std::uint64_t n = 0;
+  for (const Lane& lane : lanes_) {
+    for (const TraceChunkPtr& c : lane.chunks) n += c->size();
+    n += lane.tail.size();
+  }
+  return n;
+}
+
+void TraceStore::materialize(ResourceId r,
+                             std::vector<StateInterval>& out) const {
+  const Lane& lane = lanes_[static_cast<std::size_t>(r)];
+  out.clear();
+  std::size_t total = lane.tail.size();
+  for (const TraceChunkPtr& c : lane.chunks) total += c->size();
+  out.reserve(total);
+  merge_chunks(lane.chunks, out);
+  out.insert(out.end(), lane.tail.begin(), lane.tail.end());
+}
+
+std::size_t TraceStore::store_bytes() const noexcept {
+  std::size_t bytes = 0;
+  for (const Lane& lane : lanes_) {
+    for (const TraceChunkPtr& c : lane.chunks) bytes += c->bytes();
+    bytes += lane.tail.capacity() * sizeof(StateInterval);
+  }
+  return bytes;
+}
+
+}  // namespace stagg

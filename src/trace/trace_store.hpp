@@ -1,0 +1,293 @@
+// Immutable chunked trace storage — the shared substrate of multi-session
+// analysis servers (dariadb-style chunk files, in memory).
+//
+// A TraceStore holds, per resource, a list of *sealed* chunks — immutable,
+// columnar (SoA) runs of state intervals sorted by (begin, end, state),
+// each carrying min/max-time fences — plus one small mutable append tail.
+// seal_chunk() sorts every non-empty tail and freezes it into a new chunk;
+// evict_before() drops whole chunks whose fence proves they can never
+// overlap a window starting at the cutoff.  Sealed chunks are held by
+// shared_ptr and never mutated: any number of TraceView readers (windows,
+// hierarchy scopes, concurrent sessions) share them zero-copy, and
+// compaction or eviction in the store simply unlinks chunks that outstanding
+// views keep alive.
+//
+// Ordering contract: chunks are sorted by the *total* key (begin, end,
+// state).  Intervals with identical keys are indistinguishable to every
+// consumer (they fold the same mass into the same model cell), so the
+// merged per-resource sequence — and therefore every model fold — is a pure
+// function of the interval multiset, independent of how the intervals were
+// partitioned into chunks.  This is what makes an N-chunk shared store
+// bit-identical to a freshly sorted single-owner trace.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/event.hpp"
+#include "trace/state_registry.hpp"
+
+namespace stagg {
+
+/// Total sort key of the chunked trace layer: (begin, end, state).
+/// Strict-weak and *total up to indistinguishability* — equal keys mean
+/// equal intervals — so merges of separately sorted chunks are
+/// layout-independent.
+[[nodiscard]] inline bool interval_key_less(const StateInterval& a,
+                                            const StateInterval& b) noexcept {
+  if (a.begin != b.begin) return a.begin < b.begin;
+  if (a.end != b.end) return a.end < b.end;
+  return a.state < b.state;
+}
+
+/// One sealed run of a resource's intervals: columnar, sorted by
+/// (begin, end, state), immutable after construction.  The time fences
+/// (min begin, min/max end) let window selection and eviction decide
+/// chunk fate without touching the columns.
+class TraceChunk {
+ public:
+  /// Freezes parallel columns already sorted by (begin, end, state).
+  /// Throws InvalidArgument on empty or mismatched columns.
+  TraceChunk(std::vector<TimeNs> begins, std::vector<TimeNs> ends,
+             std::vector<StateId> states);
+
+  /// Freezes a sorted row-major run (the seal path).
+  [[nodiscard]] static std::shared_ptr<const TraceChunk> from_sorted(
+      std::span<const StateInterval> sorted);
+
+  [[nodiscard]] std::size_t size() const noexcept { return begins_.size(); }
+  [[nodiscard]] StateInterval at(std::size_t i) const noexcept {
+    return {begins_[i], ends_[i], states_[i]};
+  }
+  [[nodiscard]] std::span<const TimeNs> begins() const noexcept {
+    return begins_;
+  }
+  [[nodiscard]] std::span<const TimeNs> ends() const noexcept { return ends_; }
+  [[nodiscard]] std::span<const StateId> states() const noexcept {
+    return states_;
+  }
+
+  /// Fences.  begins are sorted, so min_begin is the first entry; the end
+  /// column is not sorted, so min/max are tracked at construction.
+  [[nodiscard]] TimeNs min_begin() const noexcept { return begins_.front(); }
+  [[nodiscard]] TimeNs min_end() const noexcept { return min_end_; }
+  [[nodiscard]] TimeNs max_end() const noexcept { return max_end_; }
+
+  /// Payload bytes of the three columns.
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    return begins_.size() * (sizeof(TimeNs) * 2 + sizeof(StateId));
+  }
+
+ private:
+  std::vector<TimeNs> begins_;
+  std::vector<TimeNs> ends_;
+  std::vector<StateId> states_;
+  TimeNs min_end_ = 0;
+  TimeNs max_end_ = 0;
+};
+
+using TraceChunkPtr = std::shared_ptr<const TraceChunk>;
+
+/// One sorted run for the shared k-way merge: the prefix [0, size) of a
+/// sealed chunk.
+struct ChunkRun {
+  const TraceChunk* chunk = nullptr;
+  std::size_t size = 0;
+};
+
+/// Streams the k-way merge of sorted runs to `f(StateInterval)` in
+/// (begin, end, state) order — the one canonical merge that both the
+/// store's row materialization/compaction and TraceView cursors use.
+/// Equal keys emit lowest-run-first; since equal keys are
+/// indistinguishable intervals, the output is the unique sorted sequence
+/// of the input multiset regardless of how it was chunked.
+template <class F>
+void merge_chunk_runs(std::span<const ChunkRun> runs, F&& f) {
+  if (runs.empty()) return;
+  if (runs.size() == 1) {
+    const ChunkRun& run = runs.front();
+    for (std::size_t i = 0; i < run.size; ++i) f(run.chunk->at(i));
+    return;
+  }
+  std::vector<std::size_t> pos(runs.size(), 0);
+  for (;;) {
+    std::size_t best = runs.size();
+    StateInterval best_iv;
+    for (std::size_t k = 0; k < runs.size(); ++k) {
+      if (pos[k] >= runs[k].size) continue;
+      const StateInterval iv = runs[k].chunk->at(pos[k]);
+      if (best == runs.size() || interval_key_less(iv, best_iv)) {
+        best = k;
+        best_iv = iv;
+      }
+    }
+    if (best == runs.size()) break;
+    ++pos[best];
+    f(best_iv);
+  }
+}
+
+/// Shared, chunked, append-tailed trace storage.  Mutations (append, seal,
+/// evict, compact) are single-writer: they must not race with each other.
+/// Sealed chunks, once handed out (to a TraceView or via chunks()), are
+/// never modified — concurrent *readers* need no synchronization.
+class TraceStore {
+ public:
+  TraceStore() = default;
+  // Copy shares the immutable sealed chunks and duplicates only tails and
+  // tables — a cheap value copy with copy-on-write chunk granularity.
+  TraceStore(const TraceStore&) = default;
+  TraceStore& operator=(const TraceStore&) = default;
+  TraceStore(TraceStore&&) noexcept = default;
+  TraceStore& operator=(TraceStore&&) noexcept = default;
+
+  /// Registers a resource by hierarchy path; returns its dense id.
+  /// Re-registering an existing path returns the existing id.
+  ResourceId add_resource(std::string_view path);
+
+  [[nodiscard]] std::size_t resource_count() const noexcept {
+    return resource_paths_->size();
+  }
+  [[nodiscard]] const std::string& resource_path(ResourceId r) const {
+    return (*resource_paths_)[static_cast<std::size_t>(r)];
+  }
+  [[nodiscard]] const std::vector<std::string>& resource_paths()
+      const noexcept {
+    return *resource_paths_;
+  }
+  /// Pins the current path table: the table is copy-on-write, so a later
+  /// add_resource (on this store or a copy) never mutates a pinned
+  /// snapshot.  TraceViews hold one of these.
+  [[nodiscard]] std::shared_ptr<const std::vector<std::string>>
+  resource_paths_ptr() const noexcept {
+    return resource_paths_;
+  }
+  /// Finds a resource id by path (kInvalidResource when absent).
+  [[nodiscard]] ResourceId find_resource(std::string_view path) const;
+
+  [[nodiscard]] StateRegistry& states() noexcept { return states_; }
+  [[nodiscard]] const StateRegistry& states() const noexcept {
+    return states_;
+  }
+
+  /// Appends a state occurrence to the resource's mutable tail.  Throws
+  /// InvalidArgument on end < begin or unknown resource/state ids.
+  void add_state(ResourceId resource, StateId state, TimeNs begin, TimeNs end);
+
+  /// Seals every non-empty tail into a new immutable chunk (sorted by the
+  /// total key), re-derives the observation window from the chunk fences
+  /// unless overridden, and compacts any resource whose chunk list exceeds
+  /// kCompactionThreshold.  Idempotent.
+  void seal_chunk();
+
+  /// True after seal_chunk() until the next mutation — all tails are
+  /// sealed and the observation window is valid.
+  [[nodiscard]] bool sealed() const noexcept { return sealed_; }
+  /// Weaker predicate: every tail is empty (chunk set is complete) even if
+  /// the auto-derived window is stale.  TraceViews require only this.
+  [[nodiscard]] bool tails_sealed() const noexcept;
+
+  /// Chunk-fence eviction: unlinks every sealed chunk whose max end is at
+  /// or before `cutoff` (by the half-open convention such intervals can
+  /// never overlap a window starting at `cutoff`) and filters the tails.
+  /// Straddling chunks are kept whole — O(#chunks), never rewrites columns.
+  /// Outstanding views keep unlinked chunks alive.  The cutoff is also
+  /// remembered as the store's *eviction horizon*: the next compaction
+  /// drops the individually dead intervals a straddling chunk retained, so
+  /// long-running sliding ingest keeps memory proportional to the live
+  /// window, not to everything ever ingested.
+  void evict_before(TimeNs cutoff);
+
+  /// Exact per-interval erase (the Trace::erase_before compatibility
+  /// contract): additionally rewrites straddling chunks so that *no*
+  /// interval ending at or before `cutoff` survives.  Chunks whose
+  /// min-end fence clears the cutoff are kept untouched.  Point-in-time:
+  /// unlike evict_before it does not move the eviction horizon, so
+  /// intervals appended afterwards — however old — are retained.
+  void erase_before_exact(TimeNs cutoff);
+
+  /// Highest evict_before cutoff seen.  Data at or below it is gone (or
+  /// going); readers whose window reaches before it would silently
+  /// under-count and must be rejected (sessions check this at attach).
+  [[nodiscard]] TimeNs evict_horizon() const noexcept {
+    return evict_horizon_;
+  }
+
+  /// Observation window [begin, end); valid after seal_chunk().  An empty
+  /// store reports [0, 0).
+  [[nodiscard]] TimeNs begin() const noexcept { return begin_; }
+  [[nodiscard]] TimeNs end() const noexcept { return end_; }
+  [[nodiscard]] TimeNs span() const noexcept { return end_ - begin_; }
+  /// Overrides the observation window (e.g. to align several traces).
+  void set_window(TimeNs begin, TimeNs end);
+
+  /// Total number of state occurrences (sealed + tail).
+  [[nodiscard]] std::uint64_t state_count() const noexcept;
+
+  /// Sealed chunks of one resource, oldest first.
+  [[nodiscard]] std::span<const TraceChunkPtr> chunks(ResourceId r) const {
+    return lanes_[static_cast<std::size_t>(r)].chunks;
+  }
+  /// Mutable tail of one resource, in append order.
+  [[nodiscard]] std::span<const StateInterval> tail(ResourceId r) const {
+    return lanes_[static_cast<std::size_t>(r)].tail;
+  }
+
+  /// Rebuilds the fully merged row view of one resource: sealed chunks
+  /// k-way-merged by the total key, followed by the tail in append order
+  /// (the Trace facade's intervals() contract).
+  void materialize(ResourceId r, std::vector<StateInterval>& out) const;
+
+  /// Monotonic mutation counter (starts at 1); lets facades cache
+  /// materialized rows and detect staleness cheaply.
+  [[nodiscard]] std::uint64_t generation() const noexcept {
+    return generation_;
+  }
+
+  /// Payload bytes held by the store: sealed chunk columns plus tail
+  /// capacity.  The number a multi-session server shares — and counts
+  /// once — across all sessions reading this store.
+  [[nodiscard]] std::size_t store_bytes() const noexcept;
+
+  /// seal_chunk() size-tier-compacts a resource once its chunk list grows
+  /// past this bound (merging the smallest chunks down to half of it), so
+  /// view cursors merge O(1) runs while streaming ingest stays
+  /// O(n log n) overall.
+  static constexpr std::size_t kCompactionThreshold = 16;
+
+ private:
+  struct Lane {
+    std::vector<TraceChunkPtr> chunks;
+    std::vector<StateInterval> tail;
+  };
+
+  void compact_lane(Lane& lane);
+  void derive_window();
+
+  /// Copy-on-write: cloned before mutation whenever pinned by a view (or
+  /// shared with a store copy), so outstanding snapshots stay stable.
+  std::shared_ptr<std::vector<std::string>> resource_paths_ =
+      std::make_shared<std::vector<std::string>>();
+  std::unordered_map<std::string, ResourceId> resource_ids_;
+  StateRegistry states_;
+  std::vector<Lane> lanes_;
+  TimeNs begin_ = 0;
+  TimeNs end_ = 0;
+  /// Highest evict_before cutoff seen (erase_before_exact deliberately
+  /// leaves it alone: erase is point-in-time, eviction is forward-only).
+  /// Compaction may drop any interval ending at or before it — provably
+  /// unreadable by every legal window.
+  TimeNs evict_horizon_ = std::numeric_limits<TimeNs>::min();
+  bool sealed_ = false;
+  bool window_overridden_ = false;
+  std::uint64_t generation_ = 1;
+};
+
+}  // namespace stagg

@@ -1,0 +1,122 @@
+#include "trace/trace_view.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace stagg {
+
+namespace {
+
+void check_store(const std::shared_ptr<const TraceStore>& store) {
+  if (!store) throw InvalidArgument("TraceView: null store");
+  if (!store->tails_sealed()) {
+    throw InvalidArgument(
+        "TraceView: store has unsealed tail intervals (call seal_chunk() "
+        "before taking views)");
+  }
+}
+
+}  // namespace
+
+TraceView::TraceView(std::shared_ptr<const TraceStore> store)
+    : store_(std::move(store)) {
+  check_store(store_);
+  if (!store_->sealed()) {
+    throw InvalidArgument(
+        "TraceView: full-window view requires a sealed store "
+        "(call seal_chunk() first)");
+  }
+  t0_ = store_->begin();
+  t1_ = store_->end();
+  init({}, nullptr);
+}
+
+TraceView::TraceView(std::shared_ptr<const TraceStore> store, TimeNs t0,
+                     TimeNs t1)
+    : TraceView(std::move(store), t0, t1, {}, nullptr) {}
+
+TraceView::TraceView(std::shared_ptr<const TraceStore> store, TimeNs t0,
+                     TimeNs t1, std::span<const ResourceId> scope,
+                     std::shared_ptr<const std::vector<std::string>>
+                         scope_paths)
+    : store_(std::move(store)), t0_(t0), t1_(t1) {
+  check_store(store_);
+  if (t1_ < t0_) throw InvalidArgument("TraceView: window end < begin");
+  init(scope, std::move(scope_paths));
+}
+
+void TraceView::init(
+    std::span<const ResourceId> scope,
+    std::shared_ptr<const std::vector<std::string>> scope_paths) {
+  const auto n = store_->resource_count();
+  if (scope.empty()) {
+    store_ids_.resize(n);
+    for (std::size_t r = 0; r < n; ++r) {
+      store_ids_[r] = static_cast<ResourceId>(r);
+    }
+    paths_ = store_->resource_paths_ptr();  // COW-pinned, zero copies
+    select_runs();
+    return;
+  }
+  store_ids_.assign(scope.begin(), scope.end());
+  for (const ResourceId r : store_ids_) {
+    if (r < 0 || static_cast<std::size_t>(r) >= n) {
+      throw InvalidArgument("TraceView: scope references unknown resource " +
+                            std::to_string(r));
+    }
+  }
+  if (scope_paths != nullptr) {
+    if (scope_paths->size() != store_ids_.size()) {
+      throw InvalidArgument(
+          "TraceView: scope_paths size does not match the scope");
+    }
+    paths_ = std::move(scope_paths);
+  } else {
+    auto paths = std::make_shared<std::vector<std::string>>();
+    paths->reserve(store_ids_.size());
+    for (const ResourceId r : store_ids_) {
+      paths->push_back(store_->resource_path(r));
+    }
+    paths_ = std::move(paths);
+  }
+  select_runs();
+}
+
+void TraceView::select_runs() {
+  runs_.resize(store_ids_.size());
+  concat_ok_.assign(store_ids_.size(), 1);
+  for (std::size_t r = 0; r < store_ids_.size(); ++r) {
+    auto& runs = runs_[r];
+    runs.clear();
+    for (const TraceChunkPtr& chunk : store_->chunks(store_ids_[r])) {
+      // Fence test: can any interval of this chunk overlap [t0, t1)?
+      if (chunk->min_begin() >= t1_ || chunk->max_end() <= t0_) continue;
+      // Begins are sorted: entries with begin >= t1 are a prunable suffix.
+      const auto begins = chunk->begins();
+      const std::size_t size = static_cast<std::size_t>(
+          std::lower_bound(begins.begin(), begins.end(), t1_) -
+          begins.begin());
+      if (size > 0) runs.push_back(Run{chunk, size});
+    }
+    for (std::size_t k = 0; k + 1 < runs.size(); ++k) {
+      const StateInterval last = runs[k].chunk->at(runs[k].size - 1);
+      const StateInterval first = runs[k + 1].chunk->at(0);
+      if (interval_key_less(first, last)) {
+        concat_ok_[r] = 0;
+        break;
+      }
+    }
+  }
+}
+
+std::uint64_t TraceView::selected_count() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& runs : runs_) {
+    for (const Run& run : runs) n += run.size;
+  }
+  return n;
+}
+
+}  // namespace stagg

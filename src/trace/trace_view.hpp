@@ -1,0 +1,139 @@
+// Zero-copy window/scope selection over a shared TraceStore.
+//
+// A TraceView is an immutable snapshot: it pins the sealed chunks that can
+// overlap a half-open time window [t0, t1) — selected by the chunks'
+// min/max-time fences without touching the columns — for an optional subset
+// of the store's resources (a hierarchy scope).  The store may keep
+// mutating (append, seal, evict, compact) after the view is taken; the
+// view's shared_ptr chunk references keep exactly its snapshot alive.
+//
+// for_each(r) streams resource r's selected intervals in (begin, end,
+// state) order: a single run degenerates to a linear scan, time-ordered
+// runs to sequential scans, and overlapping runs to a k-way merge — in all
+// cases the same unique sorted sequence a single-chunk store would yield,
+// which is what makes model folds bit-identical across chunk layouts.
+//
+// Entries whose begin lies at or past t1 are pruned per run (begins are
+// sorted); entries ending at or before t0 are delivered and clip to
+// nothing in the fold — pruning is an optimization, never a semantic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "trace/trace_store.hpp"
+
+namespace stagg {
+
+class TraceView {
+ public:
+  TraceView() = default;
+
+  /// Full-window, all-resources view.  Requires a sealed store (the
+  /// observation window must be valid).
+  explicit TraceView(std::shared_ptr<const TraceStore> store);
+
+  /// Selects [t0, t1) over all resources.  Requires every tail sealed.
+  TraceView(std::shared_ptr<const TraceStore> store, TimeNs t0, TimeNs t1);
+
+  /// Selects [t0, t1) over a subset of store resources (a hierarchy
+  /// scope), re-indexed densely in the given order.  An empty scope means
+  /// all resources.  `scope_paths`, when provided, must hold the paths of
+  /// the scope resources in scope order — long-lived scoped readers (a
+  /// sliding session building one view per advance) compute them once and
+  /// share them across views instead of re-copying strings each time.
+  TraceView(std::shared_ptr<const TraceStore> store, TimeNs t0, TimeNs t1,
+            std::span<const ResourceId> scope,
+            std::shared_ptr<const std::vector<std::string>> scope_paths =
+                nullptr);
+
+  [[nodiscard]] bool valid() const noexcept { return store_ != nullptr; }
+
+  /// Selected window.
+  [[nodiscard]] TimeNs begin() const noexcept { return t0_; }
+  [[nodiscard]] TimeNs end() const noexcept { return t1_; }
+
+  /// View-local dense resources (the scope), and their paths.  Unscoped
+  /// views pin the store's copy-on-write path table (a shared_ptr copy,
+  /// no string copies, stable under later add_resource); scoped views
+  /// hold — or share via the scope_paths constructor argument — their
+  /// re-indexed subset.
+  [[nodiscard]] std::size_t resource_count() const noexcept {
+    return store_ids_.size();
+  }
+  [[nodiscard]] const std::vector<std::string>& resource_paths()
+      const noexcept {
+    return *paths_;
+  }
+  /// Store id backing view resource `r`.
+  [[nodiscard]] ResourceId store_resource(std::size_t r) const {
+    return store_ids_[r];
+  }
+
+  [[nodiscard]] const StateRegistry& states() const noexcept {
+    return store_->states();
+  }
+  [[nodiscard]] const TraceStore& store() const noexcept { return *store_; }
+  [[nodiscard]] const std::shared_ptr<const TraceStore>& store_ptr()
+      const noexcept {
+    return store_;
+  }
+
+  /// Number of intervals the cursors will deliver (upper bound on the
+  /// window's population: per-run begin-pruned, not end-filtered).
+  [[nodiscard]] std::uint64_t selected_count() const noexcept;
+
+  /// Streams view resource `r`'s selected intervals to `f(StateInterval)`
+  /// in (begin, end, state) order.
+  template <class F>
+  void for_each(std::size_t r, F&& f) const {
+    const auto& runs = runs_[r];
+    if (runs.empty()) return;
+    if (runs.size() == 1 || concat_ok_[r] != 0) {
+      for (const Run& run : runs) {
+        for (std::size_t i = 0; i < run.size; ++i) f(run.chunk->at(i));
+      }
+      return;
+    }
+    // Overlapping runs: the canonical k-way merge (k is bounded by the
+    // store's compaction threshold, and this path only triggers for
+    // genuinely out-of-order ingest).
+    std::vector<ChunkRun> merge_runs;
+    merge_runs.reserve(runs.size());
+    for (const Run& run : runs) {
+      merge_runs.push_back({run.chunk.get(), run.size});
+    }
+    merge_chunk_runs(std::span<const ChunkRun>(merge_runs),
+                     std::forward<F>(f));
+  }
+
+ private:
+  /// Selected prefix [0, size) of one pinned chunk.
+  struct Run {
+    TraceChunkPtr chunk;
+    std::size_t size = 0;
+  };
+
+  void init(std::span<const ResourceId> scope,
+            std::shared_ptr<const std::vector<std::string>> scope_paths);
+  void select_runs();
+
+  std::shared_ptr<const TraceStore> store_;
+  TimeNs t0_ = 0;
+  TimeNs t1_ = 0;
+  std::vector<ResourceId> store_ids_;
+  /// Pinned path snapshot: the store's COW table for full views, the
+  /// re-indexed subset (shareable across one reader's views) when scoped.
+  std::shared_ptr<const std::vector<std::string>> paths_;
+  std::vector<std::vector<Run>> runs_;
+  /// Per view resource: runs are pairwise key-ordered, so concatenation
+  /// is already the merged order.
+  std::vector<std::uint8_t> concat_ok_;
+};
+
+}  // namespace stagg

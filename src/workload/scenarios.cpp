@@ -5,6 +5,15 @@
 #include "workload/nas_cg.hpp"
 #include "workload/nas_lu.hpp"
 
+// GCC 12 emits a -Wrestrict false positive (PR105329) on the short-string
+// literal assignments of the scenario_* constructors once surrounding code
+// is inlined; the reported sizes (~2^63 bytes) are the impossible non-SSO
+// branch.  Scoped to those functions via pop below.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wrestrict"
+#endif
+
 namespace stagg {
 
 ScenarioSpec scenario_a() {
@@ -54,6 +63,10 @@ ScenarioSpec scenario_d() {
   s.paper = {177'376'729, 6700.0, 2091.0, 196.0, 2.0};
   return s;
 }
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 std::vector<ScenarioSpec> all_scenarios() {
   return {scenario_a(), scenario_b(), scenario_c(), scenario_d()};

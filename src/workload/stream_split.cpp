@@ -1,0 +1,38 @@
+#include "workload/stream_split.hpp"
+
+#include <algorithm>
+
+namespace stagg {
+
+TraceSplit split_trace_at(const Trace& full, TimeNs horizon,
+                          ResourceId resource_limit) {
+  TraceSplit out;
+  const auto resources =
+      resource_limit == kInvalidResource
+          ? static_cast<ResourceId>(full.resource_count())
+          : resource_limit;
+  for (const auto& name : full.states().names()) {
+    (void)out.initial.states().intern(name);
+  }
+  for (ResourceId r = 0; r < resources; ++r) {
+    out.initial.add_resource(full.resource_path(r));
+    for (const auto& s : full.intervals(r)) {
+      if (s.begin < horizon) {
+        out.initial.add_state(r, s.state, s.begin, s.end);
+      } else {
+        out.future.emplace_back(r, s);
+      }
+    }
+  }
+  std::sort(out.future.begin(), out.future.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second.begin != b.second.begin) {
+                return a.second.begin < b.second.begin;
+              }
+              if (a.first != b.first) return a.first < b.first;
+              return a.second.end < b.second.end;
+            });
+  return out;
+}
+
+}  // namespace stagg

@@ -1,0 +1,32 @@
+// Replay harness for live-session demos, benches and oracle tests: splits
+// a recorded trace into the prefix already "ingested" before a horizon and
+// the time-ordered stream of future events to deliver while windows slide.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "trace/event.hpp"
+#include "trace/trace.hpp"
+
+namespace stagg {
+
+/// A recorded trace split at a replay horizon.
+struct TraceSplit {
+  /// Fresh trace holding every event with begin < horizon (all state
+  /// names interned, so |X| matches the source even for unused states).
+  Trace initial;
+  /// Events with begin >= horizon, ordered by (begin, resource, end) —
+  /// the deterministic delivery order of a live ingest frontier.
+  std::vector<std::pair<ResourceId, StateInterval>> future;
+};
+
+/// Splits the first `resource_limit` resources of sealed `full` at
+/// `horizon` (kInvalidResource = all resources).  The split's initial
+/// trace registers resources in source order, so ids coincide with the
+/// source's.
+[[nodiscard]] TraceSplit split_trace_at(const Trace& full, TimeNs horizon,
+                                        ResourceId resource_limit =
+                                            kInvalidResource);
+
+}  // namespace stagg

@@ -16,7 +16,7 @@ TEST(Trace, ResourceRegistrationIsIdempotent) {
   EXPECT_NE(a, b);
   EXPECT_EQ(t.resource_count(), 2u);
   EXPECT_EQ(t.find_resource("root/b"), b);
-  EXPECT_EQ(t.find_resource("nope"), -1);
+  EXPECT_EQ(t.find_resource("nope"), kInvalidResource);
 }
 
 TEST(Trace, SealSortsIntervals) {

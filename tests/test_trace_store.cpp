@@ -1,0 +1,479 @@
+// TraceStore / TraceView suite: the immutable chunked substrate and its
+// zero-copy window/scope selection.
+//
+// The load-bearing properties:
+//   * Layout independence — however the same interval multiset is
+//     partitioned into sealed chunks (streaming seals, compaction,
+//     eviction, copies), the merged per-resource sequence and every model
+//     fold built from it are bit-identical to a freshly sorted
+//     single-owner trace.
+//   * Fence pruning is an optimization, never a semantic — a view over
+//     [t0, t1) folds exactly what a whole-trace build with that window
+//     folds.
+//   * IO equivalence — write -> read, write -> stream-fold, and
+//     chunked-store ingest of the same events produce bit-identical
+//     models (including the empty trace, zero-duration events, window
+//     overrides, and evict_before mid-stream).
+#include "trace/trace_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "hierarchy/hierarchy.hpp"
+#include "model/builder.hpp"
+#include "trace/binary_io.hpp"
+#include "trace/trace.hpp"
+#include "trace/trace_view.hpp"
+
+namespace stagg {
+namespace {
+
+/// Temp-file path helper (tests run in the build directory).
+std::string temp_path(const std::string& name) {
+  return "test_trace_store_" + name + ".stgt";
+}
+
+void expect_models_equal(const MicroscopicModel& a, const MicroscopicModel& b,
+                         const std::string& context) {
+  ASSERT_EQ(a.resource_count(), b.resource_count()) << context;
+  ASSERT_EQ(a.slice_count(), b.slice_count()) << context;
+  ASSERT_EQ(a.state_count(), b.state_count()) << context;
+  const auto ra = a.raw();
+  const auto rb = b.raw();
+  ASSERT_EQ(ra.size(), rb.size()) << context;
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i], rb[i]) << context << " cell " << i;
+  }
+}
+
+/// Random trace with edge-heavy timing: events on slice edges, zero
+/// durations, duplicates.
+Trace make_random_trace(const Hierarchy& h, std::uint64_t seed,
+                        TimeNs span, int events_per_resource) {
+  SplitMix64 mix(seed);
+  Trace t;
+  const StateId states[] = {t.states().intern("a"), t.states().intern("b"),
+                            t.states().intern("c")};
+  for (LeafId leaf = 0; leaf < static_cast<LeafId>(h.leaf_count()); ++leaf) {
+    const ResourceId r = t.add_resource(h.path(h.leaf_node(leaf)));
+    for (int k = 0; k < events_per_resource; ++k) {
+      const TimeNs b = static_cast<TimeNs>(mix.next() % span);
+      TimeNs d = static_cast<TimeNs>(mix.next() % (span / 16));
+      if (mix.next() % 8 == 0) d = 0;  // zero-duration (instantaneous call)
+      t.add_state(r, states[mix.next() % 3], b, b + d);
+    }
+  }
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Chunk mechanics.
+// ---------------------------------------------------------------------------
+
+TEST(TraceStore, SealAcrossRoundsBuildsChunksWithFences) {
+  TraceStore store;
+  const ResourceId r = store.add_resource("r");
+  const StateId x = store.states().intern("s");
+  store.add_state(r, x, 100, 200);
+  store.add_state(r, x, 0, 50);
+  store.seal_chunk();
+  ASSERT_EQ(store.chunks(r).size(), 1u);
+  EXPECT_EQ(store.chunks(r)[0]->min_begin(), 0);
+  EXPECT_EQ(store.chunks(r)[0]->min_end(), 50);
+  EXPECT_EQ(store.chunks(r)[0]->max_end(), 200);
+  EXPECT_TRUE(store.sealed());
+
+  store.add_state(r, x, 300, 400);
+  EXPECT_FALSE(store.sealed());
+  store.seal_chunk();
+  ASSERT_EQ(store.chunks(r).size(), 2u);
+  EXPECT_EQ(store.begin(), 0);
+  EXPECT_EQ(store.end(), 400);
+  EXPECT_EQ(store.state_count(), 3u);
+
+  // Idempotent: a clean re-seal creates no chunk.
+  store.seal_chunk();
+  EXPECT_EQ(store.chunks(r).size(), 2u);
+}
+
+TEST(TraceStore, MergedRowsAreLayoutIndependent) {
+  // The same multiset sealed in one round vs many rounds materializes to
+  // the same sequence.
+  SplitMix64 mix(7);
+  Trace incremental;
+  Trace batch;
+  const ResourceId ri = incremental.add_resource("r");
+  const ResourceId rb = batch.add_resource("r");
+  (void)incremental.states().intern("s");
+  (void)batch.states().intern("s");
+  for (int round = 0; round < 12; ++round) {
+    for (int k = 0; k < 17; ++k) {
+      const auto b = static_cast<TimeNs>(mix.next() % 500);
+      const auto d = static_cast<TimeNs>(mix.next() % 40);
+      incremental.add_state(ri, StateId{0}, b, b + d);
+      batch.add_state(rb, StateId{0}, b, b + d);
+    }
+    incremental.seal();
+  }
+  incremental.seal();
+  batch.seal();
+  EXPECT_GT(incremental.store()->chunks(ri).size(), 1u);
+  const auto a = incremental.intervals(ri);
+  const auto e = batch.intervals(rb);
+  ASSERT_EQ(a.size(), e.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], e[i]) << i;
+}
+
+TEST(TraceStore, CompactionBoundsChunkCountAndPreservesRows) {
+  Trace many;
+  Trace once;
+  const ResourceId rm = many.add_resource("r");
+  const ResourceId ro = once.add_resource("r");
+  (void)many.states().intern("s");
+  (void)once.states().intern("s");
+  SplitMix64 mix(11);
+  const int rounds = 3 * static_cast<int>(TraceStore::kCompactionThreshold);
+  for (int round = 0; round < rounds; ++round) {
+    const auto b = static_cast<TimeNs>(mix.next() % 10000);
+    many.add_state(rm, StateId{0}, b, b + 5);
+    once.add_state(ro, StateId{0}, b, b + 5);
+    many.seal();  // one chunk per round, compacted past the threshold
+  }
+  once.seal();
+  EXPECT_LE(many.store()->chunks(rm).size(),
+            TraceStore::kCompactionThreshold + 1);
+  const auto a = many.intervals(rm);
+  const auto e = once.intervals(ro);
+  ASSERT_EQ(a.size(), e.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], e[i]) << i;
+}
+
+TEST(TraceStore, CopySharesChunksButMutatesIndependently) {
+  Trace t;
+  const ResourceId r = t.add_resource("r");
+  const StateId x = t.states().intern("s");
+  t.add_state(r, x, 0, 10);
+  t.add_state(r, x, 20, 30);
+  t.seal();
+
+  Trace copy = t;
+  // The sealed chunk is shared by pointer, not duplicated.
+  ASSERT_EQ(copy.store()->chunks(r).size(), 1u);
+  EXPECT_EQ(copy.store()->chunks(r)[0].get(), t.store()->chunks(r)[0].get());
+
+  copy.add_state(r, x, 40, 50);
+  copy.seal();
+  copy.erase_before(15);
+  copy.seal();
+  EXPECT_EQ(copy.state_count(), 2u);  // [20,30) and [40,50)
+  EXPECT_EQ(t.state_count(), 2u);     // original untouched: [0,10), [20,30)
+  EXPECT_EQ(t.intervals(r)[0].begin, 0);
+}
+
+TEST(TraceStore, EvictBeforeDropsOnlyWholeDeadChunks) {
+  TraceStore store;
+  const ResourceId r = store.add_resource("r");
+  const StateId x = store.states().intern("s");
+  store.add_state(r, x, 0, 10);
+  store.add_state(r, x, 10, 20);
+  store.seal_chunk();  // chunk A: max_end 20
+  store.add_state(r, x, 15, 40);
+  store.add_state(r, x, 50, 60);
+  store.seal_chunk();  // chunk B: straddles any cutoff in (15, 40]
+  ASSERT_EQ(store.chunks(r).size(), 2u);
+
+  store.evict_before(20);
+  // A is provably dead (max_end <= 20) and unlinked; B straddles and is
+  // kept whole — including its [15, 40) interval.
+  ASSERT_EQ(store.chunks(r).size(), 1u);
+  EXPECT_EQ(store.state_count(), 2u);
+  EXPECT_EQ(store.chunks(r)[0]->min_begin(), 15);
+
+  // Exact erase (the Trace facade contract) rewrites straddlers.
+  store.erase_before_exact(55);
+  ASSERT_EQ(store.chunks(r).size(), 1u);
+  EXPECT_EQ(store.state_count(), 1u);
+  EXPECT_EQ(store.chunks(r)[0]->min_begin(), 50);
+}
+
+TEST(TraceStore, CompactionRespectsEvictionHorizonUnderSlidingIngest) {
+  // A long-running sliding ingest whose chunks carry long straddling
+  // intervals, so dozens stay fence-alive at once and compaction runs
+  // regularly.  Merged chunks must let go of intervals below the
+  // eviction horizon — retained memory tracks the live window plus the
+  // straddle span, never everything ever ingested.
+  TraceStore store;
+  const ResourceId r = store.add_resource("r");
+  const StateId x = store.states().intern("s");
+  const TimeNs dt = 10;
+  const TimeNs straddle = 40 * dt;  // keeps ~44 chunks fence-alive
+  const TimeNs window = 4 * dt;
+  const int rounds = 16 * static_cast<int>(TraceStore::kCompactionThreshold);
+  for (int round = 0; round < rounds; ++round) {
+    const TimeNs t = dt * round;
+    store.add_state(r, x, t, t + dt / 2);    // dead a few rounds later
+    store.add_state(r, x, t, t + straddle);  // pins the chunk's fence
+    store.seal_chunk();
+    store.evict_before(t - window);
+  }
+  // Alive: ~(straddle + window)/dt straddlers + the short tail of the
+  // window, with compaction slack — far below the 2 * rounds ingested.
+  const auto alive_bound = static_cast<std::uint64_t>(
+      2 * ((straddle + window) / dt) + 4 * TraceStore::kCompactionThreshold);
+  EXPECT_LE(store.state_count(), alive_bound);
+  EXPECT_LT(store.state_count(), static_cast<std::uint64_t>(rounds));
+  EXPECT_LE(store.chunks(r).size(), TraceStore::kCompactionThreshold + 1);
+}
+
+TEST(TraceStore, EraseBeforeIsPointInTimeNotRetroactive) {
+  // erase_before (the facade contract) must not install a sticky horizon:
+  // an old interval appended *after* the erase survives any amount of
+  // later sealing and compaction.
+  Trace t;
+  const ResourceId r = t.add_resource("r");
+  const StateId x = t.states().intern("s");
+  t.add_state(r, x, 0, 50);
+  t.add_state(r, x, 200, 300);
+  t.seal();
+  t.erase_before(100);
+  EXPECT_EQ(t.state_count(), 1u);
+
+  t.add_state(r, x, 10, 50);  // late-arriving event below the old cutoff
+  t.seal();
+  // Force many seal rounds so compaction definitely runs.
+  for (int round = 0;
+       round < 3 * static_cast<int>(TraceStore::kCompactionThreshold);
+       ++round) {
+    t.add_state(r, x, 400 + round, 400 + round + 1);
+    t.seal();
+  }
+  bool found = false;
+  for (const auto& s : t.intervals(r)) {
+    found = found || (s.begin == 10 && s.end == 50);
+  }
+  EXPECT_TRUE(found) << "late-appended [10,50) was retroactively erased";
+}
+
+TEST(TraceStore, OutstandingViewsSurviveEvictionAndCompaction) {
+  auto store = std::make_shared<TraceStore>();
+  const ResourceId r = store->add_resource("r");
+  const StateId x = store->states().intern("s");
+  store->add_state(r, x, 0, 10);
+  store->seal_chunk();
+  store->set_window(0, 100);
+  const TraceView view(store, 0, 100);
+  ASSERT_EQ(view.selected_count(), 1u);
+
+  store->evict_before(50);  // unlinks the only chunk
+  EXPECT_EQ(store->state_count(), 0u);
+  // The view's snapshot still reads the unlinked chunk.
+  std::size_t seen = 0;
+  view.for_each(0, [&](const StateInterval& s) {
+    EXPECT_EQ(s.begin, 0);
+    EXPECT_EQ(s.end, 10);
+    ++seen;
+  });
+  EXPECT_EQ(seen, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// View selection folds exactly like whole-trace builds.
+// ---------------------------------------------------------------------------
+
+TEST(TraceView, WindowSelectionFoldsBitIdenticalToWholeTraceBuild) {
+  const Hierarchy h = make_balanced_hierarchy(2, 3);
+  Trace trace = make_random_trace(h, 0xAB, seconds(30.0), 120);
+  trace.seal();
+  // Force a multi-chunk layout of the same multiset.
+  Trace chunked;
+  for (const auto& name : trace.states().names()) {
+    (void)chunked.states().intern(name);
+  }
+  SplitMix64 mix(3);
+  for (ResourceId r = 0; r < static_cast<ResourceId>(trace.resource_count());
+       ++r) {
+    chunked.add_resource(trace.resource_path(r));
+    int n = 0;
+    for (const auto& s : trace.intervals(r)) {
+      chunked.add_state(r, s.state, s.begin, s.end);
+      if (++n % 25 == 0) chunked.seal();  // several sealed runs per lane
+    }
+  }
+  chunked.set_window(trace.begin(), trace.end());
+  chunked.seal();
+
+  for (const auto& [t0, t1] : std::vector<std::pair<TimeNs, TimeNs>>{
+           {seconds(5.0), seconds(17.0)},
+           {0, seconds(30.0)},
+           {seconds(29.0), seconds(31.0)},
+       }) {
+    ModelBuildOptions opt;
+    opt.slice_count = 24;
+    opt.window_begin = t0;
+    opt.window_end = t1;
+    MicroscopicModel whole = build_model(trace, h, opt);
+    const TraceView view(chunked.store(), t0, t1);
+    EXPECT_LE(view.selected_count(), trace.state_count());
+    MicroscopicModel pruned = build_model(view, h, opt);
+    expect_models_equal(whole, pruned,
+                        "window [" + std::to_string(t0) + ", " +
+                            std::to_string(t1) + ")");
+  }
+}
+
+TEST(TraceView, ScopedViewMatchesPrivateSubTrace) {
+  const Hierarchy full = make_balanced_hierarchy(2, 3);  // 9 leaves
+  // Scope: first cluster only (leaves 0..2).
+  HierarchyBuilder b("root");
+  const NodeId c = b.add(0, "n0_0");
+  b.add_many(c, "n1_", 3);
+  const Hierarchy sub = b.finish();
+
+  Trace trace = make_random_trace(full, 0xCD, seconds(20.0), 80);
+  trace.seal();
+
+  // Private sub-trace holding only the scoped resources (all states
+  // interned so |X| matches).
+  Trace private_sub;
+  for (const auto& name : trace.states().names()) {
+    (void)private_sub.states().intern(name);
+  }
+  std::vector<ResourceId> scope;
+  for (ResourceId r = 0; r < 3; ++r) {
+    private_sub.add_resource(trace.resource_path(r));
+    for (const auto& s : trace.intervals(r)) {
+      private_sub.add_state(r, s.state, s.begin, s.end);
+    }
+    scope.push_back(r);
+  }
+  private_sub.set_window(trace.begin(), trace.end());
+  private_sub.seal();
+
+  ModelBuildOptions opt;
+  opt.slice_count = 16;
+  opt.window_begin = seconds(2.0);
+  opt.window_end = seconds(18.0);
+  MicroscopicModel expected = build_model(private_sub, sub, opt);
+  const TraceView view(trace.store(), opt.window_begin, opt.window_end,
+                       scope);
+  ASSERT_EQ(view.resource_count(), 3u);
+  MicroscopicModel got = build_model(view, sub, opt);
+  expect_models_equal(expected, got, "scoped view");
+}
+
+TEST(TraceView, RequiresSealedTails) {
+  auto store = std::make_shared<TraceStore>();
+  const ResourceId r = store->add_resource("r");
+  const StateId x = store->states().intern("s");
+  store->add_state(r, x, 0, 10);
+  EXPECT_THROW(TraceView(store, 0, 10), InvalidArgument);
+  store->seal_chunk();
+  EXPECT_NO_THROW(TraceView(store, 0, 10));
+}
+
+// ---------------------------------------------------------------------------
+// IO equivalence property: write -> read, write -> stream, chunked-store
+// ingest are bit-identical.
+// ---------------------------------------------------------------------------
+
+TEST(TraceStoreIo, ReadStreamAndChunkedIngestAreBitIdentical) {
+  const Hierarchy h = make_balanced_hierarchy(2, 3);
+  Trace trace = make_random_trace(h, 0xEF, seconds(25.0), 150);
+  trace.seal();
+  const std::string path = temp_path("property");
+  write_binary_trace(trace, path);
+
+  ModelBuildOptions opt;
+  opt.slice_count = 30;
+
+  Trace read = read_binary_trace(path);
+  MicroscopicModel from_read = build_model(read, h, opt);
+  MicroscopicModel from_stream = build_model_streaming(path, h, opt);
+  expect_models_equal(from_read, from_stream, "read vs stream");
+
+  // Tiny chunk budget: the ingest seals many chunks per resource and
+  // exercises compaction — the fold must not notice.
+  const auto store = read_binary_trace_store(path, /*chunk_records=*/64);
+  EXPECT_EQ(store->state_count(), trace.state_count());
+  MicroscopicModel from_store = build_model(TraceView(store), h, opt);
+  expect_models_equal(from_read, from_store, "read vs chunked store");
+
+  std::remove(path.c_str());
+}
+
+TEST(TraceStoreIo, EmptyTraceRoundTripsThroughStoreIngest) {
+  Trace empty;
+  (void)empty.states().intern("s");  // states table, zero records
+  empty.add_resource("r");
+  empty.set_window(0, seconds(1.0));
+  empty.seal();
+  const std::string path = temp_path("empty");
+  write_binary_trace(empty, path);
+
+  const auto store = read_binary_trace_store(path);
+  EXPECT_EQ(store->state_count(), 0u);
+  EXPECT_EQ(store->resource_count(), 1u);
+  EXPECT_EQ(store->begin(), 0);
+  EXPECT_EQ(store->end(), seconds(1.0));
+  const TraceView view(store);
+  EXPECT_EQ(view.selected_count(), 0u);
+
+  Trace read = read_binary_trace(path);
+  EXPECT_EQ(read.state_count(), 0u);
+  EXPECT_EQ(read.end(), seconds(1.0));
+  std::remove(path.c_str());
+}
+
+TEST(TraceStoreIo, WindowOverrideSurvivesStoreIngest) {
+  const Hierarchy h = make_balanced_hierarchy(1, 2);
+  Trace trace = make_random_trace(h, 0x11, seconds(10.0), 40);
+  trace.set_window(-seconds(1.0), seconds(12.0));  // wider than the data
+  trace.seal();
+  const std::string path = temp_path("window");
+  write_binary_trace(trace, path);
+
+  const auto store = read_binary_trace_store(path, /*chunk_records=*/32);
+  EXPECT_EQ(store->begin(), -seconds(1.0));
+  EXPECT_EQ(store->end(), seconds(12.0));
+
+  ModelBuildOptions opt;
+  opt.slice_count = 26;
+  Trace read = read_binary_trace(path);
+  expect_models_equal(build_model(read, h, opt),
+                      build_model(TraceView(store), h, opt),
+                      "override window");
+  std::remove(path.c_str());
+}
+
+TEST(TraceStoreIo, EvictBeforeMidStreamPreservesSuffixWindows) {
+  const Hierarchy h = make_balanced_hierarchy(2, 3);
+  Trace trace = make_random_trace(h, 0x22, seconds(20.0), 120);
+  trace.seal();
+  const std::string path = temp_path("evict");
+  write_binary_trace(trace, path);
+
+  const auto store = read_binary_trace_store(path, /*chunk_records=*/64);
+  const TimeNs cutoff = seconds(8.0);
+  store->evict_before(cutoff);
+
+  // Any window at or past the cutoff folds bit-identically to the
+  // unevicted trace.
+  ModelBuildOptions opt;
+  opt.slice_count = 18;
+  opt.window_begin = cutoff;
+  opt.window_end = seconds(20.0);
+  Trace read = read_binary_trace(path);
+  expect_models_equal(
+      build_model(read, h, opt),
+      build_model(TraceView(store, opt.window_begin, opt.window_end), h, opt),
+      "post-evict suffix window");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace stagg
