@@ -1,0 +1,277 @@
+// Bench: memory-budgeted SessionManager — cold chunks spilled to an
+// mmapped file — vs the same N-session run fully resident.
+//
+// The acceptance shape of the storage-backend layer: with a budget of 25%
+// of the all-resident sealed chunk bytes (a trace ~4x the budget), a
+// 4-session manager must (a) hold resident chunk bytes at or under the
+// budget after *every* round, (b) produce bit-identical results to the
+// all-resident run on every round, and (c) keep aggregate advance
+// throughput within 1.3x of all-resident (the mmap page-ins ride the page
+// cache; streaming a spilled chunk is a sequential scan either way).
+//
+// Protocol: a synthetic stream drives N staggered sessions.  The
+// all-resident manager runs the full ingest+slide schedule first and
+// records per-round results and timings; the budgeted manager then
+// replays the identical schedule under the cap.  --smoke emits
+// BENCH_spill.json for CI trend tracking; exit is non-zero on any
+// violated bar.
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/stopwatch.hpp"
+#include "core/session_manager.hpp"
+#include "hierarchy/hierarchy.hpp"
+#include "workload/stream_split.hpp"
+#include "workload/synthetic.hpp"
+
+namespace stagg {
+namespace {
+
+bool results_equal(const std::vector<AggregationResult>& a,
+                   const std::vector<AggregationResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    if (a[k].optimal_pic != b[k].optimal_pic ||
+        a[k].partition.signature() != b[k].partition.signature() ||
+        a[k].measures.gain != b[k].measures.gain ||
+        a[k].measures.loss != b[k].measures.loss) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct Spec {
+  TimeGrid window;
+  std::vector<double> ps;
+};
+
+struct RunStats {
+  double advance_seconds = 0.0;
+  std::size_t resident_chunk_peak = 0;
+  std::size_t store_bytes_peak = 0;
+  /// results[round][session]
+  std::vector<std::vector<std::vector<AggregationResult>>> results;
+};
+
+int run(int argc, const char* const* argv) {
+  Cli cli("bench_spill",
+          "memory-budgeted shared-store sessions (on-disk chunk spill, "
+          "mmap read-back) vs the same run fully resident");
+  cli.option("levels", "2", "hierarchy depth of the balanced platform");
+  cli.option("fanout", "4", "children per node (leaves = fanout^levels)");
+  cli.option("sessions", "4", "number of concurrent sessions N");
+  cli.option("slices", "64", "base window slice count |T|");
+  cli.option("states", "5", "number of states |X|");
+  cli.option("lanes", "4", "lane width of the DP waves (1-8)");
+  cli.option("rounds", "", "measured advance rounds (default 12, smoke 8)");
+  cli.option("budget-pct", "25", "resident budget as % of all-resident bytes");
+  cli.option("json", "", "write a JSON summary to this path");
+  cli.flag("smoke", "reduced model + BENCH_spill.json (CI mode)");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const bool smoke = cli.get_flag("smoke");
+  std::int32_t levels = static_cast<std::int32_t>(cli.get_int("levels"));
+  std::int32_t fanout = static_cast<std::int32_t>(cli.get_int("fanout"));
+  std::int32_t slices = static_cast<std::int32_t>(cli.get_int("slices"));
+  std::int32_t states = static_cast<std::int32_t>(cli.get_int("states"));
+  const auto n_sessions = static_cast<std::size_t>(
+      std::max<std::int64_t>(2, cli.get_int("sessions")));
+  const double budget_pct = std::clamp<double>(
+      static_cast<double>(cli.get_int("budget-pct")), 1.0, 100.0);
+  if (smoke) {
+    levels = 2;
+    fanout = 4;
+    slices = 48;
+    states = 4;
+  }
+  const int rounds =
+      cli.get("rounds").empty()
+          ? (smoke ? 8 : 12)
+          : static_cast<int>(std::max<std::int64_t>(2, cli.get_int("rounds")));
+  std::string json_path = cli.get("json");
+  if (smoke && json_path.empty()) json_path = "BENCH_spill.json";
+  const std::string spill_path = "bench_spill.chunks";
+
+  const Hierarchy h = make_balanced_hierarchy(levels, fanout);
+  const TimeNs dt = seconds(1.0);
+  const double span_s = to_seconds(dt * (slices + rounds + 8));
+
+  const auto programmer = [&](LeafId leaf) {
+    ResourceProgram p;
+    StatePattern pattern;
+    for (std::int32_t x = 0; x < states; ++x) {
+      const double mean = 0.02 + 0.015 * ((leaf + x) % 4);
+      pattern.elements.push_back({"state" + std::to_string(x), mean, 0.35});
+    }
+    p.phases.push_back({0.0, span_s, std::move(pattern)});
+    return p;
+  };
+  Trace whole = generate_trace(h, programmer, 0x5B111);
+  whole.seal();
+
+  // Session specs: staggered windows, varied |T| and probe sets (same 1 s
+  // slice width so one stream paces everyone).
+  std::vector<Spec> specs;
+  TimeNs max_end = 0;
+  for (std::size_t i = 0; i < n_sessions; ++i) {
+    const auto t = static_cast<std::int32_t>(std::max<std::int32_t>(
+        8, slices - 8 * static_cast<std::int32_t>(i % 3)));
+    const TimeNs begin = dt * static_cast<TimeNs>(i % 4);
+    const TimeGrid window(begin, begin + dt * t, t);
+    std::vector<double> ps;
+    for (std::size_t k = 0; k <= i % 3 + 1; ++k) {
+      ps.push_back(static_cast<double>(k + i) /
+                   static_cast<double>(i % 3 + n_sessions));
+    }
+    specs.push_back({window, std::move(ps)});
+    max_end = std::max(max_end, window.end());
+  }
+
+  SlidingWindowOptions opt;
+  opt.aggregation.max_lanes = static_cast<std::size_t>(
+      std::clamp<std::int64_t>(cli.get_int("lanes"), 1,
+                               static_cast<std::int64_t>(kMaxDpLanes)));
+
+  std::printf("=== Memory-budgeted spill vs all-resident sessions ===\n\n");
+  std::printf(
+      "model: |S| = %zu leaves, base |T| = %d, |X| = %d, N = %zu sessions, "
+      "W = %zu, %d rounds, budget %.0f%%\n\n",
+      h.leaf_count(), slices, states, n_sessions, opt.aggregation.max_lanes,
+      rounds, budget_pct);
+
+  const TimeNs horizon = max_end + dt;
+  const std::vector<std::pair<ResourceId, StateInterval>> future =
+      split_trace_at(whole, horizon).future;
+
+  // One schedule, replayed twice: budget_bytes == 0 means all-resident.
+  const auto run_schedule = [&](std::size_t budget_bytes) -> RunStats {
+    Trace initial = split_trace_at(whole, horizon).initial;
+    initial.seal();
+    SessionManager manager(h, initial.store());
+    if (budget_bytes != 0) {
+      std::remove(spill_path.c_str());
+      manager.set_memory_budget(budget_bytes, spill_path);
+    }
+    for (const Spec& spec : specs) {
+      SessionSpec s;
+      s.window = spec.window;
+      s.ps = spec.ps;
+      s.options = opt;
+      manager.add_session(s);
+    }
+    RunStats stats;
+    std::size_t next = 0;
+    TimeNs frontier = horizon;
+    for (int round = 0; round < rounds; ++round) {
+      frontier += dt;
+      Stopwatch w;
+      for (; next < future.size() && future[next].second.begin < frontier;
+           ++next) {
+        const auto& [r, s] = future[next];
+        manager.append(r, s.state, s.begin, s.end);
+      }
+      manager.slide_all(1);
+      stats.advance_seconds += w.seconds();
+      stats.resident_chunk_peak = std::max(stats.resident_chunk_peak,
+                                           manager.resident_chunk_bytes());
+      stats.store_bytes_peak =
+          std::max(stats.store_bytes_peak, manager.store_bytes());
+      auto& round_results = stats.results.emplace_back();
+      for (std::size_t i = 0; i < n_sessions; ++i) {
+        round_results.push_back(manager.session(i).results());
+      }
+    }
+    return stats;
+  };
+
+  const RunStats resident = run_schedule(0);
+  const auto budget = static_cast<std::size_t>(
+      static_cast<double>(resident.resident_chunk_peak) * budget_pct / 100.0);
+  const RunStats budgeted = run_schedule(budget);
+  std::remove(spill_path.c_str());
+
+  bool equivalent = true;
+  for (int round = 0; round < rounds; ++round) {
+    for (std::size_t i = 0; i < n_sessions; ++i) {
+      equivalent =
+          equivalent &&
+          results_equal(resident.results[static_cast<std::size_t>(round)][i],
+                        budgeted.results[static_cast<std::size_t>(round)][i]);
+    }
+  }
+  const bool within_budget = budgeted.resident_chunk_peak <= budget;
+  const double trace_over_budget =
+      static_cast<double>(resident.resident_chunk_peak) /
+      static_cast<double>(std::max<std::size_t>(1, budget));
+  const double total_advances =
+      static_cast<double>(n_sessions) * static_cast<double>(rounds);
+  const double resident_rate =
+      total_advances / std::max(resident.advance_seconds, 1e-12);
+  const double budgeted_rate =
+      total_advances / std::max(budgeted.advance_seconds, 1e-12);
+  const double slowdown = resident_rate / std::max(budgeted_rate, 1e-12);
+  const double slowdown_bar = 1.3;
+  const bool meets_throughput_bar = slowdown <= slowdown_bar;
+
+  std::printf("trace chunk bytes    : %.2f MiB (peak, all-resident) = %.2fx "
+              "the budget\n",
+              resident.resident_chunk_peak / 1048576.0, trace_over_budget);
+  std::printf("resident under budget: %.2f MiB peak vs %.2f MiB budget  "
+              "[%s]\n",
+              budgeted.resident_chunk_peak / 1048576.0, budget / 1048576.0,
+              within_budget ? "ok" : "MISS");
+  std::printf("advance throughput   : resident %.1f slides/s | budgeted "
+              "%.1f slides/s  =>  %.2fx slowdown (bar <= %.1fx)  [%s]\n",
+              resident_rate, budgeted_rate, slowdown, slowdown_bar,
+              meets_throughput_bar ? "ok" : "MISS");
+  std::printf("equivalence          : %s\n\n",
+              equivalent ? "bit-identical on every round"
+                         : "MISMATCH (BUG)");
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    char buf[64];
+    out << "{\n  \"bench\": \"spill\",\n";
+    out << "  \"model\": {\"leaves\": " << h.leaf_count()
+        << ", \"base_slices\": " << slices << ", \"states\": " << states
+        << "},\n";
+    out << "  \"sessions\": " << n_sessions << ",\n";
+    out << "  \"lane_width\": " << opt.aggregation.max_lanes << ",\n";
+    out << "  \"rounds\": " << rounds << ",\n";
+    out << "  \"budget_bytes\": " << budget << ",\n";
+    out << "  \"resident_chunk_bytes_all_resident\": "
+        << resident.resident_chunk_peak << ",\n";
+    out << "  \"resident_chunk_bytes_budgeted_peak\": "
+        << budgeted.resident_chunk_peak << ",\n";
+    std::snprintf(buf, sizeof buf, "%.6g", trace_over_budget);
+    out << "  \"trace_over_budget\": " << buf << ",\n";
+    out << "  \"within_budget_every_round\": "
+        << (within_budget ? "true" : "false") << ",\n";
+    std::snprintf(buf, sizeof buf, "%.6g", resident_rate);
+    out << "  \"resident_slides_per_s\": " << buf << ",\n";
+    std::snprintf(buf, sizeof buf, "%.6g", budgeted_rate);
+    out << "  \"budgeted_slides_per_s\": " << buf << ",\n";
+    std::snprintf(buf, sizeof buf, "%.6g", slowdown);
+    out << "  \"slowdown\": " << buf << ",\n";
+    std::snprintf(buf, sizeof buf, "%.6g", slowdown_bar);
+    out << "  \"slowdown_bar\": " << buf << ",\n";
+    out << "  \"equivalent\": " << (equivalent ? "true" : "false") << "\n";
+    out << "}\n";
+    std::printf("summary written to %s\n", json_path.c_str());
+  }
+
+  return equivalent && within_budget && meets_throughput_bar ? 0 : 2;
+}
+
+}  // namespace
+}  // namespace stagg
+
+int main(int argc, char** argv) { return stagg::run(argc, argv); }

@@ -1,4 +1,5 @@
-// Example: one live trace stream, several concurrent analysis views.
+// Example: one live trace stream, several concurrent analysis views,
+// bounded resident memory.
 //
 // A monitoring service rarely wants a single window: the on-call view
 // watches the last 30 s at fine slices, the capacity view keeps two
@@ -6,6 +7,12 @@
 // With a SessionManager they all read ONE immutable chunked TraceStore —
 // the event bytes are paid once — while each session keeps its own
 // incremental DP state and probe set.
+//
+// The manager also gets a *memory budget*: after every advance, the
+// coldest sealed chunks are spilled to an append-only chunk file and
+// mmapped back, so the anonymous-heap footprint stays capped while the
+// results remain bit-identical — the shape that serves traces larger
+// than RAM.
 #include <cstdio>
 #include <string>
 
@@ -62,11 +69,16 @@ int main() {
   manager.add_session(capacity);
   manager.add_session(cluster_view);
 
+  // Cap resident chunk bytes at a quarter of the initial store: cold
+  // chunks spill to multi_session.chunks and map back on selection.
+  manager.set_memory_budget(manager.store_bytes() / 4, "multi_session.chunks");
+
   std::printf("shared store: %zu resources, %llu states, %.2f MiB — read by "
-              "%zu sessions\n\n",
+              "%zu sessions, %.2f MiB resident budget\n\n",
               manager.store().resource_count(),
               static_cast<unsigned long long>(manager.store().state_count()),
-              manager.store_bytes() / 1048576.0, manager.session_count());
+              manager.store_bytes() / 1048576.0, manager.session_count(),
+              manager.memory_budget() / 1048576.0);
 
   // Live loop: every 5 s of trace time, deliver the burst and advance all
   // sessions to the new frontier (each by whole slices of its own width).
@@ -80,8 +92,11 @@ int main() {
     }
     manager.advance_to(frontier);
 
-    std::printf("t = %2.0f s | store %.2f MiB\n", to_seconds(frontier),
-                manager.store_bytes() / 1048576.0);
+    std::printf("t = %2.0f s | store %.2f MiB (%.2f resident + %.2f "
+                "spilled)\n",
+                to_seconds(frontier), manager.store_bytes() / 1048576.0,
+                manager.resident_chunk_bytes() / 1048576.0,
+                manager.store().spilled_chunk_bytes() / 1048576.0);
     static const char* names[] = {"on-call ", "capacity", "cluster0"};
     for (std::size_t i = 0; i < manager.session_count(); ++i) {
       const auto& session = manager.session(i);
@@ -96,5 +111,6 @@ int main() {
       std::printf("\n");
     }
   }
+  std::remove("multi_session.chunks");
   return 0;
 }

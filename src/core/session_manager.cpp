@@ -27,10 +27,36 @@ std::size_t SessionManager::add_session(SessionSpec spec) {
   const Hierarchy* scope = spec.hierarchy != nullptr ? spec.hierarchy
                                                      : hierarchy_;
   spec.options.prune_trace = false;  // eviction is centralized here
+  spec.options.memory_budget_bytes = 0;  // so is the memory policy
+  spec.options.spill_path.clear();
   sessions_.push_back(std::make_unique<SlidingWindowSession>(
       *scope, store_, spec.window, std::move(spec.ps), spec.options,
       StoreOwnership::kShared));
+  // The initial run may have rehydrated nothing, but attaching usually
+  // follows fresh ingest; re-establish the cap before the next caller
+  // looks at resident bytes.
+  enforce_memory_budget();
   return sessions_.size() - 1;
+}
+
+void SessionManager::set_memory_budget(std::size_t budget_bytes,
+                                       const std::string& spill_path) {
+  if (budget_bytes != 0) {
+    if (!spill_path.empty()) {
+      store_->enable_spill(spill_path);
+    } else if (!store_->spill_enabled()) {
+      throw InvalidArgument(
+          "SessionManager::set_memory_budget: the store has no spill file "
+          "(pass spill_path or call enable_spill on the store)");
+    }
+  }
+  memory_budget_ = budget_bytes;
+  enforce_memory_budget();
+}
+
+void SessionManager::enforce_memory_budget() {
+  if (memory_budget_ == 0) return;
+  (void)store_->spill_cold(memory_budget_);
 }
 
 void SessionManager::append(ResourceId resource, StateId state, TimeNs begin,
@@ -77,6 +103,9 @@ void SessionManager::advance_sessions(const Advance& advance) {
   // evicting to the store begin would only poison the horizon and reject
   // perfectly valid sessions attached later.
   if (!sessions_.empty()) store_->evict_before(min_window_begin());
+  // Eviction first (unlinking is cheaper than spilling), then the budget
+  // over whatever survived.
+  enforce_memory_budget();
 }
 
 void SessionManager::slide_all(std::int32_t slices) {

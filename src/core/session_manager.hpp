@@ -54,8 +54,10 @@ struct SessionSpec {
   /// hierarchy whose leaves name a subset of store resources scopes the
   /// session to those resources.
   const Hierarchy* hierarchy = nullptr;
-  /// Per-session knobs.  prune_trace is ignored: the manager evicts
-  /// centrally below the minimum window begin across all sessions.
+  /// Per-session knobs.  prune_trace and the memory budget fields are
+  /// ignored: the manager evicts centrally below the minimum window begin
+  /// across all sessions and owns the shared store's spill policy
+  /// (set_memory_budget).
   SlidingWindowOptions options;
 };
 
@@ -117,6 +119,27 @@ class SessionManager {
   [[nodiscard]] std::size_t store_bytes() const noexcept {
     return store_->store_bytes();
   }
+
+  /// Caps the resident sealed-chunk bytes of the shared store.  When the
+  /// budget is non-zero, every advance — after central sealing and fence
+  /// eviction — spills the coldest chunks (ascending fence max-end: data
+  /// at or just above the minimum live-window begin goes first) to the
+  /// store's spill file and maps them back until
+  /// store().resident_chunk_bytes() fits; the cap is also enforced right
+  /// here and whenever a session attaches.  Sessions stream spilled chunks
+  /// through the same view cursors, so results stay bit-identical to an
+  /// all-resident run.  `spill_path` configures the store's spill file
+  /// when it has none yet (required then); 0 disables the budget.
+  void set_memory_budget(std::size_t budget_bytes,
+                         const std::string& spill_path = {});
+  [[nodiscard]] std::size_t memory_budget() const noexcept {
+    return memory_budget_;
+  }
+  /// Resident (anonymous-heap) split of the shared sealed chunk bytes —
+  /// the number the budget bounds; the rest is file-backed.
+  [[nodiscard]] std::size_t resident_chunk_bytes() const noexcept {
+    return store_->resident_chunk_bytes();
+  }
   /// Earliest window begin across sessions (the eviction horizon); the
   /// store window begin when no session is attached.
   [[nodiscard]] TimeNs min_window_begin() const noexcept;
@@ -124,6 +147,7 @@ class SessionManager {
  private:
   template <class Advance>
   void advance_sessions(const Advance& advance);
+  void enforce_memory_budget();
 
   const Hierarchy* hierarchy_;
   std::shared_ptr<TraceStore> store_;
@@ -131,6 +155,8 @@ class SessionManager {
   /// Min begin of events staged since the last seal (ingest dirty
   /// frontier distributed to sessions at the next advance).
   TimeNs staged_min_;
+  /// Resident-chunk-byte cap enforced after every advance; 0 = unlimited.
+  std::size_t memory_budget_ = 0;
 };
 
 }  // namespace stagg

@@ -91,9 +91,27 @@ SlidingWindowSession::SlidingWindowSession(const Hierarchy& hierarchy,
       model_([&]() -> MicroscopicModel {
         const TimeGrid grid = make_initial_grid(window);
         if (ownership_ == StoreOwnership::kExclusive) {
+          if (options_.memory_budget_bytes != 0) {
+            if (options_.spill_path.empty()) {
+              throw InvalidArgument(
+                  "SlidingWindowSession: memory_budget_bytes requires a "
+                  "spill_path to write cold chunks to");
+            }
+            store_->enable_spill(options_.spill_path);
+          }
           store_->set_window(grid.begin(), grid.end());
           store_->seal_chunk();
+          enforce_memory_budget();
         } else {
+          // Attach check: a shared store has one memory policy, owned by
+          // the SessionManager — a per-session budget would let any one
+          // session rewrite chunk backends under all the others.
+          if (options_.memory_budget_bytes != 0) {
+            throw InvalidArgument(
+                "SlidingWindowSession: memory_budget_bytes is an "
+                "exclusive-store knob; set the budget on the SessionManager "
+                "for shared stores");
+          }
           if (!store_->tails_sealed()) {
             throw InvalidArgument(
                 "SlidingWindowSession: shared store has unsealed events "
@@ -126,6 +144,11 @@ SlidingWindowSession::SlidingWindowSession(const Hierarchy& hierarchy,
 
 TraceView SlidingWindowSession::make_view(const TimeGrid& grid) const {
   return TraceView(store_, grid.begin(), grid.end(), scope_, scope_paths_);
+}
+
+void SlidingWindowSession::enforce_memory_budget() {
+  if (options_.memory_budget_bytes == 0) return;
+  (void)store_->spill_cold(options_.memory_budget_bytes);
 }
 
 void SlidingWindowSession::append(ResourceId resource, StateId state,
@@ -200,6 +223,7 @@ const std::vector<AggregationResult>& SlidingWindowSession::advance_to(
     if (options_.prune_trace) store_->evict_before(new_grid.begin());
     store_->set_window(new_grid.begin(), new_grid.end());
     store_->seal_chunk();
+    enforce_memory_budget();
   } else if (!store_->tails_sealed()) {
     throw InvalidArgument(
         "SlidingWindowSession: shared store advanced with unsealed events "

@@ -81,6 +81,15 @@ struct SlidingWindowOptions {
   /// (bounds the session's trace memory; never affects results).
   /// Exclusive stores only — a SessionManager evicts centrally.
   bool prune_trace = true;
+  /// Byte budget for the store's *resident* sealed chunk columns.  When
+  /// non-zero, every advance additionally spills the coldest chunks to
+  /// `spill_path` (required alongside) and maps them back on view
+  /// selection — eviction bounds what is retained, the budget bounds what
+  /// of it stays in anonymous memory.  Never affects results.  Exclusive
+  /// stores only: shared-store sessions must leave this 0 (attach throws
+  /// otherwise) — the SessionManager owns the shared memory policy.
+  std::size_t memory_budget_bytes = 0;
+  std::string spill_path;
 };
 
 class SlidingWindowSession {
@@ -184,6 +193,9 @@ class SlidingWindowSession {
   const std::vector<AggregationResult>& advance_to(const TimeGrid& new_grid,
                                                    std::int32_t dropped_front);
   [[nodiscard]] TraceView make_view(const TimeGrid& grid) const;
+  /// Spills cold chunks down to options_.memory_budget_bytes (exclusive
+  /// stores with a budget; no-op otherwise).
+  void enforce_memory_budget();
 
   const Hierarchy* hierarchy_;
   SlidingWindowOptions options_;

@@ -1,17 +1,24 @@
 #include "trace/binary_io.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/mapped_file.hpp"
 
 namespace stagg {
 namespace {
 
 constexpr char kMagic[8] = {'S', 'T', 'G', 'T', 'R', 'C', '0', '1'};
+constexpr char kChunkMagic[8] = {'S', 'T', 'G', 'C', 'H', 'K', '0', '1'};
+constexpr char kSpillMagic[8] = {'S', 'T', 'G', 'S', 'P', 'L', '0', '1'};
 constexpr std::size_t kRecordBytes = 4 + 4 + 8 + 8;
+/// Chunk record header: u32 resource | u32 reserved | u64 count |
+/// i64 min_end | i64 max_end | u64 checksum.  40 bytes, 8-aligned.
+constexpr std::size_t kChunkHeaderBytes = 40;
 
 struct FileCloser {
   void operator()(std::FILE* f) const noexcept {
@@ -35,8 +42,10 @@ void write_bytes(std::FILE* f, const void* data, std::size_t n,
 
 void read_bytes(std::FILE* f, void* data, std::size_t n,
                 const std::string& path) {
+  const long at = std::ftell(f);
   if (std::fread(data, 1, n, f) != n) {
-    throw TraceFormatError("truncated file '" + path + "'");
+    throw TraceFormatError("truncated file '" + path + "' at offset " +
+                           std::to_string(at));
   }
 }
 
@@ -112,6 +121,193 @@ TraceFileInfo read_header(std::FILE* f, const std::string& path) {
   return info;
 }
 
+// --- Chunk records (shared by chunk files and spill files) -----------------
+
+std::uint64_t fnv1a(const void* data, std::size_t n, std::uint64_t h) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+constexpr std::uint64_t kFnvOffsetBasis = 1469598103934665603ull;
+
+/// Column checksum: FNV-1a 64 over the raw begin, end then state bytes
+/// (padding excluded).
+std::uint64_t chunk_checksum(std::span<const TimeNs> begins,
+                             std::span<const TimeNs> ends,
+                             std::span<const StateId> states) {
+  std::uint64_t h = kFnvOffsetBasis;
+  h = fnv1a(begins.data(), begins.size_bytes(), h);
+  h = fnv1a(ends.data(), ends.size_bytes(), h);
+  h = fnv1a(states.data(), states.size_bytes(), h);
+  return h;
+}
+
+/// Total on-disk bytes of one chunk record (header + columns + pad).
+std::size_t chunk_record_bytes(std::uint64_t count) {
+  const std::uint64_t states_padded = (count * 4 + 7) & ~std::uint64_t{7};
+  return static_cast<std::size_t>(kChunkHeaderBytes + count * 16 +
+                                  states_padded);
+}
+
+void write_chunk_record(std::FILE* f, const std::string& path,
+                        ResourceId resource, const TraceChunk& chunk) {
+  std::uint8_t header[kChunkHeaderBytes] = {};
+  const auto ur = static_cast<std::uint32_t>(resource);
+  const auto count = static_cast<std::uint64_t>(chunk.size());
+  const TimeNs min_end = chunk.min_end();
+  const TimeNs max_end = chunk.max_end();
+  const std::uint64_t checksum =
+      chunk_checksum(chunk.begins(), chunk.ends(), chunk.states());
+  std::memcpy(header, &ur, 4);
+  std::memcpy(header + 8, &count, 8);
+  std::memcpy(header + 16, &min_end, 8);
+  std::memcpy(header + 24, &max_end, 8);
+  std::memcpy(header + 32, &checksum, 8);
+  write_bytes(f, header, sizeof header, path);
+  write_bytes(f, chunk.begins().data(), chunk.begins().size_bytes(), path);
+  write_bytes(f, chunk.ends().data(), chunk.ends().size_bytes(), path);
+  write_bytes(f, chunk.states().data(), chunk.states().size_bytes(), path);
+  const std::uint64_t pad = chunk_record_bytes(count) -
+                            (kChunkHeaderBytes + count * 16 + count * 4);
+  const std::uint8_t zeros[8] = {};
+  if (pad != 0) write_bytes(f, zeros, static_cast<std::size_t>(pad), path);
+}
+
+struct MappedChunkRecord {
+  ResourceId resource = kInvalidResource;
+  TraceChunkPtr chunk;
+  std::size_t record_bytes = 0;
+};
+
+/// Validates and maps one chunk record at `pos` inside `region` (whose
+/// data() starts at `region_file_offset` in the file) and wraps it into a
+/// file-backed chunk.  Rejects truncated payloads, checksum mismatches,
+/// unsorted columns, out-of-table state ids (`state_count` entries; the
+/// spill path passes the live registry size) and lying fences loudly —
+/// every error names the record's file offset.
+MappedChunkRecord map_chunk_record(
+    const std::shared_ptr<const MappedRegion>& region, std::size_t pos,
+    std::uint64_t region_file_offset, const std::string& path,
+    std::uint64_t state_count) {
+  const std::uint64_t file_offset = region_file_offset + pos;
+  const auto offset_str = " in '" + path + "' at offset " +
+                          std::to_string(file_offset);
+  const std::uint8_t* base = region->data();
+  const std::size_t avail = region->size();
+  if (pos + kChunkHeaderBytes > avail) {
+    throw TraceFormatError("truncated chunk header" + offset_str);
+  }
+  std::uint32_t ur = 0;
+  std::uint64_t count = 0;
+  TimeNs min_end = 0;
+  TimeNs max_end = 0;
+  std::uint64_t checksum = 0;
+  std::memcpy(&ur, base + pos, 4);
+  std::memcpy(&count, base + pos + 8, 8);
+  std::memcpy(&min_end, base + pos + 16, 8);
+  std::memcpy(&max_end, base + pos + 24, 8);
+  std::memcpy(&checksum, base + pos + 32, 8);
+  if (count == 0) {
+    throw TraceFormatError("empty chunk record" + offset_str);
+  }
+  // Guard the size arithmetic before computing record_bytes: a huge count
+  // must read as truncation, not overflow into a small number.
+  if (count > (avail - pos) / 16) {
+    throw TraceFormatError("truncated chunk payload" + offset_str +
+                           " (count " + std::to_string(count) +
+                           " exceeds the file)");
+  }
+  const std::size_t record_bytes = chunk_record_bytes(count);
+  if (pos + record_bytes > avail) {
+    throw TraceFormatError("truncated chunk payload" + offset_str);
+  }
+  const auto n = static_cast<std::size_t>(count);
+  const auto* begins =
+      reinterpret_cast<const TimeNs*>(base + pos + kChunkHeaderBytes);
+  const auto* ends = begins + n;
+  const auto* states = reinterpret_cast<const StateId*>(ends + n);
+  const std::span<const TimeNs> begin_col(begins, n);
+  const std::span<const TimeNs> end_col(ends, n);
+  const std::span<const StateId> state_col(states, n);
+  const std::uint64_t computed = chunk_checksum(begin_col, end_col, state_col);
+  if (computed != checksum) {
+    throw TraceFormatError(
+        "chunk checksum mismatch" + offset_str + " (stored " +
+        std::to_string(checksum) + ", computed " + std::to_string(computed) +
+        ")");
+  }
+  // One pass re-deriving what the merge cursors rely on: total-key sort
+  // order and true end fences.
+  TimeNs seen_min_end = end_col[0];
+  TimeNs seen_max_end = end_col[0];
+  for (std::size_t i = 0; i < n; ++i) {
+    if (end_col[i] < begin_col[i]) {
+      throw TraceFormatError("chunk interval with end < begin" + offset_str);
+    }
+    if (state_col[i] < 0 ||
+        static_cast<std::uint64_t>(state_col[i]) >= state_count) {
+      throw TraceFormatError("chunk interval references unknown state " +
+                             std::to_string(state_col[i]) + offset_str);
+    }
+    seen_min_end = std::min(seen_min_end, end_col[i]);
+    seen_max_end = std::max(seen_max_end, end_col[i]);
+    if (i + 1 < n &&
+        interval_key_less({begin_col[i + 1], end_col[i + 1], state_col[i + 1]},
+                          {begin_col[i], end_col[i], state_col[i]})) {
+      throw TraceFormatError("chunk columns not sorted by (begin, end, state)" +
+                             offset_str);
+    }
+  }
+  if (seen_min_end != min_end || seen_max_end != max_end) {
+    throw TraceFormatError("chunk fences disagree with columns" + offset_str);
+  }
+  auto payload = std::make_shared<const MappedChunkPayload>(
+      region, begin_col, end_col, state_col);
+  return {static_cast<ResourceId>(ur),
+          std::make_shared<const TraceChunk>(std::move(payload), min_end,
+                                             max_end),
+          record_bytes};
+}
+
+/// Bounds-checked little reader over a mapped chunk file.
+struct MapCursor {
+  const std::uint8_t* base;
+  std::size_t size;
+  std::size_t pos = 0;
+  const std::string& path;
+
+  void need(std::size_t n, const char* what) const {
+    if (pos + n > size) {
+      throw TraceFormatError("truncated " + std::string(what) + " in '" +
+                             path + "' at offset " + std::to_string(pos));
+    }
+  }
+  template <typename T>
+  T pod(const char* what) {
+    T v{};
+    need(sizeof v, what);
+    std::memcpy(&v, base + pos, sizeof v);
+    pos += sizeof v;
+    return v;
+  }
+  std::string string(const char* what) {
+    const auto len = pod<std::uint32_t>(what);
+    if (len > (1u << 20)) {
+      throw TraceFormatError("string too long in '" + path + "' at offset " +
+                             std::to_string(pos));
+    }
+    need(len, what);
+    std::string s(reinterpret_cast<const char*>(base + pos), len);
+    pos += len;
+    return s;
+  }
+  void align8() { pos = (pos + 7) & ~std::size_t{7}; }
+};
+
 }  // namespace
 
 std::uint64_t write_binary_trace(Trace& trace, const std::string& path) {
@@ -160,12 +356,14 @@ TraceFileInfo stream_binary_trace(
     std::size_t chunk_records) {
   FilePtr f = open_file(path, "rb");
   TraceFileInfo info = read_header(f.get(), path);
+  const long records_base = std::ftell(f.get());
 
   std::vector<std::uint8_t> buf(chunk_records * kRecordBytes);
   std::vector<TraceRecord> records;
   records.reserve(chunk_records);
 
   std::uint64_t remaining = info.record_count;
+  std::uint64_t processed = 0;
   const auto n_resources = info.resource_paths.size();
   const auto n_states = info.states.size();
   while (remaining > 0) {
@@ -175,27 +373,192 @@ TraceFileInfo stream_binary_trace(
     records.clear();
     for (std::size_t i = 0; i < take; ++i) {
       TraceRecord rec = decode_record(buf.data() + i * kRecordBytes);
+      // Built only on the throw paths: the happy path of a 10^8-record
+      // ingest must not allocate per record.
+      const auto offset_str = [&] {
+        return " in '" + path + "' at offset " +
+               std::to_string(static_cast<std::uint64_t>(records_base) +
+                              (processed + i) * kRecordBytes);
+      };
       if (static_cast<std::size_t>(rec.resource) >= n_resources) {
-        throw TraceFormatError("record references unknown resource in '" +
-                               path + "'");
+        throw TraceFormatError("record references unknown resource" +
+                               offset_str());
       }
       if (static_cast<std::size_t>(rec.interval.state) >= n_states) {
-        throw TraceFormatError("record references unknown state in '" + path +
-                               "'");
+        throw TraceFormatError("record references unknown state" +
+                               offset_str());
       }
       if (rec.interval.end < rec.interval.begin) {
-        throw TraceFormatError("record with end < begin in '" + path + "'");
+        throw TraceFormatError("record with end < begin" + offset_str());
       }
       records.push_back(rec);
     }
     sink({records.data(), records.size()});
     remaining -= take;
+    processed += take;
   }
   return info;
 }
 
+std::uint64_t write_chunk_file(TraceStore& store, const std::string& path) {
+  store.seal_chunk();
+  // Write to a sibling temp file and rename over the target: the store's
+  // own chunks may be mmapped views of `path` (a reopened chunk file, or
+  // a spill file the caller reuses), and fopen("wb") would truncate the
+  // pages they read mid-write — SIGBUS plus data loss.  The rename also
+  // makes the write atomic for concurrent openers.
+  const std::string tmp = path + ".tmp";
+  FilePtr f = open_file(tmp, "wb");
+  std::uint64_t chunk_count = 0;
+  for (ResourceId r = 0; r < static_cast<ResourceId>(store.resource_count());
+       ++r) {
+    chunk_count += store.chunks(r).size();
+  }
+  write_bytes(f.get(), kChunkMagic, sizeof kChunkMagic, tmp);
+  write_pod<std::uint64_t>(f.get(), store.resource_count(), tmp);
+  write_pod<std::uint64_t>(f.get(), store.states().size(), tmp);
+  write_pod<TimeNs>(f.get(), store.begin(), tmp);
+  write_pod<TimeNs>(f.get(), store.end(), tmp);
+  write_pod<std::uint64_t>(f.get(), chunk_count, tmp);
+  for (const auto& p : store.resource_paths()) write_string(f.get(), p, tmp);
+  for (const auto& s : store.states().names()) write_string(f.get(), s, tmp);
+  const long table_end = std::ftell(f.get());
+  if (table_end < 0) throw IoError("ftell failed on '" + tmp + "'");
+  const std::uint8_t zeros[8] = {};
+  const auto pad = static_cast<std::size_t>((8 - table_end % 8) % 8);
+  if (pad != 0) write_bytes(f.get(), zeros, pad, tmp);
+  for (ResourceId r = 0; r < static_cast<ResourceId>(store.resource_count());
+       ++r) {
+    for (const TraceChunkPtr& chunk : store.chunks(r)) {
+      write_chunk_record(f.get(), tmp, r, *chunk);
+    }
+  }
+  if (std::fflush(f.get()) != 0) {
+    throw IoError("flush failed on '" + tmp + "'");
+  }
+  const long pos = std::ftell(f.get());
+  if (pos < 0) throw IoError("ftell failed on '" + tmp + "'");
+  f.reset();  // close before the rename
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw IoError("cannot rename '" + tmp + "' to '" + path + "'");
+  }
+  return static_cast<std::uint64_t>(pos);
+}
+
+std::shared_ptr<TraceStore> open_chunk_file_store(const std::string& path) {
+  const auto region = MappedRegion::map_file(path);
+  MapCursor cur{region->data(), region->size(), 0, path};
+  cur.need(sizeof kChunkMagic, "chunk file magic");
+  if (std::memcmp(cur.base, kChunkMagic, sizeof kChunkMagic) != 0) {
+    throw TraceFormatError("bad chunk file magic in '" + path + "'");
+  }
+  cur.pos += sizeof kChunkMagic;
+  const auto resource_count = cur.pod<std::uint64_t>("header");
+  const auto state_count = cur.pod<std::uint64_t>("header");
+  const auto window_begin = cur.pod<TimeNs>("header");
+  const auto window_end = cur.pod<TimeNs>("header");
+  const auto chunk_count = cur.pod<std::uint64_t>("header");
+  if (resource_count > (1ull << 32) || state_count > (1ull << 20)) {
+    throw TraceFormatError("implausible table sizes in '" + path + "'");
+  }
+  if (window_end < window_begin) {
+    throw TraceFormatError("chunk file window end < begin in '" + path + "'");
+  }
+  auto store = std::make_shared<TraceStore>();
+  // add_resource/intern deduplicate by name; a duplicate table entry in a
+  // corrupt file would silently shift every later id, so reject it.
+  for (std::uint64_t i = 0; i < resource_count; ++i) {
+    const std::size_t at = cur.pos;
+    if (static_cast<std::uint64_t>(
+            store->add_resource(cur.string("resource table"))) != i) {
+      throw TraceFormatError("duplicate resource path in '" + path +
+                             "' at offset " + std::to_string(at));
+    }
+  }
+  for (std::uint64_t i = 0; i < state_count; ++i) {
+    const std::size_t at = cur.pos;
+    if (static_cast<std::uint64_t>(
+            store->states().intern(cur.string("state table"))) != i) {
+      throw TraceFormatError("duplicate state name in '" + path +
+                             "' at offset " + std::to_string(at));
+    }
+  }
+  cur.align8();
+  for (std::uint64_t i = 0; i < chunk_count; ++i) {
+    MappedChunkRecord rec =
+        map_chunk_record(region, cur.pos, 0, path, state_count);
+    if (rec.resource < 0 ||
+        static_cast<std::uint64_t>(rec.resource) >= resource_count) {
+      throw TraceFormatError("chunk record references unknown resource in '" +
+                             path + "' at offset " + std::to_string(cur.pos));
+    }
+    store->adopt_chunk(rec.resource, std::move(rec.chunk));
+    cur.pos += rec.record_bytes;
+  }
+  store->set_window(window_begin, window_end);
+  store->seal_chunk();
+  return store;
+}
+
+bool is_chunk_file(const std::string& path) {
+  FilePtr f = open_file(path, "rb");
+  char magic[8];
+  if (std::fread(magic, 1, sizeof magic, f.get()) != sizeof magic) {
+    return false;
+  }
+  return std::memcmp(magic, kChunkMagic, sizeof kChunkMagic) == 0;
+}
+
+TraceChunkPtr spill_chunk_to_file(const std::string& path, ResourceId resource,
+                                  const TraceChunk& chunk,
+                                  std::uint64_t state_count) {
+  std::uint64_t offset = 0;
+  {
+    // "a+" so a pre-existing file's magic can be read back: appending to
+    // a file that is not a spill file would corrupt it, and appending at
+    // a non-8-aligned offset would break the in-place column alignment
+    // every mapped read relies on.
+    FilePtr f = open_file(path, "a+b");
+    if (std::fseek(f.get(), 0, SEEK_END) != 0) {
+      throw IoError("seek failed on spill file '" + path + "'");
+    }
+    long end = std::ftell(f.get());
+    if (end < 0) throw IoError("ftell failed on spill file '" + path + "'");
+    if (end == 0) {
+      write_bytes(f.get(), kSpillMagic, sizeof kSpillMagic, path);
+      end = sizeof kSpillMagic;
+    } else {
+      char magic[8];
+      if (std::fseek(f.get(), 0, SEEK_SET) != 0 ||
+          std::fread(magic, 1, sizeof magic, f.get()) != sizeof magic ||
+          std::memcmp(magic, kSpillMagic, sizeof kSpillMagic) != 0 ||
+          end % 8 != 0) {
+        throw IoError("'" + path +
+                      "' exists but is not a spill file (refusing to append)");
+      }
+      if (std::fseek(f.get(), 0, SEEK_END) != 0) {
+        throw IoError("seek failed on spill file '" + path + "'");
+      }
+    }
+    offset = static_cast<std::uint64_t>(end);
+    write_chunk_record(f.get(), path, resource, chunk);
+    if (std::fflush(f.get()) != 0) {
+      throw IoError("flush failed on spill file '" + path + "'");
+    }
+  }
+  // Map the freshly appended record back and re-validate it through the
+  // same path an open uses: a torn or short write surfaces here, loudly,
+  // not as a corrupt stream later.
+  const auto region =
+      MappedRegion::map(path, offset, chunk_record_bytes(chunk.size()));
+  return map_chunk_record(region, 0, offset, path, state_count).chunk;
+}
+
 std::shared_ptr<TraceStore> read_binary_trace_store(const std::string& path,
                                                     std::size_t chunk_records) {
+  // Chunk files open zero-copy: mapped columns are served in place instead
+  // of being rehydrated through the record tails.
+  if (is_chunk_file(path)) return open_chunk_file_store(path);
   const TraceFileInfo info = read_binary_trace_info(path);
   auto store = std::make_shared<TraceStore>();
   for (const auto& p : info.resource_paths) store->add_resource(p);
@@ -221,6 +584,8 @@ std::shared_ptr<TraceStore> read_binary_trace_store(const std::string& path,
 }
 
 Trace read_binary_trace(const std::string& path) {
+  // Chunk files come back as a facade over the zero-copy mapped store.
+  if (is_chunk_file(path)) return Trace(open_chunk_file_store(path));
   // Register tables before records: decode the header once, then stream the
   // records into the trace (ids in the file are dense and file-ordered, so
   // they coincide with the registration order).

@@ -1,6 +1,8 @@
-// Compact binary trace format ("STGT"), the library's OTF2 stand-in.
+// Binary trace formats: the row-record format ("STGT") and the columnar
+// chunk-file format ("STGC"), plus the spill-file primitives behind
+// TraceStore::spill_cold.
 //
-// Layout (little-endian):
+// STGT — compact row records, the library's OTF2 stand-in (little-endian):
 //   header:   magic "STGTRC01" | u64 resource_count | u64 state_count
 //             | i64 window_begin | i64 window_end | u64 record_count
 //   tables:   resource paths then state names, each u32-length-prefixed UTF-8
@@ -10,6 +12,24 @@
 // this format.  The reader offers both a materializing API and a streaming
 // API (fixed-size chunks through a callback) so the microscopic model can be
 // built from traces larger than memory.
+//
+// STGC — versioned columnar chunk files, the dariadb-style sealed-page
+// format an mmapped TraceStore reads in place (little-endian):
+//   header:   magic "STGCHK01" | u64 resource_count | u64 state_count
+//             | i64 window_begin | i64 window_end | u64 chunk_count
+//   tables:   as STGT, then zero padding to the next 8-byte boundary
+//   chunks:   chunk_count x chunk record
+// One chunk record (every offset 8-byte aligned so the mapped columns are
+// usable in place):
+//   header:   u32 resource | u32 reserved | u64 count | i64 min_end
+//             | i64 max_end | u64 checksum (FNV-1a 64 of the column bytes)
+//   columns:  count x i64 begins | count x i64 ends | count x i32 states
+//             | zero padding to the next 8-byte boundary
+// The same record layout, behind magic "STGSPL01", makes up a store's
+// append-only spill file.  Readers validate section bounds, checksum, the
+// (begin, end, state) sort order and the end fences before exposing a
+// mapped record; truncation and corruption are rejected loudly with the
+// offending file offset.
 #pragma once
 
 #include <cstddef>
@@ -56,8 +76,45 @@ std::uint64_t write_binary_trace(Trace& trace, const std::string& path);
 /// bounded by one record chunk plus the store's size-tiered compaction
 /// buffer.  The interval multiset — and therefore every model fold — is
 /// bit-identical to read_binary_trace.
+///
+/// Chunk files (STGC) take a zero-copy path instead: the file is mmapped
+/// once and the store's chunks read the validated records in place
+/// (resident_chunk_bytes() == 0 — no rehydration), exactly as
+/// open_chunk_file_store does.  `chunk_records` only applies to STGT.
 [[nodiscard]] std::shared_ptr<TraceStore> read_binary_trace_store(
     const std::string& path, std::size_t chunk_records = 1 << 16);
+
+// --- Chunk files (STGC) and spill records --------------------------------
+
+/// Writes the store's sealed chunks to a columnar chunk file at `path`
+/// (per-resource chunk lists in order; tails are sealed first).  Returns
+/// the number of bytes written.  The result reopens zero-copy via
+/// open_chunk_file_store / read_binary_trace_store.
+std::uint64_t write_chunk_file(TraceStore& store, const std::string& path);
+
+/// Opens a chunk file zero-copy: maps the whole file, validates every
+/// record (bounds, checksum, sort order, fences — throws TraceFormatError
+/// naming the file offset on truncation or corruption) and builds a store
+/// whose chunks read the mapped columns in place.  The store starts fully
+/// spilled: resident_chunk_bytes() == 0; pin_all() rehydrates on demand.
+[[nodiscard]] std::shared_ptr<TraceStore> open_chunk_file_store(
+    const std::string& path);
+
+/// True when the file at `path` starts with the chunk-file magic.
+/// Throws IoError when the file cannot be opened.
+[[nodiscard]] bool is_chunk_file(const std::string& path);
+
+/// Appends one chunk to the append-only spill file at `path` (created
+/// with the spill magic on first use; a pre-existing file must carry that
+/// magic and an 8-aligned size, or the append is refused), then maps the
+/// freshly written record back and returns the file-backed chunk — the
+/// backend swap behind TraceStore::spill_cold.  The mapped record is
+/// re-validated (against `state_count` registry entries), so a torn
+/// write fails loudly here, not at stream time.
+[[nodiscard]] TraceChunkPtr spill_chunk_to_file(const std::string& path,
+                                                ResourceId resource,
+                                                const TraceChunk& chunk,
+                                                std::uint64_t state_count);
 
 /// Decodes only the header and tables.
 [[nodiscard]] TraceFileInfo read_binary_trace_info(const std::string& path);

@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
+#include "trace/binary_io.hpp"
 
 namespace stagg {
 
@@ -23,23 +24,50 @@ void merge_chunks(std::span<const TraceChunkPtr> chunks,
                    [&out](const StateInterval& s) { out.push_back(s); });
 }
 
+/// Resident copy of a (typically spilled) chunk: columns duplicated into
+/// heap vectors, fences carried over.
+TraceChunkPtr make_resident(const TraceChunk& chunk) {
+  auto payload = std::make_shared<const ResidentChunkPayload>(
+      std::vector<TimeNs>(chunk.begins().begin(), chunk.begins().end()),
+      std::vector<TimeNs>(chunk.ends().begin(), chunk.ends().end()),
+      std::vector<StateId>(chunk.states().begin(), chunk.states().end()));
+  return std::make_shared<const TraceChunk>(std::move(payload),
+                                            chunk.min_end(), chunk.max_end());
+}
+
 }  // namespace
 
 TraceChunk::TraceChunk(std::vector<TimeNs> begins, std::vector<TimeNs> ends,
-                       std::vector<StateId> states)
-    : begins_(std::move(begins)),
-      ends_(std::move(ends)),
-      states_(std::move(states)) {
-  if (begins_.empty() || begins_.size() != ends_.size() ||
-      begins_.size() != states_.size()) {
+                       std::vector<StateId> states) {
+  if (begins.empty() || begins.size() != ends.size() ||
+      begins.size() != states.size()) {
     throw InvalidArgument("TraceChunk: empty or mismatched columns");
   }
   min_end_ = std::numeric_limits<TimeNs>::max();
   max_end_ = std::numeric_limits<TimeNs>::min();
-  for (const TimeNs e : ends_) {
+  for (const TimeNs e : ends) {
     min_end_ = std::min(min_end_, e);
     max_end_ = std::max(max_end_, e);
   }
+  auto payload = std::make_shared<const ResidentChunkPayload>(
+      std::move(begins), std::move(ends), std::move(states));
+  begins_ = payload->begins();
+  ends_ = payload->ends();
+  states_ = payload->states();
+  payload_ = std::move(payload);
+}
+
+TraceChunk::TraceChunk(std::shared_ptr<const ChunkPayload> payload,
+                       TimeNs min_end, TimeNs max_end)
+    : payload_(std::move(payload)), min_end_(min_end), max_end_(max_end) {
+  if (!payload_ || payload_->begins().empty() ||
+      payload_->begins().size() != payload_->ends().size() ||
+      payload_->begins().size() != payload_->states().size()) {
+    throw InvalidArgument("TraceChunk: empty or mismatched payload columns");
+  }
+  begins_ = payload_->begins();
+  ends_ = payload_->ends();
+  states_ = payload_->states();
 }
 
 std::shared_ptr<const TraceChunk> TraceChunk::from_sorted(
@@ -146,7 +174,13 @@ void TraceStore::compact_lane(Lane& lane) {
   for (std::size_t i = 0; i < lane.chunks.size(); ++i) {
     if (picked[i] != 0) {
       if (first_picked == lane.chunks.size()) first_picked = i;
-      merge_set.push_back(lane.chunks[i]);
+      // Pin before merging across a spilled chunk: the merge must read
+      // resident columns only, so a file-backed member is first copied
+      // back to heap (its mapped record in the spill file becomes
+      // garbage; the merged output is a fresh resident chunk either way).
+      merge_set.push_back(lane.chunks[i]->resident()
+                              ? lane.chunks[i]
+                              : make_resident(*lane.chunks[i]));
     }
   }
   std::size_t total = 0;
@@ -286,6 +320,110 @@ std::size_t TraceStore::store_bytes() const noexcept {
   for (const Lane& lane : lanes_) {
     for (const TraceChunkPtr& c : lane.chunks) bytes += c->bytes();
     bytes += lane.tail.capacity() * sizeof(StateInterval);
+  }
+  return bytes;
+}
+
+void TraceStore::adopt_chunk(ResourceId r, TraceChunkPtr chunk) {
+  if (r < 0 || static_cast<std::size_t>(r) >= lanes_.size()) {
+    throw InvalidArgument("adopt_chunk: unknown resource id " +
+                          std::to_string(r));
+  }
+  if (!chunk || chunk->size() == 0) {
+    throw InvalidArgument("adopt_chunk: null or empty chunk");
+  }
+  lanes_[static_cast<std::size_t>(r)].chunks.push_back(std::move(chunk));
+  sealed_ = false;
+  ++generation_;
+}
+
+void TraceStore::enable_spill(std::string path) {
+  if (path.empty()) {
+    throw InvalidArgument("enable_spill: empty spill file path");
+  }
+  spill_path_ = std::move(path);
+}
+
+std::size_t TraceStore::spill_cold(std::size_t budget_bytes) {
+  if (spill_path_.empty()) {
+    throw InvalidArgument(
+        "spill_cold: no spill file configured (call enable_spill first)");
+  }
+  struct Candidate {
+    std::size_t lane;
+    std::size_t index;
+    TimeNs max_end;
+  };
+  std::vector<Candidate> candidates;
+  std::size_t resident = 0;
+  for (std::size_t lane = 0; lane < lanes_.size(); ++lane) {
+    const auto& chunks = lanes_[lane].chunks;
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
+      if (!chunks[i]->resident()) continue;
+      resident += chunks[i]->bytes();
+      candidates.push_back({lane, i, chunks[i]->max_end()});
+    }
+  }
+  if (resident <= budget_bytes) return 0;
+  // Coldest first: the fence max-end is the last instant a window can
+  // still need the chunk, so ascending order is an LRU over trace time.
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.max_end < b.max_end;
+                   });
+  std::size_t spilled = 0;
+  for (const Candidate& cand : candidates) {
+    if (resident <= budget_bytes) break;
+    TraceChunkPtr& slot = lanes_[cand.lane].chunks[cand.index];
+    TraceChunkPtr mapped =
+        spill_chunk_to_file(spill_path_, static_cast<ResourceId>(cand.lane),
+                            *slot, states_.size());
+    resident -= slot->bytes();
+    slot = std::move(mapped);
+    ++spilled;
+  }
+  if (spilled != 0) ++generation_;
+  return spilled;
+}
+
+std::size_t TraceStore::pin(ResourceId r) {
+  if (r < 0 || static_cast<std::size_t>(r) >= lanes_.size()) {
+    throw InvalidArgument("pin: unknown resource id " + std::to_string(r));
+  }
+  std::size_t pinned = 0;
+  for (TraceChunkPtr& chunk : lanes_[static_cast<std::size_t>(r)].chunks) {
+    if (chunk->resident()) continue;
+    chunk = make_resident(*chunk);
+    ++pinned;
+  }
+  if (pinned != 0) ++generation_;
+  return pinned;
+}
+
+std::size_t TraceStore::pin_all() {
+  std::size_t pinned = 0;
+  for (std::size_t r = 0; r < lanes_.size(); ++r) {
+    pinned += pin(static_cast<ResourceId>(r));
+  }
+  return pinned;
+}
+
+std::size_t TraceStore::resident_chunk_bytes() const noexcept {
+  std::size_t bytes = 0;
+  for (const Lane& lane : lanes_) {
+    for (const TraceChunkPtr& c : lane.chunks) {
+      if (c->resident()) bytes += c->bytes();
+    }
+  }
+  return bytes;
+}
+
+std::size_t TraceStore::spilled_chunk_bytes() const noexcept {
+  std::size_t bytes = 0;
+  for (const Lane& lane : lanes_) {
+    for (const TraceChunkPtr& c : lane.chunks) {
+      if (!c->resident()) bytes += c->bytes();
+    }
   }
   return bytes;
 }

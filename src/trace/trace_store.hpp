@@ -1,5 +1,6 @@
 // Immutable chunked trace storage — the shared substrate of multi-session
-// analysis servers (dariadb-style chunk files, in memory).
+// analysis servers (dariadb-style chunk files: sealed columnar pages that
+// can live in memory or on disk).
 //
 // A TraceStore holds, per resource, a list of *sealed* chunks — immutable,
 // columnar (SoA) runs of state intervals sorted by (begin, end, state),
@@ -11,6 +12,19 @@
 // hierarchy scopes, concurrent sessions) share them zero-copy, and
 // compaction or eviction in the store simply unlinks chunks that outstanding
 // views keep alive.
+//
+// Storage backends: a sealed chunk's payload is polymorphic (ChunkPayload).
+// The resident backend owns its columns as heap vectors; the file-backed
+// backend exposes the columns of an mmapped chunk-file record in place
+// (common/mapped_file.hpp), so a spilled chunk costs reclaimable page-cache
+// pages instead of anonymous heap.  spill_cold() rewrites the coldest
+// resident chunks (ascending fence max-end — an LRU over trace time) to the
+// store's spill file and swaps in mapped payloads until the resident chunk
+// bytes fit a budget; pin() swaps a resource's spilled chunks back to
+// resident copies.  Both swap *chunk pointers*, never chunk contents, so an
+// outstanding TraceView — which pinned its chunks by reference at selection
+// — keeps streaming its snapshot bit-identically through a mid-stream spill,
+// pin, eviction or compaction.
 //
 // Ordering contract: chunks are sorted by the *total* key (begin, end,
 // state).  Intervals with identical keys are indistinguishable to every
@@ -47,16 +61,116 @@ namespace stagg {
   return a.state < b.state;
 }
 
+class MappedRegion;
+
+/// Backend of one sealed chunk's columns.  Implementations expose three
+/// parallel columns sorted by (begin, end, state); they are immutable and
+/// never change what the spans point at for the payload's lifetime.
+class ChunkPayload {
+ public:
+  virtual ~ChunkPayload() = default;
+  ChunkPayload(const ChunkPayload&) = delete;
+  ChunkPayload& operator=(const ChunkPayload&) = delete;
+
+  [[nodiscard]] virtual std::span<const TimeNs> begins() const noexcept = 0;
+  [[nodiscard]] virtual std::span<const TimeNs> ends() const noexcept = 0;
+  [[nodiscard]] virtual std::span<const StateId> states() const noexcept = 0;
+
+  /// True when the columns are anonymous heap memory owned by this payload
+  /// (they count against a resident-byte budget); false for file-backed
+  /// columns, whose pages the OS loads and reclaims on demand.
+  [[nodiscard]] virtual bool resident() const noexcept = 0;
+
+  /// Logical payload bytes of the three columns (backend-independent).
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    return begins().size() * (sizeof(TimeNs) * 2 + sizeof(StateId));
+  }
+
+ protected:
+  ChunkPayload() = default;
+};
+
+/// Heap-vector backend (the seal/compaction/pin path).
+class ResidentChunkPayload final : public ChunkPayload {
+ public:
+  ResidentChunkPayload(std::vector<TimeNs> begins, std::vector<TimeNs> ends,
+                       std::vector<StateId> states) noexcept
+      : begins_(std::move(begins)),
+        ends_(std::move(ends)),
+        states_(std::move(states)) {}
+
+  [[nodiscard]] std::span<const TimeNs> begins() const noexcept override {
+    return begins_;
+  }
+  [[nodiscard]] std::span<const TimeNs> ends() const noexcept override {
+    return ends_;
+  }
+  [[nodiscard]] std::span<const StateId> states() const noexcept override {
+    return states_;
+  }
+  [[nodiscard]] bool resident() const noexcept override { return true; }
+
+ private:
+  std::vector<TimeNs> begins_;
+  std::vector<TimeNs> ends_;
+  std::vector<StateId> states_;
+};
+
+/// File-backed backend: columns point into a chunk-file record mapped by a
+/// shared MappedRegion (binary_io.hpp owns the on-disk format and builds
+/// these after validating section bounds, checksum and sort order).  The
+/// payload keeps its region alive, so a chunk stays readable after the
+/// store unlinks it — or even after the spill file is unlinked.
+class MappedChunkPayload final : public ChunkPayload {
+ public:
+  MappedChunkPayload(std::shared_ptr<const MappedRegion> region,
+                     std::span<const TimeNs> begins,
+                     std::span<const TimeNs> ends,
+                     std::span<const StateId> states) noexcept
+      : region_(std::move(region)),
+        begins_(begins),
+        ends_(ends),
+        states_(states) {}
+
+  [[nodiscard]] std::span<const TimeNs> begins() const noexcept override {
+    return begins_;
+  }
+  [[nodiscard]] std::span<const TimeNs> ends() const noexcept override {
+    return ends_;
+  }
+  [[nodiscard]] std::span<const StateId> states() const noexcept override {
+    return states_;
+  }
+  [[nodiscard]] bool resident() const noexcept override { return false; }
+
+ private:
+  std::shared_ptr<const MappedRegion> region_;
+  std::span<const TimeNs> begins_;
+  std::span<const TimeNs> ends_;
+  std::span<const StateId> states_;
+};
+
 /// One sealed run of a resource's intervals: columnar, sorted by
 /// (begin, end, state), immutable after construction.  The time fences
 /// (min begin, min/max end) let window selection and eviction decide
-/// chunk fate without touching the columns.
+/// chunk fate without touching the columns.  The columns live in a
+/// backend-polymorphic ChunkPayload; the chunk caches their spans, so the
+/// hot accessors cost the same for resident and mapped backends.
 class TraceChunk {
  public:
-  /// Freezes parallel columns already sorted by (begin, end, state).
-  /// Throws InvalidArgument on empty or mismatched columns.
+  /// Freezes parallel columns already sorted by (begin, end, state) into a
+  /// resident payload.  Throws InvalidArgument on empty or mismatched
+  /// columns.
   TraceChunk(std::vector<TimeNs> begins, std::vector<TimeNs> ends,
              std::vector<StateId> states);
+
+  /// Wraps an externally validated payload (the mmap open/spill path).
+  /// The caller vouches that the columns are non-empty, sorted by the
+  /// total key and that `min_end`/`max_end` are their true end fences —
+  /// binary_io's record validation recomputes all three while
+  /// checksumming.
+  TraceChunk(std::shared_ptr<const ChunkPayload> payload, TimeNs min_end,
+             TimeNs max_end);
 
   /// Freezes a sorted row-major run (the seal path).
   [[nodiscard]] static std::shared_ptr<const TraceChunk> from_sorted(
@@ -80,15 +194,25 @@ class TraceChunk {
   [[nodiscard]] TimeNs min_end() const noexcept { return min_end_; }
   [[nodiscard]] TimeNs max_end() const noexcept { return max_end_; }
 
-  /// Payload bytes of the three columns.
+  /// Payload bytes of the three columns (logical size, backend-independent).
   [[nodiscard]] std::size_t bytes() const noexcept {
     return begins_.size() * (sizeof(TimeNs) * 2 + sizeof(StateId));
   }
 
+  /// Whether the columns count against a resident-memory budget (see
+  /// ChunkPayload::resident).
+  [[nodiscard]] bool resident() const noexcept { return payload_->resident(); }
+  [[nodiscard]] const std::shared_ptr<const ChunkPayload>& payload()
+      const noexcept {
+    return payload_;
+  }
+
  private:
-  std::vector<TimeNs> begins_;
-  std::vector<TimeNs> ends_;
-  std::vector<StateId> states_;
+  std::shared_ptr<const ChunkPayload> payload_;
+  /// Cached payload spans (stable: payloads are immutable).
+  std::span<const TimeNs> begins_;
+  std::span<const TimeNs> ends_;
+  std::span<const StateId> states_;
   TimeNs min_end_ = 0;
   TimeNs max_end_ = 0;
 };
@@ -235,6 +359,11 @@ class TraceStore {
   [[nodiscard]] std::span<const TraceChunkPtr> chunks(ResourceId r) const {
     return lanes_[static_cast<std::size_t>(r)].chunks;
   }
+  /// Adopts an externally built sealed chunk (the zero-copy chunk-file
+  /// open path): appended to resource r's chunk list as-is.  The chunk
+  /// must be sorted by the total key — binary_io validates this when it
+  /// maps a record.  Unseals the store (call seal_chunk() when done).
+  void adopt_chunk(ResourceId r, TraceChunkPtr chunk);
   /// Mutable tail of one resource, in append order.
   [[nodiscard]] std::span<const StateInterval> tail(ResourceId r) const {
     return lanes_[static_cast<std::size_t>(r)].tail;
@@ -252,9 +381,48 @@ class TraceStore {
   }
 
   /// Payload bytes held by the store: sealed chunk columns plus tail
-  /// capacity.  The number a multi-session server shares — and counts
-  /// once — across all sessions reading this store.
+  /// capacity, regardless of backend.  The number a multi-session server
+  /// shares — and counts once — across all sessions reading this store.
   [[nodiscard]] std::size_t store_bytes() const noexcept;
+
+  // --- On-disk spill (backend swap; contents never change) ---------------
+
+  /// Configures the append-only spill file cold chunks are written to.
+  /// Required before spill_cold().  The file is created lazily on the
+  /// first spill; it only ever grows (spilled records stay mapped even
+  /// after eviction unlinks their chunks).  Store copies inherit the path
+  /// — give long-lived copies their own spill file before spilling from
+  /// them, appends are only serialized within one store.
+  void enable_spill(std::string path);
+  [[nodiscard]] bool spill_enabled() const noexcept {
+    return !spill_path_.empty();
+  }
+  [[nodiscard]] const std::string& spill_path() const noexcept {
+    return spill_path_;
+  }
+
+  /// Spills the coldest resident sealed chunks — ascending fence max-end,
+  /// an LRU over trace time, so data below or just above the oldest live
+  /// window goes first — until resident_chunk_bytes() <= budget_bytes or
+  /// no resident chunk is left.  Each spilled chunk is appended to the
+  /// spill file and its lane slot swapped to a file-backed (mmap) payload;
+  /// outstanding views keep streaming the old resident chunk they pinned.
+  /// Returns the number of chunks spilled.  Throws InvalidArgument when
+  /// spill is not enabled.
+  std::size_t spill_cold(std::size_t budget_bytes);
+
+  /// Swaps every spilled chunk of resource r back to a resident copy
+  /// (e.g. before hot re-reads, or by compaction before it merges across
+  /// one).  Returns the number of chunks pinned.
+  std::size_t pin(ResourceId r);
+  /// pin() over every resource.
+  std::size_t pin_all();
+
+  /// Resident split of the sealed chunk bytes (tails are always resident
+  /// and counted by neither: they are mutable and unspillable).  The
+  /// budget spill_cold() enforces is over resident_chunk_bytes().
+  [[nodiscard]] std::size_t resident_chunk_bytes() const noexcept;
+  [[nodiscard]] std::size_t spilled_chunk_bytes() const noexcept;
 
   /// seal_chunk() size-tier-compacts a resource once its chunk list grows
   /// past this bound (merging the smallest chunks down to half of it), so
@@ -270,6 +438,9 @@ class TraceStore {
 
   void compact_lane(Lane& lane);
   void derive_window();
+
+  /// Append-only spill file; empty = spill disabled.
+  std::string spill_path_;
 
   /// Copy-on-write: cloned before mutation whenever pinned by a view (or
   /// shared with a store copy), so outstanding snapshots stay stable.

@@ -119,4 +119,12 @@ std::uint64_t TraceView::selected_count() const noexcept {
   return n;
 }
 
+std::size_t TraceView::spilled_run_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& runs : runs_) {
+    for (const Run& run : runs) n += run.chunk->resident() ? 0 : 1;
+  }
+  return n;
+}
+
 }  // namespace stagg

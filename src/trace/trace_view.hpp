@@ -16,6 +16,13 @@
 // Entries whose begin lies at or past t1 are pruned per run (begins are
 // sorted); entries ending at or before t0 are delivered and clip to
 // nothing in the fold — pruning is an optimization, never a semantic.
+//
+// Storage backends: selection *pins* every chunk it keeps — the shared_ptr
+// holds the chunk's payload, and a file-backed (spilled) payload holds its
+// mmap region — so a view streams resident and spilled chunks through the
+// same cursors, bit-identically, and survives the store spilling, pinning,
+// evicting or compacting any of them mid-stream.  spilled_run_count()
+// reports how many selected runs read file-backed columns.
 #pragma once
 
 #include <cstddef>
@@ -87,6 +94,10 @@ class TraceView {
   /// Number of intervals the cursors will deliver (upper bound on the
   /// window's population: per-run begin-pruned, not end-filtered).
   [[nodiscard]] std::uint64_t selected_count() const noexcept;
+
+  /// Number of selected runs whose chunk is file-backed (spilled) rather
+  /// than resident — instrumentation for tests and memory accounting.
+  [[nodiscard]] std::size_t spilled_run_count() const noexcept;
 
   /// Streams view resource `r`'s selected intervals to `f(StateInterval)`
   /// in (begin, end, state) order.

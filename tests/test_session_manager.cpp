@@ -13,6 +13,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <utility>
@@ -317,6 +318,103 @@ TEST(SessionManager, LateSessionBehindEvictionHorizonIsRejected) {
       manager.session(id).results(),
       manager.session(id).run_from_scratch(DpKernel::kReference),
       "late session at the horizon");
+}
+
+TEST(SessionManager, MemoryBudgetSpillsColdChunksBitIdentically) {
+  // A budgeted manager must hold resident chunk bytes at or under the
+  // budget after every advance while producing, round for round, the same
+  // bits as an unbudgeted manager over the same stream.
+  const Hierarchy h = make_balanced_hierarchy(2, 4);
+  Trace whole = make_synthetic_trace(h, 40.0, 0x5B11);
+  whole.seal();
+  const TimeNs horizon = seconds(22.0);
+  const std::string spill = "test_session_manager_budget.spill";
+  std::remove(spill.c_str());
+
+  const auto make_manager = [&](std::size_t budget_divisor) {
+    TraceSplit split = split_trace_at(whole, horizon);
+    split.initial.seal();
+    auto manager =
+        std::make_unique<SessionManager>(h, split.initial.store());
+    if (budget_divisor != 0) {
+      manager->set_memory_budget(
+          manager->store().store_bytes() / budget_divisor, spill);
+    }
+    const std::array<std::int32_t, 3> slice_counts = {16, 20, 32};
+    for (int i = 0; i < 3; ++i) {
+      SessionSpec spec;
+      spec.window = TimeGrid(seconds(2.0 * i), seconds(2.0 * i + 16.0),
+                             slice_counts[static_cast<std::size_t>(i)]);
+      spec.ps = {0.3, 0.7};
+      manager->add_session(spec);
+    }
+    return manager;
+  };
+
+  auto resident = make_manager(0);
+  auto budgeted = make_manager(4);  // a quarter of the initial chunk bytes
+  const std::size_t budget = budgeted->memory_budget();
+  ASSERT_GT(budget, 0u);
+  EXPECT_LE(budgeted->resident_chunk_bytes(), budget);
+  EXPECT_GT(budgeted->store().spilled_chunk_bytes(), 0u);
+
+  TraceSplit stream = split_trace_at(whole, horizon);
+  std::size_t next_a = 0;
+  std::size_t next_b = 0;
+  for (int round = 0; round < 5; ++round) {
+    const TimeNs frontier = horizon + seconds(3.0 * (round + 1));
+    for (; next_a < stream.future.size() &&
+           stream.future[next_a].second.begin < frontier;
+         ++next_a) {
+      const auto& [r, s] = stream.future[next_a];
+      resident->append(r, s.state, s.begin, s.end);
+    }
+    for (; next_b < stream.future.size() &&
+           stream.future[next_b].second.begin < frontier;
+         ++next_b) {
+      const auto& [r, s] = stream.future[next_b];
+      budgeted->append(r, s.state, s.begin, s.end);
+    }
+    resident->slide_all(1);
+    budgeted->slide_all(1);
+    EXPECT_LE(budgeted->resident_chunk_bytes(), budget)
+        << "round " << round;
+    for (std::size_t i = 0; i < budgeted->session_count(); ++i) {
+      expect_results_equal(budgeted->session(i).results(),
+                           resident->session(i).results(),
+                           "round " + std::to_string(round) + " session " +
+                               std::to_string(i));
+    }
+  }
+  // And against the from-scratch reference oracle at the end.
+  for (std::size_t i = 0; i < budgeted->session_count(); ++i) {
+    expect_results_equal(
+        budgeted->session(i).results(),
+        budgeted->session(i).run_from_scratch(DpKernel::kReference),
+        "final budgeted session " + std::to_string(i));
+  }
+  budgeted.reset();
+  resident.reset();
+  std::remove(spill.c_str());
+}
+
+TEST(SessionManager, MemoryBudgetRequiresSpillFile) {
+  const Hierarchy h = make_balanced_hierarchy(1, 3);
+  Trace whole = make_synthetic_trace(h, 10.0, 0x5B12);
+  whole.seal();
+  SessionManager manager(h, whole.store());
+  EXPECT_THROW(manager.set_memory_budget(1024), InvalidArgument);
+  // Per-session budgets are an exclusive-store knob: a shared attach with
+  // one set must be rejected (the manager owns the shared memory policy).
+  auto session_store = std::make_shared<TraceStore>(*whole.store());
+  session_store->seal_chunk();
+  SlidingWindowOptions opt;
+  opt.memory_budget_bytes = 1024;
+  opt.spill_path = "test_session_manager_unused.spill";
+  EXPECT_THROW(SlidingWindowSession(h, session_store,
+                                    TimeGrid(0, seconds(8.0), 8), {0.5}, opt,
+                                    StoreOwnership::kShared),
+               InvalidArgument);
 }
 
 TEST(SessionManager, SharedSessionsRejectDirectIngest) {

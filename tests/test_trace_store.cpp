@@ -18,12 +18,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "core/aggregator.hpp"
 #include "hierarchy/hierarchy.hpp"
 #include "model/builder.hpp"
 #include "trace/binary_io.hpp"
@@ -448,6 +451,375 @@ TEST(TraceStoreIo, WindowOverrideSurvivesStoreIngest) {
                       build_model(TraceView(store), h, opt),
                       "override window");
   std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Backend polymorphism: spilled (file-backed) chunks are bit-identical to
+// resident ones through every reader, mutation and layout change.
+// ---------------------------------------------------------------------------
+
+std::string spill_path(const std::string& name) {
+  return "test_trace_store_" + name + ".spill";
+}
+
+/// Collects the streamed interval sequence of every view resource.
+std::vector<std::vector<StateInterval>> stream_all(const TraceView& view) {
+  std::vector<std::vector<StateInterval>> rows(view.resource_count());
+  for (std::size_t r = 0; r < view.resource_count(); ++r) {
+    view.for_each(r, [&rows, r](const StateInterval& s) {
+      rows[r].push_back(s);
+    });
+  }
+  return rows;
+}
+
+void expect_aggregations_equal(const MicroscopicModel& a,
+                               const MicroscopicModel& b, std::size_t lanes,
+                               const std::string& context) {
+  AggregationOptions opt;
+  opt.max_lanes = lanes;
+  const std::vector<double> ps = {0.0, 0.25, 0.5, 0.75, 1.0};
+  SpatiotemporalAggregator agg_a(a, opt);
+  SpatiotemporalAggregator agg_b(b, opt);
+  const auto ra = agg_a.run_many(ps);
+  const auto rb = agg_b.run_many(ps);
+  ASSERT_EQ(ra.size(), rb.size()) << context;
+  for (std::size_t k = 0; k < ra.size(); ++k) {
+    EXPECT_EQ(ra[k].optimal_pic, rb[k].optimal_pic)
+        << context << " W=" << lanes << " p=" << ps[k];
+    EXPECT_EQ(ra[k].partition.signature(), rb[k].partition.signature())
+        << context << " W=" << lanes << " p=" << ps[k];
+  }
+}
+
+/// Multi-chunk store of the given trace's events (several sealed runs per
+/// lane so spill decisions have real choices).
+Trace make_chunked_copy(const Trace& trace) {
+  Trace chunked;
+  for (const auto& name : trace.states().names()) {
+    (void)chunked.states().intern(name);
+  }
+  for (ResourceId r = 0; r < static_cast<ResourceId>(trace.resource_count());
+       ++r) {
+    chunked.add_resource(trace.resource_path(r));
+    int n = 0;
+    for (const auto& s : trace.intervals(r)) {
+      chunked.add_state(r, s.state, s.begin, s.end);
+      if (++n % 25 == 0) chunked.seal();
+    }
+  }
+  chunked.set_window(trace.begin(), trace.end());
+  chunked.seal();
+  return chunked;
+}
+
+TEST(TraceStoreSpill, SpillPinStreamBitIdenticalToResident) {
+  const Hierarchy h = make_balanced_hierarchy(2, 3);
+  Trace resident = make_random_trace(h, 0x51, seconds(25.0), 140);
+  resident.seal();
+  Trace chunked = make_chunked_copy(resident);
+  const std::string spill = spill_path("property");
+  std::remove(spill.c_str());
+  chunked.store()->enable_spill(spill);
+
+  ModelBuildOptions opt;
+  opt.slice_count = 24;
+  const MicroscopicModel want = build_model(resident, h, opt);
+
+  // Budget 0: everything sealed leaves anonymous memory.
+  const std::size_t total = chunked.store()->store_bytes();
+  (void)chunked.store()->spill_cold(0);
+  EXPECT_EQ(chunked.store()->resident_chunk_bytes(), 0u);
+  EXPECT_GE(chunked.store()->spilled_chunk_bytes(), total / 2);
+  EXPECT_EQ(chunked.state_count(), resident.state_count());
+
+  const TraceView view(chunked.store());
+  EXPECT_GT(view.spilled_run_count(), 0u);
+  const MicroscopicModel spilled = build_model(view, h, opt);
+  expect_models_equal(want, spilled, "fully spilled store");
+  // The PR 4 layout-independence oracle, now across storage backends:
+  // identical folds must aggregate identically at every lane width.
+  expect_aggregations_equal(want, spilled, /*lanes=*/1, "spilled");
+  expect_aggregations_equal(want, spilled, /*lanes=*/4, "spilled");
+
+  // Pin everything back and fold again: backend swaps never touch data.
+  const std::size_t pinned = chunked.store()->pin_all();
+  EXPECT_GT(pinned, 0u);
+  EXPECT_EQ(chunked.store()->spilled_chunk_bytes(), 0u);
+  const MicroscopicModel repinned =
+      build_model(TraceView(chunked.store()), h, opt);
+  expect_models_equal(want, repinned, "spill -> pin round trip");
+  expect_aggregations_equal(want, repinned, /*lanes=*/4, "repinned");
+
+  std::remove(spill.c_str());
+}
+
+TEST(TraceStoreSpill, PartialBudgetRespectsColdFirstOrderAndBudget) {
+  Trace t;
+  const ResourceId r = t.add_resource("r");
+  const StateId x = t.states().intern("s");
+  for (int round = 0; round < 6; ++round) {
+    for (int k = 0; k < 8; ++k) {
+      const TimeNs b = 100 * round + k;
+      t.add_state(r, x, b, b + 5);
+    }
+    t.seal();
+  }
+  const std::string spill = spill_path("budget");
+  std::remove(spill.c_str());
+  t.store()->enable_spill(spill);
+  const std::size_t total = t.store()->resident_chunk_bytes();
+  ASSERT_EQ(t.store()->chunks(r).size(), 6u);
+
+  const std::size_t spilled_chunks = t.store()->spill_cold(total / 2);
+  EXPECT_LE(t.store()->resident_chunk_bytes(), total / 2);
+  EXPECT_EQ(spilled_chunks, 3u);
+  // Coldest (smallest fence max-end) chunks went first: the oldest rounds
+  // are file-backed, the newest stay resident.
+  const auto chunks = t.store()->chunks(r);
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    EXPECT_EQ(chunks[i]->resident(), i >= 3) << "chunk " << i;
+  }
+  // Idempotent under the same budget.
+  EXPECT_EQ(t.store()->spill_cold(total / 2), 0u);
+  std::remove(spill.c_str());
+}
+
+TEST(TraceStoreSpill, MidStreamSpillUnderOpenViewIsInvisible) {
+  const Hierarchy h = make_balanced_hierarchy(1, 3);
+  Trace trace = make_random_trace(h, 0x52, seconds(10.0), 60);
+  trace.seal();
+  Trace chunked = make_chunked_copy(trace);
+  const std::string spill = spill_path("midstream");
+  std::remove(spill.c_str());
+  chunked.store()->enable_spill(spill);
+
+  const TraceView before(chunked.store());
+  const auto want = stream_all(before);
+
+  // Spill the whole store while `before` is mid-stream: the view pinned
+  // its chunks by reference and must not notice.
+  bool spilled_mid_stream = false;
+  std::vector<std::vector<StateInterval>> got(before.resource_count());
+  for (std::size_t r = 0; r < before.resource_count(); ++r) {
+    before.for_each(r, [&](const StateInterval& s) {
+      if (!spilled_mid_stream) {
+        (void)chunked.store()->spill_cold(0);
+        spilled_mid_stream = true;
+      }
+      got[r].push_back(s);
+    });
+  }
+  ASSERT_TRUE(spilled_mid_stream);
+  EXPECT_EQ(got, want);
+
+  // A fresh view over the now-spilled store streams the same sequence —
+  // even after the spill file is unlinked (mapped pages stay alive) and
+  // after the store pins chunks back mid-lifetime.
+  const TraceView after(chunked.store());
+  EXPECT_GT(after.spilled_run_count(), 0u);
+  std::remove(spill.c_str());
+  EXPECT_EQ(stream_all(after), want);
+  (void)chunked.store()->pin_all();
+  EXPECT_EQ(stream_all(after), want);
+}
+
+TEST(TraceStoreSpill, SpillThenEvictBeforePreservesSuffixWindows) {
+  const Hierarchy h = make_balanced_hierarchy(2, 3);
+  Trace trace = make_random_trace(h, 0x53, seconds(20.0), 100);
+  trace.seal();
+  Trace chunked = make_chunked_copy(trace);
+  const std::string spill = spill_path("evict");
+  std::remove(spill.c_str());
+  chunked.store()->enable_spill(spill);
+  (void)chunked.store()->spill_cold(0);
+
+  const TimeNs cutoff = seconds(9.0);
+  const auto before = chunked.state_count();
+  chunked.store()->evict_before(cutoff);
+  EXPECT_LT(chunked.state_count(), before)
+      << "fence eviction must unlink dead spilled chunks too";
+
+  ModelBuildOptions opt;
+  opt.slice_count = 22;
+  opt.window_begin = cutoff;
+  opt.window_end = seconds(20.0);
+  expect_models_equal(
+      build_model(trace, h, opt),
+      build_model(TraceView(chunked.store(), cutoff, seconds(20.0)), h, opt),
+      "post-evict suffix window over spilled store");
+  std::remove(spill.c_str());
+}
+
+TEST(TraceStoreSpill, CompactionPinsSpilledChunksAndPreservesRows) {
+  // Regression (satellite): size-tier compaction across a *mixed*
+  // resident/spilled lane must pin file-backed members before merging —
+  // and the merged rows must equal a never-spilled single-seal store.
+  Trace mixed;
+  Trace once;
+  const ResourceId rm = mixed.add_resource("r");
+  const ResourceId ro = once.add_resource("r");
+  (void)mixed.states().intern("s");
+  (void)once.states().intern("s");
+  const std::string spill = spill_path("compaction");
+  std::remove(spill.c_str());
+  mixed.store()->enable_spill(spill);
+
+  SplitMix64 mix(0x54);
+  const int rounds = 3 * static_cast<int>(TraceStore::kCompactionThreshold);
+  for (int round = 0; round < rounds; ++round) {
+    for (int k = 0; k < 4; ++k) {
+      const auto b = static_cast<TimeNs>(mix.next() % 10000);
+      mixed.add_state(rm, StateId{0}, b, b + 7);
+      once.add_state(ro, StateId{0}, b, b + 7);
+    }
+    mixed.seal();  // one chunk per round; compaction past the threshold
+    // Keep roughly half of every lane file-backed so each compaction
+    // merges across spilled chunks.
+    (void)mixed.store()->spill_cold(mixed.store()->resident_chunk_bytes() /
+                                    2);
+  }
+  once.seal();
+  EXPECT_LE(mixed.store()->chunks(rm).size(),
+            TraceStore::kCompactionThreshold + 1);
+  EXPECT_GT(mixed.store()->spilled_chunk_bytes(), 0u);
+  const auto a = mixed.intervals(rm);
+  const auto e = once.intervals(ro);
+  ASSERT_EQ(a.size(), e.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], e[i]) << i;
+  std::remove(spill.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Chunk files: zero-copy open, loud rejection of truncation/corruption.
+// ---------------------------------------------------------------------------
+
+TEST(TraceStoreIo, ChunkFileReopensZeroCopyAndFoldsBitIdentical) {
+  const Hierarchy h = make_balanced_hierarchy(2, 3);
+  Trace trace = make_random_trace(h, 0x61, seconds(25.0), 150);
+  trace.seal();
+  Trace chunked = make_chunked_copy(trace);
+  const std::string path = temp_path("chunkfile");
+  const std::uint64_t bytes = write_chunk_file(*chunked.store(), path);
+  EXPECT_GT(bytes, 0u);
+  ASSERT_TRUE(is_chunk_file(path));
+
+  // read_binary_trace_store sniffs the magic and takes the mmap path:
+  // nothing is rehydrated, the store starts fully file-backed.
+  const auto store = read_binary_trace_store(path);
+  EXPECT_EQ(store->state_count(), trace.state_count());
+  EXPECT_EQ(store->resident_chunk_bytes(), 0u);
+  EXPECT_GT(store->spilled_chunk_bytes(), 0u);
+  EXPECT_EQ(store->begin(), trace.begin());
+  EXPECT_EQ(store->end(), trace.end());
+
+  ModelBuildOptions opt;
+  opt.slice_count = 30;
+  const MicroscopicModel want = build_model(trace, h, opt);
+  const MicroscopicModel mapped = build_model(TraceView(store), h, opt);
+  expect_models_equal(want, mapped, "mmapped chunk file");
+  expect_aggregations_equal(want, mapped, /*lanes=*/1, "mmapped chunk file");
+  expect_aggregations_equal(want, mapped, /*lanes=*/4, "mmapped chunk file");
+
+  // The Trace facade reader sniffs too.
+  Trace reread = read_binary_trace(path);
+  EXPECT_EQ(reread.state_count(), trace.state_count());
+  expect_models_equal(want, build_model(reread, h, opt),
+                      "chunk file through the facade reader");
+  std::remove(path.c_str());
+}
+
+TEST(TraceStoreIo, ChunkFileRejectsTruncationAndCorruptionWithOffsets) {
+  // One resource, one state, one 3-interval chunk: a fixed layout whose
+  // offsets the corruption below can target deterministically.
+  Trace t;
+  const ResourceId r = t.add_resource("r");
+  const StateId x = t.states().intern("s");
+  t.add_state(r, x, 0, 10);
+  t.add_state(r, x, 5, 25);
+  t.add_state(r, x, 20, 30);
+  t.seal();
+  const std::string path = temp_path("corrupt");
+  write_chunk_file(*t.store(), path);
+
+  std::ifstream in(path, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_GT(bytes.size(), 60u);
+
+  const auto write_bytes_to = [&](const std::string& p,
+                                  const std::vector<char>& data) {
+    std::ofstream out(p, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  };
+  const auto expect_throws_with = [&](const std::string& p,
+                                      const std::string& needle) {
+    try {
+      (void)read_binary_trace_store(p);
+      FAIL() << "expected TraceFormatError mentioning '" << needle << "'";
+    } catch (const TraceFormatError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find(needle), std::string::npos) << what;
+      EXPECT_NE(what.find("offset"), std::string::npos) << what;
+    }
+  };
+
+  // Truncated payload: drop the trailing 12 bytes of the only chunk.
+  std::vector<char> truncated(bytes.begin(), bytes.end() - 12);
+  write_bytes_to(path, truncated);
+  expect_throws_with(path, "truncated chunk");
+
+  // Bit flip inside the state column (bytes.size()-4 is record padding for
+  // a 3-entry chunk; -5 is the last state byte): checksum must trip.
+  std::vector<char> corrupt = bytes;
+  corrupt[corrupt.size() - 5] ^= 0x40;
+  write_bytes_to(path, corrupt);
+  expect_throws_with(path, "checksum mismatch");
+
+  // And the pristine bytes must still open cleanly.
+  write_bytes_to(path, bytes);
+  EXPECT_NO_THROW((void)read_binary_trace_store(path));
+  std::remove(path.c_str());
+}
+
+TEST(TraceStoreIo, ChunkFileRewriteOverItsOwnMappingIsSafe) {
+  // Writing a chunk file over the very file the store's chunks are mapped
+  // from must not truncate the pages mid-read (write-to-temp + rename).
+  Trace t;
+  const ResourceId r = t.add_resource("r");
+  const StateId x = t.states().intern("s");
+  for (int k = 0; k < 32; ++k) t.add_state(r, x, k * 10, k * 10 + 5);
+  t.seal();
+  const std::string path = temp_path("self_rewrite");
+  write_chunk_file(*t.store(), path);
+
+  const auto mapped = read_binary_trace_store(path);
+  ASSERT_EQ(mapped->resident_chunk_bytes(), 0u);
+  const std::uint64_t rewritten = write_chunk_file(*mapped, path);
+  EXPECT_GT(rewritten, 0u);
+  // The mapped store still reads its (pre-rename) pages, and the new file
+  // reopens to the same content.
+  EXPECT_EQ(mapped->state_count(), 32u);
+  const auto reopened = read_binary_trace_store(path);
+  EXPECT_EQ(reopened->state_count(), 32u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceStoreSpill, SpillRefusesForeignOrMisalignedFiles) {
+  Trace t;
+  const ResourceId r = t.add_resource("r");
+  const StateId x = t.states().intern("s");
+  t.add_state(r, x, 0, 10);
+  t.seal();
+  const std::string foreign = spill_path("foreign");
+  {
+    std::ofstream out(foreign, std::ios::binary | std::ios::trunc);
+    out << "definitely not a spill file";
+  }
+  t.store()->enable_spill(foreign);
+  EXPECT_THROW((void)t.store()->spill_cold(0), IoError);
+  std::remove(foreign.c_str());
 }
 
 TEST(TraceStoreIo, EvictBeforeMidStreamPreservesSuffixWindows) {
