@@ -1,0 +1,255 @@
+// Bench: chunk-payload compression — encoded size, bytes/interval and
+// encode/decode throughput of ChunkCompression::kAuto across four
+// workloads:
+//
+//   * nas_lu    — the paper's §V-B LU trace (Nancy platform, three
+//                 clusters, rupture enabled): near-gapless per-core
+//                 timelines with a small cycling state alphabet, the
+//                 shape the gap + dictionary codecs are built for;
+//   * nas_cg    — the §V-A CG trace (Rennes parapide) with its scripted
+//                 perturbation;
+//   * synthetic — the balanced-platform generator that paces bench_spill;
+//   * churn     — a synthetic worst case: a large state alphabet with
+//                 high-jitter sub-millisecond states, so dictionary runs
+//                 collapse to length 1 and the time columns carry wide
+//                 deltas.
+//
+// For each workload the store is materialized once raw (the oracle), the
+// sealed chunks are re-encoded in place (set_compression — this is the
+// timed encode pass), and every resource is materialized again from the
+// encoded chunks (the timed decode pass) and compared row-for-row against
+// the oracle.  Bars: decoded rows bit-identical everywhere, and the
+// NAS-LU compression ratio >= 3x raw (20 B/interval).  --smoke emits
+// BENCH_compress.json for CI trend tracking; exit is non-zero on any
+// violated bar.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/stopwatch.hpp"
+#include "hierarchy/hierarchy.hpp"
+#include "hierarchy/platform.hpp"
+#include "trace/trace.hpp"
+#include "workload/nas_cg.hpp"
+#include "workload/nas_lu.hpp"
+#include "workload/synthetic.hpp"
+
+namespace stagg {
+namespace {
+
+/// Raw columnar footprint of one interval (two TimeNs + one StateId).
+constexpr double kRawBytesPerInterval =
+    static_cast<double>(sizeof(TimeNs) * 2 + sizeof(StateId));
+
+struct WorkloadReport {
+  std::string name;
+  std::size_t intervals = 0;
+  std::size_t raw_bytes = 0;
+  std::size_t encoded_bytes = 0;
+  double encode_seconds = 0.0;
+  double decode_seconds = 0.0;
+  bool identical = false;
+
+  [[nodiscard]] double bytes_per_interval() const noexcept {
+    return static_cast<double>(encoded_bytes) /
+           static_cast<double>(std::max<std::size_t>(1, intervals));
+  }
+  [[nodiscard]] double ratio() const noexcept {
+    return kRawBytesPerInterval / std::max(bytes_per_interval(), 1e-12);
+  }
+  [[nodiscard]] double encode_mps() const noexcept {
+    return static_cast<double>(intervals) / 1e6 /
+           std::max(encode_seconds, 1e-12);
+  }
+  [[nodiscard]] double decode_mps() const noexcept {
+    return static_cast<double>(intervals) / 1e6 /
+           std::max(decode_seconds, 1e-12);
+  }
+};
+
+WorkloadReport measure(std::string name, Trace trace) {
+  trace.seal();
+  const std::shared_ptr<TraceStore>& store = trace.store();
+  WorkloadReport rep;
+  rep.name = std::move(name);
+  rep.intervals = static_cast<std::size_t>(store->state_count());
+  rep.raw_bytes = store->store_bytes();
+
+  // Raw oracle rows, before any chunk is re-encoded.
+  std::vector<std::vector<StateInterval>> oracle(store->resource_count());
+  for (std::size_t r = 0; r < oracle.size(); ++r) {
+    store->materialize(static_cast<ResourceId>(r), oracle[r]);
+  }
+
+  Stopwatch encode;
+  store->set_compression(ChunkCompression::kAuto);
+  rep.encode_seconds = encode.seconds();
+  rep.encoded_bytes = store->store_bytes();
+
+  bool identical = true;
+  std::vector<StateInterval> rows;
+  Stopwatch decode;
+  for (std::size_t r = 0; r < oracle.size(); ++r) {
+    store->materialize(static_cast<ResourceId>(r), rows);
+    if (rows.size() != oracle[r].size()) {
+      identical = false;
+      continue;
+    }
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      identical = identical && rows[i].begin == oracle[r][i].begin &&
+                  rows[i].end == oracle[r][i].end &&
+                  rows[i].state == oracle[r][i].state;
+    }
+  }
+  rep.decode_seconds = decode.seconds();
+  rep.identical = identical;
+  return rep;
+}
+
+int run(int argc, const char* const* argv) {
+  Cli cli("bench_compress",
+          "chunk-payload compression ratio, bytes/interval and "
+          "encode/decode throughput on NAS LU/CG, synthetic and "
+          "high-churn workloads");
+  cli.option("cores", "", "NAS platform scale in cores (default 120, "
+                          "smoke 48)");
+  cli.option("event-div", "", "event-count divisor vs the paper's full "
+                              "scale (default 64, smoke 256)");
+  cli.option("json", "", "write a JSON summary to this path");
+  cli.flag("smoke", "reduced model + BENCH_compress.json (CI mode)");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const bool smoke = cli.get_flag("smoke");
+  const auto cores = static_cast<std::int32_t>(
+      cli.get("cores").empty() ? (smoke ? 48 : 120)
+                               : std::max<std::int64_t>(8,
+                                                        cli.get_int("cores")));
+  const double event_div =
+      cli.get("event-div").empty()
+          ? (smoke ? 256.0 : 64.0)
+          : static_cast<double>(std::max<std::int64_t>(
+                1, cli.get_int("event-div")));
+  std::string json_path = cli.get("json");
+  if (smoke && json_path.empty()) json_path = "BENCH_compress.json";
+
+  std::printf("=== Chunk compression across workloads ===\n\n");
+  std::printf("model: %d NAS cores, event divisor %.0f\n\n", cores,
+              event_div);
+
+  std::vector<WorkloadReport> reports;
+
+  {
+    const PlatformSpec platform = grid5000_nancy().scaled_to(cores);
+    const Hierarchy h = platform.build_hierarchy();
+    LuWorkloadOptions opt;
+    opt.event_scale = 1.0 / event_div;
+    reports.push_back(measure("nas_lu", generate_lu_trace(h, platform, opt)));
+  }
+  {
+    const Hierarchy h = grid5000_rennes_parapide().build_hierarchy();
+    CgWorkloadOptions opt;
+    opt.event_scale = 1.0 / event_div;
+    reports.push_back(measure("nas_cg", generate_cg_trace(h, opt)));
+  }
+  {
+    const Hierarchy h = make_balanced_hierarchy(2, 4);
+    const double span_s = smoke ? 30.0 : 90.0;
+    const auto programmer = [&](LeafId leaf) {
+      ResourceProgram p;
+      StatePattern pattern;
+      for (std::int32_t x = 0; x < 5; ++x) {
+        const double mean = 0.02 + 0.015 * ((leaf + x) % 4);
+        pattern.elements.push_back({"state" + std::to_string(x), mean, 0.35});
+      }
+      p.phases.push_back({0.0, span_s, std::move(pattern)});
+      return p;
+    };
+    reports.push_back(
+        measure("synthetic", generate_trace(h, programmer, 0x5B111)));
+  }
+  {
+    // Worst case: 64 states drawn near-uniformly at sub-millisecond
+    // durations with heavy jitter — dictionary runs of length ~1 and
+    // noisy time deltas.
+    const Hierarchy h = make_balanced_hierarchy(2, 4);
+    const double span_s = smoke ? 2.0 : 6.0;
+    const auto programmer = [&](LeafId leaf) {
+      ResourceProgram p;
+      StatePattern pattern;
+      for (std::int32_t x = 0; x < 64; ++x) {
+        const double mean = 0.2e-3 + 0.05e-3 * ((leaf + x) % 7);
+        pattern.elements.push_back({"churn" + std::to_string(x), mean, 0.9});
+      }
+      p.phases.push_back({0.0, span_s, std::move(pattern)});
+      return p;
+    };
+    reports.push_back(
+        measure("churn", generate_trace(h, programmer, 0xC0DEC)));
+  }
+
+  const double lu_ratio_bar = 3.0;
+  bool all_identical = true;
+  double lu_ratio = 0.0;
+  for (const WorkloadReport& rep : reports) {
+    all_identical = all_identical && rep.identical;
+    if (rep.name == "nas_lu") lu_ratio = rep.ratio();
+    std::printf(
+        "%-9s : %9zu intervals | %6.2f -> %5.2f B/interval (%.2fx) | "
+        "encode %6.1f Mint/s | decode %6.1f Mint/s | %s\n",
+        rep.name.c_str(), rep.intervals,
+        static_cast<double>(rep.raw_bytes) /
+            static_cast<double>(std::max<std::size_t>(1, rep.intervals)),
+        rep.bytes_per_interval(), rep.ratio(), rep.encode_mps(),
+        rep.decode_mps(),
+        rep.identical ? "bit-identical" : "MISMATCH (BUG)");
+  }
+  const bool meets_ratio_bar = lu_ratio >= lu_ratio_bar;
+  std::printf("\nnas_lu compression ratio: %.2fx (bar >= %.1fx)  [%s]\n\n",
+              lu_ratio, lu_ratio_bar, meets_ratio_bar ? "ok" : "MISS");
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    char buf[64];
+    out << "{\n  \"bench\": \"compress\",\n";
+    out << "  \"cores\": " << cores << ",\n";
+    std::snprintf(buf, sizeof buf, "%.6g", event_div);
+    out << "  \"event_div\": " << buf << ",\n";
+    out << "  \"workloads\": [\n";
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      const WorkloadReport& rep = reports[i];
+      out << "    {\"name\": \"" << rep.name << "\", ";
+      out << "\"intervals\": " << rep.intervals << ", ";
+      out << "\"raw_bytes\": " << rep.raw_bytes << ", ";
+      out << "\"encoded_bytes\": " << rep.encoded_bytes << ", ";
+      std::snprintf(buf, sizeof buf, "%.6g", rep.bytes_per_interval());
+      out << "\"bytes_per_interval\": " << buf << ", ";
+      std::snprintf(buf, sizeof buf, "%.6g", rep.ratio());
+      out << "\"ratio\": " << buf << ", ";
+      std::snprintf(buf, sizeof buf, "%.6g", rep.encode_mps());
+      out << "\"encode_mintervals_per_s\": " << buf << ", ";
+      std::snprintf(buf, sizeof buf, "%.6g", rep.decode_mps());
+      out << "\"decode_mintervals_per_s\": " << buf << ", ";
+      out << "\"identical\": " << (rep.identical ? "true" : "false") << "}"
+          << (i + 1 < reports.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n";
+    std::snprintf(buf, sizeof buf, "%.6g", lu_ratio);
+    out << "  \"nas_lu_ratio\": " << buf << ",\n";
+    std::snprintf(buf, sizeof buf, "%.6g", lu_ratio_bar);
+    out << "  \"nas_lu_ratio_bar\": " << buf << ",\n";
+    out << "  \"identical\": " << (all_identical ? "true" : "false") << "\n";
+    out << "}\n";
+    std::printf("summary written to %s\n", json_path.c_str());
+  }
+
+  return all_identical && meets_ratio_bar ? 0 : 2;
+}
+
+}  // namespace
+}  // namespace stagg
+
+int main(int argc, char** argv) { return stagg::run(argc, argv); }

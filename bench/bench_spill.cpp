@@ -12,9 +12,12 @@
 // Protocol: a synthetic stream drives N staggered sessions.  The
 // all-resident manager runs the full ingest+slide schedule first and
 // records per-round results and timings; the budgeted manager then
-// replays the identical schedule under the cap.  --smoke emits
-// BENCH_spill.json for CI trend tracking; exit is non-zero on any
-// violated bar.
+// replays the identical schedule under the cap, and a third leg replays
+// it under the cap *with chunk compression* (ChunkCompression::kAuto) —
+// the encoded chunks must also hold the budget, stay bit-identical, and
+// keep the same <= 1.3x slowdown bar while reporting bytes/interval and
+// the achieved compression ratio.  --smoke emits BENCH_spill.json for CI
+// trend tracking; exit is non-zero on any violated bar.
 #include <algorithm>
 #include <array>
 #include <cstdio>
@@ -57,8 +60,15 @@ struct RunStats {
   double advance_seconds = 0.0;
   std::size_t resident_chunk_peak = 0;
   std::size_t store_bytes_peak = 0;
+  std::size_t store_bytes_final = 0;
+  std::size_t intervals_final = 0;
   /// results[round][session]
   std::vector<std::vector<std::vector<AggregationResult>>> results;
+
+  [[nodiscard]] double bytes_per_interval() const noexcept {
+    return static_cast<double>(store_bytes_final) /
+           static_cast<double>(std::max<std::size_t>(1, intervals_final));
+  }
 };
 
 int run(int argc, const char* const* argv) {
@@ -151,11 +161,21 @@ int run(int argc, const char* const* argv) {
   const std::vector<std::pair<ResourceId, StateInterval>> future =
       split_trace_at(whole, horizon).future;
 
-  // One schedule, replayed twice: budget_bytes == 0 means all-resident.
-  const auto run_schedule = [&](std::size_t budget_bytes) -> RunStats {
+  // One schedule, replayed three times: budget_bytes == 0 means
+  // all-resident; the compression policy is applied before any session
+  // attaches so even the initial runs fold from encoded chunks.
+  const auto run_schedule = [&](std::size_t budget_bytes,
+                                ChunkCompression compression) -> RunStats {
     Trace initial = split_trace_at(whole, horizon).initial;
     initial.seal();
     SessionManager manager(h, initial.store());
+    // Compression first: the initial chunks re-encode while still
+    // resident, so the budget spill that follows writes encoded records
+    // (spilling raw first would pin the bulk of the trace as raw-mapped —
+    // set_compression never rewrites already-spilled chunks).
+    if (compression != ChunkCompression::kNone) {
+      manager.set_compression(compression);
+    }
     if (budget_bytes != 0) {
       std::remove(spill_path.c_str());
       manager.set_memory_budget(budget_bytes, spill_path);
@@ -189,25 +209,33 @@ int run(int argc, const char* const* argv) {
         round_results.push_back(manager.session(i).results());
       }
     }
+    stats.store_bytes_final = manager.store_bytes();
+    stats.intervals_final =
+        static_cast<std::size_t>(manager.store().state_count());
     return stats;
   };
 
-  const RunStats resident = run_schedule(0);
+  const RunStats resident = run_schedule(0, ChunkCompression::kNone);
   const auto budget = static_cast<std::size_t>(
       static_cast<double>(resident.resident_chunk_peak) * budget_pct / 100.0);
-  const RunStats budgeted = run_schedule(budget);
+  const RunStats budgeted = run_schedule(budget, ChunkCompression::kNone);
+  const RunStats compressed = run_schedule(budget, ChunkCompression::kAuto);
   std::remove(spill_path.c_str());
 
   bool equivalent = true;
   for (int round = 0; round < rounds; ++round) {
     for (std::size_t i = 0; i < n_sessions; ++i) {
+      const auto& oracle = resident.results[static_cast<std::size_t>(round)][i];
       equivalent =
           equivalent &&
-          results_equal(resident.results[static_cast<std::size_t>(round)][i],
-                        budgeted.results[static_cast<std::size_t>(round)][i]);
+          results_equal(oracle,
+                        budgeted.results[static_cast<std::size_t>(round)][i]) &&
+          results_equal(
+              oracle, compressed.results[static_cast<std::size_t>(round)][i]);
     }
   }
-  const bool within_budget = budgeted.resident_chunk_peak <= budget;
+  const bool within_budget = budgeted.resident_chunk_peak <= budget &&
+                             compressed.resident_chunk_peak <= budget;
   const double trace_over_budget =
       static_cast<double>(resident.resident_chunk_peak) /
       static_cast<double>(std::max<std::size_t>(1, budget));
@@ -217,9 +245,17 @@ int run(int argc, const char* const* argv) {
       total_advances / std::max(resident.advance_seconds, 1e-12);
   const double budgeted_rate =
       total_advances / std::max(budgeted.advance_seconds, 1e-12);
+  const double compressed_rate =
+      total_advances / std::max(compressed.advance_seconds, 1e-12);
   const double slowdown = resident_rate / std::max(budgeted_rate, 1e-12);
+  const double compressed_slowdown =
+      resident_rate / std::max(compressed_rate, 1e-12);
   const double slowdown_bar = 1.3;
-  const bool meets_throughput_bar = slowdown <= slowdown_bar;
+  const bool meets_throughput_bar =
+      slowdown <= slowdown_bar && compressed_slowdown <= slowdown_bar;
+  const double compression_ratio =
+      resident.bytes_per_interval() /
+      std::max(compressed.bytes_per_interval(), 1e-12);
 
   std::printf("trace chunk bytes    : %.2f MiB (peak, all-resident) = %.2fx "
               "the budget\n",
@@ -229,9 +265,15 @@ int run(int argc, const char* const* argv) {
               budgeted.resident_chunk_peak / 1048576.0, budget / 1048576.0,
               within_budget ? "ok" : "MISS");
   std::printf("advance throughput   : resident %.1f slides/s | budgeted "
-              "%.1f slides/s  =>  %.2fx slowdown (bar <= %.1fx)  [%s]\n",
-              resident_rate, budgeted_rate, slowdown, slowdown_bar,
+              "%.1f slides/s (%.2fx) | budgeted+compressed %.1f slides/s "
+              "(%.2fx)  (bar <= %.1fx)  [%s]\n",
+              resident_rate, budgeted_rate, slowdown, compressed_rate,
+              compressed_slowdown, slowdown_bar,
               meets_throughput_bar ? "ok" : "MISS");
+  std::printf("bytes per interval   : raw %.2f B | compressed %.2f B  =>  "
+              "%.2fx compression\n",
+              resident.bytes_per_interval(), compressed.bytes_per_interval(),
+              compression_ratio);
   std::printf("equivalence          : %s\n\n",
               equivalent ? "bit-identical on every round"
                          : "MISMATCH (BUG)");
@@ -251,6 +293,8 @@ int run(int argc, const char* const* argv) {
         << resident.resident_chunk_peak << ",\n";
     out << "  \"resident_chunk_bytes_budgeted_peak\": "
         << budgeted.resident_chunk_peak << ",\n";
+    out << "  \"resident_chunk_bytes_compressed_peak\": "
+        << compressed.resident_chunk_peak << ",\n";
     std::snprintf(buf, sizeof buf, "%.6g", trace_over_budget);
     out << "  \"trace_over_budget\": " << buf << ",\n";
     out << "  \"within_budget_every_round\": "
@@ -259,10 +303,20 @@ int run(int argc, const char* const* argv) {
     out << "  \"resident_slides_per_s\": " << buf << ",\n";
     std::snprintf(buf, sizeof buf, "%.6g", budgeted_rate);
     out << "  \"budgeted_slides_per_s\": " << buf << ",\n";
+    std::snprintf(buf, sizeof buf, "%.6g", compressed_rate);
+    out << "  \"compressed_slides_per_s\": " << buf << ",\n";
     std::snprintf(buf, sizeof buf, "%.6g", slowdown);
     out << "  \"slowdown\": " << buf << ",\n";
+    std::snprintf(buf, sizeof buf, "%.6g", compressed_slowdown);
+    out << "  \"compressed_slowdown\": " << buf << ",\n";
     std::snprintf(buf, sizeof buf, "%.6g", slowdown_bar);
     out << "  \"slowdown_bar\": " << buf << ",\n";
+    std::snprintf(buf, sizeof buf, "%.6g", resident.bytes_per_interval());
+    out << "  \"raw_bytes_per_interval\": " << buf << ",\n";
+    std::snprintf(buf, sizeof buf, "%.6g", compressed.bytes_per_interval());
+    out << "  \"compressed_bytes_per_interval\": " << buf << ",\n";
+    std::snprintf(buf, sizeof buf, "%.6g", compression_ratio);
+    out << "  \"compression_ratio\": " << buf << ",\n";
     out << "  \"equivalent\": " << (equivalent ? "true" : "false") << "\n";
     out << "}\n";
     std::printf("summary written to %s\n", json_path.c_str());

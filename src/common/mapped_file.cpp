@@ -111,6 +111,29 @@ std::shared_ptr<const MappedRegion> MappedRegion::map_file(
   return map(path, 0, static_cast<std::size_t>(file_size));
 }
 
+void MappedRegion::advise(MapAdvice advice) const noexcept {
+#if STAGG_HAVE_MMAP
+  if (map_base_ == nullptr) return;
+  int flag = MADV_NORMAL;
+  switch (advice) {
+    case MapAdvice::kSequential:
+      flag = MADV_SEQUENTIAL;
+      break;
+    case MapAdvice::kWillNeed:
+      flag = MADV_WILLNEED;
+      break;
+    case MapAdvice::kDontNeed:
+      flag = MADV_DONTNEED;
+      break;
+  }
+  // Best-effort: advice may legitimately fail (e.g. locked pages) and the
+  // mapping stays fully readable either way.
+  (void)::madvise(map_base_, map_size_, flag);
+#else
+  (void)advice;
+#endif
+}
+
 MappedRegion::~MappedRegion() {
 #if STAGG_HAVE_MMAP
   if (map_base_ != nullptr) ::munmap(map_base_, map_size_);

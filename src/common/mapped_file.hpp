@@ -23,6 +23,15 @@
 
 namespace stagg {
 
+/// Paging advice a reader can hand to the kernel for a mapped region.
+/// Purely a performance hint — honoring it (or supporting it at all) is
+/// optional, so callers never depend on it for correctness.
+enum class MapAdvice : std::uint8_t {
+  kSequential,  ///< Pages will be read front-to-back (aggressive readahead).
+  kWillNeed,    ///< Pages are about to be read (prefetch now).
+  kDontNeed,    ///< Pages are cold (reclaim them first).
+};
+
 class MappedRegion {
  public:
   /// Maps [offset, offset + size) of `path` read-only.  Throws IoError on
@@ -49,6 +58,11 @@ class MappedRegion {
   [[nodiscard]] bool heap_fallback() const noexcept {
     return map_base_ == nullptr;
   }
+
+  /// Forwards `advice` to madvise over the whole mapping.  Best-effort:
+  /// a no-op on the heap fallback and on platforms without madvise, and
+  /// errors are ignored (advice never affects correctness).
+  void advise(MapAdvice advice) const noexcept;
 
  private:
   MappedRegion() = default;

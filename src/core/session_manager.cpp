@@ -29,6 +29,7 @@ std::size_t SessionManager::add_session(SessionSpec spec) {
   spec.options.prune_trace = false;  // eviction is centralized here
   spec.options.memory_budget_bytes = 0;  // so is the memory policy
   spec.options.spill_path.clear();
+  spec.options.compression = ChunkCompression::kNone;  // and the codec policy
   sessions_.push_back(std::make_unique<SlidingWindowSession>(
       *scope, store_, spec.window, std::move(spec.ps), spec.options,
       StoreOwnership::kShared));
@@ -57,6 +58,13 @@ void SessionManager::set_memory_budget(std::size_t budget_bytes,
 void SessionManager::enforce_memory_budget() {
   if (memory_budget_ == 0) return;
   (void)store_->spill_cold(memory_budget_);
+}
+
+void SessionManager::set_compression(ChunkCompression policy) {
+  store_->set_compression(policy);
+  // Re-encoding may have freed resident bytes; nothing to spill beyond
+  // the standing budget, but re-check so callers observe the cap holding.
+  enforce_memory_budget();
 }
 
 void SessionManager::append(ResourceId resource, StateId state, TimeNs begin,

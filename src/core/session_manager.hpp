@@ -144,6 +144,18 @@ class SessionManager {
   /// store window begin when no session is attached.
   [[nodiscard]] TimeNs min_window_begin() const noexcept;
 
+  /// Sets the shared store's seal-time compression policy (kAuto keeps
+  /// sealed chunks delta/dictionary-encoded whenever that shrinks them,
+  /// and re-encodes what is already sealed; views streaming-decode, so
+  /// session results never change).  Composes with set_memory_budget:
+  /// the budget counts encoded bytes, so it retains 3-5x more shared
+  /// trace before spilling.  Like the budget, this is the manager's knob
+  /// — per-session SlidingWindowOptions::compression must stay kNone.
+  void set_compression(ChunkCompression policy);
+  [[nodiscard]] ChunkCompression compression() const noexcept {
+    return store_->compression();
+  }
+
  private:
   template <class Advance>
   void advance_sessions(const Advance& advance);

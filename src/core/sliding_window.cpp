@@ -99,6 +99,9 @@ SlidingWindowSession::SlidingWindowSession(const Hierarchy& hierarchy,
             }
             store_->enable_spill(options_.spill_path);
           }
+          if (options_.compression != ChunkCompression::kNone) {
+            store_->set_compression(options_.compression);
+          }
           store_->set_window(grid.begin(), grid.end());
           store_->seal_chunk();
           enforce_memory_budget();
@@ -111,6 +114,12 @@ SlidingWindowSession::SlidingWindowSession(const Hierarchy& hierarchy,
                 "SlidingWindowSession: memory_budget_bytes is an "
                 "exclusive-store knob; set the budget on the SessionManager "
                 "for shared stores");
+          }
+          if (options_.compression != ChunkCompression::kNone) {
+            throw InvalidArgument(
+                "SlidingWindowSession: compression is an exclusive-store "
+                "knob; set the policy on the SessionManager for shared "
+                "stores");
           }
           if (!store_->tails_sealed()) {
             throw InvalidArgument(
@@ -229,8 +238,19 @@ const std::vector<AggregationResult>& SlidingWindowSession::advance_to(
         "SlidingWindowSession: shared store advanced with unsealed events "
         "(the SessionManager seals before advancing)");
   }
-  refold_suffix(model_, make_view(new_grid), *hierarchy_, first_dirty,
-                options_.match_by_path);
+  // The view needs only the chunks that can touch the dirty suffix:
+  // selecting from the first dirty slice (not the window begin) lets the
+  // chunk fences prune everything wholly behind it — intervals ending
+  // before the suffix fold to nothing anyway, and for compressed chunks
+  // fence pruning is what skips the stream-decode of cold blocks.
+  const SliceId dirty_clamped = std::min(first_dirty, new_t);
+  const TimeNs dirty_begin_ns = dirty_clamped >= new_t
+                                    ? new_grid.end()
+                                    : new_grid.slice_begin(dirty_clamped);
+  refold_suffix(model_,
+                TraceView(store_, dirty_begin_ns, new_grid.end(), scope_,
+                          scope_paths_),
+                *hierarchy_, first_dirty, options_.match_by_path);
 
   // 4. Splice every derived structure and re-run the DP over the dirty
   // columns only.

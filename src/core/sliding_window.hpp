@@ -90,6 +90,14 @@ struct SlidingWindowOptions {
   /// otherwise) — the SessionManager owns the shared memory policy.
   std::size_t memory_budget_bytes = 0;
   std::string spill_path;
+  /// Seal-time chunk compression policy of the session's store (kAuto:
+  /// sealed chunks keep delta/dictionary-encoded columns whenever that
+  /// shrinks them; views streaming-decode them — never affects results).
+  /// Composes with the budget: compressed chunks count their encoded
+  /// bytes, so the same budget retains 3-5x more trace before spilling.
+  /// Exclusive stores only — shared-store sessions must leave kNone
+  /// (attach throws otherwise); set the policy on the SessionManager.
+  ChunkCompression compression = ChunkCompression::kNone;
 };
 
 class SlidingWindowSession {

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/error.hpp"
@@ -13,12 +14,22 @@ namespace stagg {
 namespace {
 
 constexpr char kMagic[8] = {'S', 'T', 'G', 'T', 'R', 'C', '0', '1'};
-constexpr char kChunkMagic[8] = {'S', 'T', 'G', 'C', 'H', 'K', '0', '1'};
-constexpr char kSpillMagic[8] = {'S', 'T', 'G', 'S', 'P', 'L', '0', '1'};
+constexpr char kChunkMagicV1[8] = {'S', 'T', 'G', 'C', 'H', 'K', '0', '1'};
+constexpr char kChunkMagic[8] = {'S', 'T', 'G', 'C', 'H', 'K', '0', '2'};
+constexpr char kSpillMagic[8] = {'S', 'T', 'G', 'S', 'P', 'L', '0', '2'};
 constexpr std::size_t kRecordBytes = 4 + 4 + 8 + 8;
-/// Chunk record header: u32 resource | u32 reserved | u64 count |
+/// v1 chunk record header: u32 resource | u32 reserved | u64 count |
 /// i64 min_end | i64 max_end | u64 checksum.  40 bytes, 8-aligned.
-constexpr std::size_t kChunkHeaderBytes = 40;
+constexpr std::size_t kChunkHeaderBytesV1 = 40;
+/// v2 chunk record header: u32 resource | u8 begin_codec | u8 end_codec |
+/// u8 state_codec | u8 flags | u64 count | i64 min_begin | i64 min_end |
+/// i64 max_end | u64 begin_bytes | u64 end_bytes | u64 state_bytes |
+/// u64 checksum.  72 bytes, 8-aligned.
+constexpr std::size_t kChunkHeaderBytes = 72;
+
+constexpr std::uint64_t pad8(std::uint64_t n) {
+  return (n + 7) & ~std::uint64_t{7};
+}
 
 struct FileCloser {
   void operator()(std::FILE* f) const noexcept {
@@ -146,35 +157,98 @@ std::uint64_t chunk_checksum(std::span<const TimeNs> begins,
   return h;
 }
 
-/// Total on-disk bytes of one chunk record (header + columns + pad).
-std::size_t chunk_record_bytes(std::uint64_t count) {
-  const std::uint64_t states_padded = (count * 4 + 7) & ~std::uint64_t{7};
-  return static_cast<std::size_t>(kChunkHeaderBytes + count * 16 +
+/// Total on-disk bytes of one v1 chunk record (header + columns + pad).
+std::size_t chunk_record_bytes_v1(std::uint64_t count) {
+  const std::uint64_t states_padded = pad8(count * 4);
+  return static_cast<std::size_t>(kChunkHeaderBytesV1 + count * 16 +
                                   states_padded);
+}
+
+/// The codec tags and raw section bytes a v2 record stores for one chunk:
+/// the raw columns of an addressable chunk, the encoded blocks of a
+/// compressed one — records preserve the chunk's in-memory encoding,
+/// never re-encode.
+struct ChunkSections {
+  TimeCodec begin_codec = TimeCodec::kRaw;
+  TimeCodec end_codec = TimeCodec::kRaw;
+  StateCodec state_codec = StateCodec::kRaw;
+  std::span<const std::uint8_t> begin;
+  std::span<const std::uint8_t> end;
+  std::span<const std::uint8_t> state;
+};
+
+ChunkSections chunk_sections(const TraceChunk& chunk) {
+  ChunkSections s;
+  if (chunk.addressable()) {
+    s.begin = {reinterpret_cast<const std::uint8_t*>(chunk.begins().data()),
+               chunk.begins().size_bytes()};
+    s.end = {reinterpret_cast<const std::uint8_t*>(chunk.ends().data()),
+             chunk.ends().size_bytes()};
+    s.state = {reinterpret_cast<const std::uint8_t*>(chunk.states().data()),
+               chunk.states().size_bytes()};
+    return s;
+  }
+  const auto* compressed =
+      dynamic_cast<const CompressedChunkPayload*>(chunk.payload().get());
+  if (compressed == nullptr) {
+    throw InvalidArgument("chunk record: unknown non-addressable payload");
+  }
+  const ColumnsCoding& coding = compressed->coding();
+  s.begin_codec = coding.begin_codec;
+  s.end_codec = coding.end_codec;
+  s.state_codec = coding.state_codec;
+  s.begin = coding.begin_section;
+  s.end = coding.end_section;
+  s.state = coding.state_section;
+  return s;
+}
+
+/// Total on-disk bytes of one v2 chunk record.
+std::uint64_t chunk_record_bytes_v2(std::uint64_t begin_bytes,
+                                    std::uint64_t end_bytes,
+                                    std::uint64_t state_bytes) {
+  return kChunkHeaderBytes + pad8(begin_bytes) + pad8(end_bytes) +
+         pad8(state_bytes);
 }
 
 void write_chunk_record(std::FILE* f, const std::string& path,
                         ResourceId resource, const TraceChunk& chunk) {
+  ChunkSections sec = chunk_sections(chunk);
+  std::uint64_t checksum = kFnvOffsetBasis;
+  checksum = fnv1a(sec.begin.data(), sec.begin.size(), checksum);
+  checksum = fnv1a(sec.end.data(), sec.end.size(), checksum);
+  checksum = fnv1a(sec.state.data(), sec.state.size(), checksum);
+
   std::uint8_t header[kChunkHeaderBytes] = {};
   const auto ur = static_cast<std::uint32_t>(resource);
   const auto count = static_cast<std::uint64_t>(chunk.size());
+  const TimeNs min_begin = chunk.min_begin();
   const TimeNs min_end = chunk.min_end();
   const TimeNs max_end = chunk.max_end();
-  const std::uint64_t checksum =
-      chunk_checksum(chunk.begins(), chunk.ends(), chunk.states());
+  const std::uint64_t begin_bytes = sec.begin.size();
+  const std::uint64_t end_bytes = sec.end.size();
+  const std::uint64_t state_bytes = sec.state.size();
   std::memcpy(header, &ur, 4);
+  header[4] = static_cast<std::uint8_t>(sec.begin_codec);
+  header[5] = static_cast<std::uint8_t>(sec.end_codec);
+  header[6] = static_cast<std::uint8_t>(sec.state_codec);
+  header[7] = 0;  // flags
   std::memcpy(header + 8, &count, 8);
-  std::memcpy(header + 16, &min_end, 8);
-  std::memcpy(header + 24, &max_end, 8);
-  std::memcpy(header + 32, &checksum, 8);
+  std::memcpy(header + 16, &min_begin, 8);
+  std::memcpy(header + 24, &min_end, 8);
+  std::memcpy(header + 32, &max_end, 8);
+  std::memcpy(header + 40, &begin_bytes, 8);
+  std::memcpy(header + 48, &end_bytes, 8);
+  std::memcpy(header + 56, &state_bytes, 8);
+  std::memcpy(header + 64, &checksum, 8);
   write_bytes(f, header, sizeof header, path);
-  write_bytes(f, chunk.begins().data(), chunk.begins().size_bytes(), path);
-  write_bytes(f, chunk.ends().data(), chunk.ends().size_bytes(), path);
-  write_bytes(f, chunk.states().data(), chunk.states().size_bytes(), path);
-  const std::uint64_t pad = chunk_record_bytes(count) -
-                            (kChunkHeaderBytes + count * 16 + count * 4);
   const std::uint8_t zeros[8] = {};
-  if (pad != 0) write_bytes(f, zeros, static_cast<std::size_t>(pad), path);
+  for (const std::span<const std::uint8_t> section :
+       {sec.begin, sec.end, sec.state}) {
+    write_bytes(f, section.data(), section.size(), path);
+    const std::uint64_t pad = pad8(section.size()) - section.size();
+    if (pad != 0) write_bytes(f, zeros, static_cast<std::size_t>(pad), path);
+  }
 }
 
 struct MappedChunkRecord {
@@ -183,13 +257,13 @@ struct MappedChunkRecord {
   std::size_t record_bytes = 0;
 };
 
-/// Validates and maps one chunk record at `pos` inside `region` (whose
-/// data() starts at `region_file_offset` in the file) and wraps it into a
-/// file-backed chunk.  Rejects truncated payloads, checksum mismatches,
-/// unsorted columns, out-of-table state ids (`state_count` entries; the
-/// spill path passes the live registry size) and lying fences loudly —
-/// every error names the record's file offset.
-MappedChunkRecord map_chunk_record(
+/// Validates and maps one *v1* chunk record at `pos` inside `region`
+/// (whose data() starts at `region_file_offset` in the file) and wraps it
+/// into a file-backed chunk.  Rejects truncated payloads, checksum
+/// mismatches, unsorted columns, out-of-table state ids (`state_count`
+/// entries) and lying fences loudly — every error names the record's
+/// file offset.
+MappedChunkRecord map_chunk_record_v1(
     const std::shared_ptr<const MappedRegion>& region, std::size_t pos,
     std::uint64_t region_file_offset, const std::string& path,
     std::uint64_t state_count) {
@@ -198,7 +272,7 @@ MappedChunkRecord map_chunk_record(
                           std::to_string(file_offset);
   const std::uint8_t* base = region->data();
   const std::size_t avail = region->size();
-  if (pos + kChunkHeaderBytes > avail) {
+  if (pos + kChunkHeaderBytesV1 > avail) {
     throw TraceFormatError("truncated chunk header" + offset_str);
   }
   std::uint32_t ur = 0;
@@ -221,13 +295,13 @@ MappedChunkRecord map_chunk_record(
                            " (count " + std::to_string(count) +
                            " exceeds the file)");
   }
-  const std::size_t record_bytes = chunk_record_bytes(count);
+  const std::size_t record_bytes = chunk_record_bytes_v1(count);
   if (pos + record_bytes > avail) {
     throw TraceFormatError("truncated chunk payload" + offset_str);
   }
   const auto n = static_cast<std::size_t>(count);
   const auto* begins =
-      reinterpret_cast<const TimeNs*>(base + pos + kChunkHeaderBytes);
+      reinterpret_cast<const TimeNs*>(base + pos + kChunkHeaderBytesV1);
   const auto* ends = begins + n;
   const auto* states = reinterpret_cast<const StateId*>(ends + n);
   const std::span<const TimeNs> begin_col(begins, n);
@@ -271,6 +345,177 @@ MappedChunkRecord map_chunk_record(
           std::make_shared<const TraceChunk>(std::move(payload), min_end,
                                              max_end),
           record_bytes};
+}
+
+/// Validates and maps one *v2* chunk record: bounds and codec tags first,
+/// then the section checksum, then a full streaming decode re-deriving
+/// sort order, state range and all three fences (a compressed section is
+/// only trusted after every varint/dictionary/run in it decoded cleanly).
+/// All-raw records come back as zero-copy mapped columns; anything else
+/// as a compressed chunk streaming from the mapping.
+MappedChunkRecord map_chunk_record_v2(
+    const std::shared_ptr<const MappedRegion>& region, std::size_t pos,
+    std::uint64_t region_file_offset, const std::string& path,
+    std::uint64_t state_count) {
+  const std::uint64_t file_offset = region_file_offset + pos;
+  const auto offset_str = " in '" + path + "' at offset " +
+                          std::to_string(file_offset);
+  const std::uint8_t* base = region->data();
+  const std::size_t avail = region->size();
+  if (pos + kChunkHeaderBytes > avail) {
+    throw TraceFormatError("truncated chunk header" + offset_str);
+  }
+  std::uint32_t ur = 0;
+  std::uint64_t count = 0;
+  TimeNs min_begin = 0;
+  TimeNs min_end = 0;
+  TimeNs max_end = 0;
+  std::uint64_t begin_bytes = 0;
+  std::uint64_t end_bytes = 0;
+  std::uint64_t state_bytes = 0;
+  std::uint64_t checksum = 0;
+  std::memcpy(&ur, base + pos, 4);
+  const std::uint8_t begin_tag = base[pos + 4];
+  const std::uint8_t end_tag = base[pos + 5];
+  const std::uint8_t state_tag = base[pos + 6];
+  const std::uint8_t flags = base[pos + 7];
+  std::memcpy(&count, base + pos + 8, 8);
+  std::memcpy(&min_begin, base + pos + 16, 8);
+  std::memcpy(&min_end, base + pos + 24, 8);
+  std::memcpy(&max_end, base + pos + 32, 8);
+  std::memcpy(&begin_bytes, base + pos + 40, 8);
+  std::memcpy(&end_bytes, base + pos + 48, 8);
+  std::memcpy(&state_bytes, base + pos + 56, 8);
+  std::memcpy(&checksum, base + pos + 64, 8);
+  if (count == 0) {
+    throw TraceFormatError("empty chunk record" + offset_str);
+  }
+  if (flags != 0) {
+    throw TraceFormatError("unknown chunk record flags " +
+                           std::to_string(flags) + offset_str);
+  }
+  if (!time_codec_valid(begin_tag) || !time_codec_valid(end_tag) ||
+      !state_codec_valid(state_tag) ||
+      static_cast<TimeCodec>(end_tag) == TimeCodec::kGapFromPrevEnd) {
+    throw TraceFormatError("invalid chunk codec tags" + offset_str);
+  }
+  // Guard the size arithmetic: each section must fit the remaining bytes
+  // on its own before the padded sum is formed (a huge size must read as
+  // truncation, not wrap into a small record).
+  const std::uint64_t remaining = avail - pos;
+  if (begin_bytes > remaining || end_bytes > remaining ||
+      state_bytes > remaining) {
+    throw TraceFormatError("truncated chunk payload" + offset_str +
+                           " (section sizes exceed the file)");
+  }
+  const std::uint64_t record_bytes =
+      chunk_record_bytes_v2(begin_bytes, end_bytes, state_bytes);
+  if (record_bytes > remaining) {
+    throw TraceFormatError("truncated chunk payload" + offset_str);
+  }
+  const std::size_t sec0 = pos + kChunkHeaderBytes;
+  const std::size_t sec1 = sec0 + static_cast<std::size_t>(pad8(begin_bytes));
+  const std::size_t sec2 = sec1 + static_cast<std::size_t>(pad8(end_bytes));
+  ColumnsCoding coding;
+  coding.count = count;
+  coding.begin_codec = static_cast<TimeCodec>(begin_tag);
+  coding.end_codec = static_cast<TimeCodec>(end_tag);
+  coding.state_codec = static_cast<StateCodec>(state_tag);
+  coding.begin_section = {base + sec0,
+                          static_cast<std::size_t>(begin_bytes)};
+  coding.end_section = {base + sec1, static_cast<std::size_t>(end_bytes)};
+  coding.state_section = {base + sec2,
+                          static_cast<std::size_t>(state_bytes)};
+  std::uint64_t computed = kFnvOffsetBasis;
+  computed = fnv1a(coding.begin_section.data(), coding.begin_section.size(),
+                   computed);
+  computed =
+      fnv1a(coding.end_section.data(), coding.end_section.size(), computed);
+  computed = fnv1a(coding.state_section.data(), coding.state_section.size(),
+                   computed);
+  if (computed != checksum) {
+    throw TraceFormatError(
+        "chunk checksum mismatch" + offset_str + " (stored " +
+        std::to_string(checksum) + ", computed " + std::to_string(computed) +
+        ")");
+  }
+  // Full streaming decode: every interval of the record is re-derived and
+  // checked against the header's fences before the record is trusted.
+  // The decoder's own malformed-stream errors carry no file context, so
+  // its calls are wrapped to append the record offset.
+  std::optional<ColumnsDecoder> decoder;
+  try {
+    decoder.emplace(coding);
+  } catch (const Error& e) {
+    throw TraceFormatError(std::string(e.what()) + offset_str);
+  }
+  const auto decode_next = [&](StateInterval& s) {
+    try {
+      return decoder->next(s);
+    } catch (const Error& e) {
+      throw TraceFormatError(std::string(e.what()) + offset_str);
+    }
+  };
+  StateInterval first{};
+  StateInterval last{};
+  TimeNs seen_min_end = 0;
+  TimeNs seen_max_end = 0;
+  StateInterval s{};
+  StateInterval prev{};
+  std::uint64_t decoded = 0;
+  while (decode_next(s)) {
+    if (s.end < s.begin) {
+      throw TraceFormatError("chunk interval with end < begin" + offset_str);
+    }
+    if (s.state < 0 || static_cast<std::uint64_t>(s.state) >= state_count) {
+      throw TraceFormatError("chunk interval references unknown state " +
+                             std::to_string(s.state) + offset_str);
+    }
+    if (decoded == 0) {
+      first = s;
+      seen_min_end = s.end;
+      seen_max_end = s.end;
+    } else {
+      if (interval_key_less(s, prev)) {
+        throw TraceFormatError(
+            "chunk columns not sorted by (begin, end, state)" + offset_str);
+      }
+      seen_min_end = std::min(seen_min_end, s.end);
+      seen_max_end = std::max(seen_max_end, s.end);
+    }
+    prev = s;
+    ++decoded;
+  }
+  last = prev;
+  if (first.begin != min_begin || seen_min_end != min_end ||
+      seen_max_end != max_end) {
+    throw TraceFormatError("chunk fences disagree with columns" + offset_str);
+  }
+
+  TraceChunkPtr chunk;
+  if (coding.begin_codec == TimeCodec::kRaw &&
+      coding.end_codec == TimeCodec::kRaw &&
+      coding.state_codec == StateCodec::kRaw) {
+    // All-raw: the sections are the columns — serve them in place.
+    const auto n = static_cast<std::size_t>(count);
+    const std::span<const TimeNs> begin_col(
+        reinterpret_cast<const TimeNs*>(base + sec0), n);
+    const std::span<const TimeNs> end_col(
+        reinterpret_cast<const TimeNs*>(base + sec1), n);
+    const std::span<const StateId> state_col(
+        reinterpret_cast<const StateId*>(base + sec2), n);
+    auto payload = std::make_shared<const MappedChunkPayload>(
+        region, begin_col, end_col, state_col);
+    chunk = std::make_shared<const TraceChunk>(std::move(payload), min_end,
+                                               max_end);
+  } else {
+    auto payload =
+        std::make_shared<const CompressedChunkPayload>(region, coding);
+    chunk = std::make_shared<const TraceChunk>(std::move(payload), first,
+                                               last, min_end, max_end);
+  }
+  return {static_cast<ResourceId>(ur), std::move(chunk),
+          static_cast<std::size_t>(record_bytes)};
 }
 
 /// Bounds-checked little reader over a mapped chunk file.
@@ -449,7 +694,13 @@ std::shared_ptr<TraceStore> open_chunk_file_store(const std::string& path) {
   const auto region = MappedRegion::map_file(path);
   MapCursor cur{region->data(), region->size(), 0, path};
   cur.need(sizeof kChunkMagic, "chunk file magic");
-  if (std::memcmp(cur.base, kChunkMagic, sizeof kChunkMagic) != 0) {
+  int version = 0;
+  if (std::memcmp(cur.base, kChunkMagic, sizeof kChunkMagic) == 0) {
+    version = 2;
+  } else if (std::memcmp(cur.base, kChunkMagicV1, sizeof kChunkMagicV1) ==
+             0) {
+    version = 1;
+  } else {
     throw TraceFormatError("bad chunk file magic in '" + path + "'");
   }
   cur.pos += sizeof kChunkMagic;
@@ -486,7 +737,9 @@ std::shared_ptr<TraceStore> open_chunk_file_store(const std::string& path) {
   cur.align8();
   for (std::uint64_t i = 0; i < chunk_count; ++i) {
     MappedChunkRecord rec =
-        map_chunk_record(region, cur.pos, 0, path, state_count);
+        version == 2
+            ? map_chunk_record_v2(region, cur.pos, 0, path, state_count)
+            : map_chunk_record_v1(region, cur.pos, 0, path, state_count);
     if (rec.resource < 0 ||
         static_cast<std::uint64_t>(rec.resource) >= resource_count) {
       throw TraceFormatError("chunk record references unknown resource in '" +
@@ -506,12 +759,14 @@ bool is_chunk_file(const std::string& path) {
   if (std::fread(magic, 1, sizeof magic, f.get()) != sizeof magic) {
     return false;
   }
-  return std::memcmp(magic, kChunkMagic, sizeof kChunkMagic) == 0;
+  return std::memcmp(magic, kChunkMagic, sizeof kChunkMagic) == 0 ||
+         std::memcmp(magic, kChunkMagicV1, sizeof kChunkMagicV1) == 0;
 }
 
-TraceChunkPtr spill_chunk_to_file(const std::string& path, ResourceId resource,
-                                  const TraceChunk& chunk,
-                                  std::uint64_t state_count) {
+SpilledChunkRecord spill_chunk_to_file(const std::string& path,
+                                       ResourceId resource,
+                                       const TraceChunk& chunk,
+                                       std::uint64_t state_count) {
   std::uint64_t offset = 0;
   {
     // "a+" so a pre-existing file's magic can be read back: appending to
@@ -549,9 +804,13 @@ TraceChunkPtr spill_chunk_to_file(const std::string& path, ResourceId resource,
   // Map the freshly appended record back and re-validate it through the
   // same path an open uses: a torn or short write surfaces here, loudly,
   // not as a corrupt stream later.
-  const auto region =
-      MappedRegion::map(path, offset, chunk_record_bytes(chunk.size()));
-  return map_chunk_record(region, 0, offset, path, state_count).chunk;
+  const ChunkSections sec = chunk_sections(chunk);
+  const std::uint64_t record_bytes = chunk_record_bytes_v2(
+      sec.begin.size(), sec.end.size(), sec.state.size());
+  const auto region = MappedRegion::map(
+      path, offset, static_cast<std::size_t>(record_bytes));
+  return {map_chunk_record_v2(region, 0, offset, path, state_count).chunk,
+          record_bytes};
 }
 
 std::shared_ptr<TraceStore> read_binary_trace_store(const std::string& path,

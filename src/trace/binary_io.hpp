@@ -14,22 +14,38 @@
 // built from traces larger than memory.
 //
 // STGC — versioned columnar chunk files, the dariadb-style sealed-page
-// format an mmapped TraceStore reads in place (little-endian):
-//   header:   magic "STGCHK01" | u64 resource_count | u64 state_count
+// format an mmapped TraceStore reads in place (little-endian).
+//
+// Version 2 (magic "STGCHK02") — written by this library; each column
+// section carries its own codec tag (trace/compression.hpp):
+//   header:   magic "STGCHK02" | u64 resource_count | u64 state_count
 //             | i64 window_begin | i64 window_end | u64 chunk_count
 //   tables:   as STGT, then zero padding to the next 8-byte boundary
 //   chunks:   chunk_count x chunk record
-// One chunk record (every offset 8-byte aligned so the mapped columns are
-// usable in place):
-//   header:   u32 resource | u32 reserved | u64 count | i64 min_end
-//             | i64 max_end | u64 checksum (FNV-1a 64 of the column bytes)
-//   columns:  count x i64 begins | count x i64 ends | count x i32 states
-//             | zero padding to the next 8-byte boundary
-// The same record layout, behind magic "STGSPL01", makes up a store's
-// append-only spill file.  Readers validate section bounds, checksum, the
-// (begin, end, state) sort order and the end fences before exposing a
-// mapped record; truncation and corruption are rejected loudly with the
-// offending file offset.
+// One v2 chunk record (72-byte header; every section start 8-byte aligned
+// so raw sections are usable in place):
+//   header:   u32 resource | u8 begin_codec | u8 end_codec | u8 state_codec
+//             | u8 flags (0) | u64 count | i64 min_begin | i64 min_end
+//             | i64 max_end | u64 begin_bytes | u64 end_bytes
+//             | u64 state_bytes | u64 checksum
+//   sections: begin section | pad to 8 | end section | pad to 8
+//             | state section | pad to 8
+// The checksum is FNV-1a 64 over the three *unpadded* encoded sections in
+// order (for an all-raw record this equals the v1 column checksum).  An
+// all-raw record opens zero-copy as mapped columns; any other codec
+// combination opens as a compressed (cursor-streamed) chunk pointing into
+// the mapping.  Readers fully streaming-decode every record at open —
+// section bounds, checksum, codec tags, varint/dictionary well-formedness,
+// the (begin, end, state) sort order and all three fences — and reject
+// truncation and corruption loudly with the offending file offset.
+//
+// Version 1 (magic "STGCHK01", 40-byte record header: u32 resource |
+// u32 reserved | u64 count | i64 min_end | i64 max_end | u64 checksum,
+// followed by raw padded columns) is still opened zero-copy; writers
+// always emit v2.
+//
+// The same record layout, behind magics "STGSPL02"/"STGSPL01", makes up a
+// store's append-only spill file.
 #pragma once
 
 #include <cstddef>
@@ -104,17 +120,26 @@ std::uint64_t write_chunk_file(TraceStore& store, const std::string& path);
 /// Throws IoError when the file cannot be opened.
 [[nodiscard]] bool is_chunk_file(const std::string& path);
 
-/// Appends one chunk to the append-only spill file at `path` (created
-/// with the spill magic on first use; a pre-existing file must carry that
-/// magic and an 8-aligned size, or the append is refused), then maps the
+/// Result of one spill append: the file-backed chunk plus the exact
+/// on-disk record size (the store's spill-occupancy accounting needs it
+/// to decide when to compact the file).
+struct SpilledChunkRecord {
+  TraceChunkPtr chunk;
+  std::uint64_t record_bytes = 0;
+};
+
+/// Appends one chunk (raw or compressed — the record keeps the chunk's
+/// encoding) to the append-only spill file at `path` (created with the
+/// spill magic on first use; a pre-existing file must carry that magic
+/// and an 8-aligned size, or the append is refused), then maps the
 /// freshly written record back and returns the file-backed chunk — the
 /// backend swap behind TraceStore::spill_cold.  The mapped record is
 /// re-validated (against `state_count` registry entries), so a torn
 /// write fails loudly here, not at stream time.
-[[nodiscard]] TraceChunkPtr spill_chunk_to_file(const std::string& path,
-                                                ResourceId resource,
-                                                const TraceChunk& chunk,
-                                                std::uint64_t state_count);
+[[nodiscard]] SpilledChunkRecord spill_chunk_to_file(const std::string& path,
+                                                     ResourceId resource,
+                                                     const TraceChunk& chunk,
+                                                     std::uint64_t state_count);
 
 /// Decodes only the header and tables.
 [[nodiscard]] TraceFileInfo read_binary_trace_info(const std::string& path);

@@ -1,6 +1,7 @@
 #include "trace/trace_store.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <limits>
 #include <string>
 #include <utility>
@@ -14,7 +15,8 @@ namespace stagg {
 namespace {
 
 /// Merges whole chunks into row-major `out` (appending) via the shared
-/// canonical merge.
+/// canonical merge.  Cursor-based, so members of any backend — resident,
+/// mapped, compressed — merge without being rehydrated first.
 void merge_chunks(std::span<const TraceChunkPtr> chunks,
                   std::vector<StateInterval>& out) {
   std::vector<ChunkRun> runs;
@@ -24,15 +26,45 @@ void merge_chunks(std::span<const TraceChunkPtr> chunks,
                    [&out](const StateInterval& s) { out.push_back(s); });
 }
 
-/// Resident copy of a (typically spilled) chunk: columns duplicated into
-/// heap vectors, fences carried over.
+/// Resident copy of a (typically spilled) chunk.  An addressable chunk
+/// comes back as raw heap columns; a compressed chunk stays compressed —
+/// its encoded sections are copied to an owned heap buffer, so pinning
+/// preserves the compression policy's footprint win.
 TraceChunkPtr make_resident(const TraceChunk& chunk) {
-  auto payload = std::make_shared<const ResidentChunkPayload>(
-      std::vector<TimeNs>(chunk.begins().begin(), chunk.begins().end()),
-      std::vector<TimeNs>(chunk.ends().begin(), chunk.ends().end()),
-      std::vector<StateId>(chunk.states().begin(), chunk.states().end()));
-  return std::make_shared<const TraceChunk>(std::move(payload),
-                                            chunk.min_end(), chunk.max_end());
+  if (chunk.addressable()) {
+    auto payload = std::make_shared<const ResidentChunkPayload>(
+        std::vector<TimeNs>(chunk.begins().begin(), chunk.begins().end()),
+        std::vector<TimeNs>(chunk.ends().begin(), chunk.ends().end()),
+        std::vector<StateId>(chunk.states().begin(), chunk.states().end()));
+    return std::make_shared<const TraceChunk>(
+        std::move(payload), chunk.min_end(), chunk.max_end());
+  }
+  const auto* compressed =
+      dynamic_cast<const CompressedChunkPayload*>(chunk.payload().get());
+  if (compressed == nullptr) {
+    throw InvalidArgument("make_resident: unknown non-addressable payload");
+  }
+  const ColumnsCoding& coding = compressed->coding();
+  EncodedColumns enc;
+  enc.count = coding.count;
+  enc.begin_codec = coding.begin_codec;
+  enc.end_codec = coding.end_codec;
+  enc.state_codec = coding.state_codec;
+  enc.begin_bytes = coding.begin_section.size();
+  enc.end_bytes = coding.end_section.size();
+  enc.state_bytes = coding.state_section.size();
+  enc.bytes.reserve(coding.encoded_bytes());
+  enc.bytes.insert(enc.bytes.end(), coding.begin_section.begin(),
+                   coding.begin_section.end());
+  enc.bytes.insert(enc.bytes.end(), coding.end_section.begin(),
+                   coding.end_section.end());
+  enc.bytes.insert(enc.bytes.end(), coding.state_section.begin(),
+                   coding.state_section.end());
+  auto payload =
+      std::make_shared<const CompressedChunkPayload>(std::move(enc));
+  return std::make_shared<const TraceChunk>(std::move(payload), chunk.first(),
+                                            chunk.last(), chunk.min_end(),
+                                            chunk.max_end());
 }
 
 }  // namespace
@@ -54,20 +86,46 @@ TraceChunk::TraceChunk(std::vector<TimeNs> begins, std::vector<TimeNs> ends,
   begins_ = payload->begins();
   ends_ = payload->ends();
   states_ = payload->states();
+  size_ = begins_.size();
   payload_ = std::move(payload);
+  first_ = at(0);
+  last_ = at(size_ - 1);
 }
 
 TraceChunk::TraceChunk(std::shared_ptr<const ChunkPayload> payload,
                        TimeNs min_end, TimeNs max_end)
     : payload_(std::move(payload)), min_end_(min_end), max_end_(max_end) {
-  if (!payload_ || payload_->begins().empty() ||
+  if (!payload_ || !payload_->addressable() || payload_->begins().empty() ||
       payload_->begins().size() != payload_->ends().size() ||
       payload_->begins().size() != payload_->states().size()) {
-    throw InvalidArgument("TraceChunk: empty or mismatched payload columns");
+    throw InvalidArgument(
+        "TraceChunk: empty, mismatched or non-addressable payload columns");
   }
   begins_ = payload_->begins();
   ends_ = payload_->ends();
   states_ = payload_->states();
+  size_ = begins_.size();
+  first_ = at(0);
+  last_ = at(size_ - 1);
+}
+
+TraceChunk::TraceChunk(std::shared_ptr<const ChunkPayload> payload,
+                       StateInterval first, StateInterval last, TimeNs min_end,
+                       TimeNs max_end)
+    : payload_(std::move(payload)),
+      first_(first),
+      last_(last),
+      min_end_(min_end),
+      max_end_(max_end) {
+  if (!payload_ || payload_->size() == 0) {
+    throw InvalidArgument("TraceChunk: null or empty payload");
+  }
+  size_ = payload_->size();
+  if (payload_->addressable()) {
+    begins_ = payload_->begins();
+    ends_ = payload_->ends();
+    states_ = payload_->states();
+  }
 }
 
 std::shared_ptr<const TraceChunk> TraceChunk::from_sorted(
@@ -85,6 +143,56 @@ std::shared_ptr<const TraceChunk> TraceChunk::from_sorted(
   }
   return std::make_shared<const TraceChunk>(
       std::move(begins), std::move(ends), std::move(states));
+}
+
+std::size_t TraceChunk::prefix_below(TimeNs t1, StateInterval* last) const {
+  if (payload_->addressable()) {
+    const std::size_t n = static_cast<std::size_t>(
+        std::lower_bound(begins_.begin(), begins_.end(), t1) -
+        begins_.begin());
+    if (n > 0 && last != nullptr) *last = at(n - 1);
+    return n;
+  }
+  // Whole-chunk fast path: the last (highest) begin is already below t1.
+  if (last_.begin < t1) {
+    if (last != nullptr) *last = last_;
+    return size_;
+  }
+  // Streaming scan: begins are sorted, so stop at the first begin >= t1.
+  std::size_t n = 0;
+  StateInterval prev{};
+  for (ChunkCursor cur(*this); cur.valid(); cur.next()) {
+    if (cur.current().begin >= t1) break;
+    prev = cur.current();
+    ++n;
+  }
+  if (n > 0 && last != nullptr) *last = prev;
+  return n;
+}
+
+ChunkCursor::ChunkCursor(const TraceChunk& chunk, std::size_t limit)
+    : chunk_(&chunk), limit_(limit) {
+  if (limit_ == 0) return;
+  if (chunk.addressable()) {
+    cur_ = chunk.at(0);
+    return;
+  }
+  const auto* compressed =
+      dynamic_cast<const CompressedChunkPayload*>(chunk.payload().get());
+  if (compressed == nullptr) {
+    throw InvalidArgument("ChunkCursor: unknown non-addressable payload");
+  }
+  decoder_.emplace(compressed->coding());
+  decode_next();
+}
+
+void ChunkCursor::decode_next() {
+  StateInterval out;
+  if (!decoder_->next(out)) {
+    pos_ = limit_;  // defensive: the payload count bounds limit_
+    return;
+  }
+  cur_ = out;
 }
 
 ResourceId TraceStore::add_resource(std::string_view path) {
@@ -130,27 +238,122 @@ void TraceStore::add_state(ResourceId resource, StateId state, TimeNs begin,
   ++generation_;
 }
 
+void TraceStore::maybe_compress_into(TraceChunkPtr chunk,
+                                     std::vector<TraceChunkPtr>& out,
+                                     std::size_t block_intervals) const {
+  if (compression_ != ChunkCompression::kAuto || !chunk->resident() ||
+      !chunk->addressable()) {
+    out.push_back(std::move(chunk));
+    return;
+  }
+  const std::span<const TimeNs> begins = chunk->begins();
+  const std::span<const TimeNs> ends = chunk->ends();
+  const std::span<const StateId> states = chunk->states();
+  const std::size_t n = begins.size();
+  const std::size_t blocks = (n + block_intervals - 1) / block_intervals;
+  std::vector<TraceChunkPtr> pieces;
+  pieces.reserve(blocks);
+  bool any_encoded = false;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::size_t lo = b * block_intervals;
+    const std::size_t len = std::min(block_intervals, n - lo);
+    EncodedColumns enc = encode_columns(begins.subspan(lo, len),
+                                        ends.subspan(lo, len),
+                                        states.subspan(lo, len));
+    // Per-block fallback: keep raw columns when encoding does not shrink
+    // them (the per-column raw candidates already bound each column, but
+    // raw-resident avoids the cursor decode entirely).
+    if (enc.encoded_bytes() >=
+        len * (sizeof(TimeNs) * 2 + sizeof(StateId))) {
+      pieces.push_back(std::make_shared<const TraceChunk>(
+          std::vector<TimeNs>(begins.begin() + static_cast<std::ptrdiff_t>(lo),
+                              begins.begin() +
+                                  static_cast<std::ptrdiff_t>(lo + len)),
+          std::vector<TimeNs>(ends.begin() + static_cast<std::ptrdiff_t>(lo),
+                              ends.begin() +
+                                  static_cast<std::ptrdiff_t>(lo + len)),
+          std::vector<StateId>(states.begin() +
+                                   static_cast<std::ptrdiff_t>(lo),
+                               states.begin() +
+                                   static_cast<std::ptrdiff_t>(lo + len))));
+      continue;
+    }
+    any_encoded = true;
+    const StateInterval first = enc.first;
+    const StateInterval last = enc.last;
+    const TimeNs min_end = enc.min_end;
+    const TimeNs max_end = enc.max_end;
+    auto payload =
+        std::make_shared<const CompressedChunkPayload>(std::move(enc));
+    pieces.push_back(std::make_shared<const TraceChunk>(
+        std::move(payload), first, last, min_end, max_end));
+  }
+  // Nothing shrank: keep the original chunk whole (no gratuitous copies
+  // or block splits of an incompressible run).
+  if (!any_encoded) {
+    out.push_back(std::move(chunk));
+    return;
+  }
+  for (TraceChunkPtr& piece : pieces) out.push_back(std::move(piece));
+}
+
+void TraceStore::set_compression(ChunkCompression policy) {
+  compression_ = policy;
+  if (policy != ChunkCompression::kAuto) return;
+  // Re-encode what is already sealed and resident, so a store that turns
+  // compression on after ingest sees the footprint win immediately.
+  bool changed = false;
+  for (Lane& lane : lanes_) {
+    std::vector<TraceChunkPtr> next;
+    next.reserve(lane.chunks.size());
+    bool lane_changed = false;
+    for (TraceChunkPtr& chunk : lane.chunks) {
+      const TraceChunk* original = chunk.get();
+      const std::size_t before = next.size();
+      maybe_compress_into(std::move(chunk), next);
+      lane_changed = lane_changed || next.size() != before + 1 ||
+                     next[before].get() != original;
+    }
+    lane.chunks = std::move(next);
+    changed = changed || lane_changed;
+  }
+  if (changed) ++generation_;
+}
+
 void TraceStore::seal_chunk() {
   if (sealed_) return;
+  // Per-lane unlink lists: compaction runs inside the parallel region, so
+  // spill-record accounting is collected per lane and folded in serially.
+  std::vector<std::vector<std::shared_ptr<const ChunkPayload>>> unlinked(
+      lanes_.size());
   parallel_for(
       lanes_.size(),
-      [this](std::size_t r) {
+      [this, &unlinked](std::size_t r) {
         Lane& lane = lanes_[r];
         if (!lane.tail.empty()) {
           std::sort(lane.tail.begin(), lane.tail.end(), interval_key_less);
-          lane.chunks.push_back(TraceChunk::from_sorted(lane.tail));
+          maybe_compress_into(TraceChunk::from_sorted(lane.tail),
+                              lane.chunks);
           lane.tail.clear();
           lane.tail.shrink_to_fit();
         }
-        if (lane.chunks.size() > kCompactionThreshold) compact_lane(lane);
+        if (lane.chunks.size() > kCompactionThreshold) {
+          compact_lane(lane, unlinked[r]);
+        }
       },
       /*grain=*/1);
+  for (const auto& lane_unlinked : unlinked) {
+    for (const auto& payload : lane_unlinked) note_unlinked(payload.get());
+  }
   derive_window();
   sealed_ = true;
   ++generation_;
+  maybe_compact_spill();
 }
 
-void TraceStore::compact_lane(Lane& lane) {
+void TraceStore::compact_lane(
+    Lane& lane,
+    std::vector<std::shared_ptr<const ChunkPayload>>& unlinked) {
   // Size-tiered compaction: merge only as many of the *smallest* chunks
   // as it takes to halve the list.  Large merged chunks are re-merged
   // only once enough small ones accumulate past them, so streaming
@@ -168,19 +371,17 @@ void TraceStore::compact_lane(Lane& lane) {
   std::vector<std::uint8_t> picked(lane.chunks.size(), 0);
   for (std::size_t k = 0; k < merge_count; ++k) picked[order[k]] = 1;
 
+  // The merge streams members through cursors, so spilled or compressed
+  // members are read in place — no rehydration.  A merged-away member's
+  // spill record (if any) becomes dead; the caller accounts it.
   std::vector<TraceChunkPtr> merge_set;
   merge_set.reserve(merge_count);
   std::size_t first_picked = lane.chunks.size();
   for (std::size_t i = 0; i < lane.chunks.size(); ++i) {
     if (picked[i] != 0) {
       if (first_picked == lane.chunks.size()) first_picked = i;
-      // Pin before merging across a spilled chunk: the merge must read
-      // resident columns only, so a file-backed member is first copied
-      // back to heap (its mapped record in the spill file becomes
-      // garbage; the merged output is a fresh resident chunk either way).
-      merge_set.push_back(lane.chunks[i]->resident()
-                              ? lane.chunks[i]
-                              : make_resident(*lane.chunks[i]));
+      merge_set.push_back(lane.chunks[i]);
+      unlinked.push_back(lane.chunks[i]->payload());
     }
   }
   std::size_t total = 0;
@@ -202,7 +403,13 @@ void TraceStore::compact_lane(Lane& lane) {
   next.reserve(lane.chunks.size() - merge_count + 1);
   for (std::size_t i = 0; i < lane.chunks.size(); ++i) {
     if (i == first_picked && !merged.empty()) {
-      next.push_back(TraceChunk::from_sorted(merged));
+      // Blocks capped at 8 per merge: fence granularity for the view,
+      // but few enough that replacing merge_count (> 8) chunks still
+      // shrinks the lane below the threshold — compaction keeps making
+      // progress instead of re-triggering on its own output every seal.
+      const std::size_t block = std::max(kCompressedBlockIntervals,
+                                         (merged.size() + 7) / 8);
+      maybe_compress_into(TraceChunk::from_sorted(merged), next, block);
     }
     if (picked[i] == 0) next.push_back(lane.chunks[i]);
   }
@@ -240,6 +447,9 @@ void TraceStore::derive_window() {
 void TraceStore::evict_before(TimeNs cutoff) {
   evict_horizon_ = std::max(evict_horizon_, cutoff);
   for (Lane& lane : lanes_) {
+    for (const TraceChunkPtr& c : lane.chunks) {
+      if (c->max_end() <= cutoff) note_unlinked(c->payload().get());
+    }
     std::erase_if(lane.chunks, [cutoff](const TraceChunkPtr& c) {
       return c->max_end() <= cutoff;
     });
@@ -252,6 +462,7 @@ void TraceStore::evict_before(TimeNs cutoff) {
   // caller's contract and stays put.
   if (!window_overridden_) sealed_ = false;
   ++generation_;
+  maybe_compact_spill();
 }
 
 void TraceStore::erase_before_exact(TimeNs cutoff) {
@@ -263,20 +474,23 @@ void TraceStore::erase_before_exact(TimeNs cutoff) {
     std::vector<TraceChunkPtr> kept;
     kept.reserve(lane.chunks.size());
     for (TraceChunkPtr& c : lane.chunks) {
-      if (c->max_end() <= cutoff) continue;  // entirely dead
-      if (c->min_end() > cutoff) {           // fence proves no dead entry
+      if (c->max_end() <= cutoff) {  // entirely dead
+        note_unlinked(c->payload().get());
+        continue;
+      }
+      if (c->min_end() > cutoff) {  // fence proves no dead entry
         kept.push_back(std::move(c));
         continue;
       }
       // Straddling: rewrite the surviving subsequence (still sorted).
       std::vector<StateInterval> survivors;
       survivors.reserve(c->size());
-      for (std::size_t i = 0; i < c->size(); ++i) {
-        const StateInterval s = c->at(i);
-        if (s.end > cutoff) survivors.push_back(s);
+      for (ChunkCursor cur(*c); cur.valid(); cur.next()) {
+        if (cur.current().end > cutoff) survivors.push_back(cur.current());
       }
+      note_unlinked(c->payload().get());
       if (!survivors.empty()) {
-        kept.push_back(TraceChunk::from_sorted(survivors));
+        maybe_compress_into(TraceChunk::from_sorted(survivors), kept);
       }
     }
     lane.chunks = std::move(kept);
@@ -286,6 +500,7 @@ void TraceStore::erase_before_exact(TimeNs cutoff) {
   }
   if (!window_overridden_) sealed_ = false;
   ++generation_;
+  maybe_compact_spill();
 }
 
 void TraceStore::set_window(TimeNs begin, TimeNs end) {
@@ -318,7 +533,7 @@ void TraceStore::materialize(ResourceId r,
 std::size_t TraceStore::store_bytes() const noexcept {
   std::size_t bytes = 0;
   for (const Lane& lane : lanes_) {
-    for (const TraceChunkPtr& c : lane.chunks) bytes += c->bytes();
+    for (const TraceChunkPtr& c : lane.chunks) bytes += c->stored_bytes();
     bytes += lane.tail.capacity() * sizeof(StateInterval);
   }
   return bytes;
@@ -360,7 +575,7 @@ std::size_t TraceStore::spill_cold(std::size_t budget_bytes) {
     const auto& chunks = lanes_[lane].chunks;
     for (std::size_t i = 0; i < chunks.size(); ++i) {
       if (!chunks[i]->resident()) continue;
-      resident += chunks[i]->bytes();
+      resident += chunks[i]->stored_bytes();
       candidates.push_back({lane, i, chunks[i]->max_end()});
     }
   }
@@ -375,11 +590,17 @@ std::size_t TraceStore::spill_cold(std::size_t budget_bytes) {
   for (const Candidate& cand : candidates) {
     if (resident <= budget_bytes) break;
     TraceChunkPtr& slot = lanes_[cand.lane].chunks[cand.index];
-    TraceChunkPtr mapped =
+    SpilledChunkRecord rec =
         spill_chunk_to_file(spill_path_, static_cast<ResourceId>(cand.lane),
                             *slot, states_.size());
-    resident -= slot->bytes();
-    slot = std::move(mapped);
+    spill_records_.emplace(rec.chunk->payload().get(), rec.record_bytes);
+    spill_live_bytes_ += rec.record_bytes;
+    // The freshly validated record's pages are hot but cold by definition
+    // (we just decided this chunk is the least-needed one): hint the
+    // kernel to reclaim them first.
+    rec.chunk->advise(MapAdvice::kDontNeed);
+    resident -= slot->stored_bytes();
+    slot = std::move(rec.chunk);
     ++spilled;
   }
   if (spilled != 0) ++generation_;
@@ -393,10 +614,14 @@ std::size_t TraceStore::pin(ResourceId r) {
   std::size_t pinned = 0;
   for (TraceChunkPtr& chunk : lanes_[static_cast<std::size_t>(r)].chunks) {
     if (chunk->resident()) continue;
+    note_unlinked(chunk->payload().get());
     chunk = make_resident(*chunk);
     ++pinned;
   }
-  if (pinned != 0) ++generation_;
+  if (pinned != 0) {
+    ++generation_;
+    maybe_compact_spill();
+  }
   return pinned;
 }
 
@@ -412,7 +637,7 @@ std::size_t TraceStore::resident_chunk_bytes() const noexcept {
   std::size_t bytes = 0;
   for (const Lane& lane : lanes_) {
     for (const TraceChunkPtr& c : lane.chunks) {
-      if (c->resident()) bytes += c->bytes();
+      if (c->resident()) bytes += c->stored_bytes();
     }
   }
   return bytes;
@@ -422,10 +647,65 @@ std::size_t TraceStore::spilled_chunk_bytes() const noexcept {
   std::size_t bytes = 0;
   for (const Lane& lane : lanes_) {
     for (const TraceChunkPtr& c : lane.chunks) {
-      if (!c->resident()) bytes += c->bytes();
+      if (!c->resident()) bytes += c->stored_bytes();
     }
   }
   return bytes;
+}
+
+void TraceStore::note_unlinked(const ChunkPayload* payload) {
+  const auto it = spill_records_.find(payload);
+  if (it == spill_records_.end()) return;
+  spill_live_bytes_ -= it->second;
+  spill_dead_bytes_ += it->second;
+  spill_records_.erase(it);
+}
+
+void TraceStore::maybe_compact_spill() {
+  if (spill_path_.empty() || spill_dead_bytes_ == 0) return;
+  if (spill_dead_bytes_ <= spill_live_bytes_) return;
+  compact_spill();
+}
+
+void TraceStore::compact_spill() {
+  // Rewrite the live records to a sibling temp file and rename it over
+  // the spill path — the same crash-safety as chunk-file writes.  Old
+  // mappings (this store's still-linked records and any outstanding
+  // views) survive the rename: POSIX keeps the renamed-over inode's
+  // pages alive as long as something maps them.
+  const std::string tmp = spill_path_ + ".compact";
+  std::remove(tmp.c_str());
+  std::unordered_map<const ChunkPayload*, std::size_t> rewritten;
+  std::size_t live = 0;
+  bool wrote = false;
+  for (std::size_t r = 0; r < lanes_.size(); ++r) {
+    for (TraceChunkPtr& slot : lanes_[r].chunks) {
+      if (spill_records_.find(slot->payload().get()) ==
+          spill_records_.end()) {
+        continue;
+      }
+      SpilledChunkRecord rec = spill_chunk_to_file(
+          tmp, static_cast<ResourceId>(r), *slot, states_.size());
+      rewritten.emplace(rec.chunk->payload().get(), rec.record_bytes);
+      live += rec.record_bytes;
+      rec.chunk->advise(MapAdvice::kDontNeed);
+      slot = std::move(rec.chunk);
+      wrote = true;
+    }
+  }
+  if (wrote) {
+    if (std::rename(tmp.c_str(), spill_path_.c_str()) != 0) {
+      throw IoError("cannot rename '" + tmp + "' to '" + spill_path_ + "'");
+    }
+  } else {
+    // Nothing live: the whole file was churn.  Drop it; the next spill
+    // recreates it from the magic up.
+    std::remove(spill_path_.c_str());
+  }
+  spill_records_ = std::move(rewritten);
+  spill_live_bytes_ = live;
+  spill_dead_bytes_ = 0;
+  ++generation_;
 }
 
 }  // namespace stagg

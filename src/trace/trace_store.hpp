@@ -17,14 +17,20 @@
 // The resident backend owns its columns as heap vectors; the file-backed
 // backend exposes the columns of an mmapped chunk-file record in place
 // (common/mapped_file.hpp), so a spilled chunk costs reclaimable page-cache
-// pages instead of anonymous heap.  spill_cold() rewrites the coldest
-// resident chunks (ascending fence max-end — an LRU over trace time) to the
-// store's spill file and swaps in mapped payloads until the resident chunk
-// bytes fit a budget; pin() swaps a resource's spilled chunks back to
-// resident copies.  Both swap *chunk pointers*, never chunk contents, so an
-// outstanding TraceView — which pinned its chunks by reference at selection
-// — keeps streaming its snapshot bit-identically through a mid-stream spill,
-// pin, eviction or compaction.
+// pages instead of anonymous heap; the compressed backend (resident or
+// file-backed) holds delta/dictionary-encoded column blocks
+// (trace/compression.hpp) that ChunkCursor streaming-decodes — never
+// materialising whole columns — when set_compression enables the policy.
+// spill_cold() rewrites the coldest resident chunks (ascending fence
+// max-end — an LRU over trace time) to the store's spill file and swaps in
+// mapped payloads until the resident chunk bytes fit a budget; pin() swaps
+// a resource's spilled chunks back to resident copies.  Both swap *chunk
+// pointers*, never chunk contents, so an outstanding TraceView — which
+// pinned its chunks by reference at selection — keeps streaming its
+// snapshot bit-identically through a mid-stream spill, pin, eviction or
+// compaction.  All byte accounting (resident_chunk_bytes, store_bytes)
+// counts *stored* bytes: encoded size for compressed chunks, so budget
+// math sees the real footprint.
 //
 // Ordering contract: chunks are sorted by the *total* key (begin, end,
 // state).  Intervals with identical keys are indistinguishable to every
@@ -39,12 +45,15 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mapped_file.hpp"
+#include "trace/compression.hpp"
 #include "trace/event.hpp"
 #include "trace/state_registry.hpp"
 
@@ -61,29 +70,49 @@ namespace stagg {
   return a.state < b.state;
 }
 
-class MappedRegion;
-
-/// Backend of one sealed chunk's columns.  Implementations expose three
-/// parallel columns sorted by (begin, end, state); they are immutable and
-/// never change what the spans point at for the payload's lifetime.
+/// Backend of one sealed chunk's columns.  Implementations hold three
+/// parallel columns sorted by (begin, end, state); they are immutable for
+/// the payload's lifetime.  Addressable backends expose the columns as
+/// spans; the compressed backend exposes encoded blocks instead and is
+/// read through ChunkCursor's streaming decode.
 class ChunkPayload {
  public:
   virtual ~ChunkPayload() = default;
   ChunkPayload(const ChunkPayload&) = delete;
   ChunkPayload& operator=(const ChunkPayload&) = delete;
 
+  /// Column spans; empty for non-addressable (compressed) backends.
   [[nodiscard]] virtual std::span<const TimeNs> begins() const noexcept = 0;
   [[nodiscard]] virtual std::span<const TimeNs> ends() const noexcept = 0;
   [[nodiscard]] virtual std::span<const StateId> states() const noexcept = 0;
 
-  /// True when the columns are anonymous heap memory owned by this payload
-  /// (they count against a resident-byte budget); false for file-backed
-  /// columns, whose pages the OS loads and reclaims on demand.
+  /// Number of intervals (all backends, addressable or not).
+  [[nodiscard]] virtual std::size_t size() const noexcept = 0;
+
+  /// True when the columns can be read in place through the spans (resident
+  /// heap vectors, mapped raw records); false for compressed blocks, which
+  /// only support cursor streaming.
+  [[nodiscard]] virtual bool addressable() const noexcept { return true; }
+
+  /// True when the backing memory is anonymous heap owned by this payload
+  /// (it counts against a resident-byte budget); false for file-backed
+  /// payloads, whose pages the OS loads and reclaims on demand.
   [[nodiscard]] virtual bool resident() const noexcept = 0;
+
+  /// Actual storage footprint: encoded bytes for compressed payloads,
+  /// the raw column bytes otherwise.  This — not the logical size — is
+  /// what every budget and accounting sums.
+  [[nodiscard]] virtual std::size_t stored_bytes() const noexcept {
+    return bytes();
+  }
+
+  /// Forwards paging advice to the backing mapped region; no-op for
+  /// resident backends and where madvise is unsupported.
+  virtual void advise(MapAdvice /*advice*/) const noexcept {}
 
   /// Logical payload bytes of the three columns (backend-independent).
   [[nodiscard]] std::size_t bytes() const noexcept {
-    return begins().size() * (sizeof(TimeNs) * 2 + sizeof(StateId));
+    return size() * (sizeof(TimeNs) * 2 + sizeof(StateId));
   }
 
  protected:
@@ -107,6 +136,9 @@ class ResidentChunkPayload final : public ChunkPayload {
   }
   [[nodiscard]] std::span<const StateId> states() const noexcept override {
     return states_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept override {
+    return begins_.size();
   }
   [[nodiscard]] bool resident() const noexcept override { return true; }
 
@@ -141,13 +173,90 @@ class MappedChunkPayload final : public ChunkPayload {
   [[nodiscard]] std::span<const StateId> states() const noexcept override {
     return states_;
   }
+  [[nodiscard]] std::size_t size() const noexcept override {
+    return begins_.size();
+  }
   [[nodiscard]] bool resident() const noexcept override { return false; }
+  void advise(MapAdvice advice) const noexcept override {
+    region_->advise(advice);
+  }
 
  private:
   std::shared_ptr<const MappedRegion> region_;
   std::span<const TimeNs> begins_;
   std::span<const TimeNs> ends_;
   std::span<const StateId> states_;
+};
+
+/// Compressed backend: the three columns live as self-describing encoded
+/// blocks (trace/compression.hpp) — either in an owned heap buffer
+/// (compressed-resident, the seal-time compression policy) or pointing
+/// into a mapped STGC v2 record (compressed file-backed).  Not
+/// addressable: readers stream it through ChunkCursor, whose fixed-size
+/// decoder state is the only scratch.  stored_bytes() reports the encoded
+/// size, so budgets see the real (3-5x smaller) footprint.
+class CompressedChunkPayload final : public ChunkPayload {
+ public:
+  /// Compressed-resident: adopts the encoder's buffer.
+  explicit CompressedChunkPayload(EncodedColumns encoded) noexcept
+      : owned_(std::move(encoded.bytes)),
+        coding_{encoded.count,
+                encoded.begin_codec,
+                encoded.end_codec,
+                encoded.state_codec,
+                {},
+                {},
+                {}} {
+    const std::span<const std::uint8_t> all(owned_);
+    coding_.begin_section =
+        all.subspan(0, static_cast<std::size_t>(encoded.begin_bytes));
+    coding_.end_section =
+        all.subspan(static_cast<std::size_t>(encoded.begin_bytes),
+                    static_cast<std::size_t>(encoded.end_bytes));
+    coding_.state_section = all.subspan(
+        static_cast<std::size_t>(encoded.begin_bytes + encoded.end_bytes),
+        static_cast<std::size_t>(encoded.state_bytes));
+  }
+
+  /// Compressed file-backed: the coding's sections point into `region`
+  /// (binary_io validates the record before building one of these).
+  CompressedChunkPayload(std::shared_ptr<const MappedRegion> region,
+                         const ColumnsCoding& coding) noexcept
+      : region_(std::move(region)), coding_(coding) {}
+
+  [[nodiscard]] std::span<const TimeNs> begins() const noexcept override {
+    return {};
+  }
+  [[nodiscard]] std::span<const TimeNs> ends() const noexcept override {
+    return {};
+  }
+  [[nodiscard]] std::span<const StateId> states() const noexcept override {
+    return {};
+  }
+  [[nodiscard]] std::size_t size() const noexcept override {
+    return static_cast<std::size_t>(coding_.count);
+  }
+  [[nodiscard]] bool addressable() const noexcept override { return false; }
+  [[nodiscard]] bool resident() const noexcept override {
+    return region_ == nullptr;
+  }
+  [[nodiscard]] std::size_t stored_bytes() const noexcept override {
+    return coding_.encoded_bytes();
+  }
+  void advise(MapAdvice advice) const noexcept override {
+    if (region_ != nullptr) region_->advise(advice);
+  }
+
+  [[nodiscard]] const ColumnsCoding& coding() const noexcept {
+    return coding_;
+  }
+
+ private:
+  /// Exactly one of these backs the sections: the owned buffer
+  /// (resident) or the mapped region (file-backed).
+  std::vector<std::uint8_t> owned_;
+  std::shared_ptr<const MappedRegion> region_;
+  ColumnsCoding coding_;
 };
 
 /// One sealed run of a resource's intervals: columnar, sorted by
@@ -164,22 +273,33 @@ class TraceChunk {
   TraceChunk(std::vector<TimeNs> begins, std::vector<TimeNs> ends,
              std::vector<StateId> states);
 
-  /// Wraps an externally validated payload (the mmap open/spill path).
-  /// The caller vouches that the columns are non-empty, sorted by the
-  /// total key and that `min_end`/`max_end` are their true end fences —
-  /// binary_io's record validation recomputes all three while
-  /// checksumming.
+  /// Wraps an externally validated *addressable* payload (the mmap
+  /// open/spill path).  The caller vouches that the columns are non-empty,
+  /// sorted by the total key and that `min_end`/`max_end` are their true
+  /// end fences — binary_io's record validation recomputes all three
+  /// while checksumming.
   TraceChunk(std::shared_ptr<const ChunkPayload> payload, TimeNs min_end,
              TimeNs max_end);
+
+  /// Wraps an externally validated payload of any backend, with the
+  /// boundary intervals and end fences supplied (a compressed payload
+  /// cannot derive them by indexing).  `first`/`last` are the first and
+  /// last intervals of the sorted run; validation or the encoder scan
+  /// provides them.
+  TraceChunk(std::shared_ptr<const ChunkPayload> payload, StateInterval first,
+             StateInterval last, TimeNs min_end, TimeNs max_end);
 
   /// Freezes a sorted row-major run (the seal path).
   [[nodiscard]] static std::shared_ptr<const TraceChunk> from_sorted(
       std::span<const StateInterval> sorted);
 
-  [[nodiscard]] std::size_t size() const noexcept { return begins_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  /// Random access — addressable backends only (ChunkCursor streams every
+  /// backend, including compressed).
   [[nodiscard]] StateInterval at(std::size_t i) const noexcept {
     return {begins_[i], ends_[i], states_[i]};
   }
+  /// Column spans; empty for compressed (non-addressable) chunks.
   [[nodiscard]] std::span<const TimeNs> begins() const noexcept {
     return begins_;
   }
@@ -188,36 +308,101 @@ class TraceChunk {
     return states_;
   }
 
+  /// Boundary intervals of the sorted run (all backends).
+  [[nodiscard]] const StateInterval& first() const noexcept { return first_; }
+  [[nodiscard]] const StateInterval& last() const noexcept { return last_; }
+
   /// Fences.  begins are sorted, so min_begin is the first entry; the end
   /// column is not sorted, so min/max are tracked at construction.
-  [[nodiscard]] TimeNs min_begin() const noexcept { return begins_.front(); }
+  [[nodiscard]] TimeNs min_begin() const noexcept { return first_.begin; }
   [[nodiscard]] TimeNs min_end() const noexcept { return min_end_; }
   [[nodiscard]] TimeNs max_end() const noexcept { return max_end_; }
 
   /// Payload bytes of the three columns (logical size, backend-independent).
   [[nodiscard]] std::size_t bytes() const noexcept {
-    return begins_.size() * (sizeof(TimeNs) * 2 + sizeof(StateId));
+    return size_ * (sizeof(TimeNs) * 2 + sizeof(StateId));
+  }
+  /// Actual storage footprint (encoded bytes for compressed chunks) — the
+  /// number every budget counts.
+  [[nodiscard]] std::size_t stored_bytes() const noexcept {
+    return payload_->stored_bytes();
   }
 
   /// Whether the columns count against a resident-memory budget (see
   /// ChunkPayload::resident).
   [[nodiscard]] bool resident() const noexcept { return payload_->resident(); }
+  /// Whether at()/the column spans may be used (see
+  /// ChunkPayload::addressable).
+  [[nodiscard]] bool addressable() const noexcept {
+    return payload_->addressable();
+  }
+  /// Forwards paging advice to a file-backed payload (no-op otherwise).
+  void advise(MapAdvice advice) const noexcept { payload_->advise(advice); }
   [[nodiscard]] const std::shared_ptr<const ChunkPayload>& payload()
       const noexcept {
     return payload_;
   }
 
+  /// Size of the longest prefix whose begins lie below `t1` (begins are
+  /// sorted).  When the prefix is non-empty and `last` is non-null, also
+  /// reports its final interval (the first is first()).  Addressable
+  /// chunks binary-search; compressed chunks stream-decode, stopping at
+  /// the first begin >= t1.
+  [[nodiscard]] std::size_t prefix_below(TimeNs t1,
+                                         StateInterval* last) const;
+
  private:
   std::shared_ptr<const ChunkPayload> payload_;
-  /// Cached payload spans (stable: payloads are immutable).
+  /// Cached payload spans (stable: payloads are immutable; empty for
+  /// compressed payloads).
   std::span<const TimeNs> begins_;
   std::span<const TimeNs> ends_;
   std::span<const StateId> states_;
+  std::size_t size_ = 0;
+  StateInterval first_{};
+  StateInterval last_{};
   TimeNs min_end_ = 0;
   TimeNs max_end_ = 0;
 };
 
 using TraceChunkPtr = std::shared_ptr<const TraceChunk>;
+
+/// Streaming reader over the prefix [0, limit) of one sealed chunk — the
+/// uniform way to consume any backend.  Addressable chunks are read
+/// through their cached spans; compressed chunks stream through a
+/// ColumnsDecoder whose fixed-size state is the per-run cursor buffer
+/// (whole columns are never materialised).
+class ChunkCursor {
+ public:
+  ChunkCursor(const TraceChunk& chunk, std::size_t limit);
+  explicit ChunkCursor(const TraceChunk& chunk)
+      : ChunkCursor(chunk, chunk.size()) {}
+
+  [[nodiscard]] bool valid() const noexcept { return pos_ < limit_; }
+  [[nodiscard]] const StateInterval& current() const noexcept { return cur_; }
+  void next() {
+    if (++pos_ >= limit_) return;
+    if (decoder_.has_value()) {
+      decode_next();
+    } else {
+      cur_ = chunk_->at(pos_);
+    }
+  }
+
+  /// Bytes of decoder scratch this cursor holds (0 for addressable runs).
+  [[nodiscard]] std::size_t scratch_bytes() const noexcept {
+    return decoder_.has_value() ? decoder_->scratch_bytes() : 0;
+  }
+
+ private:
+  void decode_next();
+
+  const TraceChunk* chunk_ = nullptr;
+  std::size_t pos_ = 0;
+  std::size_t limit_ = 0;
+  StateInterval cur_{};
+  std::optional<ColumnsDecoder> decoder_;
+};
 
 /// One sorted run for the shared k-way merge: the prefix [0, size) of a
 /// sealed chunk.
@@ -231,32 +416,42 @@ struct ChunkRun {
 /// store's row materialization/compaction and TraceView cursors use.
 /// Equal keys emit lowest-run-first; since equal keys are
 /// indistinguishable intervals, the output is the unique sorted sequence
-/// of the input multiset regardless of how it was chunked.
+/// of the input multiset regardless of how it was chunked.  Runs stream
+/// through ChunkCursor, so every backend — resident, mapped, compressed —
+/// merges identically.
 template <class F>
 void merge_chunk_runs(std::span<const ChunkRun> runs, F&& f) {
   if (runs.empty()) return;
   if (runs.size() == 1) {
     const ChunkRun& run = runs.front();
-    for (std::size_t i = 0; i < run.size; ++i) f(run.chunk->at(i));
+    for (ChunkCursor c(*run.chunk, run.size); c.valid(); c.next()) {
+      f(c.current());
+    }
     return;
   }
-  std::vector<std::size_t> pos(runs.size(), 0);
+  std::vector<ChunkCursor> cursors;
+  cursors.reserve(runs.size());
+  for (const ChunkRun& run : runs) cursors.emplace_back(*run.chunk, run.size);
   for (;;) {
-    std::size_t best = runs.size();
-    StateInterval best_iv;
-    for (std::size_t k = 0; k < runs.size(); ++k) {
-      if (pos[k] >= runs[k].size) continue;
-      const StateInterval iv = runs[k].chunk->at(pos[k]);
-      if (best == runs.size() || interval_key_less(iv, best_iv)) {
-        best = k;
-        best_iv = iv;
+    ChunkCursor* best = nullptr;
+    for (ChunkCursor& c : cursors) {
+      if (!c.valid()) continue;
+      if (best == nullptr || interval_key_less(c.current(), best->current())) {
+        best = &c;
       }
     }
-    if (best == runs.size()) break;
-    ++pos[best];
-    f(best_iv);
+    if (best == nullptr) break;
+    f(best->current());
+    best->next();
   }
 }
+
+/// Seal-time chunk compression policy (TraceStore::set_compression).
+enum class ChunkCompression : std::uint8_t {
+  kNone = 0,  ///< Sealed chunks stay raw resident columns.
+  kAuto = 1,  ///< Sealed chunks are encoded per column (cheapest codec
+              ///< wins) whenever that shrinks them; raw otherwise.
+};
 
 /// Shared, chunked, append-tailed trace storage.  Mutations (append, seal,
 /// evict, compact) are single-writer: they must not race with each other.
@@ -380,10 +575,23 @@ class TraceStore {
     return generation_;
   }
 
-  /// Payload bytes held by the store: sealed chunk columns plus tail
-  /// capacity, regardless of backend.  The number a multi-session server
-  /// shares — and counts once — across all sessions reading this store.
+  /// Stored payload bytes held by the store: sealed chunk footprints
+  /// (encoded size for compressed chunks) plus tail capacity, regardless
+  /// of backend.  The number a multi-session server shares — and counts
+  /// once — across all sessions reading this store.
   [[nodiscard]] std::size_t store_bytes() const noexcept;
+
+  // --- Seal-time compression policy --------------------------------------
+
+  /// Sets the compression policy applied when chunks are sealed or
+  /// compacted.  Enabling kAuto also re-encodes the already sealed
+  /// resident raw chunks in place (slot swaps; outstanding views keep
+  /// their pinned raw chunks).  Switching back to kNone only affects
+  /// future seals — existing compressed chunks stay compressed.
+  void set_compression(ChunkCompression policy);
+  [[nodiscard]] ChunkCompression compression() const noexcept {
+    return compression_;
+  }
 
   // --- On-disk spill (backend swap; contents never change) ---------------
 
@@ -418,11 +626,26 @@ class TraceStore {
   /// pin() over every resource.
   std::size_t pin_all();
 
-  /// Resident split of the sealed chunk bytes (tails are always resident
-  /// and counted by neither: they are mutable and unspillable).  The
-  /// budget spill_cold() enforces is over resident_chunk_bytes().
+  /// Resident split of the sealed chunk *stored* bytes (encoded size for
+  /// compressed chunks; tails are always resident and counted by neither:
+  /// they are mutable and unspillable).  The budget spill_cold() enforces
+  /// is over resident_chunk_bytes().
   [[nodiscard]] std::size_t resident_chunk_bytes() const noexcept;
   [[nodiscard]] std::size_t spilled_chunk_bytes() const noexcept;
+
+  /// Spill-file occupancy: bytes of records whose chunks are still linked
+  /// in a lane vs records orphaned by pin/evict/compaction churn.  Once
+  /// dead bytes exceed live bytes the store compacts the file (temp +
+  /// rename, like chunk-file writes), remapping the live records — so the
+  /// file stays bounded by ~2x the live spilled set.  Outstanding views
+  /// keep reading their old mappings (POSIX keeps renamed-over pages
+  /// alive).
+  [[nodiscard]] std::size_t spill_live_bytes() const noexcept {
+    return spill_live_bytes_;
+  }
+  [[nodiscard]] std::size_t spill_dead_bytes() const noexcept {
+    return spill_dead_bytes_;
+  }
 
   /// seal_chunk() size-tier-compacts a resource once its chunk list grows
   /// past this bound (merging the smallest chunks down to half of it), so
@@ -430,17 +653,49 @@ class TraceStore {
   /// O(n log n) overall.
   static constexpr std::size_t kCompactionThreshold = 16;
 
+  /// Compression splits large runs into blocks of at most this many
+  /// intervals, each sealed as its own chunk with its own time fences.
+  /// Encoded columns have no random access, so fence granularity is what
+  /// keeps incremental refolds cheap: a view selecting a window suffix
+  /// fence-skips the blocks wholly behind it instead of stream-decoding a
+  /// monolithic chunk from the start on every advance.
+  static constexpr std::size_t kCompressedBlockIntervals = 128;
+
  private:
   struct Lane {
     std::vector<TraceChunkPtr> chunks;
     std::vector<StateInterval> tail;
   };
 
-  void compact_lane(Lane& lane);
+  void compact_lane(Lane& lane,
+                    std::vector<std::shared_ptr<const ChunkPayload>>&
+                        unlinked);
   void derive_window();
+
+  /// Applies the compression policy to a freshly built resident chunk,
+  /// appending the result to `out`: compressed-resident block chunks (at
+  /// most `block_intervals` intervals each) when the policy is kAuto and
+  /// encoding shrinks the run, the chunk itself unchanged otherwise.
+  void maybe_compress_into(TraceChunkPtr chunk,
+                           std::vector<TraceChunkPtr>& out,
+                           std::size_t block_intervals =
+                               kCompressedBlockIntervals) const;
+
+  /// Spill-file record accounting: called whenever a chunk leaves its
+  /// lane slot for good (evict, erase, pin, compaction merge) so the
+  /// record it may own in the spill file is counted dead.
+  void note_unlinked(const ChunkPayload* payload);
+  /// Compacts the spill file once dead bytes exceed live bytes.
+  void maybe_compact_spill();
+  void compact_spill();
 
   /// Append-only spill file; empty = spill disabled.
   std::string spill_path_;
+  /// Live spill-file records by payload identity -> record bytes.
+  std::unordered_map<const ChunkPayload*, std::size_t> spill_records_;
+  std::size_t spill_live_bytes_ = 0;
+  std::size_t spill_dead_bytes_ = 0;
+  ChunkCompression compression_ = ChunkCompression::kNone;
 
   /// Copy-on-write: cloned before mutation whenever pinned by a view (or
   /// shared with a store copy), so outstanding snapshots stay stable.

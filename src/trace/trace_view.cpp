@@ -94,16 +94,22 @@ void TraceView::select_runs() {
       // Fence test: can any interval of this chunk overlap [t0, t1)?
       if (chunk->min_begin() >= t1_ || chunk->max_end() <= t0_) continue;
       // Begins are sorted: entries with begin >= t1 are a prunable suffix.
-      const auto begins = chunk->begins();
-      const std::size_t size = static_cast<std::size_t>(
-          std::lower_bound(begins.begin(), begins.end(), t1_) -
-          begins.begin());
-      if (size > 0) runs.push_back(Run{chunk, size});
+      Run run{chunk, 0, chunk->first(), chunk->first(), 0};
+      run.size = chunk->prefix_below(t1_, &run.last);
+      if (run.size == 0) continue;
+      if (!chunk->resident()) {
+        // The cursors read this file-backed run front-to-back, starting
+        // now: tell the pager.
+        chunk->advise(MapAdvice::kSequential);
+        chunk->advise(MapAdvice::kWillNeed);
+      }
+      if (!chunk->addressable()) {
+        run.scratch = ChunkCursor(*chunk, 1).scratch_bytes();
+      }
+      runs.push_back(std::move(run));
     }
     for (std::size_t k = 0; k + 1 < runs.size(); ++k) {
-      const StateInterval last = runs[k].chunk->at(runs[k].size - 1);
-      const StateInterval first = runs[k + 1].chunk->at(0);
-      if (interval_key_less(first, last)) {
+      if (interval_key_less(runs[k + 1].first, runs[k].last)) {
         concat_ok_[r] = 0;
         break;
       }
@@ -125,6 +131,27 @@ std::size_t TraceView::spilled_run_count() const noexcept {
     for (const Run& run : runs) n += run.chunk->resident() ? 0 : 1;
   }
   return n;
+}
+
+std::size_t TraceView::compressed_run_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& runs : runs_) {
+    for (const Run& run : runs) n += run.chunk->addressable() ? 0 : 1;
+  }
+  return n;
+}
+
+std::size_t TraceView::cursor_scratch_bytes() const noexcept {
+  // for_each streams one resource at a time; the merge path holds every
+  // run's cursor of that resource at once, so the worst resource bounds
+  // the live scratch.
+  std::size_t worst = 0;
+  for (const auto& runs : runs_) {
+    std::size_t total = 0;
+    for (const Run& run : runs) total += run.scratch;
+    worst = std::max(worst, total);
+  }
+  return worst;
 }
 
 }  // namespace stagg

@@ -19,10 +19,14 @@
 //
 // Storage backends: selection *pins* every chunk it keeps — the shared_ptr
 // holds the chunk's payload, and a file-backed (spilled) payload holds its
-// mmap region — so a view streams resident and spilled chunks through the
-// same cursors, bit-identically, and survives the store spilling, pinning,
-// evicting or compacting any of them mid-stream.  spilled_run_count()
-// reports how many selected runs read file-backed columns.
+// mmap region — so a view streams resident, spilled and compressed chunks
+// through the same ChunkCursors, bit-identically, and survives the store
+// spilling, pinning, evicting or compacting any of them mid-stream.
+// Selection nudges the pager for file-backed runs (MADV_SEQUENTIAL +
+// MADV_WILLNEED: cursors read front-to-back and are about to).
+// spilled_run_count() / compressed_run_count() report how many selected
+// runs read file-backed / encoded columns, and cursor_scratch_bytes() the
+// decoder scratch one full streaming pass holds.
 #pragma once
 
 #include <cstddef>
@@ -99,6 +103,16 @@ class TraceView {
   /// than resident — instrumentation for tests and memory accounting.
   [[nodiscard]] std::size_t spilled_run_count() const noexcept;
 
+  /// Number of selected runs whose chunk holds encoded (compressed)
+  /// columns and therefore streams through a decoding cursor.
+  [[nodiscard]] std::size_t compressed_run_count() const noexcept;
+
+  /// Decoder scratch bytes a full for_each pass over every resource holds
+  /// live at once (one fixed-size cursor per compressed run in the
+  /// resource currently streaming; this reports the worst resource for
+  /// the merge path, i.e. the accounting upper bound).
+  [[nodiscard]] std::size_t cursor_scratch_bytes() const noexcept;
+
   /// Streams view resource `r`'s selected intervals to `f(StateInterval)`
   /// in (begin, end, state) order.
   template <class F>
@@ -106,8 +120,12 @@ class TraceView {
     const auto& runs = runs_[r];
     if (runs.empty()) return;
     if (runs.size() == 1 || concat_ok_[r] != 0) {
+      // Time-ordered runs: sequential cursor scans (one decoder live at a
+      // time for compressed runs).
       for (const Run& run : runs) {
-        for (std::size_t i = 0; i < run.size; ++i) f(run.chunk->at(i));
+        for (ChunkCursor c(*run.chunk, run.size); c.valid(); c.next()) {
+          f(c.current());
+        }
       }
       return;
     }
@@ -124,10 +142,16 @@ class TraceView {
   }
 
  private:
-  /// Selected prefix [0, size) of one pinned chunk.
+  /// Selected prefix [0, size) of one pinned chunk, with its boundary
+  /// intervals (recorded at selection so the concatenation check never
+  /// re-decodes compressed chunks) and the cursor scratch one streaming
+  /// pass over it holds.
   struct Run {
     TraceChunkPtr chunk;
     std::size_t size = 0;
+    StateInterval first{};
+    StateInterval last{};
+    std::size_t scratch = 0;
   };
 
   void init(std::span<const ResourceId> scope,

@@ -433,6 +433,84 @@ TEST(SessionManager, SharedSessionsRejectDirectIngest) {
   EXPECT_THROW(manager.append(0, StateId{99}, 0, 1), InvalidArgument);
 }
 
+TEST(SessionManager, CentralCompressionKeepsEverySessionBitIdentical) {
+  // The shared store's codec policy lives on the manager: enabling it
+  // shrinks the shared payload once for all sessions and never changes
+  // any session's results — through re-encoding of sealed history, live
+  // ingest, central sealing/eviction and the from-scratch oracle.
+  const Hierarchy h = make_balanced_hierarchy(2, 3);
+  Trace whole = make_synthetic_trace(h, 30.0, 0xC0DE);
+  whole.seal();
+  const TimeNs horizon = seconds(18.0);
+
+  const auto make_manager = [&] {
+    TraceSplit split = split_trace_at(whole, horizon);
+    split.initial.seal();
+    auto manager = std::make_unique<SessionManager>(h, split.initial.store());
+    SessionSpec a;
+    a.window = TimeGrid(0, seconds(16.0), 16);
+    a.ps = {0.25, 0.75};
+    manager->add_session(a);
+    SessionSpec b;
+    b.window = TimeGrid(seconds(2.0), seconds(14.0), 24);
+    b.ps = {0.5};
+    manager->add_session(b);
+    return manager;
+  };
+
+  auto plain = make_manager();
+  auto compressed = make_manager();
+  const std::size_t raw_bytes = compressed->store_bytes();
+  compressed->set_compression(ChunkCompression::kAuto);
+  EXPECT_EQ(compressed->compression(), ChunkCompression::kAuto);
+  EXPECT_LT(compressed->store_bytes(), raw_bytes)
+      << "central re-encoding must shrink the shared sealed payload";
+  // A session spec carrying the exclusive-store knob is accepted but the
+  // policy stays central (the spec's field is overridden, not obeyed).
+  SessionSpec late;
+  late.window = TimeGrid(seconds(4.0), seconds(16.0), 12);
+  late.ps = {0.5};
+  late.options.compression = ChunkCompression::kAuto;
+  plain->add_session(late);
+  compressed->add_session(late);
+  EXPECT_EQ(plain->compression(), ChunkCompression::kNone);
+
+  for (std::size_t i = 0; i < plain->session_count(); ++i) {
+    expect_results_equal(compressed->session(i).results(),
+                         plain->session(i).results(),
+                         "initial session " + std::to_string(i));
+  }
+
+  // Lockstep live ingest: encoded chunks seal under both managers' feet.
+  TraceSplit stream = split_trace_at(whole, horizon);
+  std::size_t next = 0;
+  TimeNs delivered_to = horizon;
+  for (int round = 0; round < 3; ++round) {
+    delivered_to += seconds(3.0);
+    for (; next < stream.future.size() &&
+           stream.future[next].second.begin < delivered_to;
+         ++next) {
+      const auto& [r, s] = stream.future[next];
+      plain->append(r, s.state, s.begin, s.end);
+      compressed->append(r, s.state, s.begin, s.end);
+    }
+    plain->slide_all(2);
+    compressed->slide_all(2);
+    for (std::size_t i = 0; i < plain->session_count(); ++i) {
+      expect_results_equal(
+          compressed->session(i).results(), plain->session(i).results(),
+          "round " + std::to_string(round) + " session " + std::to_string(i));
+    }
+  }
+  for (std::size_t i = 0; i < plain->session_count(); ++i) {
+    expect_results_equal(
+        compressed->session(i).results(),
+        compressed->session(i).run_from_scratch(DpKernel::kReference),
+        "final session " + std::to_string(i) + " vs kReference");
+  }
+  EXPECT_LT(compressed->store_bytes(), plain->store_bytes());
+}
+
 TEST(SessionManager, ScopedSessionRequiresMatchingLeaves) {
   const Hierarchy h = make_balanced_hierarchy(2, 3);
   Trace whole = make_synthetic_trace(h, 10.0, 0x88);

@@ -13,6 +13,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -473,12 +475,121 @@ TEST(SlidingWindow, RejectsUnsupportedConfigurations) {
       SlidingWindowSession(h, make_trace(), TimeGrid(0, 1000000007, 10),
                            {0.5}),
       InvalidArgument);
+  {
+    SlidingWindowOptions opt;
+    opt.compression = ChunkCompression::kAuto;
+    // Compression is an exclusive-store knob: attaching to a shared store
+    // with a session-level policy must be rejected (the SessionManager
+    // owns the shared codec policy).
+    Trace shared = make_trace();
+    shared.seal();
+    EXPECT_THROW(SlidingWindowSession(h, shared.store(),
+                                      TimeGrid(0, seconds(10.0), 10), {0.5},
+                                      opt, StoreOwnership::kShared),
+                 InvalidArgument);
+  }
   // Unknown states cannot be appended mid-session (|X| is fixed).
   SlidingWindowSession session(h, make_trace(), TimeGrid(0, seconds(10.0), 10),
                                {0.5});
   EXPECT_THROW(session.append(0, StateId{7}, 0, 1), InvalidArgument);
   EXPECT_THROW(session.append(0, "unregistered", 0, 1), InvalidArgument);
   EXPECT_THROW(session.slide(-1), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Chunk compression plumbing: the codec policy is invisible to results.
+// ---------------------------------------------------------------------------
+
+TEST(SlidingWindow, CompressionPolicyKeepsEveryAdvanceBitIdentical) {
+  // Twin sessions over the same event stream, one with seal-time chunk
+  // compression: every advance must agree bit-exactly with the plain twin
+  // and with the kReference from-scratch oracle, while the compressed
+  // store holds fewer payload bytes.
+  const Hierarchy h = make_balanced_hierarchy(2, 3);
+  Trace whole = make_synthetic_trace(h, 36.0, 0xC0DEC);
+  whole.seal();
+  const TimeNs horizon = seconds(22.0);
+  const TimeGrid window(0, seconds(20.0), 20);
+  const std::vector<double> ps = {0.25, 0.5, 0.75};
+
+  Trace plain_initial;
+  EventStream plain_stream =
+      EventStream::from_trace(whole, horizon, plain_initial);
+  Trace compressed_initial;
+  EventStream compressed_stream =
+      EventStream::from_trace(whole, horizon, compressed_initial);
+
+  SlidingWindowOptions plain_opt;
+  SlidingWindowOptions compressed_opt;
+  compressed_opt.compression = ChunkCompression::kAuto;
+  SlidingWindowSession plain(h, std::move(plain_initial), window, ps,
+                             plain_opt);
+  SlidingWindowSession compressed(h, std::move(compressed_initial), window,
+                                  ps, compressed_opt);
+  EXPECT_EQ(compressed.store().compression(), ChunkCompression::kAuto);
+  EXPECT_LT(compressed.store().store_bytes(), plain.store().store_bytes())
+      << "the codec policy must shrink the sealed payload";
+  expect_results_equal(compressed.results(), plain.results(), "initial");
+
+  TimeNs delivered_to = horizon;
+  for (int round = 0; round < 4; ++round) {
+    delivered_to += seconds(3.0);
+    plain_stream.deliver_until(plain, delivered_to);
+    compressed_stream.deliver_until(compressed, delivered_to);
+    plain.slide(3);
+    compressed.slide(3);
+    const std::string ctx = "round " + std::to_string(round);
+    expect_results_equal(compressed.results(), plain.results(), ctx);
+    expect_results_equal(compressed.results(),
+                         compressed.run_from_scratch(DpKernel::kReference),
+                         ctx + " vs kReference");
+  }
+  EXPECT_LT(compressed.store().store_bytes(), plain.store().store_bytes());
+}
+
+TEST(SlidingWindow, CompressionComposesWithMemoryBudget) {
+  // Budget + compression: the budget counts encoded bytes, spilled
+  // records stay compressed, and results stay bit-identical to an
+  // unconstrained plain session.
+  const Hierarchy h = make_balanced_hierarchy(2, 3);
+  Trace whole = make_synthetic_trace(h, 30.0, 0xB5D6E7);
+  whole.seal();
+  const TimeNs horizon = seconds(18.0);
+  const TimeGrid window(0, seconds(16.0), 16);
+  const std::vector<double> ps = {0.5};
+  const std::string spill = "test_sliding_window_compress.spill";
+  std::remove(spill.c_str());
+
+  Trace plain_initial;
+  EventStream plain_stream =
+      EventStream::from_trace(whole, horizon, plain_initial);
+  Trace tight_initial;
+  EventStream tight_stream =
+      EventStream::from_trace(whole, horizon, tight_initial);
+
+  SlidingWindowSession plain(h, std::move(plain_initial), window, ps, {});
+  SlidingWindowOptions opt;
+  opt.compression = ChunkCompression::kAuto;
+  opt.memory_budget_bytes = plain.store().store_bytes() / 8;
+  opt.spill_path = spill;
+  SlidingWindowSession tight(h, std::move(tight_initial), window, ps, opt);
+  EXPECT_LE(tight.store().resident_chunk_bytes(), opt.memory_budget_bytes);
+  expect_results_equal(tight.results(), plain.results(), "initial");
+
+  TimeNs delivered_to = horizon;
+  for (int round = 0; round < 3; ++round) {
+    delivered_to += seconds(3.0);
+    plain_stream.deliver_until(plain, delivered_to);
+    tight_stream.deliver_until(tight, delivered_to);
+    plain.slide(3);
+    tight.slide(3);
+    EXPECT_LE(tight.store().resident_chunk_bytes(), opt.memory_budget_bytes)
+        << "round " << round;
+    expect_results_equal(tight.results(), plain.results(),
+                         "round " + std::to_string(round));
+  }
+  EXPECT_GT(tight.store().spilled_chunk_bytes(), 0u);
+  std::remove(spill.c_str());
 }
 
 }  // namespace

@@ -18,8 +18,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -820,6 +822,440 @@ TEST(TraceStoreSpill, SpillRefusesForeignOrMisalignedFiles) {
   t.store()->enable_spill(foreign);
   EXPECT_THROW((void)t.store()->spill_cold(0), IoError);
   std::remove(foreign.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Compressed backend: encoded chunks are bit-identical to raw ones through
+// every reader, backend mix, mutation and file round trip.
+// ---------------------------------------------------------------------------
+
+/// Multi-chunk copy of the trace sealed under a compression policy set
+/// *before* ingest (the seal-time encode path, as opposed to the
+/// set_compression re-encode sweep).
+Trace make_compressed_copy(const Trace& trace) {
+  Trace out;
+  for (const auto& name : trace.states().names()) {
+    (void)out.states().intern(name);
+  }
+  out.store()->set_compression(ChunkCompression::kAuto);
+  for (ResourceId r = 0; r < static_cast<ResourceId>(trace.resource_count());
+       ++r) {
+    out.add_resource(trace.resource_path(r));
+    int n = 0;
+    for (const auto& s : trace.intervals(r)) {
+      out.add_state(r, s.state, s.begin, s.end);
+      if (++n % 25 == 0) out.seal();
+    }
+  }
+  out.set_window(trace.begin(), trace.end());
+  out.seal();
+  return out;
+}
+
+std::size_t count_chunks(const TraceStore& store, bool addressable,
+                         bool resident) {
+  std::size_t n = 0;
+  for (ResourceId r = 0; r < static_cast<ResourceId>(store.resource_count());
+       ++r) {
+    for (const TraceChunkPtr& c : store.chunks(r)) {
+      if (c->addressable() == addressable && c->resident() == resident) ++n;
+    }
+  }
+  return n;
+}
+
+TEST(TraceStoreCompress, AutoPolicyShrinksStoreAndFoldsBitIdentical) {
+  const Hierarchy h = make_balanced_hierarchy(2, 3);
+  Trace resident = make_random_trace(h, 0x71, seconds(25.0), 140);
+  resident.seal();
+  ModelBuildOptions opt;
+  opt.slice_count = 24;
+  const MicroscopicModel want = build_model(resident, h, opt);
+
+  // Raw multi-chunk twin for the byte comparison.
+  Trace raw = make_chunked_copy(resident);
+  const std::size_t raw_bytes = raw.store()->store_bytes();
+
+  // Seal-time path: the policy encodes every chunk as it seals.
+  Trace sealed = make_compressed_copy(resident);
+  EXPECT_EQ(sealed.store()->compression(), ChunkCompression::kAuto);
+  EXPECT_LT(sealed.store()->store_bytes(), raw_bytes);
+  EXPECT_GT(count_chunks(*sealed.store(), /*addressable=*/false,
+                         /*resident=*/true),
+            0u);
+  const TraceView view(sealed.store());
+  EXPECT_GT(view.compressed_run_count(), 0u);
+  EXPECT_GT(view.cursor_scratch_bytes(), 0u);
+  // The cursor scratch is bounded: fixed decoder state per run, far from
+  // a decompressed copy of the store.
+  EXPECT_LT(view.cursor_scratch_bytes(), raw_bytes / 4);
+  const MicroscopicModel compressed = build_model(view, h, opt);
+  expect_models_equal(want, compressed, "seal-time compressed store");
+  expect_aggregations_equal(want, compressed, /*lanes=*/1, "compressed");
+  expect_aggregations_equal(want, compressed, /*lanes=*/4, "compressed");
+
+  // Re-encode sweep: set_compression(kAuto) on already-sealed raw chunks
+  // rewrites them in place, shrinking the store without touching results.
+  raw.store()->set_compression(ChunkCompression::kAuto);
+  EXPECT_LT(raw.store()->store_bytes(), raw_bytes);
+  expect_models_equal(want, build_model(TraceView(raw.store()), h, opt),
+                      "re-encoded store");
+  // Dropping back to kNone stops future encoding but never rewrites what
+  // is already sealed.
+  const std::size_t encoded_bytes = raw.store()->store_bytes();
+  raw.store()->set_compression(ChunkCompression::kNone);
+  EXPECT_EQ(raw.store()->store_bytes(), encoded_bytes);
+}
+
+TEST(TraceStoreCompress, MixedBackendStoreFoldsBitIdenticalAtW1AndW4) {
+  // All three payload backends in one store — resident raw, mapped raw,
+  // compressed (resident and mapped) — folded through one view against
+  // the PR 4/5 oracles at both lane widths.
+  const Hierarchy h = make_balanced_hierarchy(2, 3);
+  Trace resident = make_random_trace(h, 0x72, seconds(25.0), 140);
+  resident.seal();
+  Trace chunked = make_chunked_copy(resident);
+  const std::string spill = spill_path("mixed");
+  std::remove(spill.c_str());
+  chunked.store()->enable_spill(spill);
+
+  // Half the raw chunks to the file, then compress what stayed resident.
+  (void)chunked.store()->spill_cold(chunked.store()->store_bytes() / 2);
+  ASSERT_GT(count_chunks(*chunked.store(), /*addressable=*/true,
+                         /*resident=*/false),
+            0u);
+  chunked.store()->set_compression(ChunkCompression::kAuto);
+  ASSERT_GT(count_chunks(*chunked.store(), /*addressable=*/false,
+                         /*resident=*/true),
+            0u);
+  // Spilling again writes compressed records: mapped compressed chunks.
+  (void)chunked.store()->spill_cold(
+      chunked.store()->resident_chunk_bytes() / 2);
+  ASSERT_GT(count_chunks(*chunked.store(), /*addressable=*/false,
+                         /*resident=*/false),
+            0u);
+
+  ModelBuildOptions opt;
+  opt.slice_count = 24;
+  const MicroscopicModel want = build_model(resident, h, opt);
+  const TraceView view(chunked.store());
+  EXPECT_GT(view.spilled_run_count(), 0u);
+  EXPECT_GT(view.compressed_run_count(), 0u);
+  const MicroscopicModel mixed = build_model(view, h, opt);
+  expect_models_equal(want, mixed, "mixed-backend store");
+  expect_aggregations_equal(want, mixed, /*lanes=*/1, "mixed backends");
+  expect_aggregations_equal(want, mixed, /*lanes=*/4, "mixed backends");
+  std::remove(spill.c_str());
+}
+
+TEST(TraceStoreCompress, MidStreamCompressAndSpillUnderOpenViewIsInvisible) {
+  const Hierarchy h = make_balanced_hierarchy(1, 3);
+  Trace trace = make_random_trace(h, 0x73, seconds(10.0), 60);
+  trace.seal();
+  Trace chunked = make_chunked_copy(trace);
+  const std::string spill = spill_path("midcompress");
+  std::remove(spill.c_str());
+  chunked.store()->enable_spill(spill);
+
+  const TraceView before(chunked.store());
+  const auto want = stream_all(before);
+
+  // Re-encode the whole store AND spill it while `before` is mid-stream:
+  // the view pinned its chunks by shared pointer and must not notice.
+  bool mutated_mid_stream = false;
+  std::vector<std::vector<StateInterval>> got(before.resource_count());
+  for (std::size_t r = 0; r < before.resource_count(); ++r) {
+    before.for_each(r, [&](const StateInterval& s) {
+      if (!mutated_mid_stream) {
+        chunked.store()->set_compression(ChunkCompression::kAuto);
+        (void)chunked.store()->spill_cold(0);
+        mutated_mid_stream = true;
+      }
+      got[r].push_back(s);
+    });
+  }
+  ASSERT_TRUE(mutated_mid_stream);
+  EXPECT_EQ(got, want);
+
+  // A fresh view streams the compressed records from the file; the
+  // spilled accounting counts *encoded* bytes, so the file-backed side is
+  // smaller than the raw columns it replaced.
+  const TraceView after(chunked.store());
+  EXPECT_GT(after.compressed_run_count(), 0u);
+  EXPECT_EQ(stream_all(after), want);
+  EXPECT_EQ(chunked.store()->resident_chunk_bytes(), 0u);
+  EXPECT_LT(chunked.store()->spilled_chunk_bytes(),
+            trace.store()->store_bytes());
+
+  // Pinning back keeps chunks compressed (compressed-resident copies) and
+  // bit-identical.
+  (void)chunked.store()->pin_all();
+  EXPECT_EQ(chunked.store()->spilled_chunk_bytes(), 0u);
+  EXPECT_GT(count_chunks(*chunked.store(), /*addressable=*/false,
+                         /*resident=*/true),
+            0u);
+  EXPECT_EQ(stream_all(TraceView(chunked.store())), want);
+  std::remove(spill.c_str());
+}
+
+TEST(TraceStoreCompress, MixedBackendCompactionPreservesRows) {
+  // Size-tier compaction over lanes mixing raw-mapped, compressed-resident
+  // and compressed-mapped members: the cursor-based merge must reproduce a
+  // never-spilled never-compressed single-seal store exactly.
+  Trace mixed;
+  Trace once;
+  const ResourceId rm = mixed.add_resource("r");
+  const ResourceId ro = once.add_resource("r");
+  (void)mixed.states().intern("s");
+  (void)once.states().intern("s");
+  const std::string spill = spill_path("mixed_compaction");
+  std::remove(spill.c_str());
+  mixed.store()->enable_spill(spill);
+
+  SplitMix64 mix(0x74);
+  const int rounds = 3 * static_cast<int>(TraceStore::kCompactionThreshold);
+  for (int round = 0; round < rounds; ++round) {
+    // Raw chunks for the first tier, compressed ones from then on.
+    if (round == static_cast<int>(TraceStore::kCompactionThreshold)) {
+      mixed.store()->set_compression(ChunkCompression::kAuto);
+    }
+    for (int k = 0; k < 4; ++k) {
+      const auto b = static_cast<TimeNs>(mix.next() % 10000);
+      mixed.add_state(rm, StateId{0}, b, b + 7);
+      once.add_state(ro, StateId{0}, b, b + 7);
+    }
+    mixed.seal();
+    (void)mixed.store()->spill_cold(mixed.store()->resident_chunk_bytes() /
+                                    2);
+  }
+  once.seal();
+  EXPECT_LE(mixed.store()->chunks(rm).size(),
+            TraceStore::kCompactionThreshold + 1);
+  const auto a = mixed.intervals(rm);
+  const auto e = once.intervals(ro);
+  ASSERT_EQ(a.size(), e.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], e[i]) << i;
+  std::remove(spill.c_str());
+}
+
+TEST(TraceStoreSpill, SpillFileCompactionBoundsChurnGrowth) {
+  // Churn regression (satellite): seal/spill/evict cycles keep appending
+  // records and killing old ones.  Without compaction the spill file
+  // grows without bound; with it, dead bytes never exceed live bytes and
+  // the file stays within a small multiple of the live payload.
+  Trace t;
+  const ResourceId r = t.add_resource("r");
+  const StateId x = t.states().intern("s");
+  const std::string spill = spill_path("churn");
+  std::remove(spill.c_str());
+  t.store()->enable_spill(spill);
+
+  const auto file_size = [&]() -> std::size_t {
+    std::ifstream in(spill, std::ios::binary | std::ios::ate);
+    return in ? static_cast<std::size_t>(in.tellg()) : 0;
+  };
+
+  SplitMix64 mix(0x75);
+  std::vector<StateInterval> added;
+  std::size_t max_file = 0;
+  for (int round = 0; round < 120; ++round) {
+    const TimeNs base = round * 1000;
+    for (int k = 0; k < 25; ++k) {
+      const auto b = base + static_cast<TimeNs>(mix.next() % 1000);
+      t.add_state(r, x, b, b + 40);
+      added.push_back({b, b + 40, x});
+    }
+    t.seal();
+    (void)t.store()->spill_cold(0);
+    // A trailing 8-round window: everything older dies, so most of the
+    // file's records are garbage within a few rounds.
+    if (round >= 8) t.store()->evict_before((round - 8) * 1000);
+
+    EXPECT_LE(t.store()->spill_dead_bytes(), t.store()->spill_live_bytes())
+        << "round " << round
+        << ": compaction must run before dead bytes overtake live bytes";
+    // live + dead + magic/padding slack bounds the file.
+    EXPECT_LE(file_size(), 2 * t.store()->spill_live_bytes() + 4096)
+        << "round " << round;
+    max_file = std::max(max_file, file_size());
+  }
+  ASSERT_GT(t.store()->spill_live_bytes(), 0u);
+  // The whole churn wrote ~120 rounds of records; the file never held
+  // more than a small multiple of one round's live set.
+  EXPECT_LT(max_file, 8 * t.store()->spill_live_bytes() + 4096);
+
+  // Eviction drops only whole dead chunks, so survivors may reach behind
+  // the horizon — but everything at or past it must be present exactly.
+  const TimeNs horizon = (119 - 8) * 1000;
+  std::vector<StateInterval> expected;
+  for (const auto& s : added) {
+    if (s.begin >= horizon) expected.push_back(s);
+  }
+  std::sort(expected.begin(), expected.end(), interval_key_less);
+  std::vector<StateInterval> got;
+  for (const auto& s : t.intervals(r)) {
+    if (s.begin >= horizon) got.push_back(s);
+  }
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], expected[i]) << i;
+  }
+  std::remove(spill.c_str());
+}
+
+TEST(TraceStoreIo, CompressedChunkFileRoundTripsAndRejectsCorruption) {
+  // A compression-enabled store writes v2 records that keep the encoded
+  // sections; reopening streams them zero-copy from the mapping, and any
+  // tampering is rejected with the record's file offset.
+  Trace t;
+  const ResourceId r = t.add_resource("r");
+  const StateId x = t.states().intern("s");
+  t.store()->set_compression(ChunkCompression::kAuto);
+  TimeNs at = 0;
+  for (int k = 0; k < 40; ++k) {
+    t.add_state(r, x, at, at + 250);
+    at += 250;
+  }
+  t.seal();
+  ASSERT_GT(count_chunks(*t.store(), /*addressable=*/false,
+                         /*resident=*/true),
+            0u);
+  const std::string path = temp_path("compressed_chunkfile");
+  write_chunk_file(*t.store(), path);
+  ASSERT_TRUE(is_chunk_file(path));
+
+  const auto reopened = read_binary_trace_store(path);
+  EXPECT_EQ(reopened->state_count(), 40u);
+  // The record stays encoded on disk and maps back as a compressed chunk:
+  // nothing resident, and the file-backed bytes are the encoded ones.
+  EXPECT_EQ(reopened->resident_chunk_bytes(), 0u);
+  EXPECT_GT(reopened->spilled_chunk_bytes(), 0u);
+  EXPECT_LT(reopened->spilled_chunk_bytes(), 40u * 20u);
+  EXPECT_EQ(stream_all(TraceView(reopened)), stream_all(TraceView(t.store())));
+
+  std::ifstream in(path, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+  // Fixed layout: 48-byte file header, "r" + "s" tables (10 bytes) padded
+  // to 64, then the 72-byte record header — the encoded begin section
+  // starts at 136.
+  ASSERT_GT(bytes.size(), 140u);
+
+  const auto write_bytes_to = [&](const std::string& p,
+                                  const std::vector<char>& data) {
+    std::ofstream out(p, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  };
+  const auto expect_throws_with = [&](const std::string& p,
+                                      const std::string& needle) {
+    try {
+      (void)read_binary_trace_store(p);
+      FAIL() << "expected TraceFormatError mentioning '" << needle << "'";
+    } catch (const TraceFormatError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find(needle), std::string::npos) << what;
+      EXPECT_NE(what.find("offset"), std::string::npos) << what;
+    }
+  };
+
+  // Truncated encoded payload.
+  std::vector<char> truncated(bytes.begin(), bytes.end() - 12);
+  write_bytes_to(path, truncated);
+  expect_throws_with(path, "truncated chunk");
+
+  // Bit flip inside the encoded begin section: checksum must trip.
+  std::vector<char> corrupt = bytes;
+  corrupt[136] ^= 0x40;
+  write_bytes_to(path, corrupt);
+  expect_throws_with(path, "checksum mismatch");
+
+  // Invalid codec tag (end column claiming the begin-only gap codec; byte
+  // 69 is the record header's end-codec tag).
+  std::vector<char> bad_codec = bytes;
+  bad_codec[69] = 4;
+  write_bytes_to(path, bad_codec);
+  expect_throws_with(path, "invalid chunk codec tags");
+
+  // Pristine bytes still open and fold identically.
+  write_bytes_to(path, bytes);
+  EXPECT_EQ(stream_all(TraceView(read_binary_trace_store(path))),
+            stream_all(TraceView(t.store())));
+  std::remove(path.c_str());
+}
+
+TEST(TraceStoreIo, ChunkFileV1StillOpensZeroCopy) {
+  // Back-compat: a v1 chunk file (raw columns, 40-byte record headers)
+  // synthesized byte-for-byte must keep opening through the same reader,
+  // fully file-backed.
+  std::vector<std::uint8_t> bytes;
+  const auto append_pod = [&](const auto& v) {
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+    bytes.insert(bytes.end(), p, p + sizeof v);
+  };
+  const auto append_string = [&](const std::string& s) {
+    append_pod(static_cast<std::uint32_t>(s.size()));
+    bytes.insert(bytes.end(), s.begin(), s.end());
+  };
+  const char magic[8] = {'S', 'T', 'G', 'C', 'H', 'K', '0', '1'};
+  bytes.insert(bytes.end(), magic, magic + 8);
+  append_pod(std::uint64_t{1});  // resources
+  append_pod(std::uint64_t{1});  // states
+  append_pod(TimeNs{0});         // window begin
+  append_pod(TimeNs{30});        // window end
+  append_pod(std::uint64_t{1});  // chunk count
+  append_string("r");
+  append_string("s");
+  while (bytes.size() % 8 != 0) bytes.push_back(0);
+
+  const TimeNs begins[3] = {0, 5, 20};
+  const TimeNs ends[3] = {10, 25, 30};
+  const StateId states[3] = {0, 0, 0};
+  std::uint64_t checksum = 1469598103934665603ull;
+  const auto fnv = [&](const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      checksum ^= p[i];
+      checksum *= 1099511628211ull;
+    }
+  };
+  fnv(begins, sizeof begins);
+  fnv(ends, sizeof ends);
+  fnv(states, sizeof states);
+
+  // v1 record header: u32 resource | pad | u64 count | i64 min_end |
+  // i64 max_end | u64 checksum = 40 bytes, then raw columns padded to 8.
+  append_pod(std::uint32_t{0});
+  append_pod(std::uint32_t{0});
+  append_pod(std::uint64_t{3});
+  append_pod(TimeNs{10});
+  append_pod(TimeNs{30});
+  append_pod(checksum);
+  for (const TimeNs b : begins) append_pod(b);
+  for (const TimeNs e : ends) append_pod(e);
+  for (const StateId s : states) append_pod(s);
+  append_pod(std::uint32_t{0});  // state-column pad to 8
+
+  const std::string path = temp_path("v1_compat");
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+  ASSERT_TRUE(is_chunk_file(path));
+  const auto store = read_binary_trace_store(path);
+  EXPECT_EQ(store->state_count(), 3u);
+  EXPECT_EQ(store->resident_chunk_bytes(), 0u);
+  EXPECT_GT(store->spilled_chunk_bytes(), 0u);
+  EXPECT_EQ(store->begin(), 0);
+  EXPECT_EQ(store->end(), 30);
+  const auto rows = stream_all(TraceView(store));
+  ASSERT_EQ(rows.size(), 1u);
+  ASSERT_EQ(rows[0].size(), 3u);
+  EXPECT_EQ(rows[0][0], (StateInterval{0, 10, 0}));
+  EXPECT_EQ(rows[0][1], (StateInterval{5, 25, 0}));
+  EXPECT_EQ(rows[0][2], (StateInterval{20, 30, 0}));
+  std::remove(path.c_str());
 }
 
 TEST(TraceStoreIo, EvictBeforeMidStreamPreservesSuffixWindows) {
