@@ -1,0 +1,145 @@
+// Bounded blocking queue — the stage connector of the ingest pipeline
+// (REAPER-style parser -> seal -> advance workers).
+//
+// Capacity is the backpressure mechanism: push() blocks while the queue is
+// full, so a slow consumer throttles its producers instead of letting
+// depth (and tail latency) balloon.  close() ends the stream: blocked
+// producers fail fast, consumers drain what is left and then observe
+// end-of-stream.  The queue is MPSC/SPSC-agnostic — any number of pushers
+// and poppers is safe — but the pipeline wires it SPSC (per-shard input
+// queues, the watermark queue) or MPSC (parse workers fanning into the
+// seal worker).
+//
+// Observability: depth(), high_water() (deepest the queue has ever been)
+// and blocked_pushes() (pushes that had to wait for space) let tests and
+// benches assert that backpressure actually engaged and that depth stayed
+// bounded — the property the satellite stress test pins.
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace stagg {
+
+/// Per-queue counters, snapshot under the queue lock.
+struct BoundedQueueStats {
+  std::size_t capacity = 0;
+  std::size_t depth = 0;           ///< Current number of queued items.
+  std::size_t high_water = 0;      ///< Max depth ever observed.
+  std::uint64_t pushed = 0;        ///< Items accepted in total.
+  std::uint64_t blocked_pushes = 0;  ///< Pushes that waited for space.
+};
+
+template <typename T>
+class BoundedQueue {
+ public:
+  /// A queue holding at most `capacity` items (>= 1).
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks while the queue is full; returns false (dropping `value`) once
+  /// the queue is closed.  The block is the backpressure edge: a full
+  /// downstream stage stalls this producer right here.
+  bool push(T value) {
+    std::unique_lock lock(mutex_);
+    if (items_.size() >= capacity_ && !closed_) {
+      ++blocked_pushes_;
+      space_.wait(lock, [this] { return items_.size() < capacity_ || closed_; });
+    }
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    ++pushed_;
+    high_water_ = std::max(high_water_, items_.size());
+    lock.unlock();
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; false when full or closed (value is dropped).
+  bool try_push(T value) {
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(value));
+      ++pushed_;
+      high_water_ = std::max(high_water_, items_.size());
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Blocks while the queue is empty and open; returns nullopt only when
+  /// the queue is closed *and* drained (close is a graceful end-of-stream,
+  /// never a drop).
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    ready_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    space_.notify_one();
+    return value;
+  }
+
+  /// Non-blocking pop; nullopt when currently empty (closed or not).
+  std::optional<T> try_pop() {
+    std::unique_lock lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    space_.notify_one();
+    return value;
+  }
+
+  /// Ends the stream: blocked producers return false, consumers drain the
+  /// remaining items and then see end-of-stream.  Idempotent.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+    space_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  [[nodiscard]] std::size_t depth() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+  [[nodiscard]] BoundedQueueStats stats() const {
+    std::lock_guard lock(mutex_);
+    return {capacity_, items_.size(), high_water_, pushed_, blocked_pushes_};
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;  ///< Signals items available.
+  std::condition_variable space_;  ///< Signals space available.
+  std::deque<T> items_;
+  bool closed_ = false;
+  std::size_t high_water_ = 0;
+  std::uint64_t pushed_ = 0;
+  std::uint64_t blocked_pushes_ = 0;
+};
+
+}  // namespace stagg

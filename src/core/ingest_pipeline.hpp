@@ -1,0 +1,197 @@
+// IngestPipeline: the staged parse -> seal -> advance ingest pipeline over
+// one SessionManager — live trace bytes stream in on the caller's thread
+// and analysis results stream out of the advance worker, with every stage
+// decoupled by bounded queues so a slow stage throttles (never drops) the
+// stages upstream of it.
+//
+//   submit_text / submit_records            (caller thread)
+//        |            ... P shard queues (SPSC, bounded) ...
+//        v
+//   parse workers  x P   — decode text shards / wrap record batches,
+//        |                 resolve names against the frozen store tables
+//        |            ... batch queue (MPSC, bounded) ...
+//        v
+//   seal worker    x 1   — the SOLE TraceStore write side: buffers batches
+//        |                 and, at each watermark barrier, appends + seals
+//        |                 them (SessionManager::ingest + seal_staged)
+//        |            ... watermark queue (SPSC, bounded) ...
+//        v
+//   advance worker x 1   — SessionManager::advance_to_watermark(wm): the
+//                          sessions advance only over sealed chunks
+//
+// Watermark barriers: advance_watermark(frontier) broadcasts a barrier
+// token through every shard queue; each parse worker forwards a shard mark
+// once it has parsed everything submitted before the barrier, and the seal
+// worker seals + publishes the watermark only after all P marks arrived —
+// so a published watermark really does cover every event submitted before
+// it, regardless of cross-shard interleaving.  Chunks sort intervals by
+// (begin, end, state) at seal, so the nondeterministic cross-shard append
+// order leaves results bit-identical to the synchronous
+// SessionManager::ingest_round path.
+//
+// Backpressure chain: a throttled advance worker fills the watermark
+// queue, which blocks the seal worker, which fills the batch queue, which
+// blocks the parse workers, which fill the shard queues, which block
+// submit_*() — queue depths stay bounded by the configured capacities and
+// nothing is dropped or reordered within a resource.
+//
+// Concurrency contract: the seal and advance workers interleave their
+// SessionManager calls under one stage mutex (the manager's stage
+// functions require external serialization); parse workers touch only
+// frozen name tables and pipeline-owned state, so they run lock-free.
+// While a pipeline is attached, the manager has ONE write side — the seal
+// worker; callers must not invoke append()/slide_all()/... concurrently.
+//
+// A worker that throws (e.g. an unknown resource name) fails the whole
+// pipeline: every queue closes so nothing blocks forever, and the first
+// exception rethrows from the next submit_*/advance_watermark/
+// wait_until_advanced/close call.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bounded_queue.hpp"
+#include "core/session_manager.hpp"
+#include "trace/stream_decode.hpp"
+
+namespace stagg {
+
+struct IngestPipelineOptions {
+  /// Parse workers / text shards per submission (>= 1).
+  std::size_t parse_workers = 4;
+  /// Per-shard input queue capacity (jobs).
+  std::size_t shard_queue_capacity = 8;
+  /// Parse -> seal queue capacity (batches + marks).
+  std::size_t batch_queue_capacity = 32;
+  /// Seal -> advance queue capacity (watermarks).
+  std::size_t watermark_queue_capacity = 4;
+  /// Parse workers cut decoded streams into batches of at most this many
+  /// records, bounding queue memory and keeping the seal stage streaming.
+  std::size_t max_batch_records = 4096;
+  /// Text grammar for submit_text (CSV state lines or pj_dump).
+  TextTraceFormat text_format = TextTraceFormat::kCsv;
+  /// Called by the advance worker after every applied watermark, under
+  /// the stage mutex — the callback may inspect the manager's sessions
+  /// consistently, but must not call back into the pipeline or manager.
+  std::function<void(TimeNs watermark)> on_advance;
+};
+
+/// Counters snapshot (monotone except queue depths; taken unlocked, so
+/// concurrent snapshots are individually consistent per queue only).
+struct IngestPipelineStats {
+  std::vector<BoundedQueueStats> shard_queues;
+  BoundedQueueStats batch_queue;
+  BoundedQueueStats watermark_queue;
+  std::uint64_t records_parsed = 0;
+  std::uint64_t records_sealed = 0;
+  std::uint64_t rounds_advanced = 0;
+  TimeNs advanced_watermark = 0;
+};
+
+class IngestPipeline {
+ public:
+  /// Spawns the workers.  `manager` must outlive the pipeline, own a
+  /// schema-complete store (every resource and state the stream will
+  /// mention already registered — sessions pin |X| anyway), and receive
+  /// no concurrent writes outside this pipeline.
+  explicit IngestPipeline(SessionManager& manager,
+                          IngestPipelineOptions options = {});
+  IngestPipeline(const IngestPipeline&) = delete;
+  IngestPipeline& operator=(const IngestPipeline&) = delete;
+  /// close()s and joins; swallows a pending failure (call close() first
+  /// to observe it).
+  ~IngestPipeline();
+
+  /// Splits `text` into up to P line-aligned shards and enqueues one per
+  /// parse worker.  Blocks while shard queues are full (backpressure).
+  void submit_text(std::string_view text);
+  /// Enqueues pre-resolved records, split contiguously across the parse
+  /// workers (order within a resource is preserved end to end).
+  void submit_records(std::vector<EventRecord> records);
+  /// Broadcasts a watermark barrier: once every record submitted before
+  /// this call is parsed, the seal worker appends + seals them and the
+  /// advance worker runs the sessions to `frontier`.  Frontiers must be
+  /// non-decreasing per pipeline.
+  void advance_watermark(TimeNs frontier);
+
+  /// Last watermark the advance worker has fully applied.
+  [[nodiscard]] TimeNs advanced() const;
+  /// Blocks until advanced() >= wm (rethrows on pipeline failure).
+  void wait_until_advanced(TimeNs wm);
+
+  /// Closes the intake, drains every stage (a trailing partial round is
+  /// sealed and advanced to the last requested frontier), joins the
+  /// workers and rethrows the first worker failure, if any.  Idempotent;
+  /// submissions after close() throw.
+  void close();
+
+  /// Rethrows the first worker exception, if any (does not close).
+  void rethrow_if_failed();
+
+  [[nodiscard]] IngestPipelineStats stats() const;
+  [[nodiscard]] std::size_t parse_workers() const noexcept {
+    return options_.parse_workers;
+  }
+
+ private:
+  struct ShardJob;
+  struct BatchMessage;
+
+  void parse_worker(std::size_t shard);
+  void seal_worker();
+  void advance_worker();
+  void decode_text_job(std::size_t shard, const std::string& text,
+                       std::uint64_t& sequence);
+  void push_batch(std::size_t shard, std::uint64_t& sequence,
+                  std::vector<EventRecord>&& records);
+  [[nodiscard]] ResourceId resolve_resource(std::string_view name) const;
+  [[nodiscard]] StateId resolve_state(std::string_view name) const;
+  void fail(std::exception_ptr ex) noexcept;
+  void close_all_queues() noexcept;
+
+  SessionManager& manager_;
+  IngestPipelineOptions options_;
+  /// Frozen name tables snapshot; parse workers read these lock-free.
+  std::unordered_map<std::string, ResourceId> resource_ids_;
+  std::unordered_map<std::string, StateId> state_ids_;
+
+  std::vector<std::unique_ptr<BoundedQueue<ShardJob>>> shard_queues_;
+  std::unique_ptr<BoundedQueue<BatchMessage>> batch_queue_;
+  std::unique_ptr<BoundedQueue<TimeNs>> watermark_queue_;
+
+  /// Serializes every SessionManager/TraceStore mutation or session read
+  /// between the seal worker and the advance worker.
+  std::mutex stage_mutex_;
+
+  mutable std::mutex progress_mutex_;
+  std::condition_variable progress_cv_;
+  TimeNs advanced_watermark_;
+  std::uint64_t rounds_advanced_ = 0;
+  bool failed_ = false;
+  std::exception_ptr failure_;
+
+  std::atomic<std::uint64_t> records_parsed_{0};
+  std::atomic<std::uint64_t> records_sealed_{0};
+  /// Parse workers still draining; the last one out closes the batch queue.
+  std::atomic<std::size_t> live_parsers_{0};
+  /// Last frontier requested via advance_watermark (written by the — one —
+  /// producer thread; the seal worker reads it for the trailing flush).
+  std::atomic<TimeNs> requested_frontier_;
+  bool intake_closed_ = false;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace stagg

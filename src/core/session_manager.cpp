@@ -11,15 +11,29 @@ namespace stagg {
 
 namespace {
 constexpr TimeNs kNoStagedEvents = std::numeric_limits<TimeNs>::max();
+
+/// window_end + dt * slices without signed overflow: a far-future slide
+/// saturates to the representable max — the watermark only needs an upper
+/// bound on where the windows land.
+TimeNs slide_target(TimeNs window_end, TimeNs dt, std::int32_t slices) {
+  constexpr TimeNs lim = std::numeric_limits<TimeNs>::max();
+  if (slices <= 0 || dt <= 0) return window_end;
+  const TimeNs advance = dt > lim / slices ? lim : dt * slices;
+  return window_end > lim - advance ? lim : window_end + advance;
+}
 }  // namespace
 
 SessionManager::SessionManager(const Hierarchy& hierarchy,
                                std::shared_ptr<TraceStore> store)
     : hierarchy_(&hierarchy),
       store_(std::move(store)),
-      staged_min_(kNoStagedEvents) {
+      staged_min_(kNoStagedEvents),
+      sealed_dirty_min_(kNoStagedEvents) {
   if (!store_) throw InvalidArgument("SessionManager: null trace store");
   store_->seal_chunk();
+  // A freshly attached store is a complete recorded prefix: everything in
+  // it is sealed, so the watermark starts at its end.
+  watermark_ = store_->end();
 }
 
 std::size_t SessionManager::add_session(SessionSpec spec) {
@@ -91,10 +105,29 @@ void SessionManager::append(ResourceId resource, std::string_view state_name,
   append(resource, *id, begin, end);
 }
 
-template <class Advance>
-void SessionManager::advance_sessions(const Advance& advance) {
+void SessionManager::ingest(std::span<const EventRecord> records) {
+  for (const EventRecord& rec : records) {
+    // Track the dirty frontier before appending: if add_state rejects the
+    // record, an over-conservative note costs one refresh, while a missed
+    // note would hide already-appended events from the sessions.
+    staged_min_ = std::min(staged_min_, rec.begin);
+    store_->add_state(rec.resource, rec.state, rec.begin, rec.end);
+  }
+}
+
+TimeNs SessionManager::seal_staged(TimeNs frontier) {
   store_->seal_chunk();
   const TimeNs staged = std::exchange(staged_min_, kNoStagedEvents);
+  if (staged != kNoStagedEvents) {
+    sealed_dirty_min_ = std::min(sealed_dirty_min_, staged);
+  }
+  watermark_ = std::max(watermark_, frontier);
+  return watermark_;
+}
+
+template <class Advance>
+void SessionManager::run_advance_stage(const Advance& advance) {
+  const TimeNs dirty = std::exchange(sealed_dirty_min_, kNoStagedEvents);
   // Parallel over sessions: each session touches only its own model and
   // retained DP state and reads the store through an immutable chunk
   // snapshot; the help-while-waiting pool composes this outer fan-out
@@ -103,7 +136,7 @@ void SessionManager::advance_sessions(const Advance& advance) {
       sessions_.size(),
       [&](std::size_t i) {
         SlidingWindowSession& s = *sessions_[i];
-        if (staged != kNoStagedEvents) s.note_external_ingest(staged);
+        if (dirty != kNoStagedEvents) s.note_external_ingest(dirty);
         advance(s);
       },
       /*grain=*/1);
@@ -116,19 +149,17 @@ void SessionManager::advance_sessions(const Advance& advance) {
   enforce_memory_budget();
 }
 
-void SessionManager::slide_all(std::int32_t slices) {
-  if (slices < 0) {
-    throw InvalidArgument("SessionManager::slide_all: negative slide");
+void SessionManager::advance_to_watermark(TimeNs wm) {
+  if (wm > watermark_) {
+    throw InvalidArgument(
+        "SessionManager::advance_to_watermark: frontier " +
+        std::to_string(wm) + " is beyond the sealed watermark " +
+        std::to_string(watermark_) + " (seal_staged first)");
   }
-  advance_sessions(
-      [slices](SlidingWindowSession& s) { (void)s.slide(slices); });
-}
-
-void SessionManager::advance_to(TimeNs frontier) {
-  advance_sessions([frontier](SlidingWindowSession& s) {
+  run_advance_stage([wm](SlidingWindowSession& s) {
     const TimeGrid& window = s.window();
     const TimeNs dt = window.uniform_dt_ns();
-    const TimeNs gap = frontier - window.end();
+    const TimeNs gap = wm - window.end();
     // gap/dt can exceed int32 for a far-ahead frontier; clamp instead of
     // letting the cast wrap into a negative or bogus slide.
     const auto slices = static_cast<std::int32_t>(std::clamp<TimeNs>(
@@ -142,8 +173,38 @@ void SessionManager::advance_to(TimeNs frontier) {
   });
 }
 
+void SessionManager::ingest_round(TimeNs frontier) {
+  seal_staged(frontier);
+  advance_to_watermark(frontier);
+}
+
+void SessionManager::slide_all(std::int32_t slices) {
+  if (slices < 0) {
+    throw InvalidArgument("SessionManager::slide_all: negative slide");
+  }
+  // Sliding is itself a completeness promise: the caller asserts the data
+  // under the slid-to windows has arrived, so the watermark follows the
+  // furthest post-slide window end.
+  TimeNs frontier = watermark_;
+  for (const auto& s : sessions_) {
+    const TimeGrid& w = s->window();
+    frontier = std::max(frontier,
+                        slide_target(w.end(), w.uniform_dt_ns(), slices));
+  }
+  seal_staged(frontier);
+  run_advance_stage(
+      [slices](SlidingWindowSession& s) { (void)s.slide(slices); });
+}
+
+void SessionManager::advance_to(TimeNs frontier) { ingest_round(frontier); }
+
 void SessionManager::refresh_all() {
-  advance_sessions([](SlidingWindowSession& s) { (void)s.refresh(); });
+  TimeNs frontier = watermark_;
+  for (const auto& s : sessions_) {
+    frontier = std::max(frontier, s->window().end());
+  }
+  seal_staged(frontier);
+  run_advance_stage([](SlidingWindowSession& s) { (void)s.refresh(); });
 }
 
 TimeNs SessionManager::min_window_begin() const noexcept {

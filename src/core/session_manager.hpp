@@ -34,11 +34,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string_view>
 #include <vector>
 
 #include "core/sliding_window.hpp"
 #include "hierarchy/hierarchy.hpp"
+#include "trace/stream_decode.hpp"
 #include "trace/trace_store.hpp"
 
 namespace stagg {
@@ -103,11 +105,56 @@ class SessionManager {
   /// reaches as close to `frontier` as whole slices allow (sessions whose
   /// window already touches the frontier refresh in place) — the live
   /// ingest pattern where one event stream drives differently-paced
-  /// windows.  Then evicts dead chunks.
+  /// windows.  Then evicts dead chunks.  Equivalent to ingest_round().
   void advance_to(TimeNs frontier);
 
   /// Seals staged events and re-aggregates every current window in place.
   void refresh_all();
+
+  // --- Pipeline stage functions -------------------------------------------
+  //
+  // The staged ingest pipeline (core/ingest_pipeline.hpp) splits one
+  // ingest round into the same three stages the synchronous entry points
+  // above compose on the calling thread: bulk ingest (seal worker, the
+  // sole TraceStore write side), seal_staged (publishes the sealed
+  // watermark), and advance_to_watermark (session fan-out over data
+  // guaranteed sealed).  All of these mutate manager or store state and
+  // must be externally serialized — the pipeline interleaves its seal and
+  // advance workers under one stage mutex; synchronous callers get the
+  // serialization for free by staying on one thread.  Only the sessions'
+  // inner DP work fans out onto the shared pool.
+
+  /// Appends a batch of id-resolved records to the shared store (the seal
+  /// stage's bulk ingest; same visibility semantics as append()).
+  void ingest(std::span<const EventRecord> records);
+
+  /// Seals everything staged into immutable chunks and raises the sealed
+  /// watermark to `frontier` — the caller's promise that every event
+  /// beginning before `frontier` has been ingested.  Monotone (a lower
+  /// frontier never lowers the watermark); returns the new watermark.
+  TimeNs seal_staged(TimeNs frontier);
+
+  /// The sealed watermark: every event with begin < watermark() is sealed
+  /// into immutable chunks and selectable by views.  Starts at the store
+  /// end (a freshly attached recorded prefix is complete), raised by
+  /// seal_staged().
+  [[nodiscard]] TimeNs watermark() const noexcept { return watermark_; }
+
+  /// Advances every session's window end toward `wm` exactly like
+  /// advance_to(), but over *already sealed* data only: throws
+  /// InvalidArgument when `wm` exceeds watermark(), and seals nothing —
+  /// sessions advance only over data guaranteed immutable, which is what
+  /// lets a pipeline run this stage while parse workers decode ahead.
+  /// Evicts dead chunks and re-enforces the memory budget afterwards.
+  void advance_to_watermark(TimeNs wm);
+
+  /// One full synchronous ingest round on the calling thread:
+  /// seal_staged(frontier) then advance_to_watermark(frontier).  This is
+  /// the pipeline's parse->seal->advance composition collapsed to a
+  /// single-threaded shim — advance_to() is an alias, so the historical
+  /// entry points and the pipelined path share the exact same stage code
+  /// (and stay bit-identical).
+  void ingest_round(TimeNs frontier);
 
   [[nodiscard]] const TraceStore& store() const noexcept { return *store_; }
   [[nodiscard]] const std::shared_ptr<TraceStore>& store_ptr()
@@ -157,8 +204,11 @@ class SessionManager {
   }
 
  private:
+  /// The advance stage: distributes the sealed dirty frontier, runs
+  /// `advance` over the sessions in parallel, evicts dead chunks and
+  /// re-enforces the memory budget.  Callers seal first.
   template <class Advance>
-  void advance_sessions(const Advance& advance);
+  void run_advance_stage(const Advance& advance);
   void enforce_memory_budget();
 
   const Hierarchy* hierarchy_;
@@ -167,6 +217,11 @@ class SessionManager {
   /// Min begin of events staged since the last seal (ingest dirty
   /// frontier distributed to sessions at the next advance).
   TimeNs staged_min_;
+  /// Min begin of events sealed but not yet distributed to the sessions
+  /// (accumulates across seal_staged calls between advances).
+  TimeNs sealed_dirty_min_;
+  /// The sealed watermark (see watermark()).
+  TimeNs watermark_ = 0;
   /// Resident-chunk-byte cap enforced after every advance; 0 = unlimited.
   std::size_t memory_budget_ = 0;
 };

@@ -9,6 +9,7 @@
 
 #include "common/error.hpp"
 #include "common/mapped_file.hpp"
+#include "trace/stream_decode.hpp"
 
 namespace stagg {
 namespace {
@@ -18,6 +19,8 @@ constexpr char kChunkMagicV1[8] = {'S', 'T', 'G', 'C', 'H', 'K', '0', '1'};
 constexpr char kChunkMagic[8] = {'S', 'T', 'G', 'C', 'H', 'K', '0', '2'};
 constexpr char kSpillMagic[8] = {'S', 'T', 'G', 'S', 'P', 'L', '0', '2'};
 constexpr std::size_t kRecordBytes = 4 + 4 + 8 + 8;
+static_assert(kRecordBytes == StgtRecordDecoder::kRecordBytes,
+              "STGT record framing is shared with the resumable decoder");
 /// v1 chunk record header: u32 resource | u32 reserved | u64 count |
 /// i64 min_end | i64 max_end | u64 checksum.  40 bytes, 8-aligned.
 constexpr std::size_t kChunkHeaderBytesV1 = 40;
@@ -94,17 +97,6 @@ void encode_record(std::uint8_t* out, ResourceId r, const StateInterval& s) {
   std::memcpy(out + 4, &ux, 4);
   std::memcpy(out + 8, &s.begin, 8);
   std::memcpy(out + 16, &s.end, 8);
-}
-
-TraceRecord decode_record(const std::uint8_t* in) {
-  std::uint32_t ur = 0, ux = 0;
-  TimeNs begin = 0, end = 0;
-  std::memcpy(&ur, in, 4);
-  std::memcpy(&ux, in + 4, 4);
-  std::memcpy(&begin, in + 8, 8);
-  std::memcpy(&end, in + 16, 8);
-  return {static_cast<ResourceId>(ur),
-          StateInterval{begin, end, static_cast<StateId>(ux)}};
 }
 
 TraceFileInfo read_header(std::FILE* f, const std::string& path) {
@@ -607,41 +599,26 @@ TraceFileInfo stream_binary_trace(
   std::vector<TraceRecord> records;
   records.reserve(chunk_records);
 
+  // The record section streams through the resumable byte-range decoder
+  // (validation — id ranges, end >= begin, absolute error offsets — lives
+  // there, shared with the pipeline's parallel shard decode).
+  StgtRecordDecoder decoder(info.resource_paths.size(), info.states.size(),
+                            path,
+                            static_cast<std::uint64_t>(records_base));
+  const StgtRecordSink record_sink = [&records](const StgtRecord& rec) {
+    records.push_back(rec);
+  };
   std::uint64_t remaining = info.record_count;
-  std::uint64_t processed = 0;
-  const auto n_resources = info.resource_paths.size();
-  const auto n_states = info.states.size();
   while (remaining > 0) {
     const std::size_t take = static_cast<std::size_t>(
         std::min<std::uint64_t>(remaining, chunk_records));
     read_bytes(f.get(), buf.data(), take * kRecordBytes, path);
     records.clear();
-    for (std::size_t i = 0; i < take; ++i) {
-      TraceRecord rec = decode_record(buf.data() + i * kRecordBytes);
-      // Built only on the throw paths: the happy path of a 10^8-record
-      // ingest must not allocate per record.
-      const auto offset_str = [&] {
-        return " in '" + path + "' at offset " +
-               std::to_string(static_cast<std::uint64_t>(records_base) +
-                              (processed + i) * kRecordBytes);
-      };
-      if (static_cast<std::size_t>(rec.resource) >= n_resources) {
-        throw TraceFormatError("record references unknown resource" +
-                               offset_str());
-      }
-      if (static_cast<std::size_t>(rec.interval.state) >= n_states) {
-        throw TraceFormatError("record references unknown state" +
-                               offset_str());
-      }
-      if (rec.interval.end < rec.interval.begin) {
-        throw TraceFormatError("record with end < begin" + offset_str());
-      }
-      records.push_back(rec);
-    }
+    decoder.feed({buf.data(), take * kRecordBytes}, record_sink);
     sink({records.data(), records.size()});
     remaining -= take;
-    processed += take;
   }
+  decoder.finish();
   return info;
 }
 

@@ -58,16 +58,17 @@
 
 #include "trace/event.hpp"
 #include "trace/state_registry.hpp"
+#include "trace/stream_decode.hpp"
 #include "trace/trace.hpp"
 #include "trace/trace_store.hpp"
 
 namespace stagg {
 
-/// One on-disk record paired with its resource (streaming API).
-struct TraceRecord {
-  ResourceId resource;
-  StateInterval interval;
-};
+/// One on-disk record paired with its resource (streaming API).  The
+/// record section is decoded by the resumable StgtRecordDecoder
+/// (stream_decode.hpp) — the whole-file reader here and the pipeline's
+/// byte-range shard decode share one record grammar and validation.
+using TraceRecord = StgtRecord;
 
 /// Static description decoded from a trace file header + tables.
 struct TraceFileInfo {

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/string_util.hpp"
+#include "trace/stream_decode.hpp"
 
 namespace stagg {
 
@@ -36,44 +37,24 @@ std::uint64_t write_csv_trace(Trace& trace, const std::string& path) {
 }
 
 Trace read_csv_trace(std::istream& is, const std::string& context) {
+  // Thin shim over the resumable byte-range decoder (stream_decode.hpp):
+  // the whole-file path and the pipeline's parallel shard decode share one
+  // record grammar, so they accept and reject exactly the same inputs.
   Trace trace;
-  std::string line;
-  std::size_t line_no = 0;
-  bool have_window = false;
-  TimeNs wbegin = 0, wend = 0;
-  while (std::getline(is, line)) {
-    ++line_no;
-    const std::string_view sv = trim(line);
-    if (sv.empty()) continue;
-    if (sv.front() == '#') {
-      if (starts_with(sv, "# window,")) {
-        const auto fields = split(sv.substr(2), ',');
-        if (fields.size() != 3) {
-          throw TraceFormatError("bad window comment at " + context + ":" +
-                                 std::to_string(line_no));
-        }
-        wbegin = parse_int(fields[1], context);
-        wend = parse_int(fields[2], context);
-        have_window = true;
-      }
-      continue;
-    }
-    const auto fields = split(sv, ',');
-    const std::string where = context + ":" + std::to_string(line_no);
-    if (fields.size() != 5 || fields[0] != "STATE") {
-      throw TraceFormatError("expected STATE record with 5 fields at " +
-                             where);
-    }
-    const ResourceId r = trace.add_resource(fields[1]);
-    const StateId x = trace.states().intern(fields[2]);
-    const TimeNs begin = parse_int(fields[3], where);
-    const TimeNs end = parse_int(fields[4], where);
-    if (end < begin) {
-      throw TraceFormatError("end < begin at " + where);
-    }
-    trace.add_state(r, x, begin, end);
+  TextTraceDecoder decoder(TextTraceFormat::kCsv, context);
+  const DecodedTextSink sink = [&trace](const DecodedTextRecord& rec) {
+    const ResourceId r = trace.add_resource(rec.resource);
+    const StateId x = trace.states().intern(rec.state);
+    trace.add_state(r, x, rec.begin, rec.end);
+  };
+  char buf[1 << 16];
+  while (is.read(buf, sizeof buf) || is.gcount() > 0) {
+    decoder.feed({buf, static_cast<std::size_t>(is.gcount())}, sink);
   }
-  if (have_window) trace.set_window(wbegin, wend);
+  decoder.finish(sink);
+  if (decoder.has_window()) {
+    trace.set_window(decoder.window_begin(), decoder.window_end());
+  }
   trace.seal();
   return trace;
 }

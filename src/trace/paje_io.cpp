@@ -1,84 +1,38 @@
 #include "trace/paje_io.hpp"
 
-#include <cmath>
-#include <cstdio>
+#include <cstddef>
 #include <fstream>
 #include <sstream>
 
 #include "common/error.hpp"
 #include "common/string_util.hpp"
+#include "trace/stream_decode.hpp"
 
 namespace stagg {
-namespace {
-
-/// Largest |seconds| whose nanosecond count fits in TimeNs (int64):
-/// 2^63 ns ≈ 9.223e9 s; stay just inside so llround cannot overflow.
-constexpr double kMaxAbsSeconds = 9.2e9;
-
-/// Seconds (pj_dump) to nanoseconds, with round-to-nearest so that
-/// begin + duration == end survives the conversion.  Non-finite values and
-/// magnitudes whose nanosecond count would overflow the 64-bit TimeNs make
-/// llround undefined behaviour — reject them with the line context instead.
-TimeNs paje_time(double seconds_value, const std::string& where) {
-  // Negated form so NaN (every comparison false) is rejected too.
-  if (!(std::abs(seconds_value) <= kMaxAbsSeconds)) {
-    char num[32];
-    std::snprintf(num, sizeof num, "%g", seconds_value);
-    throw TraceFormatError(std::string("timestamp ") + num +
-                           " s is not representable in nanoseconds (finite, "
-                           "|t| <= 9.2e9 s required) at " + where);
-  }
-  return static_cast<TimeNs>(std::llround(seconds_value * 1e9));
-}
-
-}  // namespace
 
 Trace read_paje_dump(std::istream& is, const std::string& context,
                      PajeReadStats* stats) {
+  // Thin shim over the resumable byte-range decoder (stream_decode.hpp):
+  // the whole-file path and the pipeline's parallel shard decode share one
+  // record grammar (field count, timestamp range checks, skip rules), so
+  // they accept and reject exactly the same inputs.
   Trace trace;
-  PajeReadStats local;
-  std::string line;
-  std::size_t line_no = 0;
-  while (std::getline(is, line)) {
-    ++line_no;
-    const std::string_view sv = trim(line);
-    if (sv.empty() || sv.front() == '#' || sv.front() == '%') {
-      ++local.comment_lines;
-      continue;
-    }
-    const auto fields = split(sv, ',');
-    const std::string_view kind = trim(fields[0]);
-    if (kind != "State") {
-      ++local.skipped_records;
-      continue;
-    }
-    const std::string where = context + ":" + std::to_string(line_no);
-    if (fields.size() != 8) {
-      // More than 8 fields is ambiguous between unsupported extra pj_dump
-      // columns and a comma embedded in a container/state name (the format
-      // has no escaping, so such a name shifts every later field); both
-      // would silently mis-assign fields, so reject with the line context.
-      throw TraceFormatError(
-          "State record needs exactly 8 fields, got " +
-          std::to_string(fields.size()) + " at " + where +
-          (fields.size() > 8 ? " (extra trailing fields are not supported, "
-                               "and names must not contain commas)"
-                             : ""));
-    }
-    const std::string_view container = trim(fields[1]);
-    const double begin_s = parse_double(fields[3], where);
-    const double end_s = parse_double(fields[4], where);
-    const std::string_view value = trim(fields[7]);
-    if (end_s < begin_s) {
-      throw TraceFormatError("State with end < begin at " + where);
-    }
-    const ResourceId r = trace.add_resource(container);
-    trace.add_state(r, value, paje_time(begin_s, where),
-                    paje_time(end_s, where));
-    ++local.state_records;
+  TextTraceDecoder decoder(TextTraceFormat::kPaje, context);
+  const DecodedTextSink sink = [&trace](const DecodedTextRecord& rec) {
+    const ResourceId r = trace.add_resource(rec.resource);
+    trace.add_state(r, rec.state, rec.begin, rec.end);
+  };
+  char buf[1 << 16];
+  while (is.read(buf, sizeof buf) || is.gcount() > 0) {
+    decoder.feed({buf, static_cast<std::size_t>(is.gcount())}, sink);
   }
+  decoder.finish(sink);
   trace.seal();
-  if (stats != nullptr) *stats = local;
+  if (stats != nullptr) {
+    stats->state_records = decoder.stats().records;
+    stats->skipped_records = decoder.stats().skipped_records;
+    stats->comment_lines = decoder.stats().comment_lines;
+  }
   return trace;
 }
 

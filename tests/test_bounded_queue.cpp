@@ -1,0 +1,140 @@
+// BoundedQueue suite: the backpressure primitive under the staged ingest
+// pipeline.  Blocking pushes must throttle producers while the queue is
+// full (never drop), close() must unblock everyone and still drain what
+// was accepted, and per-producer FIFO order must survive MPSC stress.
+#include "common/bounded_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace stagg {
+namespace {
+
+TEST(BoundedQueue, FifoAndCounters) {
+  BoundedQueue<int> q(4);
+  EXPECT_EQ(q.capacity(), 4u);
+  EXPECT_EQ(q.depth(), 0u);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.push(i));
+  EXPECT_EQ(q.depth(), 4u);
+  EXPECT_FALSE(q.try_push(99)) << "full queue must refuse try_push";
+  for (int i = 0; i < 4; ++i) {
+    const auto v = q.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(q.try_pop().has_value());
+  const BoundedQueueStats s = q.stats();
+  EXPECT_EQ(s.capacity, 4u);
+  EXPECT_EQ(s.depth, 0u);
+  EXPECT_EQ(s.high_water, 4u);
+  EXPECT_EQ(s.pushed, 4u);
+  EXPECT_EQ(s.blocked_pushes, 0u);
+}
+
+TEST(BoundedQueue, CapacityFloorsAtOne) {
+  BoundedQueue<int> q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+  EXPECT_TRUE(q.push(7));
+  EXPECT_FALSE(q.try_push(8));
+}
+
+TEST(BoundedQueue, FullPushBlocksUntilPop) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.push(2));  // blocks: queue is full
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load()) << "push must block while full";
+  EXPECT_EQ(q.pop().value(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_GE(q.stats().blocked_pushes, 1u);
+}
+
+TEST(BoundedQueue, EmptyPopBlocksUntilPush) {
+  BoundedQueue<int> q(2);
+  std::atomic<bool> popped{false};
+  std::thread consumer([&] {
+    const auto v = q.pop();  // blocks: queue is empty
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 42);
+    popped.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(popped.load()) << "pop must block while empty";
+  EXPECT_TRUE(q.push(42));
+  consumer.join();
+  EXPECT_TRUE(popped.load());
+}
+
+TEST(BoundedQueue, CloseDrainsAcceptedItemsThenSignalsEnd) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(q.push(i));
+  q.close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.push(99)) << "closed queue refuses new items";
+  for (int i = 0; i < 3; ++i) {
+    const auto v = q.pop();
+    ASSERT_TRUE(v.has_value()) << "close must not drop accepted items";
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(q.pop().has_value()) << "drained + closed ends the stream";
+  q.close();  // idempotent
+}
+
+TEST(BoundedQueue, CloseUnblocksBlockedProducerAndConsumer) {
+  BoundedQueue<int> full(1);
+  ASSERT_TRUE(full.push(1));
+  std::thread producer([&] { EXPECT_FALSE(full.push(2)); });
+  BoundedQueue<int> empty(1);
+  std::thread consumer([&] { EXPECT_FALSE(empty.pop().has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  full.close();
+  empty.close();
+  producer.join();
+  consumer.join();
+}
+
+TEST(BoundedQueue, MpscStressPreservesPerProducerOrder) {
+  constexpr std::size_t kProducers = 4;
+  constexpr int kPerProducer = 2000;
+  BoundedQueue<std::pair<std::size_t, int>> q(8);  // small: force blocking
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.push({p, i}));
+      }
+    });
+  }
+  std::vector<int> next(kProducers, 0);
+  std::size_t total = 0;
+  while (total < kProducers * kPerProducer) {
+    const auto v = q.pop();
+    ASSERT_TRUE(v.has_value());
+    const auto [p, i] = *v;
+    EXPECT_EQ(i, next[p]) << "per-producer FIFO order violated";
+    next[p] = i + 1;
+    ++total;
+  }
+  for (auto& t : producers) t.join();
+  const BoundedQueueStats s = q.stats();
+  EXPECT_EQ(s.pushed, kProducers * static_cast<std::uint64_t>(kPerProducer));
+  EXPECT_LE(s.high_water, s.capacity) << "depth must stay bounded";
+  EXPECT_EQ(s.depth, 0u);
+}
+
+}  // namespace
+}  // namespace stagg
