@@ -1,0 +1,42 @@
+// Fuzz harness: TextTraceDecoder over both line grammars (CSV + pj_dump).
+//
+// Contract under test: ANY byte stream either decodes cleanly or throws
+// TraceFormatError naming the offending line — never a crash, hang, or a
+// silent misparse that corrupts downstream state.  The first input byte
+// selects the grammar and a feed-chunk size, so the fuzzer also explores
+// the resumable carry path (records straddling feed boundaries must decode
+// exactly like whole-line feeds).
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "common/error.hpp"
+#include "trace/stream_decode.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) return 0;
+  const std::uint8_t sel = data[0];
+  const auto format = (sel & 1U) != 0 ? stagg::TextTraceFormat::kPaje
+                                      : stagg::TextTraceFormat::kCsv;
+  const std::size_t chunk = 1 + (sel >> 1U);
+  const std::string_view text(reinterpret_cast<const char*>(data + 1),
+                              size - 1);
+  stagg::TextTraceDecoder decoder(format, "fuzz");
+  std::uint64_t records = 0;
+  const auto sink = [&records](const stagg::DecodedTextRecord& rec) {
+    // Touch every field so a decoder handing out dangling views faults
+    // under ASan instead of passing silently.
+    records += rec.resource.size() + rec.state.size() +
+               static_cast<std::uint64_t>(rec.end >= rec.begin);
+  };
+  try {
+    for (std::size_t pos = 0; pos < text.size(); pos += chunk) {
+      decoder.feed(text.substr(pos, chunk), sink);
+    }
+    decoder.finish(sink);
+  } catch (const stagg::TraceFormatError&) {
+    // Malformed input rejected loudly — the documented contract.
+  }
+  return 0;
+}

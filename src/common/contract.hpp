@@ -1,0 +1,147 @@
+// Contract and audit macros — the machine-checked invariant layer.
+//
+// Three tiers, ordered by cost and by when they run:
+//
+//   STAGG_REQUIRE(cond, msg)  Always on.  API-boundary precondition; throws
+//                             ContractError naming the condition, file and
+//                             line.  Use where a violated precondition would
+//                             otherwise corrupt state silently.
+//   STAGG_ASSERT(cond, msg)   Audit builds only (-DSTAGG_AUDIT=ON).  Cheap
+//                             internal invariant checks on hot paths;
+//                             compiles to nothing in default builds.
+//   STAGG_AUDIT(expr)         Audit builds only.  Evaluates `expr` — almost
+//                             always a call to a subsystem's audit() method
+//                             at a stage boundary (post-seal, post-spill,
+//                             post-advance, ...).  Audit methods walk whole
+//                             structures (O(data) work) and throw
+//                             ContractError on the first violated invariant,
+//                             so they live behind the same switch.
+//
+// The audit() methods this layer gates (TraceStore, MeasureCache, DataCube,
+// SessionManager, IngestPipeline) re-derive the structural invariants the
+// bit-identity oracles rely on — sorted chunk columns, exact fences,
+// monotone watermarks, triangle/cube shape agreement — from scratch, so a
+// corrupted structure fails loudly at the boundary where it first exists
+// instead of folding garbage three subsystems later.
+//
+// CI runs the fast test suite with -DSTAGG_AUDIT=ON on every push; the
+// default build keeps all of this compiled out so tracked benchmarks are
+// unaffected.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+
+#include "common/error.hpp"
+
+namespace stagg {
+
+/// A machine-checked invariant did not hold.  Distinct from InvalidArgument
+/// (caller error at an API boundary): a ContractError from an audit means
+/// the *library's* state is inconsistent — the right reaction is to stop
+/// trusting the structure, not to retry with different arguments.
+class ContractError : public Error {
+ public:
+  explicit ContractError(const std::string& what)
+      : Error("contract violation: " + what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* cond,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  throw ContractError(std::string(kind) + " `" + cond + "` failed at " +
+                      file + ":" + std::to_string(line) + ": " + msg);
+}
+[[noreturn]] inline void narrow_fail() {
+  throw ContractError("narrow<T>: value not representable in target type");
+}
+}  // namespace detail
+
+// --- Checked narrowing ------------------------------------------------------
+//
+// The codec/decoder encode paths are forbidden (by tools/stagg_lint.py) from
+// narrowing with bare static_cast: every lossy integer conversion in an
+// on-disk format must either be value-preserving (narrow<T>) or a
+// *documented* truncation (wrap_u8).  In audit builds narrow<T> verifies the
+// round-trip; in default builds both compile to the bare cast.
+
+/// Value-preserving narrowing conversion: the value must be representable in
+/// `To`.  Audit builds verify and throw ContractError on loss; default
+/// builds are a bare static_cast (zero cost).
+template <class To, class From>
+[[nodiscard]] constexpr To narrow(From v) {
+  static_assert(std::is_integral_v<To> && std::is_integral_v<From>,
+                "narrow<T> is for integer conversions");
+  const To out = static_cast<To>(v);
+#ifdef STAGG_AUDIT_ENABLED
+  bool ok = static_cast<From>(out) == v;
+  // A modular round-trip can still flip sign (uint64 max -> int64 -1).
+  if constexpr (std::is_signed_v<From> && !std::is_signed_v<To>) {
+    ok = ok && v >= From{};
+  } else if constexpr (!std::is_signed_v<From> && std::is_signed_v<To>) {
+    ok = ok && out >= To{};
+  }
+  if (!ok) detail::narrow_fail();
+#endif
+  return out;
+}
+
+/// Documented truncation to the low 8 bits (varint bytes, bit-pack
+/// accumulator flushes): wrap-around is the *intended* semantics.
+template <class From>
+[[nodiscard]] constexpr std::uint8_t wrap_u8(From v) noexcept {
+  static_assert(std::is_integral_v<From>, "wrap_u8 is for integer values");
+  return static_cast<std::uint8_t>(static_cast<std::uint64_t>(v) & 0xffU);
+}
+
+}  // namespace stagg
+
+// Always-on precondition.  The condition is evaluated exactly once.
+#define STAGG_REQUIRE(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::stagg::detail::contract_fail("requirement", #cond, __FILE__,      \
+                                     __LINE__, (msg));                    \
+    }                                                                     \
+  } while (false)
+
+#ifdef STAGG_AUDIT_ENABLED
+
+#define STAGG_ASSERT(cond, msg)                                           \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::stagg::detail::contract_fail("assertion", #cond, __FILE__,        \
+                                     __LINE__, (msg));                    \
+    }                                                                     \
+  } while (false)
+
+/// Runs a structural audit at a stage boundary (audit builds only).
+#define STAGG_AUDIT(expr) \
+  do {                    \
+    (expr);               \
+  } while (false)
+
+namespace stagg {
+/// True in binaries compiled with -DSTAGG_AUDIT=ON; lets tests assert the
+/// audit layer is actually active instead of silently compiled out.
+inline constexpr bool kAuditEnabled = true;
+}  // namespace stagg
+
+#else  // !STAGG_AUDIT_ENABLED
+
+#define STAGG_ASSERT(cond, msg) \
+  do {                          \
+  } while (false)
+
+#define STAGG_AUDIT(expr) \
+  do {                    \
+  } while (false)
+
+namespace stagg {
+inline constexpr bool kAuditEnabled = false;
+}  // namespace stagg
+
+#endif  // STAGG_AUDIT_ENABLED

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <cstring>
+#include <string>
 
+#include "common/contract.hpp"
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
 
@@ -68,6 +71,53 @@ void DataCube::recompute_slices(SliceId first_dirty, bool parallel) {
         double* dst = node_base_mut(id, x);
         const double* src = node_base(child, x);
         for (std::size_t k = lo; k < hi; ++k) dst[k] += src[k];
+      }
+    }
+  }
+  STAGG_AUDIT(audit());
+}
+
+void DataCube::audit() const {
+  const auto fail = [](const std::string& what) {
+    throw ContractError("DataCube::audit: " + what);
+  };
+  const Hierarchy& h = hierarchy();
+  if (n_t_ != model_->slice_count() || n_x_ != model_->state_count()) {
+    fail("cube shape " + std::to_string(n_x_) + "x" + std::to_string(n_t_) +
+         " out of step with the model's " +
+         std::to_string(model_->state_count()) + "x" +
+         std::to_string(model_->slice_count()));
+  }
+  const std::size_t node_stride =
+      static_cast<std::size_t>(n_x_) * static_cast<std::size_t>(n_t_) * 3;
+  if (data_.size() != h.node_count() * node_stride) {
+    fail("storage holds " + std::to_string(data_.size()) +
+         " doubles for " + std::to_string(h.node_count()) + " nodes of " +
+         std::to_string(node_stride));
+  }
+  for (std::size_t k = 0; k < data_.size(); ++k) {
+    if (!std::isfinite(data_[k])) {
+      fail("non-finite entry at flat index " + std::to_string(k));
+    }
+  }
+  // Leaf-additivity, bit-exact: the build merges children in child order
+  // starting from zero, so re-summing in that order must reproduce every
+  // internal triplet to the last bit.
+  for (std::size_t ni = 0; ni < h.node_count(); ++ni) {
+    const NodeId id = static_cast<NodeId>(ni);
+    const auto& n = h.node(id);
+    if (n.children.empty()) continue;
+    for (StateId x = 0; x < n_x_; ++x) {
+      const double* parent = node_base(id, x);
+      const std::size_t len = static_cast<std::size_t>(n_t_) * 3;
+      for (std::size_t k = 0; k < len; ++k) {
+        double acc = 0.0;
+        for (NodeId child : n.children) acc += node_base(child, x)[k];
+        if (parent[k] != acc) {
+          fail("node " + std::to_string(id) + " state " + std::to_string(x) +
+               " slice slot " + std::to_string(k) +
+               " is not the child-order sum of its children");
+        }
       }
     }
   }

@@ -134,6 +134,15 @@ class DataCube {
   /// bit-identical by construction.
   void recompute_slices(SliceId first_dirty, bool parallel = true);
 
+  /// Structural audit: throws ContractError (common/contract.hpp) when the
+  /// cube violates its own accumulation contract — shape out of step with
+  /// the model (slice/state counts, node stride), a non-finite entry, or an
+  /// internal node whose per-slice triplets are not the bit-exact child-
+  /// order sum of its children's (the leaf-additivity the whole incremental
+  /// subsystem rests on).  O(|S| |T| |X|); called at stage boundaries by
+  /// STAGG_AUDIT in audit builds, callable directly by tests in any build.
+  void audit() const;
+
   /// Estimated bytes held by the cube.
   [[nodiscard]] std::size_t memory_bytes() const noexcept {
     return data_.size() * sizeof(double);

@@ -6,6 +6,7 @@
 #include <map>
 #include <utility>
 
+#include "common/contract.hpp"
 #include "common/error.hpp"
 
 namespace stagg {
@@ -211,6 +212,12 @@ void IngestPipeline::seal_worker() {
                                   std::memory_order_relaxed);
       }
       manager_.seal_staged(frontier);
+      // Every sealed record was popped off the batch queue, whose
+      // push/pop ordering makes the parser's counter increment visible
+      // here — sealing can trail parsing but never lead it.
+      STAGG_ASSERT(records_sealed_.load(std::memory_order_relaxed) <=
+                       records_parsed_.load(std::memory_order_relaxed),
+                   "seal worker sealed more records than were parsed");
     }
     // Push OUTSIDE the stage mutex: the advance worker takes that mutex
     // after popping, so a blocking push while holding it would deadlock
@@ -273,6 +280,15 @@ void IngestPipeline::advance_worker() {
     try {
       {
         std::lock_guard<std::mutex> lock(stage_mutex_);
+        // This thread is the sole writer of advanced_watermark_, so the
+        // unlocked read is race-free; the seal worker publishes frontiers
+        // in completion order, which is monotone per producer.
+        STAGG_ASSERT(*wm >= advanced_watermark_,
+                     "advance watermarks must be non-decreasing");
+        // Advance never outruns seal: the manager rejects it too, but the
+        // assert pins the pipeline-level contract at the stage boundary.
+        STAGG_ASSERT(*wm <= manager_.watermark(),
+                     "advance worker ahead of the sealed watermark");
         manager_.advance_to_watermark(*wm);
         if (options_.on_advance) options_.on_advance(*wm);
       }

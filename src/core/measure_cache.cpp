@@ -1,7 +1,10 @@
 #include "core/measure_cache.hpp"
 
 #include <algorithm>
+#include <string>
+#include <vector>
 
+#include "common/contract.hpp"
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
 #include "core/triangular_relocate.hpp"
@@ -54,6 +57,7 @@ void MeasureCache::build(const DataCube& cube, bool parallel) {
   tri_ = TriangularIndex(cube.slice_count());
   data_.resize(node_count * tri_.size());
   fill_columns(cube, 0, parallel);
+  STAGG_AUDIT(audit(cube));
 }
 
 void MeasureCache::reshape(std::int32_t new_slices, std::int32_t src_shift) {
@@ -82,6 +86,54 @@ void MeasureCache::update(const DataCube& cube, SliceId first_dirty,
   first_dirty = std::clamp<SliceId>(first_dirty, 0, tri_.slices());
   if (first_dirty >= tri_.slices()) return;
   fill_columns(cube, first_dirty, parallel);
+  STAGG_AUDIT(audit(cube));
+}
+
+void MeasureCache::audit(const DataCube& cube) const {
+  if (!built()) return;
+  const auto fail = [](const std::string& what) {
+    throw ContractError("MeasureCache::audit: " + what);
+  };
+  const std::size_t node_count = cube.hierarchy().node_count();
+  if (tri_.slices() != cube.slice_count()) {
+    fail("triangle spans " + std::to_string(tri_.slices()) +
+         " slices but the cube holds " + std::to_string(cube.slice_count()));
+  }
+  if (data_.size() != node_count * tri_.size()) {
+    fail("storage holds " + std::to_string(data_.size()) + " cells for " +
+         std::to_string(node_count) + " nodes of " +
+         std::to_string(tri_.size()));
+  }
+  // Recompute columns through the same bulk fill the build uses — the
+  // cube's accumulation contract makes them bit-identical.  Small
+  // triangles are rechecked in full; larger ones at the first, middle and
+  // last columns per node (reshape relocation bugs corrupt whole columns,
+  // not single cells).
+  const SliceId slices = tri_.slices();
+  std::vector<SliceId> cols;
+  if (tri_.size() <= 4096) {
+    for (SliceId j = 0; j < slices; ++j) cols.push_back(j);
+  } else {
+    cols = {0, static_cast<SliceId>(slices / 2),
+            static_cast<SliceId>(slices - 1)};
+  }
+  std::vector<AreaMeasures> scratch;
+  for (std::size_t ni = 0; ni < node_count; ++ni) {
+    const NodeId node = static_cast<NodeId>(ni);
+    for (const SliceId j : cols) {
+      scratch.assign(static_cast<std::size_t>(j) + 1, AreaMeasures{});
+      cube.measures_column_into(node, j, scratch);
+      for (SliceId i = 0; i <= j; ++i) {
+        const AreaMeasures& got = at(node, i, j);
+        const AreaMeasures& want = scratch[static_cast<std::size_t>(i)];
+        if (got.gain != want.gain || got.loss != want.loss) {
+          fail("node " + std::to_string(node) + " cell (" +
+               std::to_string(i) + ", " + std::to_string(j) +
+               ") is not bit-identical to the cube's recomputation");
+        }
+      }
+    }
+  }
 }
 
 }  // namespace stagg

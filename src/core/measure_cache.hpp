@@ -74,6 +74,17 @@ class MeasureCache {
 
   [[nodiscard]] bool built() const noexcept { return !data_.empty(); }
 
+  /// Structural audit against the cube the cache claims to mirror: throws
+  /// ContractError (common/contract.hpp) when the triangle shape disagrees
+  /// with the cube's slice count, the storage size disagrees with the
+  /// node count, or a cached column is not bit-identical to the cube's
+  /// recomputation (full recheck for small triangles; first/middle/last
+  /// columns per node otherwise — reshape relocation bugs corrupt whole
+  /// columns, not single cells).  No-op when not built.  Called at stage
+  /// boundaries by STAGG_AUDIT in audit builds; callable directly by tests
+  /// in any build.
+  void audit(const DataCube& cube) const;
+
   /// Releases the storage (built() becomes false).
   void clear() noexcept {
     data_.clear();

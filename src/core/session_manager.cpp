@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <limits>
+#include <string>
 #include <utility>
 
+#include "common/contract.hpp"
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
 
@@ -122,6 +124,7 @@ TimeNs SessionManager::seal_staged(TimeNs frontier) {
     sealed_dirty_min_ = std::min(sealed_dirty_min_, staged);
   }
   watermark_ = std::max(watermark_, frontier);
+  STAGG_AUDIT(audit());
   return watermark_;
 }
 
@@ -147,6 +150,13 @@ void SessionManager::run_advance_stage(const Advance& advance) {
   // Eviction first (unlinking is cheaper than spilling), then the budget
   // over whatever survived.
   enforce_memory_budget();
+  // The budget holds exactly after enforcement: spill_cold only stops
+  // early once no resident sealed chunk is left, and then the resident
+  // bytes are zero.
+  STAGG_ASSERT(memory_budget_ == 0 ||
+                   store_->resident_chunk_bytes() <= memory_budget_,
+               "memory budget violated after the advance stage");
+  STAGG_AUDIT(audit());
 }
 
 void SessionManager::advance_to_watermark(TimeNs wm) {
@@ -205,6 +215,24 @@ void SessionManager::refresh_all() {
   }
   seal_staged(frontier);
   run_advance_stage([](SlidingWindowSession& s) { (void)s.refresh(); });
+}
+
+void SessionManager::audit() const {
+  store_->audit();
+  const auto fail = [](const std::string& what) {
+    throw ContractError("SessionManager::audit: " + what);
+  };
+  if (!sessions_.empty() && store_->evict_horizon() > min_window_begin()) {
+    fail("eviction horizon " + std::to_string(store_->evict_horizon()) +
+         " is past the minimum live window begin " +
+         std::to_string(min_window_begin()));
+  }
+  // Unsealed tails are legal only while the dirty accounting knows about
+  // them: a staged event with no staged frontier would never reach the
+  // sessions' note_external_ingest and stay invisible forever.
+  if (!store_->tails_sealed() && staged_min_ == kNoStagedEvents) {
+    fail("store has unsealed tails but no staged dirty frontier");
+  }
 }
 
 TimeNs SessionManager::min_window_begin() const noexcept {

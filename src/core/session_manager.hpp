@@ -191,6 +191,17 @@ class SessionManager {
   /// store window begin when no session is attached.
   [[nodiscard]] TimeNs min_window_begin() const noexcept;
 
+  /// Structural audit of the manager and its shared store: runs
+  /// TraceStore::audit() and additionally checks the manager's own
+  /// contracts — the eviction horizon never past the minimum live window
+  /// begin (central eviction must not outrun the sessions), and unsealed
+  /// tails only ever paired with a tracked staged frontier (a staged event
+  /// the dirty accounting missed would stay invisible to every session).
+  /// Throws ContractError on the first violation.  O(store data) — called
+  /// at the seal/advance stage boundaries by STAGG_AUDIT in audit builds,
+  /// callable directly by tests in any build.
+  void audit() const;
+
   /// Sets the shared store's seal-time compression policy (kAuto keeps
   /// sealed chunks delta/dictionary-encoded whenever that shrinks them,
   /// and re-encodes what is already sealed; views streaming-decode, so

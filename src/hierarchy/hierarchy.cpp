@@ -170,9 +170,11 @@ Hierarchy make_balanced_hierarchy(std::int32_t levels, std::int32_t fanout,
   for (std::int32_t l = 0; l < levels; ++l) {
     std::vector<NodeId> next;
     next.reserve(frontier.size() * static_cast<std::size_t>(fanout));
+    std::string prefix("n");
+    prefix += std::to_string(l);
+    prefix += '_';
     for (NodeId p : frontier) {
-      const auto kids =
-          b.add_many(p, "n" + std::to_string(l) + "_", fanout);
+      const auto kids = b.add_many(p, prefix, fanout);
       next.insert(next.end(), kids.begin(), kids.end());
     }
     frontier = std::move(next);

@@ -7,6 +7,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/contract.hpp"
 #include "common/error.hpp"
 #include "common/mapped_file.hpp"
 #include "trace/stream_decode.hpp"
@@ -76,7 +77,7 @@ T read_pod(std::FILE* f, const std::string& path) {
 }
 
 void write_string(std::FILE* f, const std::string& s, const std::string& path) {
-  write_pod<std::uint32_t>(f, static_cast<std::uint32_t>(s.size()), path);
+  write_pod<std::uint32_t>(f, narrow<std::uint32_t>(s.size()), path);
   write_bytes(f, s.data(), s.size(), path);
 }
 
@@ -91,8 +92,8 @@ std::string read_string(std::FILE* f, const std::string& path) {
 }
 
 void encode_record(std::uint8_t* out, ResourceId r, const StateInterval& s) {
-  const std::uint32_t ur = static_cast<std::uint32_t>(r);
-  const std::uint32_t ux = static_cast<std::uint32_t>(s.state);
+  const auto ur = narrow<std::uint32_t>(r);
+  const auto ux = narrow<std::uint32_t>(s.state);
   std::memcpy(out, &ur, 4);
   std::memcpy(out + 4, &ux, 4);
   std::memcpy(out + 8, &s.begin, 8);
@@ -114,7 +115,12 @@ TraceFileInfo read_header(std::FILE* f, const std::string& path) {
   if (resource_count > (1ull << 32) || state_count > (1ull << 20)) {
     throw TraceFormatError("implausible table sizes in '" + path + "'");
   }
-  info.resource_paths.reserve(resource_count);
+  // The count is untrusted until the table entries actually parse: a
+  // 48-byte file declaring 2^32 resources must die with a loud truncation
+  // error at the first missing entry, not take down the process with
+  // bad_alloc from a speculative 100+ GB reserve (found by fuzzing).
+  info.resource_paths.reserve(
+      static_cast<std::size_t>(std::min<std::uint64_t>(resource_count, 4096)));
   for (std::uint64_t i = 0; i < resource_count; ++i) {
     info.resource_paths.push_back(read_string(f, path));
   }
@@ -212,7 +218,7 @@ void write_chunk_record(std::FILE* f, const std::string& path,
   checksum = fnv1a(sec.state.data(), sec.state.size(), checksum);
 
   std::uint8_t header[kChunkHeaderBytes] = {};
-  const auto ur = static_cast<std::uint32_t>(resource);
+  const auto ur = narrow<std::uint32_t>(resource);
   const auto count = static_cast<std::uint64_t>(chunk.size());
   const TimeNs min_begin = chunk.min_begin();
   const TimeNs min_end = chunk.min_end();
@@ -221,9 +227,9 @@ void write_chunk_record(std::FILE* f, const std::string& path,
   const std::uint64_t end_bytes = sec.end.size();
   const std::uint64_t state_bytes = sec.state.size();
   std::memcpy(header, &ur, 4);
-  header[4] = static_cast<std::uint8_t>(sec.begin_codec);
-  header[5] = static_cast<std::uint8_t>(sec.end_codec);
-  header[6] = static_cast<std::uint8_t>(sec.state_codec);
+  header[4] = time_codec_tag(sec.begin_codec);
+  header[5] = time_codec_tag(sec.end_codec);
+  header[6] = state_codec_tag(sec.state_codec);
   header[7] = 0;  // flags
   std::memcpy(header + 8, &count, 8);
   std::memcpy(header + 16, &min_begin, 8);

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <bit>
 #include <cstring>
+#include <limits>
 #include <string>
 
+#include "common/contract.hpp"
 #include "common/error.hpp"
 
 namespace stagg {
@@ -108,11 +110,11 @@ void consider(TimePlan& best, TimeCodec codec, std::size_t size) {
 }  // namespace
 
 bool time_codec_valid(std::uint8_t tag) noexcept {
-  return tag <= static_cast<std::uint8_t>(TimeCodec::kGapFromPrevEnd);
+  return tag <= time_codec_tag(TimeCodec::kGapFromPrevEnd);
 }
 
 bool state_codec_valid(std::uint8_t tag) noexcept {
-  return tag <= static_cast<std::uint8_t>(StateCodec::kDictBitpack);
+  return tag <= state_codec_tag(StateCodec::kDictBitpack);
 }
 
 const char* time_codec_name(TimeCodec codec) noexcept {
@@ -145,10 +147,10 @@ const char* state_codec_name(StateCodec codec) noexcept {
 
 void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
   while (v >= 0x80) {
-    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    out.push_back(wrap_u8(v | 0x80));
     v >>= 7;
   }
-  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(narrow<std::uint8_t>(v));
 }
 
 std::size_t varint_size(std::uint64_t v) noexcept {
@@ -218,7 +220,7 @@ EncodedColumns encode_columns(std::span<const TimeNs> begins,
   }
   const std::uint32_t pack_width =
       dict.size() > 1
-          ? static_cast<std::uint32_t>(std::bit_width(dict.size() - 1))
+          ? narrow<std::uint32_t>(std::bit_width(dict.size() - 1))
           : 0u;
   const std::size_t pack_size =
       dict_header + (n * pack_width + 7) / 8;
@@ -312,12 +314,12 @@ EncodedColumns encode_columns(std::span<const TimeNs> begins,
         acc |= idx << bits;
         bits += pack_width;
         while (bits >= 8) {
-          out.bytes.push_back(static_cast<std::uint8_t>(acc));
+          out.bytes.push_back(wrap_u8(acc));
           acc >>= 8;
           bits -= 8;
         }
       }
-      if (bits > 0) out.bytes.push_back(static_cast<std::uint8_t>(acc));
+      if (bits > 0) out.bytes.push_back(wrap_u8(acc));
       break;
     }
   }
@@ -357,10 +359,15 @@ ColumnsDecoder::ColumnsDecoder(const ColumnsCoding& coding)
     }
     dict_.reserve(static_cast<std::size_t>(dict_count));
     for (std::uint64_t i = 0; i < dict_count; ++i) {
-      dict_.push_back(static_cast<StateId>(
-          zigzag_decode(take_varint(state_cur_, "state dictionary"))));
+      const std::int64_t id =
+          zigzag_decode(take_varint(state_cur_, "state dictionary"));
+      if (id < 0 || id > std::numeric_limits<StateId>::max()) {
+        throw TraceFormatError("state dictionary entry " + std::to_string(id) +
+                               " outside the StateId range");
+      }
+      dict_.push_back(narrow<StateId>(id));
     }
-    pack_width_ = dict_.size() > 1 ? static_cast<std::uint32_t>(
+    pack_width_ = dict_.size() > 1 ? narrow<std::uint32_t>(
                                          std::bit_width(dict_.size() - 1))
                                    : 0u;
   }

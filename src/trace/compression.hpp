@@ -60,6 +60,16 @@ enum class StateCodec : std::uint8_t {
                      ///< indexes (0 bits when the dictionary is singular).
 };
 
+/// On-disk tag byte of a codec (the enums' underlying type is uint8_t, so
+/// these are value-preserving — the codec .cpp files themselves are barred
+/// from bare narrowing casts by tools/stagg_lint.py).
+[[nodiscard]] constexpr std::uint8_t time_codec_tag(TimeCodec c) noexcept {
+  return static_cast<std::uint8_t>(c);
+}
+[[nodiscard]] constexpr std::uint8_t state_codec_tag(StateCodec c) noexcept {
+  return static_cast<std::uint8_t>(c);
+}
+
 [[nodiscard]] bool time_codec_valid(std::uint8_t tag) noexcept;
 [[nodiscard]] bool state_codec_valid(std::uint8_t tag) noexcept;
 [[nodiscard]] const char* time_codec_name(TimeCodec codec) noexcept;

@@ -4,8 +4,10 @@
 #include <cstdio>
 #include <limits>
 #include <string>
+#include <unordered_set>
 #include <utility>
 
+#include "common/contract.hpp"
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
 #include "trace/binary_io.hpp"
@@ -318,6 +320,7 @@ void TraceStore::set_compression(ChunkCompression policy) {
     changed = changed || lane_changed;
   }
   if (changed) ++generation_;
+  STAGG_AUDIT(audit());
 }
 
 void TraceStore::seal_chunk() {
@@ -330,6 +333,20 @@ void TraceStore::seal_chunk() {
       lanes_.size(),
       [this, &unlinked](std::size_t r) {
         Lane& lane = lanes_[r];
+        if (!lane.tail.empty()) {
+          // Horizon stickiness: an interval ending at or below the
+          // eviction horizon can never be read by a legal window (views
+          // reaching below the horizon are rejected), so sealing one —
+          // e.g. staged after an eviction already passed it — would only
+          // freeze dead weight.  Dropping it here is what keeps the
+          // "every linked chunk's fence clears the horizon" invariant
+          // exact (audit() checks it).
+          if (evict_horizon_ != std::numeric_limits<TimeNs>::min()) {
+            std::erase_if(lane.tail, [this](const StateInterval& s) {
+              return s.end <= evict_horizon_;
+            });
+          }
+        }
         if (!lane.tail.empty()) {
           std::sort(lane.tail.begin(), lane.tail.end(), interval_key_less);
           maybe_compress_into(TraceChunk::from_sorted(lane.tail),
@@ -349,6 +366,7 @@ void TraceStore::seal_chunk() {
   sealed_ = true;
   ++generation_;
   maybe_compact_spill();
+  STAGG_AUDIT(audit());
 }
 
 void TraceStore::compact_lane(
@@ -463,6 +481,7 @@ void TraceStore::evict_before(TimeNs cutoff) {
   if (!window_overridden_) sealed_ = false;
   ++generation_;
   maybe_compact_spill();
+  STAGG_AUDIT(audit());
 }
 
 void TraceStore::erase_before_exact(TimeNs cutoff) {
@@ -501,6 +520,7 @@ void TraceStore::erase_before_exact(TimeNs cutoff) {
   if (!window_overridden_) sealed_ = false;
   ++generation_;
   maybe_compact_spill();
+  STAGG_AUDIT(audit());
 }
 
 void TraceStore::set_window(TimeNs begin, TimeNs end) {
@@ -604,6 +624,7 @@ std::size_t TraceStore::spill_cold(std::size_t budget_bytes) {
     ++spilled;
   }
   if (spilled != 0) ++generation_;
+  STAGG_AUDIT(audit());
   return spilled;
 }
 
@@ -621,6 +642,7 @@ std::size_t TraceStore::pin(ResourceId r) {
   if (pinned != 0) {
     ++generation_;
     maybe_compact_spill();
+    STAGG_AUDIT(audit());
   }
   return pinned;
 }
@@ -706,6 +728,157 @@ void TraceStore::compact_spill() {
   spill_live_bytes_ = live;
   spill_dead_bytes_ = 0;
   ++generation_;
+}
+
+void TraceStore::audit() const {
+  const auto fail = [](const std::string& what) {
+    throw ContractError("TraceStore::audit: " + what);
+  };
+  const auto same = [](const StateInterval& a, const StateInterval& b) {
+    return a.begin == b.begin && a.end == b.end && a.state == b.state;
+  };
+
+  // Table consistency: one lane per path, the id map a bijection.
+  if (lanes_.size() != resource_paths_->size()) {
+    fail("lane count " + std::to_string(lanes_.size()) +
+         " != resource count " + std::to_string(resource_paths_->size()));
+  }
+  if (resource_ids_.size() != resource_paths_->size()) {
+    fail("resource id map has " + std::to_string(resource_ids_.size()) +
+         " entries for " + std::to_string(resource_paths_->size()) +
+         " paths");
+  }
+  for (const auto& [path, id] : resource_ids_) {
+    if (id < 0 || static_cast<std::size_t>(id) >= resource_paths_->size() ||
+        (*resource_paths_)[static_cast<std::size_t>(id)] != path) {
+      fail("resource id map entry '" + path + "' -> " + std::to_string(id) +
+           " does not match the path table");
+    }
+  }
+
+  const TimeNs horizon_floor = std::numeric_limits<TimeNs>::min();
+  std::unordered_set<const ChunkPayload*> linked;
+  for (std::size_t r = 0; r < lanes_.size(); ++r) {
+    const Lane& lane = lanes_[r];
+    const std::string where = "resource " + std::to_string(r);
+    for (std::size_t ci = 0; ci < lane.chunks.size(); ++ci) {
+      const TraceChunkPtr& c = lane.chunks[ci];
+      const std::string chunk_where =
+          where + " chunk " + std::to_string(ci);
+      if (!c || c->size() == 0) fail(chunk_where + " is null or empty");
+      linked.insert(c->payload().get());
+      // Stream through ChunkCursor so every backend — resident, mapped,
+      // compressed — is audited through the exact path readers use.
+      std::size_t n = 0;
+      TimeNs min_end = std::numeric_limits<TimeNs>::max();
+      TimeNs max_end = std::numeric_limits<TimeNs>::min();
+      StateInterval prev{};
+      StateInterval last{};
+      for (ChunkCursor cur(*c); cur.valid(); cur.next()) {
+        const StateInterval& s = cur.current();
+        if (s.end < s.begin) {
+          fail(chunk_where + " interval " + std::to_string(n) +
+               " has end < begin");
+        }
+        if (s.state < 0 ||
+            static_cast<std::size_t>(s.state) >= states_.size()) {
+          fail(chunk_where + " interval " + std::to_string(n) +
+               " names unregistered state " + std::to_string(s.state));
+        }
+        if (n > 0 && interval_key_less(s, prev)) {
+          fail(chunk_where + " is not sorted by the total key at index " +
+               std::to_string(n));
+        }
+        if (n == 0 && !same(s, c->first())) {
+          fail(chunk_where + " cached first() differs from the streamed "
+               "first interval");
+        }
+        min_end = std::min(min_end, s.end);
+        max_end = std::max(max_end, s.end);
+        prev = s;
+        last = s;
+        ++n;
+      }
+      if (n != c->size()) {
+        fail(chunk_where + " streams " + std::to_string(n) +
+             " intervals but reports size " + std::to_string(c->size()));
+      }
+      if (!same(last, c->last())) {
+        fail(chunk_where + " cached last() differs from the streamed last "
+             "interval");
+      }
+      if (c->min_end() != min_end || c->max_end() != max_end) {
+        fail(chunk_where + " end fences [" + std::to_string(c->min_end()) +
+             ", " + std::to_string(c->max_end()) +
+             "] differ from the streamed [" + std::to_string(min_end) +
+             ", " + std::to_string(max_end) + "]");
+      }
+      // Horizon stickiness: seal, evict and compaction all drop what no
+      // legal window can read, so a linked chunk's fence clears the
+      // horizon (skipped at the floor sentinel, where `<=` would reject
+      // legitimate TimeNs-min data on a never-evicted store).
+      if (evict_horizon_ != horizon_floor && c->max_end() <= evict_horizon_) {
+        fail(chunk_where + " max end " + std::to_string(c->max_end()) +
+             " is at or below the eviction horizon " +
+             std::to_string(evict_horizon_));
+      }
+    }
+    for (std::size_t ti = 0; ti < lane.tail.size(); ++ti) {
+      const StateInterval& s = lane.tail[ti];
+      if (s.end < s.begin) {
+        fail(where + " tail interval " + std::to_string(ti) +
+             " has end < begin");
+      }
+      if (s.state < 0 ||
+          static_cast<std::size_t>(s.state) >= states_.size()) {
+        fail(where + " tail interval " + std::to_string(ti) +
+             " names unregistered state " + std::to_string(s.state));
+      }
+    }
+  }
+
+  if (sealed_ && !tails_sealed()) {
+    fail("store reports sealed() with a non-empty tail");
+  }
+
+  // Spill accounting: live record bytes sum exactly, and every live
+  // record's payload is still linked in some lane (a record surviving its
+  // chunk would leak file bytes forever).
+  std::size_t live = 0;
+  for (const auto& [payload, bytes] : spill_records_) {
+    live += bytes;
+    if (linked.find(payload) == linked.end()) {
+      fail("spill record of an unlinked chunk still counted live");
+    }
+  }
+  if (live != spill_live_bytes_) {
+    fail("spill records sum to " + std::to_string(live) +
+         " live bytes but spill_live_bytes() reports " +
+         std::to_string(spill_live_bytes_));
+  }
+
+  // Window: well-formed always; fence-exact when auto-derived and sealed.
+  if (end_ < begin_) fail("window end precedes window begin");
+  if (sealed_ && !window_overridden_) {
+    TimeNs lo = std::numeric_limits<TimeNs>::max();
+    TimeNs hi = std::numeric_limits<TimeNs>::min();
+    bool any = false;
+    for (const Lane& lane : lanes_) {
+      for (const TraceChunkPtr& c : lane.chunks) {
+        lo = std::min(lo, c->min_begin());
+        hi = std::max(hi, c->max_end());
+        any = true;
+      }
+    }
+    const TimeNs want_begin = any ? lo : 0;
+    const TimeNs want_end = any ? hi : 0;
+    if (begin_ != want_begin || end_ != want_end) {
+      fail("sealed auto-derived window [" + std::to_string(begin_) + ", " +
+           std::to_string(end_) + ") differs from the fence-derived [" +
+           std::to_string(want_begin) + ", " + std::to_string(want_end) +
+           ")");
+    }
+  }
 }
 
 }  // namespace stagg

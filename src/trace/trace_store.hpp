@@ -647,6 +647,28 @@ class TraceStore {
     return spill_dead_bytes_;
   }
 
+  /// Structural audit: re-derives every invariant the readers rely on and
+  /// throws ContractError (common/contract.hpp) on the first violation —
+  ///   * table consistency: one lane per registered resource path, the id
+  ///     map a bijection onto the path table;
+  ///   * per chunk (streamed through ChunkCursor, so every backend —
+  ///     resident, mapped, compressed — is audited through the same path):
+  ///     non-empty, sorted by the total (begin, end, state) key, every
+  ///     end >= begin, states within the registry, the cached boundary
+  ///     intervals and min/max-end fences *exactly* equal to the streamed
+  ///     ones, and the fence clear of the eviction horizon (horizon
+  ///     stickiness: seal, evict and compaction all drop what a legal
+  ///     window can no longer read);
+  ///   * tails: well-formed intervals over registered states;
+  ///   * spill accounting: live record bytes sum to spill_live_bytes() and
+  ///     every live record belongs to a chunk still linked in a lane;
+  ///   * window: end >= begin, and equal to the fence-derived window when
+  ///     sealed and not overridden.
+  /// O(state_count()) — call it at stage boundaries (STAGG_AUDIT does, in
+  /// audit builds), not per append.  Always compiled: tests may drive it
+  /// directly in any build.
+  void audit() const;
+
   /// seal_chunk() size-tier-compacts a resource once its chunk list grows
   /// past this bound (merging the smallest chunks down to half of it), so
   /// view cursors merge O(1) runs while streaming ingest stays

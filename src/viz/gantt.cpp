@@ -61,7 +61,8 @@ GanttStats gantt_stats(Trace& trace, const GanttOptions& options) {
     sum += load;
     mx = std::max(mx, static_cast<double>(load));
   }
-  stats.mean_objects_per_column = columns ? sum / columns : 0.0;
+  stats.mean_objects_per_column =
+      columns ? sum / static_cast<double>(columns) : 0.0;
   stats.max_objects_per_column = mx;
   if (options.object_budget > 0 &&
       stats.objects_total > options.object_budget) {

@@ -113,6 +113,33 @@ TEST_F(TraceIoTest, BinaryRejectsTruncation) {
   EXPECT_THROW((void)read_binary_trace(file("a.stgt")), TraceFormatError);
 }
 
+// Fuzzing regression (fuzz/corpus/regressions/chunk_file/
+// huge_resource_count.bin): a 48-byte header declaring 2^32 resources used
+// to reserve ~137 GB up front and die with an uncaught std::bad_alloc.
+// The count must stay untrusted until the table entries parse — the file
+// has none, so the read must fail as loud truncation at an offset, not
+// as an allocation crash.
+TEST_F(TraceIoTest, BinaryHugeResourceCountFailsLoudlyNotByAllocation) {
+  std::ofstream os(file("huge.stgt"), std::ios::binary);
+  os << "STGTRC01";
+  const std::uint64_t resource_count = 1ull << 32;
+  const std::uint64_t zero = 0;
+  os.write(reinterpret_cast<const char*>(&resource_count), 8);
+  os.write(reinterpret_cast<const char*>(&zero), 8);  // state_count
+  os.write(reinterpret_cast<const char*>(&zero), 8);  // window_begin
+  os.write(reinterpret_cast<const char*>(&zero), 8);  // window_end
+  os.write(reinterpret_cast<const char*>(&zero), 8);  // record_count
+  os.close();
+  try {
+    (void)read_binary_trace_store(file("huge.stgt"));
+    FAIL() << "expected TraceFormatError";
+  } catch (const TraceFormatError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("truncated"), std::string::npos) << what;
+    EXPECT_NE(what.find("offset"), std::string::npos) << what;
+  }
+}
+
 TEST_F(TraceIoTest, MissingFileThrowsIoError) {
   EXPECT_THROW((void)read_binary_trace(file("missing.stgt")), IoError);
   EXPECT_THROW((void)read_csv_trace(file("missing.csv")), IoError);

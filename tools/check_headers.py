@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Header self-containment checker.
+
+Compiles every header under src/ standalone (a one-line TU consisting of
+just `#include "<header>"`) with `-fsyntax-only`, so a header that leans on
+its includers for <vector>, a forward declaration, or a transitive include
+fails here instead of in whichever TU happens to reorder its includes next.
+
+Usage:
+    tools/check_headers.py [--src SRC_DIR] [--compiler CXX] [--std c++20]
+                           [headers...]
+
+With no positional arguments every `src/**/*.hpp` is checked.  Exits 0 when
+all headers compile standalone, 1 otherwise (one diagnostic block per
+failing header).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def repo_root() -> str:
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def find_headers(src_dir: str) -> list[str]:
+    headers = []
+    for dirpath, _dirnames, filenames in os.walk(src_dir):
+        for name in sorted(filenames):
+            if name.endswith(".hpp"):
+                headers.append(os.path.join(dirpath, name))
+    return sorted(headers)
+
+
+def check_header(header: str, src_dir: str, compiler: str, std: str) -> str | None:
+    """Returns the compiler diagnostics for a failing header, None on success."""
+    rel = os.path.relpath(header, src_dir)
+    with tempfile.TemporaryDirectory(prefix="stagg_hdr_") as tmp:
+        tu = os.path.join(tmp, "tu.cpp")
+        with open(tu, "w", encoding="utf-8") as f:
+            f.write(f'#include "{rel}"\n')
+        cmd = [
+            compiler,
+            f"-std={std}",
+            "-fsyntax-only",
+            "-Wall",
+            "-Wextra",
+            f"-I{src_dir}",
+            tu,
+        ]
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        if proc.returncode != 0:
+            return proc.stderr or proc.stdout
+    return None
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--src", default=os.path.join(repo_root(), "src"))
+    parser.add_argument("--compiler", default=os.environ.get("CXX", "g++"))
+    parser.add_argument("--std", default="c++20")
+    parser.add_argument("headers", nargs="*")
+    args = parser.parse_args(argv)
+
+    src_dir = os.path.abspath(args.src)
+    headers = [os.path.abspath(h) for h in args.headers] or find_headers(src_dir)
+    if not headers:
+        print(f"check_headers: no headers found under {src_dir}", file=sys.stderr)
+        return 1
+
+    failures = 0
+    for header in headers:
+        diag = check_header(header, src_dir, args.compiler, args.std)
+        rel = os.path.relpath(header, src_dir)
+        if diag is None:
+            print(f"  OK   {rel}")
+        else:
+            failures += 1
+            print(f"  FAIL {rel}", file=sys.stderr)
+            print(diag, file=sys.stderr)
+
+    total = len(headers)
+    if failures:
+        print(
+            f"check_headers: {failures}/{total} headers are not self-contained",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"check_headers: all {total} headers compile standalone")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,226 @@
+#!/usr/bin/env python3
+"""Self-test for tools/stagg_lint.py.
+
+The important cases are the NEGATIVE ones: each rule is fed a minimal
+fixture tree containing a deliberate violation and must report it (exit 1,
+rule id in stderr).  A lint that silently passes on a seeded single-writer
+violation is worse than no lint — CI runs this before trusting the clean
+run over src/.
+
+Run directly (`python3 tools/test_stagg_lint.py`) or via ctest
+(`lint_stagg_selftest`).  Pure stdlib, exit 0 on success.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import tempfile
+
+TOOLS_DIR = os.path.dirname(os.path.abspath(__file__))
+LINT = os.path.join(TOOLS_DIR, "stagg_lint.py")
+
+FAILURES: list[str] = []
+
+
+def run_lint(root: str, files: list[str]) -> tuple[int, str]:
+    proc = subprocess.run(
+        [sys.executable, LINT, "--root", root, *files],
+        capture_output=True,
+        text=True,
+    )
+    return proc.returncode, proc.stderr + proc.stdout
+
+
+def fixture(root: str, rel: str, content: str) -> str:
+    path = os.path.join(root, rel)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(content)
+    return path
+
+
+def expect(name: str, cond: bool, detail: str = "") -> None:
+    status = "ok" if cond else "FAIL"
+    print(f"  {status}  {name}")
+    if not cond:
+        FAILURES.append(f"{name}: {detail}")
+
+
+def case_single_writer_violation() -> None:
+    """A store mutation outside the allowlist must be reported."""
+    with tempfile.TemporaryDirectory(prefix="stagg_lint_") as root:
+        path = fixture(
+            root,
+            "src/viz/rogue.cpp",
+            "void render(std::shared_ptr<TraceStore> store) {\n"
+            "  store->seal_chunk();\n"
+            "}\n",
+        )
+        rc, out = run_lint(root, [path])
+        expect("single-writer: seeded violation fails", rc == 1, out)
+        expect("single-writer: rule named in output", "single-writer" in out, out)
+        expect("single-writer: method named", "seal_chunk" in out, out)
+
+
+def case_single_writer_allowlisted_file() -> None:
+    """The same call inside an allowlisted file is legal."""
+    with tempfile.TemporaryDirectory(prefix="stagg_lint_") as root:
+        path = fixture(
+            root,
+            "src/core/session_manager.cpp",
+            "void SessionManager::ingest() {\n"
+            "  store_->seal_chunk();\n"
+            "}\n",
+        )
+        rc, out = run_lint(root, [path])
+        expect("single-writer: allowlisted file passes", rc == 0, out)
+
+
+def case_single_writer_function_scoped() -> None:
+    """ingest_pipeline.cpp allows store writes ONLY inside seal_worker."""
+    with tempfile.TemporaryDirectory(prefix="stagg_lint_") as root:
+        ok = fixture(
+            root,
+            "src/core/ingest_pipeline.cpp",
+            "void IngestPipeline::seal_worker() {\n"
+            "  shared_store->add_state(r, s, b, e);\n"
+            "}\n",
+        )
+        rc, out = run_lint(root, [ok])
+        expect("single-writer: seal_worker may write", rc == 0, out)
+
+        bad = fixture(
+            root,
+            "src/core/ingest_pipeline.cpp",
+            "void IngestPipeline::parse_worker() {\n"
+            "  shared_store->add_state(r, s, b, e);\n"
+            "}\n",
+        )
+        rc, out = run_lint(root, [bad])
+        expect("single-writer: parse_worker may not write", rc == 1, out)
+
+
+def case_suppression_requires_justification() -> None:
+    with tempfile.TemporaryDirectory(prefix="stagg_lint_") as root:
+        justified = fixture(
+            root,
+            "src/viz/ok.cpp",
+            "void f(TraceStore& store) {\n"
+            "  // stagg-lint: allow(single-writer) exclusive store, tool-owned\n"
+            "  store.seal_chunk();\n"
+            "}\n",
+        )
+        rc, out = run_lint(root, [justified])
+        expect("suppression with justification passes", rc == 0, out)
+
+        bare = fixture(
+            root,
+            "src/viz/bad.cpp",
+            "void f(TraceStore& store) {\n"
+            "  // stagg-lint: allow(single-writer)\n"
+            "  store.seal_chunk();\n"
+            "}\n",
+        )
+        rc, out = run_lint(root, [bare])
+        expect("suppression without justification fails", rc == 1, out)
+
+
+def case_queue_under_lock() -> None:
+    with tempfile.TemporaryDirectory(prefix="stagg_lint_") as root:
+        bad = fixture(
+            root,
+            "src/core/pipe.cpp",
+            "void f() {\n"
+            "  std::unique_lock<std::mutex> lock(mu_);\n"
+            "  work_queue.push(item);\n"
+            "}\n",
+        )
+        rc, out = run_lint(root, [bad])
+        expect("queue-under-lock: push under guard fails", rc == 1, out)
+        expect("queue-under-lock: rule named", "queue-under-lock" in out, out)
+
+        released = fixture(
+            root,
+            "src/core/pipe2.cpp",
+            "void f() {\n"
+            "  std::unique_lock<std::mutex> lock(mu_);\n"
+            "  lock.unlock();\n"
+            "  work_queue.push(item);\n"
+            "}\n",
+        )
+        rc, out = run_lint(root, [released])
+        expect("queue-under-lock: push after unlock passes", rc == 0, out)
+
+        scoped = fixture(
+            root,
+            "src/core/pipe3.cpp",
+            "void f() {\n"
+            "  {\n"
+            "    std::lock_guard<std::mutex> lock(mu_);\n"
+            "    counter += 1;\n"
+            "  }\n"
+            "  work_queue.pop(item);\n"
+            "}\n",
+        )
+        rc, out = run_lint(root, [scoped])
+        expect("queue-under-lock: pop after guard scope passes", rc == 0, out)
+
+
+def case_narrowing_cast() -> None:
+    with tempfile.TemporaryDirectory(prefix="stagg_lint_") as root:
+        bad = fixture(
+            root,
+            "src/trace/compression.cpp",
+            "std::uint8_t tag(std::uint64_t v) {\n"
+            "  return static_cast<std::uint8_t>(v);\n"
+            "}\n",
+        )
+        rc, out = run_lint(root, [bad])
+        expect("narrowing-cast: raw cast in codec path fails", rc == 1, out)
+
+        elsewhere = fixture(
+            root,
+            "src/viz/colors.cpp",
+            "std::uint8_t tag(std::uint64_t v) {\n"
+            "  return static_cast<std::uint8_t>(v);\n"
+            "}\n",
+        )
+        rc, out = run_lint(root, [elsewhere])
+        expect("narrowing-cast: same cast outside codec paths passes",
+               rc == 0, out)
+
+
+def case_real_tree_is_clean() -> None:
+    """The rule set must hold over the actual src/ tree (default mode)."""
+    proc = subprocess.run(
+        [sys.executable, LINT], capture_output=True, text=True
+    )
+    expect("src/ tree lints clean", proc.returncode == 0,
+           proc.stderr + proc.stdout)
+
+
+def main() -> int:
+    for case in (
+        case_single_writer_violation,
+        case_single_writer_allowlisted_file,
+        case_single_writer_function_scoped,
+        case_suppression_requires_justification,
+        case_queue_under_lock,
+        case_narrowing_cast,
+        case_real_tree_is_clean,
+    ):
+        print(f"{case.__name__}:")
+        case()
+    if FAILURES:
+        print(f"test_stagg_lint: {len(FAILURES)} failure(s)", file=sys.stderr)
+        for f in FAILURES:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("test_stagg_lint: all cases passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
