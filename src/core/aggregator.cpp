@@ -61,7 +61,7 @@ SpatiotemporalAggregator::SpatiotemporalAggregator(
     const MicroscopicModel& model, AggregationOptions options)
     : model_(&model),
       options_(options),
-      cube_(model),
+      cube_(model, options.shard_plan),
       tri_(model.slice_count()) {
   options_.max_lanes = std::clamp<std::size_t>(options_.max_lanes, 1,
                                                kMaxDpLanes);
@@ -144,7 +144,7 @@ std::size_t SpatiotemporalAggregator::lane_width(
 void SpatiotemporalAggregator::ensure_measure_cache() {
   if (cache_.built()) return;
   Stopwatch watch;
-  cache_.build(cube_, options_.parallel);
+  cache_.build(cube_, options_.parallel, options_.shard_plan);
   cache_build_seconds_ = watch.seconds();
 }
 
@@ -344,12 +344,33 @@ void SpatiotemporalAggregator::compute_cell_lanes(const LaneScan& scan,
   };
 
   for (std::int32_t k = 0; k < len; ++k) {
-    for (int w = 0; w < W; ++w) {
-      const double v = left[static_cast<std::size_t>(k) * W + w] +
-                       right[static_cast<std::size_t>(k) * W + w];
-      if constexpr (Filtered) {
-        if (v >= thr[w]) challenge(k, w, v);
-      } else {
+    if constexpr (Filtered) {
+      // Branch-free W-wide screen: candidate values and threshold
+      // comparisons for the whole wave are computed before any lane's
+      // challenge runs (the adds and compares vectorize over the
+      // lane-interleaved pIC and transposed count streams); only a wave
+      // with at least one passing lane enters the scalar challenge path.
+      // A lane's challenge can only move its own threshold, and the
+      // original scalar loop also compared lane w against thr[w] as it
+      // stood *before* cut k's challenges — so hoisting the compares
+      // never changes which cuts are evaluated, and results stay
+      // bit-identical.
+      double v[W];
+      int any_pass = 0;
+      for (int w = 0; w < W; ++w) {
+        v[w] = left[static_cast<std::size_t>(k) * W + w] +
+               right[static_cast<std::size_t>(k) * W + w];
+        any_pass |= static_cast<int>(v[w] >= thr[w]);
+      }
+      if (any_pass != 0) {
+        for (int w = 0; w < W; ++w) {
+          if (v[w] >= thr[w]) challenge(k, w, v[w]);
+        }
+      }
+    } else {
+      for (int w = 0; w < W; ++w) {
+        const double v = left[static_cast<std::size_t>(k) * W + w] +
+                         right[static_cast<std::size_t>(k) * W + w];
         challenge(k, w, v);
       }
     }
@@ -573,7 +594,7 @@ void SpatiotemporalAggregator::apply_window_update(std::int32_t dropped_front,
   const TriangularIndex new_tri(new_t);
   if (cache_.built()) {
     cache_.reshape(new_t, dropped_front);
-    cache_.update(cube_, dirty, options_.parallel);
+    cache_.update(cube_, dirty, options_.parallel, options_.shard_plan);
   }
 
   if (inc_ && inc_->valid) {

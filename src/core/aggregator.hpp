@@ -111,6 +111,13 @@ struct AggregationOptions {
   /// of 4 is the measured sweet spot — the per-lane state of wider waves
   /// spills out of registers and gives the win back.
   std::size_t max_lanes = 4;
+  /// Resource-shard partition (hierarchy/shard_plan.hpp): when set (and
+  /// built for this aggregator's hierarchy), the DataCube's bottom-up fold
+  /// runs per shard with a serial spine pass, and the MeasureCache build
+  /// schedules per shard.  Values are bit-identical with or without a
+  /// plan; the plan must outlive the aggregator (the ShardedTraceStore
+  /// owns it in the session stack).  nullptr = monolithic fold.
+  const ShardPlan* shard_plan = nullptr;
 };
 
 /// Output of one aggregation run.

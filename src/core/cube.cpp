@@ -9,14 +9,19 @@
 #include "common/contract.hpp"
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
+#include "hierarchy/shard_plan.hpp"
 
 namespace stagg {
 
-DataCube::DataCube(const MicroscopicModel& model)
+DataCube::DataCube(const MicroscopicModel& model, const ShardPlan* plan)
     : model_(&model),
       n_t_(model.slice_count()),
       n_x_(model.state_count()) {
   const Hierarchy& h = model.hierarchy();
+  // A plan partitions one specific hierarchy; a cube over any other (a
+  // scoped session's sub-hierarchy) falls back to the serial merge —
+  // silently, because the fall-back is bit-identical by contract.
+  if (plan != nullptr && plan->hierarchy() == &h) plan_ = plan;
   const std::size_t node_stride =
       static_cast<std::size_t>(n_x_) * static_cast<std::size_t>(n_t_) * 3;
   data_.assign(h.node_count() * node_stride, 0.0);
@@ -57,9 +62,33 @@ void DataCube::recompute_slices(SliceId first_dirty, bool parallel) {
   // Internal nodes: children precede parents in post-order, so one pass
   // accumulates per-slice triplets bottom-up.  Children are merged in
   // child order per slice — the same addition order as the full build.
+  //
+  // With a shard plan the pass is partitioned: each shard folds its owned
+  // nodes (a post-order-closed subtree set — an owned node's children are
+  // owned by the same shard, so shard tasks touch disjoint node stripes
+  // and read only within their shard), then a serial pass folds the spine,
+  // whose children are all complete by the barrier.  Node visit operations
+  // are identical, so the partial-fold result is bit-identical.
+  if (plan_ != nullptr && parallel) {
+    parallel_for(
+        plan_->shard_count(),
+        [&](std::size_t k) {
+          accumulate_nodes(plan_->owned_nodes(k), first_dirty);
+        },
+        /*grain=*/1);
+    accumulate_nodes(plan_->spine_nodes(), first_dirty);
+  } else {
+    accumulate_nodes(h.post_order(), first_dirty);
+  }
+  STAGG_AUDIT(audit());
+}
+
+void DataCube::accumulate_nodes(std::span<const NodeId> nodes,
+                                SliceId first_dirty) {
+  const Hierarchy& h = model_->hierarchy();
   const std::size_t lo = 3 * static_cast<std::size_t>(first_dirty);
   const std::size_t hi = 3 * static_cast<std::size_t>(n_t_);
-  for (NodeId id : h.post_order()) {
+  for (NodeId id : nodes) {
     const auto& n = h.node(id);
     if (n.children.empty()) continue;
     for (StateId x = 0; x < n_x_; ++x) {
@@ -74,7 +103,6 @@ void DataCube::recompute_slices(SliceId first_dirty, bool parallel) {
       }
     }
   }
-  STAGG_AUDIT(audit());
 }
 
 void DataCube::audit() const {

@@ -37,11 +37,20 @@
 
 namespace stagg {
 
+class ShardPlan;
+
 class DataCube {
  public:
   /// Builds the cube from a microscopic model (parallel over leaves, then a
-  /// per-slice bottom-up merge over internal nodes).
-  explicit DataCube(const MicroscopicModel& model);
+  /// per-slice bottom-up merge over internal nodes).  With a shard plan
+  /// (hierarchy/shard_plan.hpp) the internal-node merge is partitioned:
+  /// each shard folds its owned subtree bottom-up in parallel, then a
+  /// serial pass folds the per-shard partials up the spine.  Per-node
+  /// operations and child order are unchanged, so the partitioned fold is
+  /// bit-identical to the serial one at every shard count.  A plan built
+  /// for a different hierarchy (a scoped session) is ignored.
+  explicit DataCube(const MicroscopicModel& model,
+                    const ShardPlan* plan = nullptr);
 
   [[nodiscard]] const MicroscopicModel& model() const noexcept {
     return *model_;
@@ -161,7 +170,13 @@ class DataCube {
     return const_cast<double*>(node_base(node, x));
   }
 
+  /// One internal-node accumulation pass restricted to `nodes` (a
+  /// post-order-consistent subset) over slice columns [first_dirty, n_t_).
+  void accumulate_nodes(std::span<const NodeId> nodes, SliceId first_dirty);
+
   const MicroscopicModel* model_;
+  /// Subtree partition driving the parallel fold; nullptr = serial merge.
+  const ShardPlan* plan_ = nullptr;
   std::int32_t n_t_ = 0;
   std::int32_t n_x_ = 0;
   std::vector<double> data_;

@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
 #include "core/triangular_relocate.hpp"
+#include "hierarchy/shard_plan.hpp"
 
 namespace stagg {
 
@@ -26,17 +27,38 @@ inline void scatter_column(AreaMeasures* node_cells, const TriangularIndex& tri,
 }  // namespace
 
 void MeasureCache::fill_columns(const DataCube& cube, SliceId first_dirty,
-                                bool parallel) {
+                                bool parallel, const ShardPlan* plan) {
   const std::size_t node_count = cube.hierarchy().node_count();
   const auto n_t = cube.slice_count();
   const auto dirty_cols = static_cast<std::size_t>(n_t - first_dirty);
+  if (plan != nullptr && plan->hierarchy() != &cube.hierarchy()) {
+    plan = nullptr;  // scoped-session cube; the flat schedule is identical
+  }
+  // Per-shard schedule: tasks walk a node order of shard 0's owned nodes,
+  // then shard 1's, ..., then the spine, with one whole node per grain —
+  // every worker stays inside one shard's cube stripes and seal-adjacent
+  // cache lines.  The flat schedule keeps the historical (node-id, grain 4)
+  // order.  Either way each (node, column) writes a disjoint cell set, so
+  // scheduling never changes a value.
+  std::vector<NodeId> order;
+  if (plan != nullptr) {
+    order.reserve(node_count);
+    for (std::size_t k = 0; k < plan->shard_count(); ++k) {
+      const auto owned = plan->owned_nodes(k);
+      order.insert(order.end(), owned.begin(), owned.end());
+    }
+    const auto spine = plan->spine_nodes();
+    order.insert(order.end(), spine.begin(), spine.end());
+  }
   // One task per (node, dirty column j): columns write disjoint cell sets
   // and each is one descending accumulation over the cube's per-slice
   // data, so the fill parallelizes without synchronization and recomputing
   // a column is bit-identical to producing it in a full build.
   const std::size_t tasks = node_count * dirty_cols;
   const auto fill_col = [&](std::size_t task) {
-    const auto node = static_cast<NodeId>(task / dirty_cols);
+    const std::size_t slot = task / dirty_cols;
+    const auto node =
+        plan != nullptr ? order[slot] : static_cast<NodeId>(slot);
     const auto j =
         static_cast<SliceId>(first_dirty + static_cast<SliceId>(task % dirty_cols));
     thread_local std::vector<AreaMeasures> col;
@@ -46,17 +68,21 @@ void MeasureCache::fill_columns(const DataCube& cube, SliceId first_dirty,
                    tri_, j, col);
   };
   if (parallel && tasks > 1) {
-    parallel_for(tasks, fill_col, /*grain=*/4);
+    const std::size_t grain = plan != nullptr ? std::max<std::size_t>(
+                                                    dirty_cols, 1)
+                                              : 4;
+    parallel_for(tasks, fill_col, grain);
   } else {
     for (std::size_t task = 0; task < tasks; ++task) fill_col(task);
   }
 }
 
-void MeasureCache::build(const DataCube& cube, bool parallel) {
+void MeasureCache::build(const DataCube& cube, bool parallel,
+                         const ShardPlan* plan) {
   const std::size_t node_count = cube.hierarchy().node_count();
   tri_ = TriangularIndex(cube.slice_count());
   data_.resize(node_count * tri_.size());
-  fill_columns(cube, 0, parallel);
+  fill_columns(cube, 0, parallel, plan);
   STAGG_AUDIT(audit(cube));
 }
 
@@ -77,7 +103,7 @@ void MeasureCache::reshape(std::int32_t new_slices, std::int32_t src_shift) {
 }
 
 void MeasureCache::update(const DataCube& cube, SliceId first_dirty,
-                          bool parallel) {
+                          bool parallel, const ShardPlan* plan) {
   if (!built()) return;
   if (cube.slice_count() != tri_.slices()) {
     throw InvalidArgument(
@@ -85,7 +111,7 @@ void MeasureCache::update(const DataCube& cube, SliceId first_dirty,
   }
   first_dirty = std::clamp<SliceId>(first_dirty, 0, tri_.slices());
   if (first_dirty >= tri_.slices()) return;
-  fill_columns(cube, first_dirty, parallel);
+  fill_columns(cube, first_dirty, parallel, plan);
   STAGG_AUDIT(audit(cube));
 }
 

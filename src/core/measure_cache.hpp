@@ -46,6 +46,8 @@
 
 namespace stagg {
 
+class ShardPlan;
+
 static_assert(std::is_trivially_copyable_v<AreaMeasures> &&
                   sizeof(AreaMeasures) == 2 * sizeof(double),
               "MeasureCache cells must be bare {gain, loss} double pairs; "
@@ -57,7 +59,14 @@ class MeasureCache {
 
   /// Fills the cache from the cube: every (node, j) triangle column is an
   /// independent task, parallelized over the shared pool when `parallel`.
-  void build(const DataCube& cube, bool parallel = true);
+  /// With a shard plan the tasks are scheduled per shard — each shard's
+  /// owned nodes fill as one contiguous node-per-task range (spine nodes
+  /// last), keeping every worker inside one shard's cube stripes.  Cell
+  /// values are untouched by the scheduling, so the per-shard build is
+  /// bit-identical to the flat one.  A plan for a different hierarchy is
+  /// ignored.
+  void build(const DataCube& cube, bool parallel = true,
+             const ShardPlan* plan = nullptr);
 
   /// Relocates the triangle for a changed window: new cell (i, j) takes the
   /// bit-exact value of old cell (i + src_shift, j + src_shift); cells with
@@ -70,7 +79,8 @@ class MeasureCache {
   /// updated) cube — the cells whose interval intersects a changed time
   /// suffix.  Requires reshape() to the cube's slice count first; no-op
   /// when not built.
-  void update(const DataCube& cube, SliceId first_dirty, bool parallel = true);
+  void update(const DataCube& cube, SliceId first_dirty, bool parallel = true,
+              const ShardPlan* plan = nullptr);
 
   [[nodiscard]] bool built() const noexcept { return !data_.empty(); }
 
@@ -132,7 +142,8 @@ class MeasureCache {
  private:
   /// Shared worker of build() and update(): computes and scatters every
   /// (node, column >= first_dirty) via DataCube::measures_column_into.
-  void fill_columns(const DataCube& cube, SliceId first_dirty, bool parallel);
+  void fill_columns(const DataCube& cube, SliceId first_dirty, bool parallel,
+                    const ShardPlan* plan);
 
   TriangularIndex tri_;
   std::vector<AreaMeasures> data_;  ///< node-major, packed triangular rows

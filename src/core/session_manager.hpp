@@ -40,6 +40,7 @@
 
 #include "core/sliding_window.hpp"
 #include "hierarchy/hierarchy.hpp"
+#include "trace/sharded_store.hpp"
 #include "trace/stream_decode.hpp"
 #include "trace/trace_store.hpp"
 
@@ -70,6 +71,17 @@ class SessionManager {
   /// must outlive the manager, as must any per-spec hierarchy.
   SessionManager(const Hierarchy& hierarchy,
                  std::shared_ptr<TraceStore> store);
+
+  /// Sharded mode: spans the S shards of `sharded` transparently — ingest
+  /// routes per shard, sealing/eviction/compression fan out one task per
+  /// shard, the memory budget splits across shards proportionally to
+  /// their resident bytes (the global cap still holds exactly after every
+  /// round), and sessions attach with global resource ids plus the
+  /// store's ShardPlan for their aggregators.  Results are bit-identical
+  /// to the same events in a single-store manager at every shard count.
+  /// The store's hierarchy must be `hierarchy` (throws otherwise).
+  SessionManager(const Hierarchy& hierarchy,
+                 std::shared_ptr<ShardedTraceStore> sharded);
 
   SessionManager(const SessionManager&) = delete;
   SessionManager& operator=(const SessionManager&) = delete;
@@ -156,15 +168,41 @@ class SessionManager {
   /// (and stay bit-identical).
   void ingest_round(TimeNs frontier);
 
+  /// The shared single store — or shard 0 of a sharded manager (whose
+  /// registry mirrors the facade's; use the global accessors below for
+  /// resources).
   [[nodiscard]] const TraceStore& store() const noexcept { return *store_; }
   [[nodiscard]] const std::shared_ptr<TraceStore>& store_ptr()
       const noexcept {
     return store_;
   }
+  /// The sharded store when the manager spans one; null for the
+  /// single-store ctor.
+  [[nodiscard]] const std::shared_ptr<ShardedTraceStore>& sharded_store()
+      const noexcept {
+    return sharded_;
+  }
+
+  // Global name tables across either store mode — what pipelines freeze
+  // their resolution maps from (store() would expose only shard 0's local
+  // table under a sharded manager).
+  [[nodiscard]] std::size_t resource_count() const noexcept {
+    return sharded_ != nullptr ? sharded_->resource_count()
+                               : store_->resource_count();
+  }
+  [[nodiscard]] const std::string& resource_path(ResourceId r) const {
+    return sharded_ != nullptr ? sharded_->resource_path(r)
+                               : store_->resource_path(r);
+  }
+  [[nodiscard]] const StateRegistry& states() const noexcept {
+    return sharded_ != nullptr ? sharded_->states() : store_->states();
+  }
+
   /// Payload bytes of the shared store — counted once, however many
   /// sessions read it.
   [[nodiscard]] std::size_t store_bytes() const noexcept {
-    return store_->store_bytes();
+    return sharded_ != nullptr ? sharded_->store_bytes()
+                               : store_->store_bytes();
   }
 
   /// Caps the resident sealed-chunk bytes of the shared store.  When the
@@ -183,9 +221,11 @@ class SessionManager {
     return memory_budget_;
   }
   /// Resident (anonymous-heap) split of the shared sealed chunk bytes —
-  /// the number the budget bounds; the rest is file-backed.
+  /// the number the budget bounds (summed across shards when sharded);
+  /// the rest is file-backed.
   [[nodiscard]] std::size_t resident_chunk_bytes() const noexcept {
-    return store_->resident_chunk_bytes();
+    return sharded_ != nullptr ? sharded_->resident_chunk_bytes()
+                               : store_->resident_chunk_bytes();
   }
   /// Earliest window begin across sessions (the eviction horizon); the
   /// store window begin when no session is attached.
@@ -211,7 +251,8 @@ class SessionManager {
   /// — per-session SlidingWindowOptions::compression must stay kNone.
   void set_compression(ChunkCompression policy);
   [[nodiscard]] ChunkCompression compression() const noexcept {
-    return store_->compression();
+    return sharded_ != nullptr ? sharded_->compression()
+                               : store_->compression();
   }
 
  private:
@@ -223,7 +264,11 @@ class SessionManager {
   void enforce_memory_budget();
 
   const Hierarchy* hierarchy_;
+  /// The single shared store — or, in sharded mode, shard 0 of sharded_
+  /// (kept so registry reads need no branch; mutations always branch).
   std::shared_ptr<TraceStore> store_;
+  /// Sharded mode: non-null when the manager spans a ShardedTraceStore.
+  std::shared_ptr<ShardedTraceStore> sharded_;
   std::vector<std::unique_ptr<SlidingWindowSession>> sessions_;
   /// Min begin of events staged since the last seal (ingest dirty
   /// frontier distributed to sessions at the next advance).

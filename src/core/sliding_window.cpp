@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "model/builder.hpp"
+#include "trace/sharded_store.hpp"
 
 namespace stagg {
 
@@ -25,9 +26,12 @@ TimeGrid make_initial_grid(const TimeGrid& window) {
 /// exclusive session keeps the historical contract that a hierarchy/trace
 /// resource-count mismatch is an error (map_resources throws), never a
 /// silent subset analysis.  A scoped session requires path matching: leaf
-/// order has no meaning against a larger store.
+/// order has no meaning against a larger store.  Works against both store
+/// shapes (TraceStore and the ShardedTraceStore facade — same resource
+/// table contract, global ids).
+template <class Store>
 std::vector<ResourceId> compute_scope(const Hierarchy& hierarchy,
-                                      const TraceStore& store,
+                                      const Store& store,
                                       bool match_by_path,
                                       StoreOwnership ownership) {
   if (hierarchy.leaf_count() == store.resource_count()) return {};
@@ -50,6 +54,22 @@ std::vector<ResourceId> compute_scope(const Hierarchy& hierarchy,
     scope.push_back(r);
   }
   return scope;
+}
+
+/// Sharded sessions default their aggregator to the store's ShardPlan
+/// (partitioned cube fold + per-shard cache schedule; bit-identical to the
+/// flat schedule by the cube/cache contracts).  Also the null check: it
+/// must run before any member initializer dereferences the handle.
+SlidingWindowOptions adopt_shard_plan(
+    SlidingWindowOptions options,
+    const std::shared_ptr<const ShardedTraceStore>& sharded) {
+  if (!sharded) {
+    throw InvalidArgument("SlidingWindowSession: null sharded trace store");
+  }
+  if (options.aggregation.shard_plan == nullptr) {
+    options.aggregation.shard_plan = &sharded->plan();
+  }
+  return options;
 }
 
 }  // namespace
@@ -151,7 +171,74 @@ SlidingWindowSession::SlidingWindowSession(const Hierarchy& hierarchy,
   dirty_from_ns_ = window.end();
 }
 
+SlidingWindowSession::SlidingWindowSession(
+    const Hierarchy& hierarchy,
+    std::shared_ptr<const ShardedTraceStore> sharded, const TimeGrid& window,
+    std::vector<double> ps, SlidingWindowOptions options)
+    : hierarchy_(&hierarchy),
+      options_(adopt_shard_plan(std::move(options), sharded)),
+      sharded_(std::move(sharded)),
+      store_(sharded_->shard_ptr(0)),
+      ownership_(StoreOwnership::kShared),
+      scope_(compute_scope(hierarchy, *sharded_, options_.match_by_path,
+                           StoreOwnership::kShared)),
+      scope_paths_([&]() -> std::shared_ptr<const std::vector<std::string>> {
+        if (scope_.empty()) return nullptr;
+        auto paths = std::make_shared<std::vector<std::string>>();
+        paths->reserve(scope_.size());
+        for (const ResourceId r : scope_) {
+          paths->push_back(sharded_->resource_path(r));
+        }
+        return paths;
+      }()),
+      facade_(store_),
+      model_([&]() -> MicroscopicModel {
+        const TimeGrid grid = make_initial_grid(window);
+        // Same attach contract as the shared single-store ctor: one memory
+        // and codec policy per shared store, owned by the manager.
+        if (options_.memory_budget_bytes != 0) {
+          throw InvalidArgument(
+              "SlidingWindowSession: memory_budget_bytes is an "
+              "exclusive-store knob; set the budget on the SessionManager "
+              "for shared stores");
+        }
+        if (options_.compression != ChunkCompression::kNone) {
+          throw InvalidArgument(
+              "SlidingWindowSession: compression is an exclusive-store "
+              "knob; set the policy on the SessionManager for shared "
+              "stores");
+        }
+        if (!sharded_->tails_sealed()) {
+          throw InvalidArgument(
+              "SlidingWindowSession: shared store has unsealed events "
+              "(seal_chunk() before attaching sessions)");
+        }
+        if (grid.begin() < sharded_->evict_horizon()) {
+          throw InvalidArgument(
+              "SlidingWindowSession: window begins at " +
+              std::to_string(grid.begin()) +
+              " ns, before the shared store's eviction horizon (" +
+              std::to_string(sharded_->evict_horizon()) +
+              " ns) — events there are already evicted");
+        }
+        ModelBuildOptions build;
+        build.slice_count = grid.slice_count();
+        build.match_by_path = options_.match_by_path;
+        build.window_begin = grid.begin();
+        build.window_end = grid.end();
+        return build_model(make_view(grid), hierarchy, build);
+      }()),
+      agg_(model_, options_.aggregation),
+      ps_(std::move(ps)) {
+  results_ = agg_.run_incremental(ps_);
+  dirty_from_ns_ = window.end();
+}
+
 TraceView SlidingWindowSession::make_view(const TimeGrid& grid) const {
+  if (sharded_ != nullptr) {
+    return TraceView(sharded_, grid.begin(), grid.end(), scope_,
+                     scope_paths_);
+  }
   return TraceView(store_, grid.begin(), grid.end(), scope_, scope_paths_);
 }
 
@@ -233,7 +320,8 @@ const std::vector<AggregationResult>& SlidingWindowSession::advance_to(
     store_->set_window(new_grid.begin(), new_grid.end());
     store_->seal_chunk();
     enforce_memory_budget();
-  } else if (!store_->tails_sealed()) {
+  } else if (sharded_ != nullptr ? !sharded_->tails_sealed()
+                                 : !store_->tails_sealed()) {
     throw InvalidArgument(
         "SlidingWindowSession: shared store advanced with unsealed events "
         "(the SessionManager seals before advancing)");
@@ -247,10 +335,14 @@ const std::vector<AggregationResult>& SlidingWindowSession::advance_to(
   const TimeNs dirty_begin_ns = dirty_clamped >= new_t
                                     ? new_grid.end()
                                     : new_grid.slice_begin(dirty_clamped);
-  refold_suffix(model_,
-                TraceView(store_, dirty_begin_ns, new_grid.end(), scope_,
-                          scope_paths_),
-                *hierarchy_, first_dirty, options_.match_by_path);
+  const TraceView dirty_view =
+      sharded_ != nullptr
+          ? TraceView(sharded_, dirty_begin_ns, new_grid.end(), scope_,
+                      scope_paths_)
+          : TraceView(store_, dirty_begin_ns, new_grid.end(), scope_,
+                      scope_paths_);
+  refold_suffix(model_, dirty_view, *hierarchy_, first_dirty,
+                options_.match_by_path);
 
   // 4. Splice every derived structure and re-run the DP over the dirty
   // columns only.
@@ -285,12 +377,19 @@ const std::vector<AggregationResult>& SlidingWindowSession::refresh() {
 std::vector<AggregationResult> SlidingWindowSession::run_from_scratch(
     DpKernel kernel) const {
   // Sealed snapshot: shares the immutable chunks, seals any staged tail
-  // (the original also folded staged-but-unadvanced events).
-  auto snapshot = std::make_shared<TraceStore>(*store_);
-  snapshot->seal_chunk();
+  // (the original also folded staged-but-unadvanced events).  Sharded
+  // sessions snapshot the whole facade — every shard, not just shard 0.
   const TimeGrid& grid = model_.grid();
-  const TraceView view(snapshot, grid.begin(), grid.end(), scope_,
-                       scope_paths_);
+  const TraceView view =
+      sharded_ != nullptr
+          ? TraceView(sharded_->snapshot(), grid.begin(), grid.end(), scope_,
+                      scope_paths_)
+          : [&] {
+              auto snapshot = std::make_shared<TraceStore>(*store_);
+              snapshot->seal_chunk();
+              return TraceView(snapshot, grid.begin(), grid.end(), scope_,
+                               scope_paths_);
+            }();
   ModelBuildOptions build;
   build.slice_count = grid.slice_count();
   build.match_by_path = options_.match_by_path;

@@ -59,6 +59,8 @@
 
 namespace stagg {
 
+class ShardedTraceStore;
+
 /// Who may mutate the session's TraceStore.
 enum class StoreOwnership : std::uint8_t {
   /// The session owns the store: append() stages events, every advance
@@ -119,6 +121,19 @@ class SlidingWindowSession {
                        SlidingWindowOptions options = {},
                        StoreOwnership ownership = StoreOwnership::kExclusive);
 
+  /// Aggregates over a sharded store — always shared (a SessionManager or
+  /// test harness owns ingest, sealing and eviction).  Hierarchy scoping
+  /// works as in the shared single-store ctor; every view routes each
+  /// resource to its owning shard, so results are bit-identical to the
+  /// same intervals held in one monolithic store.  Unless
+  /// options.aggregation.shard_plan is already set, the session adopts the
+  /// store's ShardPlan for its aggregator (partitioned cube fold and
+  /// per-shard cache schedule).  store()/trace() resolve to shard 0.
+  SlidingWindowSession(const Hierarchy& hierarchy,
+                       std::shared_ptr<const ShardedTraceStore> sharded,
+                       const TimeGrid& window, std::vector<double> ps,
+                       SlidingWindowOptions options = {});
+
   SlidingWindowSession(const SlidingWindowSession&) = delete;
   SlidingWindowSession& operator=(const SlidingWindowSession&) = delete;
 
@@ -176,6 +191,12 @@ class SlidingWindowSession {
   [[nodiscard]] StoreOwnership ownership() const noexcept {
     return ownership_;
   }
+  /// The sharded store this session reads, or null for single-store
+  /// sessions (store() then returns the whole store, not a shard).
+  [[nodiscard]] const std::shared_ptr<const ShardedTraceStore>&
+  sharded_store_ptr() const noexcept {
+    return sharded_;
+  }
   /// Store resources this session reads (empty = all, in store order).
   [[nodiscard]] std::span<const ResourceId> scope() const noexcept {
     return scope_;
@@ -207,6 +228,10 @@ class SlidingWindowSession {
 
   const Hierarchy* hierarchy_;
   SlidingWindowOptions options_;
+  /// Sharded-store mode: non-null for sessions over a ShardedTraceStore;
+  /// store_ then aliases shard 0 (its registry mirrors the facade's) and
+  /// every view routes resources through the facade.
+  std::shared_ptr<const ShardedTraceStore> sharded_;
   std::shared_ptr<TraceStore> store_;
   StoreOwnership ownership_ = StoreOwnership::kExclusive;
   /// Store resources backing the hierarchy's leaves; empty when the

@@ -1,0 +1,175 @@
+#include "hierarchy/shard_plan.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "common/contract.hpp"
+
+namespace stagg {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw ContractError("ShardPlan::audit: " + what);
+}
+
+}  // namespace
+
+ShardPlan::ShardPlan(const Hierarchy& hierarchy, std::size_t shards)
+    : hierarchy_(&hierarchy) {
+  const std::size_t n_leaves = hierarchy.leaf_count();
+  const std::size_t want = std::clamp<std::size_t>(shards, 1, n_leaves);
+
+  // Frontier of subtree roots covering all leaves, kept in DFS leaf order.
+  // Split the largest subtree (by leaf count) into its children until the
+  // frontier has at least `want` pieces.  Leaves are unsplittable; chain
+  // nodes (one child) shrink toward their leaf without growing the
+  // frontier, so the loop terminates within node_count replacements.
+  std::vector<NodeId> frontier{hierarchy.root()};
+  while (frontier.size() < want) {
+    std::size_t best = frontier.size();
+    std::int32_t best_leaves = 0;
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      const HierarchyNode& node = hierarchy.node(frontier[i]);
+      if (node.children.empty()) continue;
+      if (node.leaf_count > best_leaves) {
+        best_leaves = node.leaf_count;
+        best = i;
+      }
+    }
+    if (best == frontier.size()) break;  // all-leaf frontier (== n_leaves)
+    const std::vector<NodeId>& children =
+        hierarchy.node(frontier[best]).children;
+    frontier.erase(frontier.begin() + static_cast<std::ptrdiff_t>(best));
+    frontier.insert(frontier.begin() + static_cast<std::ptrdiff_t>(best),
+                    children.begin(), children.end());
+  }
+
+  // Greedy contiguous grouping: shard k takes frontier subtrees until it
+  // reaches its proportional leaf target, always leaving at least one
+  // subtree per remaining shard.
+  const std::size_t n_shards = std::min(want, frontier.size());
+  leaf_begin_.reserve(n_shards);
+  leaf_end_.reserve(n_shards);
+  std::size_t idx = 0;
+  std::int32_t leaves_left = static_cast<std::int32_t>(n_leaves);
+  for (std::size_t k = 0; k < n_shards; ++k) {
+    const std::size_t must_leave = n_shards - 1 - k;
+    const std::int32_t remaining_shards =
+        static_cast<std::int32_t>(n_shards - k);
+    const std::int32_t target =
+        (leaves_left + remaining_shards - 1) / remaining_shards;
+    const HierarchyNode& first = hierarchy.node(frontier[idx]);
+    leaf_begin_.push_back(first.first_leaf);
+    std::int32_t took = first.leaf_count;
+    ++idx;
+    while (frontier.size() - idx > must_leave) {
+      const std::int32_t next = hierarchy.node(frontier[idx]).leaf_count;
+      if (took + next > target) break;
+      took += next;
+      ++idx;
+    }
+    leaf_end_.push_back(leaf_begin_.back() + took);
+    leaves_left -= took;
+  }
+  // Trailing subtrees the greedy pass left over extend the last shard.
+  leaf_end_.back() = static_cast<LeafId>(n_leaves);
+
+  shard_of_leaf_.resize(n_leaves);
+  for (std::size_t k = 0; k < n_shards; ++k) {
+    for (LeafId s = leaf_begin_[k]; s < leaf_end_[k]; ++s) {
+      shard_of_leaf_[static_cast<std::size_t>(s)] =
+          static_cast<std::int32_t>(k);
+    }
+  }
+
+  // Node ownership by leaf-interval containment, lists in post-order.
+  node_shard_.assign(hierarchy.node_count(), kSpine);
+  owned_nodes_.resize(n_shards);
+  for (NodeId id : hierarchy.post_order()) {
+    const HierarchyNode& node = hierarchy.node(id);
+    const std::size_t k = shard_of_leaf(node.first_leaf);
+    if (node.first_leaf + node.leaf_count <= leaf_end_[k]) {
+      node_shard_[static_cast<std::size_t>(id)] = static_cast<std::int32_t>(k);
+      owned_nodes_[k].push_back(id);
+    } else {
+      spine_nodes_.push_back(id);
+    }
+  }
+}
+
+void ShardPlan::audit() const {
+  const Hierarchy& h = *hierarchy_;
+  const std::size_t n_shards = shard_count();
+  if (n_shards == 0) fail("no shards");
+  LeafId expect = 0;
+  for (std::size_t k = 0; k < n_shards; ++k) {
+    if (leaf_begin_[k] != expect) fail("leaf ranges are not contiguous");
+    if (leaf_end_[k] <= leaf_begin_[k]) fail("empty shard leaf range");
+    expect = leaf_end_[k];
+    for (LeafId s = leaf_begin_[k]; s < leaf_end_[k]; ++s) {
+      if (shard_of_leaf(s) != k) fail("shard_of_leaf disagrees with range");
+    }
+  }
+  if (static_cast<std::size_t>(expect) != h.leaf_count()) {
+    fail("leaf ranges do not cover all leaves");
+  }
+  std::size_t listed = spine_nodes_.size();
+  for (const auto& owned : owned_nodes_) listed += owned.size();
+  if (listed != h.node_count()) {
+    fail("owned/spine lists do not partition the node set");
+  }
+  for (NodeId id = 0; id < static_cast<NodeId>(h.node_count()); ++id) {
+    const HierarchyNode& node = h.node(id);
+    const std::size_t k = shard_of_leaf(node.first_leaf);
+    const bool contained = node.first_leaf + node.leaf_count <= leaf_end_[k];
+    const std::int32_t shard = shard_of_node(id);
+    if (contained != (shard != kSpine)) {
+      fail("ownership disagrees with leaf-interval containment");
+    }
+    if (contained && shard != static_cast<std::int32_t>(k)) {
+      fail("owned node assigned to the wrong shard");
+    }
+    for (NodeId child : node.children) {
+      if (shard != kSpine && shard_of_node(child) != shard) {
+        fail("owned node has a child outside its shard");
+      }
+    }
+  }
+  // Post-order consistency: children strictly precede parents in each
+  // shard's fold list, and spine children of spine nodes precede them.
+  std::vector<std::int64_t> position(h.node_count(), -1);
+  auto check_order = [&](std::span<const NodeId> list, const char* what) {
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      position[static_cast<std::size_t>(list[i])] =
+          static_cast<std::int64_t>(i);
+    }
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      for (NodeId child : h.node(list[i]).children) {
+        const std::int64_t at = position[static_cast<std::size_t>(child)];
+        if (at >= static_cast<std::int64_t>(i)) {
+          fail(std::string(what) + " list is not post-order");
+        }
+      }
+    }
+    for (NodeId id : list) position[static_cast<std::size_t>(id)] = -1;
+  };
+  for (const auto& owned : owned_nodes_) check_order(owned, "owned");
+  // A spine node's children are either owned (folded before the spine
+  // pass) or spine nodes listed earlier.
+  for (std::size_t i = 0; i < spine_nodes_.size(); ++i) {
+    position[static_cast<std::size_t>(spine_nodes_[i])] =
+        static_cast<std::int64_t>(i);
+  }
+  for (std::size_t i = 0; i < spine_nodes_.size(); ++i) {
+    for (NodeId child : h.node(spine_nodes_[i]).children) {
+      if (shard_of_node(child) != kSpine) continue;
+      if (position[static_cast<std::size_t>(child)] >=
+          static_cast<std::int64_t>(i)) {
+        fail("spine list is not post-order");
+      }
+    }
+  }
+}
+
+}  // namespace stagg

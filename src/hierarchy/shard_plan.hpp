@@ -1,0 +1,105 @@
+// Static partition of a hierarchy's leaves into S resource shards.
+//
+// A ShardPlan cuts the tree at a frontier of subtrees (splitting the
+// largest subtree until there are at least S pieces, dariadb-style
+// per-shard engines under one facade) and assigns the frontier — which is
+// in DFS leaf order — to S contiguous leaf ranges of near-equal size.
+// Because every hierarchy subtree owns a contiguous leaf interval
+// [first_leaf, first_leaf + leaf_count), shard ownership is decided by
+// interval containment:
+//
+//   node owned by shard k  <=>  its leaf interval fits inside shard k's
+//   spine node             <=>  its leaf interval spans a shard boundary
+//
+// Containment is inherited downward: an owned node's children are owned by
+// the same shard.  This is the property the partitioned DataCube fold
+// relies on — every shard can accumulate its owned nodes bottom-up with no
+// cross-shard reads, and a final serial pass over the (small) spine folds
+// the per-shard partial cubes into the parent levels.  Both passes apply
+// the exact same per-node child-order accumulation as the monolithic fold,
+// so the result is bit-identical at every shard count, including S = 1.
+//
+// The plan is immutable after construction and holds no reference to trace
+// data; the ShardedTraceStore, DataCube and MeasureCache all consume the
+// same plan so routing, folding and cache scheduling agree on ownership.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hierarchy/hierarchy.hpp"
+
+namespace stagg {
+
+class ShardPlan {
+ public:
+  /// Sentinel shard index for spine nodes (owned by no single shard).
+  static constexpr std::int32_t kSpine = -1;
+
+  /// Builds a plan with up to `shards` shards (clamped to [1, leaf_count]).
+  ShardPlan(const Hierarchy& hierarchy, std::size_t shards);
+
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return leaf_begin_.size();
+  }
+
+  /// Hierarchy this plan partitions.  Consumers built against a different
+  /// hierarchy (scoped sessions) must ignore the plan; the identity check
+  /// is by address because plans never outlive their hierarchy.
+  [[nodiscard]] const Hierarchy* hierarchy() const noexcept {
+    return hierarchy_;
+  }
+
+  /// Shard k owns the contiguous leaf range [leaf_begin(k), leaf_end(k)).
+  [[nodiscard]] LeafId leaf_begin(std::size_t shard) const noexcept {
+    return leaf_begin_[shard];
+  }
+  [[nodiscard]] LeafId leaf_end(std::size_t shard) const noexcept {
+    return leaf_end_[shard];
+  }
+
+  [[nodiscard]] std::size_t shard_of_leaf(LeafId leaf) const noexcept {
+    return static_cast<std::size_t>(
+        shard_of_leaf_[static_cast<std::size_t>(leaf)]);
+  }
+
+  /// Owning shard of a node, or kSpine when the node's leaf interval
+  /// crosses a shard boundary.
+  [[nodiscard]] std::int32_t shard_of_node(NodeId node) const noexcept {
+    return node_shard_[static_cast<std::size_t>(node)];
+  }
+
+  /// Nodes owned by shard k, in hierarchy post-order (children before
+  /// parents) — the fold order of the partitioned DataCube pass.
+  [[nodiscard]] std::span<const NodeId> owned_nodes(
+      std::size_t shard) const noexcept {
+    return owned_nodes_[shard];
+  }
+
+  /// Spine nodes (crossing a shard boundary), in post-order.  Every child
+  /// of a spine node is either owned or an earlier spine node, so a serial
+  /// pass over this list after the per-shard passes completes the fold.
+  [[nodiscard]] std::span<const NodeId> spine_nodes() const noexcept {
+    return spine_nodes_;
+  }
+
+  /// Structural invariants: the leaf ranges partition [0, leaf_count) in
+  /// order, every node is owned by exactly one shard or is spine,
+  /// ownership matches interval containment, owned children share their
+  /// parent's shard, and the owned/spine lists are post-order consistent.
+  /// Throws ContractError on violation.
+  void audit() const;
+
+ private:
+  const Hierarchy* hierarchy_;
+  std::vector<LeafId> leaf_begin_;
+  std::vector<LeafId> leaf_end_;
+  std::vector<std::int32_t> shard_of_leaf_;
+  std::vector<std::int32_t> node_shard_;
+  std::vector<std::vector<NodeId>> owned_nodes_;
+  std::vector<NodeId> spine_nodes_;
+};
+
+}  // namespace stagg

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "trace/sharded_store.hpp"
 
 namespace stagg {
 
@@ -47,16 +48,36 @@ TraceView::TraceView(std::shared_ptr<const TraceStore> store, TimeNs t0,
   init(scope, std::move(scope_paths));
 }
 
+TraceView::TraceView(std::shared_ptr<const ShardedTraceStore> sharded,
+                     TimeNs t0, TimeNs t1, std::span<const ResourceId> scope,
+                     std::shared_ptr<const std::vector<std::string>>
+                         scope_paths)
+    : t0_(t0), t1_(t1) {
+  if (!sharded) throw InvalidArgument("TraceView: null sharded store");
+  sharded_ = std::move(sharded);
+  store_ = sharded_->shard_ptr(0);
+  if (!sharded_->tails_sealed()) {
+    throw InvalidArgument(
+        "TraceView: sharded store has unsealed tail intervals (call "
+        "seal_chunk() before taking views)");
+  }
+  if (t1_ < t0_) throw InvalidArgument("TraceView: window end < begin");
+  init(scope, std::move(scope_paths));
+}
+
 void TraceView::init(
     std::span<const ResourceId> scope,
     std::shared_ptr<const std::vector<std::string>> scope_paths) {
-  const auto n = store_->resource_count();
+  const auto n = sharded_ != nullptr ? sharded_->resource_count()
+                                     : store_->resource_count();
   if (scope.empty()) {
     store_ids_.resize(n);
     for (std::size_t r = 0; r < n; ++r) {
       store_ids_[r] = static_cast<ResourceId>(r);
     }
-    paths_ = store_->resource_paths_ptr();  // COW-pinned, zero copies
+    // COW-pinned, zero copies (the facade's global table when sharded).
+    paths_ = sharded_ != nullptr ? sharded_->resource_paths_ptr()
+                                 : store_->resource_paths_ptr();
     select_runs();
     return;
   }
@@ -77,11 +98,22 @@ void TraceView::init(
     auto paths = std::make_shared<std::vector<std::string>>();
     paths->reserve(store_ids_.size());
     for (const ResourceId r : store_ids_) {
-      paths->push_back(store_->resource_path(r));
+      paths->push_back(sharded_ != nullptr ? sharded_->resource_path(r)
+                                           : store_->resource_path(r));
     }
     paths_ = std::move(paths);
   }
   select_runs();
+}
+
+std::span<const TraceChunkPtr> TraceView::chunks_of(
+    std::size_t view_resource) const {
+  const ResourceId id = store_ids_[view_resource];
+  if (sharded_ != nullptr) {
+    const ShardedTraceStore::Route rt = sharded_->route(id);
+    return sharded_->shard(rt.shard).chunks(rt.local);
+  }
+  return store_->chunks(id);
 }
 
 void TraceView::select_runs() {
@@ -90,7 +122,7 @@ void TraceView::select_runs() {
   for (std::size_t r = 0; r < store_ids_.size(); ++r) {
     auto& runs = runs_[r];
     runs.clear();
-    for (const TraceChunkPtr& chunk : store_->chunks(store_ids_[r])) {
+    for (const TraceChunkPtr& chunk : chunks_of(r)) {
       // Fence test: can any interval of this chunk overlap [t0, t1)?
       if (chunk->min_begin() >= t1_ || chunk->max_end() <= t0_) continue;
       // Begins are sorted: entries with begin >= t1 are a prunable suffix.

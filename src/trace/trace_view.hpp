@@ -41,6 +41,8 @@
 
 namespace stagg {
 
+class ShardedTraceStore;
+
 class TraceView {
  public:
   TraceView() = default;
@@ -60,6 +62,18 @@ class TraceView {
   /// share them across views instead of re-copying strings each time.
   TraceView(std::shared_ptr<const TraceStore> store, TimeNs t0, TimeNs t1,
             std::span<const ResourceId> scope,
+            std::shared_ptr<const std::vector<std::string>> scope_paths =
+                nullptr);
+
+  /// Selects [t0, t1) over a sharded store (trace/sharded_store.hpp).
+  /// Resource ids are the facade's *global* ids; each resource's runs are
+  /// selected from its owning shard's chunks, so the view merges the same
+  /// per-resource interval sequences a monolithic store holding the same
+  /// intervals would yield — folds over a sharded view are bit-identical.
+  /// Pins every shard; states()/store() resolve to shard 0 (whose registry
+  /// mirrors the facade's).
+  TraceView(std::shared_ptr<const ShardedTraceStore> sharded, TimeNs t0,
+            TimeNs t1, std::span<const ResourceId> scope = {},
             std::shared_ptr<const std::vector<std::string>> scope_paths =
                 nullptr);
 
@@ -157,8 +171,13 @@ class TraceView {
   void init(std::span<const ResourceId> scope,
             std::shared_ptr<const std::vector<std::string>> scope_paths);
   void select_runs();
+  [[nodiscard]] std::span<const TraceChunkPtr> chunks_of(
+      std::size_t view_resource) const;
 
   std::shared_ptr<const TraceStore> store_;
+  /// Set for views over a ShardedTraceStore; store_ then aliases shard 0
+  /// and chunk selection routes per resource through the facade.
+  std::shared_ptr<const ShardedTraceStore> sharded_;
   TimeNs t0_ = 0;
   TimeNs t1_ = 0;
   std::vector<ResourceId> store_ids_;

@@ -12,10 +12,14 @@ justification is mandatory):
                    that own a store's single-writer side: the store itself,
                    the Trace value facade, binary_io's fresh-store readers,
                    SessionManager's central-ingest path, SlidingWindowSession
-                   (exclusive stores), and IngestPipeline's seal worker.
-                   Receivers are recognized syntactically (identifiers
-                   containing `store`, or `snapshot`); new library code that
-                   mutates a shared store trips this rule.
+                   (exclusive stores), IngestPipeline's seal worker, and the
+                   ShardedTraceStore facade (which routes each write to the
+                   owning shard from exactly one task — single writer *per
+                   shard*).  Receivers are recognized syntactically
+                   (identifiers containing `store` or `shard`, optionally
+                   subscripted like `shards_[k]`, or `snapshot`); new
+                   library code that mutates a shared or per-shard store
+                   trips this rule.
 
   queue-under-lock A blocking BoundedQueue push()/pop() while a mutex guard
                    (std::lock_guard / std::unique_lock / std::scoped_lock)
@@ -80,6 +84,10 @@ SINGLE_WRITER_ALLOWLIST: dict[str, set[str] | None] = {
     "src/trace/trace.cpp": None,
     # Readers build *fresh* stores no session has seen yet.
     "src/trace/binary_io.cpp": None,
+    # The sharded facade: every write routes to the owning shard from
+    # exactly one task (the single-writer rule holds *per shard*); the
+    # audit()/read side never mutates.
+    "src/trace/sharded_store.cpp": None,
     # The central-ingest path: the manager owns the shared store's write side.
     "src/core/session_manager.cpp": None,
     # Exclusive-store sessions own their store (shared attaches are read-only
@@ -91,9 +99,13 @@ SINGLE_WRITER_ALLOWLIST: dict[str, set[str] | None] = {
 
 # NB: `\w*` on both sides may be empty — a bare `store->` or `store_->`
 # receiver must match (requiring a prefix let the two most common receiver
-# spellings through silently).
+# spellings through silently).  Shard receivers (`sharded_`, `shards_[k]`,
+# any identifier containing shard, optionally subscripted) are store
+# handles too: a cross-shard write from the wrong task is exactly the
+# violation this rule exists to catch.
 STORE_RECEIVER = re.compile(
-    r"\b(?P<recv>\w*(?:store|Store)\w*|snapshot)(?:\.|->)"
+    r"\b(?P<recv>\w*(?:store|Store|shard|Shard)\w*(?:\[[^\]]*\])?|snapshot)"
+    r"(?:\.|->)"
     r"(?P<method>" + "|".join(WRITE_METHODS) + r")\s*\("
 )
 

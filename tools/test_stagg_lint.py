@@ -102,6 +102,45 @@ def case_single_writer_function_scoped() -> None:
         expect("single-writer: parse_worker may not write", rc == 1, out)
 
 
+def case_single_writer_cross_shard() -> None:
+    """Sharded-store era: a write through a *shard* receiver outside the
+    allowlist — the cross-shard mutation the per-shard single-writer rule
+    exists to catch — must be reported, including subscripted receivers."""
+    with tempfile.TemporaryDirectory(prefix="stagg_lint_") as root:
+        bad = fixture(
+            root,
+            "src/core/rogue_shard.cpp",
+            "void poke(ShardedTraceStore& sharded, std::size_t k) {\n"
+            "  sharded.shard_handles()[k];\n"
+            "  other_shard->seal_chunk();\n"
+            "}\n",
+        )
+        rc, out = run_lint(root, [bad])
+        expect("single-writer: cross-shard write fails", rc == 1, out)
+        expect("single-writer: shard receiver named", "other_shard" in out, out)
+
+        subscripted = fixture(
+            root,
+            "src/core/rogue_shard2.cpp",
+            "void poke(std::vector<std::shared_ptr<TraceStore>>& shards_) {\n"
+            "  shards_[2]->add_state(r, s, b, e);\n"
+            "}\n",
+        )
+        rc, out = run_lint(root, [subscripted])
+        expect("single-writer: subscripted shard receiver fails", rc == 1, out)
+
+        facade = fixture(
+            root,
+            "src/trace/sharded_store.cpp",
+            "void ShardedTraceStore::seal_chunk() {\n"
+            "  shards_[k]->seal_chunk();\n"
+            "}\n",
+        )
+        rc, out = run_lint(root, [facade])
+        expect("single-writer: facade's routed write is allowlisted",
+               rc == 0, out)
+
+
 def case_suppression_requires_justification() -> None:
     with tempfile.TemporaryDirectory(prefix="stagg_lint_") as root:
         justified = fixture(
@@ -206,6 +245,7 @@ def main() -> int:
         case_single_writer_violation,
         case_single_writer_allowlisted_file,
         case_single_writer_function_scoped,
+        case_single_writer_cross_shard,
         case_suppression_requires_justification,
         case_queue_under_lock,
         case_narrowing_cast,
