@@ -29,6 +29,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/bench_info.hpp"
 #include "common/cli.hpp"
 #include "common/stopwatch.hpp"
 #include "hierarchy/hierarchy.hpp"
@@ -177,18 +178,9 @@ int run(int argc, const char* const* argv) {
     // noisy time deltas.
     const Hierarchy h = make_balanced_hierarchy(2, 4);
     const double span_s = smoke ? 2.0 : 6.0;
-    const auto programmer = [&](LeafId leaf) {
-      ResourceProgram p;
-      StatePattern pattern;
-      for (std::int32_t x = 0; x < 64; ++x) {
-        const double mean = 0.2e-3 + 0.05e-3 * ((leaf + x) % 7);
-        pattern.elements.push_back({"churn" + std::to_string(x), mean, 0.9});
-      }
-      p.phases.push_back({0.0, span_s, std::move(pattern)});
-      return p;
-    };
-    reports.push_back(
-        measure("churn", generate_trace(h, programmer, 0xC0DEC)));
+    reports.push_back(measure(
+        "churn",
+        generate_trace(h, make_churn_programmer(64, span_s), 0xC0DEC)));
   }
 
   const double lu_ratio_bar = 3.0;
@@ -215,6 +207,7 @@ int run(int argc, const char* const* argv) {
     std::ofstream out(json_path);
     char buf[64];
     out << "{\n  \"bench\": \"compress\",\n";
+    out << bench_info_json();
     out << "  \"cores\": " << cores << ",\n";
     std::snprintf(buf, sizeof buf, "%.6g", event_div);
     out << "  \"event_div\": " << buf << ",\n";

@@ -27,6 +27,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/bench_info.hpp"
 #include "common/cli.hpp"
 #include "common/stopwatch.hpp"
 #include "core/sliding_window.hpp"
@@ -258,6 +259,7 @@ int run(int argc, const char* const* argv) {
   if (!json_path.empty()) {
     std::ofstream out(json_path);
     out << "{\n  \"bench\": \"incremental\",\n";
+    out << bench_info_json();
     out << "  \"model\": {\"leaves\": " << h.leaf_count()
         << ", \"nodes\": " << h.node_count() << ", \"slices\": " << slices
         << ", \"states\": " << states << "},\n";

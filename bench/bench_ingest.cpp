@@ -27,6 +27,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/bench_info.hpp"
 #include "common/cli.hpp"
 #include "common/stopwatch.hpp"
 #include "core/ingest_pipeline.hpp"
@@ -345,6 +346,7 @@ int run(int argc, const char* const* argv) {
     std::ofstream out(json_path);
     char buf[64];
     out << "{\n  \"bench\": \"ingest\",\n";
+    out << bench_info_json();
     out << "  \"model\": {\"leaves\": " << h.leaf_count()
         << ", \"slices\": " << slices << ", \"states\": " << states
         << "},\n";
@@ -362,7 +364,6 @@ int run(int argc, const char* const* argv) {
     out << "  \"speedup_bar\": " << buf << ",\n";
     out << "  \"speedup_bar_active\": " << (bar_active ? "true" : "false")
         << ",\n";
-    out << "  \"hardware_threads\": " << hw << ",\n";
     out << "  \"meets_speedup_bar\": "
         << (meets_speedup_bar ? "true" : "false") << ",\n";
     std::snprintf(buf, sizeof buf, "%.6g",

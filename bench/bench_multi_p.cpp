@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "common/bench_info.hpp"
 #include "common/cli.hpp"
 #include "common/stopwatch.hpp"
 #include "core/aggregator.hpp"
@@ -218,6 +219,7 @@ int run(int argc, const char* const* argv) {
   if (!json_path.empty()) {
     std::ofstream out(json_path);
     out << "{\n  \"bench\": \"multi_p\",\n";
+    out << bench_info_json();
     out << "  \"model\": {\"leaves\": " << om.hierarchy->leaf_count()
         << ", \"nodes\": " << om.hierarchy->node_count()
         << ", \"slices\": " << shape.slices

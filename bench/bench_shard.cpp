@@ -30,6 +30,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/bench_info.hpp"
 #include "common/cli.hpp"
 #include "common/stopwatch.hpp"
 #include "core/session_manager.hpp"
@@ -325,9 +326,9 @@ int run(int argc, const char* const* argv) {
     std::ofstream out(json_path);
     char buf[64];
     out << "{\n  \"bench\": \"shard\",\n";
+    out << bench_info_json();
     out << "  \"slices\": " << slices << ",\n";
     out << "  \"rounds\": " << rounds << ",\n";
-    out << "  \"hardware_threads\": " << hw << ",\n";
     out << "  \"workloads\": [\n";
     for (std::size_t i = 0; i < reports.size(); ++i) {
       const WorkloadReport& rep = reports[i];

@@ -27,6 +27,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/bench_info.hpp"
 #include "common/cli.hpp"
 #include "common/stopwatch.hpp"
 #include "core/session_manager.hpp"
@@ -282,6 +283,7 @@ int run(int argc, const char* const* argv) {
     std::ofstream out(json_path);
     char buf[64];
     out << "{\n  \"bench\": \"spill\",\n";
+    out << bench_info_json();
     out << "  \"model\": {\"leaves\": " << h.leaf_count()
         << ", \"base_slices\": " << slices << ", \"states\": " << states
         << "},\n";

@@ -1,0 +1,47 @@
+#include "common/bench_info.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/simd.hpp"
+
+namespace stagg {
+
+namespace {
+
+std::string compiler_string() {
+#if defined(__clang__)
+  return "clang " + std::to_string(__clang_major__) + "." +
+         std::to_string(__clang_minor__) + "." +
+         std::to_string(__clang_patchlevel__);
+#elif defined(__GNUC__)
+  return "gcc " + std::to_string(__GNUC__) + "." +
+         std::to_string(__GNUC_MINOR__) + "." +
+         std::to_string(__GNUC_PATCHLEVEL__);
+#elif defined(_MSC_VER)
+  return "msvc " + std::to_string(_MSC_VER);
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace
+
+BenchInfo bench_info() {
+  BenchInfo info;
+  info.hardware_threads = std::max(1u, std::thread::hardware_concurrency());
+  info.simd_level = simd::level_name();
+  info.compiler = compiler_string();
+  return info;
+}
+
+std::string bench_info_json(int indent) {
+  const BenchInfo info = bench_info();
+  const std::string pad(static_cast<std::size_t>(std::max(indent, 0)), ' ');
+  return pad + "\"hardware_threads\": " +
+         std::to_string(info.hardware_threads) + ",\n" + pad +
+         "\"simd_level\": \"" + info.simd_level + "\",\n" + pad +
+         "\"compiler\": \"" + info.compiler + "\",\n";
+}
+
+}  // namespace stagg

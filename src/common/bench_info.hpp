@@ -1,0 +1,32 @@
+// Machine and build provenance for BENCH_*.json emitters.
+//
+// Every tracked benchmark bar (incremental >= 5x, shard >= 1.5x, the
+// bench_simd kernel bars, ...) is only meaningful relative to the machine
+// and build that produced it, so every emitter stamps its JSON with the
+// same provenance triple: hardware thread count, the compiled SIMD
+// dispatch level (common/simd.hpp — "scalar" on STAGG_SIMD=OFF builds,
+// which is how CI tells a waived bar from a missed one), and the
+// compiler.  One helper keeps the key names identical across files.
+#pragma once
+
+#include <string>
+
+namespace stagg {
+
+struct BenchInfo {
+  unsigned hardware_threads = 1;
+  const char* simd_level = "scalar";  ///< simd::level_name()
+  std::string compiler;               ///< e.g. "gcc 12.2.0"
+};
+
+[[nodiscard]] BenchInfo bench_info();
+
+/// The provenance triple as JSON member lines, each `indent` spaces deep
+/// and comma-terminated — splice directly after the emitter's opening
+/// `"bench"` line:
+///   "hardware_threads": 4,
+///   "simd_level": "avx2",
+///   "compiler": "gcc 12.2.0",
+[[nodiscard]] std::string bench_info_json(int indent = 2);
+
+}  // namespace stagg

@@ -169,33 +169,34 @@ void SpatiotemporalAggregator::fill_quality(AggregationResult& result) const {
 // Buffer arena.
 // ---------------------------------------------------------------------------
 
-std::vector<double> SpatiotemporalAggregator::acquire_dbl(std::size_t n) {
+simd::AlignedVec<double> SpatiotemporalAggregator::acquire_dbl(
+    std::size_t n) {
   if (!dbl_pool_.empty()) {
-    std::vector<double> buf = std::move(dbl_pool_.back());
+    simd::AlignedVec<double> buf = std::move(dbl_pool_.back());
     dbl_pool_.pop_back();
     buf.resize(n);
     return buf;
   }
-  return std::vector<double>(n);
+  return simd::AlignedVec<double>(n);
 }
 
-std::vector<std::int32_t> SpatiotemporalAggregator::acquire_i32(
+simd::AlignedVec<std::int32_t> SpatiotemporalAggregator::acquire_i32(
     std::size_t n) {
   if (!i32_pool_.empty()) {
-    std::vector<std::int32_t> buf = std::move(i32_pool_.back());
+    simd::AlignedVec<std::int32_t> buf = std::move(i32_pool_.back());
     i32_pool_.pop_back();
     buf.resize(n);
     return buf;
   }
-  return std::vector<std::int32_t>(n);
+  return simd::AlignedVec<std::int32_t>(n);
 }
 
-void SpatiotemporalAggregator::release(std::vector<double>&& buf) {
+void SpatiotemporalAggregator::release(simd::AlignedVec<double>&& buf) {
   // Moved-from (already released) vectors are empty; only pool live ones.
   if (!buf.empty()) dbl_pool_.push_back(std::move(buf));
 }
 
-void SpatiotemporalAggregator::release(std::vector<std::int32_t>&& buf) {
+void SpatiotemporalAggregator::release(simd::AlignedVec<std::int32_t>&& buf) {
   if (!buf.empty()) i32_pool_.push_back(std::move(buf));
 }
 
@@ -233,10 +234,17 @@ SpatiotemporalAggregator::LaneScan SpatiotemporalAggregator::make_scan(
   return scan;
 }
 
-template <int W, bool Filtered>
+template <int W, bool Filtered, bool Vec>
 void SpatiotemporalAggregator::compute_cell_lanes(const LaneScan& scan,
                                                   SliceId i,
                                                   SliceId j) const noexcept {
+  // Vec only instantiates meaningfully at widths divisible by 4; the
+  // dispatcher never selects it otherwise.  Every Vec block below batches
+  // the SAME elementwise operations in the same per-lane order as its
+  // scalar twin — lanes are independent, no accumulation chain is
+  // reordered, and the build forbids FP contraction — so the two
+  // instantiations are bit-identical (pinned by tests/test_simd.cpp).
+  constexpr bool kVec = Vec && W % 4 == 0;
   const std::size_t row = tri_.row_offset(i);
   const std::size_t cell = row + static_cast<std::size_t>(j - i);
 
@@ -248,9 +256,21 @@ void SpatiotemporalAggregator::compute_cell_lanes(const LaneScan& scan,
   double best[W];
   std::int32_t best_cut[W];
   std::int32_t best_count[W];
-  for (int w = 0; w < W; ++w) {
-    best[w] = scan.p[w] * m.gain * scan.gain_scale -
-              (1.0 - scan.p[w]) * m.loss * scan.loss_scale;
+  if constexpr (kVec) {
+    const simd::f64x4 one = simd::f64x4::broadcast(1.0);
+    const simd::f64x4 g = simd::f64x4::broadcast(m.gain);
+    const simd::f64x4 gs = simd::f64x4::broadcast(scan.gain_scale);
+    const simd::f64x4 l = simd::f64x4::broadcast(m.loss);
+    const simd::f64x4 ls = simd::f64x4::broadcast(scan.loss_scale);
+    for (int w = 0; w < W; w += 4) {
+      const simd::f64x4 pv = simd::f64x4::load(scan.p + w);
+      (pv * g * gs - (one - pv) * l * ls).store(best + w);
+    }
+  } else {
+    for (int w = 0; w < W; ++w) {
+      best[w] = scan.p[w] * m.gain * scan.gain_scale -
+                (1.0 - scan.p[w]) * m.loss * scan.loss_scale;
+    }
   }
   for (int w = 0; w < W; ++w) {
     best_cut[w] = j;
@@ -277,9 +297,21 @@ void SpatiotemporalAggregator::compute_cell_lanes(const LaneScan& scan,
     for (std::size_t k = 0; k < scan.n_children; ++k) {
       const double* cp = scan.child_pic[k] + cell * W;
       const std::int32_t* cc = scan.child_cnt[k] + cell * W;
-      for (int w = 0; w < W; ++w) {
-        sum[w] += cp[w];
-        count[w] += cc[w];
+      if constexpr (kVec) {
+        // Child-order accumulation per lane is unchanged — the vector add
+        // batches the W independent per-lane chains, it does not reorder
+        // any one of them.
+        for (int w = 0; w < W; w += 4) {
+          (simd::f64x4::load(sum + w) + simd::f64x4::load(cp + w))
+              .store(sum + w);
+          (simd::i32x4::load(count + w) + simd::i32x4::load(cc + w))
+              .store(count + w);
+        }
+      } else {
+        for (int w = 0; w < W; ++w) {
+          sum[w] += cp[w];
+          count[w] += cc[w];
+        }
       }
     }
     for (int w = 0; w < W; ++w) {
@@ -357,10 +389,24 @@ void SpatiotemporalAggregator::compute_cell_lanes(const LaneScan& scan,
       // bit-identical.
       double v[W];
       int any_pass = 0;
-      for (int w = 0; w < W; ++w) {
-        v[w] = left[static_cast<std::size_t>(k) * W + w] +
-               right[static_cast<std::size_t>(k) * W + w];
-        any_pass |= static_cast<int>(v[w] >= thr[w]);
+      if constexpr (kVec) {
+        // The screen adds are per-lane (independent chains) and the >=
+        // mask matches the scalar compare exactly (ordered, quiet-NaN
+        // false), so pass/fail decisions are identical; passing lanes
+        // still run the scalar challenge below in lane order.
+        for (int w = 0; w < W; w += 4) {
+          const simd::f64x4 vv =
+              simd::f64x4::load(left + static_cast<std::size_t>(k) * W + w) +
+              simd::f64x4::load(right + static_cast<std::size_t>(k) * W + w);
+          vv.store(v + w);
+          any_pass |= vv.ge_mask(simd::f64x4::load(thr + w));
+        }
+      } else {
+        for (int w = 0; w < W; ++w) {
+          v[w] = left[static_cast<std::size_t>(k) * W + w] +
+                 right[static_cast<std::size_t>(k) * W + w];
+          any_pass |= static_cast<int>(v[w] >= thr[w]);
+        }
       }
       if (any_pass != 0) {
         for (int w = 0; w < W; ++w) {
@@ -383,16 +429,28 @@ void SpatiotemporalAggregator::compute_cell_lanes(const LaneScan& scan,
   std::int32_t* out_cnt = scan.cnt + cell * W;
   std::int32_t* out_cmirror =
       scan.cnt_mirror + (col_offset(j) + static_cast<std::size_t>(i)) * W;
-  for (int w = 0; w < W; ++w) {
-    out_pic[w] = best[w];
-    out_mirror[w] = best[w];
-    out_cut[w] = best_cut[w];
-    out_cnt[w] = best_count[w];
-    out_cmirror[w] = best_count[w];
+  if constexpr (kVec) {
+    for (int w = 0; w < W; w += 4) {
+      const simd::f64x4 b = simd::f64x4::load(best + w);
+      b.store(out_pic + w);
+      b.store(out_mirror + w);
+      simd::i32x4::load(best_cut + w).store(out_cut + w);
+      const simd::i32x4 c = simd::i32x4::load(best_count + w);
+      c.store(out_cnt + w);
+      c.store(out_cmirror + w);
+    }
+  } else {
+    for (int w = 0; w < W; ++w) {
+      out_pic[w] = best[w];
+      out_mirror[w] = best[w];
+      out_cut[w] = best_cut[w];
+      out_cnt[w] = best_count[w];
+      out_cmirror[w] = best_count[w];
+    }
   }
 }
 
-template <int W, bool Filtered>
+template <int W, bool Filtered, bool Vec>
 void SpatiotemporalAggregator::compute_node_lanes_w(const LaneScan& scan,
                                                     bool wavefront,
                                                     SliceId first_dirty) {
@@ -405,7 +463,7 @@ void SpatiotemporalAggregator::compute_node_lanes_w(const LaneScan& scan,
     // read, never written.
     for (SliceId i = n_t - 1; i >= 0; --i) {
       for (SliceId j = std::max(i, first_dirty); j < n_t; ++j) {
-        compute_cell_lanes<W, Filtered>(scan, i, j);
+        compute_cell_lanes<W, Filtered, Vec>(scan, i, j);
       }
     }
     return;
@@ -418,7 +476,7 @@ void SpatiotemporalAggregator::compute_node_lanes_w(const LaneScan& scan,
   // cannot affect results.  Dirty sweeps clip each anti-diagonal to the
   // cells with j = i + len >= first_dirty.
   for (SliceId i = std::max<SliceId>(0, first_dirty); i < n_t; ++i) {
-    compute_cell_lanes<W, Filtered>(scan, i, i);
+    compute_cell_lanes<W, Filtered, Vec>(scan, i, i);
   }
   const std::size_t threads =
       std::max<std::size_t>(1, ThreadPool::shared().size());
@@ -431,7 +489,7 @@ void SpatiotemporalAggregator::compute_node_lanes_w(const LaneScan& scan,
         n,
         [&](std::size_t k) {
           const auto i = static_cast<SliceId>(i_lo + static_cast<SliceId>(k));
-          compute_cell_lanes<W, Filtered>(scan, i, i + len);
+          compute_cell_lanes<W, Filtered, Vec>(scan, i, i + len);
         },
         grain);
   }
@@ -444,18 +502,29 @@ void SpatiotemporalAggregator::compute_node_lanes(const LaneScan& scan,
   // compile-time trip count the optimizer can unroll.  kCachedSolo (the
   // PR 1 kernel) always runs width 1, unfiltered.
   if (options_.kernel == DpKernel::kCachedSolo) {
-    compute_node_lanes_w<1, false>(scan, wavefront, first_dirty);
+    compute_node_lanes_w<1, false, false>(scan, wavefront, first_dirty);
     return;
   }
+  // Vector instantiations exist only at the widths divisible by the f64x4
+  // lane count; use_simd = false (or a scalar-forced build, where the
+  // wrappers alias their scalar twins) routes those widths to the scalar
+  // twin — the baseline bench_simd measures against.
+  const bool vec = options_.use_simd;
   switch (scan.lanes) {
-    case 1: compute_node_lanes_w<1, true>(scan, wavefront, first_dirty); break;
-    case 2: compute_node_lanes_w<2, true>(scan, wavefront, first_dirty); break;
-    case 3: compute_node_lanes_w<3, true>(scan, wavefront, first_dirty); break;
-    case 4: compute_node_lanes_w<4, true>(scan, wavefront, first_dirty); break;
-    case 5: compute_node_lanes_w<5, true>(scan, wavefront, first_dirty); break;
-    case 6: compute_node_lanes_w<6, true>(scan, wavefront, first_dirty); break;
-    case 7: compute_node_lanes_w<7, true>(scan, wavefront, first_dirty); break;
-    case 8: compute_node_lanes_w<8, true>(scan, wavefront, first_dirty); break;
+    case 1: compute_node_lanes_w<1, true, false>(scan, wavefront, first_dirty); break;
+    case 2: compute_node_lanes_w<2, true, false>(scan, wavefront, first_dirty); break;
+    case 3: compute_node_lanes_w<3, true, false>(scan, wavefront, first_dirty); break;
+    case 4:
+      if (vec) compute_node_lanes_w<4, true, true>(scan, wavefront, first_dirty);
+      else compute_node_lanes_w<4, true, false>(scan, wavefront, first_dirty);
+      break;
+    case 5: compute_node_lanes_w<5, true, false>(scan, wavefront, first_dirty); break;
+    case 6: compute_node_lanes_w<6, true, false>(scan, wavefront, first_dirty); break;
+    case 7: compute_node_lanes_w<7, true, false>(scan, wavefront, first_dirty); break;
+    case 8:
+      if (vec) compute_node_lanes_w<8, true, true>(scan, wavefront, first_dirty);
+      else compute_node_lanes_w<8, true, false>(scan, wavefront, first_dirty);
+      break;
     default: break;  // unreachable: lane_width clamps to kMaxDpLanes
   }
 }

@@ -63,6 +63,7 @@
 #include <span>
 #include <vector>
 
+#include "common/simd.hpp"
 #include "core/cube.hpp"
 #include "core/measure_cache.hpp"
 #include "core/partition.hpp"
@@ -111,6 +112,15 @@ struct AggregationOptions {
   /// of 4 is the measured sweet spot — the per-lane state of wider waves
   /// spills out of registers and gives the win back.
   std::size_t max_lanes = 4;
+  /// Run the lane-batched DP's per-cell kernel through the simd.hpp vector
+  /// wrappers at lane widths divisible by 4 (the no-cut multiply-add, the
+  /// spatial child fold, the temporal candidate screen, and the cell
+  /// writeback each batch 4 lanes per vector op).  The wrappers only ever
+  /// vectorize ACROSS independent lanes — no accumulation chain is
+  /// reordered — so results are bit-identical to the scalar twin at every
+  /// width; `false` forces the scalar twin (the bench_simd baseline).  On
+  /// scalar-only builds (STAGG_SIMD=OFF) both settings execute scalar code.
+  bool use_simd = true;
   /// Resource-shard partition (hierarchy/shard_plan.hpp): when set (and
   /// built for this aggregator's hierarchy), the DataCube's bottom-up fold
   /// runs per shard with a serial spine pass, and the MeasureCache build
@@ -289,9 +299,9 @@ class SpatiotemporalAggregator {
   /// arena only while a level is being swept.
   struct WaveDpState {
     std::size_t lanes = 0;
-    std::vector<std::vector<double>> pic;          ///< per node
-    std::vector<std::vector<std::int32_t>> cnt;    ///< per node
-    std::vector<std::vector<std::int32_t>> cut;    ///< per node
+    std::vector<simd::AlignedVec<double>> pic;        ///< per node
+    std::vector<simd::AlignedVec<std::int32_t>> cnt;  ///< per node
+    std::vector<simd::AlignedVec<std::int32_t>> cut;  ///< per node
   };
   struct IncrementalDp {
     std::vector<double> ps;           ///< session probe list, wave-ordered
@@ -332,13 +342,18 @@ class SpatiotemporalAggregator {
 
   /// Filtered = false drops the conservative challenge-threshold screen
   /// and evaluates the reference predicate at every cut — the kCachedSolo
-  /// (PR 1) formulation.
-  template <int W, bool Filtered>
+  /// (PR 1) formulation.  Vec = true (lane widths divisible by 4 only,
+  /// selected by options_.use_simd) routes the across-lane batches — the
+  /// no-cut multiply-add, the spatial child fold, the temporal screen and
+  /// the writeback — through the simd.hpp wrappers; Vec = false is the
+  /// always-instantiated scalar twin, bit-identical by the across-chains
+  /// vectorization rule.
+  template <int W, bool Filtered, bool Vec>
   void compute_cell_lanes(const LaneScan& scan, SliceId i,
                           SliceId j) const noexcept;
   /// Sweeps the cells with j >= first_dirty (0 = the full triangle) in a
   /// dependency-respecting order; `wavefront` parallelizes anti-diagonals.
-  template <int W, bool Filtered>
+  template <int W, bool Filtered, bool Vec>
   void compute_node_lanes_w(const LaneScan& scan, bool wavefront,
                             SliceId first_dirty);
   void compute_node_lanes(const LaneScan& scan, bool wavefront,
@@ -356,11 +371,15 @@ class SpatiotemporalAggregator {
   // released buffer is recycled with at most a cheap resize when the lane
   // width changes between waves — the arena survives across runs, bounding
   // live pIC/count buffers to two adjacent levels while eliminating the
-  // per-run allocation churn of the original code.
-  [[nodiscard]] std::vector<double> acquire_dbl(std::size_t n);
-  [[nodiscard]] std::vector<std::int32_t> acquire_i32(std::size_t n);
-  void release(std::vector<double>&& buf);
-  void release(std::vector<std::int32_t>&& buf);
+  // per-run allocation churn of the original code.  All pooled buffers are
+  // 64-byte aligned (simd::AlignedVec): with the cell-major lane
+  // interleave, a W = 4 cell's f64x4 load is 32-byte aligned and a W = 8
+  // cell's per-lane state is exactly one cache line — vector accesses
+  // never split a line.
+  [[nodiscard]] simd::AlignedVec<double> acquire_dbl(std::size_t n);
+  [[nodiscard]] simd::AlignedVec<std::int32_t> acquire_i32(std::size_t n);
+  void release(simd::AlignedVec<double>&& buf);
+  void release(simd::AlignedVec<std::int32_t>&& buf);
 
   const MicroscopicModel* model_;
   AggregationOptions options_;
@@ -369,17 +388,19 @@ class SpatiotemporalAggregator {
   std::vector<std::vector<NodeId>> levels_;  ///< nodes grouped by depth
   MeasureCache cache_;                       ///< p-independent (gain, loss)
   double cache_build_seconds_ = 0.0;
-  std::vector<std::vector<double>> pic_;     ///< per-node packed pIC
-  std::vector<std::vector<double>> mirror_;  ///< column-major pIC mirrors
+  std::vector<simd::AlignedVec<double>> pic_;  ///< per-node packed pIC
+  /// Column-major pIC mirrors.
+  std::vector<simd::AlignedVec<double>> mirror_;
   /// Column-major mirrors of cnt_, so the tie-breaker's right operand
   /// count(c+1, j) is a contiguous read like the pIC mirror's.
-  std::vector<std::vector<std::int32_t>> cmirror_;
-  std::vector<std::vector<std::int32_t>> cut_;  ///< per-node packed cuts
+  std::vector<simd::AlignedVec<std::int32_t>> cmirror_;
+  /// Per-node packed cuts.
+  std::vector<simd::AlignedVec<std::int32_t>> cut_;
   /// Area count of the optimal sub-partition per cell; used only as the
   /// tie-breaker that keeps equal-pIC partitions maximally coarse.
-  std::vector<std::vector<std::int32_t>> cnt_;
-  std::vector<std::vector<double>> dbl_pool_;
-  std::vector<std::vector<std::int32_t>> i32_pool_;
+  std::vector<simd::AlignedVec<std::int32_t>> cnt_;
+  std::vector<simd::AlignedVec<double>> dbl_pool_;
+  std::vector<simd::AlignedVec<std::int32_t>> i32_pool_;
   std::unique_ptr<IncrementalDp> inc_;  ///< retained per-wave DP state
   /// First column whose DP state is stale relative to the retained
   /// checkpoint; tri_.slices() when clean.  Maintained by

@@ -22,9 +22,7 @@ DataCube::DataCube(const MicroscopicModel& model, const ShardPlan* plan)
   // scoped session's sub-hierarchy) falls back to the serial merge —
   // silently, because the fall-back is bit-identical by contract.
   if (plan != nullptr && plan->hierarchy() == &h) plan_ = plan;
-  const std::size_t node_stride =
-      static_cast<std::size_t>(n_x_) * static_cast<std::size_t>(n_t_) * 3;
-  data_.assign(h.node_count() * node_stride, 0.0);
+  data_.assign(h.node_count() * 3 * plane_stride(), 0.0);
   recompute_slices(0);
 }
 
@@ -38,18 +36,23 @@ void DataCube::recompute_slices(SliceId first_dirty, bool parallel) {
   // accumulation — so recomputing a suffix of columns is exactly the
   // operation the full build performs on them.
   const auto& leaves = h.leaves();
+  const std::size_t row = static_cast<std::size_t>(n_x_);
   const auto fill_leaf = [&](std::size_t li) {
     const LeafId s = static_cast<LeafId>(li);
     const NodeId node = leaves[li];
-    for (StateId x = 0; x < n_x_; ++x) {
-      double* base = node_base_mut(node, x);
-      for (SliceId t = first_dirty; t < n_t_; ++t) {
+    double* pd = plane_mut(node, kSumD);
+    double* pr = plane_mut(node, kSumRho);
+    double* pl = plane_mut(node, kSumRhoLog);
+    for (SliceId t = first_dirty; t < n_t_; ++t) {
+      const double dt_s = model_->grid().slice_duration_s(t);
+      const std::size_t off = static_cast<std::size_t>(t) * row;
+      for (StateId x = 0; x < n_x_; ++x) {
         const double d = model_->duration(s, t, x);
-        const double rho = d / model_->grid().slice_duration_s(t);
-        double* slot = base + 3 * static_cast<std::size_t>(t);
-        slot[0] = d;
-        slot[1] = rho;
-        slot[2] = xlog2x(rho);
+        const double rho = d / dt_s;
+        const std::size_t k = off + static_cast<std::size_t>(x);
+        pd[k] = d;
+        pr[k] = rho;
+        pl[k] = xlog2x(rho);
       }
     }
   };
@@ -86,20 +89,32 @@ void DataCube::recompute_slices(SliceId first_dirty, bool parallel) {
 void DataCube::accumulate_nodes(std::span<const NodeId> nodes,
                                 SliceId first_dirty) {
   const Hierarchy& h = model_->hierarchy();
-  const std::size_t lo = 3 * static_cast<std::size_t>(first_dirty);
-  const std::size_t hi = 3 * static_cast<std::size_t>(n_t_);
+  // Per plane, the dirty region is the contiguous row suffix
+  // [first_dirty * n_x, n_t * n_x).  Element k of that region is one
+  // (slice, state) accumulation chain: chains are merged child-by-child in
+  // child order exactly as before, and distinct k are independent, so the
+  // f64x4 blocks below vectorize ACROSS chains without reordering any.
+  const std::size_t row = static_cast<std::size_t>(n_x_);
+  const std::size_t lo = static_cast<std::size_t>(first_dirty) * row;
+  const std::size_t hi = static_cast<std::size_t>(n_t_) * row;
+  const std::size_t vec_end = lo + ((hi - lo) / 4) * 4;
   for (NodeId id : nodes) {
     const auto& n = h.node(id);
     if (n.children.empty()) continue;
-    for (StateId x = 0; x < n_x_; ++x) {
-      double* dst = node_base_mut(id, x);
+    for (std::size_t p = 0; p < 3; ++p) {
+      double* dst = plane_mut(id, p);
       std::fill(dst + lo, dst + hi, 0.0);
     }
     for (NodeId child : n.children) {
-      for (StateId x = 0; x < n_x_; ++x) {
-        double* dst = node_base_mut(id, x);
-        const double* src = node_base(child, x);
-        for (std::size_t k = lo; k < hi; ++k) dst[k] += src[k];
+      for (std::size_t p = 0; p < 3; ++p) {
+        double* dst = plane_mut(id, p);
+        const double* src = plane(child, p);
+        std::size_t k = lo;
+        for (; k < vec_end; k += 4) {
+          (simd::f64x4::load(dst + k) + simd::f64x4::load(src + k))
+              .store(dst + k);
+        }
+        for (; k < hi; ++k) dst[k] += src[k];
       }
     }
   }
@@ -116,8 +131,7 @@ void DataCube::audit() const {
          std::to_string(model_->state_count()) + "x" +
          std::to_string(model_->slice_count()));
   }
-  const std::size_t node_stride =
-      static_cast<std::size_t>(n_x_) * static_cast<std::size_t>(n_t_) * 3;
+  const std::size_t node_stride = 3 * plane_stride();
   if (data_.size() != h.node_count() * node_stride) {
     fail("storage holds " + std::to_string(data_.size()) +
          " doubles for " + std::to_string(h.node_count()) + " nodes of " +
@@ -130,20 +144,20 @@ void DataCube::audit() const {
   }
   // Leaf-additivity, bit-exact: the build merges children in child order
   // starting from zero, so re-summing in that order must reproduce every
-  // internal triplet to the last bit.
+  // internal entry to the last bit (this also cross-checks the vectorized
+  // merge in accumulate_nodes against a plain scalar re-sum).
   for (std::size_t ni = 0; ni < h.node_count(); ++ni) {
     const NodeId id = static_cast<NodeId>(ni);
     const auto& n = h.node(id);
     if (n.children.empty()) continue;
-    for (StateId x = 0; x < n_x_; ++x) {
-      const double* parent = node_base(id, x);
-      const std::size_t len = static_cast<std::size_t>(n_t_) * 3;
-      for (std::size_t k = 0; k < len; ++k) {
+    for (std::size_t p = 0; p < 3; ++p) {
+      const double* parent = plane(id, p);
+      for (std::size_t k = 0; k < plane_stride(); ++k) {
         double acc = 0.0;
-        for (NodeId child : n.children) acc += node_base(child, x)[k];
+        for (NodeId child : n.children) acc += plane(child, p)[k];
         if (parent[k] != acc) {
-          fail("node " + std::to_string(id) + " state " + std::to_string(x) +
-               " slice slot " + std::to_string(k) +
+          fail("node " + std::to_string(id) + " plane " + std::to_string(p) +
+               " entry " + std::to_string(k) +
                " is not the child-order sum of its children");
         }
       }
@@ -161,22 +175,26 @@ void DataCube::reshape_slices(std::int32_t new_count, std::int32_t src_shift) {
   }
   if (new_count == n_t_ && src_shift == 0) return;  // identity
   const Hierarchy& h = model_->hierarchy();
-  const std::size_t stripes = h.node_count() * static_cast<std::size_t>(n_x_);
-  const std::size_t old_stride = static_cast<std::size_t>(n_t_) * 3;
-  const std::size_t new_stride = static_cast<std::size_t>(new_count) * 3;
-  std::vector<double> next(stripes * new_stride, 0.0);
+  // One stripe per (node, plane): an n_t x n_x row-major matrix whose
+  // slice rows are contiguous, so the column overlap is one memcpy.
+  const std::size_t row = static_cast<std::size_t>(n_x_);
+  const std::size_t stripes = h.node_count() * 3;
+  const std::size_t old_stride = static_cast<std::size_t>(n_t_) * row;
+  const std::size_t new_stride = static_cast<std::size_t>(new_count) * row;
+  simd::AlignedVec<double> next(stripes * new_stride, 0.0);
   // Column t of the new window held old column t + src_shift: copy the
   // overlap bit-exactly; columns with no old counterpart stay zero until
   // recompute_slices fills them.
   const SliceId copy_begin = std::max<SliceId>(0, -src_shift);
   const SliceId copy_end = std::min<SliceId>(new_count, n_t_ - src_shift);
   if (copy_begin < copy_end) {
-    const std::size_t n = static_cast<std::size_t>(copy_end - copy_begin) * 3;
+    const std::size_t n = static_cast<std::size_t>(copy_end - copy_begin) * row;
     for (std::size_t stripe = 0; stripe < stripes; ++stripe) {
       std::memcpy(
-          next.data() + stripe * new_stride + 3 * static_cast<std::size_t>(copy_begin),
+          next.data() + stripe * new_stride +
+              static_cast<std::size_t>(copy_begin) * row,
           data_.data() + stripe * old_stride +
-              3 * static_cast<std::size_t>(copy_begin + src_shift),
+              static_cast<std::size_t>(copy_begin + src_shift) * row,
           n * sizeof(double));
     }
   }
@@ -187,15 +205,42 @@ void DataCube::reshape_slices(std::int32_t new_count, std::int32_t src_shift) {
 namespace {
 
 // The per-state gain/loss of one area.  Every path that produces measures
-// — state_measures, measures, the measures_column_into bulk fill — must go
-// through this one helper: the MeasureCache's bit-identity contract with
-// direct recomputation rests on all of them performing the exact same
-// floating-point operations in the same order.
+// — state_measures, measures, the measures_column_into bulk fill — must
+// perform the exact floating-point operations of this helper in the same
+// order: the MeasureCache's bit-identity contract with direct
+// recomputation rests on it.
 inline AreaMeasures state_area_measures(const StateAreaSums& s, double leaves,
                                         double dur, double cells) noexcept {
   const double rho_agg = aggregated_proportion(s.sum_d, leaves, dur);
   return AreaMeasures{state_gain(s, rho_agg, cells),
                       state_loss(s, rho_agg, cells)};
+}
+
+// Fused variant computing log2(rho_agg) ONCE and feeding it to both
+// measures.  Bit-identical to state_area_measures by construction:
+// state_gain's xlog2x(rho_agg) is literally rho_agg * std::log2(rho_agg)
+// for rho_agg > 0 and 0.0 otherwise, and state_loss's safe_log2(rho_agg)
+// is the same std::log2(rho_agg) (the rho_agg <= 0 early-out makes its
+// guarded branch unreachable) — so `lg` substitutes into both without
+// changing a single operation.  The column kernel uses this to halve the
+// transcendental cost per (slice, state) cell; MeasureCache::audit and
+// tests/test_simd.cpp pin the equivalence against the unfused helper.
+inline AreaMeasures state_area_measures_fused(const StateAreaSums& s,
+                                              double leaves, double dur,
+                                              double cells) noexcept {
+  const double rho_agg = aggregated_proportion(s.sum_d, leaves, dur);
+  const double floor = measure_noise_floor(cells);
+  if (rho_agg <= 0.0) {
+    double gain = 0.0 - s.sum_rho_log;
+    if (cells > 0.0 && std::abs(gain) < floor) gain = 0.0;
+    return AreaMeasures{gain, 0.0};
+  }
+  const double lg = std::log2(rho_agg);
+  double gain = rho_agg * lg - s.sum_rho_log;
+  double loss = s.sum_rho_log - s.sum_rho * lg;
+  if (cells > 0.0 && std::abs(gain) < floor) gain = 0.0;
+  if (cells > 0.0 && std::abs(loss) < floor) loss = 0.0;
+  return AreaMeasures{gain, loss};
 }
 
 }  // namespace
@@ -215,18 +260,10 @@ AreaMeasures DataCube::measures(NodeId node, SliceId i,
       static_cast<double>(hierarchy().node(node).leaf_count);
   const double dur = interval_duration_s(i, j);
   const double cells = leaves * static_cast<double>(j - i + 1);
-  const std::size_t stride = static_cast<std::size_t>(n_t_) * 3;
-  const double* base = node_base(node, 0);
   AreaMeasures m;
-  for (StateId x = 0; x < n_x_; ++x, base += stride) {
-    StateAreaSums s;
-    for (SliceId t = j; t >= i; --t) {
-      const double* slot = base + 3 * static_cast<std::size_t>(t);
-      s.sum_d += slot[0];
-      s.sum_rho += slot[1];
-      s.sum_rho_log += slot[2];
-    }
-    const AreaMeasures sm = state_area_measures(s, leaves, dur, cells);
+  for (StateId x = 0; x < n_x_; ++x) {
+    const AreaMeasures sm =
+        state_area_measures(sums(node, i, j, x), leaves, dur, cells);
     m.gain += sm.gain;
     m.loss += sm.loss;
   }
@@ -238,18 +275,71 @@ void DataCube::measures_column_into(NodeId node, SliceId j,
   assert(out.size() == static_cast<std::size_t>(j) + 1);
   const double leaves =
       static_cast<double>(hierarchy().node(node).leaf_count);
-  const std::size_t stride = static_cast<std::size_t>(n_t_) * 3;
-  const double* base = node_base(node, 0);
+  const std::size_t row = static_cast<std::size_t>(n_x_);
+  const double* pd = plane(node, kSumD);
+  const double* pr = plane(node, kSumRho);
+  const double* pl = plane(node, kSumRhoLog);
+  const TimeGrid& grid = model_->grid();
+  const TimeNs col_end = grid.slice_end(j);
+  // Per-state running sums over the descending slice walk.  Each state's
+  // chain keeps the canonical j-down-to-i addition order; the f64x4
+  // blocks only batch INDEPENDENT state chains, so every chain is
+  // bit-identical to the scalar twin below.  thread_local because the
+  // MeasureCache build runs one column task per (node, j) across the pool.
+  thread_local simd::AlignedVec<double> sd, sr, sl;
+  sd.assign(row, 0.0);
+  sr.assign(row, 0.0);
+  sl.assign(row, 0.0);
+  const std::size_t vec_end = (row / 4) * 4;
+  for (SliceId i = j; i >= 0; --i) {
+    const std::size_t off = static_cast<std::size_t>(i) * row;
+    std::size_t x = 0;
+    for (; x < vec_end; x += 4) {
+      (simd::f64x4::load(sd.data() + x) + simd::f64x4::load(pd + off + x))
+          .store(sd.data() + x);
+      (simd::f64x4::load(sr.data() + x) + simd::f64x4::load(pr + off + x))
+          .store(sr.data() + x);
+      (simd::f64x4::load(sl.data() + x) + simd::f64x4::load(pl + off + x))
+          .store(sl.data() + x);
+    }
+    for (; x < row; ++x) {
+      sd[x] += pd[off + x];
+      sr[x] += pr[off + x];
+      sl[x] += pl[off + x];
+    }
+    const double dur = to_seconds(col_end - grid.slice_begin(i));
+    const double cells = leaves * static_cast<double>(j - i + 1);
+    AreaMeasures m;
+    for (std::size_t xs = 0; xs < row; ++xs) {
+      const AreaMeasures sm = state_area_measures_fused(
+          StateAreaSums{sd[xs], sr[xs], sl[xs]}, leaves, dur, cells);
+      m.gain += sm.gain;
+      m.loss += sm.loss;
+    }
+    out[static_cast<std::size_t>(i)] = m;
+  }
+}
+
+void DataCube::measures_column_reference_into(
+    NodeId node, SliceId j, std::span<AreaMeasures> out) const noexcept {
+  assert(out.size() == static_cast<std::size_t>(j) + 1);
+  const double leaves =
+      static_cast<double>(hierarchy().node(node).leaf_count);
+  const std::size_t row = static_cast<std::size_t>(n_x_);
+  const double* pd = plane(node, kSumD);
+  const double* pr = plane(node, kSumRho);
+  const double* pl = plane(node, kSumRhoLog);
   std::fill(out.begin(), out.end(), AreaMeasures{});
   const TimeGrid& grid = model_->grid();
   const TimeNs col_end = grid.slice_end(j);
-  for (StateId x = 0; x < n_x_; ++x, base += stride) {
+  for (StateId x = 0; x < n_x_; ++x) {
     StateAreaSums s;
     for (SliceId i = j; i >= 0; --i) {
-      const double* slot = base + 3 * static_cast<std::size_t>(i);
-      s.sum_d += slot[0];
-      s.sum_rho += slot[1];
-      s.sum_rho_log += slot[2];
+      const std::size_t k =
+          static_cast<std::size_t>(i) * row + static_cast<std::size_t>(x);
+      s.sum_d += pd[k];
+      s.sum_rho += pr[k];
+      s.sum_rho_log += pl[k];
       const double dur = to_seconds(col_end - grid.slice_begin(i));
       const double cells = leaves * static_cast<double>(j - i + 1);
       const AreaMeasures sm = state_area_measures(s, leaves, dur, cells);
@@ -265,12 +355,13 @@ DataCube::Mode DataCube::mode(NodeId node, SliceId i, SliceId j) const noexcept 
   const double leaf_count =
       static_cast<double>(hierarchy().node(node).leaf_count);
   const double dur = interval_duration_s(i, j);
-  const std::size_t stride = static_cast<std::size_t>(n_t_) * 3;
-  const double* base = node_base(node, 0);
-  for (StateId x = 0; x < n_x_; ++x, base += stride) {
+  const std::size_t row = static_cast<std::size_t>(n_x_);
+  const double* pd = plane(node, kSumD);
+  for (StateId x = 0; x < n_x_; ++x) {
     double sum_d = 0.0;
     for (SliceId t = j; t >= i; --t) {
-      sum_d += base[3 * static_cast<std::size_t>(t)];
+      sum_d += pd[static_cast<std::size_t>(t) * row +
+                  static_cast<std::size_t>(x)];
     }
     const double rho = stagg::aggregated_proportion(sum_d, leaf_count, dur);
     best.proportion_sum += rho;

@@ -29,8 +29,8 @@
 
 #include <cstdint>
 #include <span>
-#include <vector>
 
+#include "common/simd.hpp"
 #include "core/interval.hpp"
 #include "metrics/information.hpp"
 #include "model/microscopic_model.hpp"
@@ -72,13 +72,16 @@ class DataCube {
   /// canonical descending-slice order (t = j down to i).
   [[nodiscard]] StateAreaSums sums(NodeId node, SliceId i, SliceId j,
                                    StateId x) const noexcept {
-    const double* base = node_base(node, x);
+    const std::size_t row = static_cast<std::size_t>(n_x_);
+    const double* pd = plane(node, kSumD) + static_cast<std::size_t>(x);
+    const double* pr = plane(node, kSumRho) + static_cast<std::size_t>(x);
+    const double* pl = plane(node, kSumRhoLog) + static_cast<std::size_t>(x);
     StateAreaSums s;
     for (SliceId t = j; t >= i; --t) {
-      const double* slot = base + 3 * static_cast<std::size_t>(t);
-      s.sum_d += slot[0];
-      s.sum_rho += slot[1];
-      s.sum_rho_log += slot[2];
+      const std::size_t off = static_cast<std::size_t>(t) * row;
+      s.sum_d += pd[off];
+      s.sum_rho += pr[off];
+      s.sum_rho_log += pl[off];
     }
     return s;
   }
@@ -104,6 +107,16 @@ class DataCube {
   /// column recomputation.  `out.size()` must be exactly j + 1.
   void measures_column_into(NodeId node, SliceId j,
                             std::span<AreaMeasures> out) const noexcept;
+
+  /// Scalar twin of measures_column_into: the original per-state descending
+  /// accumulation (x outer, i inner), one state_area_measures call per
+  /// cell, no vector wrappers and no shared log2.  This is the equivalence
+  /// oracle for the vectorized column kernel — MeasureCache::audit and
+  /// tests/test_simd.cpp pin measures_column_into against it bit-for-bit —
+  /// and the timing baseline bench_simd reports speedup against.
+  void measures_column_reference_into(NodeId node, SliceId j,
+                                      std::span<AreaMeasures> out)
+      const noexcept;
 
   /// Gain/loss of the area for one state.
   [[nodiscard]] AreaMeasures state_measures(NodeId node, SliceId i, SliceId j,
@@ -158,16 +171,25 @@ class DataCube {
   }
 
  private:
-  // Layout: per node, per state, n_t_ triplets {sum_d, sum_rho,
-  // sum_rho_log}, one per slice.  node stride = n_x_ * n_t_ * 3.
-  [[nodiscard]] const double* node_base(NodeId node, StateId x) const noexcept {
-    return data_.data() +
-           (static_cast<std::size_t>(node) * static_cast<std::size_t>(n_x_) +
-            static_cast<std::size_t>(x)) *
-               static_cast<std::size_t>(n_t_) * 3;
+  // Layout: per node, three PLANES {sum_d, sum_rho, sum_rho_log}, each an
+  // n_t_ x n_x_ row-major matrix (slice rows, states contiguous).  Plane
+  // stride = n_t_ * n_x_, node stride = 3 * n_t_ * n_x_.  States being
+  // adjacent is what lets the column kernel and the bottom-up merge run
+  // f64x4 loads across the |X| dimension (independent per-state chains)
+  // without touching any chain's accumulation order.
+  static constexpr std::size_t kSumD = 0;
+  static constexpr std::size_t kSumRho = 1;
+  static constexpr std::size_t kSumRhoLog = 2;
+
+  [[nodiscard]] std::size_t plane_stride() const noexcept {
+    return static_cast<std::size_t>(n_t_) * static_cast<std::size_t>(n_x_);
   }
-  [[nodiscard]] double* node_base_mut(NodeId node, StateId x) noexcept {
-    return const_cast<double*>(node_base(node, x));
+  [[nodiscard]] const double* plane(NodeId node, std::size_t p) const noexcept {
+    return data_.data() +
+           (static_cast<std::size_t>(node) * 3 + p) * plane_stride();
+  }
+  [[nodiscard]] double* plane_mut(NodeId node, std::size_t p) noexcept {
+    return const_cast<double*>(plane(node, p));
   }
 
   /// One internal-node accumulation pass restricted to `nodes` (a
@@ -179,7 +201,8 @@ class DataCube {
   const ShardPlan* plan_ = nullptr;
   std::int32_t n_t_ = 0;
   std::int32_t n_x_ = 0;
-  std::vector<double> data_;
+  /// 64-byte aligned so f64x4 plane accesses never split a cache line.
+  simd::AlignedVec<double> data_;
 };
 
 }  // namespace stagg

@@ -130,11 +130,13 @@ void MeasureCache::audit(const DataCube& cube) const {
          std::to_string(node_count) + " nodes of " +
          std::to_string(tri_.size()));
   }
-  // Recompute columns through the same bulk fill the build uses — the
-  // cube's accumulation contract makes them bit-identical.  Small
-  // triangles are rechecked in full; larger ones at the first, middle and
-  // last columns per node (reshape relocation bugs corrupt whole columns,
-  // not single cells).
+  // Recompute columns through the cube's SCALAR column twin
+  // (measures_column_reference_into): the cube's accumulation contract
+  // makes it bit-identical to the vectorized bulk fill the build uses, so
+  // this doubles as a cross-check of the f64x4 column kernel on every
+  // audited build.  Small triangles are rechecked in full; larger ones at
+  // the first, middle and last columns per node (reshape relocation bugs
+  // corrupt whole columns, not single cells).
   const SliceId slices = tri_.slices();
   std::vector<SliceId> cols;
   if (tri_.size() <= 4096) {
@@ -148,7 +150,7 @@ void MeasureCache::audit(const DataCube& cube) const {
     const NodeId node = static_cast<NodeId>(ni);
     for (const SliceId j : cols) {
       scratch.assign(static_cast<std::size_t>(j) + 1, AreaMeasures{});
-      cube.measures_column_into(node, j, scratch);
+      cube.measures_column_reference_into(node, j, scratch);
       for (SliceId i = 0; i <= j; ++i) {
         const AreaMeasures& got = at(node, i, j);
         const AreaMeasures& want = scratch[static_cast<std::size_t>(i)];

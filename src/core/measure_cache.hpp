@@ -39,8 +39,8 @@
 #include <cstdint>
 #include <span>
 #include <type_traits>
-#include <vector>
 
+#include "common/simd.hpp"
 #include "core/cube.hpp"
 #include "core/interval.hpp"
 
@@ -146,7 +146,10 @@ class MeasureCache {
                     const ShardPlan* plan);
 
   TriangularIndex tri_;
-  std::vector<AreaMeasures> data_;  ///< node-major, packed triangular rows
+  /// Node-major packed triangular rows; 64-byte aligned so the DP's
+  /// 16-byte {gain, loss} loads and the f64x4 column writes never split a
+  /// cache line.
+  simd::AlignedVec<AreaMeasures> data_;
 };
 
 }  // namespace stagg

@@ -30,8 +30,8 @@
 
 namespace stagg {
 
-template <typename T>
-void reshape_packed_triangles(std::vector<T>& buf,
+template <typename T, typename Alloc>
+void reshape_packed_triangles(std::vector<T, Alloc>& buf,
                               const TriangularIndex& old_tri,
                               const TriangularIndex& new_tri,
                               std::int32_t shift, std::size_t lanes,
@@ -42,7 +42,7 @@ void reshape_packed_triangles(std::vector<T>& buf,
   if (shift == 0 && new_t == old_t) return;  // identity
   if (shift > 0 && new_t > old_t) {
     // Combined slide + extension: relocate via a fresh buffer.
-    std::vector<T> next(node_count * new_tri.size() * lanes);
+    std::vector<T, Alloc> next(node_count * new_tri.size() * lanes);
     for (std::size_t node = 0; node < node_count; ++node) {
       const T* src_node = buf.data() + node * old_tri.size() * lanes;
       T* dst_node = next.data() + node * new_tri.size() * lanes;

@@ -8,6 +8,8 @@
 
 #include "common/contract.hpp"
 #include "common/error.hpp"
+#include "common/simd.hpp"
+#include "trace/codec_kernels.hpp"
 
 namespace stagg {
 
@@ -32,70 +34,23 @@ void append_raw(std::vector<std::uint8_t>& out, const void* data,
   out.insert(out.end(), p, p + n);
 }
 
-// --- Time-column planning over an abstract value stream --------------------
-// `Get` returns the i-th column value as wrap-around uint64; all delta
-// arithmetic stays in uint64, so columns touching the int64 range limits
-// still round-trip (C++20 two's-complement conversions).
+// --- Time-column planning over materialized difference streams -------------
+// The SIMD pre-pass (trace/codec_kernels.hpp) computes every candidate
+// stream once, already zigzag-folded; all delta arithmetic stays in
+// wrap-around uint64, so columns touching the int64 range limits still
+// round-trip (C++20 two's-complement conversions).  Measuring a codec is
+// then a varint-size sum and encoding it replays the same array — the
+// emitted bytes are identical to the historical per-value walk.
 
-template <class Get>
-std::size_t measure_delta(std::size_t n, Get get) {
-  std::uint64_t prev = get(0);
-  std::size_t s = zz_size(prev);
-  for (std::size_t i = 1; i < n; ++i) {
-    const std::uint64_t v = get(i);
-    s += zz_size(v - prev);
-    prev = v;
-  }
+std::size_t varint_sum(const std::uint64_t* zz, std::size_t n) noexcept {
+  std::size_t s = 0;
+  for (std::size_t i = 0; i < n; ++i) s += varint_size(zz[i]);
   return s;
 }
 
-template <class Get>
-void encode_delta(std::vector<std::uint8_t>& out, std::size_t n, Get get) {
-  std::uint64_t prev = get(0);
-  put_zz(out, prev);
-  for (std::size_t i = 1; i < n; ++i) {
-    const std::uint64_t v = get(i);
-    put_zz(out, v - prev);
-    prev = v;
-  }
-}
-
-template <class Get>
-std::size_t measure_dod(std::size_t n, Get get) {
-  std::uint64_t prev = get(0);
-  std::size_t s = zz_size(prev);
-  std::uint64_t prev_delta = 0;
-  for (std::size_t i = 1; i < n; ++i) {
-    const std::uint64_t v = get(i);
-    const std::uint64_t delta = v - prev;
-    s += zz_size(i == 1 ? delta : delta - prev_delta);
-    prev_delta = delta;
-    prev = v;
-  }
-  return s;
-}
-
-template <class Get>
-void encode_dod(std::vector<std::uint8_t>& out, std::size_t n, Get get) {
-  std::uint64_t prev = get(0);
-  put_zz(out, prev);
-  std::uint64_t prev_delta = 0;
-  for (std::size_t i = 1; i < n; ++i) {
-    const std::uint64_t v = get(i);
-    const std::uint64_t delta = v - prev;
-    put_zz(out, i == 1 ? delta : delta - prev_delta);
-    prev_delta = delta;
-    prev = v;
-  }
-}
-
-template <class Get>
-bool all_equal(std::size_t n, Get get) {
-  const std::uint64_t first = get(0);
-  for (std::size_t i = 1; i < n; ++i) {
-    if (get(i) != first) return false;
-  }
-  return true;
+void put_varints(std::vector<std::uint8_t>& out, const std::uint64_t* zz,
+                 std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) put_varint(out, zz[i]);
 }
 
 struct TimePlan {
@@ -169,33 +124,53 @@ EncodedColumns encode_columns(std::span<const TimeNs> begins,
   if (n == 0 || ends.size() != n || states.size() != n) {
     throw InvalidArgument("encode_columns: empty or mismatched columns");
   }
-  const auto begin_at = [&](std::size_t i) { return as_u(begins[i]); };
-  const auto duration_at = [&](std::size_t i) {
-    return as_u(ends[i]) - as_u(begins[i]);
-  };
+
+  // --- Pre-pass: every candidate stream, zigzag-folded, in one SIMD walk
+  // per column (see codec_kernels.hpp for why this is exact).
+  simd::AlignedVec<std::uint64_t> beg_delta(n);
+  simd::AlignedVec<std::uint64_t> beg_dod(n);
+  simd::AlignedVec<std::uint64_t> beg_gap(n);
+  simd::AlignedVec<std::uint64_t> dur(n);
+  simd::AlignedVec<std::uint64_t> dur_delta(n);
+  simd::AlignedVec<std::uint64_t> dur_dod(n);
+
+  const bool beg_const = codec::all_equal_u64(
+      reinterpret_cast<const std::uint64_t*>(begins.data()), n);
+  codec::delta_column(begins.data(), n, beg_delta.data());
+  codec::delta_u64(beg_delta.data(), n, beg_dod.data());
+  if (n > 1) beg_dod[1] = beg_delta[1];  // second-order starts at i = 2
+  beg_gap[0] = as_u(begins[0]);
+  codec::sub_columns(begins.data() + 1, ends.data(), n - 1, beg_gap.data() + 1);
+  codec::zigzag_u64(beg_delta.data(), n);
+  codec::zigzag_u64(beg_dod.data(), n);
+  codec::zigzag_u64(beg_gap.data(), n);
+
+  codec::sub_columns(ends.data(), begins.data(), n, dur.data());
+  const bool dur_const = codec::all_equal_u64(dur.data(), n);
+  const std::uint64_t dur0 = dur[0];
+  codec::delta_u64(dur.data(), n, dur_delta.data());
+  codec::delta_u64(dur_delta.data(), n, dur_dod.data());
+  if (n > 1) dur_dod[1] = dur_delta[1];
+  codec::zigzag_u64(dur_delta.data(), n);
+  codec::zigzag_u64(dur_dod.data(), n);
 
   // --- Begin column: raw begins vs delta family vs gap-from-prev-end.
   TimePlan begin_plan{TimeCodec::kRaw, n * 8};
-  if (all_equal(n, begin_at)) {
-    consider(begin_plan, TimeCodec::kConst, zz_size(begin_at(0)));
+  if (beg_const) {
+    consider(begin_plan, TimeCodec::kConst, zz_size(as_u(begins[0])));
   }
-  consider(begin_plan, TimeCodec::kDelta, measure_delta(n, begin_at));
-  consider(begin_plan, TimeCodec::kDeltaOfDelta, measure_dod(n, begin_at));
-  {
-    std::size_t gap = zz_size(begin_at(0));
-    for (std::size_t i = 1; i < n; ++i) {
-      gap += zz_size(as_u(begins[i]) - as_u(ends[i - 1]));
-    }
-    consider(begin_plan, TimeCodec::kGapFromPrevEnd, gap);
-  }
+  consider(begin_plan, TimeCodec::kDelta, varint_sum(beg_delta.data(), n));
+  consider(begin_plan, TimeCodec::kDeltaOfDelta, varint_sum(beg_dod.data(), n));
+  consider(begin_plan, TimeCodec::kGapFromPrevEnd,
+           varint_sum(beg_gap.data(), n));
 
   // --- End column: raw ends vs the delta family over durations.
   TimePlan end_plan{TimeCodec::kRaw, n * 8};
-  if (all_equal(n, duration_at)) {
-    consider(end_plan, TimeCodec::kConst, zz_size(duration_at(0)));
+  if (dur_const) {
+    consider(end_plan, TimeCodec::kConst, zz_size(dur0));
   }
-  consider(end_plan, TimeCodec::kDelta, measure_delta(n, duration_at));
-  consider(end_plan, TimeCodec::kDeltaOfDelta, measure_dod(n, duration_at));
+  consider(end_plan, TimeCodec::kDelta, varint_sum(dur_delta.data(), n));
+  consider(end_plan, TimeCodec::kDeltaOfDelta, varint_sum(dur_dod.data(), n));
 
   // --- State column: raw ids vs dictionary + RLE / bitpack.
   std::vector<StateId> dict(states.begin(), states.end());
@@ -205,16 +180,19 @@ EncodedColumns encode_columns(std::span<const TimeNs> begins,
   for (const StateId s : dict) {
     dict_header += varint_size(zigzag_encode(s));
   }
+  // One counting-compare pass resolves every value's dictionary index;
+  // the RLE and bitpack paths below reuse it instead of re-searching.
+  simd::AlignedVec<std::int32_t> dict_idx(n);
+  codec::dict_indices(states.data(), n, dict.data(), dict.size(),
+                      dict_idx.data());
   std::size_t rle_size = dict_header;
   {
     std::size_t i = 0;
     while (i < n) {
       std::size_t j = i + 1;
       while (j < n && states[j] == states[i]) ++j;
-      const auto idx = static_cast<std::size_t>(
-          std::lower_bound(dict.begin(), dict.end(), states[i]) -
-          dict.begin());
-      rle_size += varint_size(idx) + varint_size(j - i);
+      rle_size += varint_size(static_cast<std::uint64_t>(dict_idx[i])) +
+                  varint_size(j - i);
       i = j;
     }
   }
@@ -247,19 +225,16 @@ EncodedColumns encode_columns(std::span<const TimeNs> begins,
       append_raw(out.bytes, begins.data(), begins.size_bytes());
       break;
     case TimeCodec::kDelta:
-      encode_delta(out.bytes, n, begin_at);
+      put_varints(out.bytes, beg_delta.data(), n);
       break;
     case TimeCodec::kDeltaOfDelta:
-      encode_dod(out.bytes, n, begin_at);
+      put_varints(out.bytes, beg_dod.data(), n);
       break;
     case TimeCodec::kConst:
-      put_zz(out.bytes, begin_at(0));
+      put_zz(out.bytes, as_u(begins[0]));
       break;
     case TimeCodec::kGapFromPrevEnd:
-      put_zz(out.bytes, begin_at(0));
-      for (std::size_t i = 1; i < n; ++i) {
-        put_zz(out.bytes, as_u(begins[i]) - as_u(ends[i - 1]));
-      }
+      put_varints(out.bytes, beg_gap.data(), n);
       break;
   }
   out.begin_bytes = out.bytes.size();
@@ -269,13 +244,13 @@ EncodedColumns encode_columns(std::span<const TimeNs> begins,
       append_raw(out.bytes, ends.data(), ends.size_bytes());
       break;
     case TimeCodec::kDelta:
-      encode_delta(out.bytes, n, duration_at);
+      put_varints(out.bytes, dur_delta.data(), n);
       break;
     case TimeCodec::kDeltaOfDelta:
-      encode_dod(out.bytes, n, duration_at);
+      put_varints(out.bytes, dur_dod.data(), n);
       break;
     case TimeCodec::kConst:
-      put_zz(out.bytes, duration_at(0));
+      put_zz(out.bytes, dur0);
       break;
     case TimeCodec::kGapFromPrevEnd:
       break;  // unreachable: never planned for the end column
@@ -293,10 +268,7 @@ EncodedColumns encode_columns(std::span<const TimeNs> begins,
       while (i < n) {
         std::size_t j = i + 1;
         while (j < n && states[j] == states[i]) ++j;
-        const auto idx = static_cast<std::size_t>(
-            std::lower_bound(dict.begin(), dict.end(), states[i]) -
-            dict.begin());
-        put_varint(out.bytes, idx);
+        put_varint(out.bytes, static_cast<std::uint64_t>(dict_idx[i]));
         put_varint(out.bytes, j - i);
         i = j;
       }
@@ -308,9 +280,7 @@ EncodedColumns encode_columns(std::span<const TimeNs> begins,
       std::uint64_t acc = 0;
       std::uint32_t bits = 0;
       for (std::size_t i = 0; i < n; ++i) {
-        const auto idx = static_cast<std::uint64_t>(
-            std::lower_bound(dict.begin(), dict.end(), states[i]) -
-            dict.begin());
+        const auto idx = static_cast<std::uint64_t>(dict_idx[i]);
         acc |= idx << bits;
         bits += pack_width;
         while (bits >= 8) {
@@ -327,12 +297,7 @@ EncodedColumns encode_columns(std::span<const TimeNs> begins,
 
   out.first = {begins.front(), ends.front(), states.front()};
   out.last = {begins.back(), ends.back(), states.back()};
-  out.min_end = ends[0];
-  out.max_end = ends[0];
-  for (const TimeNs e : ends) {
-    out.min_end = std::min(out.min_end, e);
-    out.max_end = std::max(out.max_end, e);
-  }
+  codec::minmax_i64(ends.data(), n, out.min_end, out.max_end);
   return out;
 }
 
@@ -525,6 +490,24 @@ StateId ColumnsDecoder::next_state() {
       return run_value_;
     }
     case StateCodec::kDictBitpack: {
+      if (pack_bits_ < pack_width_ && pack_width_ <= 32 &&
+          state_cur_.pos + 8 <= state_cur_.bytes.size()) {
+        // Wide refill: the byte loop below consumes exactly
+        // ceil((width - bits) / 8) bytes, so when at least a full word
+        // remains in the section one unaligned little-endian load (the
+        // same byte order kRaw columns already assume) grabs them all.
+        // After every extraction pack_bits_ < 8, so with width <= 32 the
+        // shifted insert stays within the 64-bit accumulator.
+        const std::size_t need_bytes =
+            (static_cast<std::size_t>(pack_width_ - pack_bits_) + 7) / 8;
+        std::uint64_t word = 0;
+        std::memcpy(&word, state_cur_.bytes.data() + state_cur_.pos, 8);
+        const std::uint64_t mask =
+            (std::uint64_t{1} << (need_bytes * 8)) - 1;
+        pack_acc_ |= (word & mask) << pack_bits_;
+        pack_bits_ += narrow<std::uint32_t>(need_bytes * 8);
+        state_cur_.pos += need_bytes;
+      }
       while (pack_bits_ < pack_width_) {
         if (state_cur_.pos >= state_cur_.bytes.size()) {
           throw TraceFormatError("truncated encoded state column");

@@ -76,4 +76,20 @@ Trace generate_trace(const Hierarchy& hierarchy,
   return trace;
 }
 
+std::function<ResourceProgram(LeafId)> make_churn_programmer(
+    std::int32_t states, double span_s, double base_mean_s, double jitter) {
+  return [states, span_s, base_mean_s, jitter](LeafId leaf) {
+    ResourceProgram p;
+    StatePattern pattern;
+    for (std::int32_t x = 0; x < states; ++x) {
+      const double mean =
+          base_mean_s + 0.25 * base_mean_s * static_cast<double>((leaf + x) % 7);
+      pattern.elements.push_back(
+          {"churn" + std::to_string(x), mean, jitter});
+    }
+    p.phases.push_back({0.0, span_s, std::move(pattern)});
+    return p;
+  };
+}
+
 }  // namespace stagg

@@ -76,4 +76,17 @@ void generate_resource(Trace& trace, ResourceId resource,
     const std::function<ResourceProgram(LeafId)>& programmer,
     std::uint64_t seed);
 
+/// Programmer for a wide-|X| "churn" workload: every leaf cycles through
+/// `states` distinct states ("churn0".."churnN") at sub-millisecond,
+/// heavily jittered durations — dictionary runs of length ~1 and noisy
+/// time deltas.  The codec worst case (bench_compress) and the across-|X|
+/// kernel stress (bench_simd) share this generator; states >= 64 keeps
+/// the per-slice state loops wide enough to exercise the f64x4 column
+/// kernels with meaningful tails.  Per-element means cycle over 7 steps
+/// of base_mean_s/4 so adjacent states differ, like the historical
+/// inline programmer.
+[[nodiscard]] std::function<ResourceProgram(LeafId)> make_churn_programmer(
+    std::int32_t states, double span_s, double base_mean_s = 0.2e-3,
+    double jitter = 0.9);
+
 }  // namespace stagg

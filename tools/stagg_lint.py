@@ -36,6 +36,13 @@ justification is mandatory):
                    truncation) from common/contract.hpp instead, so every
                    lossy conversion in the on-disk formats is deliberate.
 
+  raw-intrinsic    A raw SIMD intrinsic call (x86 `_mm*_*`/`_mm256_*` or
+                   NEON `vld1q_*`-family) anywhere except
+                   src/common/simd.hpp.  All vector code goes through the
+                   fixed-width wrappers so every kernel keeps a scalar twin,
+                   the STAGG_SIMD=OFF build stays complete, and the
+                   bit-identity contract is auditable in one file.
+
 Modes:
   tools/stagg_lint.py                 lint src/ (default)
   tools/stagg_lint.py --headers       also run header self-containment
@@ -129,6 +136,21 @@ NARROW_CAST = re.compile(
 NARROWING_FILES = {
     "src/trace/compression.cpp",
     "src/trace/binary_io.cpp",
+}
+
+# --- Rule: raw-intrinsic ----------------------------------------------------
+
+# x86 SSE/AVX (`_mm_*`, `_mm256_*`, `_mm512_*`) and the common ARM NEON
+# intrinsic families.  Matches calls, not the header names.
+RAW_INTRINSIC = re.compile(
+    r"\b(?P<name>_mm(?:256|512)?_[a-z0-9_]+"
+    r"|v(?:ld1|st1|add|sub|mul|dup|mov|min|max|ceq|cge|cgt|shl|shr|sra"
+    r"|and|orr|eor|get|set|reinterpret|cvt)q?_[a-z0-9_]+)\s*\("
+)
+
+# The dispatch seam is the only place allowed to spell raw intrinsics.
+RAW_INTRINSIC_ALLOWED_FILES = {
+    "src/common/simd.hpp",
 }
 
 LOCK_DECL = re.compile(
@@ -316,6 +338,23 @@ def lint_file(path: str, rel: str, findings: list[Finding]) -> None:
                         "codec/decoder path; use stagg::narrow<T>() "
                         "(value-checked) or stagg::wrap_u8() (documented "
                         "truncation) from common/contract.hpp",
+                    )
+                )
+
+        # --- raw-intrinsic ---------------------------------------------------
+        if rel not in RAW_INTRINSIC_ALLOWED_FILES:
+            for m in RAW_INTRINSIC.finditer(code):
+                if "raw-intrinsic" in allowed:
+                    continue
+                findings.append(
+                    Finding(
+                        rel,
+                        lineno,
+                        "raw-intrinsic",
+                        f"raw SIMD intrinsic `{m.group('name')}` outside "
+                        "src/common/simd.hpp; use the fixed-width wrappers "
+                        "(simd::f64x4 et al.) so the kernel keeps a scalar "
+                        "twin and the STAGG_SIMD=OFF build stays complete",
                     )
                 )
 

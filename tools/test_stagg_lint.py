@@ -231,6 +231,46 @@ def case_narrowing_cast() -> None:
                rc == 0, out)
 
 
+def case_raw_intrinsic() -> None:
+    """Raw intrinsics are legal only inside the simd.hpp dispatch seam."""
+    with tempfile.TemporaryDirectory(prefix="stagg_lint_") as root:
+        bad = fixture(
+            root,
+            "src/core/fast_path.cpp",
+            "void fold(const float* p, float* out) {\n"
+            "  __m128 v = _mm_add_ps(_mm_loadu_ps(p), _mm_loadu_ps(p + 4));\n"
+            "  _mm_storeu_ps(out, v);\n"
+            "}\n",
+        )
+        rc, out = run_lint(root, [bad])
+        expect("raw-intrinsic: x86 intrinsic outside simd.hpp fails",
+               rc == 1, out)
+        expect("raw-intrinsic: rule named in output", "raw-intrinsic" in out,
+               out)
+        expect("raw-intrinsic: intrinsic named", "_mm_add_ps" in out, out)
+
+        neon = fixture(
+            root,
+            "src/trace/neon_path.cpp",
+            "void fold(const uint64_t* p, uint64_t* out) {\n"
+            "  vst1q_u64(out, vaddq_u64(vld1q_u64(p), vld1q_u64(p + 2)));\n"
+            "}\n",
+        )
+        rc, out = run_lint(root, [neon])
+        expect("raw-intrinsic: NEON intrinsic outside simd.hpp fails",
+               rc == 1, out)
+
+        seam = fixture(
+            root,
+            "src/common/simd.hpp",
+            "inline __m256d add(__m256d a, __m256d b) {\n"
+            "  return _mm256_add_pd(a, b);\n"
+            "}\n",
+        )
+        rc, out = run_lint(root, [seam])
+        expect("raw-intrinsic: simd.hpp itself is allowed", rc == 0, out)
+
+
 def case_real_tree_is_clean() -> None:
     """The rule set must hold over the actual src/ tree (default mode)."""
     proc = subprocess.run(
@@ -249,6 +289,7 @@ def main() -> int:
         case_suppression_requires_justification,
         case_queue_under_lock,
         case_narrowing_cast,
+        case_raw_intrinsic,
         case_real_tree_is_clean,
     ):
         print(f"{case.__name__}:")
